@@ -1,0 +1,82 @@
+// Ablation G: where the parity write tax actually comes from — stripe
+// imbalance — and how request alignment recovers it.
+//
+// At 32 disks / 32 KiB units, a 1 MiB redundant write moves 33 units: one
+// disk services two positioned writes while 31 service one, so the whole
+// request waits on the doubled disk and the sustainable rate drops ~40%
+// (see ablation_parity_gigabit). Shrinking the request to 31 data units —
+// one full parity stripe — rebalances the load: every disk does exactly one
+// write and the tax collapses to the raw capacity share (1/32) plus the XOR
+// pass. The mediator's unit-selection policy (§2) exists precisely to keep
+// typical requests stripe-aligned.
+//
+// The same bench also reports the multi-client control: with the open-
+// system sustainability criterion (completion time <= interarrival time)
+// the per-request latency floor, not client CPU, binds — so replicating
+// clients changes nothing here. (§2's replication lever applies to the
+// saturated component; the figures 5/6 disk sweeps show it working where
+// disks are that component.)
+
+#include <cstdio>
+
+#include "src/disk/disk_catalog.h"
+#include "src/sim/gigabit_model.h"
+#include "src/sim/report.h"
+
+namespace swift {
+namespace {
+
+struct Point {
+  double bytes_per_second = 0;
+  double per_disk_write_rate = 0;  // request rate normalized by payload
+};
+
+double Sustainable(uint64_t request_bytes, bool redundancy, uint32_t clients) {
+  GigabitConfig config;
+  config.disk = FujitsuM2372K();
+  config.num_disks = 32;
+  config.num_clients = clients;
+  config.request_bytes = request_bytes;
+  config.transfer_unit = KiB(32);
+  config.read_fraction = 0.0;
+  config.redundancy = redundancy;
+  return GigabitModel(config).FindMaxSustainable(Seconds(20), 13).data_rate;
+}
+
+int Main() {
+  PrintTableHeader("Ablation: stripe alignment and the redundant-write tax",
+                   "Cabrera & Long 1991, §2 unit-selection rationale", false);
+
+  // 32 disks, 32 KiB units, write-only.
+  const double plain_1mib = Sustainable(MiB(1), false, 1);          // 32 units, balanced
+  const double parity_1mib = Sustainable(MiB(1), true, 1);          // 33 units, IMBALANCED
+  const double parity_aligned = Sustainable(KiB(32) * 31, true, 1); // 31+1 units, balanced
+
+  std::printf("write-only sustainable data-rate, 32 disks, 32 KiB units:\n");
+  std::printf("  %-44s %s\n", "plain, 1 MiB requests (32 units, balanced):",
+              FormatRate(plain_1mib).c_str());
+  std::printf("  %-44s %s  (%.0f%% tax)\n", "parity, 1 MiB requests (33 units, IMBALANCED):",
+              FormatRate(parity_1mib).c_str(), 100 * (1 - parity_1mib / plain_1mib));
+  std::printf("  %-44s %s  (%.0f%% tax)\n", "parity, 992 KiB requests (one full stripe):",
+              FormatRate(parity_aligned).c_str(), 100 * (1 - parity_aligned / plain_1mib));
+
+  PrintShapeCheck(1 - parity_1mib / plain_1mib > 0.25,
+                  "unaligned redundant writes pay a heavy imbalance tax (one disk does 2x)");
+  PrintShapeCheck(1 - parity_aligned / plain_1mib < 0.22,
+                  "stripe-aligned redundant writes pay only ~1/32 capacity + the XOR pass");
+
+  // Multi-client control: latency-bound criterion, so no change expected.
+  const double one_client = Sustainable(MiB(1), true, 1);
+  const double four_clients = Sustainable(MiB(1), true, 4);
+  std::printf("\nmulti-client control (parity, 1 MiB): 1 client %s, 4 clients %s\n",
+              FormatRate(one_client).c_str(), FormatRate(four_clients).c_str());
+  PrintShapeCheck(four_clients < 1.2 * one_client,
+                  "sustainability here is latency-bound, not client-bound — replication "
+                  "of an unsaturated component buys nothing");
+  return 0;
+}
+
+}  // namespace
+}  // namespace swift
+
+int main() { return swift::Main(); }

@@ -1,0 +1,85 @@
+// Ablation B: the mediator's striping-unit policy (§2).
+//
+// "If the required transfer rate is low, then the striping unit can be
+// large ... If the required data-rate is high, then the striping unit will
+// be chosen small enough to exploit all the parallelism needed." This bench
+// sweeps the transfer unit at fixed request size on the gigabit model and
+// reports the sustainable data-rate per (unit, disks) point — the
+// quantitative basis of the policy — then shows the mediator's choices.
+
+#include <cstdio>
+#include <vector>
+
+#include "src/core/storage_mediator.h"
+#include "src/disk/disk_catalog.h"
+#include "src/sim/gigabit_model.h"
+#include "src/sim/report.h"
+
+namespace swift {
+namespace {
+
+int Main() {
+  PrintTableHeader("Ablation: striping-unit selection",
+                   "Cabrera & Long 1991, §2 policy + §5.2 unit-size sensitivity", false);
+
+  // Part 1: sustainable rate vs unit size (M2372K, 1 MiB requests).
+  for (uint32_t disks : {8u, 32u}) {
+    char label[48];
+    std::snprintf(label, sizeof(label), "%u disks, 1 MiB requests", disks);
+    PrintSeriesHeader("unit KiB", "data-rate B/s", label);
+    double first = 0;
+    double best = 0;
+    for (uint64_t unit : {KiB(4), KiB(8), KiB(16), KiB(32), KiB(64), KiB(128)}) {
+      GigabitConfig config;
+      config.disk = FujitsuM2372K();
+      config.num_disks = disks;
+      config.request_bytes = MiB(1);
+      config.transfer_unit = unit;
+      GigabitModel model(config);
+      const double rate = model.FindMaxSustainable(Seconds(20), 3).data_rate;
+      PrintSeriesPoint(static_cast<double>(unit / KiB(1)), rate, FormatRate(rate));
+      if (first == 0) {
+        first = rate;
+      }
+      best = std::max(best, rate);
+    }
+    // Note the interior optimum: past ~request/disks the unit starves the
+    // request of parallelism (1 MiB / 128 KiB = only 8 disks active).
+    PrintShapeCheck(best > 3 * first,
+                    "the best unit beats 4 KiB by several x (positioning amortizes)");
+  }
+
+  // Part 2: what the mediator actually picks as the required rate climbs.
+  StorageMediator mediator;
+  for (int i = 0; i < 16; ++i) {
+    mediator.RegisterAgent(AgentCapacity{KiBPerSecond(860), MiB(512)});
+  }
+  PrintSeriesHeader("required KB/s", "agents", "mediator policy (unit annotated)");
+  bool units_shrink = true;
+  uint64_t previous_unit = UINT64_MAX;
+  for (double rate_kb : {100.0, 400.0, 800.0, 1600.0, 3200.0, 6400.0, 12000.0}) {
+    auto plan = mediator.OpenSession({.object_name = "sweep" + std::to_string(rate_kb),
+                                      .expected_size = MiB(64),
+                                      .required_rate = KiBPerSecond(rate_kb),
+                                      .typical_request = MiB(1)});
+    if (!plan.ok()) {
+      PrintSeriesPoint(rate_kb, 0, "REJECTED (" + plan.status().ToString() + ")");
+      continue;
+    }
+    char annotation[64];
+    std::snprintf(annotation, sizeof(annotation), "unit=%llu KiB",
+                  static_cast<unsigned long long>(plan->stripe.stripe_unit / KiB(1)));
+    PrintSeriesPoint(rate_kb, plan->stripe.num_agents, annotation);
+    units_shrink = units_shrink && plan->stripe.stripe_unit <= previous_unit;
+    previous_unit = plan->stripe.stripe_unit;
+    (void)mediator.CloseSession(plan->session_id);
+  }
+  PrintShapeCheck(units_shrink,
+                  "higher required rates -> more agents and equal-or-smaller units (§2)");
+  return 0;
+}
+
+}  // namespace
+}  // namespace swift
+
+int main() { return swift::Main(); }

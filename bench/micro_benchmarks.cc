@@ -1,0 +1,125 @@
+// Micro benchmarks (google-benchmark): the data-path kernels.
+//
+// Parity XOR throughput (the "cost of computing the parity code", §7), wire
+// codec encode/decode, packetizer split/reassemble, CRC32, and stripe
+// mapping — the per-byte and per-packet costs everything else builds on.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "src/core/parity.h"
+#include "src/core/stripe_layout.h"
+#include "src/proto/message.h"
+#include "src/proto/packetizer.h"
+#include "src/util/crc32.h"
+#include "src/util/rng.h"
+#include "src/util/units.h"
+
+namespace swift {
+namespace {
+
+std::vector<uint8_t> RandomBytes(size_t n, uint64_t seed) {
+  std::vector<uint8_t> out(n);
+  Rng rng(seed);
+  for (auto& b : out) {
+    b = static_cast<uint8_t>(rng.UniformInt(0, 255));
+  }
+  return out;
+}
+
+void BM_ParityXor(benchmark::State& state) {
+  const size_t unit = static_cast<size_t>(state.range(0));
+  std::vector<uint8_t> dst = RandomBytes(unit, 1);
+  std::vector<uint8_t> src = RandomBytes(unit, 2);
+  for (auto _ : state) {
+    XorInto(dst, src);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * unit);
+}
+BENCHMARK(BM_ParityXor)->Arg(4096)->Arg(65536)->Arg(1 << 20);
+
+void BM_ComputeParityRow(benchmark::State& state) {
+  const size_t unit = 65536;
+  const int width = static_cast<int>(state.range(0));
+  std::vector<std::vector<uint8_t>> units;
+  for (int i = 0; i < width; ++i) {
+    units.push_back(RandomBytes(unit, i + 1));
+  }
+  std::vector<std::span<const uint8_t>> spans(units.begin(), units.end());
+  for (auto _ : state) {
+    auto parity = ComputeParity(spans, unit);
+    benchmark::DoNotOptimize(parity.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * unit * width);
+}
+BENCHMARK(BM_ComputeParityRow)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_Crc32(benchmark::State& state) {
+  std::vector<uint8_t> data = RandomBytes(static_cast<size_t>(state.range(0)), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Crc32(data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Crc32)->Arg(1472)->Arg(8192);
+
+void BM_MessageEncode(benchmark::State& state) {
+  Message m;
+  m.type = MessageType::kData;
+  m.handle = 7;
+  m.request_id = 42;
+  m.payload = RandomBytes(static_cast<size_t>(state.range(0)), 4);
+  for (auto _ : state) {
+    auto wire = m.Encode();
+    benchmark::DoNotOptimize(wire.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_MessageEncode)->Arg(1472)->Arg(8192);
+
+void BM_MessageDecode(benchmark::State& state) {
+  Message m;
+  m.type = MessageType::kData;
+  m.payload = RandomBytes(static_cast<size_t>(state.range(0)), 5);
+  const std::vector<uint8_t> wire = m.Encode();
+  for (auto _ : state) {
+    auto decoded = Message::Decode(wire);
+    benchmark::DoNotOptimize(decoded.ok());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_MessageDecode)->Arg(1472)->Arg(8192);
+
+void BM_PacketizeAndReassemble(benchmark::State& state) {
+  std::vector<uint8_t> data = RandomBytes(static_cast<size_t>(state.range(0)), 6);
+  for (auto _ : state) {
+    auto packets = SplitIntoPackets(MessageType::kWriteData, 1, 2, 0, data);
+    Reassembler reassembler(2, 0, data.size(), static_cast<uint32_t>(packets.size()));
+    for (const Message& p : packets) {
+      benchmark::DoNotOptimize(reassembler.Accept(p).ok());
+    }
+    benchmark::DoNotOptimize(reassembler.complete());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_PacketizeAndReassemble)->Arg(65536)->Arg(1 << 20);
+
+void BM_StripeMapRange(benchmark::State& state) {
+  StripeLayout layout({.num_agents = static_cast<uint32_t>(state.range(0)),
+                       .stripe_unit = KiB(64),
+                       .parity = ParityMode::kRotating});
+  Rng rng(7);
+  for (auto _ : state) {
+    const uint64_t offset = static_cast<uint64_t>(rng.UniformInt(0, 1 << 28));
+    auto extents = layout.MapRange(offset, MiB(1));
+    benchmark::DoNotOptimize(extents.data());
+  }
+}
+BENCHMARK(BM_StripeMapRange)->Arg(3)->Arg(9);
+
+}  // namespace
+}  // namespace swift
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+// Table 2: local SCSI disk data-rates (the first baseline Swift beats).
+//
+// Setup (paper §4): a Sun 4/20 (SLC) reading/writing its local 104 MB SCSI
+// disk through the Unix file system under SunOS 4.1.1 — synchronous-mode
+// SCSI (which doubled read rates over 4.1) and synchronous writes.
+
+#include <cstdio>
+
+#include "src/baseline/local_fs_model.h"
+#include "src/sim/report.h"
+
+namespace swift {
+namespace {
+
+constexpr PaperRow kPaperRead3 = {654, 10.3, 641, 668, 647, 661};
+constexpr PaperRow kPaperRead6 = {671, 6.4, 662, 682, 666, 674};
+constexpr PaperRow kPaperRead9 = {682, 2.4, 679, 685, 680, 683};
+constexpr PaperRow kPaperWrite3 = {314, 1.3, 312, 316, 313, 315};
+constexpr PaperRow kPaperWrite6 = {316, 0.6, 315, 316, 315, 316};
+constexpr PaperRow kPaperWrite9 = {315, 2.1, 310, 316, 313, 316};
+
+int Main() {
+  LocalFsModel model((LocalFsConfig()));
+
+  PrintTableHeader("Table 2 reproduction: local SCSI through the Unix file system",
+                   "Cabrera & Long 1991, Table 2 (Sun 4/20, SunOS 4.1.1, sync-mode SCSI)");
+
+  struct Cell {
+    const char* label;
+    uint64_t bytes;
+    bool read;
+    PaperRow paper;
+  };
+  const Cell cells[] = {
+      {"Read 3 MB", MiB(3), true, kPaperRead3},    {"Read 6 MB", MiB(6), true, kPaperRead6},
+      {"Read 9 MB", MiB(9), true, kPaperRead9},    {"Write 3 MB", MiB(3), false, kPaperWrite3},
+      {"Write 6 MB", MiB(6), false, kPaperWrite6}, {"Write 9 MB", MiB(9), false, kPaperWrite9},
+  };
+
+  double read_mean = 0;
+  double write_mean = 0;
+  for (const Cell& cell : cells) {
+    SampleStats stats =
+        cell.read ? model.SampleRead(cell.bytes, 23) : model.SampleWrite(cell.bytes, 23);
+    PrintSampleRow(cell.label, stats, cell.paper);
+    (cell.read ? read_mean : write_mean) += stats.mean() / 3.0;
+  }
+
+  PrintShapeCheck(read_mean > 600 && read_mean < 740,
+                  "sync-SCSI reads in the paper's 654-682 KB/s band");
+  PrintShapeCheck(write_mean > 280 && write_mean < 350,
+                  "synchronous writes in the paper's 314-316 KB/s band");
+
+  // The paper's footnote: SunOS 4.1's asynchronous SCSI mode halved reads.
+  LocalFsConfig async_config;
+  async_config.async_scsi_mode = true;
+  LocalFsModel sunos41(async_config);
+  const double async_read = sunos41.MeasureReadRate(MiB(6), 5);
+  std::printf("\nSunOS 4.1 (async SCSI) read rate: %.0f KB/s (4.1.1: %.0f KB/s, %.1fx)\n",
+              async_read, read_mean, read_mean / async_read);
+  PrintShapeCheck(read_mean / async_read > 1.7 && read_mean / async_read < 2.3,
+                  "synchronous SCSI mode roughly doubles reads (paper footnote 2)");
+  return 0;
+}
+
+}  // namespace
+}  // namespace swift
+
+int main() { return swift::Main(); }

@@ -1,0 +1,105 @@
+// Failure recovery: computed-copy redundancy in action (§2).
+//
+// "If no precautions are taken, then the failure of a single component, in
+// particular a storage agent, could hinder the operation of the entire
+// system." This example walks the failure lifecycle:
+//
+//   1. write a parity-protected object across 5 agents;
+//   2. crash one agent mid-session — reads keep returning byte-exact data
+//      (reconstructed from the surviving data + parity units);
+//   3. keep writing in degraded mode — updates to the dead agent's units
+//      land in parity, so they too survive;
+//   4. contrast with an unprotected object, which the same crash kills;
+//   5. show that a second failure is honestly reported as data loss.
+//
+//   ./examples/failure_recovery
+
+#include <cstdio>
+#include <vector>
+
+#include "src/agent/local_cluster.h"
+#include "src/util/rng.h"
+#include "src/util/units.h"
+
+namespace {
+
+std::vector<uint8_t> MakePayload(size_t n, uint64_t seed) {
+  std::vector<uint8_t> out(n);
+  swift::Rng rng(seed);
+  for (auto& b : out) {
+    b = static_cast<uint8_t>(rng.UniformInt(0, 255));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace swift;
+  LocalSwiftCluster cluster({.num_agents = 5});
+
+  // A protected and an unprotected object, side by side.
+  auto protected_file = cluster.CreateFile({.object_name = "ledger-protected",
+                                            .expected_size = MiB(4),
+                                            .typical_request = KiB(256),
+                                            .redundancy = true,
+                                            .min_agents = 5,
+                                            .max_agents = 5});
+  auto plain_file = cluster.CreateFile({.object_name = "ledger-plain",
+                                        .expected_size = MiB(4),
+                                        .typical_request = KiB(256),
+                                        .redundancy = false,
+                                        .min_agents = 5,
+                                        .max_agents = 5});
+  if (!protected_file.ok() || !plain_file.ok()) {
+    std::fprintf(stderr, "setup failed\n");
+    return 1;
+  }
+
+  std::vector<uint8_t> ledger = MakePayload(MiB(2), 1);
+  (void)(*protected_file)->PWrite(0, ledger);
+  (void)(*plain_file)->PWrite(0, ledger);
+  std::printf("wrote %s to both objects across 5 agents\n", FormatBytes(ledger.size()).c_str());
+
+  // --- the crash -------------------------------------------------------------
+  std::printf("\n*** storage agent 2 crashes ***\n");
+  cluster.transport(2)->set_crashed(true);
+
+  std::vector<uint8_t> recovered(ledger.size());
+  auto n = (*protected_file)->PRead(0, recovered);
+  std::printf("protected read:  %s, %s; failed columns:",
+              n.ok() ? "OK" : n.status().ToString().c_str(),
+              recovered == ledger ? "byte-exact via parity reconstruction" : "MISMATCH");
+  for (uint32_t c : (*protected_file)->failed_columns()) {
+    std::printf(" %u", c);
+  }
+  std::printf("\n");
+
+  auto plain_read = (*plain_file)->PRead(0, recovered);
+  std::printf("plain read:      %s (no redundancy, as expected)\n",
+              plain_read.ok() ? "unexpectedly OK" : plain_read.status().ToString().c_str());
+
+  // --- degraded writes ---------------------------------------------------------
+  std::vector<uint8_t> update = MakePayload(KiB(300), 2);
+  auto wrote = (*protected_file)->PWrite(KiB(100), update);
+  std::printf("\ndegraded write of %s at offset 100 KiB: %s\n", FormatBytes(update.size()).c_str(),
+              wrote.ok() ? "OK (updates to the dead agent land in parity)"
+                         : wrote.status().ToString().c_str());
+  std::copy(update.begin(), update.end(), ledger.begin() + KiB(100));
+  (void)(*protected_file)->PRead(0, recovered);
+  std::printf("reread after degraded write: %s\n",
+              recovered == ledger ? "byte-exact" : "MISMATCH");
+
+  // --- second failure ----------------------------------------------------------
+  std::printf("\n*** storage agent 4 crashes too ***\n");
+  cluster.transport(4)->set_crashed(true);
+  auto second = (*protected_file)->PRead(0, recovered);
+  std::printf("protected read now: %s (single parity survives exactly one failure per group)\n",
+              second.ok() ? "unexpectedly OK" : second.status().ToString().c_str());
+
+  const bool success = n.ok() && recovered != std::vector<uint8_t>() && !plain_read.ok() &&
+                       wrote.ok() && !second.ok();
+  std::printf("\n%s\n", success ? "failure lifecycle behaved as designed."
+                                : "UNEXPECTED behaviour — see above.");
+  return success ? 0 : 1;
+}

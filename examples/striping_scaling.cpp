@@ -1,0 +1,67 @@
+// Striping scaling: the paper's central claim, as a table.
+//
+// "The data-rate of our prototype scales almost linearly in the number of
+// servers and the number of network segments" (§1). This example runs the
+// calibrated 1991 hardware model across agent counts and segment counts and
+// prints the achievable read/write data-rates, annotated with the binding
+// resource — the paper's §4/§4.1 analysis reproduced as one screen of
+// output.
+//
+//   ./examples/striping_scaling
+
+#include <cstdio>
+
+#include "src/sim/prototype_model.h"
+#include "src/util/units.h"
+
+int main() {
+  using namespace swift;
+
+  std::printf("Swift prototype model: 10 Mb/s Ethernet segments, Sun-SLC agents,\n");
+  std::printf("Sparcstation-2 client, 6 MB transfers (the paper's middle column).\n\n");
+  std::printf("%8s %8s | %10s %10s | %s\n", "segments", "agents", "read KB/s", "write KB/s",
+              "segment-0 utilization (reads)");
+  std::printf("---------------------------------------------------------------------\n");
+
+  double read_1seg_3agents = 0;
+  double write_1seg_3agents = 0;
+  double read_2seg = 0;
+  double write_2seg = 0;
+
+  for (uint32_t segments = 1; segments <= 2; ++segments) {
+    for (uint32_t agents_per_segment : {1u, 2u, 3u, 4u}) {
+      SwiftPrototypeModel model(DefaultPrototypeConfig(),
+                                PrototypeTopology{segments, agents_per_segment});
+      const double read = model.MeasureReadRate(MiB(6), 3);
+      const double util = model.last_segment0_utilization();
+      const double write = model.MeasureWriteRate(MiB(6), 3);
+      std::printf("%8u %8u | %10.0f %10.0f | %4.0f%%\n", segments,
+                  segments * agents_per_segment, read, write, util * 100);
+      if (segments == 1 && agents_per_segment == 3) {
+        read_1seg_3agents = read;
+        write_1seg_3agents = write;
+      }
+      if (segments == 2 && agents_per_segment == 3) {
+        read_2seg = read;
+        write_2seg = write;
+      }
+    }
+  }
+
+  std::printf("\nwhat binds where (the paper's analysis):\n");
+  std::printf("  1 segment, 1-2 agents : the agents (too few disks to fill the wire)\n");
+  std::printf("  1 segment, 3+ agents  : the Ethernet (~77-80%% utilized; a 4th agent\n");
+  std::printf("                          mostly just saturates it)\n");
+  std::printf("  2 segments, writes    : the wires again -> x%.2f scaling\n",
+              write_2seg / write_1seg_3agents);
+  std::printf("  2 segments, reads     : the client's receive path -> only x%.2f\n",
+              read_2seg / read_1seg_3agents);
+  std::printf("\nSwift vs the era's alternatives (6 MB transfers):\n");
+  std::printf("  local SCSI disk:  ~670 read / ~315 write KB/s  (Table 2)\n");
+  std::printf("  NFS file server:  ~460 read / ~110 write KB/s  (Table 3)\n");
+  std::printf("  Swift, 1 segment: ~%3.0f read / ~%3.0f write KB/s  (Table 1)\n",
+              read_1seg_3agents, write_1seg_3agents);
+  std::printf("  Swift, 2 segments:~%4.0f read / ~%4.0f write KB/s (Table 4)\n", read_2seg,
+              write_2seg);
+  return 0;
+}

@@ -1,0 +1,211 @@
+#include "src/agent/backing_store.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+namespace swift {
+
+// ------------------------------------------------------ InMemoryBackingStore
+
+bool InMemoryBackingStore::Exists(const std::string& object_name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return files_.count(object_name) > 0;
+}
+
+Status InMemoryBackingStore::Ensure(const std::string& object_name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  files_.try_emplace(object_name);
+  return OkStatus();
+}
+
+Result<std::vector<uint8_t>> InMemoryBackingStore::ReadAt(const std::string& object_name,
+                                                          uint64_t offset, uint64_t length) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = files_.find(object_name);
+  if (it == files_.end()) {
+    return NotFoundError("no store file '" + object_name + "'");
+  }
+  std::vector<uint8_t> out(length, 0);
+  const std::vector<uint8_t>& file = it->second;
+  if (offset < file.size()) {
+    const uint64_t available = std::min<uint64_t>(length, file.size() - offset);
+    std::memcpy(out.data(), file.data() + offset, available);
+  }
+  return out;
+}
+
+Status InMemoryBackingStore::WriteAt(const std::string& object_name, uint64_t offset,
+                                     std::span<const uint8_t> data) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = files_.find(object_name);
+  if (it == files_.end()) {
+    return NotFoundError("no store file '" + object_name + "'");
+  }
+  std::vector<uint8_t>& file = it->second;
+  if (offset + data.size() > file.size()) {
+    file.resize(offset + data.size(), 0);
+  }
+  std::memcpy(file.data() + offset, data.data(), data.size());
+  return OkStatus();
+}
+
+Result<uint64_t> InMemoryBackingStore::Size(const std::string& object_name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = files_.find(object_name);
+  if (it == files_.end()) {
+    return NotFoundError("no store file '" + object_name + "'");
+  }
+  return static_cast<uint64_t>(it->second.size());
+}
+
+Status InMemoryBackingStore::Truncate(const std::string& object_name, uint64_t size) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = files_.find(object_name);
+  if (it == files_.end()) {
+    return NotFoundError("no store file '" + object_name + "'");
+  }
+  it->second.resize(size, 0);
+  return OkStatus();
+}
+
+Status InMemoryBackingStore::Remove(const std::string& object_name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (files_.erase(object_name) == 0) {
+    return NotFoundError("no store file '" + object_name + "'");
+  }
+  return OkStatus();
+}
+
+uint64_t InMemoryBackingStore::TotalBytes() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t total = 0;
+  for (const auto& [name, file] : files_) {
+    total += file.size();
+  }
+  return total;
+}
+
+// -------------------------------------------------------- PosixBackingStore
+
+PosixBackingStore::PosixBackingStore(std::string root) : root_(std::move(root)) {
+  if (!root_.empty() && root_.back() == '/') {
+    root_.pop_back();
+  }
+}
+
+Result<std::string> PosixBackingStore::PathFor(const std::string& object_name) const {
+  if (object_name.empty() || object_name.find('/') != std::string::npos ||
+      object_name == "." || object_name == "..") {
+    return InvalidArgumentError("object name not usable as a file name: '" + object_name + "'");
+  }
+  return root_ + "/" + object_name;
+}
+
+bool PosixBackingStore::Exists(const std::string& object_name) {
+  auto path = PathFor(object_name);
+  if (!path.ok()) {
+    return false;
+  }
+  struct stat st;
+  return ::stat(path->c_str(), &st) == 0;
+}
+
+Status PosixBackingStore::Ensure(const std::string& object_name) {
+  SWIFT_ASSIGN_OR_RETURN(std::string path, PathFor(object_name));
+  std::lock_guard<std::mutex> lock(mutex_);
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT, 0644);
+  if (fd < 0) {
+    return IoError("open('" + path + "'): " + std::strerror(errno));
+  }
+  ::close(fd);
+  return OkStatus();
+}
+
+Result<std::vector<uint8_t>> PosixBackingStore::ReadAt(const std::string& object_name,
+                                                       uint64_t offset, uint64_t length) {
+  SWIFT_ASSIGN_OR_RETURN(std::string path, PathFor(object_name));
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return errno == ENOENT ? NotFoundError("no store file '" + object_name + "'")
+                           : IoError("open('" + path + "'): " + std::strerror(errno));
+  }
+  std::vector<uint8_t> out(length, 0);
+  uint64_t done = 0;
+  while (done < length) {
+    const ssize_t n = ::pread(fd, out.data() + done, length - done,
+                              static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      ::close(fd);
+      return IoError("pread('" + path + "'): " + std::strerror(errno));
+    }
+    if (n == 0) {
+      break;  // EOF: remainder stays zero-filled
+    }
+    done += static_cast<uint64_t>(n);
+  }
+  ::close(fd);
+  return out;
+}
+
+Status PosixBackingStore::WriteAt(const std::string& object_name, uint64_t offset,
+                                  std::span<const uint8_t> data) {
+  SWIFT_ASSIGN_OR_RETURN(std::string path, PathFor(object_name));
+  const int fd = ::open(path.c_str(), O_WRONLY);
+  if (fd < 0) {
+    return errno == ENOENT ? NotFoundError("no store file '" + object_name + "'")
+                           : IoError("open('" + path + "'): " + std::strerror(errno));
+  }
+  uint64_t done = 0;
+  while (done < data.size()) {
+    const ssize_t n = ::pwrite(fd, data.data() + done, data.size() - done,
+                               static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      ::close(fd);
+      return IoError("pwrite('" + path + "'): " + std::strerror(errno));
+    }
+    done += static_cast<uint64_t>(n);
+  }
+  ::close(fd);
+  return OkStatus();
+}
+
+Result<uint64_t> PosixBackingStore::Size(const std::string& object_name) {
+  SWIFT_ASSIGN_OR_RETURN(std::string path, PathFor(object_name));
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    return errno == ENOENT ? NotFoundError("no store file '" + object_name + "'")
+                           : IoError("stat('" + path + "'): " + std::strerror(errno));
+  }
+  return static_cast<uint64_t>(st.st_size);
+}
+
+Status PosixBackingStore::Truncate(const std::string& object_name, uint64_t size) {
+  SWIFT_ASSIGN_OR_RETURN(std::string path, PathFor(object_name));
+  if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+    return errno == ENOENT ? NotFoundError("no store file '" + object_name + "'")
+                           : IoError("truncate('" + path + "'): " + std::strerror(errno));
+  }
+  return OkStatus();
+}
+
+Status PosixBackingStore::Remove(const std::string& object_name) {
+  SWIFT_ASSIGN_OR_RETURN(std::string path, PathFor(object_name));
+  if (::unlink(path.c_str()) != 0) {
+    return errno == ENOENT ? NotFoundError("no store file '" + object_name + "'")
+                           : IoError("unlink('" + path + "'): " + std::strerror(errno));
+  }
+  return OkStatus();
+}
+
+}  // namespace swift

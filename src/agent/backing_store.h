@@ -1,0 +1,93 @@
+// Backing stores for storage agents.
+//
+// A storage agent persists one file per Swift object ("storage agents are
+// represented by Unix processes on servers which use the standard Unix file
+// system", §3). `BackingStore` abstracts that: the in-memory store backs
+// deterministic tests and simulations; the POSIX store writes real files
+// under a root directory, as the prototype's agents did.
+//
+// Reads zero-fill past the stored end (see AgentTransport's contract); holes
+// created by sparse writes read back as zeros.
+
+#ifndef SWIFT_SRC_AGENT_BACKING_STORE_H_
+#define SWIFT_SRC_AGENT_BACKING_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace swift {
+
+class BackingStore {
+ public:
+  virtual ~BackingStore() = default;
+
+  // True if a file for `object_name` exists.
+  virtual bool Exists(const std::string& object_name) = 0;
+  // Creates an empty file (no-op if it exists).
+  virtual Status Ensure(const std::string& object_name) = 0;
+  // Reads exactly `length` bytes at `offset`, zero-filled past EOF.
+  virtual Result<std::vector<uint8_t>> ReadAt(const std::string& object_name, uint64_t offset,
+                                              uint64_t length) = 0;
+  // Writes `data` at `offset`, extending the file (holes read as zeros).
+  virtual Status WriteAt(const std::string& object_name, uint64_t offset,
+                         std::span<const uint8_t> data) = 0;
+  virtual Result<uint64_t> Size(const std::string& object_name) = 0;
+  virtual Status Truncate(const std::string& object_name, uint64_t size) = 0;
+  virtual Status Remove(const std::string& object_name) = 0;
+};
+
+// Heap-backed store for tests and simulation.
+class InMemoryBackingStore : public BackingStore {
+ public:
+  bool Exists(const std::string& object_name) override;
+  Status Ensure(const std::string& object_name) override;
+  Result<std::vector<uint8_t>> ReadAt(const std::string& object_name, uint64_t offset,
+                                      uint64_t length) override;
+  Status WriteAt(const std::string& object_name, uint64_t offset,
+                 std::span<const uint8_t> data) override;
+  Result<uint64_t> Size(const std::string& object_name) override;
+  Status Truncate(const std::string& object_name, uint64_t size) override;
+  Status Remove(const std::string& object_name) override;
+
+  // Total bytes held across files (tests).
+  uint64_t TotalBytes();
+
+ private:
+  std::mutex mutex_;
+  std::map<std::string, std::vector<uint8_t>> files_;
+};
+
+// Files under `root` directory, one per object. Object names are sanitized
+// into file names ('/' is rejected).
+class PosixBackingStore : public BackingStore {
+ public:
+  // `root` must exist and be writable.
+  explicit PosixBackingStore(std::string root);
+
+  bool Exists(const std::string& object_name) override;
+  Status Ensure(const std::string& object_name) override;
+  Result<std::vector<uint8_t>> ReadAt(const std::string& object_name, uint64_t offset,
+                                      uint64_t length) override;
+  Status WriteAt(const std::string& object_name, uint64_t offset,
+                 std::span<const uint8_t> data) override;
+  Result<uint64_t> Size(const std::string& object_name) override;
+  Status Truncate(const std::string& object_name, uint64_t size) override;
+  Status Remove(const std::string& object_name) override;
+
+ private:
+  Result<std::string> PathFor(const std::string& object_name) const;
+
+  std::string root_;
+  std::mutex mutex_;
+};
+
+}  // namespace swift
+
+#endif  // SWIFT_SRC_AGENT_BACKING_STORE_H_

@@ -1,0 +1,58 @@
+#include "src/agent/local_cluster.h"
+
+#include <sys/stat.h>
+
+#include "src/util/logging.h"
+
+namespace swift {
+
+LocalSwiftCluster::LocalSwiftCluster(const Options& options)
+    : mediator_(options.mediator_options) {
+  SWIFT_CHECK(options.num_agents >= 1);
+  for (uint32_t i = 0; i < options.num_agents; ++i) {
+    if (options.storage_root.empty()) {
+      stores_.push_back(std::make_unique<InMemoryBackingStore>());
+    } else {
+      const std::string agent_dir = options.storage_root + "/agent" + std::to_string(i);
+      ::mkdir(options.storage_root.c_str(), 0755);
+      SWIFT_CHECK(::mkdir(agent_dir.c_str(), 0755) == 0 || errno == EEXIST)
+          << "cannot create " << agent_dir;
+      stores_.push_back(std::make_unique<PosixBackingStore>(agent_dir));
+    }
+    agents_.push_back(std::make_unique<StorageAgentCore>(stores_.back().get()));
+    transports_.push_back(std::make_unique<InProcTransport>(agents_.back().get()));
+    const uint32_t id = mediator_.RegisterAgent(
+        AgentCapacity{options.agent_data_rate, options.agent_storage});
+    SWIFT_CHECK(id == i) << "registry ids must be dense";
+  }
+}
+
+std::vector<AgentTransport*> LocalSwiftCluster::TransportsFor(
+    const std::vector<uint32_t>& agent_ids) {
+  std::vector<AgentTransport*> transports;
+  transports.reserve(agent_ids.size());
+  for (uint32_t id : agent_ids) {
+    SWIFT_CHECK(id < transports_.size()) << "unknown agent id " << id;
+    transports.push_back(transports_[id].get());
+  }
+  return transports;
+}
+
+Result<std::unique_ptr<SwiftFile>> LocalSwiftCluster::CreateFile(
+    const StorageMediator::SessionRequest& request) {
+  SWIFT_ASSIGN_OR_RETURN(TransferPlan plan, mediator_.OpenSession(request));
+  auto file = SwiftFile::Create(plan, TransportsFor(plan.agent_ids), &directory_);
+  if (!file.ok()) {
+    (void)mediator_.CloseSession(plan.session_id);
+    return file.status();
+  }
+  last_plan_ = plan;
+  return file;
+}
+
+Result<std::unique_ptr<SwiftFile>> LocalSwiftCluster::OpenFile(const std::string& name) {
+  SWIFT_ASSIGN_OR_RETURN(ObjectMetadata metadata, directory_.Lookup(name));
+  return SwiftFile::Open(name, TransportsFor(metadata.agent_ids), &directory_);
+}
+
+}  // namespace swift

@@ -1,0 +1,301 @@
+#include "src/agent/udp_agent_server.h"
+
+#include "src/proto/packetizer.h"
+#include "src/util/logging.h"
+
+namespace swift {
+
+namespace {
+
+// Session threads poll with a short timeout so Stop() is prompt even if the
+// wake datagram races.
+constexpr int kSessionPollMs = 200;
+
+Message ErrorReply(const Message& request, const Status& status) {
+  Message reply;
+  reply.type = MessageType::kError;
+  reply.handle = request.handle;
+  reply.request_id = request.request_id;
+  reply.status_code = static_cast<uint32_t>(status.code());
+  return reply;
+}
+
+}  // namespace
+
+UdpAgentServer::UdpAgentServer(StorageAgentCore* core, Options options)
+    : core_(core), options_(options) {}
+
+UdpAgentServer::~UdpAgentServer() { Stop(); }
+
+Status UdpAgentServer::Start() {
+  SWIFT_RETURN_IF_ERROR(primary_socket_.BindLoopback(options_.port));
+  if (options_.loss_probability > 0) {
+    primary_socket_.SetLossProbability(options_.loss_probability, options_.loss_seed);
+  }
+  port_ = primary_socket_.local_port();
+  running_.store(true, std::memory_order_release);
+  primary_thread_ = std::thread([this] { PrimaryLoop(); });
+  SWIFT_LOG(INFO) << "storage agent listening on udp port " << port_;
+  return OkStatus();
+}
+
+void UdpAgentServer::Stop() {
+  if (!running_.exchange(false)) {
+    return;
+  }
+  primary_socket_.Shutdown();
+  if (primary_thread_.joinable()) {
+    primary_thread_.join();
+  }
+  std::vector<std::unique_ptr<Session>> sessions;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    sessions = std::move(sessions_);
+    sessions_.clear();
+  }
+  for (auto& session : sessions) {
+    session->socket->Shutdown();
+    if (session->thread.joinable()) {
+      session->thread.join();
+    }
+  }
+}
+
+size_t UdpAgentServer::active_session_count() {
+  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  return sessions_.size();
+}
+
+Status UdpAgentServer::SendMessage(UdpSocket& socket, const UdpEndpoint& to,
+                                   const Message& message) {
+  return socket.SendTo(to, message.Encode());
+}
+
+void UdpAgentServer::PrimaryLoop() {
+  while (running_.load(std::memory_order_acquire)) {
+    auto received = primary_socket_.RecvFrom(kSessionPollMs);
+    if (!received.ok()) {
+      if (received.code() == StatusCode::kTimedOut) {
+        continue;
+      }
+      break;  // socket shut down
+    }
+    auto message = Message::Decode(received->data);
+    if (!message.ok()) {
+      continue;  // corrupted or stray datagram: behave as if lost
+    }
+    if (message->type == MessageType::kOpen) {
+      HandleOpen(*message, received->from);
+    } else if (message->type == MessageType::kRemove) {
+      Message reply;
+      reply.request_id = message->request_id;
+      Status status = core_->Remove(message->object_name);
+      if (status.ok()) {
+        reply.type = MessageType::kRemoveAck;
+      } else {
+        reply.type = MessageType::kError;
+        reply.status_code = static_cast<uint32_t>(status.code());
+      }
+      (void)SendMessage(primary_socket_, received->from, reply);
+    }
+  }
+}
+
+void UdpAgentServer::HandleOpen(const Message& request, const UdpEndpoint& client) {
+  Message reply;
+  reply.type = MessageType::kOpenReply;
+  reply.request_id = request.request_id;
+
+  auto opened = core_->Open(request.object_name, request.open_flags);
+  if (!opened.ok()) {
+    reply.status_code = static_cast<uint32_t>(opened.code());
+    (void)SendMessage(primary_socket_, client, reply);
+    return;
+  }
+
+  // Private port + dedicated thread for this file (§3.1).
+  auto session = std::make_unique<Session>();
+  session->socket = std::make_unique<UdpSocket>();
+  Status bind_status = session->socket->BindLoopback(0);
+  if (!bind_status.ok()) {
+    (void)core_->Close(opened->handle);
+    reply.status_code = static_cast<uint32_t>(bind_status.code());
+    (void)SendMessage(primary_socket_, client, reply);
+    return;
+  }
+  if (options_.loss_probability > 0) {
+    session->socket->SetLossProbability(options_.loss_probability,
+                                        options_.loss_seed * 31 + opened->handle);
+  }
+
+  reply.status_code = 0;
+  reply.handle = opened->handle;
+  reply.data_port = session->socket->local_port();
+  reply.size = opened->size;
+
+  UdpSocket* socket = session->socket.get();
+  const uint32_t handle = opened->handle;
+  session->thread = std::thread([this, socket, handle] { SessionLoop(socket, handle); });
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    sessions_.push_back(std::move(session));
+  }
+  (void)SendMessage(primary_socket_, client, reply);
+}
+
+void UdpAgentServer::SessionLoop(UdpSocket* socket, uint32_t handle) {
+  // In-progress write requests on this file, keyed by request id.
+  struct PendingWrite {
+    std::unique_ptr<Reassembler> reassembler;
+    uint64_t offset = 0;
+    bool committed = false;
+  };
+  std::map<uint32_t, PendingWrite> writes;
+
+  auto commit_if_complete = [&](uint32_t request_id, PendingWrite& pending,
+                                const UdpEndpoint& client) {
+    if (!pending.reassembler->complete() || pending.committed) {
+      return;
+    }
+    Status status = core_->Write(handle, pending.offset, pending.reassembler->data());
+    Message reply;
+    reply.handle = handle;
+    reply.request_id = request_id;
+    if (status.ok()) {
+      pending.committed = true;
+      reply.type = MessageType::kWriteAck;
+    } else {
+      reply.type = MessageType::kError;
+      reply.status_code = static_cast<uint32_t>(status.code());
+    }
+    (void)SendMessage(*socket, client, reply);
+  };
+
+  while (running_.load(std::memory_order_acquire)) {
+    auto received = socket->RecvFrom(kSessionPollMs);
+    if (!received.ok()) {
+      if (received.code() == StatusCode::kTimedOut) {
+        continue;
+      }
+      break;
+    }
+    auto decoded = Message::Decode(received->data);
+    if (!decoded.ok()) {
+      continue;  // treat as lost
+    }
+    const Message& m = *decoded;
+    const UdpEndpoint& client = received->from;
+
+    switch (m.type) {
+      case MessageType::kReadReq: {
+        // One DATA packet per request, served immediately.
+        auto data = core_->Read(handle, m.offset, m.read_length);
+        if (!data.ok()) {
+          (void)SendMessage(*socket, client, ErrorReply(m, data.status()));
+          break;
+        }
+        Message reply;
+        reply.type = MessageType::kData;
+        reply.handle = handle;
+        reply.request_id = m.request_id;
+        reply.seq = m.seq;
+        reply.total = m.total;
+        reply.offset = m.offset;
+        reply.payload = std::move(*data);
+        (void)SendMessage(*socket, client, reply);
+        break;
+      }
+      case MessageType::kWriteReq: {
+        auto it = writes.find(m.request_id);
+        if (it == writes.end()) {
+          PendingWrite pending;
+          pending.offset = m.offset;
+          pending.reassembler =
+              std::make_unique<Reassembler>(m.request_id, m.offset, m.read_length, m.total);
+          it = writes.emplace(m.request_id, std::move(pending)).first;
+        }
+        if (m.window == 1) {  // query
+          if (it->second.reassembler->complete()) {
+            commit_if_complete(m.request_id, it->second, client);
+            if (it->second.committed) {
+              Message ack;
+              ack.type = MessageType::kWriteAck;
+              ack.handle = handle;
+              ack.request_id = m.request_id;
+              (void)SendMessage(*socket, client, ack);
+            }
+          } else {
+            Message nack;
+            nack.type = MessageType::kWriteNack;
+            nack.handle = handle;
+            nack.request_id = m.request_id;
+            nack.missing_seqs = it->second.reassembler->MissingSeqs();
+            (void)SendMessage(*socket, client, nack);
+          }
+        }
+        break;
+      }
+      case MessageType::kWriteData: {
+        auto it = writes.find(m.request_id);
+        if (it == writes.end()) {
+          break;  // data before announce: client's query will resynchronize
+        }
+        if (it->second.reassembler->Accept(m).ok()) {
+          commit_if_complete(m.request_id, it->second, client);
+        }
+        // Bound session memory: drop committed requests once a newer request
+        // id appears (duplicated ACKs are regenerated from the query path).
+        if (writes.size() > 8) {
+          for (auto drop = writes.begin(); drop != writes.end();) {
+            if (drop->second.committed && drop->first != m.request_id) {
+              drop = writes.erase(drop);
+            } else {
+              ++drop;
+            }
+          }
+        }
+        break;
+      }
+      case MessageType::kStat: {
+        auto size = core_->Stat(handle);
+        if (!size.ok()) {
+          (void)SendMessage(*socket, client, ErrorReply(m, size.status()));
+          break;
+        }
+        Message reply;
+        reply.type = MessageType::kStatReply;
+        reply.handle = handle;
+        reply.request_id = m.request_id;
+        reply.size = *size;
+        (void)SendMessage(*socket, client, reply);
+        break;
+      }
+      case MessageType::kTruncate: {
+        Status status = core_->Truncate(handle, m.size);
+        if (!status.ok()) {
+          (void)SendMessage(*socket, client, ErrorReply(m, status));
+          break;
+        }
+        Message reply;
+        reply.type = MessageType::kTruncateAck;
+        reply.handle = handle;
+        reply.request_id = m.request_id;
+        (void)SendMessage(*socket, client, reply);
+        break;
+      }
+      case MessageType::kClose: {
+        Message reply;
+        reply.type = MessageType::kCloseAck;
+        reply.handle = handle;
+        reply.request_id = m.request_id;
+        (void)SendMessage(*socket, client, reply);
+        (void)core_->Close(handle);
+        return;  // extinguish this thread; the port dies with the session
+      }
+      default:
+        break;
+    }
+  }
+}
+
+}  // namespace swift

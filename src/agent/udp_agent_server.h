@@ -1,0 +1,87 @@
+// The real-socket storage agent: the paper's §3.1 server, faithfully.
+//
+// "Each Swift storage agent waits for open requests on a well-known ip
+//  port. When an open request is received, a new (secondary) thread of
+//  control is established along with a private port for further
+//  communication about that file with the client. This thread remains
+//  active and the communications channel remains open until the file is
+//  closed by the client; the primary thread always continues to await new
+//  open requests."
+//
+// Session behaviour:
+//   * READ_REQ → one DATA packet per request; "the storage agents fulfilled
+//     the packet requests as soon as they were received". No agent-side read
+//     state: the client re-requests lost packets.
+//   * WRITE_REQ (announce) sets up reassembly for a burst of WRITE_DATA
+//     packets; on completion the agent writes to its backing store and sends
+//     WRITE_ACK. WRITE_REQ (query) answers WRITE_ACK if complete, else
+//     WRITE_NACK listing the missing packets — "each storage agent checks
+//     the packets it receives against the packets it was expecting and
+//     either acknowledges receipt of all packets or sends requests for
+//     packets lost."
+//   * CLOSE → CLOSE_ACK; "the storage agents release the ports and
+//     extinguish the threads dedicated to handling requests on that file."
+
+#ifndef SWIFT_SRC_AGENT_UDP_AGENT_SERVER_H_
+#define SWIFT_SRC_AGENT_UDP_AGENT_SERVER_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/agent/storage_agent.h"
+#include "src/agent/udp_socket.h"
+#include "src/proto/message.h"
+
+namespace swift {
+
+class UdpAgentServer {
+ public:
+  struct Options {
+    // 0 = kernel-assigned (tests); kDefaultAgentPort for a deployment.
+    uint16_t port = 0;
+    // Outgoing loss injection for recovery tests.
+    double loss_probability = 0;
+    uint64_t loss_seed = 1;
+  };
+
+  // Serves `core` (not owned) until Stop()/destruction.
+  UdpAgentServer(StorageAgentCore* core, Options options);
+  ~UdpAgentServer();
+
+  // Binds the well-known port and starts the primary thread.
+  Status Start();
+  // Stops all threads and closes all ports. Idempotent.
+  void Stop();
+
+  uint16_t port() const { return port_; }
+  size_t active_session_count();
+
+ private:
+  struct Session {
+    std::unique_ptr<UdpSocket> socket;
+    std::thread thread;
+  };
+
+  void PrimaryLoop();
+  void SessionLoop(UdpSocket* socket, uint32_t handle);
+  void HandleOpen(const Message& request, const UdpEndpoint& client);
+  Status SendMessage(UdpSocket& socket, const UdpEndpoint& to, const Message& message);
+
+  StorageAgentCore* core_;
+  Options options_;
+  UdpSocket primary_socket_;
+  uint16_t port_ = 0;
+  std::thread primary_thread_;
+  std::atomic<bool> running_{false};
+
+  std::mutex sessions_mutex_;
+  std::vector<std::unique_ptr<Session>> sessions_;
+};
+
+}  // namespace swift
+
+#endif  // SWIFT_SRC_AGENT_UDP_AGENT_SERVER_H_

@@ -1,0 +1,159 @@
+#include "src/agent/udp_socket.h"
+
+#include <arpa/inet.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace swift {
+
+namespace {
+constexpr uint32_t kLoopbackHost = 0x7F000001;
+// Largest encoded message: header+fields (<128) + 8 KiB payload.
+constexpr size_t kMaxDatagram = 16 * 1024;
+}  // namespace
+
+sockaddr_in UdpEndpoint::ToSockaddr() const {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(ipv4_host);
+  addr.sin_port = htons(port);
+  return addr;
+}
+
+UdpEndpoint UdpEndpoint::FromSockaddr(const sockaddr_in& addr) {
+  return UdpEndpoint{ntohl(addr.sin_addr.s_addr), ntohs(addr.sin_port)};
+}
+
+UdpEndpoint UdpEndpoint::Loopback(uint16_t port) { return UdpEndpoint{kLoopbackHost, port}; }
+
+UdpSocket::~UdpSocket() { CloseFd(); }
+
+UdpSocket::UdpSocket(UdpSocket&& other) noexcept
+    : fd_(other.fd_),
+      local_port_(other.local_port_),
+      loss_probability_(other.loss_probability_),
+      loss_rng_(std::move(other.loss_rng_)) {
+  other.fd_ = -1;
+  other.local_port_ = 0;
+}
+
+UdpSocket& UdpSocket::operator=(UdpSocket&& other) noexcept {
+  if (this != &other) {
+    CloseFd();
+    fd_ = other.fd_;
+    local_port_ = other.local_port_;
+    loss_probability_ = other.loss_probability_;
+    loss_rng_ = std::move(other.loss_rng_);
+    other.fd_ = -1;
+    other.local_port_ = 0;
+  }
+  return *this;
+}
+
+void UdpSocket::CloseFd() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status UdpSocket::BindLoopback(uint16_t port) {
+  CloseFd();
+  fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd_ < 0) {
+    return IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  // Generous buffers: a striped write bursts many 8 KiB datagrams — the very
+  // SunOS limitation §3.1 fought ("we often ran out of buffer space").
+  const int kBufferBytes = 1 << 20;
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &kBufferBytes, sizeof(kBufferBytes));
+  ::setsockopt(fd_, SOL_SOCKET, SO_SNDBUF, &kBufferBytes, sizeof(kBufferBytes));
+
+  sockaddr_in addr = UdpEndpoint::Loopback(port).ToSockaddr();
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status status = IoError(std::string("bind: ") + std::strerror(errno));
+    CloseFd();
+    return status;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    Status status = IoError(std::string("getsockname: ") + std::strerror(errno));
+    CloseFd();
+    return status;
+  }
+  local_port_ = ntohs(addr.sin_port);
+  return OkStatus();
+}
+
+Status UdpSocket::SendTo(const UdpEndpoint& dst, std::span<const uint8_t> data) {
+  if (fd_ < 0) {
+    return UnavailableError("socket closed");
+  }
+  ++datagrams_sent_;
+  if (loss_probability_ > 0 && loss_rng_.has_value() &&
+      loss_rng_->Bernoulli(loss_probability_)) {
+    ++datagrams_dropped_;
+    return OkStatus();  // silently "lost on the wire"
+  }
+  sockaddr_in addr = dst.ToSockaddr();
+  const ssize_t n = ::sendto(fd_, data.data(), data.size(), 0,
+                             reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (n < 0) {
+    return IoError(std::string("sendto: ") + std::strerror(errno));
+  }
+  if (static_cast<size_t>(n) != data.size()) {
+    return IoError("short sendto");
+  }
+  return OkStatus();
+}
+
+Result<UdpSocket::ReceivedDatagram> UdpSocket::RecvFrom(int timeout_ms) {
+  if (fd_ < 0 || shutdown_.load(std::memory_order_acquire)) {
+    return UnavailableError("socket closed");
+  }
+  pollfd pfd{fd_, POLLIN, 0};
+  const int ready = ::poll(&pfd, 1, timeout_ms);
+  if (ready < 0) {
+    return IoError(std::string("poll: ") + std::strerror(errno));
+  }
+  if (ready == 0) {
+    return TimedOutError("no datagram within the timeout");
+  }
+  ReceivedDatagram out;
+  out.data.resize(kMaxDatagram);
+  sockaddr_in addr{};
+  socklen_t addr_len = sizeof(addr);
+  const ssize_t n = ::recvfrom(fd_, out.data.data(), out.data.size(), 0,
+                               reinterpret_cast<sockaddr*>(&addr), &addr_len);
+  if (n < 0) {
+    return UnavailableError(std::string("recvfrom: ") + std::strerror(errno));
+  }
+  if (shutdown_.load(std::memory_order_acquire)) {
+    return UnavailableError("socket shut down");
+  }
+  out.data.resize(static_cast<size_t>(n));
+  out.from = UdpEndpoint::FromSockaddr(addr);
+  return out;
+}
+
+void UdpSocket::Shutdown() {
+  // shutdown(2) does not wake pollers on unconnected UDP sockets; instead
+  // set the poison flag and kick the socket with a self-addressed datagram.
+  shutdown_.store(true, std::memory_order_release);
+  if (fd_ >= 0 && local_port_ != 0) {
+    sockaddr_in self = UdpEndpoint::Loopback(local_port_).ToSockaddr();
+    uint8_t wake = 0;
+    (void)::sendto(fd_, &wake, 1, 0, reinterpret_cast<sockaddr*>(&self), sizeof(self));
+  }
+}
+
+void UdpSocket::SetLossProbability(double p, uint64_t seed) {
+  loss_probability_ = p;
+  loss_rng_.emplace(seed);
+}
+
+}  // namespace swift

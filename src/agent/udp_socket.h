@@ -1,0 +1,83 @@
+// Thin RAII wrapper over a POSIX UDP socket, plus optional deterministic
+// packet-loss injection.
+//
+// The prototype's protocol rides UDP ("the current prototype was built using
+// a light-weight data transfer protocol on top of the udp network
+// protocol", §3); every loss-recovery path in the transport exists because
+// datagrams may vanish. `loss_probability` drops outgoing datagrams with a
+// seeded RNG so the recovery machinery is testable without a flaky network.
+
+#ifndef SWIFT_SRC_AGENT_UDP_SOCKET_H_
+#define SWIFT_SRC_AGENT_UDP_SOCKET_H_
+
+#include <netinet/in.h>
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace swift {
+
+struct UdpEndpoint {
+  uint32_t ipv4_host = 0;  // host byte order; loopback = 0x7F000001
+  uint16_t port = 0;       // host byte order
+
+  sockaddr_in ToSockaddr() const;
+  static UdpEndpoint FromSockaddr(const sockaddr_in& addr);
+  static UdpEndpoint Loopback(uint16_t port);
+};
+
+class UdpSocket {
+ public:
+  UdpSocket() = default;
+  ~UdpSocket();
+  UdpSocket(const UdpSocket&) = delete;
+  UdpSocket& operator=(const UdpSocket&) = delete;
+  UdpSocket(UdpSocket&& other) noexcept;
+  UdpSocket& operator=(UdpSocket&& other) noexcept;
+
+  // Creates and binds to 127.0.0.1:`port` (0 = kernel-assigned). On success
+  // local_port() reports the actual port.
+  Status BindLoopback(uint16_t port = 0);
+
+  bool valid() const { return fd_ >= 0; }
+  uint16_t local_port() const { return local_port_; }
+
+  // Sends one datagram (dropped silently with loss_probability).
+  Status SendTo(const UdpEndpoint& dst, std::span<const uint8_t> data);
+
+  struct ReceivedDatagram {
+    std::vector<uint8_t> data;
+    UdpEndpoint from;
+  };
+  // Waits up to `timeout_ms` (<0 = forever) for a datagram. Returns
+  // kTimedOut on timeout, kUnavailable when the socket was shut down.
+  Result<ReceivedDatagram> RecvFrom(int timeout_ms);
+
+  // Unblocks any RecvFrom and poisons the socket (thread-safe; used to stop
+  // server threads).
+  void Shutdown();
+
+  // Fraction of outgoing datagrams to drop (testing).
+  void SetLossProbability(double p, uint64_t seed);
+
+ private:
+  void CloseFd();
+
+  int fd_ = -1;
+  uint16_t local_port_ = 0;
+  std::atomic<bool> shutdown_{false};
+  double loss_probability_ = 0;
+  std::optional<Rng> loss_rng_;
+  uint64_t datagrams_sent_ = 0;
+  uint64_t datagrams_dropped_ = 0;
+};
+
+}  // namespace swift
+
+#endif  // SWIFT_SRC_AGENT_UDP_SOCKET_H_

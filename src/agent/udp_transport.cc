@@ -1,0 +1,327 @@
+#include "src/agent/udp_transport.h"
+
+#include <algorithm>
+#include <chrono>
+#include <set>
+
+#include "src/proto/packetizer.h"
+#include "src/util/logging.h"
+
+namespace swift {
+
+namespace {
+
+Status StatusFromWire(uint32_t code, const std::string& context) {
+  if (code == 0) {
+    return OkStatus();
+  }
+  return Status(static_cast<StatusCode>(code), "agent error during " + context);
+}
+
+}  // namespace
+
+UdpTransport::UdpTransport(uint16_t agent_port, Options options)
+    : agent_port_(agent_port), options_(options) {}
+
+UdpTransport::~UdpTransport() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sessions_.clear();
+}
+
+void UdpTransport::ConfigureLoss(UdpSocket& socket) {
+  if (options_.loss_probability > 0) {
+    socket.SetLossProbability(options_.loss_probability, options_.loss_seed++);
+  }
+}
+
+Result<UdpTransport::Session*> UdpTransport::SessionFor(uint32_t handle) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sessions_.find(handle);
+  if (it == sessions_.end()) {
+    return NotFoundError("no open session for handle " + std::to_string(handle));
+  }
+  return it->second.get();
+}
+
+Status UdpTransport::RequestReply(Session& session, const Message& request,
+                                  std::initializer_list<MessageType> want_types,
+                                  Message* reply) {
+  const std::vector<uint8_t> wire = request.Encode();
+  int timeout_ms = options_.initial_timeout_ms;
+  for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
+    if (attempt > 0) {
+      ++retransmissions_;
+    }
+    ++datagrams_sent_;
+    SWIFT_RETURN_IF_ERROR(session.socket.SendTo(session.agent, wire));
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+    for (;;) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) {
+        break;
+      }
+      const int remaining_ms = static_cast<int>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now).count() + 1);
+      auto received = session.socket.RecvFrom(remaining_ms);
+      if (!received.ok()) {
+        if (received.code() == StatusCode::kTimedOut) {
+          break;
+        }
+        return received.status();
+      }
+      auto decoded = Message::Decode(received->data);
+      if (!decoded.ok() || decoded->request_id != request.request_id) {
+        continue;  // stale or corrupt: keep waiting
+      }
+      if (decoded->type == MessageType::kError) {
+        return StatusFromWire(decoded->status_code, MessageTypeName(request.type));
+      }
+      for (MessageType want : want_types) {
+        if (decoded->type == want) {
+          *reply = std::move(*decoded);
+          return OkStatus();
+        }
+      }
+    }
+    timeout_ms = std::min(timeout_ms * 2, options_.max_timeout_ms);
+  }
+  return UnavailableError("storage agent unreachable (no reply to " +
+                          std::string(MessageTypeName(request.type)) + ")");
+}
+
+Result<AgentOpenResult> UdpTransport::Open(const std::string& object_name, uint32_t flags) {
+  auto session = std::make_unique<Session>();
+  SWIFT_RETURN_IF_ERROR(session->socket.BindLoopback(0));
+  ConfigureLoss(session->socket);
+  // Speak to the well-known port first; the reply carries the private port.
+  session->agent = UdpEndpoint::Loopback(agent_port_);
+
+  Message open;
+  open.type = MessageType::kOpen;
+  open.request_id = NextRequestId();
+  open.object_name = object_name;
+  open.open_flags = flags;
+
+  Message reply;
+  SWIFT_RETURN_IF_ERROR(RequestReply(*session, open, {MessageType::kOpenReply}, &reply));
+  SWIFT_RETURN_IF_ERROR(StatusFromWire(reply.status_code, "OPEN"));
+
+  AgentOpenResult result;
+  result.handle = reply.handle;
+  result.size = reply.size;
+  session->agent = UdpEndpoint::Loopback(reply.data_port);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    sessions_[result.handle] = std::move(session);
+  }
+  return result;
+}
+
+Result<std::vector<uint8_t>> UdpTransport::Read(uint32_t handle, uint64_t offset,
+                                                uint64_t length) {
+  SWIFT_ASSIGN_OR_RETURN(Session * session, SessionFor(handle));
+  if (length == 0) {
+    return std::vector<uint8_t>();
+  }
+  const uint32_t total = PacketCountFor(length);
+  if (total > UINT16_MAX) {
+    return InvalidArgumentError("read too large for one request");
+  }
+  const uint32_t request_id = NextRequestId();
+  Reassembler reassembler(request_id, offset, length, total);
+
+  auto request_for = [&](uint32_t seq) {
+    Message m;
+    m.type = MessageType::kReadReq;
+    m.handle = handle;
+    m.request_id = request_id;
+    m.seq = static_cast<uint16_t>(seq);
+    m.total = static_cast<uint16_t>(total);
+    m.offset = offset + static_cast<uint64_t>(seq) * kMaxPacketPayload;
+    m.read_length = static_cast<uint32_t>(
+        std::min<uint64_t>(kMaxPacketPayload, length - static_cast<uint64_t>(seq) * kMaxPacketPayload));
+    m.window = static_cast<uint16_t>(options_.read_window);
+    return m;
+  };
+
+  std::set<uint32_t> outstanding;
+  uint32_t next_seq = 0;
+  int consecutive_timeouts = 0;
+  int timeout_ms = options_.initial_timeout_ms;
+
+  while (!reassembler.complete()) {
+    // Keep the window full: "the client maintain[s] only one outstanding
+    // packet request per storage agent" in the calibrated prototype; more
+    // with a modern kernel.
+    while (outstanding.size() < options_.read_window && next_seq < total) {
+      ++datagrams_sent_;
+      SWIFT_RETURN_IF_ERROR(session->socket.SendTo(session->agent, request_for(next_seq).Encode()));
+      outstanding.insert(next_seq);
+      ++next_seq;
+    }
+    auto received = session->socket.RecvFrom(timeout_ms);
+    if (!received.ok()) {
+      if (received.code() != StatusCode::kTimedOut) {
+        return received.status();
+      }
+      if (++consecutive_timeouts > options_.max_retries) {
+        return UnavailableError("storage agent unreachable during read");
+      }
+      // Resubmit every outstanding packet request.
+      for (uint32_t seq : outstanding) {
+        ++retransmissions_;
+        ++datagrams_sent_;
+        SWIFT_RETURN_IF_ERROR(session->socket.SendTo(session->agent, request_for(seq).Encode()));
+      }
+      timeout_ms = std::min(timeout_ms * 2, options_.max_timeout_ms);
+      continue;
+    }
+    auto decoded = Message::Decode(received->data);
+    if (!decoded.ok() || decoded->request_id != request_id) {
+      continue;  // stale reply from an earlier request
+    }
+    if (decoded->type == MessageType::kError) {
+      return StatusFromWire(decoded->status_code, "READ");
+    }
+    if (decoded->type != MessageType::kData) {
+      continue;
+    }
+    consecutive_timeouts = 0;
+    timeout_ms = options_.initial_timeout_ms;
+    if (reassembler.Accept(*decoded).ok()) {
+      outstanding.erase(decoded->seq);
+    }
+  }
+  return reassembler.TakeData();
+}
+
+Status UdpTransport::Write(uint32_t handle, uint64_t offset, std::span<const uint8_t> data) {
+  SWIFT_ASSIGN_OR_RETURN(Session * session, SessionFor(handle));
+  if (data.empty()) {
+    return OkStatus();
+  }
+  const uint32_t request_id = NextRequestId();
+  std::vector<Message> packets =
+      SplitIntoPackets(MessageType::kWriteData, handle, request_id, offset, data);
+
+  Message announce;
+  announce.type = MessageType::kWriteReq;
+  announce.handle = handle;
+  announce.request_id = request_id;
+  announce.offset = offset;
+  announce.read_length = static_cast<uint32_t>(data.size());
+  announce.total = static_cast<uint16_t>(packets.size());
+  announce.window = 0;
+
+  Message query = announce;
+  query.window = 1;
+
+  // Stream the announce and every data packet — "the client sends out the
+  // data to be written as fast as it can" (§3.1).
+  ++datagrams_sent_;
+  SWIFT_RETURN_IF_ERROR(session->socket.SendTo(session->agent, announce.Encode()));
+  for (const Message& packet : packets) {
+    ++datagrams_sent_;
+    SWIFT_RETURN_IF_ERROR(session->socket.SendTo(session->agent, packet.Encode()));
+  }
+
+  int consecutive_timeouts = 0;
+  int timeout_ms = options_.initial_timeout_ms;
+  for (;;) {
+    auto received = session->socket.RecvFrom(timeout_ms);
+    if (!received.ok()) {
+      if (received.code() != StatusCode::kTimedOut) {
+        return received.status();
+      }
+      if (++consecutive_timeouts > options_.max_retries) {
+        return UnavailableError("storage agent unreachable during write");
+      }
+      // Ask where we stand; the agent answers ACK or NACK(missing).
+      ++retransmissions_;
+      ++datagrams_sent_;
+      SWIFT_RETURN_IF_ERROR(session->socket.SendTo(session->agent, query.Encode()));
+      timeout_ms = std::min(timeout_ms * 2, options_.max_timeout_ms);
+      continue;
+    }
+    auto decoded = Message::Decode(received->data);
+    if (!decoded.ok() || decoded->request_id != request_id) {
+      continue;
+    }
+    switch (decoded->type) {
+      case MessageType::kWriteAck:
+        return OkStatus();
+      case MessageType::kWriteNack: {
+        consecutive_timeouts = 0;
+        for (uint16_t seq : decoded->missing_seqs) {
+          if (seq < packets.size()) {
+            ++retransmissions_;
+            ++datagrams_sent_;
+            SWIFT_RETURN_IF_ERROR(session->socket.SendTo(session->agent, packets[seq].Encode()));
+          }
+        }
+        // Query again so a complete request gets acknowledged promptly.
+        ++datagrams_sent_;
+        SWIFT_RETURN_IF_ERROR(session->socket.SendTo(session->agent, query.Encode()));
+        break;
+      }
+      case MessageType::kError:
+        return StatusFromWire(decoded->status_code, "WRITE");
+      default:
+        break;
+    }
+  }
+}
+
+Status UdpTransport::Remove(const std::string& object_name) {
+  // Object-scoped like Open: a transient socket speaking to the well-known
+  // port, no session.
+  Session session;
+  SWIFT_RETURN_IF_ERROR(session.socket.BindLoopback(0));
+  ConfigureLoss(session.socket);
+  session.agent = UdpEndpoint::Loopback(agent_port_);
+  Message request;
+  request.type = MessageType::kRemove;
+  request.request_id = NextRequestId();
+  request.object_name = object_name;
+  Message reply;
+  return RequestReply(session, request, {MessageType::kRemoveAck}, &reply);
+}
+
+Result<uint64_t> UdpTransport::Stat(uint32_t handle) {
+  SWIFT_ASSIGN_OR_RETURN(Session * session, SessionFor(handle));
+  Message request;
+  request.type = MessageType::kStat;
+  request.handle = handle;
+  request.request_id = NextRequestId();
+  Message reply;
+  SWIFT_RETURN_IF_ERROR(RequestReply(*session, request, {MessageType::kStatReply}, &reply));
+  return reply.size;
+}
+
+Status UdpTransport::Truncate(uint32_t handle, uint64_t size) {
+  SWIFT_ASSIGN_OR_RETURN(Session * session, SessionFor(handle));
+  Message request;
+  request.type = MessageType::kTruncate;
+  request.handle = handle;
+  request.request_id = NextRequestId();
+  request.size = size;
+  Message reply;
+  return RequestReply(*session, request, {MessageType::kTruncateAck}, &reply);
+}
+
+Status UdpTransport::Close(uint32_t handle) {
+  SWIFT_ASSIGN_OR_RETURN(Session * session, SessionFor(handle));
+  Message request;
+  request.type = MessageType::kClose;
+  request.handle = handle;
+  request.request_id = NextRequestId();
+  Message reply;
+  Status status = RequestReply(*session, request, {MessageType::kCloseAck}, &reply);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    sessions_.erase(handle);
+  }
+  return status;
+}
+
+}  // namespace swift

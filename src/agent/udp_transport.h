@@ -1,0 +1,89 @@
+// Client-side UDP transport: the distribution agent's connection to one
+// real storage agent over the paper's light-weight protocol.
+//
+// Read strategy (§3.1): the client requests data one packet at a time and
+// keeps "sufficient state to determine what packets have been received and
+// thus can resubmit requests when packets are lost" — no acknowledgements.
+// `read_window` controls how many packet requests are outstanding at once;
+// the 1991 prototype was forced to 1 by SunOS buffer-space limits, and the
+// ablation bench measures what that cost them.
+//
+// Write strategy: announce with WRITE_REQ, stream every WRITE_DATA packet,
+// then query; the agent ACKs a complete request or NACKs the missing seqs,
+// which are resent. Retries use exponential backoff; a dead agent surfaces
+// as kUnavailable after the retry budget, which is what lets SwiftFile's
+// parity machinery take over — identical failure semantics to the in-proc
+// transport.
+
+#ifndef SWIFT_SRC_AGENT_UDP_TRANSPORT_H_
+#define SWIFT_SRC_AGENT_UDP_TRANSPORT_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "src/agent/udp_socket.h"
+#include "src/core/agent_transport.h"
+#include "src/proto/message.h"
+
+namespace swift {
+
+class UdpTransport : public AgentTransport {
+ public:
+  struct Options {
+    // Packet requests outstanding per read (1 = the paper's stop-and-wait).
+    uint32_t read_window = 4;
+    // First retry timeout; doubles per retry up to max_timeout_ms.
+    int initial_timeout_ms = 40;
+    int max_timeout_ms = 320;
+    // Attempts before declaring the agent unavailable.
+    int max_retries = 6;
+    // Outgoing loss injection (testing).
+    double loss_probability = 0;
+    uint64_t loss_seed = 99;
+  };
+
+  // Connects to the agent's well-known port on loopback.
+  UdpTransport(uint16_t agent_port, Options options);
+  ~UdpTransport() override;
+
+  Result<AgentOpenResult> Open(const std::string& object_name, uint32_t flags) override;
+  Status Write(uint32_t handle, uint64_t offset, std::span<const uint8_t> data) override;
+  Result<std::vector<uint8_t>> Read(uint32_t handle, uint64_t offset, uint64_t length) override;
+  Result<uint64_t> Stat(uint32_t handle) override;
+  Status Truncate(uint32_t handle, uint64_t size) override;
+  Status Close(uint32_t handle) override;
+  Status Remove(const std::string& object_name) override;
+
+  // --- statistics -----------------------------------------------------------
+  uint64_t datagrams_sent() const { return datagrams_sent_; }
+  uint64_t retransmissions() const { return retransmissions_; }
+
+ private:
+  struct Session {
+    UdpSocket socket;        // client-side socket for this open file
+    UdpEndpoint agent;       // the agent's private data port
+  };
+
+  // Sends `request` and waits for a reply matching `want_types`/request id,
+  // retrying with backoff. Fills `reply`.
+  Status RequestReply(Session& session, const Message& request,
+                      std::initializer_list<MessageType> want_types, Message* reply);
+
+  Result<Session*> SessionFor(uint32_t handle);
+  uint32_t NextRequestId() { return next_request_id_++; }
+  void ConfigureLoss(UdpSocket& socket);
+
+  uint16_t agent_port_;
+  Options options_;
+  std::mutex mutex_;
+  std::map<uint32_t, std::unique_ptr<Session>> sessions_;
+  uint32_t next_request_id_ = 1;
+  uint64_t datagrams_sent_ = 0;
+  uint64_t retransmissions_ = 0;
+};
+
+}  // namespace swift
+
+#endif  // SWIFT_SRC_AGENT_UDP_TRANSPORT_H_

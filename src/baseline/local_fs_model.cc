@@ -1,0 +1,62 @@
+#include "src/baseline/local_fs_model.h"
+
+#include "src/util/rng.h"
+
+namespace swift {
+
+double LocalFsModel::MeasureReadRate(uint64_t bytes, uint64_t seed) const {
+  Rng rng(seed);
+  const uint64_t blocks = (bytes + config_.block_bytes - 1) / config_.block_bytes;
+  const SimTime transfer = TransferTime(config_.block_bytes, config_.media_rate);
+  SimTime total = 0;
+  for (uint64_t b = 0; b < blocks; ++b) {
+    SimTime overhead = static_cast<SimTime>(
+        rng.Uniform(static_cast<double>(config_.read_overhead_mean - config_.read_overhead_spread),
+                    static_cast<double>(config_.read_overhead_mean + config_.read_overhead_spread)));
+    SimTime block_time = transfer + overhead;
+    if (config_.async_scsi_mode) {
+      // Asynchronous SCSI under SunOS 4.1: each block also eats a missed
+      // revolution on average, halving the observed rate (§4 footnote 2).
+      block_time += transfer + overhead;
+    }
+    total += block_time;
+  }
+  return ToKiBPerSecond(static_cast<double>(bytes) / ToSecondsF(total));
+}
+
+double LocalFsModel::MeasureWriteRate(uint64_t bytes, uint64_t seed) const {
+  Rng rng(seed);
+  const uint64_t blocks = (bytes + config_.block_bytes - 1) / config_.block_bytes;
+  const SimTime transfer = TransferTime(config_.block_bytes, config_.media_rate);
+  SimTime total = 0;
+  for (uint64_t b = 0; b < blocks; ++b) {
+    const SimTime seek =
+        static_cast<SimTime>(rng.Uniform(0, 2.0 * static_cast<double>(config_.write_seek_mean)));
+    const SimTime rotation = static_cast<SimTime>(
+        rng.Uniform(0, 2.0 * static_cast<double>(config_.write_rotation_mean)));
+    total += seek + rotation + transfer + config_.write_overhead;
+    if (config_.metadata_interval_blocks > 0 &&
+        (b + 1) % config_.metadata_interval_blocks == 0) {
+      total += config_.metadata_update_cost;
+    }
+  }
+  return ToKiBPerSecond(static_cast<double>(bytes) / ToSecondsF(total));
+}
+
+SampleStats LocalFsModel::SampleRead(uint64_t bytes, uint64_t base_seed) const {
+  SampleStats stats;
+  for (int s = 0; s < 8; ++s) {
+    stats.Add(MeasureReadRate(bytes, base_seed + static_cast<uint64_t>(s) * 7919));
+  }
+  return stats;
+}
+
+SampleStats LocalFsModel::SampleWrite(uint64_t bytes, uint64_t base_seed) const {
+  SampleStats stats;
+  for (int s = 0; s < 8; ++s) {
+    stats.Add(MeasureWriteRate(bytes, base_seed + static_cast<uint64_t>(s) * 7919));
+  }
+  return stats;
+}
+
+}  // namespace swift

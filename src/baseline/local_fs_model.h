@@ -1,0 +1,78 @@
+// Baseline 1: the local SCSI disk through the Unix file system (Table 2).
+//
+// The paper measures cold-cache sequential reads and synchronous writes of
+// 3/6/9 MB files on a Sun 4/20's 104 MB SCSI disk under SunOS 4.1.1. This
+// model reproduces the per-block cost structure:
+//
+//   read (synchronous-mode SCSI, UFS read-ahead, cold cache):
+//     media transfer + per-block file-system/driver overhead
+//   write (synchronous):
+//     positioning (short seek + rotation) + media transfer + driver
+//     overhead, plus a periodic full-positioning metadata (inode/indirect
+//     block) update
+//
+// Sequential single-process I/O has no contention, so the "simulation" is
+// an exact sample-by-sample accumulation of block service times — the same
+// distributions an event engine would draw, without the queueing machinery
+// it would never exercise.
+//
+// The SunOS 4.1 vs 4.1.1 distinction matters: 4.1 lacked synchronous-mode
+// SCSI and read at roughly half the rate (§4, footnote 2); `async_scsi_mode`
+// models that for the ablation bench.
+
+#ifndef SWIFT_SRC_BASELINE_LOCAL_FS_MODEL_H_
+#define SWIFT_SRC_BASELINE_LOCAL_FS_MODEL_H_
+
+#include "src/disk/disk_model.h"
+#include "src/util/stats.h"
+#include "src/util/units.h"
+
+namespace swift {
+
+struct LocalFsConfig {
+  // The Sun SLC's local drive.
+  double media_rate = MBPerSecondDecimal(1.3);
+  uint64_t block_bytes = KiB(8);
+
+  // Read path: per-block overhead beyond the media transfer (SCSI command,
+  // interrupt, buffer-cache copy, read-ahead misses). Mean/half-width of a
+  // uniform distribution. Calibrated to Table 2's ~654-682 KB/s.
+  SimTime read_overhead_mean = Microseconds(5900);
+  SimTime read_overhead_spread = Microseconds(900);
+  // SunOS 4.1 async-SCSI mode halves the effective read rate (§4).
+  bool async_scsi_mode = false;
+
+  // Write path (synchronous): a short seek (sequential allocation keeps the
+  // arm near), half-revolution rotational delay on average, media transfer,
+  // driver overhead. Calibrated to Table 2's ~314-316 KB/s.
+  SimTime write_seek_mean = Microseconds(7000);
+  SimTime write_rotation_mean = Microseconds(8300);
+  SimTime write_overhead = Microseconds(2000);
+  // Every `metadata_interval_blocks`, UFS also updates metadata with a full
+  // positioning cycle.
+  uint32_t metadata_interval_blocks = 16;
+  SimTime metadata_update_cost = Microseconds(24000);
+};
+
+class LocalFsModel {
+ public:
+  explicit LocalFsModel(LocalFsConfig config) : config_(config) {}
+
+  // One cold-cache sequential measurement; returns KB/s (KiB, as the paper
+  // reports).
+  double MeasureReadRate(uint64_t bytes, uint64_t seed) const;
+  double MeasureWriteRate(uint64_t bytes, uint64_t seed) const;
+
+  // Eight-sample runs matching the paper's methodology.
+  SampleStats SampleRead(uint64_t bytes, uint64_t base_seed = 1) const;
+  SampleStats SampleWrite(uint64_t bytes, uint64_t base_seed = 1) const;
+
+  const LocalFsConfig& config() const { return config_; }
+
+ private:
+  LocalFsConfig config_;
+};
+
+}  // namespace swift
+
+#endif  // SWIFT_SRC_BASELINE_LOCAL_FS_MODEL_H_

@@ -1,0 +1,64 @@
+#include "src/baseline/nfs_model.h"
+
+#include "src/util/rng.h"
+
+namespace swift {
+
+double NfsModel::MeasureReadRate(uint64_t bytes, uint64_t seed) const {
+  Rng rng(seed);
+  const uint64_t blocks = (bytes + config_.block_bytes - 1) / config_.block_bytes;
+  SimTime total = 0;
+  for (uint64_t b = 0; b < blocks; ++b) {
+    const SimTime server_disk = static_cast<SimTime>(rng.Uniform(
+        static_cast<double>(config_.server_read_mean - config_.server_read_spread),
+        static_cast<double>(config_.server_read_mean + config_.server_read_spread)));
+    total += config_.client_request_cost + WireInflated(config_.small_wire_time) +
+             config_.server_cpu_cost + server_disk + WireInflated(config_.data_wire_time) +
+             config_.client_receive_cost;
+  }
+  return ToKiBPerSecond(static_cast<double>(bytes) / ToSecondsF(total));
+}
+
+double NfsModel::MeasureWriteRate(uint64_t bytes, uint64_t seed) const {
+  Rng rng(seed);
+  const uint64_t blocks = (bytes + config_.block_bytes - 1) / config_.block_bytes;
+  SimTime total = 0;
+  for (uint64_t b = 0; b < blocks; ++b) {
+    // Client sends the 8 KiB block; the RPC returns only after the server's
+    // synchronous writes complete (write-through).
+    SimTime server = config_.server_cpu_cost;
+    const SimTime data_seek = static_cast<SimTime>(
+        rng.Uniform(0, 2.0 * static_cast<double>(config_.data_write_seek_mean)));
+    const SimTime data_rotation =
+        static_cast<SimTime>(rng.Uniform(0, 2.0 * static_cast<double>(config_.rotation_mean)));
+    server += data_seek + data_rotation + config_.media_transfer;
+    for (uint32_t m = 0; m < config_.metadata_writes_per_block; ++m) {
+      const SimTime meta_seek = static_cast<SimTime>(
+          rng.Uniform(0, 2.0 * static_cast<double>(config_.metadata_seek_mean)));
+      const SimTime meta_rotation =
+          static_cast<SimTime>(rng.Uniform(0, 2.0 * static_cast<double>(config_.rotation_mean)));
+      server += meta_seek + meta_rotation;
+    }
+    total += config_.client_request_cost + WireInflated(config_.data_wire_time) + server +
+             WireInflated(config_.small_wire_time) + config_.client_receive_cost;
+  }
+  return ToKiBPerSecond(static_cast<double>(bytes) / ToSecondsF(total));
+}
+
+SampleStats NfsModel::SampleRead(uint64_t bytes, uint64_t base_seed) const {
+  SampleStats stats;
+  for (int s = 0; s < 8; ++s) {
+    stats.Add(MeasureReadRate(bytes, base_seed + static_cast<uint64_t>(s) * 104729));
+  }
+  return stats;
+}
+
+SampleStats NfsModel::SampleWrite(uint64_t bytes, uint64_t base_seed) const {
+  SampleStats stats;
+  for (int s = 0; s < 8; ++s) {
+    stats.Add(MeasureWriteRate(bytes, base_seed + static_cast<uint64_t>(s) * 104729));
+  }
+  return stats;
+}
+
+}  // namespace swift

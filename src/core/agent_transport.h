@@ -1,0 +1,72 @@
+// The distribution agent's view of one storage agent.
+//
+// `AgentTransport` is the seam between the striping core and the transports
+// it can run over: the in-process transport (deterministic tests, fault
+// injection), the real UDP transport implementing the paper's light-weight
+// protocol (src/agent/udp_transport.h), or anything else. One transport
+// instance corresponds to one storage agent; the distribution agent holds a
+// vector of them in stripe-column order.
+//
+// Semantics:
+//   * Calls are synchronous; the distribution agent provides parallelism by
+//     fanning calls out across agents on threads. Implementations must
+//     therefore be safe to call from one thread at a time per instance
+//     (calls to *different* instances may be concurrent).
+//   * Read returns exactly `length` bytes, zero-filling past the stored end
+//     of the agent file. Stripe units are conceptually zero-extended — this
+//     keeps parity arithmetic uniform; true object size lives in the object
+//     directory.
+//   * A storage-agent crash surfaces as kUnavailable; the striping layer
+//     then reconstructs through parity.
+
+#ifndef SWIFT_SRC_CORE_AGENT_TRANSPORT_H_
+#define SWIFT_SRC_CORE_AGENT_TRANSPORT_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace swift {
+
+struct AgentOpenResult {
+  // Agent-local handle quoted on every subsequent call.
+  uint32_t handle = 0;
+  // Current size of the agent's backing file for this object.
+  uint64_t size = 0;
+};
+
+class AgentTransport {
+ public:
+  virtual ~AgentTransport() = default;
+
+  // Opens (optionally creating/truncating) this agent's backing file for
+  // `object_name`. Flags are kOpenCreate / kOpenTruncate from proto.
+  virtual Result<AgentOpenResult> Open(const std::string& object_name, uint32_t flags) = 0;
+
+  // Writes `data` at `offset` in the agent file, extending it as needed.
+  virtual Status Write(uint32_t handle, uint64_t offset, std::span<const uint8_t> data) = 0;
+
+  // Reads exactly `length` bytes at `offset`, zero-filled past EOF.
+  virtual Result<std::vector<uint8_t>> Read(uint32_t handle, uint64_t offset,
+                                            uint64_t length) = 0;
+
+  // Stored size of the agent file.
+  virtual Result<uint64_t> Stat(uint32_t handle) = 0;
+
+  // Sets the agent file's size.
+  virtual Status Truncate(uint32_t handle, uint64_t size) = 0;
+
+  // Releases the handle (and, on the wire, the session port and thread).
+  virtual Status Close(uint32_t handle) = 0;
+
+  // Deletes this agent's backing file for `object_name` (no handle: removal
+  // is object-scoped, like Open).
+  virtual Status Remove(const std::string& object_name) = 0;
+};
+
+}  // namespace swift
+
+#endif  // SWIFT_SRC_CORE_AGENT_TRANSPORT_H_

@@ -1,0 +1,53 @@
+#include "src/core/distribution_agent.h"
+
+#include <thread>
+
+#include "src/util/logging.h"
+
+namespace swift {
+
+DistributionAgent::DistributionAgent(std::vector<AgentTransport*> transports)
+    : transports_(std::move(transports)) {
+  SWIFT_CHECK(!transports_.empty()) << "a distribution agent needs at least one storage agent";
+}
+
+std::vector<Status> DistributionAgent::RunPerAgent(
+    std::vector<std::function<Status()>> jobs) const {
+  SWIFT_CHECK(jobs.size() == transports_.size())
+      << "job vector must match the agent set (" << jobs.size() << " vs " << transports_.size()
+      << ")";
+  std::vector<Status> statuses(jobs.size());
+
+  // Count real jobs; if there is only one, run it inline (common for small
+  // unaligned accesses) and skip thread start-up.
+  size_t job_count = 0;
+  size_t last_job = 0;
+  for (size_t c = 0; c < jobs.size(); ++c) {
+    if (jobs[c]) {
+      ++job_count;
+      last_job = c;
+    }
+  }
+  if (job_count == 0) {
+    return statuses;
+  }
+  if (job_count == 1) {
+    statuses[last_job] = jobs[last_job]();
+    return statuses;
+  }
+
+  std::vector<std::thread> workers;
+  workers.reserve(job_count);
+  for (size_t c = 0; c < jobs.size(); ++c) {
+    if (!jobs[c]) {
+      continue;
+    }
+    workers.emplace_back([&statuses, &jobs, c] { statuses[c] = jobs[c](); });
+  }
+  for (std::thread& worker : workers) {
+    worker.join();
+  }
+  return statuses;
+}
+
+}  // namespace swift

@@ -1,0 +1,45 @@
+// The distribution agent: parallel fan-out over storage agents.
+//
+// §2: "the distribution agent stores or retrieves the data at the storage
+// agents following the transfer plan with no further intervention by the
+// storage mediator." This class owns the per-agent transports for one plan
+// and runs per-agent jobs concurrently — the source of Swift's speed is
+// exactly this simultaneity ("the client communicates with each of the
+// storage agents involved in the request so that they can simultaneously
+// perform the I/O operation on the striped file", §3).
+//
+// Concurrency contract: at most one job per column runs at a time (the
+// AgentTransport contract); jobs on different columns run on separate
+// threads.
+
+#ifndef SWIFT_SRC_CORE_DISTRIBUTION_AGENT_H_
+#define SWIFT_SRC_CORE_DISTRIBUTION_AGENT_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/core/agent_transport.h"
+#include "src/util/status.h"
+
+namespace swift {
+
+class DistributionAgent {
+ public:
+  // `transports` in stripe-column order; pointers must outlive this object.
+  explicit DistributionAgent(std::vector<AgentTransport*> transports);
+
+  size_t agent_count() const { return transports_.size(); }
+  AgentTransport* transport(uint32_t column) const { return transports_[column]; }
+
+  // Runs jobs[c] for every column c with a non-empty job, all concurrently,
+  // and returns the per-column statuses (OK for empty slots). `jobs` must
+  // have exactly agent_count() entries.
+  std::vector<Status> RunPerAgent(std::vector<std::function<Status()>> jobs) const;
+
+ private:
+  std::vector<AgentTransport*> transports_;
+};
+
+}  // namespace swift
+
+#endif  // SWIFT_SRC_CORE_DISTRIBUTION_AGENT_H_

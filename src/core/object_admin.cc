@@ -1,0 +1,26 @@
+#include "src/core/object_admin.h"
+
+namespace swift {
+
+Result<RemoveReport> RemoveObject(const std::string& name,
+                                  const std::vector<AgentTransport*>& transports,
+                                  ObjectDirectory* directory) {
+  SWIFT_ASSIGN_OR_RETURN(ObjectMetadata metadata, directory->Lookup(name));
+  if (transports.size() != metadata.stripe.num_agents) {
+    return InvalidArgumentError("transport count does not match the object's stripe width");
+  }
+  RemoveReport report;
+  for (AgentTransport* transport : transports) {
+    Status status = transport->Remove(name);
+    if (status.ok() || status.code() == StatusCode::kNotFound) {
+      // A missing store file counts as cleaned (idempotent removal).
+      ++report.stores_cleaned;
+    } else if (report.first_store_error.ok()) {
+      report.first_store_error = status;
+    }
+  }
+  SWIFT_RETURN_IF_ERROR(directory->Remove(name));
+  return report;
+}
+
+}  // namespace swift

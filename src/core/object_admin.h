@@ -1,0 +1,35 @@
+// Administrative object operations: deletion.
+//
+// Removing a Swift object means removing its directory record and every
+// agent's backing file. Removal is best-effort across agents — a dead agent
+// cannot delete its file now, so the helper reports how many stores were
+// cleaned and surfaces the first error while still attempting the rest
+// (orphan files on a recovered agent are harmless: recreation truncates).
+
+#ifndef SWIFT_SRC_CORE_OBJECT_ADMIN_H_
+#define SWIFT_SRC_CORE_OBJECT_ADMIN_H_
+
+#include <vector>
+
+#include "src/core/agent_transport.h"
+#include "src/core/object_directory.h"
+#include "src/util/status.h"
+
+namespace swift {
+
+struct RemoveReport {
+  uint32_t stores_cleaned = 0;
+  // First per-agent failure, OK if all stores were cleaned. The directory
+  // record is removed regardless (the object is gone either way).
+  Status first_store_error;
+};
+
+// Removes `name` from the directory and deletes its file on every agent in
+// `transports` (stripe-column order, matching the object's metadata).
+Result<RemoveReport> RemoveObject(const std::string& name,
+                                  const std::vector<AgentTransport*>& transports,
+                                  ObjectDirectory* directory);
+
+}  // namespace swift
+
+#endif  // SWIFT_SRC_CORE_OBJECT_ADMIN_H_

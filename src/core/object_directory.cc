@@ -1,0 +1,167 @@
+#include "src/core/object_directory.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace swift {
+
+namespace {
+
+// Record format (one object per line, space-separated):
+//   v1 <name> <num_agents> <stripe_unit> <parity:0|1|2> <size> <agent_count> <id...>
+// Names may not contain whitespace or newlines (enforced at Create).
+constexpr char kRecordTag[] = "v1";
+
+bool ValidName(const std::string& name) {
+  if (name.empty()) {
+    return false;
+  }
+  for (char c : name) {
+    if (c == ' ' || c == '\n' || c == '\r' || c == '\t') {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Status ObjectDirectory::Create(const ObjectMetadata& metadata) {
+  if (!ValidName(metadata.name)) {
+    return InvalidArgumentError("object names must be non-empty and whitespace-free");
+  }
+  SWIFT_RETURN_IF_ERROR(metadata.stripe.Validate());
+  if (metadata.agent_ids.size() != metadata.stripe.num_agents) {
+    return InvalidArgumentError("agent list does not match stripe width");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = objects_.emplace(metadata.name, metadata);
+  (void)it;
+  if (!inserted) {
+    return AlreadyExistsError("object '" + metadata.name + "' already exists");
+  }
+  return OkStatus();
+}
+
+Result<ObjectMetadata> ObjectDirectory::Lookup(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = objects_.find(name);
+  if (it == objects_.end()) {
+    return NotFoundError("no object named '" + name + "'");
+  }
+  return it->second;
+}
+
+bool ObjectDirectory::Exists(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return objects_.count(name) > 0;
+}
+
+Status ObjectDirectory::UpdateSize(const std::string& name, uint64_t size) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = objects_.find(name);
+  if (it == objects_.end()) {
+    return NotFoundError("no object named '" + name + "'");
+  }
+  it->second.size = size;
+  return OkStatus();
+}
+
+Status ObjectDirectory::Remove(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (objects_.erase(name) == 0) {
+    return NotFoundError("no object named '" + name + "'");
+  }
+  return OkStatus();
+}
+
+std::vector<std::string> ObjectDirectory::List() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(objects_.size());
+  for (const auto& [name, metadata] : objects_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+size_t ObjectDirectory::object_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return objects_.size();
+}
+
+Status ObjectDirectory::SaveToFile(const std::string& path) const {
+  std::ostringstream out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [name, m] : objects_) {
+      out << kRecordTag << ' ' << name << ' ' << m.stripe.num_agents << ' '
+          << m.stripe.stripe_unit << ' ' << static_cast<int>(m.stripe.parity) << ' ' << m.size
+          << ' ' << m.agent_ids.size();
+      for (uint32_t id : m.agent_ids) {
+        out << ' ' << id;
+      }
+      out << '\n';
+    }
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return IoError("cannot write directory file '" + path + "'");
+  }
+  const std::string text = out.str();
+  const size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  const int close_result = std::fclose(f);
+  if (written != text.size() || close_result != 0) {
+    return IoError("short write to directory file '" + path + "'");
+  }
+  return OkStatus();
+}
+
+Status ObjectDirectory::LoadFromFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    return IoError("cannot read directory file '" + path + "'");
+  }
+  std::string contents;
+  char buffer[4096];
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    contents.append(buffer, n);
+  }
+  std::fclose(f);
+
+  std::map<std::string, ObjectMetadata> loaded;
+  std::istringstream in(contents);
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) {
+      continue;
+    }
+    std::istringstream fields(line);
+    std::string tag;
+    ObjectMetadata m;
+    int parity = 0;
+    size_t agent_count = 0;
+    fields >> tag >> m.name >> m.stripe.num_agents >> m.stripe.stripe_unit >> parity >> m.size >>
+        agent_count;
+    if (!fields || tag != kRecordTag || parity < 0 || parity > 2) {
+      return IoError("malformed directory record at line " + std::to_string(line_number));
+    }
+    m.stripe.parity = static_cast<ParityMode>(parity);
+    m.agent_ids.resize(agent_count);
+    for (size_t i = 0; i < agent_count; ++i) {
+      fields >> m.agent_ids[i];
+    }
+    if (!fields || m.agent_ids.size() != m.stripe.num_agents || !m.stripe.Validate().ok()) {
+      return IoError("inconsistent directory record at line " + std::to_string(line_number));
+    }
+    loaded[m.name] = std::move(m);
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  objects_ = std::move(loaded);
+  return OkStatus();
+}
+
+}  // namespace swift

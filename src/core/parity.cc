@@ -1,0 +1,50 @@
+#include "src/core/parity.h"
+
+#include "src/util/logging.h"
+
+namespace swift {
+
+void XorInto(std::span<uint8_t> dst, std::span<const uint8_t> src) {
+  SWIFT_CHECK(dst.size() == src.size()) << "XOR size mismatch";
+  // Word-at-a-time where alignment allows; the tail goes byte-wise. The
+  // compiler vectorizes this loop under -O2.
+  size_t i = 0;
+  const size_t words = dst.size() / sizeof(uint64_t);
+  for (size_t w = 0; w < words; ++w, i += sizeof(uint64_t)) {
+    uint64_t d;
+    uint64_t s;
+    __builtin_memcpy(&d, dst.data() + i, sizeof(d));
+    __builtin_memcpy(&s, src.data() + i, sizeof(s));
+    d ^= s;
+    __builtin_memcpy(dst.data() + i, &d, sizeof(d));
+  }
+  for (; i < dst.size(); ++i) {
+    dst[i] ^= src[i];
+  }
+}
+
+std::vector<uint8_t> ComputeParity(std::span<const std::span<const uint8_t>> sources,
+                                   uint64_t unit_size) {
+  std::vector<uint8_t> parity(unit_size, 0);
+  for (std::span<const uint8_t> source : sources) {
+    SWIFT_CHECK(source.size() <= unit_size) << "source larger than the stripe unit";
+    XorInto(std::span<uint8_t>(parity.data(), source.size()), source);
+  }
+  return parity;
+}
+
+std::vector<uint8_t> ReconstructUnit(std::span<const std::span<const uint8_t>> survivors,
+                                     uint64_t unit_size) {
+  return ComputeParity(survivors, unit_size);
+}
+
+void UpdateParity(std::span<uint8_t> parity, uint64_t offset_in_unit,
+                  std::span<const uint8_t> old_data, std::span<const uint8_t> new_data) {
+  SWIFT_CHECK(old_data.size() == new_data.size()) << "old/new data size mismatch";
+  SWIFT_CHECK(offset_in_unit + old_data.size() <= parity.size()) << "update outside parity unit";
+  std::span<uint8_t> window = parity.subspan(offset_in_unit, old_data.size());
+  XorInto(window, old_data);
+  XorInto(window, new_data);
+}
+
+}  // namespace swift

@@ -1,0 +1,43 @@
+// XOR "computed copy" redundancy (§2).
+//
+// Swift stores one parity unit per stripe row: the XOR of the row's data
+// units. Any single lost unit (data or parity) per row is recoverable as the
+// XOR of the survivors — "resiliency in the presence of a single failure
+// (per group) at a low cost in terms of storage but at the expense of some
+// additional computation". These are the kernels; placement lives in
+// StripeLayout and orchestration in SwiftFile.
+
+#ifndef SWIFT_SRC_CORE_PARITY_H_
+#define SWIFT_SRC_CORE_PARITY_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace swift {
+
+// dst ^= src, element-wise. Sizes must match.
+void XorInto(std::span<uint8_t> dst, std::span<const uint8_t> src);
+
+// XOR of all sources. Sources may be shorter than `unit_size` (a partially
+// filled trailing unit); missing bytes count as zero. Returns a buffer of
+// `unit_size` bytes.
+std::vector<uint8_t> ComputeParity(std::span<const std::span<const uint8_t>> sources,
+                                   uint64_t unit_size);
+
+// Rebuilds a lost unit from the surviving units of its row (the other data
+// units plus the parity unit) — identical math to ComputeParity; named
+// separately because call sites read better.
+std::vector<uint8_t> ReconstructUnit(std::span<const std::span<const uint8_t>> survivors,
+                                     uint64_t unit_size);
+
+// Incremental parity update for a partial (read-modify-write) write:
+//   parity' = parity ^ old_data ^ new_data
+// applied at `offset_in_unit` within the parity unit. `old_data` and
+// `new_data` must be the same length.
+void UpdateParity(std::span<uint8_t> parity, uint64_t offset_in_unit,
+                  std::span<const uint8_t> old_data, std::span<const uint8_t> new_data);
+
+}  // namespace swift
+
+#endif  // SWIFT_SRC_CORE_PARITY_H_

@@ -1,0 +1,83 @@
+#include "src/core/rebuild.h"
+
+#include "src/core/parity.h"
+#include "src/core/stripe_layout.h"
+#include "src/proto/message.h"
+
+namespace swift {
+
+Result<RebuildReport> RebuildColumn(const ObjectMetadata& metadata,
+                                    const std::vector<AgentTransport*>& transports,
+                                    uint32_t lost_column) {
+  if (metadata.stripe.parity == ParityMode::kNone) {
+    return InvalidArgumentError("object has no redundancy to rebuild from");
+  }
+  if (transports.size() != metadata.stripe.num_agents) {
+    return InvalidArgumentError("transport count does not match the object's stripe width");
+  }
+  if (lost_column >= metadata.stripe.num_agents) {
+    return InvalidArgumentError("lost column out of range");
+  }
+
+  StripeLayout layout(metadata.stripe);
+  const uint64_t unit = metadata.stripe.stripe_unit;
+  const uint64_t target_bytes = layout.AgentFileSize(lost_column, metadata.size);
+  const uint64_t rows = (target_bytes + unit - 1) / unit;
+
+  // Open every file: survivors read-only semantics (plain open), the
+  // replacement created empty.
+  std::vector<uint32_t> handles(transports.size());
+  for (uint32_t c = 0; c < transports.size(); ++c) {
+    const uint32_t flags = c == lost_column ? (kOpenCreate | kOpenTruncate) : kOpenCreate;
+    auto opened = transports[c]->Open(metadata.name, flags);
+    if (!opened.ok()) {
+      return opened.status();
+    }
+    handles[c] = opened->handle;
+  }
+
+  RebuildReport report;
+  Status status = OkStatus();
+  for (uint64_t row = 0; row < rows && status.ok(); ++row) {
+    const uint64_t row_offset = row * unit;
+    // The last unit of the failed agent's file may be short (a partially
+    // filled trailing data unit); writing the zero-extended reconstruction
+    // and truncating at the end restores the exact size.
+    std::vector<uint8_t> rebuilt(unit, 0);
+    for (uint32_t c = 0; c < transports.size() && status.ok(); ++c) {
+      if (c == lost_column) {
+        continue;
+      }
+      auto data = transports[c]->Read(handles[c], row_offset, unit);
+      if (!data.ok()) {
+        status = data.status();
+        break;
+      }
+      XorInto(rebuilt, *data);
+    }
+    if (!status.ok()) {
+      break;
+    }
+    const uint64_t chunk = std::min(unit, target_bytes - row_offset);
+    status = transports[lost_column]->Write(
+        handles[lost_column], row_offset,
+        std::span<const uint8_t>(rebuilt.data(), chunk));
+    if (status.ok()) {
+      ++report.rows_rebuilt;
+      report.bytes_written += chunk;
+    }
+  }
+  if (status.ok()) {
+    status = transports[lost_column]->Truncate(handles[lost_column], target_bytes);
+  }
+
+  for (uint32_t c = 0; c < transports.size(); ++c) {
+    (void)transports[c]->Close(handles[c]);
+  }
+  if (!status.ok()) {
+    return status;
+  }
+  return report;
+}
+
+}  // namespace swift

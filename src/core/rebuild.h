@@ -1,0 +1,42 @@
+// Rebuilding a failed storage agent onto a replacement.
+//
+// The 1991 paper stops at surviving a failure (reads reconstruct through
+// parity); restoring full redundancy afterwards is the natural next step —
+// "by selectively hardening each of the system components, Swift can
+// achieve arbitrarily high reliability" (§6). `RebuildColumn` regenerates
+// every unit the failed agent held — data units and the parity units the
+// rotation placed there — as the XOR of the surviving columns, and writes
+// them to a replacement agent. Afterwards the object tolerates a fresh
+// single failure.
+//
+// The rebuild streams row by row, so peak memory is one stripe unit per
+// surviving agent regardless of object size.
+
+#ifndef SWIFT_SRC_CORE_REBUILD_H_
+#define SWIFT_SRC_CORE_REBUILD_H_
+
+#include <vector>
+
+#include "src/core/agent_transport.h"
+#include "src/core/object_directory.h"
+#include "src/util/status.h"
+
+namespace swift {
+
+struct RebuildReport {
+  uint64_t rows_rebuilt = 0;
+  uint64_t bytes_written = 0;
+};
+
+// Reconstructs column `lost_column` of `metadata`'s object. `transports` is
+// in stripe-column order; `transports[lost_column]` must be the *replacement*
+// agent (its file is created/truncated), the others must be the healthy
+// survivors. Requires parity; fails with kUnavailable if a survivor is down
+// (two simultaneous failures are unrecoverable with single parity).
+Result<RebuildReport> RebuildColumn(const ObjectMetadata& metadata,
+                                    const std::vector<AgentTransport*>& transports,
+                                    uint32_t lost_column);
+
+}  // namespace swift
+
+#endif  // SWIFT_SRC_CORE_REBUILD_H_

@@ -1,0 +1,179 @@
+#include "src/core/storage_mediator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/logging.h"
+
+namespace swift {
+
+uint32_t StorageMediator::RegisterAgent(const AgentCapacity& capacity) {
+  agents_.push_back(AgentState{capacity, 0, 0, false});
+  return static_cast<uint32_t>(agents_.size() - 1);
+}
+
+Status StorageMediator::RetireAgent(uint32_t agent_id) {
+  if (agent_id >= agents_.size()) {
+    return NotFoundError("no such agent");
+  }
+  agents_[agent_id].retired = true;
+  return OkStatus();
+}
+
+uint64_t StorageMediator::PickStripeUnit(uint64_t typical_request, uint32_t data_agents) const {
+  SWIFT_CHECK(data_agents >= 1);
+  uint64_t target = std::max<uint64_t>(1, typical_request / data_agents);
+  // Round down to a power of two for clean block alignment on the agents.
+  uint64_t unit = options_.min_stripe_unit;
+  while (unit * 2 <= target && unit * 2 <= options_.max_stripe_unit) {
+    unit *= 2;
+  }
+  return std::clamp(unit, options_.min_stripe_unit, options_.max_stripe_unit);
+}
+
+Result<TransferPlan> StorageMediator::OpenSession(const SessionRequest& request) {
+  if (agents_.empty()) {
+    return ResourceExhaustedError("no storage agents registered");
+  }
+  if (request.redundancy && request.max_agents == 1) {
+    return InvalidArgumentError("redundancy needs at least two agents");
+  }
+
+  // Candidate agents: not retired, sorted by current load fraction so new
+  // sessions spread across the installation ("load sharing", §1).
+  std::vector<uint32_t> candidates;
+  for (uint32_t id = 0; id < agents_.size(); ++id) {
+    if (!agents_[id].retired) {
+      candidates.push_back(id);
+    }
+  }
+  if (candidates.empty()) {
+    return ResourceExhaustedError("all storage agents retired");
+  }
+  std::stable_sort(candidates.begin(), candidates.end(), [this](uint32_t a, uint32_t b) {
+    const double load_a = agents_[a].reserved_rate / std::max(agents_[a].capacity.data_rate, 1.0);
+    const double load_b = agents_[b].reserved_rate / std::max(agents_[b].capacity.data_rate, 1.0);
+    return load_a < load_b;
+  });
+
+  // How many data agents does the required rate need? Each agent is asked
+  // for at most load_factor of its rated capacity.
+  uint32_t data_agents = 1;
+  if (request.required_rate > 0) {
+    // Use the weakest candidate's rate as the sizing basis so the plan holds
+    // whichever agents end up selected.
+    double min_rate = agents_[candidates[0]].capacity.data_rate;
+    for (uint32_t id : candidates) {
+      min_rate = std::min(min_rate, agents_[id].capacity.data_rate);
+    }
+    const double usable = min_rate * options_.agent_load_factor;
+    if (usable <= 0) {
+      return ResourceExhaustedError("agents advertise no data-rate capacity");
+    }
+    data_agents = static_cast<uint32_t>(std::ceil(request.required_rate / usable));
+    data_agents = std::max<uint32_t>(data_agents, 1);
+  }
+  uint32_t total_agents = data_agents + (request.redundancy ? 1 : 0);
+  if (request.min_agents > 0) {
+    total_agents = std::max(total_agents, request.min_agents);
+  }
+  if (request.max_agents > 0) {
+    total_agents = std::min(total_agents, request.max_agents);
+  }
+  if (request.redundancy && total_agents < 2) {
+    total_agents = 2;
+  }
+  data_agents = request.redundancy ? total_agents - 1 : total_agents;
+  if (total_agents > candidates.size()) {
+    return ResourceExhaustedError("request needs " + std::to_string(total_agents) +
+                                  " agents, only " + std::to_string(candidates.size()) +
+                                  " available");
+  }
+
+  StripeConfig stripe;
+  stripe.num_agents = total_agents;
+  stripe.parity = request.redundancy ? ParityMode::kRotating : ParityMode::kNone;
+  stripe.stripe_unit = PickStripeUnit(request.typical_request, data_agents);
+  SWIFT_RETURN_IF_ERROR(stripe.Validate());
+
+  // Per-agent reservations. With rotating parity every agent carries an even
+  // share of data + parity traffic.
+  const double per_agent_rate =
+      request.required_rate > 0 ? request.required_rate / data_agents : 0;
+  const uint64_t rows =
+      (request.expected_size + stripe.RowDataBytes() - 1) / std::max<uint64_t>(stripe.RowDataBytes(), 1);
+  const uint64_t per_agent_storage = rows * stripe.stripe_unit;
+
+  // Admission check on the least-loaded `total_agents` candidates.
+  std::vector<uint32_t> chosen(candidates.begin(), candidates.begin() + total_agents);
+  for (uint32_t id : chosen) {
+    const AgentState& agent = agents_[id];
+    const double spare_rate =
+        agent.capacity.data_rate * options_.agent_load_factor - agent.reserved_rate;
+    if (per_agent_rate > 0 && spare_rate < per_agent_rate) {
+      return ResourceExhaustedError("agent " + std::to_string(id) +
+                                    " lacks spare data-rate for the session");
+    }
+    if (agent.capacity.storage_bytes < agent.reserved_storage + per_agent_storage) {
+      return ResourceExhaustedError("agent " + std::to_string(id) +
+                                    " lacks spare storage for the session");
+    }
+  }
+  if (options_.network_capacity > 0 && request.required_rate > 0 &&
+      reserved_network_rate_ + request.required_rate > options_.network_capacity) {
+    return ResourceExhaustedError("interconnect capacity exhausted");
+  }
+
+  // Commit.
+  for (uint32_t id : chosen) {
+    agents_[id].reserved_rate += per_agent_rate;
+    agents_[id].reserved_storage += per_agent_storage;
+  }
+  const double network_rate =
+      options_.network_capacity > 0 ? request.required_rate : 0;
+  reserved_network_rate_ += network_rate;
+
+  TransferPlan plan;
+  plan.session_id = next_session_id_++;
+  plan.object_name = request.object_name;
+  plan.stripe = stripe;
+  plan.agent_ids = chosen;
+  plan.reserved_rate = request.required_rate;
+  plan.expected_size = request.expected_size;
+  sessions_[plan.session_id] =
+      SessionState{chosen, per_agent_rate, per_agent_storage, network_rate};
+  return plan;
+}
+
+Status StorageMediator::CloseSession(uint64_t session_id) {
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) {
+    return NotFoundError("no session " + std::to_string(session_id));
+  }
+  const SessionState& session = it->second;
+  for (uint32_t id : session.agent_ids) {
+    agents_[id].reserved_rate -= session.per_agent_rate;
+    agents_[id].reserved_storage -= session.per_agent_storage;
+  }
+  reserved_network_rate_ -= session.network_rate;
+  sessions_.erase(it);
+  return OkStatus();
+}
+
+double StorageMediator::ReservedRate(uint32_t agent_id) const {
+  SWIFT_CHECK(agent_id < agents_.size());
+  return agents_[agent_id].reserved_rate;
+}
+
+double StorageMediator::AvailableRate(uint32_t agent_id) const {
+  SWIFT_CHECK(agent_id < agents_.size());
+  const AgentState& agent = agents_[agent_id];
+  return agent.capacity.data_rate * options_.agent_load_factor - agent.reserved_rate;
+}
+
+uint64_t StorageMediator::ReservedStorage(uint32_t agent_id) const {
+  SWIFT_CHECK(agent_id < agents_.size());
+  return agents_[agent_id].reserved_storage;
+}
+
+}  // namespace swift

@@ -1,0 +1,124 @@
+// The storage mediator: session admission control and resource reservation.
+//
+// Swift is session-oriented (§2): before any data moves, a client negotiates
+// with a storage mediator, which (a) decides the striping unit and agent set
+// from the client's required data-rate, (b) reserves data-rate and storage
+// capacity on each chosen agent and on the interconnect, and (c) rejects the
+// session outright if the requirements cannot be met ("storage mediators
+// will reject any request with requirements it is unable to satisfy").
+// The mediator is *not* in the data path; it is consulted only at session
+// open and close.
+//
+// Unit-selection policy (§2's rule made concrete): a low required rate gets
+// few agents and a large unit; a high rate gets enough agents that each
+// contributes below its deliverable rate, with the unit sized so a typical
+// client request spans all of them.
+
+#ifndef SWIFT_SRC_CORE_STORAGE_MEDIATOR_H_
+#define SWIFT_SRC_CORE_STORAGE_MEDIATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/core/transfer_plan.h"
+#include "src/util/status.h"
+#include "src/util/units.h"
+
+namespace swift {
+
+// What a storage agent can deliver / hold.
+struct AgentCapacity {
+  // Sustained data-rate this agent can serve (bytes/second).
+  double data_rate = 0;
+  // Backing storage it can dedicate to Swift objects (bytes).
+  uint64_t storage_bytes = 0;
+};
+
+class StorageMediator {
+ public:
+  struct Options {
+    // Capacity of the interconnect available to Swift sessions
+    // (bytes/second). Zero means "not accounted".
+    double network_capacity = 0;
+    // Bounds for the striping unit the policy may pick.
+    uint64_t min_stripe_unit = KiB(4);
+    uint64_t max_stripe_unit = MiB(1);
+    // Headroom factor: an agent is asked for at most this fraction of its
+    // rated capacity, leaving margin for positioning-time variance.
+    double agent_load_factor = 0.9;
+  };
+
+  StorageMediator() : StorageMediator(Options()) {}
+  explicit StorageMediator(Options options) : options_(options) {}
+
+  // Registers a storage agent; returns its registry id (dense from 0).
+  uint32_t RegisterAgent(const AgentCapacity& capacity);
+
+  // Marks an agent unavailable for new sessions (existing reservations
+  // stand; the data path handles the failure via parity).
+  Status RetireAgent(uint32_t agent_id);
+
+  struct SessionRequest {
+    std::string object_name;
+    // Expected object size; sizes the storage reservation.
+    uint64_t expected_size = 0;
+    // Data-rate the client needs (bytes/second). Zero requests best-effort:
+    // one agent's worth of rate, no interconnect reservation.
+    double required_rate = 0;
+    // Typical client request size; guides the striping-unit choice.
+    uint64_t typical_request = MiB(1);
+    // Store XOR parity so any single agent failure is survivable.
+    bool redundancy = false;
+    // Caller-imposed bounds on total agents used (0 = mediator's choice).
+    // min_agents forces extra width (e.g. to spread a scratch file for
+    // later high-rate readers); max_agents caps it.
+    uint32_t min_agents = 0;
+    uint32_t max_agents = 0;
+  };
+
+  // Admits a session and returns its transfer plan, or kResourceExhausted
+  // when agents/network cannot cover the request.
+  Result<TransferPlan> OpenSession(const SessionRequest& request);
+
+  // Releases a session's reservations.
+  Status CloseSession(uint64_t session_id);
+
+  // --- introspection (tests, examples, benches) ---
+  size_t agent_count() const { return agents_.size(); }
+  size_t active_session_count() const { return sessions_.size(); }
+  double ReservedRate(uint32_t agent_id) const;
+  double AvailableRate(uint32_t agent_id) const;
+  uint64_t ReservedStorage(uint32_t agent_id) const;
+  double reserved_network_rate() const { return reserved_network_rate_; }
+
+  // The unit-selection rule, exposed for tests and for the ablation bench:
+  // largest power of two such that a `typical_request` spans all
+  // `data_agents`, clamped to [min,max].
+  uint64_t PickStripeUnit(uint64_t typical_request, uint32_t data_agents) const;
+
+ private:
+  struct AgentState {
+    AgentCapacity capacity;
+    double reserved_rate = 0;
+    uint64_t reserved_storage = 0;
+    bool retired = false;
+  };
+  struct SessionState {
+    std::vector<uint32_t> agent_ids;
+    double per_agent_rate = 0;
+    uint64_t per_agent_storage = 0;
+    double network_rate = 0;
+  };
+
+  Options options_;
+  std::vector<AgentState> agents_;
+  std::map<uint64_t, SessionState> sessions_;
+  uint64_t next_session_id_ = 1;
+  double reserved_network_rate_ = 0;
+};
+
+}  // namespace swift
+
+#endif  // SWIFT_SRC_CORE_STORAGE_MEDIATOR_H_

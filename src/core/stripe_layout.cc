@@ -1,0 +1,150 @@
+#include "src/core/stripe_layout.h"
+
+#include "src/util/logging.h"
+
+namespace swift {
+
+Status StripeConfig::Validate() const {
+  if (stripe_unit == 0) {
+    return InvalidArgumentError("stripe unit must be positive");
+  }
+  if (num_agents == 0) {
+    return InvalidArgumentError("at least one storage agent required");
+  }
+  if (parity != ParityMode::kNone && num_agents < 2) {
+    return InvalidArgumentError("parity requires at least two agents");
+  }
+  return OkStatus();
+}
+
+StripeLayout::StripeLayout(StripeConfig config) : config_(config) {
+  SWIFT_CHECK(config_.Validate().ok()) << "invalid stripe config";
+}
+
+uint64_t StripeLayout::RowOf(uint64_t logical_offset) const {
+  return logical_offset / config_.RowDataBytes();
+}
+
+uint32_t StripeLayout::DataColumnOf(uint64_t logical_offset) const {
+  return static_cast<uint32_t>((logical_offset / config_.stripe_unit) %
+                               config_.DataAgentsPerRow());
+}
+
+uint32_t StripeLayout::ParityAgentOf(uint64_t row) const {
+  switch (config_.parity) {
+    case ParityMode::kNone:
+      SWIFT_CHECK(false) << "no parity agent without parity";
+      return 0;
+    case ParityMode::kFixedAgent:
+      return config_.num_agents - 1;
+    case ParityMode::kRotating:
+      // Left-symmetric rotation: row 0 parks parity on the last agent, each
+      // subsequent row moves it one agent to the left.
+      return static_cast<uint32_t>((config_.num_agents - 1 -
+                                    (row % config_.num_agents) + config_.num_agents) %
+                                   config_.num_agents);
+  }
+  return 0;
+}
+
+uint32_t StripeLayout::DataAgentOf(uint64_t row, uint32_t col) const {
+  SWIFT_CHECK(col < config_.DataAgentsPerRow());
+  if (config_.parity == ParityMode::kNone) {
+    return col;
+  }
+  const uint32_t parity_agent = ParityAgentOf(row);
+  return col < parity_agent ? col : col + 1;
+}
+
+UnitLocation StripeLayout::Locate(uint64_t logical_offset) const {
+  const uint64_t row = RowOf(logical_offset);
+  const uint32_t col = DataColumnOf(logical_offset);
+  UnitLocation loc;
+  loc.agent = DataAgentOf(row, col);
+  loc.agent_offset = row * config_.stripe_unit + logical_offset % config_.stripe_unit;
+  return loc;
+}
+
+UnitLocation StripeLayout::ParityLocation(uint64_t row) const {
+  SWIFT_CHECK(config_.parity != ParityMode::kNone) << "parity disabled";
+  UnitLocation loc;
+  loc.agent = ParityAgentOf(row);
+  loc.agent_offset = row * config_.stripe_unit;
+  return loc;
+}
+
+Result<uint64_t> StripeLayout::LogicalOffsetAt(uint32_t agent, uint64_t agent_offset) const {
+  if (agent >= config_.num_agents) {
+    return InvalidArgumentError("agent index out of range");
+  }
+  const uint64_t row = agent_offset / config_.stripe_unit;
+  uint32_t col = agent;
+  if (config_.parity != ParityMode::kNone) {
+    const uint32_t parity_agent = ParityAgentOf(row);
+    if (agent == parity_agent) {
+      return InvalidArgumentError("position holds parity, not data");
+    }
+    col = agent < parity_agent ? agent : agent - 1;
+  }
+  return (row * config_.DataAgentsPerRow() + col) * config_.stripe_unit +
+         agent_offset % config_.stripe_unit;
+}
+
+std::vector<AgentExtent> StripeLayout::MapRange(uint64_t offset, uint64_t length) const {
+  std::vector<AgentExtent> extents;
+  uint64_t logical = offset;
+  const uint64_t end = offset + length;
+  while (logical < end) {
+    const uint64_t unit_remaining = config_.stripe_unit - logical % config_.stripe_unit;
+    const uint64_t chunk = std::min(unit_remaining, end - logical);
+    const UnitLocation loc = Locate(logical);
+    if (!extents.empty()) {
+      AgentExtent& last = extents.back();
+      if (last.agent == loc.agent && last.agent_offset + last.length == loc.agent_offset &&
+          last.logical_offset + last.length == logical) {
+        last.length += chunk;
+        logical += chunk;
+        continue;
+      }
+    }
+    extents.push_back(AgentExtent{loc.agent, loc.agent_offset, chunk, logical});
+    logical += chunk;
+  }
+  return extents;
+}
+
+uint64_t StripeLayout::AgentFileSize(uint32_t agent, uint64_t object_size) const {
+  SWIFT_CHECK(agent < config_.num_agents);
+  if (object_size == 0) {
+    return 0;
+  }
+  const uint64_t row_bytes = config_.RowDataBytes();
+  const uint64_t full_rows = object_size / row_bytes;
+  const uint64_t remainder = object_size % row_bytes;
+  uint64_t size = full_rows * config_.stripe_unit;
+  if (remainder == 0) {
+    return size;
+  }
+  const uint64_t last_row = full_rows;
+  if (config_.parity != ParityMode::kNone && agent == ParityAgentOf(last_row)) {
+    // The parity unit of a partially-filled row is written in full.
+    return size + config_.stripe_unit;
+  }
+  uint32_t col = agent;
+  if (config_.parity != ParityMode::kNone) {
+    const uint32_t parity_agent = ParityAgentOf(last_row);
+    col = agent < parity_agent ? agent : agent - 1;
+  }
+  const uint64_t col_start = static_cast<uint64_t>(col) * config_.stripe_unit;
+  if (remainder > col_start) {
+    size += std::min(config_.stripe_unit, remainder - col_start);
+  }
+  return size;
+}
+
+std::pair<uint64_t, uint64_t> StripeLayout::RowRange(uint64_t offset, uint64_t length) const {
+  SWIFT_CHECK(length > 0);
+  return {RowOf(offset), RowOf(offset + length - 1)};
+}
+
+}  // namespace swift

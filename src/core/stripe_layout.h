@@ -1,0 +1,118 @@
+// Striping geometry: how a Swift object's bytes map onto storage agents.
+//
+// Swift interleaves an object across N storage agents in units of
+// `stripe_unit` bytes (§2: "the storage mediator selects the striping unit —
+// the amount of data allocated to each storage agent per stripe — according
+// to the data-rate requirements of the client"). A *stripe* (row) is one
+// unit from every agent. For resiliency the layout can dedicate one unit per
+// row to XOR parity ("computed copy" redundancy, §2), placed either on a
+// fixed agent (RAID4-style) or rotating across agents (RAID5-style) so
+// parity write traffic is spread.
+//
+// Terminology used throughout:
+//   * logical offset  — byte offset within the client's object
+//   * row             — stripe index: row r holds logical units
+//                       [r*D, (r+1)*D) where D = data agents per row
+//   * column          — position of an agent within a row
+//   * agent offset    — byte offset within one agent's backing file
+
+#ifndef SWIFT_SRC_CORE_STRIPE_LAYOUT_H_
+#define SWIFT_SRC_CORE_STRIPE_LAYOUT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace swift {
+
+enum class ParityMode : uint8_t {
+  kNone = 0,      // no redundancy; all agents hold data
+  kFixedAgent,    // last agent holds all parity (RAID4-style)
+  kRotating,      // parity rotates across agents by row (RAID5-style)
+};
+
+struct StripeConfig {
+  // Total storage agents, including the parity agent when parity is on.
+  uint32_t num_agents = 3;
+  // Bytes per stripe unit.
+  uint64_t stripe_unit = 64 * 1024;
+  ParityMode parity = ParityMode::kNone;
+
+  // Agents holding data in each row.
+  uint32_t DataAgentsPerRow() const {
+    return parity == ParityMode::kNone ? num_agents : num_agents - 1;
+  }
+  // Bytes of client data per row.
+  uint64_t RowDataBytes() const { return stripe_unit * DataAgentsPerRow(); }
+
+  // Validates invariants (>=1 data agent, >=2 agents with parity, unit > 0).
+  Status Validate() const;
+};
+
+// A single stripe unit's physical placement.
+struct UnitLocation {
+  uint32_t agent = 0;        // which storage agent
+  uint64_t agent_offset = 0; // byte offset in that agent's backing file
+};
+
+// A contiguous byte range within one agent's backing file, annotated with
+// the logical range it carries. Produced by StripeLayout::MapRange.
+struct AgentExtent {
+  uint32_t agent = 0;
+  uint64_t agent_offset = 0;
+  uint64_t length = 0;
+  uint64_t logical_offset = 0;  // first logical byte this extent carries
+};
+
+class StripeLayout {
+ public:
+  // `config` must be valid (Validate().ok()); check before constructing.
+  explicit StripeLayout(StripeConfig config);
+
+  const StripeConfig& config() const { return config_; }
+
+  // Row that holds `logical_offset`.
+  uint64_t RowOf(uint64_t logical_offset) const;
+  // Column (0-based among the row's *data* positions) of `logical_offset`.
+  uint32_t DataColumnOf(uint64_t logical_offset) const;
+
+  // Physical location of the byte at `logical_offset`.
+  UnitLocation Locate(uint64_t logical_offset) const;
+
+  // Agent holding row `row`'s parity unit, and that unit's offset. Only
+  // valid when parity is enabled.
+  UnitLocation ParityLocation(uint64_t row) const;
+
+  // Inverse of Locate for data bytes: the logical offset stored at
+  // (agent, agent_offset), or an error if that position holds parity.
+  Result<uint64_t> LogicalOffsetAt(uint32_t agent, uint64_t agent_offset) const;
+
+  // Splits the logical range [offset, offset+length) into per-agent extents,
+  // ordered by logical offset. Adjacent units that land contiguously on the
+  // same agent are coalesced (with no parity and a single agent, a whole
+  // request is one extent).
+  std::vector<AgentExtent> MapRange(uint64_t offset, uint64_t length) const;
+
+  // Bytes agent `agent` needs in its backing file to store logical bytes
+  // [0, object_size). Includes parity units the agent hosts.
+  uint64_t AgentFileSize(uint32_t agent, uint64_t object_size) const;
+
+  // Logical rows touched by [offset, offset+length): [first_row, last_row].
+  std::pair<uint64_t, uint64_t> RowRange(uint64_t offset, uint64_t length) const;
+
+ private:
+  // Agent hosting parity for `row`.
+  uint32_t ParityAgentOf(uint64_t row) const;
+  // Agent hosting data column `col` of `row` (skips the parity position).
+  uint32_t DataAgentOf(uint64_t row, uint32_t col) const;
+  // Row index within an agent's file: every row consumes one unit on every
+  // agent (data or parity), so unit k of agent a is row k.
+  // (agent_offset = row * stripe_unit always.)
+
+  StripeConfig config_;
+};
+
+}  // namespace swift
+
+#endif  // SWIFT_SRC_CORE_STRIPE_LAYOUT_H_

@@ -1,0 +1,593 @@
+#include "src/core/swift_file.h"
+
+#include <algorithm>
+#include <cstring>
+#include <mutex>
+
+#include "src/core/parity.h"
+#include "src/proto/message.h"
+#include "src/util/logging.h"
+
+namespace swift {
+
+namespace {
+
+// Failure bookkeeping shared by concurrently running per-agent jobs.
+std::mutex g_failure_mutex;
+
+}  // namespace
+
+SwiftFile::SwiftFile(std::string name, StripeConfig stripe,
+                     std::vector<AgentTransport*> transports, ObjectDirectory* directory)
+    : name_(std::move(name)),
+      layout_(stripe),
+      distribution_(std::move(transports)),
+      directory_(directory),
+      handles_(stripe.num_agents, 0),
+      open_(stripe.num_agents, false),
+      failed_(stripe.num_agents, false) {}
+
+SwiftFile::~SwiftFile() {
+  if (!closed_) {
+    (void)Close();
+  }
+}
+
+Result<std::unique_ptr<SwiftFile>> SwiftFile::Create(const TransferPlan& plan,
+                                                     std::vector<AgentTransport*> transports,
+                                                     ObjectDirectory* directory) {
+  SWIFT_RETURN_IF_ERROR(plan.stripe.Validate());
+  if (transports.size() != plan.stripe.num_agents) {
+    return InvalidArgumentError("transport count does not match the plan's stripe width");
+  }
+  ObjectMetadata metadata;
+  metadata.name = plan.object_name;
+  metadata.stripe = plan.stripe;
+  metadata.agent_ids = plan.agent_ids;
+  metadata.size = 0;
+  SWIFT_RETURN_IF_ERROR(directory->Create(metadata));
+
+  std::unique_ptr<SwiftFile> file(
+      new SwiftFile(plan.object_name, plan.stripe, std::move(transports), directory));
+  Status status = file->OpenAgentFiles(kOpenCreate | kOpenTruncate);
+  if (!status.ok()) {
+    (void)directory->Remove(plan.object_name);
+    return status;
+  }
+  return file;
+}
+
+Result<std::unique_ptr<SwiftFile>> SwiftFile::Open(const std::string& name,
+                                                   std::vector<AgentTransport*> transports,
+                                                   ObjectDirectory* directory) {
+  SWIFT_ASSIGN_OR_RETURN(ObjectMetadata metadata, directory->Lookup(name));
+  if (transports.size() != metadata.stripe.num_agents) {
+    return InvalidArgumentError("transport count does not match the object's stripe width");
+  }
+  std::unique_ptr<SwiftFile> file(
+      new SwiftFile(name, metadata.stripe, std::move(transports), directory));
+  file->size_ = metadata.size;
+  SWIFT_RETURN_IF_ERROR(file->OpenAgentFiles(kOpenCreate));
+  return file;
+}
+
+Status SwiftFile::OpenAgentFiles(uint32_t flags) {
+  const uint32_t agents = layout_.config().num_agents;
+  std::vector<std::function<Status()>> jobs(agents);
+  for (uint32_t c = 0; c < agents; ++c) {
+    jobs[c] = [this, c, flags]() -> Status {
+      auto result = distribution_.transport(c)->Open(name_, flags);
+      if (!result.ok()) {
+        return result.status();
+      }
+      handles_[c] = result->handle;
+      open_[c] = true;
+      return OkStatus();
+    };
+  }
+  const std::vector<Status> statuses = distribution_.RunPerAgent(std::move(jobs));
+  const bool parity_on = layout_.config().parity != ParityMode::kNone;
+  for (uint32_t c = 0; c < agents; ++c) {
+    const Status& status = statuses[c];
+    if (status.code() == StatusCode::kUnavailable && parity_on) {
+      // Degraded open: a single dead agent must not make the object
+      // unavailable (§2). The column is marked failed; the data path
+      // reconstructs through parity.
+      MarkColumnFailed(c);
+      continue;
+    }
+    SWIFT_RETURN_IF_ERROR(status);
+  }
+  if (failed_count_ > 1) {
+    return DataLossError("more than one storage agent unavailable at open");
+  }
+  return OkStatus();
+}
+
+Status SwiftFile::Close() {
+  if (closed_) {
+    return OkStatus();
+  }
+  closed_ = true;
+  Status first_error = OkStatus();
+  if (directory_ != nullptr) {
+    Status status = directory_->UpdateSize(name_, size_);
+    if (!status.ok()) {
+      first_error = status;
+    }
+  }
+  const uint32_t agents = layout_.config().num_agents;
+  std::vector<std::function<Status()>> jobs(agents);
+  for (uint32_t c = 0; c < agents; ++c) {
+    if (!open_[c] || failed_[c]) {
+      continue;
+    }
+    jobs[c] = [this, c]() -> Status { return distribution_.transport(c)->Close(handles_[c]); };
+  }
+  for (const Status& status : distribution_.RunPerAgent(std::move(jobs))) {
+    if (!status.ok() && first_error.ok()) {
+      first_error = status;
+    }
+  }
+  return first_error;
+}
+
+Status SwiftFile::Truncate(uint64_t new_size) {
+  if (closed_) {
+    return InvalidArgumentError("file is closed");
+  }
+  if (failed_count_ > 0) {
+    return UnavailableError("truncate is not supported while agents are failed");
+  }
+  if (new_size >= size_) {
+    // Growing: just move the logical end; holes read back as zeros.
+    size_ = new_size;
+    return directory_ != nullptr ? directory_->UpdateSize(name_, size_) : OkStatus();
+  }
+
+  const bool parity_on = layout_.config().parity != ParityMode::kNone;
+  // Zero the tail of the boundary row first (via the normal parity-
+  // maintaining write path) so the parity unit matches the zero-extension
+  // semantics of the shortened data units.
+  if (parity_on && new_size > 0) {
+    const uint64_t row_bytes = layout_.config().RowDataBytes();
+    const uint64_t row_start = (new_size / row_bytes) * row_bytes;
+    const uint64_t row_end = std::min(row_start + row_bytes, size_);
+    if (new_size < row_end) {
+      const std::vector<uint8_t> zeros(row_end - new_size, 0);
+      SWIFT_RETURN_IF_ERROR(WriteRange(new_size, zeros));
+    }
+  }
+  // Trim every agent file to the exact layout size.
+  std::vector<std::function<Status()>> jobs(layout_.config().num_agents);
+  for (uint32_t c = 0; c < layout_.config().num_agents; ++c) {
+    const uint64_t agent_size = layout_.AgentFileSize(c, new_size);
+    jobs[c] = [this, c, agent_size]() -> Status {
+      return GuardedCall(c, [&]() -> Status {
+        return distribution_.transport(c)->Truncate(handles_[c], agent_size);
+      });
+    };
+  }
+  for (const Status& status : distribution_.RunPerAgent(std::move(jobs))) {
+    SWIFT_RETURN_IF_ERROR(status);
+  }
+  size_ = new_size;
+  // POSIX ftruncate leaves the file offset alone; so do we.
+  return directory_ != nullptr ? directory_->UpdateSize(name_, size_) : OkStatus();
+}
+
+Result<uint64_t> SwiftFile::Seek(int64_t offset, SeekWhence whence) {
+  int64_t base = 0;
+  switch (whence) {
+    case SeekWhence::kSet:
+      base = 0;
+      break;
+    case SeekWhence::kCurrent:
+      base = static_cast<int64_t>(cursor_);
+      break;
+    case SeekWhence::kEnd:
+      base = static_cast<int64_t>(size_);
+      break;
+  }
+  const int64_t target = base + offset;
+  if (target < 0) {
+    return InvalidArgumentError("seek before start of object");
+  }
+  cursor_ = static_cast<uint64_t>(target);
+  return cursor_;
+}
+
+Result<uint64_t> SwiftFile::Read(std::span<uint8_t> out) {
+  SWIFT_ASSIGN_OR_RETURN(uint64_t n, PRead(cursor_, out));
+  cursor_ += n;
+  return n;
+}
+
+Result<uint64_t> SwiftFile::Write(std::span<const uint8_t> data) {
+  SWIFT_ASSIGN_OR_RETURN(uint64_t n, PWrite(cursor_, data));
+  cursor_ += n;
+  return n;
+}
+
+Result<uint64_t> SwiftFile::PRead(uint64_t offset, std::span<uint8_t> out) {
+  if (closed_) {
+    return InvalidArgumentError("file is closed");
+  }
+  if (offset >= size_ || out.empty()) {
+    return static_cast<uint64_t>(0);
+  }
+  const uint64_t length = std::min<uint64_t>(out.size(), size_ - offset);
+  SWIFT_RETURN_IF_ERROR(ReadRange(offset, out.subspan(0, length)));
+  return length;
+}
+
+Result<uint64_t> SwiftFile::PWrite(uint64_t offset, std::span<const uint8_t> data) {
+  if (closed_) {
+    return InvalidArgumentError("file is closed");
+  }
+  if (data.empty()) {
+    return static_cast<uint64_t>(0);
+  }
+  SWIFT_RETURN_IF_ERROR(WriteRange(offset, data));
+  size_ = std::max(size_, offset + data.size());
+  if (directory_ != nullptr) {
+    SWIFT_RETURN_IF_ERROR(directory_->UpdateSize(name_, size_));
+  }
+  return static_cast<uint64_t>(data.size());
+}
+
+void SwiftFile::MarkColumnFailed(uint32_t column) {
+  std::lock_guard<std::mutex> lock(g_failure_mutex);
+  SWIFT_CHECK(column < failed_.size());
+  if (!failed_[column]) {
+    failed_[column] = true;
+    ++failed_count_;
+  }
+}
+
+std::vector<uint32_t> SwiftFile::failed_columns() const {
+  std::vector<uint32_t> columns;
+  for (uint32_t c = 0; c < failed_.size(); ++c) {
+    if (failed_[c]) {
+      columns.push_back(c);
+    }
+  }
+  return columns;
+}
+
+Status SwiftFile::GuardedCall(uint32_t column, const std::function<Status()>& fn) {
+  Status status = fn();
+  if (status.code() == StatusCode::kUnavailable) {
+    MarkColumnFailed(column);
+  }
+  return status;
+}
+
+// ---------------------------------------------------------------- reading --
+
+Status SwiftFile::ReadRange(uint64_t offset, std::span<uint8_t> out) {
+  const bool parity_on = layout_.config().parity != ParityMode::kNone;
+  // A failure discovered mid-read flips a column to failed and we retry;
+  // each retry consumes at least one new failure, so attempts are bounded.
+  for (uint32_t attempt = 0; attempt <= layout_.config().num_agents; ++attempt) {
+    if (parity_on && failed_count_ > 1) {
+      return DataLossError("more than one failed agent in a parity group");
+    }
+    if (!parity_on && failed_count_ > 0) {
+      return UnavailableError("storage agent failed and object has no redundancy");
+    }
+    const uint32_t failures_before = failed_count_;
+    const std::vector<AgentExtent> extents = layout_.MapRange(offset, out.size());
+
+    // Live extents: parallel per-column jobs.
+    std::vector<std::function<Status()>> jobs(layout_.config().num_agents);
+    std::vector<std::vector<const AgentExtent*>> per_column(layout_.config().num_agents);
+    std::vector<const AgentExtent*> lost_extents;
+    for (const AgentExtent& extent : extents) {
+      if (ColumnFailed(extent.agent)) {
+        lost_extents.push_back(&extent);
+      } else {
+        per_column[extent.agent].push_back(&extent);
+      }
+    }
+    for (uint32_t c = 0; c < per_column.size(); ++c) {
+      if (per_column[c].empty()) {
+        continue;
+      }
+      jobs[c] = [this, c, &per_column, &out, offset]() -> Status {
+        for (const AgentExtent* extent : per_column[c]) {
+          Status status = GuardedCall(c, [&]() -> Status {
+            auto data = distribution_.transport(c)->Read(handles_[c], extent->agent_offset,
+                                                         extent->length);
+            if (!data.ok()) {
+              return data.status();
+            }
+            std::memcpy(out.data() + (extent->logical_offset - offset), data->data(),
+                        extent->length);
+            return OkStatus();
+          });
+          SWIFT_RETURN_IF_ERROR(status);
+        }
+        return OkStatus();
+      };
+    }
+    bool transient_failure = false;
+    for (const Status& status : distribution_.RunPerAgent(std::move(jobs))) {
+      if (status.code() == StatusCode::kUnavailable) {
+        transient_failure = true;
+      } else if (!status.ok()) {
+        return status;
+      }
+    }
+    if (transient_failure || failed_count_ != failures_before) {
+      continue;  // re-plan with the updated failure set
+    }
+
+    // Reconstruct extents that live on failed columns, unit by unit.
+    const uint64_t unit = layout_.config().stripe_unit;
+    for (const AgentExtent* extent : lost_extents) {
+      uint64_t done = 0;
+      while (done < extent->length) {
+        const uint64_t position = extent->agent_offset + done;
+        const uint64_t row = position / unit;
+        const uint64_t offset_in_unit = position % unit;
+        const uint64_t chunk = std::min(unit - offset_in_unit, extent->length - done);
+        auto rebuilt = ReconstructUnit(row, extent->agent);
+        if (!rebuilt.ok()) {
+          return rebuilt.status();
+        }
+        std::memcpy(out.data() + (extent->logical_offset + done - offset),
+                    rebuilt->data() + offset_in_unit, chunk);
+        done += chunk;
+      }
+    }
+    return OkStatus();
+  }
+  return InternalError("read retry budget exhausted");
+}
+
+Result<std::vector<uint8_t>> SwiftFile::ReconstructUnit(uint64_t row, uint32_t lost_column) {
+  if (layout_.config().parity == ParityMode::kNone) {
+    return UnavailableError("cannot reconstruct without parity");
+  }
+  const uint64_t unit = layout_.config().stripe_unit;
+  const uint64_t row_offset = row * unit;
+  std::vector<uint8_t> rebuilt(unit, 0);
+  for (uint32_t c = 0; c < layout_.config().num_agents; ++c) {
+    if (c == lost_column) {
+      continue;
+    }
+    if (ColumnFailed(c)) {
+      return DataLossError("second agent failure while reconstructing row " +
+                           std::to_string(row));
+    }
+    Status status = GuardedCall(c, [&]() -> Status {
+      auto data = distribution_.transport(c)->Read(handles_[c], row_offset, unit);
+      if (!data.ok()) {
+        return data.status();
+      }
+      XorInto(rebuilt, *data);
+      return OkStatus();
+    });
+    if (!status.ok()) {
+      if (status.code() == StatusCode::kUnavailable) {
+        return DataLossError("second agent failure while reconstructing row " +
+                             std::to_string(row));
+      }
+      return status;
+    }
+  }
+  return rebuilt;
+}
+
+// ---------------------------------------------------------------- writing --
+
+Status SwiftFile::WriteRange(uint64_t offset, std::span<const uint8_t> data) {
+  const bool parity_on = layout_.config().parity != ParityMode::kNone;
+  for (uint32_t attempt = 0; attempt <= layout_.config().num_agents; ++attempt) {
+    if (parity_on && failed_count_ > 1) {
+      return DataLossError("more than one failed agent in a parity group");
+    }
+    if (!parity_on && failed_count_ > 0) {
+      return UnavailableError("storage agent failed and object has no redundancy");
+    }
+    const uint32_t failures_before = failed_count_;
+    Status status;
+
+    if (!parity_on) {
+      // Straight striped write: parallel per-column extent jobs.
+      const std::vector<AgentExtent> extents = layout_.MapRange(offset, data.size());
+      std::vector<std::vector<const AgentExtent*>> per_column(layout_.config().num_agents);
+      for (const AgentExtent& extent : extents) {
+        per_column[extent.agent].push_back(&extent);
+      }
+      std::vector<std::function<Status()>> jobs(layout_.config().num_agents);
+      for (uint32_t c = 0; c < per_column.size(); ++c) {
+        if (per_column[c].empty()) {
+          continue;
+        }
+        jobs[c] = [this, c, &per_column, &data, offset]() -> Status {
+          for (const AgentExtent* extent : per_column[c]) {
+            Status st = GuardedCall(c, [&]() -> Status {
+              return distribution_.transport(c)->Write(
+                  handles_[c], extent->agent_offset,
+                  data.subspan(extent->logical_offset - offset, extent->length));
+            });
+            SWIFT_RETURN_IF_ERROR(st);
+          }
+          return OkStatus();
+        };
+      }
+      status = OkStatus();
+      for (const Status& st : distribution_.RunPerAgent(std::move(jobs))) {
+        if (!st.ok()) {
+          status = st;
+        }
+      }
+    } else {
+      // Parity path: process row by row so parity updates stay atomic with
+      // respect to this writer.
+      const auto [first_row, last_row] = layout_.RowRange(offset, data.size());
+      status = OkStatus();
+      for (uint64_t row = first_row; row <= last_row && status.ok(); ++row) {
+        const uint64_t row_start = row * layout_.config().RowDataBytes();
+        const uint64_t row_end = row_start + layout_.config().RowDataBytes();
+        const uint64_t write_start = std::max(offset, row_start);
+        const uint64_t write_end = std::min(offset + data.size(), row_end);
+        status = WriteRowParity(row, write_start, write_end, offset, data);
+      }
+    }
+
+    if (status.ok()) {
+      return OkStatus();
+    }
+    if (status.code() == StatusCode::kUnavailable && failed_count_ != failures_before) {
+      continue;  // a column just died; re-plan degraded
+    }
+    return status;
+  }
+  return InternalError("write retry budget exhausted");
+}
+
+Status SwiftFile::WriteRowParity(uint64_t row, uint64_t row_write_start, uint64_t row_write_end,
+                                 uint64_t base_offset, std::span<const uint8_t> data) {
+  const uint64_t unit = layout_.config().stripe_unit;
+  const uint64_t row_bytes = layout_.config().RowDataBytes();
+  const uint64_t row_start = row * row_bytes;
+  const UnitLocation parity_loc = layout_.ParityLocation(row);
+  const bool parity_agent_failed = ColumnFailed(parity_loc.agent);
+  const bool full_row = row_write_start == row_start && row_write_end == row_start + row_bytes;
+
+  auto new_data_at = [&](uint64_t logical, uint64_t length) -> std::span<const uint8_t> {
+    return data.subspan(logical - base_offset, length);
+  };
+
+  if (full_row) {
+    // Compute parity of the full new row and write everything in parallel.
+    std::span<const uint8_t> row_data = new_data_at(row_start, row_bytes);
+    std::vector<std::span<const uint8_t>> sources;
+    sources.reserve(layout_.config().DataAgentsPerRow());
+    for (uint32_t c = 0; c < layout_.config().DataAgentsPerRow(); ++c) {
+      sources.push_back(row_data.subspan(static_cast<size_t>(c) * unit, unit));
+    }
+    const std::vector<uint8_t> parity = ComputeParity(sources, unit);
+
+    std::vector<std::function<Status()>> jobs(layout_.config().num_agents);
+    for (uint32_t c = 0; c < layout_.config().DataAgentsPerRow(); ++c) {
+      const UnitLocation loc = layout_.Locate(row_start + static_cast<uint64_t>(c) * unit);
+      if (ColumnFailed(loc.agent)) {
+        continue;  // captured by parity; reconstructible
+      }
+      jobs[loc.agent] = [this, loc, source = sources[c]]() -> Status {
+        return GuardedCall(loc.agent, [&]() -> Status {
+          return distribution_.transport(loc.agent)->Write(handles_[loc.agent], loc.agent_offset,
+                                                           source);
+        });
+      };
+    }
+    if (!parity_agent_failed) {
+      jobs[parity_loc.agent] = [this, parity_loc, &parity]() -> Status {
+        return GuardedCall(parity_loc.agent, [&]() -> Status {
+          return distribution_.transport(parity_loc.agent)
+              ->Write(handles_[parity_loc.agent], parity_loc.agent_offset, parity);
+        });
+      };
+    }
+    for (const Status& status : distribution_.RunPerAgent(std::move(jobs))) {
+      SWIFT_RETURN_IF_ERROR(status);
+    }
+    return OkStatus();
+  }
+
+  // Partial row: read-modify-write the parity unit.
+  //   parity' = parity ^ old_data ^ new_data
+  //
+  // Ordering matters for crash/retry consistency (the RAID write hole, here
+  // surfaced by the transient-fault retry): all reads happen first, then the
+  // parity write, then the data writes. If the attempt dies at any point,
+  // the retry's own read-modify-write (or, for a now-failed data column, the
+  // reconstruct-and-fold path) restores the invariant "parity = XOR of
+  // stored data, with the failed column's virtual content defined by that
+  // XOR" — which is exactly what a parity-write-before-data ordering keeps
+  // self-correcting. Writing data first would let an interrupted attempt
+  // strand new data under old parity, and the retry's old==new RMW would
+  // then freeze the corruption in place.
+  std::vector<uint8_t> parity_buf;
+  if (!parity_agent_failed) {
+    auto parity_read = distribution_.transport(parity_loc.agent)
+                           ->Read(handles_[parity_loc.agent], parity_loc.agent_offset, unit);
+    if (!parity_read.ok()) {
+      if (parity_read.code() == StatusCode::kUnavailable) {
+        MarkColumnFailed(parity_loc.agent);
+      }
+      return parity_read.status();
+    }
+    parity_buf = std::move(*parity_read);
+  }
+
+  struct PendingDataWrite {
+    UnitLocation loc;
+    std::span<const uint8_t> new_data;
+  };
+  std::vector<PendingDataWrite> pending;
+
+  // Pass 1: read the old contents, fold everything into the parity buffer,
+  // and stage the data writes. Nothing is written to any store yet.
+  uint64_t logical = row_write_start;
+  while (logical < row_write_end) {
+    const uint64_t offset_in_unit = logical % unit;
+    const uint64_t chunk = std::min(unit - offset_in_unit, row_write_end - logical);
+    const UnitLocation loc = layout_.Locate(logical);
+    std::span<const uint8_t> new_data = new_data_at(logical, chunk);
+
+    if (!ColumnFailed(loc.agent)) {
+      if (!parity_agent_failed) {
+        // Old contents of exactly the overwritten range.
+        auto old_data =
+            distribution_.transport(loc.agent)->Read(handles_[loc.agent], loc.agent_offset, chunk);
+        if (!old_data.ok()) {
+          if (old_data.code() == StatusCode::kUnavailable) {
+            MarkColumnFailed(loc.agent);
+          }
+          return old_data.status();
+        }
+        UpdateParity(parity_buf, offset_in_unit, *old_data, new_data);
+      }
+      pending.push_back(PendingDataWrite{loc, new_data});
+    } else {
+      // The target data unit is lost: fold the write into parity only, so a
+      // reconstruction of this unit yields the new contents.
+      if (parity_agent_failed) {
+        return DataLossError("write targets a failed agent and parity is also failed");
+      }
+      auto old_unit = ReconstructUnit(row, loc.agent);
+      if (!old_unit.ok()) {
+        return old_unit.status();
+      }
+      UpdateParity(parity_buf, offset_in_unit,
+                   std::span<const uint8_t>(old_unit->data() + offset_in_unit, chunk), new_data);
+    }
+    logical += chunk;
+  }
+
+  // Pass 2: parity first.
+  if (!parity_agent_failed) {
+    Status status = GuardedCall(parity_loc.agent, [&]() -> Status {
+      return distribution_.transport(parity_loc.agent)
+          ->Write(handles_[parity_loc.agent], parity_loc.agent_offset, parity_buf);
+    });
+    SWIFT_RETURN_IF_ERROR(status);
+  }
+
+  // Pass 3: the data units.
+  for (const PendingDataWrite& write : pending) {
+    Status status = GuardedCall(write.loc.agent, [&]() -> Status {
+      return distribution_.transport(write.loc.agent)
+          ->Write(handles_[write.loc.agent], write.loc.agent_offset, write.new_data);
+    });
+    SWIFT_RETURN_IF_ERROR(status);
+  }
+  return OkStatus();
+}
+
+}  // namespace swift

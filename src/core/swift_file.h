@@ -1,0 +1,129 @@
+// SwiftFile: Unix-semantics access to a striped, optionally parity-protected
+// Swift object.
+//
+// "Clients are provided with open, close, read, write and seek operations
+// that have Unix file system semantics" (§3). A SwiftFile is the client-side
+// object behind those calls: it owns the file cursor, maps logical ranges
+// through the stripe layout, fans the per-agent work out in parallel via the
+// distribution agent, maintains XOR parity on writes, and transparently
+// reconstructs data when a storage agent fails mid-session.
+//
+// Failure model (§2's computed-copy redundancy): with parity enabled, one
+// failed agent is survived — reads reconstruct lost units from the row's
+// survivors, writes keep parity consistent so later reconstruction yields
+// the new data (including writes *to* the failed agent, which land only in
+// parity). A second failure is reported as kDataLoss. Without parity, any
+// agent failure is surfaced as kUnavailable.
+
+#ifndef SWIFT_SRC_CORE_SWIFT_FILE_H_
+#define SWIFT_SRC_CORE_SWIFT_FILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/core/agent_transport.h"
+#include "src/core/distribution_agent.h"
+#include "src/core/object_directory.h"
+#include "src/core/stripe_layout.h"
+#include "src/core/transfer_plan.h"
+#include "src/util/status.h"
+
+namespace swift {
+
+enum class SeekWhence { kSet, kCurrent, kEnd };
+
+class SwiftFile {
+ public:
+  // Creates a new object with `plan`'s geometry, records it in `directory`,
+  // and opens (creating) the per-agent backing files. `transports` must be
+  // in stripe-column order and outlive the file.
+  static Result<std::unique_ptr<SwiftFile>> Create(const TransferPlan& plan,
+                                                   std::vector<AgentTransport*> transports,
+                                                   ObjectDirectory* directory);
+
+  // Opens an existing object; geometry and size come from the directory.
+  static Result<std::unique_ptr<SwiftFile>> Open(const std::string& name,
+                                                 std::vector<AgentTransport*> transports,
+                                                 ObjectDirectory* directory);
+
+  ~SwiftFile();
+  SwiftFile(const SwiftFile&) = delete;
+  SwiftFile& operator=(const SwiftFile&) = delete;
+
+  // --- Unix file interface -------------------------------------------------
+
+  // Reads at the cursor; returns bytes read (short at EOF, 0 at/after EOF).
+  Result<uint64_t> Read(std::span<uint8_t> out);
+  // Writes at the cursor; extends the object as needed. Returns bytes
+  // written (always out.size() on success).
+  Result<uint64_t> Write(std::span<const uint8_t> data);
+  // Moves the cursor; returns the new absolute offset. Seeking past EOF is
+  // allowed (a later write creates a hole that reads back as zeros).
+  Result<uint64_t> Seek(int64_t offset, SeekWhence whence);
+  // Sets the object's size (ftruncate semantics). Growing exposes zeros;
+  // shrinking trims the per-agent files and recomputes the boundary row's
+  // parity so redundancy stays intact. Not supported in degraded mode.
+  Status Truncate(uint64_t new_size);
+  // Flushes metadata (object size) to the directory and closes every agent
+  // handle. Further operations fail. Also invoked by the destructor.
+  Status Close();
+
+  // --- positional variants -------------------------------------------------
+  Result<uint64_t> PRead(uint64_t offset, std::span<uint8_t> out);
+  Result<uint64_t> PWrite(uint64_t offset, std::span<const uint8_t> data);
+
+  // --- introspection -------------------------------------------------------
+  uint64_t size() const { return size_; }
+  uint64_t cursor() const { return cursor_; }
+  const std::string& name() const { return name_; }
+  const StripeLayout& layout() const { return layout_; }
+  // Columns currently marked failed (kUnavailable seen).
+  std::vector<uint32_t> failed_columns() const;
+  bool degraded() const { return failed_count_ > 0; }
+
+  // Tests and examples: force a column into the failed state without waiting
+  // for a transport error.
+  void MarkColumnFailed(uint32_t column);
+
+ private:
+  SwiftFile(std::string name, StripeConfig stripe, std::vector<AgentTransport*> transports,
+            ObjectDirectory* directory);
+
+  Status OpenAgentFiles(uint32_t flags);
+
+  // Failure-aware read of [offset, offset+length) into out (zero-filled past
+  // stored data). `length` must fit in out.
+  Status ReadRange(uint64_t offset, std::span<uint8_t> out);
+  // Plain striped read (no failed columns involved for these extents).
+  Status ReadExtents(const std::vector<AgentExtent>& extents, uint64_t base_offset,
+                     std::span<uint8_t> out);
+  // Reconstructs the `unit`-sized unit at (row, failed column) via parity.
+  Result<std::vector<uint8_t>> ReconstructUnit(uint64_t row, uint32_t lost_column);
+
+  Status WriteRange(uint64_t offset, std::span<const uint8_t> data);
+  Status WriteRowParity(uint64_t row, uint64_t row_write_start, uint64_t row_write_end,
+                        uint64_t base_offset, std::span<const uint8_t> data);
+
+  // Wraps a transport call: on kUnavailable, marks the column failed.
+  Status GuardedCall(uint32_t column, const std::function<Status()>& fn);
+  bool ColumnFailed(uint32_t column) const { return failed_[column]; }
+
+  std::string name_;
+  StripeLayout layout_;
+  DistributionAgent distribution_;
+  ObjectDirectory* directory_;
+  std::vector<uint32_t> handles_;
+  std::vector<bool> open_;
+  std::vector<bool> failed_;
+  uint32_t failed_count_ = 0;
+  uint64_t size_ = 0;
+  uint64_t cursor_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace swift
+
+#endif  // SWIFT_SRC_CORE_SWIFT_FILE_H_

@@ -1,0 +1,36 @@
+// The transfer plan a storage mediator hands to a distribution agent.
+//
+// §2: "a storage mediator reserves resources from all the necessary storage
+// agents and from the communication subsystem in a session-oriented manner.
+// The storage mediator then presents a distribution agent with a transfer
+// plan." After that the mediator is out of the data path entirely.
+
+#ifndef SWIFT_SRC_CORE_TRANSFER_PLAN_H_
+#define SWIFT_SRC_CORE_TRANSFER_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/stripe_layout.h"
+
+namespace swift {
+
+struct TransferPlan {
+  // Mediator-assigned session identifier; quote it to CloseSession.
+  uint64_t session_id = 0;
+  std::string object_name;
+  // Striping geometry the distribution agent must use.
+  StripeConfig stripe;
+  // Registry ids of the chosen agents, in stripe-column order. Size equals
+  // stripe.num_agents.
+  std::vector<uint32_t> agent_ids;
+  // Aggregate data-rate reserved for this session (bytes/second).
+  double reserved_rate = 0;
+  // Expected object size the reservation was sized for.
+  uint64_t expected_size = 0;
+};
+
+}  // namespace swift
+
+#endif  // SWIFT_SRC_CORE_TRANSFER_PLAN_H_

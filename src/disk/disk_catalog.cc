@@ -1,0 +1,161 @@
+#include "src/disk/disk_catalog.h"
+
+#include <array>
+#include <string>
+
+namespace swift {
+
+DiskParameters Ibm3380K() {
+  // 3380K spec: ~16 ms average seek, 3600 rpm (8.3 ms average latency),
+  // 3.0 MB/s channel-limited media rate, 1.89 GB per actuator pair (we use
+  // the per-actuator figure).
+  return DiskParameters{
+      .name = "IBM 3380K",
+      .average_seek = Milliseconds(16),
+      .average_rotation = MillisecondsF(8.3),
+      .transfer_rate = MBPerSecondDecimal(3.0),
+      .controller_overhead = 0,
+      .capacity_bytes = MiB(1890),
+  };
+}
+
+DiskParameters FujitsuM2361A() {
+  // Eagle-class 10.5": 16.7 ms seek, 3600 rpm, 2.46 MB/s, 689 MB.
+  return DiskParameters{
+      .name = "Fujitsu M2361A",
+      .average_seek = MillisecondsF(16.7),
+      .average_rotation = MillisecondsF(8.3),
+      .transfer_rate = MBPerSecondDecimal(2.46),
+      .controller_overhead = 0,
+      .capacity_bytes = MiB(689),
+  };
+}
+
+DiskParameters FujitsuM2351A() {
+  // Original Eagle: 18 ms seek, 3961 rpm (7.6 ms), 1.86 MB/s, 474 MB.
+  return DiskParameters{
+      .name = "Fujitsu M2351A",
+      .average_seek = Milliseconds(18),
+      .average_rotation = MillisecondsF(7.6),
+      .transfer_rate = MBPerSecondDecimal(1.86),
+      .controller_overhead = 0,
+      .capacity_bytes = MiB(474),
+  };
+}
+
+DiskParameters WrenV() {
+  // Imprimis Wren V (94181): 16.5 ms seek, 3597 rpm, ~1.55 MB/s sustained,
+  // 600 MB.
+  return DiskParameters{
+      .name = "Wren V",
+      .average_seek = MillisecondsF(16.5),
+      .average_rotation = MillisecondsF(8.33),
+      .transfer_rate = MBPerSecondDecimal(1.55),
+      .controller_overhead = 0,
+      .capacity_bytes = MiB(600),
+  };
+}
+
+DiskParameters FujitsuM2372K() {
+  // Parameters given in the paper (Figure 3 caption): 16 ms seek, 8.3 ms
+  // rotation, 2.5 MB/s; "typical for 1990 file servers". 824 MB.
+  return DiskParameters{
+      .name = "Fujitsu M2372K",
+      .average_seek = Milliseconds(16),
+      .average_rotation = MillisecondsF(8.3),
+      .transfer_rate = MBPerSecondDecimal(2.5),
+      .controller_overhead = 0,
+      .capacity_bytes = MiB(824),
+  };
+}
+
+DiskParameters DecRa82() {
+  // RA82: 24 ms seek, 3600 rpm, 1.3 MB/s SDI-limited, 622 MB. The slowest
+  // drive of the set, as Figures 5/6 show.
+  return DiskParameters{
+      .name = "DEC RA82",
+      .average_seek = Milliseconds(24),
+      .average_rotation = MillisecondsF(8.3),
+      .transfer_rate = MBPerSecondDecimal(1.3),
+      .controller_overhead = 0,
+      .capacity_bytes = MiB(622),
+  };
+}
+
+DiskParameters Figure4SlowDisk() {
+  // Figure 4 caption: seek 16 ms, rotation 8.3 ms, transfer 1.5 MB/s.
+  return DiskParameters{
+      .name = "Figure-4 slow disk",
+      .average_seek = Milliseconds(16),
+      .average_rotation = MillisecondsF(8.3),
+      .transfer_rate = MBPerSecondDecimal(1.5),
+      .controller_overhead = 0,
+      .capacity_bytes = MiB(500),
+  };
+}
+
+DiskParameters SunSlcScsiDisk() {
+  // 104 MB 3.5" SCSI drive of a Sun 4/20 (a Quantum ProDrive-class device):
+  // ~19 ms seek, 3600 rpm, ~1.3 MB/s media, plus per-command SCSI overhead.
+  // With an 8 KiB file-system block and SunOS 4.1.1 synchronous-mode SCSI,
+  // this calibrates to the paper's Table 2 (read ~670 KB/s, sync write
+  // ~315 KB/s) through the Unix file-system model in src/baseline.
+  return DiskParameters{
+      .name = "Sun SLC 104MB SCSI",
+      .average_seek = Milliseconds(19),
+      .average_rotation = MillisecondsF(8.3),
+      .transfer_rate = MBPerSecondDecimal(1.3),
+      .controller_overhead = Milliseconds(2),
+      .capacity_bytes = MiB(104),
+  };
+}
+
+DiskParameters SunSparc2ScsiDisk() {
+  // 207 MB drive in the Sparcstation 2 client.
+  return DiskParameters{
+      .name = "Sun Sparc2 207MB SCSI",
+      .average_seek = Milliseconds(16),
+      .average_rotation = MillisecondsF(8.3),
+      .transfer_rate = MBPerSecondDecimal(1.5),
+      .controller_overhead = Milliseconds(2),
+      .capacity_bytes = MiB(207),
+  };
+}
+
+DiskParameters SunIpiDisk() {
+  // "the best IPI disk drives Sun had available" on the 4/390 NFS server,
+  // "rated at more than 3 megabytes/second".
+  return DiskParameters{
+      .name = "Sun IPI",
+      .average_seek = Milliseconds(15),
+      .average_rotation = MillisecondsF(8.3),
+      .transfer_rate = MBPerSecondDecimal(3.0),
+      .controller_overhead = Milliseconds(1),
+      .capacity_bytes = MiB(1300),
+  };
+}
+
+std::span<const DiskParameters> Figure5DiskSet() {
+  static const std::array<DiskParameters, 6> kSet = {
+      Ibm3380K(),     FujitsuM2361A(), FujitsuM2351A(),
+      WrenV(),        FujitsuM2372K(), DecRa82(),
+  };
+  return kSet;
+}
+
+Result<DiskParameters> FindDisk(std::string_view name) {
+  for (const DiskParameters& disk : Figure5DiskSet()) {
+    if (disk.name == name) {
+      return disk;
+    }
+  }
+  for (const DiskParameters& disk :
+       {Figure4SlowDisk(), SunSlcScsiDisk(), SunSparc2ScsiDisk(), SunIpiDisk()}) {
+    if (disk.name == name) {
+      return disk;
+    }
+  }
+  return NotFoundError("no catalog disk named '" + std::string(name) + "'");
+}
+
+}  // namespace swift

@@ -1,0 +1,58 @@
+// Catalog of the disk drives used in the paper's evaluation.
+//
+// Figures 5 and 6 sweep six drives that were representative of 1990 file
+// servers; the prototype measurements involve the Sun workstations' local
+// SCSI drives and the NFS server's IPI drives. The M2372K parameters are
+// given explicitly in the paper (16 ms seek, 8.3 ms rotation, 2.5 MB/s);
+// the others are taken from period spec sheets, with approximations noted
+// inline. What matters for reproducing the figures is the relative ordering
+// of positioning time and media rate across the six drives.
+
+#ifndef SWIFT_SRC_DISK_DISK_CATALOG_H_
+#define SWIFT_SRC_DISK_DISK_CATALOG_H_
+
+#include <span>
+#include <string_view>
+
+#include "src/disk/disk_model.h"
+#include "src/util/status.h"
+
+namespace swift {
+
+// --- Figures 5/6 drives -----------------------------------------------------
+
+// IBM 3380K: high-end mainframe DASD; fastest media rate in the set.
+DiskParameters Ibm3380K();
+// Fujitsu M2361A "Eagle": 10.5-inch, the canonical minicomputer drive.
+DiskParameters FujitsuM2361A();
+// Fujitsu M2351A "Eagle": the M2361A's older, slower sibling.
+DiskParameters FujitsuM2351A();
+// Imprimis/CDC Wren V: 5.25-inch workstation-class ESDI/SCSI drive.
+DiskParameters WrenV();
+// Fujitsu M2372K: the paper's baseline (explicit parameters in Figure 3).
+DiskParameters FujitsuM2372K();
+// DEC RA82: SDI drive; the slowest of the set.
+DiskParameters DecRa82();
+
+// Figure 4's unnamed "slower storage device": M2372K positioning with a
+// 1.5 MB/s media rate (parameters from the figure caption).
+DiskParameters Figure4SlowDisk();
+
+// --- Prototype-era drives ---------------------------------------------------
+
+// The 104 MB SCSI drive in the Sun 4/20 (SLC) storage agents.
+DiskParameters SunSlcScsiDisk();
+// The 207 MB SCSI drive in the Sun 4/75 (Sparcstation 2) client.
+DiskParameters SunSparc2ScsiDisk();
+// The NFS server's IPI drive ("rated at more than 3 megabytes/second").
+DiskParameters SunIpiDisk();
+
+// All six Figure-5/6 drives, in the paper's legend order.
+std::span<const DiskParameters> Figure5DiskSet();
+
+// Looks a drive up by its catalog name (e.g. "Fujitsu M2372K").
+Result<DiskParameters> FindDisk(std::string_view name);
+
+}  // namespace swift
+
+#endif  // SWIFT_SRC_DISK_DISK_CATALOG_H_

@@ -1,0 +1,28 @@
+#include "src/disk/disk_device.h"
+
+namespace swift {
+
+SimTime DiskDevice::SampleServiceTime(uint64_t block_count, uint64_t block_bytes) {
+  SimTime total = 0;
+  for (uint64_t i = 0; i < block_count; ++i) {
+    if (i == 0 || !options_.sequential_runs) {
+      total += SampleBlockTime(parameters_, block_bytes, rng_);
+    } else {
+      total += options_.sequential_position + TransferTime(block_bytes, parameters_.transfer_rate);
+    }
+  }
+  return total;
+}
+
+CoTask<SimTime> DiskDevice::Transfer(uint64_t block_count, uint64_t block_bytes) {
+  co_await arm_.Acquire();
+  const SimTime service = SampleServiceTime(block_count, block_bytes);
+  co_await simulator_->Delay(service);
+  arm_.Release();
+  blocks_serviced_ += block_count;
+  ++requests_serviced_;
+  service_time_stats_.Add(ToMillisecondsF(service));
+  co_return service;
+}
+
+}  // namespace swift

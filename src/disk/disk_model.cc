@@ -1,0 +1,16 @@
+#include "src/disk/disk_model.h"
+
+namespace swift {
+
+SimTime SamplePositioningTime(const DiskParameters& disk, Rng& rng) {
+  const double seek = rng.Uniform(0, 2.0 * static_cast<double>(disk.average_seek));
+  const double rotation = rng.Uniform(0, 2.0 * static_cast<double>(disk.average_rotation));
+  return static_cast<SimTime>(seek + rotation);
+}
+
+SimTime SampleBlockTime(const DiskParameters& disk, uint64_t block_bytes, Rng& rng) {
+  return SamplePositioningTime(disk, rng) + TransferTime(block_bytes, disk.transfer_rate) +
+         disk.controller_overhead;
+}
+
+}  // namespace swift

@@ -1,0 +1,62 @@
+// Disk service-time model, as specified in the paper's §5.1.
+//
+// "The time to transfer a block consists of the seek time, the rotational
+//  delay and the time to transfer the data from disk. The seek time and
+//  rotational latency are assumed to be independent uniform random
+//  variables" — i.e. seek ~ U(0, 2*avg_seek), rotation ~ U(0, full
+// revolution). The paper notes this is conservative: no layout optimization,
+// no arm scheduling, no caching; it is a lower bound on achievable rates.
+//
+// `DiskParameters` describes a drive; `SampleBlockTime` draws one block's
+// service time. `DiskDevice` (disk_device.h) wraps this in a contended,
+// event-driven device.
+
+#ifndef SWIFT_SRC_DISK_DISK_MODEL_H_
+#define SWIFT_SRC_DISK_DISK_MODEL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/util/rng.h"
+#include "src/util/units.h"
+
+namespace swift {
+
+struct DiskParameters {
+  std::string name;
+  // Mean seek time; actual seeks are drawn uniform in [0, 2*avg].
+  SimTime average_seek = Milliseconds(16);
+  // Mean rotational delay (half a revolution); drawn uniform in [0, 2*avg].
+  SimTime average_rotation = MillisecondsF(8.3);
+  // Sustained media transfer rate in bytes/second. Spec sheets of the era
+  // quote decimal megabytes/second.
+  double transfer_rate = MBPerSecondDecimal(2.5);
+  // Fixed per-request controller/command overhead (0 in the paper's model;
+  // nonzero for the calibrated prototype drives).
+  SimTime controller_overhead = 0;
+  // Formatted capacity; bounds backing stores built on the model.
+  uint64_t capacity_bytes = MiB(800);
+
+  // Mean positioning delay (seek + rotation).
+  SimTime MeanPositioningTime() const { return average_seek + average_rotation; }
+
+  // Mean time for one block: positioning + media transfer. The paper's
+  // example: 32 KiB on the Fujitsu M2372K "required about 37 ms".
+  SimTime MeanBlockTime(uint64_t block_bytes) const {
+    return MeanPositioningTime() + TransferTime(block_bytes, transfer_rate);
+  }
+
+  // Best-case streaming rate if positioning cost were fully amortized away.
+  double MediaRate() const { return transfer_rate; }
+};
+
+// Draws one block service time: U(0,2*seek) + U(0,2*rot) + size/rate
+// (+ controller overhead).
+SimTime SampleBlockTime(const DiskParameters& disk, uint64_t block_bytes, Rng& rng);
+
+// Positioning only (used when a model amortizes transfers separately).
+SimTime SamplePositioningTime(const DiskParameters& disk, Rng& rng);
+
+}  // namespace swift
+
+#endif  // SWIFT_SRC_DISK_DISK_MODEL_H_

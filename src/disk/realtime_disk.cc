@@ -1,0 +1,134 @@
+#include "src/disk/realtime_disk.h"
+
+#include <limits>
+
+#include "src/util/logging.h"
+
+namespace swift {
+
+RealTimeDisk::RealTimeDisk(Simulator* simulator, DiskParameters parameters, Rng rng,
+                           Options options)
+    : simulator_(simulator),
+      parameters_(std::move(parameters)),
+      rng_(std::move(rng)),
+      options_(options) {
+  simulator_->Spawn(Dispatcher());
+  dispatcher_running_ = true;
+}
+
+SimTime RealTimeDisk::WorstCaseBatchTime(uint32_t blocks, uint64_t block_bytes) const {
+  // Worst case per block: full-stroke seek + full rotation + transfer.
+  const SimTime per_block = 2 * parameters_.average_seek + 2 * parameters_.average_rotation +
+                            TransferTime(block_bytes, parameters_.transfer_rate) +
+                            parameters_.controller_overhead;
+  return static_cast<SimTime>(blocks) * per_block;
+}
+
+Result<RealTimeDisk::StreamId> RealTimeDisk::AdmitStream(uint32_t blocks_per_period,
+                                                         uint64_t block_bytes, SimTime period) {
+  if (blocks_per_period == 0 || block_bytes == 0 || period <= 0) {
+    return InvalidArgumentError("stream reservation must be positive");
+  }
+  // EDF feasibility with non-preemptive blocking: each period must fit the
+  // stream's own worst-case batch plus one best-effort block that may be in
+  // service when the batch arrives.
+  const double share =
+      static_cast<double>(WorstCaseBatchTime(blocks_per_period, block_bytes) +
+                          WorstCaseBlockingTime()) /
+      static_cast<double>(period);
+  if (share > options_.admission_bound) {
+    return ResourceExhaustedError("stream alone exceeds the disk's guaranteed capacity");
+  }
+  if (promised_utilization_ + share > options_.admission_bound) {
+    return ResourceExhaustedError("disk data-rate guarantees exhausted");
+  }
+  const StreamId id = next_stream_id_++;
+  streams_[id] = StreamState{blocks_per_period, block_bytes, period, share};
+  promised_utilization_ += share;
+  return id;
+}
+
+Status RealTimeDisk::ReleaseStream(StreamId id) {
+  auto it = streams_.find(id);
+  if (it == streams_.end()) {
+    return NotFoundError("no stream " + std::to_string(id));
+  }
+  promised_utilization_ -= it->second.utilization_share;
+  streams_.erase(it);
+  return OkStatus();
+}
+
+void RealTimeDisk::Enqueue(Request* request) {
+  request->sequence = next_sequence_++;
+  queue_.emplace(std::make_pair(request->deadline, request->sequence), request);
+  if (work_available_ != nullptr) {
+    work_available_->Trigger();
+  }
+}
+
+CoTask<SimTime> RealTimeDisk::StreamBatch(StreamId id, SimTime deadline) {
+  auto it = streams_.find(id);
+  SWIFT_CHECK(it != streams_.end()) << "batch for unknown stream " << id;
+  Request request(simulator_);
+  request.deadline = deadline;
+  request.blocks = it->second.blocks_per_period;
+  request.block_bytes = it->second.block_bytes;
+  Enqueue(&request);
+  co_await request.done;
+  co_return request.completed_at;
+}
+
+CoTask<SimTime> RealTimeDisk::BestEffort(uint32_t blocks, uint64_t block_bytes) {
+  SWIFT_CHECK(block_bytes <= options_.max_best_effort_block)
+      << "best-effort block larger than the admission test assumes";
+  Request request(simulator_);
+  request.deadline = std::numeric_limits<SimTime>::max();
+  request.best_effort = true;
+  request.blocks = blocks;
+  request.block_bytes = block_bytes;
+  Enqueue(&request);
+  co_await request.done;
+  co_return request.completed_at;
+}
+
+SimProc RealTimeDisk::Dispatcher() {
+  for (;;) {
+    while (queue_.empty()) {
+      CoEvent work(simulator_);
+      work_available_ = &work;
+      co_await work;
+      work_available_ = nullptr;
+    }
+    auto it = queue_.begin();
+    Request* request = it->second;
+    queue_.erase(it);
+    if (request->best_effort) {
+      // Best-effort work is preemptible at block granularity: serve one
+      // block, then requeue the remainder (same key keeps FIFO order among
+      // best-effort peers) so a newly arrived stream batch runs next.
+      co_await simulator_->Delay(SampleBlockTime(parameters_, request->block_bytes, rng_));
+      if (--request->blocks > 0) {
+        queue_.emplace(std::make_pair(request->deadline, request->sequence), request);
+        continue;
+      }
+      request->completed_at = simulator_->now();
+      ++best_effort_served_;
+      request->done.Trigger();
+      continue;
+    }
+    // Stream batches run to completion (they are the guaranteed work).
+    SimTime service = 0;
+    for (uint32_t b = 0; b < request->blocks; ++b) {
+      service += SampleBlockTime(parameters_, request->block_bytes, rng_);
+    }
+    co_await simulator_->Delay(service);
+    request->completed_at = simulator_->now();
+    ++stream_batches_served_;
+    if (request->completed_at > request->deadline) {
+      ++deadline_misses_;
+    }
+    request->done.Trigger();
+  }
+}
+
+}  // namespace swift

@@ -1,0 +1,85 @@
+// Typed FIFO message queue between simulation processes.
+//
+// `Channel<T>` is the rendezvous primitive the protocol models are built on:
+// a simulated NIC delivers received datagrams into a host's channel, and the
+// host's protocol process `co_await`s them. Sends never block (the queue is
+// unbounded — finite buffers are modelled explicitly with `Resource` where
+// the experiment calls for them, e.g. the SunOS socket-buffer shortage in
+// §3.1). Receives block until an item is available. Items are delivered in
+// send order; waiting receivers are served in arrival order.
+
+#ifndef SWIFT_SRC_EVENT_CHANNEL_H_
+#define SWIFT_SRC_EVENT_CHANNEL_H_
+
+#include <coroutine>
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "src/event/simulator.h"
+
+namespace swift {
+
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(Simulator* simulator) : simulator_(simulator) {}
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  // Enqueues an item; if a receiver is waiting, the item is handed to the
+  // front waiter and its resumption scheduled at the current time.
+  void Send(T item) {
+    if (!waiters_.empty()) {
+      ReceiveAwaiter* waiter = waiters_.front();
+      waiters_.pop_front();
+      waiter->slot = std::move(item);
+      std::coroutine_handle<> h = waiter->handle;
+      simulator_->Schedule(0, [h] { h.resume(); });
+    } else {
+      items_.push_back(std::move(item));
+    }
+  }
+
+  // Awaits the next item: `Packet p = co_await channel.Receive();`
+  auto Receive() { return ReceiveAwaiter{this, std::nullopt, nullptr}; }
+
+  size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+  size_t waiter_count() const { return waiters_.size(); }
+
+ private:
+  struct ReceiveAwaiter {
+    Channel* channel;
+    std::optional<T> slot;
+    std::coroutine_handle<> handle;
+
+    bool await_ready() {
+      // Only take an item directly when no earlier receiver is queued;
+      // otherwise this receiver must wait its turn.
+      if (!channel->items_.empty() && channel->waiters_.empty()) {
+        slot = std::move(channel->items_.front());
+        channel->items_.pop_front();
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      handle = h;
+      channel->waiters_.push_back(this);
+    }
+    T await_resume() {
+      SWIFT_CHECK(slot.has_value()) << "channel receiver resumed without a value";
+      return std::move(*slot);
+    }
+  };
+
+  Simulator* simulator_;
+  std::deque<T> items_;
+  std::deque<ReceiveAwaiter*> waiters_;
+};
+
+}  // namespace swift
+
+#endif  // SWIFT_SRC_EVENT_CHANNEL_H_

@@ -1,0 +1,94 @@
+// One-shot broadcast event for simulation processes.
+//
+// A `CoEvent` starts untriggered; any number of processes may `co_await` it.
+// `Trigger()` resumes all waiters (in wait order, via scheduled events at the
+// current time) and makes every later await complete immediately. Typical
+// use: "the write has been acknowledged by all storage agents".
+
+#ifndef SWIFT_SRC_EVENT_CO_EVENT_H_
+#define SWIFT_SRC_EVENT_CO_EVENT_H_
+
+#include <coroutine>
+#include <vector>
+
+#include "src/event/simulator.h"
+
+namespace swift {
+
+class CoEvent {
+ public:
+  explicit CoEvent(Simulator* simulator) : simulator_(simulator) {}
+
+  CoEvent(const CoEvent&) = delete;
+  CoEvent& operator=(const CoEvent&) = delete;
+
+  bool triggered() const { return triggered_; }
+  size_t waiter_count() const { return waiters_.size(); }
+
+  // Fires the event. Idempotent.
+  void Trigger() {
+    if (triggered_) {
+      return;
+    }
+    triggered_ = true;
+    std::vector<std::coroutine_handle<>> waiters = std::move(waiters_);
+    waiters_.clear();
+    for (std::coroutine_handle<> h : waiters) {
+      simulator_->Schedule(0, [h] { h.resume(); });
+    }
+  }
+
+  // Re-arms an already-fired event. Only valid when nobody is waiting; used
+  // by components that run repeated rounds (e.g. per-request completion).
+  void Reset() {
+    SWIFT_CHECK(waiters_.empty()) << "resetting a CoEvent with waiters";
+    triggered_ = false;
+  }
+
+  auto operator co_await() {
+    struct Awaiter {
+      CoEvent* event;
+      bool await_ready() const noexcept { return event->triggered_; }
+      void await_suspend(std::coroutine_handle<> h) { event->waiters_.push_back(h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+ private:
+  Simulator* simulator_;
+  bool triggered_ = false;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+// Counts down from `n`; the embedded event fires when all parts are done.
+// The fan-out pattern of the distribution agent ("send to every storage
+// agent, wait for all acknowledgements") uses this.
+class JoinCounter {
+ public:
+  JoinCounter(Simulator* simulator, size_t parts) : remaining_(parts), event_(simulator) {
+    if (remaining_ == 0) {
+      event_.Trigger();
+    }
+  }
+
+  // Marks one part complete.
+  void Done() {
+    SWIFT_CHECK(remaining_ > 0) << "JoinCounter::Done beyond its count";
+    if (--remaining_ == 0) {
+      event_.Trigger();
+    }
+  }
+
+  size_t remaining() const { return remaining_; }
+
+  auto operator co_await() { return event_.operator co_await(); }
+
+ private:
+  size_t remaining_;
+  CoEvent event_;
+};
+
+}  // namespace swift
+
+#endif  // SWIFT_SRC_EVENT_CO_EVENT_H_

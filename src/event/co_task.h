@@ -1,0 +1,155 @@
+// Awaitable sub-operations for simulation processes.
+//
+// `SimProc` is the fire-and-forget top-level process type; `CoTask<T>` is the
+// composable building block beneath it. A model operation like "transfer
+// three blocks from this disk" is a function returning `CoTask<SimTime>`;
+// callers `co_await` it and get the value back:
+//
+//   CoTask<SimTime> DiskDevice::Transfer(...);
+//   SimProc AgentMain(...) { SimTime t = co_await disk.Transfer(...); ... }
+//
+// Tasks are lazy: the body does not start until awaited. Completion resumes
+// the awaiter by symmetric transfer (no stack growth, no extra simulator
+// event). The task frame is owned by the awaiting expression, so teardown of
+// a suspended process destroys its whole await chain.
+
+#ifndef SWIFT_SRC_EVENT_CO_TASK_H_
+#define SWIFT_SRC_EVENT_CO_TASK_H_
+
+#include <coroutine>
+#include <optional>
+#include <utility>
+
+#include "src/util/logging.h"
+
+namespace swift {
+
+template <typename T = void>
+class [[nodiscard]] CoTask;
+
+namespace detail {
+
+struct CoTaskPromiseBase {
+  std::coroutine_handle<> continuation;
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+
+  struct FinalAwaiter {
+    bool await_ready() noexcept { return false; }
+    template <typename Promise>
+    std::coroutine_handle<> await_suspend(std::coroutine_handle<Promise> h) noexcept {
+      std::coroutine_handle<> cont = h.promise().continuation;
+      return cont ? cont : std::noop_coroutine();
+    }
+    void await_resume() noexcept {}
+  };
+  FinalAwaiter final_suspend() noexcept { return {}; }
+
+  void unhandled_exception() { SWIFT_CHECK(false) << "exception escaped a CoTask"; }
+};
+
+}  // namespace detail
+
+template <typename T>
+class [[nodiscard]] CoTask {
+ public:
+  struct promise_type : detail::CoTaskPromiseBase {
+    std::optional<T> value;
+    CoTask get_return_object() {
+      return CoTask(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_value(T v) { value = std::move(v); }
+  };
+
+  CoTask(CoTask&& other) noexcept : handle_(std::exchange(other.handle_, nullptr)) {}
+  CoTask(const CoTask&) = delete;
+  CoTask& operator=(const CoTask&) = delete;
+  CoTask& operator=(CoTask&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  ~CoTask() { Destroy(); }
+
+  auto operator co_await() && {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> handle;
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> awaiting) noexcept {
+        handle.promise().continuation = awaiting;
+        return handle;  // symmetric transfer: start the task body
+      }
+      T await_resume() {
+        SWIFT_CHECK(handle.promise().value.has_value()) << "CoTask finished without a value";
+        return std::move(*handle.promise().value);
+      }
+    };
+    return Awaiter{handle_};
+  }
+
+ private:
+  explicit CoTask(std::coroutine_handle<promise_type> handle) : handle_(handle) {}
+
+  void Destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+template <>
+class [[nodiscard]] CoTask<void> {
+ public:
+  struct promise_type : detail::CoTaskPromiseBase {
+    CoTask get_return_object() {
+      return CoTask(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_void() {}
+  };
+
+  CoTask(CoTask&& other) noexcept : handle_(std::exchange(other.handle_, nullptr)) {}
+  CoTask(const CoTask&) = delete;
+  CoTask& operator=(const CoTask&) = delete;
+  CoTask& operator=(CoTask&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  ~CoTask() { Destroy(); }
+
+  auto operator co_await() && {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> handle;
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> awaiting) noexcept {
+        handle.promise().continuation = awaiting;
+        return handle;
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{handle_};
+  }
+
+ private:
+  explicit CoTask(std::coroutine_handle<promise_type> handle) : handle_(handle) {}
+
+  void Destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+}  // namespace swift
+
+#endif  // SWIFT_SRC_EVENT_CO_TASK_H_

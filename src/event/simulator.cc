@@ -1,0 +1,81 @@
+#include "src/event/simulator.h"
+
+namespace swift {
+
+void SimProc::promise_type::FinalAwaiter::await_suspend(Handle h) noexcept {
+  Simulator* simulator = h.promise().simulator;
+  if (simulator != nullptr) {
+    simulator->OnProcFinished(h);
+  } else {
+    // Never spawned (shouldn't happen: unspawned frames are destroyed by the
+    // SimProc wrapper before they run), but destroy defensively.
+    h.destroy();
+  }
+}
+
+Simulator::~Simulator() {
+  tearing_down_ = true;
+  // Drop pending events first: some hold coroutine handles we are about to
+  // destroy, and none may run during teardown.
+  queue_ = {};
+  // Destroy still-suspended frames. Frame destructors may try to schedule
+  // (e.g. RAII resource releases); Schedule is a no-op while tearing down.
+  std::unordered_set<void*> live = std::move(live_);
+  live_.clear();
+  for (void* address : live) {
+    std::coroutine_handle<>::from_address(address).destroy();
+  }
+}
+
+void Simulator::ScheduleAt(SimTime when, std::function<void()> fn) {
+  if (tearing_down_) {
+    return;
+  }
+  SWIFT_CHECK(when >= now_) << "scheduling into the past: " << when << " < " << now_;
+  queue_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+void Simulator::SpawnAfter(SimTime delay, SimProc proc) {
+  SimProc::Handle handle = std::exchange(proc.handle_, nullptr);
+  SWIFT_CHECK(handle) << "spawning a moved-from SimProc";
+  handle.promise().simulator = this;
+  live_.insert(handle.address());
+  Schedule(delay, [handle] { handle.resume(); });
+}
+
+bool Simulator::Step() {
+  if (queue_.empty()) {
+    return false;
+  }
+  // Copy out: the callback may schedule new events, mutating the queue.
+  Event event = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  SWIFT_CHECK(event.when >= now_);
+  now_ = event.when;
+  ++events_executed_;
+  event.fn();
+  return true;
+}
+
+uint64_t Simulator::Run(uint64_t max_events) {
+  uint64_t executed = 0;
+  while (executed < max_events && Step()) {
+    ++executed;
+  }
+  return executed;
+}
+
+void Simulator::RunUntil(SimTime deadline) {
+  SWIFT_CHECK(deadline >= now_);
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    Step();
+  }
+  now_ = deadline;
+}
+
+void Simulator::OnProcFinished(SimProc::Handle handle) {
+  live_.erase(handle.address());
+  handle.destroy();
+}
+
+}  // namespace swift

@@ -1,0 +1,179 @@
+// Discrete-event simulation engine with C++20 coroutine processes.
+//
+// The paper's second study (§5) is a process-oriented discrete-event
+// simulation: client processes issue requests, storage-agent processes seek
+// disks and transmit packets, and shared components (the disk arm, the
+// network medium, a host CPU) are contended resources. This engine provides:
+//
+//   * `Simulator` — a virtual clock and a deterministic event queue. Events
+//     at equal timestamps run in scheduling order (a monotonic sequence
+//     number breaks ties), so every run with the same seed is bit-identical.
+//   * `SimProc` — a fire-and-forget coroutine type. A model process is an
+//     ordinary function returning `SimProc` that `co_await`s delays,
+//     resources, channels, and events. `Simulator::Spawn` starts it.
+//   * Awaitables in sibling headers: `Delay` (timed suspension), `Resource`
+//     (FIFO counted resource, e.g. a disk arm or an Ethernet segment),
+//     `Channel<T>` (typed FIFO message queue between processes), and
+//     `CoEvent` (one-shot broadcast, e.g. "transfer complete").
+//
+// Threading: the engine is strictly single-threaded; coroutines interleave
+// only at co_await points, so model state needs no locking.
+//
+// Lifetime: the simulator owns every spawned coroutine frame. Frames
+// self-destroy on completion; the simulator destroys any still-suspended
+// frames in its destructor, after first discarding the pending event queue
+// (so no destroyed frame can be resumed).
+
+#ifndef SWIFT_SRC_EVENT_SIMULATOR_H_
+#define SWIFT_SRC_EVENT_SIMULATOR_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "src/util/logging.h"
+#include "src/util/units.h"
+
+namespace swift {
+
+class Simulator;
+
+// A fire-and-forget simulation process. The coroutine starts suspended;
+// `Simulator::Spawn` schedules its first resumption. On completion the frame
+// unregisters itself from the simulator and self-destroys.
+class SimProc {
+ public:
+  struct promise_type;
+  using Handle = std::coroutine_handle<promise_type>;
+
+  struct promise_type {
+    SimProc get_return_object() { return SimProc(Handle::from_promise(*this)); }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() noexcept { return false; }
+      void await_suspend(Handle h) noexcept;
+      void await_resume() noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void return_void() {}
+    void unhandled_exception() { SWIFT_CHECK(false) << "exception escaped a SimProc"; }
+
+    Simulator* simulator = nullptr;
+  };
+
+  SimProc(SimProc&& other) noexcept : handle_(std::exchange(other.handle_, nullptr)) {}
+  SimProc& operator=(SimProc&& other) noexcept {
+    if (this != &other) {
+      DestroyIfOwned();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  SimProc(const SimProc&) = delete;
+  SimProc& operator=(const SimProc&) = delete;
+  ~SimProc() { DestroyIfOwned(); }
+
+ private:
+  friend class Simulator;
+  explicit SimProc(Handle handle) : handle_(handle) {}
+
+  void DestroyIfOwned() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+
+  Handle handle_;
+};
+
+class Simulator {
+ public:
+  Simulator() = default;
+  ~Simulator();
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  // Current virtual time.
+  SimTime now() const { return now_; }
+
+  // Schedules `fn` to run `delay` from now (delay >= 0). Events scheduled
+  // earlier run earlier; ties run in scheduling order.
+  void Schedule(SimTime delay, std::function<void()> fn) { ScheduleAt(now_ + delay, std::move(fn)); }
+  void ScheduleAt(SimTime when, std::function<void()> fn);
+
+  // Starts a process now. The simulator takes ownership of the frame.
+  void Spawn(SimProc proc) { SpawnAfter(0, std::move(proc)); }
+  // Starts a process after `delay`.
+  void SpawnAfter(SimTime delay, SimProc proc);
+
+  // Runs the next event. Returns false if the queue is empty.
+  bool Step();
+
+  // Runs until the queue is empty or `max_events` have executed. Returns the
+  // number of events executed. The event cap is a runaway guard for models
+  // with self-perpetuating processes.
+  uint64_t Run(uint64_t max_events = UINT64_MAX);
+
+  // Runs every event with timestamp <= `deadline`, then sets now to
+  // `deadline`. Processes that are still waiting stay suspended.
+  void RunUntil(SimTime deadline);
+  void RunFor(SimTime duration) { RunUntil(now_ + duration); }
+
+  // Awaitable timed suspension: `co_await sim.Delay(Milliseconds(5));`.
+  // A zero delay still suspends, yielding to already-scheduled events.
+  auto Delay(SimTime delay) {
+    struct Awaiter {
+      Simulator* simulator;
+      SimTime delay;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        simulator->Schedule(delay, [h] { h.resume(); });
+      }
+      void await_resume() const noexcept {}
+    };
+    SWIFT_CHECK(delay >= 0) << "negative delay " << delay;
+    return Awaiter{this, delay};
+  }
+
+  // Total events executed so far (diagnostic).
+  uint64_t events_executed() const { return events_executed_; }
+  size_t live_process_count() const { return live_.size(); }
+
+ private:
+  friend struct SimProc::promise_type;
+
+  struct Event {
+    SimTime when;
+    uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  void OnProcFinished(SimProc::Handle handle);
+
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  std::unordered_set<void*> live_;
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t events_executed_ = 0;
+  bool tearing_down_ = false;
+};
+
+}  // namespace swift
+
+#endif  // SWIFT_SRC_EVENT_SIMULATOR_H_

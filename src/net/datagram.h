@@ -1,0 +1,36 @@
+// The unit of traffic on the simulated interconnects.
+//
+// Simulated datagrams carry sizes and model-level metadata, not payload
+// bytes: the virtual-time models measure *when* data moves, while the real
+// prototype (src/agent) moves actual bytes over real sockets. `kind` and
+// `tag` are interpreted by the model that sent the datagram.
+
+#ifndef SWIFT_SRC_NET_DATAGRAM_H_
+#define SWIFT_SRC_NET_DATAGRAM_H_
+
+#include <cstdint>
+
+namespace swift {
+
+// Attachment id on a network; assigned by the network when a host attaches.
+using StationId = int;
+
+inline constexpr StationId kBroadcast = -1;
+
+struct Datagram {
+  StationId src = 0;
+  StationId dst = 0;
+  // Application payload size, excluding network headers (the network model
+  // adds its own per-frame overhead).
+  uint32_t payload_bytes = 0;
+  // Model-defined message type (e.g. read-request vs data).
+  int kind = 0;
+  // Model-defined correlation id (e.g. request number, block index).
+  uint64_t tag = 0;
+  // Secondary metadata slot (e.g. offset within a transfer).
+  uint64_t aux = 0;
+};
+
+}  // namespace swift
+
+#endif  // SWIFT_SRC_NET_DATAGRAM_H_

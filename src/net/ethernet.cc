@@ -1,0 +1,86 @@
+#include "src/net/ethernet.h"
+
+#include <utility>
+
+namespace swift {
+
+EthernetSegment::EthernetSegment(Simulator* simulator, Config config, Rng rng)
+    : simulator_(simulator), config_(std::move(config)), rng_(std::move(rng)), wire_(simulator, 1) {
+  SWIFT_CHECK(config_.frame_payload > 0);
+  if (config_.background_load > 0) {
+    simulator_->Spawn(BackgroundTraffic());
+  }
+}
+
+StationId EthernetSegment::Attach(Channel<Datagram>* inbox) {
+  stations_.push_back(inbox);
+  return static_cast<StationId>(stations_.size() - 1);
+}
+
+CoTask<void> EthernetSegment::Transmit(Datagram datagram) {
+  SWIFT_CHECK(datagram.src >= 0 && datagram.src < static_cast<StationId>(stations_.size()))
+      << "transmit from unattached station " << datagram.src;
+  // A datagram's fragments leave the interface as a back-to-back train: the
+  // IP layer queues them contiguously and CSMA/CD "capture" means the sender
+  // that won the wire usually keeps it between fragments. The wire is
+  // therefore held for the whole train — which is also what prevents the
+  // unphysical fragment-level round-robin that would phase-lock concurrent
+  // stop-and-wait readers.
+  co_await wire_.Acquire();
+  co_await simulator_->Delay(WireTime(datagram.payload_bytes));
+  wire_.Release();
+  uint32_t remaining = datagram.payload_bytes;
+  do {
+    const uint32_t chunk = remaining < config_.frame_payload ? remaining : config_.frame_payload;
+    ++frames_carried_;
+    payload_bytes_carried_ += chunk;
+    remaining -= chunk;
+  } while (remaining > 0);
+
+  if (datagram.dst == kBroadcast) {
+    for (StationId id = 0; id < static_cast<StationId>(stations_.size()); ++id) {
+      if (id != datagram.src && stations_[id] != nullptr) {
+        stations_[id]->Send(datagram);
+      }
+    }
+  } else {
+    SWIFT_CHECK(datagram.dst >= 0 && datagram.dst < static_cast<StationId>(stations_.size()))
+        << "transmit to unattached station " << datagram.dst;
+    stations_[datagram.dst]->Send(datagram);
+  }
+}
+
+SimTime EthernetSegment::WireTime(uint32_t payload_bytes) const {
+  SimTime total = 0;
+  uint32_t remaining = payload_bytes;
+  do {
+    const uint32_t chunk = remaining < config_.frame_payload ? remaining : config_.frame_payload;
+    total += FrameTime(chunk);
+    remaining -= chunk;
+  } while (remaining > 0);
+  return total;
+}
+
+double EthernetSegment::PayloadCapacity(uint32_t datagram_bytes) const {
+  const SimTime t = WireTime(datagram_bytes);
+  return static_cast<double>(datagram_bytes) / ToSecondsF(t);
+}
+
+SimProc EthernetSegment::BackgroundTraffic() {
+  // Open-loop Poisson cross-traffic sized to consume `background_load` of
+  // the raw bit rate, in frames of `background_frame_payload`. Each arrival
+  // contends for the wire independently (a queued frame must not suppress
+  // later arrivals — the foreign stations keep transmitting regardless).
+  const SimTime frame_time = FrameTime(config_.background_frame_payload);
+  const double mean_gap = ToSecondsF(frame_time) / config_.background_load;
+  for (;;) {
+    co_await simulator_->Delay(SecondsF(rng_.ExponentialWithMean(mean_gap)));
+    simulator_->Spawn([](Simulator& sim, Resource& wire, SimTime t) -> SimProc {
+      co_await wire.Acquire();
+      co_await sim.Delay(t);
+      wire.Release();
+    }(*simulator_, wire_, frame_time));
+  }
+}
+
+}  // namespace swift

@@ -1,0 +1,11 @@
+#include "src/net/sim_host.h"
+
+namespace swift {
+
+CoTask<> SimHost::Compute(double instructions) {
+  co_await cpu_.Acquire();
+  co_await simulator_->Delay(ComputeTime(instructions));
+  cpu_.Release();
+}
+
+}  // namespace swift

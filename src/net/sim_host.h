@@ -1,0 +1,67 @@
+// Simulated host: a named machine with a MIPS-rated CPU.
+//
+// The paper models protocol cost in instructions ("1,500 instructions plus
+// one instruction per byte in the packet", §5.1, citing Cabrera et al.'s
+// measurement study) executed on hosts of a given MIPS rating (100 MIPS in
+// the gigabit study; the prototype's Sparcstation 2 and SLC are ~28.5 and
+// ~12.5 MIPS). The CPU is a contended single resource: a host saturates when
+// asked to process more packet work per second than it has instructions —
+// which is exactly the effect that capped the two-Ethernet read experiment
+// in §4.1.
+
+#ifndef SWIFT_SRC_NET_SIM_HOST_H_
+#define SWIFT_SRC_NET_SIM_HOST_H_
+
+#include <string>
+
+#include "src/event/co_task.h"
+#include "src/event/resource.h"
+#include "src/event/simulator.h"
+#include "src/util/units.h"
+
+namespace swift {
+
+// Instruction cost of handling one packet: fixed per-packet cost plus a
+// per-byte cost (copies, checksums).
+struct ProtocolCost {
+  double fixed_instructions = 1500;
+  double instructions_per_byte = 1.0;
+
+  double InstructionsFor(uint64_t bytes) const {
+    return fixed_instructions + instructions_per_byte * static_cast<double>(bytes);
+  }
+};
+
+class SimHost {
+ public:
+  SimHost(Simulator* simulator, std::string name, double mips)
+      : simulator_(simulator), name_(std::move(name)), mips_(mips), cpu_(simulator, 1) {}
+
+  // Occupies the CPU for `instructions / mips` of virtual time (FIFO with
+  // other compute on this host).
+  CoTask<> Compute(double instructions);
+
+  // Convenience: protocol processing for a packet of `bytes`.
+  CoTask<> ProtocolProcess(const ProtocolCost& cost, uint64_t bytes) {
+    return Compute(cost.InstructionsFor(bytes));
+  }
+
+  SimTime ComputeTime(double instructions) const {
+    return static_cast<SimTime>(instructions / (mips_ * 1e6) * kSecond);
+  }
+
+  const std::string& name() const { return name_; }
+  double mips() const { return mips_; }
+  Resource& cpu() { return cpu_; }
+  double CpuUtilization(SimTime since = 0) const { return cpu_.Utilization(since); }
+
+ private:
+  Simulator* simulator_;
+  std::string name_;
+  double mips_;
+  Resource cpu_;
+};
+
+}  // namespace swift
+
+#endif  // SWIFT_SRC_NET_SIM_HOST_H_

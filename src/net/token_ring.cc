@@ -1,0 +1,56 @@
+#include "src/net/token_ring.h"
+
+#include <utility>
+
+namespace swift {
+
+TokenRing::TokenRing(Simulator* simulator, Config config, Rng rng)
+    : simulator_(simulator), config_(std::move(config)), rng_(std::move(rng)), token_(simulator, 1) {
+  SWIFT_CHECK(config_.max_message_payload > 0);
+}
+
+StationId TokenRing::Attach(Channel<Datagram>* inbox) {
+  stations_.push_back(inbox);
+  return static_cast<StationId>(stations_.size() - 1);
+}
+
+CoTask<void> TokenRing::Transmit(Datagram datagram) {
+  SWIFT_CHECK(datagram.src >= 0 && datagram.src < static_cast<StationId>(stations_.size()));
+  uint32_t remaining = datagram.payload_bytes;
+  do {
+    const uint32_t chunk =
+        remaining < config_.max_message_payload ? remaining : config_.max_message_payload;
+    co_await token_.Acquire();
+    const SimTime token_wait =
+        static_cast<SimTime>(rng_.Uniform(0, static_cast<double>(config_.walk_time)));
+    co_await simulator_->Delay(token_wait + MessageTime(chunk));
+    token_.Release();
+    ++messages_carried_;
+    remaining -= chunk;
+  } while (remaining > 0);
+
+  if (datagram.dst == kBroadcast) {
+    for (StationId id = 0; id < static_cast<StationId>(stations_.size()); ++id) {
+      if (id != datagram.src && stations_[id] != nullptr) {
+        stations_[id]->Send(datagram);
+      }
+    }
+  } else {
+    SWIFT_CHECK(datagram.dst >= 0 && datagram.dst < static_cast<StationId>(stations_.size()));
+    stations_[datagram.dst]->Send(datagram);
+  }
+}
+
+SimTime TokenRing::TransmitTime(uint32_t payload_bytes) const {
+  SimTime total = 0;
+  uint32_t remaining = payload_bytes;
+  do {
+    const uint32_t chunk =
+        remaining < config_.max_message_payload ? remaining : config_.max_message_payload;
+    total += MessageTime(chunk);
+    remaining -= chunk;
+  } while (remaining > 0);
+  return total;
+}
+
+}  // namespace swift

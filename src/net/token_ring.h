@@ -1,0 +1,78 @@
+// High-speed token-ring model for the gigabit study (§5).
+//
+// "Transmitting a message on the network requires protocol processing, time
+//  to acquire the token, and transmission time." Protocol processing is
+// charged on the hosts (see SimHost); this class models token acquisition
+// and transmission. The ring is a single token: one station transmits at a
+// time, waiters queue FIFO (token order on a lightly loaded ring — the
+// paper's runs never exceeded 22% utilization, where token-order details
+// are negligible).
+//
+// Token acquisition is drawn uniform in [0, walk_time]: the token is
+// equally likely to be anywhere on the ring when a station wants it.
+
+#ifndef SWIFT_SRC_NET_TOKEN_RING_H_
+#define SWIFT_SRC_NET_TOKEN_RING_H_
+
+#include <string>
+#include <vector>
+
+#include "src/event/channel.h"
+#include "src/event/co_task.h"
+#include "src/event/resource.h"
+#include "src/event/simulator.h"
+#include "src/net/datagram.h"
+#include "src/util/rng.h"
+#include "src/util/units.h"
+
+namespace swift {
+
+class TokenRing {
+ public:
+  struct Config {
+    std::string name = "ring0";
+    double bit_rate = 1e9;
+    // Time for the token to circulate the idle ring once; acquisition waits
+    // uniform in [0, walk_time]. 50 us corresponds to a building-scale ring
+    // with a few dozen stations.
+    SimTime walk_time = Microseconds(50);
+    // Per-message header/trailer bytes on the wire.
+    uint32_t header_bytes = 32;
+    // Largest single message; larger payloads are sent as consecutive
+    // messages (token re-acquired between them).
+    uint32_t max_message_payload = 65536;
+  };
+
+  TokenRing(Simulator* simulator, Config config, Rng rng);
+
+  StationId Attach(Channel<Datagram>* inbox);
+
+  // Transmits a datagram (fragmenting to max_message_payload); delivery into
+  // the destination inbox (every inbox for kBroadcast — the paper's read
+  // requests are multicast) after the last fragment.
+  CoTask<void> Transmit(Datagram datagram);
+
+  // Pure transmission time for `payload` bytes (no token wait, no queueing).
+  SimTime TransmitTime(uint32_t payload_bytes) const;
+
+  double Utilization(SimTime since = 0) const { return token_.Utilization(since); }
+  uint64_t messages_carried() const { return messages_carried_; }
+  const Config& config() const { return config_; }
+
+ private:
+  SimTime MessageTime(uint32_t payload_bytes) const {
+    return static_cast<SimTime>(static_cast<double>(payload_bytes + config_.header_bytes) * 8.0 /
+                                config_.bit_rate * kSecond);
+  }
+
+  Simulator* simulator_;
+  Config config_;
+  Rng rng_;
+  Resource token_;
+  std::vector<Channel<Datagram>*> stations_;
+  uint64_t messages_carried_ = 0;
+};
+
+}  // namespace swift
+
+#endif  // SWIFT_SRC_NET_TOKEN_RING_H_

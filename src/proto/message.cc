@@ -1,0 +1,176 @@
+#include "src/proto/message.h"
+
+#include "src/util/crc32.h"
+#include "src/util/wire_buffer.h"
+
+namespace swift {
+
+namespace {
+
+constexpr uint16_t kMagic = 0x5357;  // "SW"
+constexpr uint8_t kVersion = 1;
+
+}  // namespace
+
+const char* MessageTypeName(MessageType type) {
+  switch (type) {
+    case MessageType::kOpen:
+      return "OPEN";
+    case MessageType::kOpenReply:
+      return "OPEN_REPLY";
+    case MessageType::kReadReq:
+      return "READ_REQ";
+    case MessageType::kData:
+      return "DATA";
+    case MessageType::kWriteData:
+      return "WRITE_DATA";
+    case MessageType::kWriteAck:
+      return "WRITE_ACK";
+    case MessageType::kWriteNack:
+      return "WRITE_NACK";
+    case MessageType::kClose:
+      return "CLOSE";
+    case MessageType::kCloseAck:
+      return "CLOSE_ACK";
+    case MessageType::kStat:
+      return "STAT";
+    case MessageType::kStatReply:
+      return "STAT_REPLY";
+    case MessageType::kTruncate:
+      return "TRUNCATE";
+    case MessageType::kTruncateAck:
+      return "TRUNCATE_ACK";
+    case MessageType::kError:
+      return "ERROR";
+    case MessageType::kWriteReq:
+      return "WRITE_REQ";
+    case MessageType::kRemove:
+      return "REMOVE";
+    case MessageType::kRemoveAck:
+      return "REMOVE_ACK";
+  }
+  return "UNKNOWN";
+}
+
+std::vector<uint8_t> Message::Encode() const {
+  WireWriter w(64 + payload.size());
+  w.PutU16(kMagic);
+  w.PutU8(kVersion);
+  w.PutU8(static_cast<uint8_t>(type));
+  w.PutU32(handle);
+  w.PutU32(request_id);
+  w.PutU16(seq);
+  w.PutU16(total);
+  w.PutU64(offset);
+  w.PutU32(static_cast<uint32_t>(payload.size()));
+  w.PutU32(Crc32(payload));
+
+  switch (type) {
+    case MessageType::kOpen:
+    case MessageType::kRemove:
+      w.PutString(object_name);
+      w.PutU32(open_flags);
+      break;
+    case MessageType::kOpenReply:
+      w.PutU32(status_code);
+      w.PutU16(data_port);
+      w.PutU64(size);
+      break;
+    case MessageType::kReadReq:
+    case MessageType::kWriteReq:
+      w.PutU32(read_length);
+      w.PutU16(window);
+      break;
+    case MessageType::kWriteNack:
+      w.PutU16(static_cast<uint16_t>(missing_seqs.size()));
+      for (uint16_t s : missing_seqs) {
+        w.PutU16(s);
+      }
+      break;
+    case MessageType::kStatReply:
+    case MessageType::kTruncate:
+      w.PutU64(size);
+      break;
+    case MessageType::kError:
+      w.PutU32(status_code);
+      break;
+    default:
+      break;
+  }
+
+  w.PutBytes(payload);
+  return w.Take();
+}
+
+Result<Message> Message::Decode(std::span<const uint8_t> datagram) {
+  WireReader r(datagram);
+  if (r.GetU16() != kMagic) {
+    return InvalidArgumentError("bad magic");
+  }
+  if (r.GetU8() != kVersion) {
+    return InvalidArgumentError("unsupported protocol version");
+  }
+  Message m;
+  const uint8_t raw_type = r.GetU8();
+  if (raw_type < 1 || raw_type > static_cast<uint8_t>(MessageType::kRemoveAck)) {
+    return InvalidArgumentError("unknown message type");
+  }
+  m.type = static_cast<MessageType>(raw_type);
+  m.handle = r.GetU32();
+  m.request_id = r.GetU32();
+  m.seq = r.GetU16();
+  m.total = r.GetU16();
+  m.offset = r.GetU64();
+  const uint32_t payload_length = r.GetU32();
+  const uint32_t payload_crc = r.GetU32();
+
+  switch (m.type) {
+    case MessageType::kOpen:
+    case MessageType::kRemove:
+      m.object_name = r.GetString();
+      m.open_flags = r.GetU32();
+      break;
+    case MessageType::kOpenReply:
+      m.status_code = r.GetU32();
+      m.data_port = r.GetU16();
+      m.size = r.GetU64();
+      break;
+    case MessageType::kReadReq:
+    case MessageType::kWriteReq:
+      m.read_length = r.GetU32();
+      m.window = r.GetU16();
+      break;
+    case MessageType::kWriteNack: {
+      const uint16_t count = r.GetU16();
+      m.missing_seqs.reserve(count);
+      for (uint16_t i = 0; i < count; ++i) {
+        m.missing_seqs.push_back(r.GetU16());
+      }
+      break;
+    }
+    case MessageType::kStatReply:
+    case MessageType::kTruncate:
+      m.size = r.GetU64();
+      break;
+    case MessageType::kError:
+      m.status_code = r.GetU32();
+      break;
+    default:
+      break;
+  }
+
+  if (!r.ok()) {
+    return InvalidArgumentError("truncated message header");
+  }
+  if (r.remaining() != payload_length) {
+    return InvalidArgumentError("payload length mismatch");
+  }
+  std::span<const uint8_t> payload = r.GetRemaining();
+  if (Crc32(payload) != payload_crc) {
+    return DataLossError("payload CRC mismatch");
+  }
+  m.payload.assign(payload.begin(), payload.end());
+  return m;
+}
+
+}  // namespace swift

@@ -1,0 +1,106 @@
+// Wire format of the Swift light-weight data transfer protocol.
+//
+// The prototype's protocol (§3.1) runs over UDP. Each storage agent listens
+// for OPEN requests on a well-known port; each open file gets a private port
+// and a dedicated secondary thread on the agent. Reads are client-driven
+// (the client requests packets and keeps enough state to re-request lost
+// ones — no acknowledgements needed); writes are streamed by the client and
+// the agent either ACKs all packets or NACKs the missing ones.
+//
+// Every message starts with a fixed header:
+//
+//   magic     u16   0x5357 ("SW")
+//   version   u8    protocol version (1)
+//   type      u8    MessageType
+//   handle    u32   agent-local file handle (0 for OPEN)
+//   request   u32   request id, scopes seq/total
+//   seq       u16   packet index within the request
+//   total     u16   packet count of the request
+//   offset    u64   agent-local byte offset of this packet's payload
+//   length    u32   payload byte count
+//   crc       u32   CRC-32 of the payload
+//
+// followed by type-specific fields and the payload. Integers are big-endian.
+
+#ifndef SWIFT_SRC_PROTO_MESSAGE_H_
+#define SWIFT_SRC_PROTO_MESSAGE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace swift {
+
+// Largest UDP payload the prototype ships per datagram. 8 KiB datagrams let
+// the kernel scatter-gather straight into user buffers while staying under
+// the SunOS socket-buffer limits that §3.1 describes.
+inline constexpr uint32_t kMaxPacketPayload = 8192;
+
+// Well-known agent port for OPEN requests (real-socket stack).
+inline constexpr uint16_t kDefaultAgentPort = 4751;
+
+enum class MessageType : uint8_t {
+  kOpen = 1,        // client → agent (well-known port): open/create a store file
+  kOpenReply = 2,   // agent → client: status, handle, private port, size
+  kReadReq = 3,     // client → agent: request packets of [offset, offset+len)
+  kData = 4,        // agent → client: one packet of read data
+  kWriteData = 5,   // client → agent: one packet of write data
+  kWriteAck = 6,    // agent → client: all packets of request received & stored
+  kWriteNack = 7,   // agent → client: list of missing seqs, please resend
+  kClose = 8,       // client → agent: release handle and private port
+  kCloseAck = 9,    // agent → client
+  kStat = 10,       // client → agent: query stored size
+  kStatReply = 11,  // agent → client
+  kTruncate = 12,   // client → agent: set stored size
+  kTruncateAck = 13,
+  kError = 14,      // agent → client: request failed (status_code set)
+  kWriteReq = 15,   // client → agent: announces/queries a write request.
+                    //   window=0: announce (offset/read_length/total describe
+                    //             the incoming WRITE_DATA burst; no reply)
+                    //   window=1: query (agent replies kWriteAck if complete,
+                    //             else kWriteNack with the missing seqs)
+  kRemove = 16,     // client → agent (well-known port): delete a store file
+  kRemoveAck = 17,  // agent → client
+};
+
+const char* MessageTypeName(MessageType type);
+
+// Open flags.
+inline constexpr uint32_t kOpenCreate = 1u << 0;   // create if missing
+inline constexpr uint32_t kOpenTruncate = 1u << 1; // start empty
+
+struct Message {
+  MessageType type = MessageType::kError;
+  uint32_t handle = 0;
+  uint32_t request_id = 0;
+  uint16_t seq = 0;
+  uint16_t total = 1;
+  uint64_t offset = 0;
+
+  // Type-specific fields (unused ones stay zero/empty).
+  std::string object_name;            // kOpen
+  uint32_t open_flags = 0;            // kOpen
+  uint16_t data_port = 0;             // kOpenReply: private port for the session
+  uint64_t size = 0;                  // kOpenReply/kStatReply/kTruncate: object size
+  uint32_t status_code = 0;           // kOpenReply/kError: 0 = OK, else StatusCode
+  std::vector<uint16_t> missing_seqs; // kWriteNack
+  uint32_t read_length = 0;           // kReadReq/kWriteReq: bytes in the request
+  uint16_t window = 0;                // kReadReq: packets in flight; kWriteReq: announce/query
+
+  std::vector<uint8_t> payload;       // kData/kWriteData
+
+  // Serializes to a datagram. The payload CRC is computed here.
+  std::vector<uint8_t> Encode() const;
+
+  // Parses a datagram. Fails on bad magic/version/truncation/CRC mismatch;
+  // a CRC failure is reported as kDataLoss so callers can treat the packet
+  // as lost.
+  static Result<Message> Decode(std::span<const uint8_t> datagram);
+};
+
+}  // namespace swift
+
+#endif  // SWIFT_SRC_PROTO_MESSAGE_H_

@@ -1,0 +1,85 @@
+#include "src/proto/packetizer.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace swift {
+
+uint32_t PacketCountFor(uint64_t length, uint32_t max_payload) {
+  SWIFT_CHECK(max_payload > 0);
+  if (length == 0) {
+    return 0;
+  }
+  return static_cast<uint32_t>((length + max_payload - 1) / max_payload);
+}
+
+std::vector<Message> SplitIntoPackets(MessageType type, uint32_t handle, uint32_t request_id,
+                                      uint64_t base_offset, std::span<const uint8_t> data,
+                                      uint32_t max_payload) {
+  SWIFT_CHECK(type == MessageType::kData || type == MessageType::kWriteData);
+  const uint32_t total = PacketCountFor(data.size(), max_payload);
+  SWIFT_CHECK(total <= UINT16_MAX) << "transfer too large for 16-bit seq space";
+  std::vector<Message> packets;
+  packets.reserve(total);
+  for (uint32_t seq = 0; seq < total; ++seq) {
+    const uint64_t packet_offset = static_cast<uint64_t>(seq) * max_payload;
+    const uint64_t chunk = std::min<uint64_t>(max_payload, data.size() - packet_offset);
+    Message m;
+    m.type = type;
+    m.handle = handle;
+    m.request_id = request_id;
+    m.seq = static_cast<uint16_t>(seq);
+    m.total = static_cast<uint16_t>(total);
+    m.offset = base_offset + packet_offset;
+    m.payload.assign(data.begin() + static_cast<ptrdiff_t>(packet_offset),
+                     data.begin() + static_cast<ptrdiff_t>(packet_offset + chunk));
+    packets.push_back(std::move(m));
+  }
+  return packets;
+}
+
+Reassembler::Reassembler(uint32_t request_id, uint64_t base_offset, uint64_t length,
+                         uint32_t total_packets)
+    : request_id_(request_id),
+      base_offset_(base_offset),
+      total_packets_(total_packets),
+      received_(total_packets, false),
+      data_(length, 0) {}
+
+Status Reassembler::Accept(const Message& packet) {
+  if (packet.request_id != request_id_) {
+    return InvalidArgumentError("packet for a different request");
+  }
+  if (packet.total != total_packets_) {
+    return InvalidArgumentError("inconsistent packet count");
+  }
+  if (packet.seq >= total_packets_) {
+    return InvalidArgumentError("seq out of range");
+  }
+  if (packet.offset < base_offset_ ||
+      packet.offset + packet.payload.size() > base_offset_ + data_.size()) {
+    return OutOfRangeError("payload outside the request window");
+  }
+  if (received_[packet.seq]) {
+    ++duplicate_count_;
+    return OkStatus();
+  }
+  received_[packet.seq] = true;
+  ++received_count_;
+  std::copy(packet.payload.begin(), packet.payload.end(),
+            data_.begin() + static_cast<ptrdiff_t>(packet.offset - base_offset_));
+  return OkStatus();
+}
+
+std::vector<uint16_t> Reassembler::MissingSeqs() const {
+  std::vector<uint16_t> missing;
+  for (uint32_t seq = 0; seq < total_packets_; ++seq) {
+    if (!received_[seq]) {
+      missing.push_back(static_cast<uint16_t>(seq));
+    }
+  }
+  return missing;
+}
+
+}  // namespace swift

@@ -1,0 +1,66 @@
+// Packetization and loss-tolerant reassembly for bulk transfers.
+//
+// A read or write of N bytes moves as ceil(N / max_payload) packets, each
+// tagged (request_id, seq, total, offset). The receiving side tracks arrival
+// with a bitmap: "the client keeps sufficient state to determine what
+// packets have been received and thus can resubmit requests when packets are
+// lost" (§3.1). The same machinery serves the agent side of writes, which
+// either ACKs a complete request or NACKs the list of missing seqs.
+
+#ifndef SWIFT_SRC_PROTO_PACKETIZER_H_
+#define SWIFT_SRC_PROTO_PACKETIZER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/proto/message.h"
+#include "src/util/status.h"
+
+namespace swift {
+
+// Splits `data` (logically at `base_offset`) into kData or kWriteData
+// packets. `total` across the packets is the packet count; seq runs 0..n-1.
+std::vector<Message> SplitIntoPackets(MessageType type, uint32_t handle, uint32_t request_id,
+                                      uint64_t base_offset, std::span<const uint8_t> data,
+                                      uint32_t max_payload = kMaxPacketPayload);
+
+// Number of packets a transfer of `length` bytes needs.
+uint32_t PacketCountFor(uint64_t length, uint32_t max_payload = kMaxPacketPayload);
+
+// Reassembles one request's packets into a contiguous buffer.
+class Reassembler {
+ public:
+  // Expects `total_packets` packets covering [base_offset, base_offset+length).
+  Reassembler(uint32_t request_id, uint64_t base_offset, uint64_t length, uint32_t total_packets);
+
+  // Accepts one packet. Duplicate packets are counted and ignored; packets
+  // for other requests, inconsistent geometry, or out-of-range payloads are
+  // rejected with an error.
+  Status Accept(const Message& packet);
+
+  bool complete() const { return received_count_ == total_packets_; }
+  uint32_t received_count() const { return received_count_; }
+  uint32_t total_packets() const { return total_packets_; }
+  uint64_t duplicate_count() const { return duplicate_count_; }
+
+  // Seqs not yet received — the retransmission request list.
+  std::vector<uint16_t> MissingSeqs() const;
+
+  // The reassembled bytes; valid once complete().
+  const std::vector<uint8_t>& data() const { return data_; }
+  std::vector<uint8_t> TakeData() { return std::move(data_); }
+
+ private:
+  uint32_t request_id_;
+  uint64_t base_offset_;
+  uint32_t total_packets_;
+  uint32_t received_count_ = 0;
+  uint64_t duplicate_count_ = 0;
+  std::vector<bool> received_;
+  std::vector<uint8_t> data_;
+};
+
+}  // namespace swift
+
+#endif  // SWIFT_SRC_PROTO_PACKETIZER_H_

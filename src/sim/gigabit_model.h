@@ -1,0 +1,110 @@
+// The paper's §5 simulation: Swift on a gigabit token ring.
+//
+// Faithful to the stated model:
+//   * Clients are diskless 100-MIPS hosts on a 1 Gb/s token ring; storage
+//     agents are 100-MIPS hosts with one disk each.
+//   * Requests arrive with exponential interarrival times, 4:1 read:write.
+//   * A read multicasts a small request packet to the agents; each agent
+//     reads its blocks (each block pays uniform seek + uniform rotation +
+//     transfer; multiblock requests hold the arm to completion) and
+//     transmits each block as soon as it comes off the disk. A write
+//     transmits the data to each agent and waits for acknowledgements after
+//     the blocks are on disk.
+//   * Every message costs 1,500 instructions + 1 instruction/byte at both
+//     endpoints (§5.1); no caching, no parity computation, no preallocation
+//     — exactly the paper's simplifications.
+//
+// Outputs: average request completion time at a given arrival rate
+// (Figures 3 and 4) and the maximum sustainable data-rate — the client
+// data-rate at the arrival rate where the average completion time equals
+// the average interarrival time (Figures 5 and 6).
+
+#ifndef SWIFT_SRC_SIM_GIGABIT_MODEL_H_
+#define SWIFT_SRC_SIM_GIGABIT_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/disk/disk_model.h"
+#include "src/util/rng.h"
+#include "src/util/units.h"
+
+namespace swift {
+
+struct GigabitConfig {
+  DiskParameters disk;
+  uint32_t num_disks = 8;
+  // Client request size (1 MiB in Figures 3/6, 128 KiB in Figures 4/5).
+  uint64_t request_bytes = MiB(1);
+  // Disk transfer unit = striping unit = network message payload.
+  uint64_t transfer_unit = KiB(32);
+  double read_fraction = 0.8;  // 4:1, §5.2
+  // Diskless client hosts sharing the workload round-robin. §2: "any
+  // component that limits the performance can ... be replicated and used in
+  // parallel" — more clients replicate the client CPU.
+  uint32_t num_clients = 1;
+  double host_mips = 100;
+  double ring_bits_per_second = 1e9;
+  SimTime ring_walk_time = Microseconds(50);
+  // Protocol cost: 1500 instructions + 1/byte (§5.1).
+  double protocol_fixed_instructions = 1500;
+  double protocol_per_byte_instructions = 1.0;
+  // Small control packets (read request multicast, write acknowledgement).
+  uint32_t control_packet_bytes = 64;
+
+  // §6.1.1 enhancement ("the simulator needs additional parameters to
+  // incorporate the cost of computing this derived data"): when redundancy
+  // is on, every write also computes one parity unit per stripe row (client
+  // CPU at `parity_instructions_per_byte` over the whole request) and ships
+  // and stores those extra units. Reads are unaffected while healthy.
+  bool redundancy = false;
+  double parity_instructions_per_byte = 1.0;
+  // Degraded operation: this many disks have failed (requires redundancy).
+  // Each read unit that lived on a failed disk is reconstructed by reading
+  // the same stripe row's unit from every surviving disk and XOR-ing at the
+  // client — the §2 resiliency story's runtime price.
+  uint32_t failed_disks = 0;
+};
+
+struct GigabitRunResult {
+  double offered_rate_per_second = 0;     // lambda
+  uint64_t requests_completed = 0;
+  double mean_completion_ms = 0;          // Figures 3/4 y-axis
+  double stddev_completion_ms = 0;
+  double p50_completion_ms = 0;           // tail behaviour (our addition)
+  double p95_completion_ms = 0;
+  double p99_completion_ms = 0;
+  double mean_disk_utilization = 0;       // paper quotes 50% at the Fig.3 knee
+  double ring_utilization = 0;            // paper: never above 22%
+  double client_data_rate = 0;            // bytes/s seen by the client
+  bool saturated = false;                 // queue still growing at the end
+};
+
+class GigabitModel {
+ public:
+  explicit GigabitModel(GigabitConfig config) : config_(config) {}
+
+  // Simulates `duration` of virtual time at arrival rate `lambda` (requests
+  // per second). Statistics exclude a warmup of `warmup`.
+  GigabitRunResult Run(double lambda, SimTime duration = Seconds(60),
+                       SimTime warmup = Seconds(5), uint64_t seed = 1) const;
+
+  struct Sustainable {
+    double lambda = 0;
+    double data_rate = 0;  // bytes/second at the sustainable point
+    double mean_completion_ms = 0;
+  };
+  // Finds the maximum sustainable load: the largest lambda where the mean
+  // completion time stays at or below the mean interarrival time (bisection
+  // over lambda; Figures 5/6).
+  Sustainable FindMaxSustainable(SimTime duration = Seconds(40), uint64_t seed = 1) const;
+
+  const GigabitConfig& config() const { return config_; }
+
+ private:
+  GigabitConfig config_;
+};
+
+}  // namespace swift
+
+#endif  // SWIFT_SRC_SIM_GIGABIT_MODEL_H_

@@ -1,0 +1,207 @@
+#include "src/sim/prototype_model.h"
+
+#include <memory>
+#include <vector>
+
+#include "src/event/channel.h"
+#include "src/event/co_event.h"
+#include "src/event/resource.h"
+#include "src/event/simulator.h"
+#include "src/net/ethernet.h"
+
+namespace swift {
+
+namespace {
+
+struct ProtoState {
+  ProtoState(const PrototypeConfig& config, const PrototypeTopology& topology, uint64_t seed)
+      : config(config), topology(topology), rng(seed), client_cpu(&sim, 1) {
+    for (uint32_t s = 0; s < topology.segments; ++s) {
+      EthernetSegment::Config ether = config.ether;
+      ether.name = s == 0 ? "lab-ether" : "dept-ether" + std::to_string(s);
+      ether.background_load = s == 0 ? 0.0 : config.shared_segment_background;
+      segments.push_back(std::make_unique<EthernetSegment>(&sim, ether, rng.Fork()));
+      // Station 0 on each segment is the client's interface.
+      client_stations.push_back(segments.back()->Attach(&null_inbox));
+    }
+    const uint32_t total_agents = topology.segments * topology.agents_per_segment;
+    for (uint32_t a = 0; a < total_agents; ++a) {
+      agent_segment.push_back(a / topology.agents_per_segment);
+      agent_stations.push_back(segments[agent_segment[a]]->Attach(&null_inbox));
+      agent_rngs.push_back(rng.Fork());
+    }
+  }
+
+  uint32_t agent_count() const { return static_cast<uint32_t>(agent_stations.size()); }
+
+  // Residual disk stall for one datagram's worth of data (see
+  // PrototypeConfig::agent_read_stall_mean), with per-block jitter.
+  SimTime DiskFetchTime(uint32_t agent) {
+    const double mean = static_cast<double>(config.agent_read_stall_mean);
+    const double jitter = config.agent_read_stall_jitter;
+    return static_cast<SimTime>(
+        agent_rngs[agent].Uniform((1.0 - jitter) * mean, (1.0 + jitter) * mean));
+  }
+
+  const PrototypeConfig& config;
+  const PrototypeTopology& topology;
+  Rng rng;
+  Simulator sim;
+  Channel<Datagram> null_inbox{&sim};
+  Resource client_cpu;
+  std::vector<std::unique_ptr<EthernetSegment>> segments;
+  std::vector<StationId> client_stations;   // client's station id per segment
+  std::vector<uint32_t> agent_segment;      // agent -> segment index
+  std::vector<StationId> agent_stations;    // agent -> station on its segment
+  std::vector<Rng> agent_rngs;
+};
+
+// --- read path ---------------------------------------------------------------
+
+// One window slot of one agent's stop-and-wait read loop: request packet out,
+// disk fetch, data back, client receive processing.
+SimProc AgentReadSlot(ProtoState& s, uint32_t agent, uint32_t datagrams, JoinCounter& done) {
+  EthernetSegment& wire = *s.segments[s.agent_segment[agent]];
+  const StationId client_station = s.client_stations[s.agent_segment[agent]];
+  for (uint32_t i = 0; i < datagrams; ++i) {
+    // Client issues the packet request (§3.1: the client keeps the state;
+    // the agent replies to requests as they arrive).
+    if (s.config.client_request_cost > 0) {
+      co_await s.client_cpu.Acquire();
+      co_await s.sim.Delay(s.config.client_request_cost);
+      s.client_cpu.Release();
+    }
+    co_await wire.Transmit(Datagram{client_station, s.agent_stations[agent],
+                                    s.config.request_packet_bytes, 0, 0, 0});
+    // Agent: handle the request, fetch the block (cold cache), send it.
+    co_await s.sim.Delay(s.config.agent_request_handling_cost);
+    co_await s.sim.Delay(s.DiskFetchTime(agent));
+    co_await s.sim.Delay(s.config.agent_cost_per_datagram);
+    co_await wire.Transmit(Datagram{s.agent_stations[agent], client_station,
+                                    s.config.datagram_bytes, 0, 0, 0});
+    // Client: per-datagram receive processing (fragment interrupts,
+    // reassembly, checksum, copy) — serialized on the client CPU.
+    co_await s.client_cpu.Acquire();
+    co_await s.sim.Delay(s.config.client_receive_cost_per_datagram);
+    s.client_cpu.Release();
+    done.Done();
+  }
+}
+
+SimProc ReadDriver(ProtoState& s, uint64_t total_datagrams, CoEvent& finished) {
+  JoinCounter done(&s.sim, total_datagrams);
+  // Datagrams are spread round-robin; agent a serves every (a mod N)-th.
+  const uint32_t agents = s.agent_count();
+  for (uint32_t a = 0; a < agents; ++a) {
+    const uint64_t share = total_datagrams / agents + (a < total_datagrams % agents ? 1 : 0);
+    if (share == 0) {
+      continue;
+    }
+    const uint32_t window = std::max<uint32_t>(1, s.config.read_window_per_agent);
+    for (uint32_t w = 0; w < window; ++w) {
+      const uint64_t slot_share = share / window + (w < share % window ? 1 : 0);
+      if (slot_share > 0) {
+        s.sim.Spawn(AgentReadSlot(s, a, static_cast<uint32_t>(slot_share), done));
+      }
+    }
+  }
+  co_await done;
+  finished.Trigger();
+}
+
+// --- write path --------------------------------------------------------------
+
+// Per-segment write pump: the client keeps `write_window_per_segment`
+// datagrams in flight on each wire, paying the send-path CPU cost per
+// datagram; agents absorb asynchronously (buffer-cache writes).
+SimProc SegmentWritePump(ProtoState& s, uint32_t segment, uint64_t datagrams, JoinCounter& done) {
+  EthernetSegment& wire = *s.segments[segment];
+  const StationId client_station = s.client_stations[segment];
+  const uint32_t agents_here = s.topology.agents_per_segment;
+  for (uint64_t i = 0; i < datagrams; ++i) {
+    const uint32_t agent = segment * agents_here + static_cast<uint32_t>(i % agents_here);
+    co_await s.client_cpu.Acquire();
+    co_await s.sim.Delay(s.config.client_send_cost_per_datagram);
+    s.client_cpu.Release();
+    co_await wire.Transmit(
+        Datagram{client_station, s.agent_stations[agent], s.config.datagram_bytes, 0, 0, 0});
+    done.Done();
+  }
+}
+
+SimProc WriteDriver(ProtoState& s, uint64_t total_datagrams, CoEvent& finished) {
+  const uint32_t segments = s.topology.segments;
+  JoinCounter done(&s.sim, total_datagrams);
+  for (uint32_t seg = 0; seg < segments; ++seg) {
+    const uint64_t share =
+        total_datagrams / segments + (seg < total_datagrams % segments ? 1 : 0);
+    if (share == 0) {
+      continue;
+    }
+    const uint32_t window = std::max<uint32_t>(1, s.config.write_window_per_segment);
+    for (uint32_t w = 0; w < window; ++w) {
+      const uint64_t slot_share = share / window + (w < share % window ? 1 : 0);
+      if (slot_share > 0) {
+        s.sim.Spawn(SegmentWritePump(s, seg, slot_share, done));
+      }
+    }
+  }
+  co_await done;
+  // Final acknowledgements from each agent (small packets, negligible but
+  // modelled for completeness).
+  for (uint32_t a = 0; a < s.agent_count(); ++a) {
+    EthernetSegment& wire = *s.segments[s.agent_segment[a]];
+    co_await wire.Transmit(Datagram{s.agent_stations[a],
+                                    s.client_stations[s.agent_segment[a]],
+                                    s.config.request_packet_bytes, 0, 0, 0});
+  }
+  finished.Trigger();
+}
+
+}  // namespace
+
+double SwiftPrototypeModel::MeasureReadRate(uint64_t bytes, uint64_t seed) const {
+  ProtoState state(config_, topology_, seed);
+  const uint64_t datagrams =
+      (bytes + config_.datagram_bytes - 1) / config_.datagram_bytes;
+  CoEvent finished(&state.sim);
+  state.sim.Spawn(ReadDriver(state, datagrams, finished));
+  // Step rather than Run(): shared segments carry endless background
+  // traffic, so the event queue never drains on its own.
+  while (!finished.triggered() && state.sim.Step()) {
+  }
+  SWIFT_CHECK(finished.triggered()) << "read model deadlocked";
+  last_segment0_utilization_ = state.segments[0]->Utilization();
+  return ToKiBPerSecond(static_cast<double>(bytes) / ToSecondsF(state.sim.now()));
+}
+
+double SwiftPrototypeModel::MeasureWriteRate(uint64_t bytes, uint64_t seed) const {
+  ProtoState state(config_, topology_, seed);
+  const uint64_t datagrams =
+      (bytes + config_.datagram_bytes - 1) / config_.datagram_bytes;
+  CoEvent finished(&state.sim);
+  state.sim.Spawn(WriteDriver(state, datagrams, finished));
+  while (!finished.triggered() && state.sim.Step()) {
+  }
+  SWIFT_CHECK(finished.triggered()) << "write model deadlocked";
+  last_segment0_utilization_ = state.segments[0]->Utilization();
+  return ToKiBPerSecond(static_cast<double>(bytes) / ToSecondsF(state.sim.now()));
+}
+
+SampleStats SwiftPrototypeModel::SampleRead(uint64_t bytes, uint64_t base_seed) const {
+  SampleStats stats;
+  for (int s = 0; s < config_.samples; ++s) {
+    stats.Add(MeasureReadRate(bytes, base_seed + static_cast<uint64_t>(s) * 6151));
+  }
+  return stats;
+}
+
+SampleStats SwiftPrototypeModel::SampleWrite(uint64_t bytes, uint64_t base_seed) const {
+  SampleStats stats;
+  for (int s = 0; s < config_.samples; ++s) {
+    stats.Add(MeasureWriteRate(bytes, base_seed + static_cast<uint64_t>(s) * 6151));
+  }
+  return stats;
+}
+
+}  // namespace swift

@@ -1,0 +1,47 @@
+#include "src/sim/report.h"
+
+#include <cstdio>
+
+namespace swift {
+
+void PrintTableHeader(const std::string& title, const std::string& paper_reference,
+                      bool with_columns) {
+  std::printf("==============================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_reference.c_str());
+  std::printf("==============================================================================\n");
+  if (!with_columns) {
+    return;
+  }
+  std::printf("%-14s | %28s | %26s | %s\n", "operation", "measured (KB/s)",
+              "paper (KB/s)", "ratio");
+  std::printf("%-14s | %7s %6s %6s %6s | %7s %6s [%5s,%5s] |\n", "", "mean", "sigma", "min",
+              "max", "mean", "sigma", "lo", "hi");
+  std::printf("------------------------------------------------------------------------------\n");
+}
+
+void PrintSampleRow(const std::string& label, const SampleStats& measured,
+                    const PaperRow& paper) {
+  const auto ci = measured.ConfidenceInterval(0.90);
+  const double ratio = paper.mean > 0 ? measured.mean() / paper.mean : 0;
+  std::printf("%-14s | %7.0f %6.1f %6.0f %6.0f | %7.0f %6.1f [%5.0f,%5.0f] | %.2fx\n",
+              label.c_str(), measured.mean(), measured.stddev(), measured.min(), measured.max(),
+              paper.mean, paper.stddev, paper.ci_low, paper.ci_high, ratio);
+  (void)ci;
+}
+
+void PrintSeriesHeader(const std::string& x_label, const std::string& y_label,
+                       const std::string& series_label) {
+  std::printf("\n--- series: %s ---\n", series_label.c_str());
+  std::printf("%12s %14s\n", x_label.c_str(), y_label.c_str());
+}
+
+void PrintSeriesPoint(double x, double y, const std::string& annotation) {
+  std::printf("%12.2f %14.2f  %s\n", x, y, annotation.c_str());
+}
+
+void PrintShapeCheck(bool ok, const std::string& description) {
+  std::printf("SHAPE %s: %s\n", ok ? "ok" : "DEVIATES", description.c_str());
+}
+
+}  // namespace swift

@@ -1,0 +1,47 @@
+// Table/series printers shared by the benchmark binaries.
+//
+// Every bench prints the paper's reported value next to the value our
+// reproduction measures, plus the ratio, so EXPERIMENTS.md can be filled by
+// running the binary. Formats mirror the paper: data-rates in KB/s with
+// mean/σ/min/max and a 90% confidence interval over eight samples (Tables
+// 1-4), and x/y series for the figures.
+
+#ifndef SWIFT_SRC_SIM_REPORT_H_
+#define SWIFT_SRC_SIM_REPORT_H_
+
+#include <string>
+
+#include "src/util/stats.h"
+
+namespace swift {
+
+// Reference statistics from one row of a paper table.
+struct PaperRow {
+  double mean = 0;
+  double stddev = 0;
+  double min = 0;
+  double max = 0;
+  double ci_low = 0;
+  double ci_high = 0;
+};
+
+// Prints the bench header: reproduction title + paper table reference.
+// `with_columns` adds the KB/s table column legend (Tables 1-4 style).
+void PrintTableHeader(const std::string& title, const std::string& paper_reference,
+                      bool with_columns = true);
+
+// One row: "<label>  measured: mean σ min max [CI]   paper: mean   ratio".
+void PrintSampleRow(const std::string& label, const SampleStats& measured,
+                    const PaperRow& paper);
+
+// Series header/points for figure benches.
+void PrintSeriesHeader(const std::string& x_label, const std::string& y_label,
+                       const std::string& series_label);
+void PrintSeriesPoint(double x, double y, const std::string& annotation = "");
+
+// Final shape-check line: "SHAPE <ok|DEVIATES>: <what>".
+void PrintShapeCheck(bool ok, const std::string& description);
+
+}  // namespace swift
+
+#endif  // SWIFT_SRC_SIM_REPORT_H_

@@ -1,0 +1,60 @@
+#include "src/sim/workload.h"
+
+#include <cmath>
+
+#include "src/util/logging.h"
+
+namespace swift {
+
+std::vector<RequestEvent> PoissonRequests(const PoissonConfig& config, SimTime duration,
+                                          Rng& rng) {
+  SWIFT_CHECK(config.requests_per_second > 0);
+  std::vector<RequestEvent> events;
+  const double mean_gap = 1.0 / config.requests_per_second;
+  SimTime t = 0;
+  for (;;) {
+    t += SecondsF(rng.ExponentialWithMean(mean_gap));
+    if (t >= duration) {
+      break;
+    }
+    events.push_back(RequestEvent{t, rng.Bernoulli(config.read_fraction), config.request_bytes});
+  }
+  return events;
+}
+
+namespace {
+
+uint64_t LogUniform(Rng& rng, uint64_t lo, uint64_t hi) {
+  const double u = rng.Uniform(std::log(static_cast<double>(lo)),
+                               std::log(static_cast<double>(hi)));
+  return static_cast<uint64_t>(std::exp(u));
+}
+
+}  // namespace
+
+uint64_t DrawFileSize(const FileSystemWorkloadConfig& config, Rng& rng) {
+  const double u = rng.UniformDouble();
+  if (u < config.tiny_fraction) {
+    return LogUniform(rng, 128, KiB(4));
+  }
+  if (u < config.tiny_fraction + config.small_fraction) {
+    return LogUniform(rng, KiB(4), KiB(64));
+  }
+  if (u < config.tiny_fraction + config.small_fraction + config.medium_fraction) {
+    return LogUniform(rng, KiB(64), MiB(1));
+  }
+  return LogUniform(rng, MiB(1), MiB(16));
+}
+
+std::vector<RequestEvent> FileSystemRequests(const FileSystemWorkloadConfig& config,
+                                             size_t count, Rng& rng) {
+  std::vector<RequestEvent> events;
+  events.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    events.push_back(
+        RequestEvent{0, rng.Bernoulli(config.read_fraction), DrawFileSize(config, rng)});
+  }
+  return events;
+}
+
+}  // namespace swift

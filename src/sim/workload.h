@@ -1,0 +1,62 @@
+// Workload generation for the experiment harnesses.
+//
+// Two generators:
+//
+//   * `PoissonRequests` — the paper's §5.1 model: exponential interarrival
+//     times with a fixed read fraction (the 4:1 split the Berkeley trace
+//     study motivated) and a fixed request size. Figures 3-6 use this.
+//   * `FileSystemWorkload` — a synthetic general-purpose file-system mix
+//     (the paper's §7 claim: Swift "can also handle small objects, such as
+//     those encountered in normal file systems"): file sizes drawn from a
+//     heavy-tailed distribution where most files are a few KiB and most
+//     *bytes* live in large files, matching the shape the BSD trace study
+//     reported. Used by the small-object experiments.
+
+#ifndef SWIFT_SRC_SIM_WORKLOAD_H_
+#define SWIFT_SRC_SIM_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/rng.h"
+#include "src/util/units.h"
+
+namespace swift {
+
+struct RequestEvent {
+  SimTime arrival = 0;
+  bool is_read = true;
+  uint64_t bytes = 0;
+};
+
+struct PoissonConfig {
+  double requests_per_second = 10;
+  double read_fraction = 0.8;  // 4:1
+  uint64_t request_bytes = MiB(1);
+};
+
+// Generates arrivals over [0, duration).
+std::vector<RequestEvent> PoissonRequests(const PoissonConfig& config, SimTime duration,
+                                          Rng& rng);
+
+struct FileSystemWorkloadConfig {
+  // Fractions of files per size class (must sum to 1): tiny metadata-ish
+  // files, small files, medium, and large; within a class sizes are
+  // log-uniform between the bounds.
+  double tiny_fraction = 0.35;    // 128 B .. 4 KiB
+  double small_fraction = 0.45;   // 4 KiB .. 64 KiB
+  double medium_fraction = 0.15;  // 64 KiB .. 1 MiB
+  double large_fraction = 0.05;   // 1 MiB .. 16 MiB
+  double read_fraction = 0.8;
+};
+
+// Draws one whole-file transfer size.
+uint64_t DrawFileSize(const FileSystemWorkloadConfig& config, Rng& rng);
+
+// Generates `count` whole-file requests (no arrival times; closed-loop use).
+std::vector<RequestEvent> FileSystemRequests(const FileSystemWorkloadConfig& config,
+                                             size_t count, Rng& rng);
+
+}  // namespace swift
+
+#endif  // SWIFT_SRC_SIM_WORKLOAD_H_

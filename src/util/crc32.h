@@ -1,0 +1,26 @@
+// CRC-32 (IEEE 802.3 polynomial) for datagram integrity checks.
+//
+// UDP's 16-bit checksum was considered too weak for multi-megabyte striped
+// transfers; every Swift datagram carries a CRC-32 over its payload so a
+// corrupted packet is treated exactly like a lost one (retransmitted).
+
+#ifndef SWIFT_SRC_UTIL_CRC32_H_
+#define SWIFT_SRC_UTIL_CRC32_H_
+
+#include <cstdint>
+#include <span>
+
+namespace swift {
+
+// One-shot CRC of a buffer.
+uint32_t Crc32(std::span<const uint8_t> data);
+
+// Incremental interface: crc = Crc32Update(crc, chunk) starting from
+// Crc32Init(), finished with Crc32Final().
+uint32_t Crc32Init();
+uint32_t Crc32Update(uint32_t state, std::span<const uint8_t> data);
+uint32_t Crc32Final(uint32_t state);
+
+}  // namespace swift
+
+#endif  // SWIFT_SRC_UTIL_CRC32_H_

@@ -1,0 +1,96 @@
+#include "src/util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/logging.h"
+
+namespace swift {
+
+namespace {
+
+// Geometric buckets: boundary(i) = kFirstBound * kGrowth^i. 512 buckets at
+// 7% growth span ~15 orders of magnitude above kFirstBound.
+constexpr double kFirstBound = 1.0;
+constexpr double kGrowth = 1.07;
+constexpr size_t kMaxBuckets = 512;
+
+}  // namespace
+
+LatencyHistogram::LatencyHistogram() : buckets_(kMaxBuckets, 0) {}
+
+size_t LatencyHistogram::BucketFor(double value) {
+  if (value <= kFirstBound) {
+    return 0;
+  }
+  const double index = std::log(value / kFirstBound) / std::log(kGrowth);
+  const size_t bucket = static_cast<size_t>(index) + 1;
+  return std::min(bucket, kMaxBuckets - 1);
+}
+
+double LatencyHistogram::BucketUpperBound(size_t bucket) {
+  return kFirstBound * std::pow(kGrowth, static_cast<double>(bucket));
+}
+
+void LatencyHistogram::Add(double value) {
+  SWIFT_CHECK(value >= 0) << "negative latency " << value;
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  ++buckets_[BucketFor(value)];
+}
+
+double LatencyHistogram::Quantile(double q) const {
+  SWIFT_CHECK(q >= 0 && q <= 1) << "quantile " << q;
+  if (count_ == 0) {
+    return 0;
+  }
+  if (q <= 0) {
+    return min_;
+  }
+  if (q >= 1) {
+    return max_;
+  }
+  const uint64_t rank = static_cast<uint64_t>(std::ceil(q * static_cast<double>(count_)));
+  uint64_t seen = 0;
+  for (size_t b = 0; b < buckets_.size(); ++b) {
+    seen += buckets_[b];
+    if (seen >= rank) {
+      return std::min(BucketUpperBound(b), max_);
+    }
+  }
+  return max_;
+}
+
+void LatencyHistogram::Clear() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = 0;
+  max_ = 0;
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (size_t b = 0; b < buckets_.size(); ++b) {
+    buckets_[b] += other.buckets_[b];
+  }
+}
+
+}  // namespace swift

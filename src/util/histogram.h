@@ -1,0 +1,54 @@
+// Log-bucketed latency histogram with quantile queries.
+//
+// The mean completion times of Figures 3/4 hide the tail that a video
+// server actually cares about; the experiment harnesses record per-request
+// latencies here and report p50/p95/p99 alongside the paper's means.
+// Buckets grow geometrically (~7% width), giving <4% quantile error over
+// nanoseconds-to-hours with a few hundred counters.
+
+#ifndef SWIFT_SRC_UTIL_HISTOGRAM_H_
+#define SWIFT_SRC_UTIL_HISTOGRAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace swift {
+
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  // Records one non-negative sample (unit-agnostic; callers pick ns or ms).
+  void Add(double value);
+
+  uint64_t count() const { return count_; }
+  double min() const { return count_ > 0 ? min_ : 0; }
+  double max() const { return count_ > 0 ? max_ : 0; }
+  double mean() const { return count_ > 0 ? sum_ / static_cast<double>(count_) : 0; }
+
+  // Value at quantile q in [0,1]: an upper bound from the bucket boundary
+  // (exact at q=0/1 via the tracked min/max).
+  double Quantile(double q) const;
+  double P50() const { return Quantile(0.50); }
+  double P95() const { return Quantile(0.95); }
+  double P99() const { return Quantile(0.99); }
+
+  void Clear();
+  // Merges another histogram into this one.
+  void Merge(const LatencyHistogram& other);
+
+ private:
+  static size_t BucketFor(double value);
+  static double BucketUpperBound(size_t bucket);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+}  // namespace swift
+
+#endif  // SWIFT_SRC_UTIL_HISTOGRAM_H_

@@ -1,0 +1,60 @@
+#include "src/util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace swift {
+
+namespace {
+
+std::atomic<LogLevel> g_min_level{LogLevel::kInfo};
+
+// Serializes whole lines; the UDP agent logs from several threads.
+std::mutex& LogMutex() {
+  static std::mutex m;
+  return m;
+}
+
+char LevelLetter(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return 'D';
+    case LogLevel::kInfo:
+      return 'I';
+    case LogLevel::kWarning:
+      return 'W';
+    case LogLevel::kError:
+      return 'E';
+    case LogLevel::kFatal:
+      return 'F';
+  }
+  return '?';
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+}  // namespace
+
+void SetMinLogLevel(LogLevel level) { g_min_level.store(level, std::memory_order_relaxed); }
+
+LogLevel MinLogLevel() { return g_min_level.load(std::memory_order_relaxed); }
+
+void EmitLogMessage(LogLevel level, const char* file, int line, const std::string& message) {
+  {
+    std::lock_guard<std::mutex> lock(LogMutex());
+    std::fprintf(stderr, "[%c %s:%d] %s\n", LevelLetter(level), Basename(file), line,
+                 message.c_str());
+    std::fflush(stderr);
+  }
+  if (level == LogLevel::kFatal) {
+    std::abort();
+  }
+}
+
+}  // namespace swift

@@ -1,0 +1,75 @@
+// Minimal leveled logging for servers, examples and debugging.
+//
+// The real-socket agent processes log through this; the virtual-time
+// simulators are silent by default (they report through their experiment
+// harnesses instead). Output goes to stderr.
+//
+//   SWIFT_LOG(INFO) << "agent " << id << " listening on port " << port;
+
+#ifndef SWIFT_SRC_UTIL_LOGGING_H_
+#define SWIFT_SRC_UTIL_LOGGING_H_
+
+#include <ostream>
+#include <sstream>
+#include <string>
+
+namespace swift {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+// Process-wide minimum level; messages below it are discarded. Defaults to
+// kInfo.
+void SetMinLogLevel(LogLevel level);
+LogLevel MinLogLevel();
+
+// Internal: emits a completed message. Aborts the process after a kFatal.
+void EmitLogMessage(LogLevel level, const char* file, int line, const std::string& message);
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogMessage() { EmitLogMessage(level_, file_, line_, stream_.str()); }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+// Adapter that turns a streamed expression into void so it can sit on one arm
+// of the conditional in SWIFT_LOG. operator& binds looser than operator<<.
+struct LogVoidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace swift
+
+#define SWIFT_LOG_LEVEL_DEBUG ::swift::LogLevel::kDebug
+#define SWIFT_LOG_LEVEL_INFO ::swift::LogLevel::kInfo
+#define SWIFT_LOG_LEVEL_WARNING ::swift::LogLevel::kWarning
+#define SWIFT_LOG_LEVEL_ERROR ::swift::LogLevel::kError
+#define SWIFT_LOG_LEVEL_FATAL ::swift::LogLevel::kFatal
+
+#define SWIFT_LOG(severity)                                       \
+  (SWIFT_LOG_LEVEL_##severity < ::swift::MinLogLevel())           \
+      ? (void)0                                                   \
+      : ::swift::LogVoidify() &                                   \
+            ::swift::LogMessage(SWIFT_LOG_LEVEL_##severity, __FILE__, __LINE__).stream()
+
+// Unconditional invariant check; active in all build modes (invariants in a
+// storage system are not something to compile out). Streams context after:
+//   SWIFT_CHECK(offset % unit == 0) << "offset " << offset;
+#define SWIFT_CHECK(cond)                                                        \
+  (cond) ? (void)0                                                               \
+         : ::swift::LogVoidify() &                                               \
+               ::swift::LogMessage(::swift::LogLevel::kFatal, __FILE__, __LINE__).stream() \
+                   << "check failed: " #cond " "
+
+#endif  // SWIFT_SRC_UTIL_LOGGING_H_

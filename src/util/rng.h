@@ -1,0 +1,60 @@
+// Deterministic random-number sources for the simulators and tests.
+//
+// Every stochastic component takes an explicit `Rng` so that experiments are
+// reproducible from a seed; there is no global generator. The distributions
+// here are the ones the paper's simulator needs: uniform seek/rotation delays
+// and exponential request interarrival times (§5.1).
+
+#ifndef SWIFT_SRC_UTIL_RNG_H_
+#define SWIFT_SRC_UTIL_RNG_H_
+
+#include <cstdint>
+#include <random>
+
+namespace swift {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  // Uniform in [0, 1).
+  double UniformDouble() { return unit_(engine_); }
+
+  // Uniform in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * UniformDouble(); }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    std::uniform_int_distribution<int64_t> d(lo, hi);
+    return d(engine_);
+  }
+
+  // Exponential with the given mean (mean = 1/lambda).
+  double ExponentialWithMean(double mean) {
+    // Inverse-CDF keeps us independent of library implementation details, so
+    // results are bit-stable across standard libraries.
+    double u = UniformDouble();
+    if (u >= 1.0) {
+      u = std::nextafter(1.0, 0.0);
+    }
+    return -mean * std::log(1.0 - u);
+  }
+
+  // True with probability p.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  // Derives an independent child stream; used to give each simulated
+  // component its own sequence so adding a component does not perturb the
+  // draws seen by the others.
+  Rng Fork() { return Rng(engine_() ^ 0x9e3779b97f4a7c15ull); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uniform_real_distribution<double> unit_{0.0, 1.0};
+};
+
+}  // namespace swift
+
+#endif  // SWIFT_SRC_UTIL_RNG_H_

@@ -1,0 +1,131 @@
+#include "src/util/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace swift {
+
+namespace {
+
+// Critical values t_{alpha/2, dof} for two-sided confidence intervals.
+// Rows: dof 1..30; beyond 30 we fall back to the normal approximation.
+// Columns: 90%, 95%, 99%.
+constexpr double kT90[30] = {6.314, 2.920, 2.353, 2.132, 2.015, 1.943, 1.895, 1.860,
+                             1.833, 1.812, 1.796, 1.782, 1.771, 1.761, 1.753, 1.746,
+                             1.740, 1.734, 1.729, 1.725, 1.721, 1.717, 1.714, 1.711,
+                             1.708, 1.706, 1.703, 1.701, 1.699, 1.697};
+constexpr double kT95[30] = {12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306,
+                             2.262,  2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120,
+                             2.110,  2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+                             2.060,  2.056, 2.052, 2.048, 2.045, 2.042};
+constexpr double kT99[30] = {63.657, 9.925, 5.841, 4.604, 4.032, 3.707, 3.499, 3.355,
+                             3.250,  3.169, 3.106, 3.055, 3.012, 2.977, 2.947, 2.921,
+                             2.898,  2.878, 2.861, 2.845, 2.831, 2.819, 2.807, 2.797,
+                             2.787,  2.779, 2.771, 2.763, 2.756, 2.750};
+
+}  // namespace
+
+double StudentTCritical(double confidence, size_t dof) {
+  assert(dof >= 1);
+  const double* table = nullptr;
+  double normal = 0;
+  if (confidence <= 0.905) {
+    table = kT90;
+    normal = 1.645;
+  } else if (confidence <= 0.955) {
+    table = kT95;
+    normal = 1.960;
+  } else {
+    table = kT99;
+    normal = 2.576;
+  }
+  if (dof <= 30) {
+    return table[dof - 1];
+  }
+  return normal;
+}
+
+void SampleStats::Add(double sample) { samples_.push_back(sample); }
+
+void SampleStats::Clear() { samples_.clear(); }
+
+double SampleStats::mean() const {
+  if (samples_.empty()) {
+    return 0;
+  }
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
+         static_cast<double>(samples_.size());
+}
+
+double SampleStats::stddev() const {
+  if (samples_.size() < 2) {
+    return 0;
+  }
+  const double m = mean();
+  double ss = 0;
+  for (double s : samples_) {
+    ss += (s - m) * (s - m);
+  }
+  return std::sqrt(ss / static_cast<double>(samples_.size() - 1));
+}
+
+double SampleStats::min() const {
+  if (samples_.empty()) {
+    return 0;
+  }
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double SampleStats::max() const {
+  if (samples_.empty()) {
+    return 0;
+  }
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+SampleStats::Interval SampleStats::ConfidenceInterval(double confidence) const {
+  Interval iv;
+  if (samples_.size() < 2) {
+    iv.low = iv.high = mean();
+    return iv;
+  }
+  const double t = StudentTCritical(confidence, samples_.size() - 1);
+  const double half = t * stddev() / std::sqrt(static_cast<double>(samples_.size()));
+  iv.low = mean() - half;
+  iv.high = mean() + half;
+  return iv;
+}
+
+void RunningStats::Add(double sample) {
+  if (count_ == 0) {
+    min_ = max_ = sample;
+  } else {
+    min_ = std::min(min_, sample);
+    max_ = std::max(max_, sample);
+  }
+  ++count_;
+  const double delta = sample - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (sample - mean_);
+}
+
+void RunningStats::Clear() {
+  count_ = 0;
+  mean_ = 0;
+  m2_ = 0;
+  min_ = 0;
+  max_ = 0;
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) {
+    return 0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace swift

@@ -1,0 +1,75 @@
+// Sample statistics matching the paper's measurement methodology.
+//
+// The paper reports, for each experiment, the mean, standard deviation,
+// minimum, maximum, and a 90% confidence interval computed from eight
+// samples (Student's t-distribution with 7 degrees of freedom). `SampleStats`
+// reproduces exactly that presentation so bench output lines up with
+// Tables 1-4.
+
+#ifndef SWIFT_SRC_UTIL_STATS_H_
+#define SWIFT_SRC_UTIL_STATS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace swift {
+
+// Accumulates scalar samples; all accessors are valid once count() >= 1
+// (confidence intervals need count() >= 2).
+class SampleStats {
+ public:
+  void Add(double sample);
+  void Clear();
+
+  size_t count() const { return samples_.size(); }
+  double mean() const;
+  // Sample standard deviation (n-1 denominator), as used in the paper.
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+  struct Interval {
+    double low = 0;
+    double high = 0;
+  };
+  // Two-sided confidence interval for the mean using Student's t.
+  // `confidence` currently supports 0.90, 0.95 and 0.99.
+  Interval ConfidenceInterval(double confidence = 0.90) const;
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+};
+
+// Upper critical value t_{alpha/2, dof} of Student's t-distribution for the
+// given two-sided confidence level. Exposed for tests.
+double StudentTCritical(double confidence, size_t dof);
+
+// Streaming mean/variance without sample retention (Welford). Used where the
+// sims accumulate millions of per-request latencies.
+class RunningStats {
+ public:
+  void Add(double sample);
+  void Clear();
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  double variance() const;  // sample variance (n-1)
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+}  // namespace swift
+
+#endif  // SWIFT_SRC_UTIL_STATS_H_

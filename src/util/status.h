@@ -1,0 +1,148 @@
+// Lightweight error-handling vocabulary for the Swift libraries.
+//
+// Swift code does not throw exceptions across module boundaries; fallible
+// operations return `Status` (no payload) or `Result<T>` (payload or error).
+// Both carry a `StatusCode` and a human-readable message.
+
+#ifndef SWIFT_SRC_UTIL_STATUS_H_
+#define SWIFT_SRC_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace swift {
+
+// Canonical error space, loosely modelled on POSIX errno groups that the 1991
+// prototype would have surfaced through the Unix file interface.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,    // caller passed something malformed
+  kNotFound,           // object/agent/session does not exist
+  kAlreadyExists,      // object or session name collision
+  kOutOfRange,         // offset beyond object bounds on a bounded op
+  kResourceExhausted,  // mediator admission rejection, buffer exhaustion
+  kUnavailable,        // agent unreachable / failed (possibly transient)
+  kDataLoss,           // unrecoverable loss (e.g. >1 failure per parity group)
+  kTimedOut,           // protocol retransmission budget exhausted
+  kInternal,           // invariant violation; indicates a bug
+  kUnimplemented,      // feature intentionally absent
+  kIoError,            // backing store I/O failure
+};
+
+// Short stable identifier, e.g. "NOT_FOUND". Never returns null.
+const char* StatusCodeName(StatusCode code);
+
+// A success-or-error value without a payload.
+class [[nodiscard]] Status {
+ public:
+  // Success.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message) : code_(code), message_(std::move(message)) {
+    assert(code != StatusCode::kOk && "use Status() or OkStatus() for success");
+  }
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "NOT_FOUND: no such object 'x'".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status(); }
+
+// Convenience constructors mirroring the code space.
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status OutOfRangeError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status UnavailableError(std::string message);
+Status DataLossError(std::string message);
+Status TimedOutError(std::string message);
+Status InternalError(std::string message);
+Status UnimplementedError(std::string message);
+Status IoError(std::string message);
+
+// A value of type T or an error Status. `Result` is cheap to move and keeps
+// exactly one of {value, error}.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  // Intentionally implicit so `return value;` and `return SomeError(...);`
+  // both work at fallible call sites.
+  Result(T value) : storage_(std::in_place_index<0>, std::move(value)) {}
+  Result(Status status) : storage_(std::in_place_index<1>, std::move(status)) {
+    assert(!std::get<1>(storage_).ok() && "Result<T> must not hold an OK status");
+  }
+
+  bool ok() const { return storage_.index() == 0; }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<0>(storage_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<0>(storage_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(std::get<0>(storage_));
+  }
+
+  // OK when the result holds a value.
+  Status status() const { return ok() ? OkStatus() : std::get<1>(storage_); }
+  StatusCode code() const { return ok() ? StatusCode::kOk : std::get<1>(storage_).code(); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // Returns the value or `fallback` on error.
+  T value_or(T fallback) const& { return ok() ? value() : std::move(fallback); }
+
+ private:
+  std::variant<T, Status> storage_;
+};
+
+// Propagates errors to the caller: `SWIFT_RETURN_IF_ERROR(DoThing());`
+#define SWIFT_RETURN_IF_ERROR(expr)                  \
+  do {                                               \
+    ::swift::Status swift_status_tmp_ = (expr);      \
+    if (!swift_status_tmp_.ok()) {                   \
+      return swift_status_tmp_;                      \
+    }                                                \
+  } while (0)
+
+// Assigns from a Result or propagates its error:
+//   SWIFT_ASSIGN_OR_RETURN(auto layout, MakeLayout(params));
+#define SWIFT_ASSIGN_OR_RETURN(lhs, rexpr)                        \
+  SWIFT_ASSIGN_OR_RETURN_IMPL_(SWIFT_CONCAT_(swift_result_, __LINE__), lhs, rexpr)
+
+#define SWIFT_CONCAT_INNER_(a, b) a##b
+#define SWIFT_CONCAT_(a, b) SWIFT_CONCAT_INNER_(a, b)
+
+#define SWIFT_ASSIGN_OR_RETURN_IMPL_(result, lhs, rexpr) \
+  auto result = (rexpr);                                 \
+  if (!result.ok()) {                                    \
+    return result.status();                              \
+  }                                                      \
+  lhs = std::move(result).value()
+
+}  // namespace swift
+
+#endif  // SWIFT_SRC_UTIL_STATUS_H_

@@ -1,0 +1,62 @@
+#include "src/util/units.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace swift {
+
+namespace {
+
+std::string FormatDouble(double v, const char* suffix) {
+  char buf[64];
+  if (v >= 100) {
+    std::snprintf(buf, sizeof(buf), "%.0f %s", v, suffix);
+  } else if (v >= 10) {
+    std::snprintf(buf, sizeof(buf), "%.1f %s", v, suffix);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f %s", v, suffix);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string FormatBytes(uint64_t bytes) {
+  if (bytes >= kGiB) {
+    return FormatDouble(static_cast<double>(bytes) / kGiB, "GiB");
+  }
+  if (bytes >= kMiB) {
+    return FormatDouble(static_cast<double>(bytes) / kMiB, "MiB");
+  }
+  if (bytes >= kKiB) {
+    return FormatDouble(static_cast<double>(bytes) / kKiB, "KiB");
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu B", static_cast<unsigned long long>(bytes));
+  return buf;
+}
+
+std::string FormatRate(double bytes_per_second) {
+  if (bytes_per_second >= static_cast<double>(kMiB)) {
+    return FormatDouble(bytes_per_second / kMiB, "MB/s");
+  }
+  return FormatDouble(bytes_per_second / kKiB, "KB/s");
+}
+
+std::string FormatSimTime(SimTime t) {
+  double abs = std::abs(static_cast<double>(t));
+  if (abs >= kSecond) {
+    return FormatDouble(static_cast<double>(t) / kSecond, "s");
+  }
+  if (abs >= kMillisecond) {
+    return FormatDouble(static_cast<double>(t) / kMillisecond, "ms");
+  }
+  if (abs >= kMicrosecond) {
+    return FormatDouble(static_cast<double>(t) / kMicrosecond, "us");
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld ns", static_cast<long long>(t));
+  return buf;
+}
+
+}  // namespace swift

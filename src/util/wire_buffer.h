@@ -1,0 +1,133 @@
+// Byte-order-safe serialization primitives for the Swift wire protocol.
+//
+// All multi-byte integers on the wire are big-endian (network order), as the
+// 1991 prototype's Sun hosts would have produced naturally. `WireWriter`
+// appends into a growable buffer; `WireReader` consumes a read-only view and
+// reports truncation through its ok() flag rather than crashing, since its
+// input arrives off the network.
+
+#ifndef SWIFT_SRC_UTIL_WIRE_BUFFER_H_
+#define SWIFT_SRC_UTIL_WIRE_BUFFER_H_
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace swift {
+
+class WireWriter {
+ public:
+  WireWriter() = default;
+  explicit WireWriter(size_t reserve) { buffer_.reserve(reserve); }
+
+  void PutU8(uint8_t v) { buffer_.push_back(v); }
+  void PutU16(uint16_t v) {
+    PutU8(static_cast<uint8_t>(v >> 8));
+    PutU8(static_cast<uint8_t>(v));
+  }
+  void PutU32(uint32_t v) {
+    PutU16(static_cast<uint16_t>(v >> 16));
+    PutU16(static_cast<uint16_t>(v));
+  }
+  void PutU64(uint64_t v) {
+    PutU32(static_cast<uint32_t>(v >> 32));
+    PutU32(static_cast<uint32_t>(v));
+  }
+
+  // Length-prefixed (u16) string; the protocol never needs names >64 KiB.
+  void PutString(std::string_view s) {
+    PutU16(static_cast<uint16_t>(s.size()));
+    PutBytes(std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(s.data()), s.size()));
+  }
+
+  void PutBytes(std::span<const uint8_t> bytes) {
+    buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+  }
+
+  const std::vector<uint8_t>& buffer() const { return buffer_; }
+  std::vector<uint8_t> Take() { return std::move(buffer_); }
+  size_t size() const { return buffer_.size(); }
+
+ private:
+  std::vector<uint8_t> buffer_;
+};
+
+class WireReader {
+ public:
+  explicit WireReader(std::span<const uint8_t> data) : data_(data) {}
+
+  // Once a read runs past the end, ok() turns false and every subsequent
+  // accessor returns zero values; callers check ok() once after decoding.
+  bool ok() const { return ok_; }
+  size_t remaining() const { return data_.size() - pos_; }
+  size_t position() const { return pos_; }
+
+  uint8_t GetU8() {
+    if (!Ensure(1)) {
+      return 0;
+    }
+    return data_[pos_++];
+  }
+  uint16_t GetU16() {
+    uint16_t hi = GetU8();
+    uint16_t lo = GetU8();
+    return static_cast<uint16_t>(hi << 8 | lo);
+  }
+  uint32_t GetU32() {
+    uint32_t hi = GetU16();
+    uint32_t lo = GetU16();
+    return hi << 16 | lo;
+  }
+  uint64_t GetU64() {
+    uint64_t hi = GetU32();
+    uint64_t lo = GetU32();
+    return hi << 32 | lo;
+  }
+
+  std::string GetString() {
+    uint16_t len = GetU16();
+    if (!Ensure(len)) {
+      return std::string();
+    }
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), len);
+    pos_ += len;
+    return s;
+  }
+
+  // View of the next `n` bytes without copying; empty span on truncation.
+  std::span<const uint8_t> GetBytes(size_t n) {
+    if (!Ensure(n)) {
+      return {};
+    }
+    std::span<const uint8_t> out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+  // The rest of the payload (possibly empty).
+  std::span<const uint8_t> GetRemaining() {
+    std::span<const uint8_t> out = data_.subspan(pos_);
+    pos_ = data_.size();
+    return out;
+  }
+
+ private:
+  bool Ensure(size_t n) {
+    if (!ok_ || data_.size() - pos_ < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  std::span<const uint8_t> data_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace swift
+
+#endif  // SWIFT_SRC_UTIL_WIRE_BUFFER_H_

@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# End-to-end test of the deployable toolchain: three swift_agentd processes,
+# swift_cli create/put/get/stat/rm, parity rebuild after wiping an agent's
+# store, and byte-exact verification throughout.
+#
+# Usage: cli_integration.sh <swift_agentd> <swift_cli>
+set -eu
+
+AGENTD="$1"
+CLI_BIN="$2"
+WORK="$(mktemp -d)"
+PIDS=""
+
+cleanup() {
+  for pid in $PIDS; do
+    kill "$pid" 2>/dev/null || true
+  done
+  wait 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# Start three agents on ephemeral-ish ports derived from the PID.
+BASE_PORT=$(( 20000 + ($$ % 20000) ))
+PORTS=""
+for i in 0 1 2; do
+  port=$((BASE_PORT + i))
+  "$AGENTD" --root="$WORK/agent$i" --port=$port --seconds=60 >"$WORK/agent$i.log" 2>&1 &
+  PIDS="$PIDS $!"
+  PORTS="$PORTS,$port"
+done
+PORTS="${PORTS#,}"
+sleep 0.5
+
+CLI="$CLI_BIN --agents=$PORTS --dir=$WORK/objects.dirdb"
+
+head -c 2500000 /dev/urandom > "$WORK/original.bin"
+
+$CLI create archive --unit=65536 --parity
+$CLI put archive "$WORK/original.bin"
+$CLI stat archive | grep -q "2.38 MiB" || { echo "FAIL: stat size"; exit 1; }
+$CLI ls | grep -q archive || { echo "FAIL: ls"; exit 1; }
+
+$CLI get archive "$WORK/copy.bin"
+cmp "$WORK/original.bin" "$WORK/copy.bin" || { echo "FAIL: round trip differs"; exit 1; }
+
+# Replace agent 1: wipe its store, rebuild, verify byte-exact.
+rm -f "$WORK/agent1/archive"
+$CLI rebuild archive 1
+$CLI get archive "$WORK/copy2.bin"
+cmp "$WORK/original.bin" "$WORK/copy2.bin" || { echo "FAIL: post-rebuild differs"; exit 1; }
+
+# Removal cleans the directory and the agent stores.
+$CLI rm archive
+$CLI ls | grep -q archive && { echo "FAIL: still listed after rm"; exit 1; }
+for i in 0 1 2; do
+  [ -e "$WORK/agent$i/archive" ] && { echo "FAIL: store file survived rm"; exit 1; }
+done
+
+echo "cli_integration: PASS"

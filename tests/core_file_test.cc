@@ -1,0 +1,368 @@
+// SwiftFile end-to-end over in-process transports: Unix semantics (read,
+// write, seek, short reads, holes), striping correctness against a reference
+// model, parity maintenance, agent-failure reconstruction, and degraded
+// writes. This is the core integration suite for the paper's architecture.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "src/agent/local_cluster.h"
+#include "src/core/parity.h"
+#include "src/core/swift_file.h"
+#include "src/util/rng.h"
+
+namespace swift {
+namespace {
+
+std::vector<uint8_t> Pattern(size_t n, uint64_t seed = 1) {
+  std::vector<uint8_t> out(n);
+  Rng rng(seed);
+  for (auto& b : out) {
+    b = static_cast<uint8_t>(rng.UniformInt(0, 255));
+  }
+  return out;
+}
+
+std::unique_ptr<SwiftFile> MakeFile(LocalSwiftCluster& cluster, const std::string& name,
+                                    bool redundancy, uint32_t max_agents = 0,
+                                    uint64_t typical_request = MiB(1)) {
+  auto file = cluster.CreateFile({.object_name = name,
+                                  .expected_size = MiB(8),
+                                  .required_rate = 0,
+                                  .typical_request = typical_request,
+                                  .redundancy = redundancy,
+                                  .min_agents = max_agents,
+                                  .max_agents = max_agents});
+  EXPECT_TRUE(file.ok()) << file.status().ToString();
+  return std::move(*file);
+}
+
+TEST(SwiftFileTest, WriteThenReadBack) {
+  LocalSwiftCluster cluster({.num_agents = 3});
+  auto file = MakeFile(cluster, "obj", /*redundancy=*/false, 3, KiB(48));
+  std::vector<uint8_t> data = Pattern(KiB(100));
+  auto written = file->Write(data);
+  ASSERT_TRUE(written.ok());
+  EXPECT_EQ(*written, KiB(100));
+  EXPECT_EQ(file->size(), KiB(100));
+  EXPECT_EQ(file->cursor(), KiB(100));
+
+  ASSERT_TRUE(file->Seek(0, SeekWhence::kSet).ok());
+  std::vector<uint8_t> read_back(KiB(100));
+  auto n = file->Read(read_back);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, KiB(100));
+  EXPECT_EQ(read_back, data);
+}
+
+TEST(SwiftFileTest, DataActuallyStripedAcrossAgents) {
+  LocalSwiftCluster cluster({.num_agents = 3});
+  auto file = MakeFile(cluster, "obj", false, 3, KiB(48));  // 16 KiB units
+  std::vector<uint8_t> data = Pattern(KiB(96));
+  ASSERT_TRUE(file->Write(data).ok());
+  // Every agent must hold exactly a third of the bytes.
+  for (uint32_t a = 0; a < 3; ++a) {
+    EXPECT_EQ(cluster.agent_core(a)->bytes_written(), KiB(32)) << "agent " << a;
+  }
+}
+
+TEST(SwiftFileTest, ShortReadAtEof) {
+  LocalSwiftCluster cluster({.num_agents = 2});
+  auto file = MakeFile(cluster, "obj", false);
+  std::vector<uint8_t> data = Pattern(1000);
+  ASSERT_TRUE(file->Write(data).ok());
+  ASSERT_TRUE(file->Seek(900, SeekWhence::kSet).ok());
+  std::vector<uint8_t> buf(500, 0xEE);
+  auto n = file->Read(buf);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 100u);  // short read: only 100 bytes remained
+  EXPECT_TRUE(std::equal(buf.begin(), buf.begin() + 100, data.begin() + 900));
+  // At EOF: zero bytes.
+  auto eof = file->Read(buf);
+  ASSERT_TRUE(eof.ok());
+  EXPECT_EQ(*eof, 0u);
+}
+
+TEST(SwiftFileTest, SeekSemantics) {
+  LocalSwiftCluster cluster({.num_agents = 2});
+  auto file = MakeFile(cluster, "obj", false);
+  ASSERT_TRUE(file->Write(Pattern(1000)).ok());
+  EXPECT_EQ(*file->Seek(10, SeekWhence::kSet), 10u);
+  EXPECT_EQ(*file->Seek(5, SeekWhence::kCurrent), 15u);
+  EXPECT_EQ(*file->Seek(-5, SeekWhence::kEnd), 995u);
+  EXPECT_EQ(file->Seek(-2000, SeekWhence::kCurrent).code(), StatusCode::kInvalidArgument);
+  // Seek past EOF then write: the gap reads back as zeros.
+  ASSERT_TRUE(file->Seek(2000, SeekWhence::kSet).ok());
+  ASSERT_TRUE(file->Write(Pattern(10, 9)).ok());
+  EXPECT_EQ(file->size(), 2010u);
+  std::vector<uint8_t> hole(1000);
+  ASSERT_TRUE(file->PRead(1000, hole).ok());
+  EXPECT_EQ(hole, std::vector<uint8_t>(1000, 0));
+}
+
+TEST(SwiftFileTest, OverwriteInPlace) {
+  LocalSwiftCluster cluster({.num_agents = 3});
+  auto file = MakeFile(cluster, "obj", false, 3, KiB(12));  // 4 KiB units
+  std::vector<uint8_t> base = Pattern(KiB(40), 1);
+  ASSERT_TRUE(file->Write(base).ok());
+  std::vector<uint8_t> patch = Pattern(KiB(9), 2);
+  ASSERT_TRUE(file->PWrite(KiB(7), patch).ok());
+  std::memcpy(base.data() + KiB(7), patch.data(), patch.size());
+  std::vector<uint8_t> read_back(KiB(40));
+  ASSERT_TRUE(file->PRead(0, read_back).ok());
+  EXPECT_EQ(read_back, base);
+  EXPECT_EQ(file->size(), KiB(40));  // overwrite does not extend
+}
+
+TEST(SwiftFileTest, PersistsAcrossOpenAndDirectory) {
+  LocalSwiftCluster cluster({.num_agents = 3});
+  std::vector<uint8_t> data = Pattern(KiB(50));
+  {
+    auto file = MakeFile(cluster, "persisted", false);
+    ASSERT_TRUE(file->Write(data).ok());
+    ASSERT_TRUE(file->Close().ok());
+  }
+  auto reopened = cluster.OpenFile("persisted");
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->size(), KiB(50));
+  std::vector<uint8_t> read_back(KiB(50));
+  ASSERT_TRUE((*reopened)->PRead(0, read_back).ok());
+  EXPECT_EQ(read_back, data);
+}
+
+TEST(SwiftFileTest, OperationsAfterCloseFail) {
+  LocalSwiftCluster cluster({.num_agents = 2});
+  auto file = MakeFile(cluster, "obj", false);
+  ASSERT_TRUE(file->Close().ok());
+  std::vector<uint8_t> buf(10);
+  EXPECT_FALSE(file->Read(buf).ok());
+  EXPECT_FALSE(file->Write(buf).ok());
+  EXPECT_TRUE(file->Close().ok());  // idempotent
+}
+
+TEST(SwiftFileTest, CreateDuplicateRejected) {
+  LocalSwiftCluster cluster({.num_agents = 2});
+  auto first = MakeFile(cluster, "dup", false);
+  auto second = cluster.CreateFile({.object_name = "dup", .expected_size = KiB(1)});
+  EXPECT_EQ(second.code(), StatusCode::kAlreadyExists);
+}
+
+TEST(SwiftFileTest, OpenMissingObject) {
+  LocalSwiftCluster cluster({.num_agents = 2});
+  EXPECT_EQ(cluster.OpenFile("ghost").code(), StatusCode::kNotFound);
+}
+
+// ------------------------------------------------------------ parity I/O ---
+
+TEST(SwiftFileTest, ParityMaintainedOnFullRowWrites) {
+  LocalSwiftCluster cluster({.num_agents = 3});
+  auto file = MakeFile(cluster, "obj", /*redundancy=*/true, 3, KiB(8));  // 4 KiB units, 2 data
+  const uint64_t unit = file->layout().config().stripe_unit;
+  ASSERT_EQ(unit, KiB(4));
+  std::vector<uint8_t> data = Pattern(KiB(8));  // exactly one row
+  ASSERT_TRUE(file->Write(data).ok());
+
+  // The parity invariant is observable through the public API: fail an agent
+  // and the reread must reconstruct byte-exact contents.
+  file->MarkColumnFailed(0);
+  std::vector<uint8_t> read_back(KiB(8));
+  ASSERT_TRUE(file->PRead(0, read_back).ok());
+  EXPECT_EQ(read_back, data);
+  EXPECT_TRUE(file->degraded());
+}
+
+TEST(SwiftFileTest, ParityMaintainedOnPartialWrites) {
+  LocalSwiftCluster cluster({.num_agents = 4});
+  auto file = MakeFile(cluster, "obj", true, 4, KiB(12));  // 4 KiB units, 3 data
+  std::vector<uint8_t> base = Pattern(KiB(60), 1);
+  ASSERT_TRUE(file->Write(base).ok());
+  // Unaligned read-modify-write straddling rows.
+  std::vector<uint8_t> patch = Pattern(KiB(7) + 13, 2);
+  ASSERT_TRUE(file->PWrite(KiB(5) + 17, patch).ok());
+  std::memcpy(base.data() + KiB(5) + 17, patch.data(), patch.size());
+
+  // Every single-agent failure must still yield the right bytes.
+  for (uint32_t lost = 0; lost < 4; ++lost) {
+    auto reopened = cluster.OpenFile("obj");
+    ASSERT_TRUE(reopened.ok());
+    (*reopened)->MarkColumnFailed(lost);
+    std::vector<uint8_t> read_back(KiB(60));
+    ASSERT_TRUE((*reopened)->PRead(0, read_back).ok()) << "lost column " << lost;
+    EXPECT_EQ(read_back, base) << "lost column " << lost;
+  }
+}
+
+TEST(SwiftFileTest, CrashedAgentDetectedAndReconstructed) {
+  LocalSwiftCluster cluster({.num_agents = 3});
+  auto file = MakeFile(cluster, "obj", true, 3, KiB(8));
+  std::vector<uint8_t> data = Pattern(KiB(32));
+  ASSERT_TRUE(file->Write(data).ok());
+
+  // Crash agent 1 *after* the write; the file discovers it on read.
+  cluster.transport(1)->set_crashed(true);
+  std::vector<uint8_t> read_back(KiB(32));
+  ASSERT_TRUE(file->PRead(0, read_back).ok());
+  EXPECT_EQ(read_back, data);
+  EXPECT_EQ(file->failed_columns(), std::vector<uint32_t>{1});
+}
+
+TEST(SwiftFileTest, WriteToCrashedAgentLandsInParity) {
+  LocalSwiftCluster cluster({.num_agents = 3});
+  auto file = MakeFile(cluster, "obj", true, 3, KiB(8));
+  std::vector<uint8_t> data = Pattern(KiB(32), 1);
+  ASSERT_TRUE(file->Write(data).ok());
+
+  cluster.transport(0)->set_crashed(true);
+  // Overwrite a range that includes units on the crashed agent.
+  std::vector<uint8_t> patch = Pattern(KiB(16), 2);
+  ASSERT_TRUE(file->PWrite(0, patch).ok());
+  std::memcpy(data.data(), patch.data(), patch.size());
+
+  // Degraded read returns the new contents (reconstructed where needed).
+  std::vector<uint8_t> read_back(KiB(32));
+  ASSERT_TRUE(file->PRead(0, read_back).ok());
+  EXPECT_EQ(read_back, data);
+
+  // After the agent "recovers" the stale on-disk data must NOT be trusted —
+  // this library marks failures per-file-session, so the same file keeps
+  // reconstructing. (Rebuild tooling is future work, as in the paper.)
+  cluster.transport(0)->set_crashed(false);
+  std::vector<uint8_t> again(KiB(32));
+  ASSERT_TRUE(file->PRead(0, again).ok());
+  EXPECT_EQ(again, data);
+}
+
+TEST(SwiftFileTest, DegradedOpenWithDeadAgent) {
+  // §2: a single failed agent must not make the object unavailable — not
+  // even for open. (Found by the fault-injection sweep: Open used to
+  // propagate the first kUnavailable.)
+  LocalSwiftCluster cluster({.num_agents = 3});
+  std::vector<uint8_t> data = Pattern(KiB(40), 3);
+  {
+    auto file = MakeFile(cluster, "obj", true, 3, KiB(8));
+    ASSERT_TRUE(file->PWrite(0, data).ok());
+    ASSERT_TRUE(file->Close().ok());
+  }
+  cluster.transport(1)->set_crashed(true);
+  auto reopened = cluster.OpenFile("obj");
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_TRUE((*reopened)->degraded());
+  std::vector<uint8_t> read_back(data.size());
+  ASSERT_TRUE((*reopened)->PRead(0, read_back).ok());
+  EXPECT_EQ(read_back, data);
+  // Degraded writes through the reopened session still work.
+  std::vector<uint8_t> patch = Pattern(KiB(5), 4);
+  ASSERT_TRUE((*reopened)->PWrite(KiB(3), patch).ok());
+
+  // Two dead agents at open: honestly reported as data loss.
+  cluster.transport(2)->set_crashed(true);
+  auto twice = cluster.OpenFile("obj");
+  EXPECT_EQ(twice.code(), StatusCode::kDataLoss);
+
+  // Without parity, one dead agent blocks open.
+  cluster.transport(1)->set_crashed(false);
+  cluster.transport(2)->set_crashed(false);
+  auto plain = MakeFile(cluster, "plain", false, 3, KiB(8));
+  ASSERT_TRUE(plain->Close().ok());
+  cluster.transport(0)->set_crashed(true);
+  EXPECT_EQ(cluster.OpenFile("plain").code(), StatusCode::kUnavailable);
+}
+
+TEST(SwiftFileTest, DoubleFailureIsDataLoss) {
+  LocalSwiftCluster cluster({.num_agents = 4});
+  auto file = MakeFile(cluster, "obj", true, 4, KiB(12));
+  ASSERT_TRUE(file->Write(Pattern(KiB(48))).ok());
+  cluster.transport(0)->set_crashed(true);
+  cluster.transport(2)->set_crashed(true);
+  std::vector<uint8_t> buf(KiB(48));
+  EXPECT_EQ(file->PRead(0, buf).code(), StatusCode::kDataLoss);
+}
+
+TEST(SwiftFileTest, FailureWithoutParityIsUnavailable) {
+  LocalSwiftCluster cluster({.num_agents = 3});
+  auto file = MakeFile(cluster, "obj", false, 3, KiB(12));
+  ASSERT_TRUE(file->Write(Pattern(KiB(48))).ok());
+  cluster.transport(1)->set_crashed(true);
+  std::vector<uint8_t> buf(KiB(48));
+  EXPECT_EQ(file->PRead(0, buf).code(), StatusCode::kUnavailable);
+}
+
+TEST(SwiftFileTest, DegradedWritesThenFullRecoveryReadEverywhere) {
+  // Kill each agent in turn (fresh cluster each time), write everything in
+  // degraded mode, verify every byte survives.
+  for (uint32_t victim = 0; victim < 3; ++victim) {
+    LocalSwiftCluster cluster({.num_agents = 3});
+    auto file = MakeFile(cluster, "obj", true, 3, KiB(8));  // opened while healthy
+    cluster.transport(victim)->set_crashed(true);
+    std::vector<uint8_t> data = Pattern(KiB(40), victim + 10);
+    ASSERT_TRUE(file->PWrite(0, data).ok()) << "victim " << victim;
+    std::vector<uint8_t> read_back(KiB(40));
+    ASSERT_TRUE(file->PRead(0, read_back).ok()) << "victim " << victim;
+    EXPECT_EQ(read_back, data) << "victim " << victim;
+  }
+}
+
+// ------------------------------------------------ randomized consistency ---
+
+class SwiftFileRandomOpsTest : public ::testing::TestWithParam<std::tuple<uint32_t, bool>> {};
+
+TEST_P(SwiftFileRandomOpsTest, MatchesReferenceModel) {
+  const auto [num_agents, redundancy] = GetParam();
+  if (num_agents == 1 && redundancy) {
+    GTEST_SKIP() << "parity needs at least two agents";
+  }
+  LocalSwiftCluster cluster({.num_agents = num_agents});
+  auto file = MakeFile(cluster, "obj", redundancy, num_agents, KiB(16) * num_agents);
+  Rng rng(num_agents * 31 + (redundancy ? 7 : 0));
+
+  std::vector<uint8_t> reference;  // the "true" file contents
+  for (int op = 0; op < 120; ++op) {
+    const uint64_t offset = static_cast<uint64_t>(rng.UniformInt(0, KiB(256)));
+    const uint64_t length = static_cast<uint64_t>(rng.UniformInt(1, KiB(24)));
+    if (rng.Bernoulli(0.55)) {
+      std::vector<uint8_t> data = Pattern(length, static_cast<uint64_t>(op) + 1000);
+      ASSERT_TRUE(file->PWrite(offset, data).ok()) << "op " << op;
+      if (offset + length > reference.size()) {
+        reference.resize(offset + length, 0);
+      }
+      std::memcpy(reference.data() + offset, data.data(), length);
+    } else {
+      std::vector<uint8_t> buf(length, 0xCD);
+      auto n = file->PRead(offset, buf);
+      ASSERT_TRUE(n.ok()) << "op " << op;
+      const uint64_t expect_n =
+          offset >= reference.size() ? 0 : std::min(length, reference.size() - offset);
+      ASSERT_EQ(*n, expect_n) << "op " << op;
+      for (uint64_t i = 0; i < expect_n; ++i) {
+        ASSERT_EQ(buf[i], reference[offset + i]) << "op " << op << " byte " << i;
+      }
+    }
+  }
+  EXPECT_EQ(file->size(), reference.size());
+
+  // With redundancy: the final state must survive any single agent loss.
+  if (redundancy) {
+    for (uint32_t lost = 0; lost < num_agents; ++lost) {
+      auto reopened = cluster.OpenFile("obj");
+      ASSERT_TRUE(reopened.ok());
+      (*reopened)->MarkColumnFailed(lost);
+      std::vector<uint8_t> survived(reference.size());
+      ASSERT_TRUE((*reopened)->PRead(0, survived).ok()) << "lost " << lost;
+      EXPECT_EQ(survived, reference) << "lost " << lost;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, SwiftFileRandomOpsTest,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u, 5u, 8u), ::testing::Bool()),
+    [](const ::testing::TestParamInfo<std::tuple<uint32_t, bool>>& info) {
+      return std::to_string(std::get<0>(info.param)) + "agents_" +
+             (std::get<1>(info.param) ? "parity" : "plain");
+    });
+
+}  // namespace
+}  // namespace swift

@@ -1,0 +1,259 @@
+// Stripe-layout algebra: placement, inverse mapping, extent mapping, parity
+// placement, and agent-file sizing — with parameterized property sweeps over
+// geometries (the invariants here are what make distributed striping safe).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "src/core/stripe_layout.h"
+#include "src/util/rng.h"
+#include "src/util/units.h"
+
+namespace swift {
+namespace {
+
+TEST(StripeConfigTest, Validation) {
+  StripeConfig ok{.num_agents = 3, .stripe_unit = KiB(64), .parity = ParityMode::kNone};
+  EXPECT_TRUE(ok.Validate().ok());
+  StripeConfig zero_unit{.num_agents = 3, .stripe_unit = 0, .parity = ParityMode::kNone};
+  EXPECT_FALSE(zero_unit.Validate().ok());
+  StripeConfig no_agents{.num_agents = 0, .stripe_unit = KiB(4), .parity = ParityMode::kNone};
+  EXPECT_FALSE(no_agents.Validate().ok());
+  StripeConfig parity_one{.num_agents = 1, .stripe_unit = KiB(4), .parity = ParityMode::kRotating};
+  EXPECT_FALSE(parity_one.Validate().ok());
+}
+
+TEST(StripeConfigTest, DataAgentsPerRow) {
+  StripeConfig plain{.num_agents = 5, .stripe_unit = KiB(4), .parity = ParityMode::kNone};
+  EXPECT_EQ(plain.DataAgentsPerRow(), 5u);
+  EXPECT_EQ(plain.RowDataBytes(), KiB(20));
+  StripeConfig parity{.num_agents = 5, .stripe_unit = KiB(4), .parity = ParityMode::kRotating};
+  EXPECT_EQ(parity.DataAgentsPerRow(), 4u);
+  EXPECT_EQ(parity.RowDataBytes(), KiB(16));
+}
+
+TEST(StripeLayoutTest, RoundRobinPlacementNoParity) {
+  // 3 agents, 4 KiB units: logical unit k lives on agent k%3 at row k/3.
+  StripeLayout layout({.num_agents = 3, .stripe_unit = KiB(4), .parity = ParityMode::kNone});
+  for (uint64_t k = 0; k < 12; ++k) {
+    UnitLocation loc = layout.Locate(k * KiB(4));
+    EXPECT_EQ(loc.agent, k % 3) << "unit " << k;
+    EXPECT_EQ(loc.agent_offset, (k / 3) * KiB(4)) << "unit " << k;
+  }
+  // Mid-unit offsets keep the within-unit remainder.
+  UnitLocation loc = layout.Locate(KiB(4) * 4 + 123);
+  EXPECT_EQ(loc.agent, 1u);
+  EXPECT_EQ(loc.agent_offset, KiB(4) + 123);
+}
+
+TEST(StripeLayoutTest, FixedParityPlacement) {
+  StripeLayout layout({.num_agents = 4, .stripe_unit = KiB(4), .parity = ParityMode::kFixedAgent});
+  // Data never lands on agent 3; parity always does.
+  for (uint64_t off = 0; off < KiB(4) * 30; off += KiB(4)) {
+    EXPECT_NE(layout.Locate(off).agent, 3u);
+  }
+  for (uint64_t row = 0; row < 10; ++row) {
+    UnitLocation p = layout.ParityLocation(row);
+    EXPECT_EQ(p.agent, 3u);
+    EXPECT_EQ(p.agent_offset, row * KiB(4));
+  }
+}
+
+TEST(StripeLayoutTest, RotatingParityCoversAllAgentsEvenly) {
+  StripeLayout layout({.num_agents = 5, .stripe_unit = KiB(4), .parity = ParityMode::kRotating});
+  std::map<uint32_t, int> parity_count;
+  for (uint64_t row = 0; row < 100; ++row) {
+    parity_count[layout.ParityLocation(row).agent]++;
+  }
+  ASSERT_EQ(parity_count.size(), 5u);
+  for (const auto& [agent, count] : parity_count) {
+    EXPECT_EQ(count, 20) << "agent " << agent;
+  }
+}
+
+TEST(StripeLayoutTest, ParityAndDataNeverCollide) {
+  StripeLayout layout({.num_agents = 4, .stripe_unit = KiB(4), .parity = ParityMode::kRotating});
+  for (uint64_t row = 0; row < 50; ++row) {
+    const uint32_t parity_agent = layout.ParityLocation(row).agent;
+    for (uint64_t col = 0; col < 3; ++col) {
+      const uint64_t logical = (row * 3 + col) * KiB(4);
+      EXPECT_NE(layout.Locate(logical).agent, parity_agent)
+          << "row " << row << " col " << col;
+    }
+  }
+}
+
+TEST(StripeLayoutTest, MapRangeSingleUnit) {
+  StripeLayout layout({.num_agents = 3, .stripe_unit = KiB(4), .parity = ParityMode::kNone});
+  auto extents = layout.MapRange(KiB(4) + 100, 200);
+  ASSERT_EQ(extents.size(), 1u);
+  EXPECT_EQ(extents[0].agent, 1u);
+  EXPECT_EQ(extents[0].agent_offset, 100u);
+  EXPECT_EQ(extents[0].length, 200u);
+  EXPECT_EQ(extents[0].logical_offset, KiB(4) + 100);
+}
+
+TEST(StripeLayoutTest, MapRangeSpansUnits) {
+  StripeLayout layout({.num_agents = 3, .stripe_unit = KiB(4), .parity = ParityMode::kNone});
+  // From mid-unit 0 to mid-unit 2: three extents on agents 0,1,2.
+  auto extents = layout.MapRange(KiB(2), KiB(8));
+  ASSERT_EQ(extents.size(), 3u);
+  EXPECT_EQ(extents[0].agent, 0u);
+  EXPECT_EQ(extents[0].length, KiB(2));
+  EXPECT_EQ(extents[1].agent, 1u);
+  EXPECT_EQ(extents[1].length, KiB(4));
+  EXPECT_EQ(extents[2].agent, 2u);
+  EXPECT_EQ(extents[2].length, KiB(2));
+}
+
+TEST(StripeLayoutTest, MapRangeCoalescesSingleAgent) {
+  StripeLayout layout({.num_agents = 1, .stripe_unit = KiB(4), .parity = ParityMode::kNone});
+  auto extents = layout.MapRange(0, KiB(64));
+  ASSERT_EQ(extents.size(), 1u);
+  EXPECT_EQ(extents[0].length, KiB(64));
+}
+
+TEST(StripeLayoutTest, AgentFileSizeNoParity) {
+  StripeLayout layout({.num_agents = 3, .stripe_unit = KiB(4), .parity = ParityMode::kNone});
+  // 10 KiB object: agent0 gets 4 KiB, agent1 4 KiB, agent2 2 KiB.
+  EXPECT_EQ(layout.AgentFileSize(0, KiB(10)), KiB(4));
+  EXPECT_EQ(layout.AgentFileSize(1, KiB(10)), KiB(4));
+  EXPECT_EQ(layout.AgentFileSize(2, KiB(10)), KiB(2));
+  // Exactly one full row.
+  EXPECT_EQ(layout.AgentFileSize(0, KiB(12)), KiB(4));
+  EXPECT_EQ(layout.AgentFileSize(0, 0), 0u);
+}
+
+TEST(StripeLayoutTest, AgentFileSizeWithParityPartialRow) {
+  StripeLayout layout({.num_agents = 3, .stripe_unit = KiB(4), .parity = ParityMode::kFixedAgent});
+  // Row holds 8 KiB of data. A 5 KiB object: data agent of col0 full unit,
+  // col1 1 KiB, parity agent a full unit.
+  EXPECT_EQ(layout.AgentFileSize(0, KiB(5)), KiB(4));
+  EXPECT_EQ(layout.AgentFileSize(1, KiB(5)), KiB(1));
+  EXPECT_EQ(layout.AgentFileSize(2, KiB(5)), KiB(4));
+}
+
+TEST(StripeLayoutTest, RowRange) {
+  StripeLayout layout({.num_agents = 2, .stripe_unit = KiB(4), .parity = ParityMode::kNone});
+  auto [first, last] = layout.RowRange(0, KiB(8));  // exactly row 0
+  EXPECT_EQ(first, 0u);
+  EXPECT_EQ(last, 0u);
+  std::tie(first, last) = layout.RowRange(KiB(7), KiB(2));  // rows 0..1
+  EXPECT_EQ(first, 0u);
+  EXPECT_EQ(last, 1u);
+}
+
+// ---------------------------------------------------- property sweeps ------
+
+struct LayoutParam {
+  uint32_t num_agents;
+  uint64_t stripe_unit;
+  ParityMode parity;
+};
+
+class StripeLayoutPropertyTest : public ::testing::TestWithParam<LayoutParam> {};
+
+TEST_P(StripeLayoutPropertyTest, LocateInverseRoundTrip) {
+  const LayoutParam p = GetParam();
+  StripeLayout layout({p.num_agents, p.stripe_unit, p.parity});
+  Rng rng(p.num_agents * 7919 + p.stripe_unit);
+  for (int i = 0; i < 500; ++i) {
+    const uint64_t logical = static_cast<uint64_t>(rng.UniformInt(0, 1 << 22));
+    UnitLocation loc = layout.Locate(logical);
+    EXPECT_LT(loc.agent, p.num_agents);
+    auto inverse = layout.LogicalOffsetAt(loc.agent, loc.agent_offset);
+    ASSERT_TRUE(inverse.ok()) << "logical " << logical;
+    EXPECT_EQ(*inverse, logical);
+  }
+}
+
+TEST_P(StripeLayoutPropertyTest, MapRangeTilesExactly) {
+  // Extents must partition the logical range: no gaps, no overlap, in order.
+  const LayoutParam p = GetParam();
+  StripeLayout layout({p.num_agents, p.stripe_unit, p.parity});
+  Rng rng(p.num_agents * 104729 + p.stripe_unit);
+  for (int i = 0; i < 200; ++i) {
+    const uint64_t offset = static_cast<uint64_t>(rng.UniformInt(0, 1 << 20));
+    const uint64_t length = static_cast<uint64_t>(rng.UniformInt(1, 1 << 18));
+    auto extents = layout.MapRange(offset, length);
+    uint64_t expected = offset;
+    for (const AgentExtent& e : extents) {
+      EXPECT_EQ(e.logical_offset, expected);
+      EXPECT_GT(e.length, 0u);
+      // Each extent's bytes verifiably map back.
+      auto inverse = layout.LogicalOffsetAt(e.agent, e.agent_offset);
+      ASSERT_TRUE(inverse.ok());
+      EXPECT_EQ(*inverse, e.logical_offset);
+      expected += e.length;
+    }
+    EXPECT_EQ(expected, offset + length);
+  }
+}
+
+TEST_P(StripeLayoutPropertyTest, DistinctLogicalUnitsDistinctPlacement) {
+  // No two distinct logical units may share (agent, agent_offset).
+  const LayoutParam p = GetParam();
+  StripeLayout layout({p.num_agents, p.stripe_unit, p.parity});
+  std::set<std::pair<uint32_t, uint64_t>> seen;
+  for (uint64_t k = 0; k < 300; ++k) {
+    UnitLocation loc = layout.Locate(k * p.stripe_unit);
+    EXPECT_TRUE(seen.emplace(loc.agent, loc.agent_offset).second) << "unit " << k;
+  }
+  // Parity units must not collide with data units either.
+  if (p.parity != ParityMode::kNone) {
+    const uint32_t data_cols = p.num_agents - 1;
+    const uint64_t rows = 300 / data_cols;
+    for (uint64_t row = 0; row < rows; ++row) {
+      UnitLocation loc = layout.ParityLocation(row);
+      EXPECT_TRUE(seen.emplace(loc.agent, loc.agent_offset).second) << "parity row " << row;
+    }
+  }
+}
+
+TEST_P(StripeLayoutPropertyTest, AgentFileSizesSumToObjectPlusParity) {
+  const LayoutParam p = GetParam();
+  StripeLayout layout({p.num_agents, p.stripe_unit, p.parity});
+  Rng rng(42);
+  for (int i = 0; i < 100; ++i) {
+    const uint64_t object_size = static_cast<uint64_t>(rng.UniformInt(0, 1 << 22));
+    uint64_t total = 0;
+    for (uint32_t a = 0; a < p.num_agents; ++a) {
+      total += layout.AgentFileSize(a, object_size);
+    }
+    uint64_t parity_bytes = 0;
+    if (p.parity != ParityMode::kNone && object_size > 0) {
+      const uint64_t rows =
+          (object_size + layout.config().RowDataBytes() - 1) / layout.config().RowDataBytes();
+      parity_bytes = rows * p.stripe_unit;
+    }
+    EXPECT_EQ(total, object_size + parity_bytes) << "object_size " << object_size;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, StripeLayoutPropertyTest,
+    ::testing::Values(LayoutParam{1, KiB(4), ParityMode::kNone},
+                      LayoutParam{2, KiB(4), ParityMode::kNone},
+                      LayoutParam{3, KiB(16), ParityMode::kNone},
+                      LayoutParam{7, KiB(64), ParityMode::kNone},
+                      LayoutParam{16, KiB(32), ParityMode::kNone},
+                      LayoutParam{2, KiB(4), ParityMode::kFixedAgent},
+                      LayoutParam{3, KiB(8), ParityMode::kFixedAgent},
+                      LayoutParam{5, KiB(64), ParityMode::kFixedAgent},
+                      LayoutParam{2, KiB(4), ParityMode::kRotating},
+                      LayoutParam{4, KiB(16), ParityMode::kRotating},
+                      LayoutParam{9, KiB(32), ParityMode::kRotating},
+                      LayoutParam{3, 1000, ParityMode::kRotating}),  // non-power-of-two unit
+    [](const ::testing::TestParamInfo<LayoutParam>& info) {
+      const char* parity = info.param.parity == ParityMode::kNone         ? "plain"
+                           : info.param.parity == ParityMode::kFixedAgent ? "fixed"
+                                                                          : "rotating";
+      return std::to_string(info.param.num_agents) + "agents_" +
+             std::to_string(info.param.stripe_unit) + "b_" + parity;
+    });
+
+}  // namespace
+}  // namespace swift

@@ -1,0 +1,280 @@
+// Storage mediator: admission control, reservation accounting, striping-unit
+// policy, load sharing, and the object directory.
+
+#include <gtest/gtest.h>
+
+#include "src/core/object_directory.h"
+#include "src/core/storage_mediator.h"
+#include "src/util/units.h"
+
+namespace swift {
+namespace {
+
+StorageMediator MakeMediator(uint32_t agents, double rate_each = MiBPerSecond(1),
+                             uint64_t storage_each = MiB(100),
+                             StorageMediator::Options options = StorageMediator::Options()) {
+  StorageMediator mediator(options);
+  for (uint32_t i = 0; i < agents; ++i) {
+    mediator.RegisterAgent(AgentCapacity{rate_each, storage_each});
+  }
+  return mediator;
+}
+
+TEST(MediatorTest, LowRateGetsFewAgentsLargeUnit) {
+  // §2: "If the required transfer rate is low, then the striping unit can be
+  // large and Swift can spread the data over only a few storage agents."
+  StorageMediator mediator = MakeMediator(8);
+  auto plan = mediator.OpenSession({.object_name = "audio",
+                                    .expected_size = MiB(10),
+                                    .required_rate = KiBPerSecond(175),  // CD audio
+                                    .typical_request = KiB(512)});
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->stripe.num_agents, 1u);
+  EXPECT_EQ(plan->stripe.stripe_unit, KiB(512));
+}
+
+TEST(MediatorTest, HighRateGetsManyAgentsSmallUnit) {
+  // "If the required data-rate is high, then the striping unit will be
+  // chosen small enough to exploit all the parallelism needed."
+  StorageMediator mediator = MakeMediator(8);
+  auto plan = mediator.OpenSession({.object_name = "video",
+                                    .expected_size = MiB(100),
+                                    .required_rate = MiBPerSecond(5),
+                                    .typical_request = KiB(512)});
+  ASSERT_TRUE(plan.ok());
+  EXPECT_GE(plan->stripe.num_agents, 6u);
+  EXPECT_LE(plan->stripe.stripe_unit, KiB(128));
+  EXPECT_EQ(plan->agent_ids.size(), plan->stripe.num_agents);
+}
+
+TEST(MediatorTest, RedundancyAddsAnAgent) {
+  StorageMediator mediator = MakeMediator(4);
+  auto plan = mediator.OpenSession({.object_name = "movie",
+                                    .expected_size = MiB(10),
+                                    .required_rate = MiBPerSecond(1.6),
+                                    .redundancy = true});
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->stripe.parity, ParityMode::kRotating);
+  EXPECT_EQ(plan->stripe.num_agents, 3u);  // 2 data + 1 parity
+}
+
+TEST(MediatorTest, RejectsWhenRateExceedsInstallation) {
+  // "storage mediators will reject any request with requirements it is
+  // unable to satisfy."
+  StorageMediator mediator = MakeMediator(3);
+  auto plan = mediator.OpenSession({.object_name = "firehose",
+                                    .expected_size = MiB(1),
+                                    .required_rate = MiBPerSecond(20)});
+  EXPECT_EQ(plan.code(), StatusCode::kResourceExhausted);
+}
+
+TEST(MediatorTest, RejectsWhenStorageExhausted) {
+  StorageMediator mediator = MakeMediator(2, MiBPerSecond(1), MiB(1));
+  auto plan = mediator.OpenSession({.object_name = "big",
+                                    .expected_size = MiB(100),
+                                    .required_rate = KiBPerSecond(100)});
+  EXPECT_EQ(plan.code(), StatusCode::kResourceExhausted);
+}
+
+TEST(MediatorTest, RejectsWhenNetworkExhausted) {
+  StorageMediator::Options options;
+  options.network_capacity = MiBPerSecond(1);
+  StorageMediator mediator = MakeMediator(8, MiBPerSecond(1), MiB(100), options);
+  auto first = mediator.OpenSession(
+      {.object_name = "a", .expected_size = MiB(1), .required_rate = KiBPerSecond(800)});
+  ASSERT_TRUE(first.ok());
+  auto second = mediator.OpenSession(
+      {.object_name = "b", .expected_size = MiB(1), .required_rate = KiBPerSecond(800)});
+  EXPECT_EQ(second.code(), StatusCode::kResourceExhausted);
+  // Closing the first frees the interconnect for the second.
+  ASSERT_TRUE(mediator.CloseSession(first->session_id).ok());
+  auto retry = mediator.OpenSession(
+      {.object_name = "b", .expected_size = MiB(1), .required_rate = KiBPerSecond(800)});
+  EXPECT_TRUE(retry.ok());
+}
+
+TEST(MediatorTest, ReservationsAccumulateAndRelease) {
+  StorageMediator mediator = MakeMediator(2);
+  auto plan = mediator.OpenSession({.object_name = "x",
+                                    .expected_size = MiB(4),
+                                    .required_rate = KiBPerSecond(900),
+                                    .typical_request = MiB(1)});
+  ASSERT_TRUE(plan.ok());
+  double reserved_total = 0;
+  for (uint32_t id : plan->agent_ids) {
+    reserved_total += mediator.ReservedRate(id);
+    EXPECT_GT(mediator.ReservedStorage(id), 0u);
+  }
+  EXPECT_NEAR(reserved_total, KiBPerSecond(900), 1.0);
+
+  ASSERT_TRUE(mediator.CloseSession(plan->session_id).ok());
+  for (uint32_t id : plan->agent_ids) {
+    EXPECT_DOUBLE_EQ(mediator.ReservedRate(id), 0.0);
+    EXPECT_EQ(mediator.ReservedStorage(id), 0u);
+  }
+  EXPECT_EQ(mediator.CloseSession(plan->session_id).code(), StatusCode::kNotFound);
+}
+
+TEST(MediatorTest, LoadSharingSpreadsSessions) {
+  // Two one-agent sessions must land on different agents.
+  StorageMediator mediator = MakeMediator(2);
+  auto a = mediator.OpenSession(
+      {.object_name = "a", .expected_size = MiB(1), .required_rate = KiBPerSecond(200)});
+  auto b = mediator.OpenSession(
+      {.object_name = "b", .expected_size = MiB(1), .required_rate = KiBPerSecond(200)});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->agent_ids.size(), 1u);
+  ASSERT_EQ(b->agent_ids.size(), 1u);
+  EXPECT_NE(a->agent_ids[0], b->agent_ids[0]);
+}
+
+TEST(MediatorTest, AdmitsUntilAgentsSaturateThenRejects) {
+  // Best-case aggregate: 4 agents * 1 MiB/s * 0.9 load factor. Sessions of
+  // 0.8 MiB/s each: 4 admitted (one per agent), the 5th must be rejected.
+  StorageMediator mediator = MakeMediator(4);
+  int admitted = 0;
+  for (int i = 0; i < 6; ++i) {
+    auto plan = mediator.OpenSession({.object_name = "s" + std::to_string(i),
+                                      .expected_size = MiB(1),
+                                      .required_rate = MiBPerSecond(0.8)});
+    if (plan.ok()) {
+      ++admitted;
+    }
+  }
+  EXPECT_EQ(admitted, 4);
+}
+
+TEST(MediatorTest, RetiredAgentsNotChosen) {
+  StorageMediator mediator = MakeMediator(3);
+  ASSERT_TRUE(mediator.RetireAgent(0).ok());
+  auto plan = mediator.OpenSession({.object_name = "x",
+                                    .expected_size = MiB(1),
+                                    .required_rate = MiBPerSecond(1.6)});
+  ASSERT_TRUE(plan.ok());
+  for (uint32_t id : plan->agent_ids) {
+    EXPECT_NE(id, 0u);
+  }
+  EXPECT_EQ(mediator.RetireAgent(9).code(), StatusCode::kNotFound);
+}
+
+TEST(MediatorTest, MaxAgentsCapRespected) {
+  StorageMediator mediator = MakeMediator(8);
+  auto plan = mediator.OpenSession({.object_name = "capped",
+                                    .expected_size = MiB(1),
+                                    .required_rate = 0,
+                                    .redundancy = true,
+                                    .max_agents = 2});
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->stripe.num_agents, 2u);
+  EXPECT_EQ(plan->stripe.DataAgentsPerRow(), 1u);
+}
+
+TEST(MediatorTest, PickStripeUnitPolicy) {
+  StorageMediator mediator = MakeMediator(1);
+  // 1 MiB request over 4 data agents → 256 KiB units.
+  EXPECT_EQ(mediator.PickStripeUnit(MiB(1), 4), KiB(256));
+  // Over 3 agents → largest power of two <= 349525 = 256 KiB.
+  EXPECT_EQ(mediator.PickStripeUnit(MiB(1), 3), KiB(256));
+  // Clamped below.
+  EXPECT_EQ(mediator.PickStripeUnit(KiB(4), 8), KiB(4));
+  // Clamped above.
+  EXPECT_EQ(mediator.PickStripeUnit(MiB(64), 1), MiB(1));
+}
+
+TEST(MediatorTest, BestEffortSessionNeedsNoRate) {
+  StorageMediator mediator = MakeMediator(2);
+  auto plan = mediator.OpenSession({.object_name = "scratch", .expected_size = KiB(64)});
+  ASSERT_TRUE(plan.ok());
+  EXPECT_DOUBLE_EQ(plan->reserved_rate, 0.0);
+  EXPECT_EQ(mediator.ReservedRate(plan->agent_ids[0]), 0.0);
+}
+
+// ----------------------------------------------------------- directory -----
+
+ObjectMetadata SampleMetadata(const std::string& name) {
+  ObjectMetadata m;
+  m.name = name;
+  m.stripe = {.num_agents = 3, .stripe_unit = KiB(64), .parity = ParityMode::kRotating};
+  m.agent_ids = {2, 0, 1};
+  m.size = 123456;
+  return m;
+}
+
+TEST(ObjectDirectoryTest, CreateLookupRemove) {
+  ObjectDirectory directory;
+  ASSERT_TRUE(directory.Create(SampleMetadata("movie")).ok());
+  EXPECT_TRUE(directory.Exists("movie"));
+  auto found = directory.Lookup("movie");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found->size, 123456u);
+  EXPECT_EQ(found->agent_ids, (std::vector<uint32_t>{2, 0, 1}));
+  EXPECT_EQ(directory.Create(SampleMetadata("movie")).code(), StatusCode::kAlreadyExists);
+  ASSERT_TRUE(directory.Remove("movie").ok());
+  EXPECT_FALSE(directory.Exists("movie"));
+  EXPECT_EQ(directory.Lookup("movie").code(), StatusCode::kNotFound);
+}
+
+TEST(ObjectDirectoryTest, RejectsBadMetadata) {
+  ObjectDirectory directory;
+  ObjectMetadata bad = SampleMetadata("bad name with spaces");
+  EXPECT_EQ(directory.Create(bad).code(), StatusCode::kInvalidArgument);
+  ObjectMetadata mismatched = SampleMetadata("ok");
+  mismatched.agent_ids.pop_back();
+  EXPECT_EQ(directory.Create(mismatched).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ObjectDirectoryTest, UpdateSize) {
+  ObjectDirectory directory;
+  ASSERT_TRUE(directory.Create(SampleMetadata("obj")).ok());
+  ASSERT_TRUE(directory.UpdateSize("obj", 999).ok());
+  EXPECT_EQ(directory.Lookup("obj")->size, 999u);
+  EXPECT_EQ(directory.UpdateSize("ghost", 1).code(), StatusCode::kNotFound);
+}
+
+TEST(ObjectDirectoryTest, SaveLoadRoundTrip) {
+  ObjectDirectory directory;
+  ASSERT_TRUE(directory.Create(SampleMetadata("alpha")).ok());
+  ObjectMetadata beta = SampleMetadata("beta");
+  beta.stripe.parity = ParityMode::kNone;
+  beta.agent_ids = {5, 6, 7};
+  beta.size = 0;
+  ASSERT_TRUE(directory.Create(beta).ok());
+
+  const std::string path = ::testing::TempDir() + "/swift_directory_test.txt";
+  ASSERT_TRUE(directory.SaveToFile(path).ok());
+
+  ObjectDirectory loaded;
+  ASSERT_TRUE(loaded.LoadFromFile(path).ok());
+  EXPECT_EQ(loaded.object_count(), 2u);
+  auto alpha = loaded.Lookup("alpha");
+  ASSERT_TRUE(alpha.ok());
+  EXPECT_EQ(alpha->stripe.stripe_unit, KiB(64));
+  EXPECT_EQ(alpha->stripe.parity, ParityMode::kRotating);
+  EXPECT_EQ(alpha->size, 123456u);
+  auto loaded_beta = loaded.Lookup("beta");
+  ASSERT_TRUE(loaded_beta.ok());
+  EXPECT_EQ(loaded_beta->agent_ids, (std::vector<uint32_t>{5, 6, 7}));
+}
+
+TEST(ObjectDirectoryTest, LoadRejectsGarbage) {
+  const std::string path = ::testing::TempDir() + "/swift_directory_garbage.txt";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("v1 broken 3\n", f);
+  std::fclose(f);
+  ObjectDirectory directory;
+  EXPECT_EQ(directory.LoadFromFile(path).code(), StatusCode::kIoError);
+  EXPECT_EQ(directory.LoadFromFile("/nonexistent/dir/file").code(), StatusCode::kIoError);
+}
+
+TEST(ObjectDirectoryTest, ListIsSorted) {
+  ObjectDirectory directory;
+  for (const char* name : {"zeta", "alpha", "mid"}) {
+    ASSERT_TRUE(directory.Create(SampleMetadata(name)).ok());
+  }
+  EXPECT_EQ(directory.List(), (std::vector<std::string>{"alpha", "mid", "zeta"}));
+}
+
+}  // namespace
+}  // namespace swift

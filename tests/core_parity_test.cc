@@ -1,0 +1,172 @@
+// XOR parity kernels: compute, reconstruct, incremental update — including
+// the algebraic identities the redundancy scheme rests on.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/core/parity.h"
+#include "src/util/rng.h"
+
+namespace swift {
+namespace {
+
+std::vector<uint8_t> RandomBytes(Rng& rng, size_t n) {
+  std::vector<uint8_t> out(n);
+  for (auto& b : out) {
+    b = static_cast<uint8_t>(rng.UniformInt(0, 255));
+  }
+  return out;
+}
+
+TEST(ParityTest, XorIntoBasics) {
+  std::vector<uint8_t> dst = {0x00, 0xFF, 0xAA, 0x55};
+  std::vector<uint8_t> src = {0xFF, 0xFF, 0x0F, 0x55};
+  XorInto(dst, src);
+  EXPECT_EQ(dst, (std::vector<uint8_t>{0xFF, 0x00, 0xA5, 0x00}));
+}
+
+TEST(ParityTest, XorIntoIsInvolution) {
+  Rng rng(1);
+  std::vector<uint8_t> original = RandomBytes(rng, 4097);  // odd size: exercises the tail loop
+  std::vector<uint8_t> mask = RandomBytes(rng, 4097);
+  std::vector<uint8_t> work = original;
+  XorInto(work, mask);
+  EXPECT_NE(work, original);
+  XorInto(work, mask);
+  EXPECT_EQ(work, original);
+}
+
+TEST(ParityTest, ComputeParityOfEqualUnits) {
+  Rng rng(2);
+  std::vector<std::vector<uint8_t>> units;
+  for (int i = 0; i < 4; ++i) {
+    units.push_back(RandomBytes(rng, 1024));
+  }
+  std::vector<std::span<const uint8_t>> spans(units.begin(), units.end());
+  std::vector<uint8_t> parity = ComputeParity(spans, 1024);
+  // XOR of parity with all units is zero.
+  for (const auto& unit : units) {
+    XorInto(parity, unit);
+  }
+  EXPECT_EQ(parity, std::vector<uint8_t>(1024, 0));
+}
+
+TEST(ParityTest, ShortSourcesZeroExtended) {
+  std::vector<uint8_t> a = {1, 2, 3};
+  std::vector<uint8_t> b = {4};
+  std::vector<std::span<const uint8_t>> spans = {a, b};
+  std::vector<uint8_t> parity = ComputeParity(spans, 5);
+  EXPECT_EQ(parity, (std::vector<uint8_t>{1 ^ 4, 2, 3, 0, 0}));
+}
+
+TEST(ParityTest, ReconstructAnyLostUnit) {
+  Rng rng(3);
+  constexpr size_t kUnit = 2048;
+  constexpr int kDataUnits = 5;
+  std::vector<std::vector<uint8_t>> units;
+  for (int i = 0; i < kDataUnits; ++i) {
+    units.push_back(RandomBytes(rng, kUnit));
+  }
+  std::vector<std::span<const uint8_t>> spans(units.begin(), units.end());
+  std::vector<uint8_t> parity = ComputeParity(spans, kUnit);
+
+  // Losing each data unit in turn: survivors = other data + parity.
+  for (int lost = 0; lost < kDataUnits; ++lost) {
+    std::vector<std::span<const uint8_t>> survivors;
+    for (int i = 0; i < kDataUnits; ++i) {
+      if (i != lost) {
+        survivors.push_back(units[i]);
+      }
+    }
+    survivors.push_back(parity);
+    EXPECT_EQ(ReconstructUnit(survivors, kUnit), units[lost]) << "lost unit " << lost;
+  }
+  // Losing the parity unit: recompute from data.
+  EXPECT_EQ(ReconstructUnit(spans, kUnit), parity);
+}
+
+TEST(ParityTest, UpdateParityMatchesRecompute) {
+  // parity' = parity ^ old ^ new must equal recomputing from scratch.
+  Rng rng(4);
+  constexpr size_t kUnit = 1024;
+  std::vector<std::vector<uint8_t>> units;
+  for (int i = 0; i < 3; ++i) {
+    units.push_back(RandomBytes(rng, kUnit));
+  }
+  std::vector<std::span<const uint8_t>> spans(units.begin(), units.end());
+  std::vector<uint8_t> parity = ComputeParity(spans, kUnit);
+
+  // Overwrite bytes [100, 400) of unit 1.
+  std::vector<uint8_t> new_data = RandomBytes(rng, 300);
+  std::vector<uint8_t> old_data(units[1].begin() + 100, units[1].begin() + 400);
+  UpdateParity(parity, 100, old_data, new_data);
+  std::copy(new_data.begin(), new_data.end(), units[1].begin() + 100);
+
+  std::vector<std::span<const uint8_t>> updated(units.begin(), units.end());
+  EXPECT_EQ(parity, ComputeParity(updated, kUnit));
+}
+
+TEST(ParityTest, UpdateParityAtUnitBoundaries) {
+  Rng rng(5);
+  constexpr size_t kUnit = 512;
+  std::vector<uint8_t> unit = RandomBytes(rng, kUnit);
+  std::vector<std::span<const uint8_t>> one = {unit};
+  std::vector<uint8_t> parity = ComputeParity(one, kUnit);
+  EXPECT_EQ(parity, unit);  // single source: parity mirrors the unit
+
+  // Full-unit update.
+  std::vector<uint8_t> replacement = RandomBytes(rng, kUnit);
+  UpdateParity(parity, 0, unit, replacement);
+  EXPECT_EQ(parity, replacement);
+
+  // Last-byte update.
+  std::vector<uint8_t> old_tail = {replacement[kUnit - 1]};
+  std::vector<uint8_t> new_tail = {static_cast<uint8_t>(~replacement[kUnit - 1])};
+  UpdateParity(parity, kUnit - 1, old_tail, new_tail);
+  EXPECT_EQ(parity[kUnit - 1], new_tail[0]);
+}
+
+// Parameterized sweep: reconstruction works across group widths and unit
+// sizes, including sizes that defeat word-at-a-time alignment.
+class ParityPropertyTest : public ::testing::TestWithParam<std::tuple<int, size_t>> {};
+
+TEST_P(ParityPropertyTest, LossOfEveryPositionRecoverable) {
+  const auto [width, unit_size] = GetParam();
+  Rng rng(static_cast<uint64_t>(width) * 1000003 + unit_size);
+  std::vector<std::vector<uint8_t>> units;
+  for (int i = 0; i < width; ++i) {
+    // Ragged tails: the last unit of an object's final row is short.
+    const size_t n = (i == width - 1) ? unit_size / 2 + 1 : unit_size;
+    units.push_back(RandomBytes(rng, n));
+  }
+  std::vector<std::span<const uint8_t>> spans(units.begin(), units.end());
+  std::vector<uint8_t> parity = ComputeParity(spans, unit_size);
+
+  for (int lost = 0; lost < width; ++lost) {
+    std::vector<std::span<const uint8_t>> survivors;
+    for (int i = 0; i < width; ++i) {
+      if (i != lost) {
+        survivors.push_back(units[i]);
+      }
+    }
+    survivors.push_back(parity);
+    std::vector<uint8_t> rebuilt = ReconstructUnit(survivors, unit_size);
+    // The rebuilt unit equals the lost one zero-extended to unit_size.
+    std::vector<uint8_t> expected = units[lost];
+    expected.resize(unit_size, 0);
+    EXPECT_EQ(rebuilt, expected) << "lost " << lost;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, ParityPropertyTest,
+                         ::testing::Combine(::testing::Values(1, 2, 3, 5, 8, 15),
+                                            ::testing::Values(size_t{64}, size_t{63},
+                                                              size_t{4096}, size_t{65536})),
+                         [](const ::testing::TestParamInfo<std::tuple<int, size_t>>& info) {
+                           return "w" + std::to_string(std::get<0>(info.param)) + "_u" +
+                                  std::to_string(std::get<1>(info.param));
+                         });
+
+}  // namespace
+}  // namespace swift

@@ -1,0 +1,198 @@
+// Tests for the disk service-time model, the drive catalog, and the
+// contended DiskDevice — including the paper's own sanity figure: a 32 KiB
+// block on the Fujitsu M2372K takes ~37 ms on average.
+
+#include <gtest/gtest.h>
+
+#include "src/disk/disk_catalog.h"
+#include "src/disk/disk_device.h"
+#include "src/disk/disk_model.h"
+#include "src/event/simulator.h"
+#include "src/util/stats.h"
+
+namespace swift {
+namespace {
+
+TEST(DiskModelTest, MeanBlockTimeMatchesPaperExample) {
+  // §5.2: "transferring 32 kilobytes required about 37 milliseconds on the
+  // average" (16 ms seek + 8.3 ms rotation + 32 KiB at 2.5 MB/s ≈ 13.1 ms).
+  DiskParameters disk = FujitsuM2372K();
+  EXPECT_NEAR(ToMillisecondsF(disk.MeanBlockTime(KiB(32))), 37.4, 0.5);
+}
+
+TEST(DiskModelTest, SampledMeanConvergesToAnalyticMean) {
+  DiskParameters disk = FujitsuM2372K();
+  Rng rng(17);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) {
+    stats.Add(ToMillisecondsF(SampleBlockTime(disk, KiB(32), rng)));
+  }
+  EXPECT_NEAR(stats.mean(), ToMillisecondsF(disk.MeanBlockTime(KiB(32))), 0.2);
+}
+
+TEST(DiskModelTest, SamplesWithinUniformBounds) {
+  DiskParameters disk = FujitsuM2372K();
+  Rng rng(29);
+  const double transfer_ms = ToMillisecondsF(TransferTime(KiB(4), disk.transfer_rate));
+  for (int i = 0; i < 10000; ++i) {
+    double t = ToMillisecondsF(SampleBlockTime(disk, KiB(4), rng));
+    EXPECT_GE(t, transfer_ms);                        // zero seek + zero rotation
+    EXPECT_LE(t, 32.0 + 16.6 + transfer_ms + 1e-9);   // max seek + max rotation
+  }
+}
+
+TEST(DiskModelTest, ControllerOverheadAdds) {
+  DiskParameters disk = SunSlcScsiDisk();
+  ASSERT_GT(disk.controller_overhead, 0);
+  Rng rng(5);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) {
+    stats.Add(static_cast<double>(SampleBlockTime(disk, KiB(8), rng)));
+  }
+  const double expected = static_cast<double>(disk.MeanBlockTime(KiB(8)) + disk.controller_overhead);
+  EXPECT_NEAR(stats.mean(), expected, expected * 0.02);
+}
+
+TEST(DiskCatalogTest, AllFigureDrivesPresentAndOrdered) {
+  auto set = Figure5DiskSet();
+  ASSERT_EQ(set.size(), 6u);
+  EXPECT_EQ(set[0].name, "IBM 3380K");
+  EXPECT_EQ(set[4].name, "Fujitsu M2372K");
+  EXPECT_EQ(set[5].name, "DEC RA82");
+  // The 3380K has the best media rate; the RA82 the worst.
+  for (const auto& d : set) {
+    EXPECT_LE(d.transfer_rate, set[0].transfer_rate);
+    EXPECT_GE(d.transfer_rate, set[5].transfer_rate);
+  }
+}
+
+TEST(DiskCatalogTest, PaperGivenParametersExact) {
+  DiskParameters d = FujitsuM2372K();
+  EXPECT_EQ(d.average_seek, Milliseconds(16));
+  EXPECT_EQ(d.average_rotation, MillisecondsF(8.3));
+  EXPECT_DOUBLE_EQ(d.transfer_rate, 2.5e6);
+  DiskParameters slow = Figure4SlowDisk();
+  EXPECT_DOUBLE_EQ(slow.transfer_rate, 1.5e6);
+}
+
+TEST(DiskCatalogTest, FindDiskByName) {
+  auto found = FindDisk("DEC RA82");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found->name, "DEC RA82");
+  auto ipi = FindDisk("Sun IPI");
+  ASSERT_TRUE(ipi.ok());
+  EXPECT_EQ(FindDisk("Conner CP3100").code(), StatusCode::kNotFound);
+}
+
+// ------------------------------------------------------------ DiskDevice ---
+
+SimProc DoTransfer(Simulator& sim, DiskDevice& disk, uint64_t blocks, uint64_t block_bytes,
+                   SimTime& finished_at) {
+  (void)sim;
+  co_await disk.Transfer(blocks, block_bytes);
+  finished_at = sim.now();
+}
+
+TEST(DiskDeviceTest, SingleRequestTakesServiceTime) {
+  Simulator sim;
+  DiskDevice disk(&sim, FujitsuM2372K(), Rng(1));
+  SimTime finished = -1;
+  sim.Spawn(DoTransfer(sim, disk, 1, KiB(32), finished));
+  sim.Run();
+  // One block: between transfer-only and max positioning + transfer.
+  EXPECT_GT(finished, TransferTime(KiB(32), 2.5e6));
+  EXPECT_LT(finished, Milliseconds(63));
+  EXPECT_EQ(disk.blocks_serviced(), 1u);
+  EXPECT_EQ(disk.requests_serviced(), 1u);
+}
+
+TEST(DiskDeviceTest, MultiblockHoldsArmToCompletion) {
+  // Paper: "Multiblock requests are allowed to complete before the resource
+  // is relinquished." A one-block request issued after a 16-block request
+  // must finish after it.
+  Simulator sim;
+  DiskDevice disk(&sim, FujitsuM2372K(), Rng(2));
+  SimTime big_done = -1;
+  SimTime small_done = -1;
+  sim.Spawn(DoTransfer(sim, disk, 16, KiB(32), big_done));
+  sim.SpawnAfter(Milliseconds(1), DoTransfer(sim, disk, 1, KiB(32), small_done));
+  sim.Run();
+  EXPECT_GT(small_done, big_done);
+}
+
+TEST(DiskDeviceTest, FifoQueueing) {
+  Simulator sim;
+  DiskDevice disk(&sim, FujitsuM2372K(), Rng(3));
+  std::vector<int> completion_order;
+  for (int i = 0; i < 5; ++i) {
+    sim.SpawnAfter(Microseconds(i), [](Simulator& s, DiskDevice& d, std::vector<int>& order,
+                                       int id) -> SimProc {
+      (void)s;
+      co_await d.Transfer(1, KiB(8));
+      order.push_back(id);
+    }(sim, disk, completion_order, i));
+  }
+  sim.Run();
+  EXPECT_EQ(completion_order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(DiskDeviceTest, UtilizationAtSaturationApproachesOne) {
+  Simulator sim;
+  DiskDevice disk(&sim, FujitsuM2372K(), Rng(4));
+  // A closed loop keeping the disk permanently busy.
+  sim.Spawn([](Simulator& s, DiskDevice& d) -> SimProc {
+    (void)s;
+    for (int i = 0; i < 200; ++i) {
+      co_await d.Transfer(1, KiB(32));
+    }
+  }(sim, disk));
+  sim.Run();
+  EXPECT_GT(disk.Utilization(), 0.999);
+}
+
+TEST(DiskDeviceTest, MeanServiceTimeMatchesModel) {
+  Simulator sim;
+  DiskDevice disk(&sim, FujitsuM2372K(), Rng(5));
+  sim.Spawn([](Simulator& s, DiskDevice& d) -> SimProc {
+    (void)s;
+    for (int i = 0; i < 2000; ++i) {
+      co_await d.Transfer(1, KiB(32));
+    }
+  }(sim, disk));
+  sim.Run();
+  EXPECT_NEAR(disk.service_time_stats().mean(), 37.4, 0.6);
+}
+
+TEST(DiskDeviceTest, SequentialRunsAmortizePositioning) {
+  Simulator sim;
+  DiskDevice::Options options;
+  options.sequential_runs = true;
+  options.sequential_position = Milliseconds(3);
+  DiskDevice sequential(&sim, FujitsuM2372K(), Rng(6), options);
+  DiskDevice random(&sim, FujitsuM2372K(), Rng(6));
+  SimTime sequential_done = -1;
+  SimTime random_done = -1;
+  sim.Spawn(DoTransfer(sim, sequential, 32, KiB(32), sequential_done));
+  sim.Spawn(DoTransfer(sim, random, 32, KiB(32), random_done));
+  sim.Run();
+  EXPECT_LT(sequential_done, random_done / 2);  // layout policy is a big win
+}
+
+TEST(DiskDeviceTest, ThroughputMatchesLittleLawPrediction) {
+  // At saturation, one disk services ~1000/37.4 = ~26.7 32-KiB blocks/s
+  // => ~855 KiB/s. (This is the per-disk ceiling behind Figure 6.)
+  Simulator sim;
+  DiskDevice disk(&sim, FujitsuM2372K(), Rng(7));
+  sim.Spawn([](Simulator& s, DiskDevice& d) -> SimProc {
+    (void)s;
+    for (int i = 0; i < 1000; ++i) {
+      co_await d.Transfer(1, KiB(32));
+    }
+  }(sim, disk));
+  sim.Run();
+  const double rate = static_cast<double>(disk.blocks_serviced()) * KiB(32) / ToSecondsF(sim.now());
+  EXPECT_NEAR(ToKiBPerSecond(rate), 855, 30);
+}
+
+}  // namespace
+}  // namespace swift

@@ -1,0 +1,141 @@
+// LatencyHistogram quantiles and the workload generators.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/sim/workload.h"
+#include "src/util/histogram.h"
+#include "src/util/rng.h"
+#include "src/util/units.h"
+
+namespace swift {
+namespace {
+
+TEST(LatencyHistogramTest, BasicStats) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+  for (double v : {1.0, 2.0, 3.0, 4.0, 100.0}) {
+    h.Add(v);
+  }
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 22.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1), 100.0);
+}
+
+TEST(LatencyHistogramTest, QuantileAccuracyUniform) {
+  LatencyHistogram h;
+  Rng rng(3);
+  for (int i = 0; i < 100000; ++i) {
+    h.Add(rng.Uniform(10, 1000));
+  }
+  // Geometric buckets guarantee ~7% relative error.
+  EXPECT_NEAR(h.P50(), 505, 505 * 0.08);
+  EXPECT_NEAR(h.P95(), 950.5, 950.5 * 0.08);
+  EXPECT_NEAR(h.P99(), 990.1, 990.1 * 0.08);
+}
+
+TEST(LatencyHistogramTest, HeavyTailP99) {
+  LatencyHistogram h;
+  // 99 fast ops, 1 slow op, repeated.
+  for (int i = 0; i < 100; ++i) {
+    for (int j = 0; j < 99; ++j) {
+      h.Add(5.0);
+    }
+    h.Add(5000.0);
+  }
+  EXPECT_NEAR(h.P50(), 5.0, 0.5);
+  // Exactly 99% of samples are fast, so P99's rank still lands in the fast
+  // bucket (inclusive rank); anything beyond it must see the tail.
+  EXPECT_NEAR(h.P99(), 5.0, 0.5);
+  EXPECT_GE(h.Quantile(0.995), 4000.0);
+}
+
+TEST(LatencyHistogramTest, MergeAndClear) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  for (int i = 0; i < 100; ++i) {
+    a.Add(10);
+    b.Add(1000);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 200u);
+  EXPECT_DOUBLE_EQ(a.min(), 10);
+  EXPECT_DOUBLE_EQ(a.max(), 1000);
+  EXPECT_NEAR(a.P50(), 10, 1);
+  a.Clear();
+  EXPECT_EQ(a.count(), 0u);
+}
+
+TEST(LatencyHistogramTest, TinyAndHugeValues) {
+  LatencyHistogram h;
+  h.Add(0);
+  h.Add(1e-9);
+  h.Add(1e18);  // beyond the last bucket boundary: clamped, max still exact
+  EXPECT_DOUBLE_EQ(h.min(), 0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 1e18);
+}
+
+// ---------------------------------------------------------------- workload --
+
+TEST(WorkloadTest, PoissonRateAndMixConverge) {
+  Rng rng(7);
+  PoissonConfig config;
+  config.requests_per_second = 50;
+  config.read_fraction = 0.8;
+  auto events = PoissonRequests(config, Seconds(100), rng);
+  EXPECT_NEAR(static_cast<double>(events.size()), 5000, 250);
+  size_t reads = 0;
+  SimTime last = 0;
+  for (const auto& e : events) {
+    EXPECT_GE(e.arrival, last);  // sorted
+    last = e.arrival;
+    EXPECT_LT(e.arrival, Seconds(100));
+    reads += e.is_read ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(reads) / static_cast<double>(events.size()), 0.8, 0.03);
+}
+
+TEST(WorkloadTest, FileSizesHeavyTailed) {
+  Rng rng(9);
+  FileSystemWorkloadConfig config;
+  auto files = FileSystemRequests(config, 20000, rng);
+  ASSERT_EQ(files.size(), 20000u);
+  size_t small_files = 0;
+  uint64_t total_bytes = 0;
+  uint64_t bytes_in_large = 0;
+  for (const auto& f : files) {
+    EXPECT_GE(f.bytes, 128u);
+    EXPECT_LE(f.bytes, MiB(16));
+    total_bytes += f.bytes;
+    if (f.bytes <= KiB(64)) {
+      ++small_files;
+    }
+    if (f.bytes >= MiB(1)) {
+      bytes_in_large += f.bytes;
+    }
+  }
+  // Most files are small; most bytes live in large files (the BSD-trace
+  // shape the paper's workload assumptions rest on).
+  EXPECT_GT(static_cast<double>(small_files) / 20000.0, 0.7);
+  EXPECT_GT(static_cast<double>(bytes_in_large) / static_cast<double>(total_bytes), 0.5);
+}
+
+TEST(WorkloadTest, DeterministicGivenSeed) {
+  Rng a(11);
+  Rng b(11);
+  FileSystemWorkloadConfig config;
+  auto fa = FileSystemRequests(config, 100, a);
+  auto fb = FileSystemRequests(config, 100, b);
+  for (size_t i = 0; i < fa.size(); ++i) {
+    EXPECT_EQ(fa[i].bytes, fb[i].bytes);
+    EXPECT_EQ(fa[i].is_read, fb[i].is_read);
+  }
+}
+
+}  // namespace
+}  // namespace swift

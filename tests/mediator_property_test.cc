@@ -1,0 +1,104 @@
+// Randomized invariant checks on the storage mediator's reservation
+// accounting: under any interleaving of session opens and closes,
+//   * per-agent reserved rate/storage equals the sum over open sessions,
+//   * no agent is ever promised more than capacity * load_factor,
+//   * the interconnect reservation equals the sum of open sessions' rates,
+//   * closing everything returns the mediator to a pristine state.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "src/core/storage_mediator.h"
+#include "src/util/rng.h"
+#include "src/util/units.h"
+
+namespace swift {
+namespace {
+
+struct OpenSessionRecord {
+  TransferPlan plan;
+  double per_agent_rate = 0;
+};
+
+class MediatorPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MediatorPropertyTest, ReservationsAlwaysConsistent) {
+  Rng rng(GetParam());
+  StorageMediator::Options options;
+  options.network_capacity = MiBPerSecond(64);
+  StorageMediator mediator(options);
+  constexpr uint32_t kAgents = 10;
+  const double kAgentRate = MiBPerSecond(1);
+  for (uint32_t i = 0; i < kAgents; ++i) {
+    mediator.RegisterAgent(AgentCapacity{kAgentRate, MiB(256)});
+  }
+
+  std::vector<OpenSessionRecord> open_sessions;
+  int admitted = 0;
+  int rejected = 0;
+  for (int step = 0; step < 400; ++step) {
+    const bool do_open = open_sessions.empty() || rng.Bernoulli(0.55);
+    if (do_open) {
+      StorageMediator::SessionRequest request;
+      request.object_name = "o" + std::to_string(step);
+      request.expected_size = static_cast<uint64_t>(rng.UniformInt(0, MiB(32)));
+      request.required_rate = rng.Uniform(0, MiBPerSecond(3));
+      request.typical_request = static_cast<uint64_t>(rng.UniformInt(KiB(16), MiB(2)));
+      request.redundancy = rng.Bernoulli(0.3);
+      auto plan = mediator.OpenSession(request);
+      if (plan.ok()) {
+        ++admitted;
+        const uint32_t data_agents = plan->stripe.DataAgentsPerRow();
+        open_sessions.push_back(OpenSessionRecord{
+            *plan, request.required_rate > 0 ? request.required_rate / data_agents : 0});
+      } else {
+        ++rejected;
+        EXPECT_EQ(plan.code(), StatusCode::kResourceExhausted) << plan.status().ToString();
+      }
+    } else {
+      const size_t victim =
+          static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(open_sessions.size()) - 1));
+      ASSERT_TRUE(mediator.CloseSession(open_sessions[victim].plan.session_id).ok());
+      open_sessions.erase(open_sessions.begin() + static_cast<long>(victim));
+    }
+
+    // --- invariants ----------------------------------------------------------
+    std::map<uint32_t, double> expected_rate;
+    double expected_network = 0;
+    for (const auto& record : open_sessions) {
+      for (uint32_t agent : record.plan.agent_ids) {
+        expected_rate[agent] += record.per_agent_rate;
+      }
+      expected_network += record.plan.reserved_rate;
+    }
+    for (uint32_t agent = 0; agent < kAgents; ++agent) {
+      const double reserved = mediator.ReservedRate(agent);
+      EXPECT_NEAR(reserved, expected_rate[agent], 1.0) << "agent " << agent << " step " << step;
+      EXPECT_LE(reserved, kAgentRate * 0.9 + 1.0) << "agent " << agent << " over-promised";
+      EXPECT_GE(reserved, -1.0);
+    }
+    EXPECT_NEAR(mediator.reserved_network_rate(), expected_network, 1.0) << "step " << step;
+    EXPECT_EQ(mediator.active_session_count(), open_sessions.size());
+  }
+  EXPECT_GT(admitted, 20);
+  EXPECT_GT(rejected, 5);  // the workload must actually exercise rejection
+
+  // Drain: everything returns to zero.
+  for (const auto& record : open_sessions) {
+    ASSERT_TRUE(mediator.CloseSession(record.plan.session_id).ok());
+  }
+  for (uint32_t agent = 0; agent < kAgents; ++agent) {
+    EXPECT_NEAR(mediator.ReservedRate(agent), 0, 1e-6);
+    EXPECT_EQ(mediator.ReservedStorage(agent), 0u);
+  }
+  EXPECT_NEAR(mediator.reserved_network_rate(), 0, 1e-6);
+  EXPECT_EQ(mediator.active_session_count(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MediatorPropertyTest,
+                         ::testing::Values(1u, 7u, 42u, 1234u, 99999u));
+
+}  // namespace
+}  // namespace swift

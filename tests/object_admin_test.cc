@@ -1,0 +1,78 @@
+// RemoveObject: whole-object deletion across directory and agent stores.
+
+#include <gtest/gtest.h>
+
+#include "src/agent/local_cluster.h"
+#include "src/core/object_admin.h"
+#include "src/util/rng.h"
+
+namespace swift {
+namespace {
+
+TEST(RemoveObjectTest, CleansDirectoryAndStores) {
+  LocalSwiftCluster cluster({.num_agents = 3});
+  auto file = cluster.CreateFile({.object_name = "obj",
+                                  .expected_size = KiB(64),
+                                  .typical_request = KiB(12),
+                                  .min_agents = 3,
+                                  .max_agents = 3});
+  ASSERT_TRUE(file.ok());
+  std::vector<uint8_t> data(KiB(30), 7);
+  ASSERT_TRUE((*file)->PWrite(0, data).ok());
+  ASSERT_TRUE((*file)->Close().ok());
+
+  auto metadata = cluster.directory().Lookup("obj");
+  ASSERT_TRUE(metadata.ok());
+  auto report = RemoveObject("obj", cluster.TransportsFor(metadata->agent_ids),
+                             &cluster.directory());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->stores_cleaned, 3u);
+  EXPECT_TRUE(report->first_store_error.ok());
+  EXPECT_FALSE(cluster.directory().Exists("obj"));
+  // The name is reusable.
+  auto recreated = cluster.CreateFile({.object_name = "obj", .expected_size = KiB(1)});
+  EXPECT_TRUE(recreated.ok());
+}
+
+TEST(RemoveObjectTest, DeadAgentReportedButDirectoryCleaned) {
+  LocalSwiftCluster cluster({.num_agents = 3});
+  auto file = cluster.CreateFile({.object_name = "obj",
+                                  .expected_size = KiB(64),
+                                  .typical_request = KiB(12),
+                                  .min_agents = 3,
+                                  .max_agents = 3});
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Close().ok());
+  auto metadata = cluster.directory().Lookup("obj");
+  ASSERT_TRUE(metadata.ok());
+  cluster.transport(metadata->agent_ids[1])->set_crashed(true);
+  auto report = RemoveObject("obj", cluster.TransportsFor(metadata->agent_ids),
+                             &cluster.directory());
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->stores_cleaned, 2u);
+  EXPECT_EQ(report->first_store_error.code(), StatusCode::kUnavailable);
+  EXPECT_FALSE(cluster.directory().Exists("obj"));
+}
+
+TEST(RemoveObjectTest, UnknownObject) {
+  LocalSwiftCluster cluster({.num_agents = 2});
+  std::vector<AgentTransport*> transports = {cluster.transport(0), cluster.transport(1)};
+  EXPECT_EQ(RemoveObject("ghost", transports, &cluster.directory()).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(RemoveObjectTest, MismatchedTransports) {
+  LocalSwiftCluster cluster({.num_agents = 3});
+  auto file = cluster.CreateFile({.object_name = "obj",
+                                  .expected_size = KiB(8),
+                                  .min_agents = 3,
+                                  .max_agents = 3});
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Close().ok());
+  std::vector<AgentTransport*> too_few = {cluster.transport(0)};
+  EXPECT_EQ(RemoveObject("obj", too_few, &cluster.directory()).code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace swift

@@ -1,0 +1,142 @@
+// Rate-guaranteed disk scheduling (§6.1.2 extension): admission control,
+// EDF ordering, deadline behaviour under best-effort interference.
+
+#include <gtest/gtest.h>
+
+#include "src/disk/disk_catalog.h"
+#include "src/disk/realtime_disk.h"
+#include "src/util/units.h"
+
+namespace swift {
+namespace {
+
+TEST(RealTimeDiskTest, AdmissionAccountsWorstCaseAndBlocking) {
+  Simulator sim;
+  RealTimeDisk disk(&sim, FujitsuM2372K(), Rng(1));
+  // Worst case for one 32 KiB block: 32 + 16.6 + 13.1 ms ~= 61.7 ms; the
+  // blocking term adds one worst-case 64 KiB best-effort block (~74.8 ms).
+  const SimTime wc = disk.WorstCaseBatchTime(1, KiB(32));
+  EXPECT_NEAR(ToMillisecondsF(wc), 61.7, 0.5);
+  EXPECT_NEAR(ToMillisecondsF(disk.WorstCaseBlockingTime()), 74.8, 0.5);
+
+  // One block per 200 ms = (61.7 + 74.8) / 200 = 68% promised; admitted.
+  auto first = disk.AdmitStream(1, KiB(32), Milliseconds(200));
+  ASSERT_TRUE(first.ok());
+  EXPECT_NEAR(disk.promised_utilization(), 0.683, 0.01);
+  // A second such stream would promise ~137% — rejected.
+  EXPECT_EQ(disk.AdmitStream(1, KiB(32), Milliseconds(200)).code(),
+            StatusCode::kResourceExhausted);
+  // Releasing frees the reservation.
+  ASSERT_TRUE(disk.ReleaseStream(*first).ok());
+  EXPECT_NEAR(disk.promised_utilization(), 0.0, 1e-12);
+  EXPECT_TRUE(disk.AdmitStream(1, KiB(32), Milliseconds(200)).ok());
+}
+
+TEST(RealTimeDiskTest, RejectsImpossibleStream) {
+  Simulator sim;
+  RealTimeDisk disk(&sim, FujitsuM2372K(), Rng(2));
+  EXPECT_EQ(disk.AdmitStream(10, KiB(32), Milliseconds(100)).code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(disk.AdmitStream(0, KiB(32), Milliseconds(100)).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(RealTimeDiskTest, AdmittedStreamNeverMissesUnderInterference) {
+  Simulator sim;
+  RealTimeDisk disk(&sim, FujitsuM2372K(), Rng(3));
+  auto stream = disk.AdmitStream(1, KiB(32), Milliseconds(200));
+  ASSERT_TRUE(stream.ok());
+
+  // The stream: one batch per 200 ms period, deadline at period end.
+  sim.Spawn([](Simulator& s, RealTimeDisk& d, RealTimeDisk::StreamId id) -> SimProc {
+    for (int period = 0; period < 100; ++period) {
+      const SimTime deadline = Milliseconds(200) * (period + 1);
+      co_await d.StreamBatch(id, deadline);
+      // Wait for the next period boundary.
+      if (s.now() < deadline) {
+        co_await s.Delay(deadline - s.now());
+      }
+    }
+  }(sim, disk, *stream));
+
+  // Greedy best-effort interference: back-to-back 4-block reads.
+  sim.Spawn([](Simulator& s, RealTimeDisk& d) -> SimProc {
+    (void)s;
+    for (;;) {
+      co_await d.BestEffort(4, KiB(32));
+    }
+  }(sim, disk));
+
+  sim.RunUntil(Seconds(21));
+  EXPECT_EQ(disk.stream_batches_served(), 100u);
+  EXPECT_EQ(disk.deadline_misses(), 0u);
+  EXPECT_GT(disk.best_effort_served(), 20u);  // best effort still progresses
+}
+
+TEST(RealTimeDiskTest, EdfOrdersByDeadline) {
+  Simulator sim;
+  RealTimeDisk disk(&sim, FujitsuM2372K(), Rng(4));
+  auto a = disk.AdmitStream(1, KiB(4), Milliseconds(400));
+  auto b = disk.AdmitStream(1, KiB(4), Milliseconds(400));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  std::vector<char> completion_order;
+  // Enqueue late-deadline first, early-deadline second, at the same instant.
+  sim.Spawn([](Simulator& s, RealTimeDisk& d, RealTimeDisk::StreamId id,
+               std::vector<char>& order) -> SimProc {
+    (void)s;
+    co_await d.StreamBatch(id, Milliseconds(800));
+    order.push_back('L');
+  }(sim, disk, *a, completion_order));
+  sim.Spawn([](Simulator& s, RealTimeDisk& d, RealTimeDisk::StreamId id,
+               std::vector<char>& order) -> SimProc {
+    (void)s;
+    co_await d.StreamBatch(id, Milliseconds(100));
+    order.push_back('E');
+  }(sim, disk, *b, completion_order));
+  sim.RunUntil(Seconds(2));
+  ASSERT_EQ(completion_order.size(), 2u);
+  // The dispatcher may grab the first-enqueued request before the second
+  // arrives in the same instant... both are enqueued at t=0 before any
+  // dispatch (dispatcher wakes via a scheduled event), so EDF applies:
+  EXPECT_EQ(completion_order[0], 'E');
+  EXPECT_EQ(completion_order[1], 'L');
+}
+
+TEST(RealTimeDiskTest, FifoBaselineMissesDeadlines) {
+  // The contrast experiment: naive FIFO (model: everything best-effort, so
+  // the greedy load is served in arrival order ahead of stream batches).
+  Simulator sim;
+  RealTimeDisk disk(&sim, FujitsuM2372K(), Rng(5));
+  uint64_t misses = 0;
+  sim.Spawn([](Simulator& s, RealTimeDisk& d, uint64_t& missed) -> SimProc {
+    for (int period = 0; period < 50; ++period) {
+      const SimTime deadline = Milliseconds(100) * (period + 1);
+      // FIFO: the stream's I/O is just another best-effort request.
+      const SimTime done = co_await d.BestEffort(1, KiB(32));
+      if (done > deadline) {
+        ++missed;
+      }
+      if (s.now() < deadline) {
+        co_await s.Delay(deadline - s.now());
+      }
+    }
+  }(sim, disk, misses));
+  sim.Spawn([](Simulator& s, RealTimeDisk& d) -> SimProc {
+    (void)s;
+    for (;;) {
+      co_await d.BestEffort(4, KiB(32));
+    }
+  }(sim, disk));
+  sim.RunUntil(Seconds(6));
+  EXPECT_GT(misses, 5u);  // FIFO under load blows deadlines
+}
+
+TEST(RealTimeDiskTest, ReleaseUnknownStream) {
+  Simulator sim;
+  RealTimeDisk disk(&sim, FujitsuM2372K(), Rng(6));
+  EXPECT_EQ(disk.ReleaseStream(99).code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace swift

@@ -1,0 +1,312 @@
+// swift_cli: manage striped Swift objects against running storage agents.
+//
+// The client half of the deployable toolchain (see swift_agentd). Agents are
+// named by their UDP ports; object metadata lives in a directory file shared
+// by everyone who accesses the objects (the hardenable metadata component
+// §6 contrasts with CFS's).
+//
+//   swift_cli --agents=4751,4752,4753 --dir=objects.dirdb COMMAND...
+//
+// Commands:
+//   create NAME [--unit=BYTES] [--parity]   create an empty striped object
+//   put NAME LOCAL_FILE                     copy a local file into an object
+//   get NAME LOCAL_FILE                     copy an object to a local file
+//   stat NAME                               show geometry and size
+//   ls                                      list objects
+//   rm NAME                                 remove an object (metadata+stores)
+//   rebuild NAME COLUMN                     regenerate a replaced agent's data
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/agent/udp_transport.h"
+#include "src/core/object_admin.h"
+#include "src/core/object_directory.h"
+#include "src/core/rebuild.h"
+#include "src/core/swift_file.h"
+#include "src/util/units.h"
+
+namespace {
+
+using namespace swift;
+
+struct Cli {
+  std::vector<uint16_t> agent_ports;
+  std::string directory_path;
+  ObjectDirectory directory;
+  std::vector<std::unique_ptr<UdpTransport>> transports;
+
+  Status Connect() {
+    for (uint16_t port : agent_ports) {
+      transports.push_back(std::make_unique<UdpTransport>(port, UdpTransport::Options{}));
+    }
+    if (::access(directory_path.c_str(), F_OK) == 0) {
+      return directory.LoadFromFile(directory_path);
+    }
+    return OkStatus();
+  }
+
+  Status SaveDirectory() { return directory.SaveToFile(directory_path); }
+
+  // Column-order transports for an object (agent_ids index agent_ports).
+  Result<std::vector<AgentTransport*>> TransportsFor(const ObjectMetadata& metadata) {
+    std::vector<AgentTransport*> out;
+    for (uint32_t id : metadata.agent_ids) {
+      if (id >= transports.size()) {
+        return InvalidArgumentError("object references agent " + std::to_string(id) +
+                                    " but only " + std::to_string(transports.size()) +
+                                    " --agents given");
+      }
+      out.push_back(transports[id].get());
+    }
+    return out;
+  }
+};
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int CmdCreate(Cli& cli, const std::string& name, uint64_t unit, bool parity) {
+  TransferPlan plan;
+  plan.object_name = name;
+  plan.stripe.num_agents = static_cast<uint32_t>(cli.transports.size());
+  plan.stripe.stripe_unit = unit;
+  plan.stripe.parity = parity ? ParityMode::kRotating : ParityMode::kNone;
+  for (uint32_t i = 0; i < cli.transports.size(); ++i) {
+    plan.agent_ids.push_back(i);
+  }
+  if (Status s = plan.stripe.Validate(); !s.ok()) {
+    return Fail(s);
+  }
+  auto file = SwiftFile::Create(plan, *cli.TransportsFor(ObjectMetadata{
+                                          name, plan.stripe, plan.agent_ids, 0}),
+                                &cli.directory);
+  if (!file.ok()) {
+    return Fail(file.status());
+  }
+  (void)(*file)->Close();
+  if (Status s = cli.SaveDirectory(); !s.ok()) {
+    return Fail(s);
+  }
+  std::printf("created '%s': %u agents, %s units, parity %s\n", name.c_str(),
+              plan.stripe.num_agents, FormatBytes(unit).c_str(), parity ? "on" : "off");
+  return 0;
+}
+
+int CmdPut(Cli& cli, const std::string& name, const std::string& local) {
+  auto metadata = cli.directory.Lookup(name);
+  if (!metadata.ok()) {
+    return Fail(metadata.status());
+  }
+  auto transports = cli.TransportsFor(*metadata);
+  if (!transports.ok()) {
+    return Fail(transports.status());
+  }
+  auto file = SwiftFile::Open(name, *transports, &cli.directory);
+  if (!file.ok()) {
+    return Fail(file.status());
+  }
+  std::FILE* in = std::fopen(local.c_str(), "rb");
+  if (in == nullptr) {
+    return Fail(IoError("cannot open '" + local + "'"));
+  }
+  std::vector<uint8_t> chunk(MiB(1));
+  uint64_t total = 0;
+  size_t n;
+  while ((n = std::fread(chunk.data(), 1, chunk.size(), in)) > 0) {
+    auto written = (*file)->Write(std::span<const uint8_t>(chunk.data(), n));
+    if (!written.ok()) {
+      std::fclose(in);
+      return Fail(written.status());
+    }
+    total += n;
+  }
+  std::fclose(in);
+  if (Status s = (*file)->Close(); !s.ok()) {
+    return Fail(s);
+  }
+  if (Status s = cli.SaveDirectory(); !s.ok()) {
+    return Fail(s);
+  }
+  std::printf("stored %s into '%s'\n", FormatBytes(total).c_str(), name.c_str());
+  return 0;
+}
+
+int CmdGet(Cli& cli, const std::string& name, const std::string& local) {
+  auto metadata = cli.directory.Lookup(name);
+  if (!metadata.ok()) {
+    return Fail(metadata.status());
+  }
+  auto transports = cli.TransportsFor(*metadata);
+  if (!transports.ok()) {
+    return Fail(transports.status());
+  }
+  auto file = SwiftFile::Open(name, *transports, &cli.directory);
+  if (!file.ok()) {
+    return Fail(file.status());
+  }
+  std::FILE* out = std::fopen(local.c_str(), "wb");
+  if (out == nullptr) {
+    return Fail(IoError("cannot create '" + local + "'"));
+  }
+  std::vector<uint8_t> chunk(MiB(1));
+  uint64_t total = 0;
+  for (;;) {
+    auto n = (*file)->Read(chunk);
+    if (!n.ok()) {
+      std::fclose(out);
+      return Fail(n.status());
+    }
+    if (*n == 0) {
+      break;
+    }
+    if (std::fwrite(chunk.data(), 1, *n, out) != *n) {
+      std::fclose(out);
+      return Fail(IoError("short write to '" + local + "'"));
+    }
+    total += *n;
+  }
+  std::fclose(out);
+  std::printf("fetched %s from '%s'%s\n", FormatBytes(total).c_str(), name.c_str(),
+              (*file)->degraded() ? " (degraded: reconstructed through parity)" : "");
+  return 0;
+}
+
+int CmdStat(Cli& cli, const std::string& name) {
+  auto metadata = cli.directory.Lookup(name);
+  if (!metadata.ok()) {
+    return Fail(metadata.status());
+  }
+  std::printf("%s: %s, %u agents, %s units, parity %s\n", name.c_str(),
+              FormatBytes(metadata->size).c_str(), metadata->stripe.num_agents,
+              FormatBytes(metadata->stripe.stripe_unit).c_str(),
+              metadata->stripe.parity == ParityMode::kNone ? "off" : "on");
+  return 0;
+}
+
+int CmdLs(Cli& cli) {
+  for (const std::string& name : cli.directory.List()) {
+    CmdStat(cli, name);
+  }
+  return 0;
+}
+
+int CmdRm(Cli& cli, const std::string& name) {
+  auto metadata = cli.directory.Lookup(name);
+  if (!metadata.ok()) {
+    return Fail(metadata.status());
+  }
+  auto transports = cli.TransportsFor(*metadata);
+  if (!transports.ok()) {
+    return Fail(transports.status());
+  }
+  auto report = RemoveObject(name, *transports, &cli.directory);
+  if (!report.ok()) {
+    return Fail(report.status());
+  }
+  if (Status s = cli.SaveDirectory(); !s.ok()) {
+    return Fail(s);
+  }
+  std::printf("removed '%s' (%u of %zu agent stores cleaned%s)\n", name.c_str(),
+              report->stores_cleaned, transports->size(),
+              report->first_store_error.ok()
+                  ? ""
+                  : (std::string("; first error: ") + report->first_store_error.ToString())
+                        .c_str());
+  return 0;
+}
+
+int CmdRebuild(Cli& cli, const std::string& name, uint32_t column) {
+  auto metadata = cli.directory.Lookup(name);
+  if (!metadata.ok()) {
+    return Fail(metadata.status());
+  }
+  auto transports = cli.TransportsFor(*metadata);
+  if (!transports.ok()) {
+    return Fail(transports.status());
+  }
+  auto report = RebuildColumn(*metadata, *transports, column);
+  if (!report.ok()) {
+    return Fail(report.status());
+  }
+  std::printf("rebuilt column %u of '%s': %llu rows, %s\n", column, name.c_str(),
+              static_cast<unsigned long long>(report->rows_rebuilt),
+              FormatBytes(report->bytes_written).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--agents=", 0) == 0) {
+      std::string list = arg.substr(9);
+      size_t pos = 0;
+      while (pos < list.size()) {
+        size_t comma = list.find(',', pos);
+        if (comma == std::string::npos) {
+          comma = list.size();
+        }
+        cli.agent_ports.push_back(static_cast<uint16_t>(std::atoi(list.substr(pos).c_str())));
+        pos = comma + 1;
+      }
+    } else if (arg.rfind("--dir=", 0) == 0) {
+      cli.directory_path = arg.substr(6);
+    } else {
+      args.push_back(arg);
+    }
+  }
+  if (cli.agent_ports.empty() || cli.directory_path.empty() || args.empty()) {
+    std::fprintf(stderr,
+                 "usage: swift_cli --agents=PORT[,PORT...] --dir=FILE COMMAND\n"
+                 "commands: create NAME [--unit=BYTES] [--parity] | put NAME FILE |\n"
+                 "          get NAME FILE | stat NAME | ls | rm NAME | rebuild NAME COL\n");
+    return 2;
+  }
+  if (Status s = cli.Connect(); !s.ok()) {
+    return Fail(s);
+  }
+
+  const std::string& command = args[0];
+  if (command == "create" && args.size() >= 2) {
+    uint64_t unit = KiB(64);
+    bool parity = false;
+    for (size_t i = 2; i < args.size(); ++i) {
+      if (args[i].rfind("--unit=", 0) == 0) {
+        unit = static_cast<uint64_t>(std::atoll(args[i].substr(7).c_str()));
+      } else if (args[i] == "--parity") {
+        parity = true;
+      }
+    }
+    return CmdCreate(cli, args[1], unit, parity);
+  }
+  if (command == "put" && args.size() == 3) {
+    return CmdPut(cli, args[1], args[2]);
+  }
+  if (command == "get" && args.size() == 3) {
+    return CmdGet(cli, args[1], args[2]);
+  }
+  if (command == "stat" && args.size() == 2) {
+    return CmdStat(cli, args[1]);
+  }
+  if (command == "ls") {
+    return CmdLs(cli);
+  }
+  if (command == "rm" && args.size() == 2) {
+    return CmdRm(cli, args[1]);
+  }
+  if (command == "rebuild" && args.size() == 3) {
+    return CmdRebuild(cli, args[1], static_cast<uint32_t>(std::atoi(args[2].c_str())));
+  }
+  std::fprintf(stderr, "unknown or malformed command '%s'\n", command.c_str());
+  return 2;
+}
