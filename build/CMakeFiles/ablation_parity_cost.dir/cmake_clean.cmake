@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_parity_cost.dir/bench/ablation_parity_cost.cc.o"
+  "CMakeFiles/ablation_parity_cost.dir/bench/ablation_parity_cost.cc.o.d"
+  "bench/ablation_parity_cost"
+  "bench/ablation_parity_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_parity_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_parity_gigabit.dir/bench/ablation_parity_gigabit.cc.o"
+  "CMakeFiles/ablation_parity_gigabit.dir/bench/ablation_parity_gigabit.cc.o.d"
+  "bench/ablation_parity_gigabit"
+  "bench/ablation_parity_gigabit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_parity_gigabit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_read_window.dir/bench/ablation_read_window.cc.o"
+  "CMakeFiles/ablation_read_window.dir/bench/ablation_read_window.cc.o.d"
+  "bench/ablation_read_window"
+  "bench/ablation_read_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_read_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

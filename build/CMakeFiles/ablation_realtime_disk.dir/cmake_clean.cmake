@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_realtime_disk.dir/bench/ablation_realtime_disk.cc.o"
+  "CMakeFiles/ablation_realtime_disk.dir/bench/ablation_realtime_disk.cc.o.d"
+  "bench/ablation_realtime_disk"
+  "bench/ablation_realtime_disk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_realtime_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

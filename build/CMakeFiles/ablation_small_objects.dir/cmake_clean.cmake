@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_small_objects.dir/bench/ablation_small_objects.cc.o"
+  "CMakeFiles/ablation_small_objects.dir/bench/ablation_small_objects.cc.o.d"
+  "bench/ablation_small_objects"
+  "bench/ablation_small_objects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_small_objects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_small_objects.
+# This may be replaced when dependencies are built.

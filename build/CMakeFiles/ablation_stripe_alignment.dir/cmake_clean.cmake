@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_stripe_alignment.dir/bench/ablation_stripe_alignment.cc.o"
+  "CMakeFiles/ablation_stripe_alignment.dir/bench/ablation_stripe_alignment.cc.o.d"
+  "bench/ablation_stripe_alignment"
+  "bench/ablation_stripe_alignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_stripe_alignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_striping_unit.dir/bench/ablation_striping_unit.cc.o"
+  "CMakeFiles/ablation_striping_unit.dir/bench/ablation_striping_unit.cc.o.d"
+  "bench/ablation_striping_unit"
+  "bench/ablation_striping_unit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_striping_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_completion_time.dir/bench/fig3_completion_time.cc.o"
+  "CMakeFiles/fig3_completion_time.dir/bench/fig3_completion_time.cc.o.d"
+  "bench/fig3_completion_time"
+  "bench/fig3_completion_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_completion_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_completion_time_slow_disk.dir/bench/fig4_completion_time_slow_disk.cc.o"
+  "CMakeFiles/fig4_completion_time_slow_disk.dir/bench/fig4_completion_time_slow_disk.cc.o.d"
+  "bench/fig4_completion_time_slow_disk"
+  "bench/fig4_completion_time_slow_disk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_completion_time_slow_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

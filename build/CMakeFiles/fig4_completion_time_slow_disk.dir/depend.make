@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_completion_time_slow_disk.
+# This may be replaced when dependencies are built.

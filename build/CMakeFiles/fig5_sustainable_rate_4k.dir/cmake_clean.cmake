@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_sustainable_rate_4k.dir/bench/fig5_sustainable_rate_4k.cc.o"
+  "CMakeFiles/fig5_sustainable_rate_4k.dir/bench/fig5_sustainable_rate_4k.cc.o.d"
+  "bench/fig5_sustainable_rate_4k"
+  "bench/fig5_sustainable_rate_4k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_sustainable_rate_4k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5_sustainable_rate_4k.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_sustainable_rate_32k.dir/bench/fig6_sustainable_rate_32k.cc.o"
+  "CMakeFiles/fig6_sustainable_rate_32k.dir/bench/fig6_sustainable_rate_32k.cc.o.d"
+  "bench/fig6_sustainable_rate_32k"
+  "bench/fig6_sustainable_rate_32k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_sustainable_rate_32k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

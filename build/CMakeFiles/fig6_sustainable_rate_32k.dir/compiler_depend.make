@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig6_sustainable_rate_32k.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/projection_future_disks.cc" "CMakeFiles/projection_future_disks.dir/bench/projection_future_disks.cc.o" "gcc" "CMakeFiles/projection_future_disks.dir/bench/projection_future_disks.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/swift_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/swift_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/agent/CMakeFiles/swift_agent.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/swift_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/swift_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/swift_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/event/CMakeFiles/swift_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/swift_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/swift_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

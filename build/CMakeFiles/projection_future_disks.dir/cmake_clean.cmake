@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/projection_future_disks.dir/bench/projection_future_disks.cc.o"
+  "CMakeFiles/projection_future_disks.dir/bench/projection_future_disks.cc.o.d"
+  "bench/projection_future_disks"
+  "bench/projection_future_disks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/projection_future_disks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

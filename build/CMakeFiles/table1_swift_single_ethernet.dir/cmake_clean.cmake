@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_swift_single_ethernet.dir/bench/table1_swift_single_ethernet.cc.o"
+  "CMakeFiles/table1_swift_single_ethernet.dir/bench/table1_swift_single_ethernet.cc.o.d"
+  "bench/table1_swift_single_ethernet"
+  "bench/table1_swift_single_ethernet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_swift_single_ethernet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_local_scsi.dir/bench/table2_local_scsi.cc.o"
+  "CMakeFiles/table2_local_scsi.dir/bench/table2_local_scsi.cc.o.d"
+  "bench/table2_local_scsi"
+  "bench/table2_local_scsi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_local_scsi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_nfs.dir/bench/table3_nfs.cc.o"
+  "CMakeFiles/table3_nfs.dir/bench/table3_nfs.cc.o.d"
+  "bench/table3_nfs"
+  "bench/table3_nfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_nfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

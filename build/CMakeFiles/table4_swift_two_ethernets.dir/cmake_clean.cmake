@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_swift_two_ethernets.dir/bench/table4_swift_two_ethernets.cc.o"
+  "CMakeFiles/table4_swift_two_ethernets.dir/bench/table4_swift_two_ethernets.cc.o.d"
+  "bench/table4_swift_two_ethernets"
+  "bench/table4_swift_two_ethernets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_swift_two_ethernets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

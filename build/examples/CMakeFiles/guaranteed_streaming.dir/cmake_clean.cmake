@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guaranteed_streaming.dir/guaranteed_streaming.cpp.o"
+  "CMakeFiles/guaranteed_streaming.dir/guaranteed_streaming.cpp.o.d"
+  "guaranteed_streaming"
+  "guaranteed_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guaranteed_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

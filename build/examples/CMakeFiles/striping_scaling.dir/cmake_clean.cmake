@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/striping_scaling.dir/striping_scaling.cpp.o"
+  "CMakeFiles/striping_scaling.dir/striping_scaling.cpp.o.d"
+  "striping_scaling"
+  "striping_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/striping_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

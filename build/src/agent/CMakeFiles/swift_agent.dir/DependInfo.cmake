@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/agent/backing_store.cc" "src/agent/CMakeFiles/swift_agent.dir/backing_store.cc.o" "gcc" "src/agent/CMakeFiles/swift_agent.dir/backing_store.cc.o.d"
+  "/root/repo/src/agent/local_cluster.cc" "src/agent/CMakeFiles/swift_agent.dir/local_cluster.cc.o" "gcc" "src/agent/CMakeFiles/swift_agent.dir/local_cluster.cc.o.d"
+  "/root/repo/src/agent/storage_agent.cc" "src/agent/CMakeFiles/swift_agent.dir/storage_agent.cc.o" "gcc" "src/agent/CMakeFiles/swift_agent.dir/storage_agent.cc.o.d"
+  "/root/repo/src/agent/udp_agent_server.cc" "src/agent/CMakeFiles/swift_agent.dir/udp_agent_server.cc.o" "gcc" "src/agent/CMakeFiles/swift_agent.dir/udp_agent_server.cc.o.d"
+  "/root/repo/src/agent/udp_socket.cc" "src/agent/CMakeFiles/swift_agent.dir/udp_socket.cc.o" "gcc" "src/agent/CMakeFiles/swift_agent.dir/udp_socket.cc.o.d"
+  "/root/repo/src/agent/udp_transport.cc" "src/agent/CMakeFiles/swift_agent.dir/udp_transport.cc.o" "gcc" "src/agent/CMakeFiles/swift_agent.dir/udp_transport.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/swift_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/swift_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/swift_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

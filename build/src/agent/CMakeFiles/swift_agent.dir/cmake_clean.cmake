@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swift_agent.dir/backing_store.cc.o"
+  "CMakeFiles/swift_agent.dir/backing_store.cc.o.d"
+  "CMakeFiles/swift_agent.dir/local_cluster.cc.o"
+  "CMakeFiles/swift_agent.dir/local_cluster.cc.o.d"
+  "CMakeFiles/swift_agent.dir/storage_agent.cc.o"
+  "CMakeFiles/swift_agent.dir/storage_agent.cc.o.d"
+  "CMakeFiles/swift_agent.dir/udp_agent_server.cc.o"
+  "CMakeFiles/swift_agent.dir/udp_agent_server.cc.o.d"
+  "CMakeFiles/swift_agent.dir/udp_socket.cc.o"
+  "CMakeFiles/swift_agent.dir/udp_socket.cc.o.d"
+  "CMakeFiles/swift_agent.dir/udp_transport.cc.o"
+  "CMakeFiles/swift_agent.dir/udp_transport.cc.o.d"
+  "libswift_agent.a"
+  "libswift_agent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swift_agent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/local_fs_model.cc" "src/baseline/CMakeFiles/swift_baseline.dir/local_fs_model.cc.o" "gcc" "src/baseline/CMakeFiles/swift_baseline.dir/local_fs_model.cc.o.d"
+  "/root/repo/src/baseline/nfs_model.cc" "src/baseline/CMakeFiles/swift_baseline.dir/nfs_model.cc.o" "gcc" "src/baseline/CMakeFiles/swift_baseline.dir/nfs_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/disk/CMakeFiles/swift_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/swift_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/event/CMakeFiles/swift_event.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

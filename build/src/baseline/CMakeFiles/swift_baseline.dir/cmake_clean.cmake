@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swift_baseline.dir/local_fs_model.cc.o"
+  "CMakeFiles/swift_baseline.dir/local_fs_model.cc.o.d"
+  "CMakeFiles/swift_baseline.dir/nfs_model.cc.o"
+  "CMakeFiles/swift_baseline.dir/nfs_model.cc.o.d"
+  "libswift_baseline.a"
+  "libswift_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swift_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

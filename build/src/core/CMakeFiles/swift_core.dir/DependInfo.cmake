@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/distribution_agent.cc" "src/core/CMakeFiles/swift_core.dir/distribution_agent.cc.o" "gcc" "src/core/CMakeFiles/swift_core.dir/distribution_agent.cc.o.d"
+  "/root/repo/src/core/object_admin.cc" "src/core/CMakeFiles/swift_core.dir/object_admin.cc.o" "gcc" "src/core/CMakeFiles/swift_core.dir/object_admin.cc.o.d"
+  "/root/repo/src/core/object_directory.cc" "src/core/CMakeFiles/swift_core.dir/object_directory.cc.o" "gcc" "src/core/CMakeFiles/swift_core.dir/object_directory.cc.o.d"
+  "/root/repo/src/core/parity.cc" "src/core/CMakeFiles/swift_core.dir/parity.cc.o" "gcc" "src/core/CMakeFiles/swift_core.dir/parity.cc.o.d"
+  "/root/repo/src/core/rebuild.cc" "src/core/CMakeFiles/swift_core.dir/rebuild.cc.o" "gcc" "src/core/CMakeFiles/swift_core.dir/rebuild.cc.o.d"
+  "/root/repo/src/core/storage_mediator.cc" "src/core/CMakeFiles/swift_core.dir/storage_mediator.cc.o" "gcc" "src/core/CMakeFiles/swift_core.dir/storage_mediator.cc.o.d"
+  "/root/repo/src/core/stripe_layout.cc" "src/core/CMakeFiles/swift_core.dir/stripe_layout.cc.o" "gcc" "src/core/CMakeFiles/swift_core.dir/stripe_layout.cc.o.d"
+  "/root/repo/src/core/swift_file.cc" "src/core/CMakeFiles/swift_core.dir/swift_file.cc.o" "gcc" "src/core/CMakeFiles/swift_core.dir/swift_file.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/proto/CMakeFiles/swift_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/swift_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swift_core.dir/distribution_agent.cc.o"
+  "CMakeFiles/swift_core.dir/distribution_agent.cc.o.d"
+  "CMakeFiles/swift_core.dir/object_admin.cc.o"
+  "CMakeFiles/swift_core.dir/object_admin.cc.o.d"
+  "CMakeFiles/swift_core.dir/object_directory.cc.o"
+  "CMakeFiles/swift_core.dir/object_directory.cc.o.d"
+  "CMakeFiles/swift_core.dir/parity.cc.o"
+  "CMakeFiles/swift_core.dir/parity.cc.o.d"
+  "CMakeFiles/swift_core.dir/rebuild.cc.o"
+  "CMakeFiles/swift_core.dir/rebuild.cc.o.d"
+  "CMakeFiles/swift_core.dir/storage_mediator.cc.o"
+  "CMakeFiles/swift_core.dir/storage_mediator.cc.o.d"
+  "CMakeFiles/swift_core.dir/stripe_layout.cc.o"
+  "CMakeFiles/swift_core.dir/stripe_layout.cc.o.d"
+  "CMakeFiles/swift_core.dir/swift_file.cc.o"
+  "CMakeFiles/swift_core.dir/swift_file.cc.o.d"
+  "libswift_core.a"
+  "libswift_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swift_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

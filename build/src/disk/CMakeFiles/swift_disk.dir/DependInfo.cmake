@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/disk/disk_catalog.cc" "src/disk/CMakeFiles/swift_disk.dir/disk_catalog.cc.o" "gcc" "src/disk/CMakeFiles/swift_disk.dir/disk_catalog.cc.o.d"
+  "/root/repo/src/disk/disk_device.cc" "src/disk/CMakeFiles/swift_disk.dir/disk_device.cc.o" "gcc" "src/disk/CMakeFiles/swift_disk.dir/disk_device.cc.o.d"
+  "/root/repo/src/disk/disk_model.cc" "src/disk/CMakeFiles/swift_disk.dir/disk_model.cc.o" "gcc" "src/disk/CMakeFiles/swift_disk.dir/disk_model.cc.o.d"
+  "/root/repo/src/disk/realtime_disk.cc" "src/disk/CMakeFiles/swift_disk.dir/realtime_disk.cc.o" "gcc" "src/disk/CMakeFiles/swift_disk.dir/realtime_disk.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/event/CMakeFiles/swift_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/swift_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swift_disk.dir/disk_catalog.cc.o"
+  "CMakeFiles/swift_disk.dir/disk_catalog.cc.o.d"
+  "CMakeFiles/swift_disk.dir/disk_device.cc.o"
+  "CMakeFiles/swift_disk.dir/disk_device.cc.o.d"
+  "CMakeFiles/swift_disk.dir/disk_model.cc.o"
+  "CMakeFiles/swift_disk.dir/disk_model.cc.o.d"
+  "CMakeFiles/swift_disk.dir/realtime_disk.cc.o"
+  "CMakeFiles/swift_disk.dir/realtime_disk.cc.o.d"
+  "libswift_disk.a"
+  "libswift_disk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swift_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swift_event.dir/simulator.cc.o"
+  "CMakeFiles/swift_event.dir/simulator.cc.o.d"
+  "libswift_event.a"
+  "libswift_event.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swift_event.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

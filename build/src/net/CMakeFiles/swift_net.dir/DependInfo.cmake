@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/ethernet.cc" "src/net/CMakeFiles/swift_net.dir/ethernet.cc.o" "gcc" "src/net/CMakeFiles/swift_net.dir/ethernet.cc.o.d"
+  "/root/repo/src/net/sim_host.cc" "src/net/CMakeFiles/swift_net.dir/sim_host.cc.o" "gcc" "src/net/CMakeFiles/swift_net.dir/sim_host.cc.o.d"
+  "/root/repo/src/net/token_ring.cc" "src/net/CMakeFiles/swift_net.dir/token_ring.cc.o" "gcc" "src/net/CMakeFiles/swift_net.dir/token_ring.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/event/CMakeFiles/swift_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/swift_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

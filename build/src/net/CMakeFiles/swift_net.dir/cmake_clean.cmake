@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swift_net.dir/ethernet.cc.o"
+  "CMakeFiles/swift_net.dir/ethernet.cc.o.d"
+  "CMakeFiles/swift_net.dir/sim_host.cc.o"
+  "CMakeFiles/swift_net.dir/sim_host.cc.o.d"
+  "CMakeFiles/swift_net.dir/token_ring.cc.o"
+  "CMakeFiles/swift_net.dir/token_ring.cc.o.d"
+  "libswift_net.a"
+  "libswift_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swift_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

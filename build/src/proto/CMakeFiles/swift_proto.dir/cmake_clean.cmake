@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swift_proto.dir/message.cc.o"
+  "CMakeFiles/swift_proto.dir/message.cc.o.d"
+  "CMakeFiles/swift_proto.dir/packetizer.cc.o"
+  "CMakeFiles/swift_proto.dir/packetizer.cc.o.d"
+  "libswift_proto.a"
+  "libswift_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swift_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/gigabit_model.cc" "src/sim/CMakeFiles/swift_sim.dir/gigabit_model.cc.o" "gcc" "src/sim/CMakeFiles/swift_sim.dir/gigabit_model.cc.o.d"
+  "/root/repo/src/sim/prototype_model.cc" "src/sim/CMakeFiles/swift_sim.dir/prototype_model.cc.o" "gcc" "src/sim/CMakeFiles/swift_sim.dir/prototype_model.cc.o.d"
+  "/root/repo/src/sim/report.cc" "src/sim/CMakeFiles/swift_sim.dir/report.cc.o" "gcc" "src/sim/CMakeFiles/swift_sim.dir/report.cc.o.d"
+  "/root/repo/src/sim/workload.cc" "src/sim/CMakeFiles/swift_sim.dir/workload.cc.o" "gcc" "src/sim/CMakeFiles/swift_sim.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baseline/CMakeFiles/swift_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/swift_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/swift_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/event/CMakeFiles/swift_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/swift_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swift_sim.dir/gigabit_model.cc.o"
+  "CMakeFiles/swift_sim.dir/gigabit_model.cc.o.d"
+  "CMakeFiles/swift_sim.dir/prototype_model.cc.o"
+  "CMakeFiles/swift_sim.dir/prototype_model.cc.o.d"
+  "CMakeFiles/swift_sim.dir/report.cc.o"
+  "CMakeFiles/swift_sim.dir/report.cc.o.d"
+  "CMakeFiles/swift_sim.dir/workload.cc.o"
+  "CMakeFiles/swift_sim.dir/workload.cc.o.d"
+  "libswift_sim.a"
+  "libswift_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swift_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

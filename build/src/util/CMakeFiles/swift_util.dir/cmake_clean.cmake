@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swift_util.dir/crc32.cc.o"
+  "CMakeFiles/swift_util.dir/crc32.cc.o.d"
+  "CMakeFiles/swift_util.dir/histogram.cc.o"
+  "CMakeFiles/swift_util.dir/histogram.cc.o.d"
+  "CMakeFiles/swift_util.dir/logging.cc.o"
+  "CMakeFiles/swift_util.dir/logging.cc.o.d"
+  "CMakeFiles/swift_util.dir/stats.cc.o"
+  "CMakeFiles/swift_util.dir/stats.cc.o.d"
+  "CMakeFiles/swift_util.dir/status.cc.o"
+  "CMakeFiles/swift_util.dir/status.cc.o.d"
+  "CMakeFiles/swift_util.dir/units.cc.o"
+  "CMakeFiles/swift_util.dir/units.cc.o.d"
+  "libswift_util.a"
+  "libswift_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swift_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/co_task_test.dir/co_task_test.cc.o"
+  "CMakeFiles/co_task_test.dir/co_task_test.cc.o.d"
+  "co_task_test"
+  "co_task_test.pdb"
+  "co_task_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/co_task_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

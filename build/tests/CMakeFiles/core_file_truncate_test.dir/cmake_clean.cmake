@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_file_truncate_test.dir/core_file_truncate_test.cc.o"
+  "CMakeFiles/core_file_truncate_test.dir/core_file_truncate_test.cc.o.d"
+  "core_file_truncate_test"
+  "core_file_truncate_test.pdb"
+  "core_file_truncate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_file_truncate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

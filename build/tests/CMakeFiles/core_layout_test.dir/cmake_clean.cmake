@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_layout_test.dir/core_layout_test.cc.o"
+  "CMakeFiles/core_layout_test.dir/core_layout_test.cc.o.d"
+  "core_layout_test"
+  "core_layout_test.pdb"
+  "core_layout_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_layout_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

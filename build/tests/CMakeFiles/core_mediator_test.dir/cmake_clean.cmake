@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_mediator_test.dir/core_mediator_test.cc.o"
+  "CMakeFiles/core_mediator_test.dir/core_mediator_test.cc.o.d"
+  "core_mediator_test"
+  "core_mediator_test.pdb"
+  "core_mediator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_mediator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/histogram_workload_test.dir/histogram_workload_test.cc.o"
+  "CMakeFiles/histogram_workload_test.dir/histogram_workload_test.cc.o.d"
+  "histogram_workload_test"
+  "histogram_workload_test.pdb"
+  "histogram_workload_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/histogram_workload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mediator_property_test.dir/mediator_property_test.cc.o"
+  "CMakeFiles/mediator_property_test.dir/mediator_property_test.cc.o.d"
+  "mediator_property_test"
+  "mediator_property_test.pdb"
+  "mediator_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mediator_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

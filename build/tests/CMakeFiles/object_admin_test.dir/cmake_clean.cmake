@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/object_admin_test.dir/object_admin_test.cc.o"
+  "CMakeFiles/object_admin_test.dir/object_admin_test.cc.o.d"
+  "object_admin_test"
+  "object_admin_test.pdb"
+  "object_admin_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/object_admin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

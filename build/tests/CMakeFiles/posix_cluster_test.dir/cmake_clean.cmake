@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/posix_cluster_test.dir/posix_cluster_test.cc.o"
+  "CMakeFiles/posix_cluster_test.dir/posix_cluster_test.cc.o.d"
+  "posix_cluster_test"
+  "posix_cluster_test.pdb"
+  "posix_cluster_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/posix_cluster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/realtime_disk_test.dir/realtime_disk_test.cc.o"
+  "CMakeFiles/realtime_disk_test.dir/realtime_disk_test.cc.o.d"
+  "realtime_disk_test"
+  "realtime_disk_test.pdb"
+  "realtime_disk_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/realtime_disk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/event_test[1]_include.cmake")
+include("/root/repo/build/tests/disk_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/proto_test[1]_include.cmake")
+include("/root/repo/build/tests/core_layout_test[1]_include.cmake")
+include("/root/repo/build/tests/core_parity_test[1]_include.cmake")
+include("/root/repo/build/tests/core_mediator_test[1]_include.cmake")
+include("/root/repo/build/tests/core_file_test[1]_include.cmake")
+include("/root/repo/build/tests/agent_test[1]_include.cmake")
+include("/root/repo/build/tests/udp_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/rebuild_test[1]_include.cmake")
+include("/root/repo/build/tests/realtime_disk_test[1]_include.cmake")
+include("/root/repo/build/tests/core_file_truncate_test[1]_include.cmake")
+include("/root/repo/build/tests/co_task_test[1]_include.cmake")
+include("/root/repo/build/tests/posix_cluster_test[1]_include.cmake")
+include("/root/repo/build/tests/object_admin_test[1]_include.cmake")
+include("/root/repo/build/tests/stress_test[1]_include.cmake")
+include("/root/repo/build/tests/histogram_workload_test[1]_include.cmake")
+include("/root/repo/build/tests/mediator_property_test[1]_include.cmake")
+include("/root/repo/build/tests/fault_injection_test[1]_include.cmake")
+add_test(cli_integration "bash" "/root/repo/tests/cli_integration.sh" "/root/repo/build/tools/swift_agentd" "/root/repo/build/tools/swift_cli")
+set_tests_properties(cli_integration PROPERTIES  TIMEOUT "90" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;75;add_test;/root/repo/tests/CMakeLists.txt;0;")

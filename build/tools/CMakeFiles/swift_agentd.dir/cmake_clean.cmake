@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swift_agentd.dir/swift_agentd.cc.o"
+  "CMakeFiles/swift_agentd.dir/swift_agentd.cc.o.d"
+  "swift_agentd"
+  "swift_agentd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swift_agentd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swift_bench.dir/swift_bench.cc.o"
+  "CMakeFiles/swift_bench.dir/swift_bench.cc.o.d"
+  "swift_bench"
+  "swift_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swift_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

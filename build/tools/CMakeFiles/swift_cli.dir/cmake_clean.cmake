@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swift_cli.dir/swift_cli.cc.o"
+  "CMakeFiles/swift_cli.dir/swift_cli.cc.o.d"
+  "swift_cli"
+  "swift_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swift_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
