@@ -1,15 +1,25 @@
 // Micro benchmarks (google-benchmark): the data-path kernels.
 //
 // Parity XOR throughput (the "cost of computing the parity code", §7), wire
-// codec encode/decode, packetizer split/reassemble, CRC32, and stripe
-// mapping — the per-byte and per-packet costs everything else builds on.
+// codec encode/decode, packetizer split/reassemble, CRC32, stripe mapping —
+// the per-byte and per-packet costs everything else builds on — plus the
+// async transport core: striped reads over real UDP sockets with the
+// per-column op window at 1 (sync-equivalent) vs 4 (pipelined), on clean and
+// lossy networks.
 
 #include <benchmark/benchmark.h>
 
+#include <memory>
 #include <vector>
 
+#include "src/agent/backing_store.h"
+#include "src/agent/storage_agent.h"
+#include "src/agent/udp_agent_server.h"
+#include "src/agent/udp_transport.h"
+#include "src/core/object_directory.h"
 #include "src/core/parity.h"
 #include "src/core/stripe_layout.h"
+#include "src/core/swift_file.h"
 #include "src/proto/message.h"
 #include "src/proto/packetizer.h"
 #include "src/util/crc32.h"
@@ -118,6 +128,80 @@ void BM_StripeMapRange(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_StripeMapRange)->Arg(3)->Arg(9);
+
+// Striped 1 MiB reads through SwiftFile over real UDP loopback agents.
+// Arg 0: stripe-unit ops in flight per column (1 = the synchronous
+// baseline's behaviour, ≥4 = pipelined). Arg 1: simulated datagram loss in
+// percent. Pipelining must never be slower than the window-1 baseline and
+// should win clearly once retransmission stalls stop serializing the column.
+void BM_PipelinedUdpRead(benchmark::State& state) {
+  const uint32_t window = static_cast<uint32_t>(state.range(0));
+  const double loss = static_cast<double>(state.range(1)) / 100.0;
+  constexpr uint32_t kAgents = 3;
+  constexpr size_t kBytes = MiB(1);
+
+  struct Agent {
+    explicit Agent(UdpAgentServer::Options options) : core(&store), server(&core, options) {
+      (void)server.Start();
+    }
+    InMemoryBackingStore store;
+    StorageAgentCore core;
+    UdpAgentServer server;
+  };
+  std::vector<std::unique_ptr<Agent>> agents;
+  std::vector<std::unique_ptr<UdpTransport>> transports;
+  std::vector<AgentTransport*> raw;
+  for (uint32_t i = 0; i < kAgents; ++i) {
+    agents.push_back(std::make_unique<Agent>(
+        UdpAgentServer::Options{.port = 0, .loss_probability = loss, .loss_seed = 10 + i}));
+    UdpTransport::Options options;
+    options.loss_probability = loss;
+    options.loss_seed = 50 + i;
+    options.initial_timeout_ms = 5;
+    options.max_timeout_ms = 40;
+    options.max_retries = 20;
+    options.max_in_flight_ops = window;
+    transports.push_back(std::make_unique<UdpTransport>(agents.back()->server.port(), options));
+    raw.push_back(transports.back().get());
+  }
+
+  TransferPlan plan;
+  plan.object_name = "bench";
+  plan.stripe.num_agents = kAgents;
+  plan.stripe.stripe_unit = KiB(16);
+  plan.stripe.parity = ParityMode::kNone;
+  for (uint32_t i = 0; i < kAgents; ++i) {
+    plan.agent_ids.push_back(i);
+  }
+  ObjectDirectory directory;
+  DistributionAgent::Options io_options;
+  io_options.ops_in_flight = window;
+  auto file = SwiftFile::Create(plan, raw, &directory, io_options);
+  if (!file.ok()) {
+    state.SkipWithError(file.status().ToString().c_str());
+    return;
+  }
+  std::vector<uint8_t> data = RandomBytes(kBytes, 9);
+  (void)(*file)->PWrite(0, data);
+
+  std::vector<uint8_t> out(kBytes);
+  for (auto _ : state) {
+    auto n = (*file)->PRead(0, out);
+    if (!n.ok()) {
+      state.SkipWithError(n.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * kBytes);
+}
+BENCHMARK(BM_PipelinedUdpRead)
+    ->Args({1, 0})
+    ->Args({4, 0})
+    ->Args({8, 0})
+    ->Args({1, 2})
+    ->Args({4, 2})
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace swift

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 tests in the default build, then the same suite
+# under ASan/UBSan. Run `./ci.sh tsan` to use ThreadSanitizer for the
+# sanitized pass instead (slower; not part of the default gate).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+SAN_PRESET="${1:-asan-ubsan}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "== tier-1 (default build) =="
+cmake --preset default
+cmake --build --preset default -j "${JOBS}"
+ctest --preset default -j "${JOBS}"
+
+echo "== tier-1 (${SAN_PRESET}) =="
+cmake --preset "${SAN_PRESET}"
+cmake --build --preset "${SAN_PRESET}" -j "${JOBS}"
+ctest --preset "${SAN_PRESET}" -j "${JOBS}"

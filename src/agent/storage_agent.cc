@@ -104,20 +104,61 @@ Status InProcTransport::CheckUp() {
   return OkStatus();
 }
 
+void InProcTransport::Account(bool ok, uint64_t bytes_read, uint64_t bytes_written) {
+  ++ops_submitted_;
+  ++ops_completed_;
+  if (!ok) {
+    ++ops_failed_;
+    return;
+  }
+  bytes_read_ += bytes_read;
+  bytes_written_ += bytes_written;
+}
+
+TransportStats InProcTransport::stats() const {
+  TransportStats stats;
+  stats.ops_submitted = ops_submitted_.load(std::memory_order_relaxed);
+  stats.ops_completed = ops_completed_.load(std::memory_order_relaxed);
+  stats.ops_failed = ops_failed_.load(std::memory_order_relaxed);
+  stats.bytes_read = bytes_read_.load(std::memory_order_relaxed);
+  stats.bytes_written = bytes_written_.load(std::memory_order_relaxed);
+  return stats;
+}
+
 Result<AgentOpenResult> InProcTransport::Open(const std::string& object_name, uint32_t flags) {
   SWIFT_RETURN_IF_ERROR(CheckUp());
   return core_->Open(object_name, flags);
 }
 
 Status InProcTransport::Write(uint32_t handle, uint64_t offset, std::span<const uint8_t> data) {
-  SWIFT_RETURN_IF_ERROR(CheckUp());
-  return core_->Write(handle, offset, data);
+  Status status = CheckUp();
+  if (status.ok()) {
+    status = core_->Write(handle, offset, data);
+  }
+  Account(status.ok(), 0, status.ok() ? data.size() : 0);
+  return status;
 }
 
 Result<std::vector<uint8_t>> InProcTransport::Read(uint32_t handle, uint64_t offset,
                                                    uint64_t length) {
-  SWIFT_RETURN_IF_ERROR(CheckUp());
-  return core_->Read(handle, offset, length);
+  Status up = CheckUp();
+  if (!up.ok()) {
+    Account(false, 0, 0);
+    return up;
+  }
+  auto result = core_->Read(handle, offset, length);
+  Account(result.ok(), result.ok() ? length : 0, 0);
+  return result;
+}
+
+void InProcTransport::StartRead(uint32_t handle, uint64_t offset, uint64_t length,
+                                ReadCompletion done) {
+  done(Read(handle, offset, length));
+}
+
+void InProcTransport::StartWrite(uint32_t handle, uint64_t offset, std::span<const uint8_t> data,
+                                 WriteCompletion done) {
+  done(Write(handle, offset, data));
 }
 
 Result<uint64_t> InProcTransport::Stat(uint32_t handle) {

@@ -58,6 +58,12 @@ class StorageAgentCore {
 // AgentTransport over a local StorageAgentCore, with fault injection for the
 // failure-path tests: a "crashed" agent answers every call with kUnavailable,
 // exactly what the UDP transport reports after its retry budget.
+//
+// Async contract: StartRead/StartWrite run the op inline (through the same
+// fault-injection gate as the synchronous calls, so kUnavailable → parity
+// takeover semantics are identical) and invoke the completion before
+// returning; max_in_flight() stays 1. This keeps the deterministic tests
+// deterministic: ops on one column execute in submission order.
 class InProcTransport : public AgentTransport {
  public:
   explicit InProcTransport(StorageAgentCore* core) : core_(core) {}
@@ -78,15 +84,27 @@ class InProcTransport : public AgentTransport {
   Status Close(uint32_t handle) override;
   Status Remove(const std::string& object_name) override;
 
+  void StartRead(uint32_t handle, uint64_t offset, uint64_t length,
+                 ReadCompletion done) override;
+  void StartWrite(uint32_t handle, uint64_t offset, std::span<const uint8_t> data,
+                  WriteCompletion done) override;
+  TransportStats stats() const override;
+
   uint64_t call_count() const { return call_count_; }
 
  private:
   Status CheckUp();
+  void Account(bool ok, uint64_t bytes_read, uint64_t bytes_written);
 
   StorageAgentCore* core_;
   std::atomic<bool> crashed_{false};
   std::atomic<int> fail_budget_{0};
   std::atomic<uint64_t> call_count_{0};
+  std::atomic<uint64_t> ops_submitted_{0};
+  std::atomic<uint64_t> ops_completed_{0};
+  std::atomic<uint64_t> ops_failed_{0};
+  std::atomic<uint64_t> bytes_read_{0};
+  std::atomic<uint64_t> bytes_written_{0};
 };
 
 }  // namespace swift

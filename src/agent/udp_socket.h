@@ -47,6 +47,9 @@ class UdpSocket {
 
   bool valid() const { return fd_ >= 0; }
   uint16_t local_port() const { return local_port_; }
+  // Raw descriptor for callers multiplexing several sockets in one poll(2)
+  // set (the client-side reactor). -1 when closed.
+  int fd() const { return fd_; }
 
   // Sends one datagram (dropped silently with loss_probability).
   Status SendTo(const UdpEndpoint& dst, std::span<const uint8_t> data);

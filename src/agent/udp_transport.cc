@@ -1,8 +1,20 @@
 #include "src/agent/udp_transport.h"
 
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
 #include <set>
+#include <thread>
+#include <utility>
+#include <vector>
 
 #include "src/proto/packetizer.h"
 #include "src/util/logging.h"
@@ -10,6 +22,8 @@
 namespace swift {
 
 namespace {
+
+using Clock = std::chrono::steady_clock;
 
 Status StatusFromWire(uint32_t code, const std::string& context) {
   if (code == 0) {
@@ -20,81 +34,663 @@ Status StatusFromWire(uint32_t code, const std::string& context) {
 
 }  // namespace
 
+// ---------------------------------------------------------------------------
+// Reactor: one thread multiplexing every session socket of this transport.
+//
+// Ownership and threading rules:
+//  * Sessions are shared_ptr so a socket outlives concurrent removal — the
+//    loop snapshots the session list each iteration and polls the snapshot.
+//  * `active_` (request_id → op) is touched only by the reactor thread.
+//    Callers hand ops over through `inbox_` under `mutex_`.
+//  * Every datagram is SENT from the reactor thread (the loss-injection RNG
+//    inside UdpSocket is not thread-safe), except the pre-registration
+//    socket setup done in Open/Remove before the session is visible.
+//  * An op's completion runs exactly once, on the reactor thread, after
+//    which the op is destroyed. Completions must not block on this
+//    transport (sync wrappers wait on their own condition variable, which
+//    the completion signals — that is fine).
+// ---------------------------------------------------------------------------
+
+class UdpTransport::Reactor {
+ public:
+  struct Session {
+    UdpSocket socket;
+    UdpEndpoint agent;
+  };
+  using SessionPtr = std::shared_ptr<Session>;
+
+  // One outstanding protocol exchange: a state machine advanced by incoming
+  // datagrams and timeout expirations.
+  class PendingOp {
+   public:
+    PendingOp(Reactor* reactor, SessionPtr session, uint32_t request_id)
+        : reactor_(reactor),
+          session_(std::move(session)),
+          request_id_(request_id),
+          timeout_ms_(reactor_->policy_.FirstTimeout()) {}
+    virtual ~PendingOp() = default;
+
+    uint32_t request_id() const { return request_id_; }
+    const Session* session() const { return session_.get(); }
+    Clock::time_point deadline() const { return deadline_; }
+
+    // Sends the op's opening datagram burst. Returns true when the op
+    // finished immediately (send failure → completion already invoked).
+    virtual bool Start() = 0;
+    // A datagram carrying this op's request id arrived. True when finished.
+    virtual bool OnMessage(const Message& m) = 0;
+    // The retransmission deadline expired. True when finished.
+    virtual bool OnTimeout() = 0;
+    // Force-completes with `status` (shutdown, session teardown).
+    virtual void Abort(Status status) = 0;
+
+   protected:
+    UdpTransport* transport() const { return reactor_->transport_; }
+
+    Status Send(const Message& m) {
+      transport()->datagrams_sent_.fetch_add(1, std::memory_order_relaxed);
+      return session_->socket.SendTo(session_->agent, m.Encode());
+    }
+    Status Resend(const Message& m) {
+      transport()->retransmissions_.fetch_add(1, std::memory_order_relaxed);
+      return Send(m);
+    }
+    void ArmDeadline() { deadline_ = Clock::now() + std::chrono::milliseconds(timeout_ms_); }
+    void Backoff() { timeout_ms_ = reactor_->policy_.NextTimeout(timeout_ms_); }
+    // Counts one more consecutive timeout against the shared budget.
+    bool BudgetExhausted() { return reactor_->policy_.Exhausted(++timeouts_); }
+    // Progress: forget consecutive timeouts; optionally restart the backoff
+    // schedule too (reads do, writes keep the current timeout on a NACK).
+    void NoteProgress(bool reset_backoff) {
+      timeouts_ = 0;
+      if (reset_backoff) {
+        timeout_ms_ = reactor_->policy_.FirstTimeout();
+      }
+    }
+    void CountRetry() { transport()->ops_retried_.fetch_add(1, std::memory_order_relaxed); }
+
+    Reactor* reactor_;
+    SessionPtr session_;
+    uint32_t request_id_;
+    int timeout_ms_;
+    int timeouts_ = 0;  // consecutive timeouts since last progress
+    Clock::time_point deadline_{};
+  };
+
+  // Control RPC (OPEN/STAT/TRUNCATE/CLOSE/REMOVE): one request datagram,
+  // retransmitted whole on timeout, completed by the first wanted reply.
+  class RpcOp : public PendingOp {
+   public:
+    using Completion = std::function<void(Result<Message>)>;
+
+    RpcOp(Reactor* reactor, SessionPtr session, Message request,
+          std::vector<MessageType> want_types, Completion done)
+        : PendingOp(reactor, std::move(session), request.request_id),
+          request_(std::move(request)),
+          want_types_(std::move(want_types)),
+          done_(std::move(done)) {}
+
+    bool Start() override {
+      Status sent = Send(request_);
+      if (!sent.ok()) {
+        return Finish(std::move(sent));
+      }
+      ArmDeadline();
+      return false;
+    }
+
+    bool OnMessage(const Message& m) override {
+      if (m.type == MessageType::kError) {
+        return Finish(StatusFromWire(m.status_code, MessageTypeName(request_.type)));
+      }
+      for (MessageType want : want_types_) {
+        if (m.type == want) {
+          return Finish(m);
+        }
+      }
+      return false;  // unexpected type: keep waiting
+    }
+
+    bool OnTimeout() override {
+      if (BudgetExhausted()) {
+        return Finish(UnavailableError("storage agent unreachable (no reply to " +
+                                       std::string(MessageTypeName(request_.type)) + ")"));
+      }
+      CountRetry();
+      Backoff();
+      Status sent = Resend(request_);
+      if (!sent.ok()) {
+        return Finish(std::move(sent));
+      }
+      ArmDeadline();
+      return false;
+    }
+
+    void Abort(Status status) override { Finish(std::move(status)); }
+
+   private:
+    bool Finish(Result<Message> result) {
+      transport()->AccountOpDone(result.ok());
+      done_(std::move(result));
+      return true;
+    }
+
+    Message request_;
+    std::vector<MessageType> want_types_;
+    Completion done_;
+  };
+
+  // Client-driven windowed read (§3.1): request packets one at a time, keep
+  // up to `read_window` requests outstanding, re-request whatever is still
+  // missing on timeout. No acknowledgements.
+  class ReadOp : public PendingOp {
+   public:
+    ReadOp(Reactor* reactor, SessionPtr session, uint32_t request_id, uint32_t handle,
+           uint64_t offset, uint64_t length, uint32_t total, ReadCompletion done)
+        : PendingOp(reactor, std::move(session), request_id),
+          handle_(handle),
+          offset_(offset),
+          length_(length),
+          total_(total),
+          reassembler_(request_id, offset, length, total),
+          done_(std::move(done)) {}
+
+    bool Start() override {
+      if (!TopUp()) {
+        return true;  // send failure: already finished
+      }
+      ArmDeadline();
+      return false;
+    }
+
+    bool OnMessage(const Message& m) override {
+      if (m.type == MessageType::kError) {
+        return Finish(StatusFromWire(m.status_code, "READ"));
+      }
+      if (m.type != MessageType::kData) {
+        return false;
+      }
+      NoteProgress(/*reset_backoff=*/true);
+      if (reassembler_.Accept(m).ok()) {
+        outstanding_.erase(m.seq);
+      }
+      if (reassembler_.complete()) {
+        transport()->bytes_read_.fetch_add(length_, std::memory_order_relaxed);
+        return Finish(reassembler_.TakeData());
+      }
+      if (!TopUp()) {
+        return true;
+      }
+      ArmDeadline();
+      return false;
+    }
+
+    bool OnTimeout() override {
+      if (BudgetExhausted()) {
+        return Finish(UnavailableError("storage agent unreachable during read"));
+      }
+      CountRetry();
+      // Resubmit every outstanding packet request.
+      for (uint32_t seq : outstanding_) {
+        Status sent = Resend(RequestFor(seq));
+        if (!sent.ok()) {
+          return Finish(std::move(sent));
+        }
+      }
+      Backoff();
+      ArmDeadline();
+      return false;
+    }
+
+    void Abort(Status status) override { Finish(std::move(status)); }
+
+   private:
+    Message RequestFor(uint32_t seq) const {
+      Message m;
+      m.type = MessageType::kReadReq;
+      m.handle = handle_;
+      m.request_id = request_id_;
+      m.seq = static_cast<uint16_t>(seq);
+      m.total = static_cast<uint16_t>(total_);
+      m.offset = offset_ + static_cast<uint64_t>(seq) * kMaxPacketPayload;
+      m.read_length = static_cast<uint32_t>(std::min<uint64_t>(
+          kMaxPacketPayload, length_ - static_cast<uint64_t>(seq) * kMaxPacketPayload));
+      m.window = static_cast<uint16_t>(reactor_->read_window_);
+      return m;
+    }
+
+    // Keeps the request window full. False when a send failed (finished).
+    bool TopUp() {
+      while (outstanding_.size() < reactor_->read_window_ && next_seq_ < total_) {
+        Status sent = Send(RequestFor(next_seq_));
+        if (!sent.ok()) {
+          Finish(std::move(sent));
+          return false;
+        }
+        outstanding_.insert(next_seq_);
+        ++next_seq_;
+      }
+      return true;
+    }
+
+    bool Finish(Result<std::vector<uint8_t>> result) {
+      transport()->AccountOpDone(result.ok());
+      done_(std::move(result));
+      return true;
+    }
+
+    uint32_t handle_;
+    uint64_t offset_;
+    uint64_t length_;
+    uint32_t total_;
+    Reassembler reassembler_;
+    std::set<uint32_t> outstanding_;
+    uint32_t next_seq_ = 0;
+    ReadCompletion done_;
+  };
+
+  // Announce + stream + query write (§3.1): blast every packet, then let the
+  // agent ACK a complete request or NACK the missing seqs.
+  class WriteOp : public PendingOp {
+   public:
+    WriteOp(Reactor* reactor, SessionPtr session, uint32_t request_id, uint32_t handle,
+            uint64_t offset, std::span<const uint8_t> data, WriteCompletion done)
+        : PendingOp(reactor, std::move(session), request_id),
+          bytes_(data.size()),
+          packets_(SplitIntoPackets(MessageType::kWriteData, handle, request_id, offset, data)),
+          done_(std::move(done)) {
+      announce_.type = MessageType::kWriteReq;
+      announce_.handle = handle;
+      announce_.request_id = request_id;
+      announce_.offset = offset;
+      announce_.read_length = static_cast<uint32_t>(data.size());
+      announce_.total = static_cast<uint16_t>(packets_.size());
+      announce_.window = 0;
+      query_ = announce_;
+      query_.window = 1;
+    }
+
+    bool Start() override {
+      // "The client sends out the data to be written as fast as it can."
+      Status sent = Send(announce_);
+      for (size_t i = 0; sent.ok() && i < packets_.size(); ++i) {
+        sent = Send(packets_[i]);
+      }
+      if (!sent.ok()) {
+        return Finish(std::move(sent));
+      }
+      ArmDeadline();
+      return false;
+    }
+
+    bool OnMessage(const Message& m) override {
+      switch (m.type) {
+        case MessageType::kWriteAck:
+          transport()->bytes_written_.fetch_add(bytes_, std::memory_order_relaxed);
+          return Finish(OkStatus());
+        case MessageType::kWriteNack: {
+          // The agent heard us: the retry counter restarts, but the backoff
+          // level is kept — the network is demonstrably lossy right now.
+          NoteProgress(/*reset_backoff=*/false);
+          Status sent = OkStatus();
+          for (uint16_t seq : m.missing_seqs) {
+            if (seq < packets_.size()) {
+              sent = Resend(packets_[seq]);
+              if (!sent.ok()) {
+                return Finish(std::move(sent));
+              }
+            }
+          }
+          // Query again so a complete request gets acknowledged promptly.
+          sent = Send(query_);
+          if (!sent.ok()) {
+            return Finish(std::move(sent));
+          }
+          ArmDeadline();
+          return false;
+        }
+        case MessageType::kError:
+          return Finish(StatusFromWire(m.status_code, "WRITE"));
+        default:
+          return false;
+      }
+    }
+
+    bool OnTimeout() override {
+      if (BudgetExhausted()) {
+        return Finish(UnavailableError("storage agent unreachable during write"));
+      }
+      CountRetry();
+      Backoff();
+      // Ask where we stand; the agent answers ACK or NACK(missing).
+      Status sent = Resend(query_);
+      if (!sent.ok()) {
+        return Finish(std::move(sent));
+      }
+      ArmDeadline();
+      return false;
+    }
+
+    void Abort(Status status) override { Finish(std::move(status)); }
+
+   private:
+    bool Finish(Status status) {
+      transport()->AccountOpDone(status.ok());
+      done_(std::move(status));
+      return true;
+    }
+
+    uint64_t bytes_;
+    Message announce_;
+    Message query_;
+    std::vector<Message> packets_;
+    WriteCompletion done_;
+  };
+
+  Reactor(UdpTransport* transport, RetryPolicy policy, uint32_t read_window)
+      : transport_(transport), policy_(policy), read_window_(std::max<uint32_t>(1, read_window)) {
+    SWIFT_CHECK(pipe(wake_fds_) == 0) << "reactor wake pipe";
+    fcntl(wake_fds_[0], F_SETFL, O_NONBLOCK);
+    fcntl(wake_fds_[1], F_SETFL, O_NONBLOCK);
+    thread_ = std::thread([this] { Run(); });
+  }
+
+  ~Reactor() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    Wake();
+    thread_.join();
+    close(wake_fds_[0]);
+    close(wake_fds_[1]);
+  }
+
+  // --- caller-side API (any thread) ----------------------------------------
+
+  void AddSession(SessionPtr session) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      sessions_.push_back(std::move(session));
+    }
+    Wake();
+  }
+
+  // By contract the caller removes a session only once its ops have
+  // completed; any straggler is aborted kUnavailable on the reactor thread.
+  void RemoveSession(const SessionPtr& session) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      sessions_.erase(std::remove(sessions_.begin(), sessions_.end(), session), sessions_.end());
+      removals_.push_back(session);
+    }
+    Wake();
+  }
+
+  void RegisterHandle(uint32_t handle, SessionPtr session) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    handles_[handle] = std::move(session);
+  }
+
+  SessionPtr SessionForHandle(uint32_t handle) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = handles_.find(handle);
+    return it == handles_.end() ? nullptr : it->second;
+  }
+
+  SessionPtr TakeHandle(uint32_t handle) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = handles_.find(handle);
+    if (it == handles_.end()) {
+      return nullptr;
+    }
+    SessionPtr session = std::move(it->second);
+    handles_.erase(it);
+    return session;
+  }
+
+  void SubmitOp(std::unique_ptr<PendingOp> op) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      SWIFT_CHECK(!stop_) << "op submitted to a stopped transport";
+      ++live_ops_;
+      inbox_.push_back(std::move(op));
+    }
+    Wake();
+  }
+
+  // Blocks until every submitted op has completed.
+  void Drain() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    drain_cv_.wait(lock, [this] { return live_ops_ == 0; });
+  }
+
+  // Binds a fresh loopback socket aimed at the agent's well-known port, with
+  // loss injection configured before the session becomes visible to the
+  // reactor thread.
+  Result<SessionPtr> NewSession() {
+    auto session = std::make_shared<Session>();
+    SWIFT_RETURN_IF_ERROR(session->socket.BindLoopback(0));
+    if (transport_->options_.loss_probability > 0) {
+      session->socket.SetLossProbability(
+          transport_->options_.loss_probability,
+          transport_->next_loss_seed_.fetch_add(1, std::memory_order_relaxed));
+    }
+    // Speak to the well-known port first; an OPEN reply retargets the
+    // session to its private port.
+    session->agent = UdpEndpoint::Loopback(transport_->agent_port_);
+    return session;
+  }
+
+  // Submits a control RPC and waits for its reply (sync wrapper building
+  // block). Safe from any thread except the reactor thread itself.
+  Result<Message> Call(SessionPtr session, Message request, std::vector<MessageType> want_types) {
+    transport_->ops_submitted_.fetch_add(1, std::memory_order_relaxed);
+    std::mutex m;
+    std::condition_variable cv;
+    std::optional<Result<Message>> slot;
+    SubmitOp(std::make_unique<RpcOp>(this, std::move(session), std::move(request),
+                                     std::move(want_types), [&](Result<Message> reply) {
+                                       // Signal under the lock: the waiter's
+                                       // stack frame dies right after wait()
+                                       // returns.
+                                       std::lock_guard<std::mutex> lock(m);
+                                       slot.emplace(std::move(reply));
+                                       cv.notify_all();
+                                     }));
+    std::unique_lock<std::mutex> lock(m);
+    cv.wait(lock, [&] { return slot.has_value(); });
+    return std::move(*slot);
+  }
+
+ private:
+  void Wake() {
+    const uint8_t byte = 1;
+    [[maybe_unused]] ssize_t n = write(wake_fds_[1], &byte, 1);
+  }
+
+  // Reactor-thread only: completes and forgets one op.
+  void MarkFinished() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    SWIFT_CHECK(live_ops_ > 0);
+    --live_ops_;
+    if (live_ops_ == 0) {
+      drain_cv_.notify_all();
+    }
+  }
+
+  void AbortOpsOn(const Session* session, const char* why) {
+    for (auto it = active_.begin(); it != active_.end();) {
+      if (it->second->session() == session) {
+        it->second->Abort(UnavailableError(why));
+        it = active_.erase(it);
+        MarkFinished();
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  void Run() {
+    std::vector<pollfd> pfds;
+    for (;;) {
+      std::vector<std::unique_ptr<PendingOp>> fresh;
+      std::vector<SessionPtr> gone;
+      std::vector<SessionPtr> snapshot;
+      bool stopping;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping = stop_;
+        fresh.swap(inbox_);
+        gone.swap(removals_);
+        snapshot = sessions_;
+      }
+
+      if (stopping) {
+        for (auto& op : fresh) {
+          op->Abort(UnavailableError("transport shutting down"));
+          MarkFinished();
+        }
+        for (auto& [id, op] : active_) {
+          op->Abort(UnavailableError("transport shutting down"));
+          MarkFinished();
+        }
+        active_.clear();
+        return;
+      }
+
+      for (const SessionPtr& session : gone) {
+        AbortOpsOn(session.get(), "session closed with ops in flight");
+      }
+      for (auto& op : fresh) {
+        if (op->Start()) {
+          MarkFinished();
+        } else {
+          active_[op->request_id()] = std::move(op);
+        }
+      }
+
+      // Poll the wake pipe plus every live session socket, out to the
+      // nearest retransmission deadline.
+      pfds.clear();
+      pfds.push_back({wake_fds_[0], POLLIN, 0});
+      for (const SessionPtr& session : snapshot) {
+        pfds.push_back({session->socket.fd(), POLLIN, 0});
+      }
+      int timeout_ms = -1;
+      if (!active_.empty()) {
+        Clock::time_point nearest = Clock::time_point::max();
+        for (const auto& [id, op] : active_) {
+          nearest = std::min(nearest, op->deadline());
+        }
+        const auto now = Clock::now();
+        timeout_ms =
+            nearest <= now
+                ? 0
+                : static_cast<int>(
+                      std::chrono::duration_cast<std::chrono::milliseconds>(nearest - now).count() +
+                      1);
+      }
+      ::poll(pfds.data(), pfds.size(), timeout_ms);
+
+      if (pfds[0].revents & POLLIN) {
+        uint8_t buf[64];
+        while (read(wake_fds_[0], buf, sizeof(buf)) > 0) {
+        }
+      }
+
+      // Drain every readable socket and route datagrams to their ops.
+      for (size_t i = 0; i < snapshot.size(); ++i) {
+        if ((pfds[i + 1].revents & POLLIN) == 0) {
+          continue;
+        }
+        for (;;) {
+          auto received = snapshot[i]->socket.RecvFrom(0);
+          if (!received.ok()) {
+            break;  // kTimedOut = socket drained
+          }
+          auto decoded = Message::Decode(received->data);
+          if (!decoded.ok()) {
+            continue;  // corrupt: treat as lost
+          }
+          auto it = active_.find(decoded->request_id);
+          if (it == active_.end() || it->second->session() != snapshot[i].get()) {
+            continue;  // stale reply from a finished request
+          }
+          if (it->second->OnMessage(*decoded)) {
+            active_.erase(it);
+            MarkFinished();
+          }
+        }
+      }
+
+      const auto now = Clock::now();
+      for (auto it = active_.begin(); it != active_.end();) {
+        if (it->second->deadline() <= now && it->second->OnTimeout()) {
+          it = active_.erase(it);
+          MarkFinished();
+        } else {
+          ++it;
+        }
+      }
+    }
+  }
+
+  UdpTransport* transport_;
+  RetryPolicy policy_;
+  uint32_t read_window_;
+  int wake_fds_[2] = {-1, -1};
+
+  std::mutex mutex_;
+  std::condition_variable drain_cv_;
+  bool stop_ = false;
+  std::vector<SessionPtr> sessions_;
+  std::vector<SessionPtr> removals_;
+  std::vector<std::unique_ptr<PendingOp>> inbox_;
+  std::map<uint32_t, SessionPtr> handles_;
+  uint64_t live_ops_ = 0;  // inbox + active, for Drain()
+
+  // Reactor-thread private.
+  std::map<uint32_t, std::unique_ptr<PendingOp>> active_;
+
+  std::thread thread_;
+};
+
+// ------------------------------------------------------------- UdpTransport
+
 UdpTransport::UdpTransport(uint16_t agent_port, Options options)
-    : agent_port_(agent_port), options_(options) {}
+    : agent_port_(agent_port),
+      options_(options),
+      next_loss_seed_(options.loss_seed),
+      reactor_(std::make_unique<Reactor>(this, options.retry_policy(), options.read_window)) {}
 
 UdpTransport::~UdpTransport() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  sessions_.clear();
+  // Reactor teardown aborts anything still in flight (kUnavailable) before
+  // the thread joins, so no completion can land after this destructor.
+  reactor_.reset();
 }
 
-void UdpTransport::ConfigureLoss(UdpSocket& socket) {
-  if (options_.loss_probability > 0) {
-    socket.SetLossProbability(options_.loss_probability, options_.loss_seed++);
+void UdpTransport::AccountOpDone(bool ok) {
+  ops_completed_.fetch_add(1, std::memory_order_relaxed);
+  if (!ok) {
+    ops_failed_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
-Result<UdpTransport::Session*> UdpTransport::SessionFor(uint32_t handle) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = sessions_.find(handle);
-  if (it == sessions_.end()) {
-    return NotFoundError("no open session for handle " + std::to_string(handle));
-  }
-  return it->second.get();
-}
-
-Status UdpTransport::RequestReply(Session& session, const Message& request,
-                                  std::initializer_list<MessageType> want_types,
-                                  Message* reply) {
-  const std::vector<uint8_t> wire = request.Encode();
-  int timeout_ms = options_.initial_timeout_ms;
-  for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
-    if (attempt > 0) {
-      ++retransmissions_;
-    }
-    ++datagrams_sent_;
-    SWIFT_RETURN_IF_ERROR(session.socket.SendTo(session.agent, wire));
-    const auto deadline = std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
-    for (;;) {
-      const auto now = std::chrono::steady_clock::now();
-      if (now >= deadline) {
-        break;
-      }
-      const int remaining_ms = static_cast<int>(
-          std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now).count() + 1);
-      auto received = session.socket.RecvFrom(remaining_ms);
-      if (!received.ok()) {
-        if (received.code() == StatusCode::kTimedOut) {
-          break;
-        }
-        return received.status();
-      }
-      auto decoded = Message::Decode(received->data);
-      if (!decoded.ok() || decoded->request_id != request.request_id) {
-        continue;  // stale or corrupt: keep waiting
-      }
-      if (decoded->type == MessageType::kError) {
-        return StatusFromWire(decoded->status_code, MessageTypeName(request.type));
-      }
-      for (MessageType want : want_types) {
-        if (decoded->type == want) {
-          *reply = std::move(*decoded);
-          return OkStatus();
-        }
-      }
-    }
-    timeout_ms = std::min(timeout_ms * 2, options_.max_timeout_ms);
-  }
-  return UnavailableError("storage agent unreachable (no reply to " +
-                          std::string(MessageTypeName(request.type)) + ")");
+TransportStats UdpTransport::stats() const {
+  TransportStats stats;
+  stats.ops_submitted = ops_submitted_.load(std::memory_order_relaxed);
+  stats.ops_completed = ops_completed_.load(std::memory_order_relaxed);
+  stats.ops_retried = ops_retried_.load(std::memory_order_relaxed);
+  stats.ops_failed = ops_failed_.load(std::memory_order_relaxed);
+  stats.bytes_read = bytes_read_.load(std::memory_order_relaxed);
+  stats.bytes_written = bytes_written_.load(std::memory_order_relaxed);
+  return stats;
 }
 
 Result<AgentOpenResult> UdpTransport::Open(const std::string& object_name, uint32_t flags) {
-  auto session = std::make_unique<Session>();
-  SWIFT_RETURN_IF_ERROR(session->socket.BindLoopback(0));
-  ConfigureLoss(session->socket);
-  // Speak to the well-known port first; the reply carries the private port.
-  session->agent = UdpEndpoint::Loopback(agent_port_);
+  SWIFT_ASSIGN_OR_RETURN(auto session, reactor_->NewSession());
+  reactor_->AddSession(session);
 
   Message open;
   open.type = MessageType::kOpen;
@@ -102,226 +698,157 @@ Result<AgentOpenResult> UdpTransport::Open(const std::string& object_name, uint3
   open.object_name = object_name;
   open.open_flags = flags;
 
-  Message reply;
-  SWIFT_RETURN_IF_ERROR(RequestReply(*session, open, {MessageType::kOpenReply}, &reply));
-  SWIFT_RETURN_IF_ERROR(StatusFromWire(reply.status_code, "OPEN"));
+  auto reply = reactor_->Call(session, std::move(open), {MessageType::kOpenReply});
+  Status status = reply.ok() ? StatusFromWire(reply->status_code, "OPEN") : reply.status();
+  if (!status.ok()) {
+    reactor_->RemoveSession(session);
+    return status;
+  }
 
   AgentOpenResult result;
-  result.handle = reply.handle;
-  result.size = reply.size;
-  session->agent = UdpEndpoint::Loopback(reply.data_port);
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    sessions_[result.handle] = std::move(session);
-  }
+  result.handle = reply->handle;
+  result.size = reply->size;
+  // Safe to retarget without a lock: the open RPC has completed and no other
+  // op references this session yet.
+  session->agent = UdpEndpoint::Loopback(reply->data_port);
+  reactor_->RegisterHandle(result.handle, std::move(session));
   return result;
 }
 
-Result<std::vector<uint8_t>> UdpTransport::Read(uint32_t handle, uint64_t offset,
-                                                uint64_t length) {
-  SWIFT_ASSIGN_OR_RETURN(Session * session, SessionFor(handle));
+void UdpTransport::StartRead(uint32_t handle, uint64_t offset, uint64_t length,
+                             ReadCompletion done) {
+  ops_submitted_.fetch_add(1, std::memory_order_relaxed);
+  auto session = reactor_->SessionForHandle(handle);
+  if (!session) {
+    AccountOpDone(false);
+    done(NotFoundError("no open session for handle " + std::to_string(handle)));
+    return;
+  }
   if (length == 0) {
-    return std::vector<uint8_t>();
+    AccountOpDone(true);
+    done(std::vector<uint8_t>());
+    return;
   }
   const uint32_t total = PacketCountFor(length);
   if (total > UINT16_MAX) {
-    return InvalidArgumentError("read too large for one request");
+    AccountOpDone(false);
+    done(InvalidArgumentError("read too large for one request"));
+    return;
   }
-  const uint32_t request_id = NextRequestId();
-  Reassembler reassembler(request_id, offset, length, total);
+  reactor_->SubmitOp(std::make_unique<Reactor::ReadOp>(reactor_.get(), std::move(session),
+                                                       NextRequestId(), handle, offset, length,
+                                                       total, std::move(done)));
+}
 
-  auto request_for = [&](uint32_t seq) {
-    Message m;
-    m.type = MessageType::kReadReq;
-    m.handle = handle;
-    m.request_id = request_id;
-    m.seq = static_cast<uint16_t>(seq);
-    m.total = static_cast<uint16_t>(total);
-    m.offset = offset + static_cast<uint64_t>(seq) * kMaxPacketPayload;
-    m.read_length = static_cast<uint32_t>(
-        std::min<uint64_t>(kMaxPacketPayload, length - static_cast<uint64_t>(seq) * kMaxPacketPayload));
-    m.window = static_cast<uint16_t>(options_.read_window);
-    return m;
-  };
-
-  std::set<uint32_t> outstanding;
-  uint32_t next_seq = 0;
-  int consecutive_timeouts = 0;
-  int timeout_ms = options_.initial_timeout_ms;
-
-  while (!reassembler.complete()) {
-    // Keep the window full: "the client maintain[s] only one outstanding
-    // packet request per storage agent" in the calibrated prototype; more
-    // with a modern kernel.
-    while (outstanding.size() < options_.read_window && next_seq < total) {
-      ++datagrams_sent_;
-      SWIFT_RETURN_IF_ERROR(session->socket.SendTo(session->agent, request_for(next_seq).Encode()));
-      outstanding.insert(next_seq);
-      ++next_seq;
-    }
-    auto received = session->socket.RecvFrom(timeout_ms);
-    if (!received.ok()) {
-      if (received.code() != StatusCode::kTimedOut) {
-        return received.status();
-      }
-      if (++consecutive_timeouts > options_.max_retries) {
-        return UnavailableError("storage agent unreachable during read");
-      }
-      // Resubmit every outstanding packet request.
-      for (uint32_t seq : outstanding) {
-        ++retransmissions_;
-        ++datagrams_sent_;
-        SWIFT_RETURN_IF_ERROR(session->socket.SendTo(session->agent, request_for(seq).Encode()));
-      }
-      timeout_ms = std::min(timeout_ms * 2, options_.max_timeout_ms);
-      continue;
-    }
-    auto decoded = Message::Decode(received->data);
-    if (!decoded.ok() || decoded->request_id != request_id) {
-      continue;  // stale reply from an earlier request
-    }
-    if (decoded->type == MessageType::kError) {
-      return StatusFromWire(decoded->status_code, "READ");
-    }
-    if (decoded->type != MessageType::kData) {
-      continue;
-    }
-    consecutive_timeouts = 0;
-    timeout_ms = options_.initial_timeout_ms;
-    if (reassembler.Accept(*decoded).ok()) {
-      outstanding.erase(decoded->seq);
-    }
+void UdpTransport::StartWrite(uint32_t handle, uint64_t offset, std::span<const uint8_t> data,
+                              WriteCompletion done) {
+  ops_submitted_.fetch_add(1, std::memory_order_relaxed);
+  auto session = reactor_->SessionForHandle(handle);
+  if (!session) {
+    AccountOpDone(false);
+    done(NotFoundError("no open session for handle " + std::to_string(handle)));
+    return;
   }
-  return reassembler.TakeData();
+  if (data.empty()) {
+    AccountOpDone(true);
+    done(OkStatus());
+    return;
+  }
+  // SplitIntoPackets copies the payload, so `data` need only live until we
+  // return — same lifetime contract as the synchronous Write.
+  reactor_->SubmitOp(std::make_unique<Reactor::WriteOp>(reactor_.get(), std::move(session),
+                                                        NextRequestId(), handle, offset, data,
+                                                        std::move(done)));
+}
+
+Result<std::vector<uint8_t>> UdpTransport::Read(uint32_t handle, uint64_t offset, uint64_t length) {
+  std::mutex m;
+  std::condition_variable cv;
+  std::optional<Result<std::vector<uint8_t>>> slot;
+  StartRead(handle, offset, length, [&](Result<std::vector<uint8_t>> result) {
+    std::lock_guard<std::mutex> lock(m);
+    slot.emplace(std::move(result));
+    cv.notify_all();
+  });
+  std::unique_lock<std::mutex> lock(m);
+  cv.wait(lock, [&] { return slot.has_value(); });
+  return std::move(*slot);
 }
 
 Status UdpTransport::Write(uint32_t handle, uint64_t offset, std::span<const uint8_t> data) {
-  SWIFT_ASSIGN_OR_RETURN(Session * session, SessionFor(handle));
-  if (data.empty()) {
-    return OkStatus();
-  }
-  const uint32_t request_id = NextRequestId();
-  std::vector<Message> packets =
-      SplitIntoPackets(MessageType::kWriteData, handle, request_id, offset, data);
-
-  Message announce;
-  announce.type = MessageType::kWriteReq;
-  announce.handle = handle;
-  announce.request_id = request_id;
-  announce.offset = offset;
-  announce.read_length = static_cast<uint32_t>(data.size());
-  announce.total = static_cast<uint16_t>(packets.size());
-  announce.window = 0;
-
-  Message query = announce;
-  query.window = 1;
-
-  // Stream the announce and every data packet — "the client sends out the
-  // data to be written as fast as it can" (§3.1).
-  ++datagrams_sent_;
-  SWIFT_RETURN_IF_ERROR(session->socket.SendTo(session->agent, announce.Encode()));
-  for (const Message& packet : packets) {
-    ++datagrams_sent_;
-    SWIFT_RETURN_IF_ERROR(session->socket.SendTo(session->agent, packet.Encode()));
-  }
-
-  int consecutive_timeouts = 0;
-  int timeout_ms = options_.initial_timeout_ms;
-  for (;;) {
-    auto received = session->socket.RecvFrom(timeout_ms);
-    if (!received.ok()) {
-      if (received.code() != StatusCode::kTimedOut) {
-        return received.status();
-      }
-      if (++consecutive_timeouts > options_.max_retries) {
-        return UnavailableError("storage agent unreachable during write");
-      }
-      // Ask where we stand; the agent answers ACK or NACK(missing).
-      ++retransmissions_;
-      ++datagrams_sent_;
-      SWIFT_RETURN_IF_ERROR(session->socket.SendTo(session->agent, query.Encode()));
-      timeout_ms = std::min(timeout_ms * 2, options_.max_timeout_ms);
-      continue;
-    }
-    auto decoded = Message::Decode(received->data);
-    if (!decoded.ok() || decoded->request_id != request_id) {
-      continue;
-    }
-    switch (decoded->type) {
-      case MessageType::kWriteAck:
-        return OkStatus();
-      case MessageType::kWriteNack: {
-        consecutive_timeouts = 0;
-        for (uint16_t seq : decoded->missing_seqs) {
-          if (seq < packets.size()) {
-            ++retransmissions_;
-            ++datagrams_sent_;
-            SWIFT_RETURN_IF_ERROR(session->socket.SendTo(session->agent, packets[seq].Encode()));
-          }
-        }
-        // Query again so a complete request gets acknowledged promptly.
-        ++datagrams_sent_;
-        SWIFT_RETURN_IF_ERROR(session->socket.SendTo(session->agent, query.Encode()));
-        break;
-      }
-      case MessageType::kError:
-        return StatusFromWire(decoded->status_code, "WRITE");
-      default:
-        break;
-    }
-  }
-}
-
-Status UdpTransport::Remove(const std::string& object_name) {
-  // Object-scoped like Open: a transient socket speaking to the well-known
-  // port, no session.
-  Session session;
-  SWIFT_RETURN_IF_ERROR(session.socket.BindLoopback(0));
-  ConfigureLoss(session.socket);
-  session.agent = UdpEndpoint::Loopback(agent_port_);
-  Message request;
-  request.type = MessageType::kRemove;
-  request.request_id = NextRequestId();
-  request.object_name = object_name;
-  Message reply;
-  return RequestReply(session, request, {MessageType::kRemoveAck}, &reply);
+  std::mutex m;
+  std::condition_variable cv;
+  std::optional<Status> slot;
+  StartWrite(handle, offset, data, [&](Status status) {
+    std::lock_guard<std::mutex> lock(m);
+    slot.emplace(std::move(status));
+    cv.notify_all();
+  });
+  std::unique_lock<std::mutex> lock(m);
+  cv.wait(lock, [&] { return slot.has_value(); });
+  return std::move(*slot);
 }
 
 Result<uint64_t> UdpTransport::Stat(uint32_t handle) {
-  SWIFT_ASSIGN_OR_RETURN(Session * session, SessionFor(handle));
+  auto session = reactor_->SessionForHandle(handle);
+  if (!session) {
+    return NotFoundError("no open session for handle " + std::to_string(handle));
+  }
   Message request;
   request.type = MessageType::kStat;
   request.handle = handle;
   request.request_id = NextRequestId();
-  Message reply;
-  SWIFT_RETURN_IF_ERROR(RequestReply(*session, request, {MessageType::kStatReply}, &reply));
-  return reply.size;
+  auto reply = reactor_->Call(std::move(session), std::move(request), {MessageType::kStatReply});
+  if (!reply.ok()) {
+    return reply.status();
+  }
+  return reply->size;
 }
 
 Status UdpTransport::Truncate(uint32_t handle, uint64_t size) {
-  SWIFT_ASSIGN_OR_RETURN(Session * session, SessionFor(handle));
+  auto session = reactor_->SessionForHandle(handle);
+  if (!session) {
+    return NotFoundError("no open session for handle " + std::to_string(handle));
+  }
   Message request;
   request.type = MessageType::kTruncate;
   request.handle = handle;
   request.request_id = NextRequestId();
   request.size = size;
-  Message reply;
-  return RequestReply(*session, request, {MessageType::kTruncateAck}, &reply);
+  return reactor_->Call(std::move(session), std::move(request), {MessageType::kTruncateAck})
+      .status();
 }
 
 Status UdpTransport::Close(uint32_t handle) {
-  SWIFT_ASSIGN_OR_RETURN(Session * session, SessionFor(handle));
+  auto session = reactor_->TakeHandle(handle);
+  if (!session) {
+    return NotFoundError("no open session for handle " + std::to_string(handle));
+  }
   Message request;
   request.type = MessageType::kClose;
   request.handle = handle;
   request.request_id = NextRequestId();
-  Message reply;
-  Status status = RequestReply(*session, request, {MessageType::kCloseAck}, &reply);
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    sessions_.erase(handle);
-  }
+  // The session is released whether or not the agent acknowledged — matching
+  // Unix close(2), which invalidates the descriptor even on error.
+  Status status = reactor_->Call(session, std::move(request), {MessageType::kCloseAck}).status();
+  reactor_->RemoveSession(session);
   return status;
 }
+
+Status UdpTransport::Remove(const std::string& object_name) {
+  // Object-scoped like Open: a transient session speaking to the well-known
+  // port.
+  SWIFT_ASSIGN_OR_RETURN(auto session, reactor_->NewSession());
+  reactor_->AddSession(session);
+  Message request;
+  request.type = MessageType::kRemove;
+  request.request_id = NextRequestId();
+  request.object_name = object_name;
+  Status status = reactor_->Call(session, std::move(request), {MessageType::kRemoveAck}).status();
+  reactor_->RemoveSession(session);
+  return status;
+}
+
+void UdpTransport::Drain() { reactor_->Drain(); }
 
 }  // namespace swift

@@ -1,26 +1,35 @@
 // Client-side UDP transport: the distribution agent's connection to one
 // real storage agent over the paper's light-weight protocol.
 //
+// Asynchronous core: every operation — reads, writes, and the control RPCs —
+// is a small state machine serviced by one shared reactor thread that
+// multiplexes all of this transport's session sockets in a single poll(2)
+// set. Submitting an op never blocks; up to Options::max_in_flight_ops stay
+// outstanding per transport, so the striping layer can pipeline several
+// stripe units per agent. The synchronous AgentTransport calls are thin
+// wrappers that submit and wait.
+//
 // Read strategy (§3.1): the client requests data one packet at a time and
 // keeps "sufficient state to determine what packets have been received and
 // thus can resubmit requests when packets are lost" — no acknowledgements.
-// `read_window` controls how many packet requests are outstanding at once;
-// the 1991 prototype was forced to 1 by SunOS buffer-space limits, and the
-// ablation bench measures what that cost them.
+// `read_window` controls how many packet requests are outstanding per read
+// op; the 1991 prototype was forced to 1 by SunOS buffer-space limits, and
+// the ablation bench measures what that cost them.
 //
 // Write strategy: announce with WRITE_REQ, stream every WRITE_DATA packet,
 // then query; the agent ACKs a complete request or NACKs the missing seqs,
-// which are resent. Retries use exponential backoff; a dead agent surfaces
-// as kUnavailable after the retry budget, which is what lets SwiftFile's
-// parity machinery take over — identical failure semantics to the in-proc
-// transport.
+// which are resent. Retries use exponential backoff (RetryPolicy below); a
+// dead agent surfaces as kUnavailable after the retry budget, which is what
+// lets SwiftFile's parity machinery take over — identical failure semantics
+// to the in-proc transport.
 
 #ifndef SWIFT_SRC_AGENT_UDP_TRANSPORT_H_
 #define SWIFT_SRC_AGENT_UDP_TRANSPORT_H_
 
-#include <map>
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "src/agent/udp_socket.h"
@@ -29,19 +38,52 @@
 
 namespace swift {
 
+// Shared timeout/retry schedule for every op kind (read, write, control
+// RPC), so the retry budget is counted identically on all paths: an op sends
+// its initial burst, and each timeout either retransmits with the next
+// backed-off timeout or — after `max_retries` retries, i.e. max_retries + 1
+// transmissions — declares the agent unavailable.
+struct RetryPolicy {
+  int initial_timeout_ms = 40;
+  int max_timeout_ms = 320;
+  int max_retries = 6;
+
+  // Timeout for the first transmission, clamped into [1, max_timeout_ms].
+  int FirstTimeout() const {
+    return std::clamp(initial_timeout_ms, 1, std::max(1, max_timeout_ms));
+  }
+  // Backoff step: doubles, saturating at max_timeout_ms.
+  int NextTimeout(int current_ms) const {
+    const int ceiling = std::max(1, max_timeout_ms);
+    if (current_ms >= ceiling / 2) {
+      return ceiling;  // doubling would overshoot (or overflow): saturate
+    }
+    return std::min(std::max(1, current_ms) * 2, ceiling);
+  }
+  // True once `timeouts_seen` consecutive timeouts exhaust the budget.
+  bool Exhausted(int timeouts_seen) const { return timeouts_seen > max_retries; }
+};
+
 class UdpTransport : public AgentTransport {
  public:
   struct Options {
-    // Packet requests outstanding per read (1 = the paper's stop-and-wait).
+    // Packet requests outstanding per read op (1 = the paper's stop-and-wait).
     uint32_t read_window = 4;
+    // Async ops outstanding per transport (advertised via max_in_flight()).
+    uint32_t max_in_flight_ops = 8;
     // First retry timeout; doubles per retry up to max_timeout_ms.
     int initial_timeout_ms = 40;
     int max_timeout_ms = 320;
-    // Attempts before declaring the agent unavailable.
+    // Timeout-triggered retries before declaring the agent unavailable
+    // (max_retries + 1 transmissions in total).
     int max_retries = 6;
     // Outgoing loss injection (testing).
     double loss_probability = 0;
     uint64_t loss_seed = 99;
+
+    RetryPolicy retry_policy() const {
+      return RetryPolicy{initial_timeout_ms, max_timeout_ms, max_retries};
+    }
   };
 
   // Connects to the agent's well-known port on loopback.
@@ -56,32 +98,38 @@ class UdpTransport : public AgentTransport {
   Status Close(uint32_t handle) override;
   Status Remove(const std::string& object_name) override;
 
+  void StartRead(uint32_t handle, uint64_t offset, uint64_t length,
+                 ReadCompletion done) override;
+  void StartWrite(uint32_t handle, uint64_t offset, std::span<const uint8_t> data,
+                  WriteCompletion done) override;
+  uint32_t max_in_flight() const override { return std::max<uint32_t>(1, options_.max_in_flight_ops); }
+  void Drain() override;
+  TransportStats stats() const override;
+
   // --- statistics -----------------------------------------------------------
-  uint64_t datagrams_sent() const { return datagrams_sent_; }
-  uint64_t retransmissions() const { return retransmissions_; }
+  uint64_t datagrams_sent() const { return datagrams_sent_.load(std::memory_order_relaxed); }
+  uint64_t retransmissions() const { return retransmissions_.load(std::memory_order_relaxed); }
 
  private:
-  struct Session {
-    UdpSocket socket;        // client-side socket for this open file
-    UdpEndpoint agent;       // the agent's private data port
-  };
+  class Reactor;
 
-  // Sends `request` and waits for a reply matching `want_types`/request id,
-  // retrying with backoff. Fills `reply`.
-  Status RequestReply(Session& session, const Message& request,
-                      std::initializer_list<MessageType> want_types, Message* reply);
-
-  Result<Session*> SessionFor(uint32_t handle);
-  uint32_t NextRequestId() { return next_request_id_++; }
-  void ConfigureLoss(UdpSocket& socket);
+  uint32_t NextRequestId() { return next_request_id_.fetch_add(1, std::memory_order_relaxed); }
+  void AccountOpDone(bool ok);
 
   uint16_t agent_port_;
   Options options_;
-  std::mutex mutex_;
-  std::map<uint32_t, std::unique_ptr<Session>> sessions_;
-  uint32_t next_request_id_ = 1;
-  uint64_t datagrams_sent_ = 0;
-  uint64_t retransmissions_ = 0;
+  std::atomic<uint64_t> next_loss_seed_;
+  std::unique_ptr<Reactor> reactor_;
+  std::atomic<uint32_t> next_request_id_{1};
+
+  std::atomic<uint64_t> datagrams_sent_{0};
+  std::atomic<uint64_t> retransmissions_{0};
+  std::atomic<uint64_t> ops_submitted_{0};
+  std::atomic<uint64_t> ops_completed_{0};
+  std::atomic<uint64_t> ops_retried_{0};
+  std::atomic<uint64_t> ops_failed_{0};
+  std::atomic<uint64_t> bytes_read_{0};
+  std::atomic<uint64_t> bytes_written_{0};
 };
 
 }  // namespace swift

@@ -7,11 +7,32 @@
 // instance corresponds to one storage agent; the distribution agent holds a
 // vector of them in stripe-column order.
 //
+// The core contract is the asynchronous submit/complete model: StartRead and
+// StartWrite submit one operation each and deliver the result through a
+// completion callback. Transports with a native event loop (the UDP
+// transport's reactor) keep many operations in flight at once — this is what
+// lets the layers above pipeline multiple stripe units per agent instead of
+// blocking one thread per call. The synchronous Read/Write/... entry points
+// remain so callers can migrate incrementally; for transports without native
+// asynchrony the base class adapts Start* onto them.
+//
 // Semantics:
-//   * Calls are synchronous; the distribution agent provides parallelism by
-//     fanning calls out across agents on threads. Implementations must
-//     therefore be safe to call from one thread at a time per instance
-//     (calls to *different* instances may be concurrent).
+//   * StartRead/StartWrite submit an op and return. The completion is
+//     invoked exactly once — either inline before Start* returns (transports
+//     that complete synchronously; `max_in_flight() == 1`) or later from a
+//     transport-internal service thread. Completions must therefore be safe
+//     to run on any thread, and must not block on the transport they came
+//     from.
+//   * At most max_in_flight() ops may be outstanding per instance. A
+//     transport advertising 1 keeps the old synchronous contract: one call
+//     at a time per instance (calls to *different* instances may be
+//     concurrent).
+//   * The bytes passed to StartWrite are consumed (copied or sent) before it
+//     returns; the span need only stay valid for the duration of the call —
+//     the same lifetime contract as the synchronous Write.
+//   * Poll() drives transports that deliver completions from the caller's
+//     thread rather than a service thread; Drain() blocks until nothing is
+//     outstanding. Both are no-ops for synchronous transports.
 //   * Read returns exactly `length` bytes, zero-filling past the stored end
 //     of the agent file. Stripe units are conceptually zero-extended — this
 //     keeps parity arithmetic uniform; true object size lives in the object
@@ -23,6 +44,7 @@
 #define SWIFT_SRC_CORE_AGENT_TRANSPORT_H_
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <string>
 #include <vector>
@@ -38,8 +60,23 @@ struct AgentOpenResult {
   uint64_t size = 0;
 };
 
+// Lifetime op counters every transport keeps (see stats() below). Counters
+// are cumulative; callers diff snapshots to rate a phase.
+struct TransportStats {
+  uint64_t ops_submitted = 0;   // Start*/sync calls accepted
+  uint64_t ops_completed = 0;   // completions delivered, including failures
+  uint64_t ops_retried = 0;     // timeout-triggered retry rounds
+  uint64_t ops_failed = 0;      // completions with a non-OK status
+  uint64_t bytes_read = 0;      // payload bytes successfully read
+  uint64_t bytes_written = 0;   // payload bytes successfully written
+};
+
 class AgentTransport {
  public:
+  // Completion signatures for the async core.
+  using ReadCompletion = std::function<void(Result<std::vector<uint8_t>>)>;
+  using WriteCompletion = std::function<void(Status)>;
+
   virtual ~AgentTransport() = default;
 
   // Opens (optionally creating/truncating) this agent's backing file for
@@ -65,6 +102,40 @@ class AgentTransport {
   // Deletes this agent's backing file for `object_name` (no handle: removal
   // is object-scoped, like Open).
   virtual Status Remove(const std::string& object_name) = 0;
+
+  // --- asynchronous submit/complete core -----------------------------------
+
+  // Submits an asynchronous read of exactly `length` bytes at `offset`
+  // (zero-filled past EOF, like Read). The default adapter executes the
+  // synchronous Read inline and invokes `done` before returning.
+  virtual void StartRead(uint32_t handle, uint64_t offset, uint64_t length,
+                         ReadCompletion done) {
+    done(Read(handle, offset, length));
+  }
+
+  // Submits an asynchronous write. `data` is consumed before StartWrite
+  // returns. The default adapter executes the synchronous Write inline.
+  virtual void StartWrite(uint32_t handle, uint64_t offset, std::span<const uint8_t> data,
+                          WriteCompletion done) {
+    done(Write(handle, offset, data));
+  }
+
+  // Number of ops that may be outstanding on this instance at once. 1 means
+  // the transport completes synchronously (the legacy contract); pipelining
+  // callers cap their per-agent window at this value.
+  virtual uint32_t max_in_flight() const { return 1; }
+
+  // Delivers completions a transport has queued for the caller's thread.
+  // Returns the number delivered. Transports with a service thread (or that
+  // complete inline) have nothing to deliver here.
+  virtual size_t Poll() { return 0; }
+
+  // Blocks until every outstanding op on this instance has completed,
+  // delivering completions as needed.
+  virtual void Drain() {}
+
+  // Snapshot of this transport's lifetime op counters.
+  virtual TransportStats stats() const { return {}; }
 };
 
 }  // namespace swift

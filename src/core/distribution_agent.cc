@@ -1,25 +1,122 @@
 #include "src/core/distribution_agent.h"
 
-#include <thread>
+#include <algorithm>
 
 #include "src/util/logging.h"
 
 namespace swift {
 
+namespace {
+constexpr uint32_t kMaxWorkers = 16;
+}  // namespace
+
 DistributionAgent::DistributionAgent(std::vector<AgentTransport*> transports)
-    : transports_(std::move(transports)) {
+    : DistributionAgent(std::move(transports), Options()) {}
+
+DistributionAgent::DistributionAgent(std::vector<AgentTransport*> transports, Options options)
+    : transports_(std::move(transports)), options_(options), columns_(transports_.size()) {
   SWIFT_CHECK(!transports_.empty()) << "a distribution agent needs at least one storage agent";
+  uint32_t workers = options_.workers;
+  if (workers == 0) {
+    workers = std::min<uint32_t>(static_cast<uint32_t>(transports_.size()), kMaxWorkers);
+  }
+  workers_.reserve(workers);
+  for (uint32_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
 }
 
-std::vector<Status> DistributionAgent::RunPerAgent(
-    std::vector<std::function<Status()>> jobs) const {
+DistributionAgent::~DistributionAgent() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    // Completions capture this object; never let one land after free.
+    idle_cv_.wait(lock, [this] { return pending_ == 0; });
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+uint32_t DistributionAgent::window(uint32_t column) const {
+  const uint32_t transport_cap = std::max<uint32_t>(1, transports_[column]->max_in_flight());
+  return std::min(std::max<uint32_t>(1, options_.ops_in_flight), transport_cap);
+}
+
+size_t DistributionAgent::PickColumn() {
+  const size_t n = columns_.size();
+  for (size_t i = 0; i < n; ++i) {
+    const size_t c = (scan_start_ + i) % n;
+    if (!columns_[c].queue.empty() && columns_[c].in_flight < window(static_cast<uint32_t>(c))) {
+      scan_start_ = (c + 1) % n;
+      return c;
+    }
+  }
+  return n;
+}
+
+void DistributionAgent::WorkerLoop() {
+  for (;;) {
+    AsyncOp op;
+    size_t column;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [this, &column] {
+        return stopping_ || (column = PickColumn()) < columns_.size();
+      });
+      if (stopping_) {
+        return;
+      }
+      op = std::move(columns_[column].queue.front());
+      columns_[column].queue.pop_front();
+      ++columns_[column].in_flight;
+    }
+    const uint32_t c = static_cast<uint32_t>(column);
+    op(transports_[c], [this, c](Status) { OnOpDone(c); });
+  }
+}
+
+void DistributionAgent::OnOpDone(uint32_t column) {
+  // Notify while holding the lock: the destructor waits on idle_cv_ under
+  // mutex_ and frees this object as soon as pending_ hits zero, so touching
+  // the condition variables after unlocking would race with destruction.
+  std::lock_guard<std::mutex> lock(mutex_);
+  SWIFT_CHECK(columns_[column].in_flight > 0) << "completion without a started op";
+  --columns_[column].in_flight;
+  --pending_;
+  if (!columns_[column].queue.empty()) {
+    work_cv_.notify_one();
+  }
+  if (pending_ == 0) {
+    idle_cv_.notify_all();
+  }
+}
+
+void DistributionAgent::Submit(uint32_t column, AsyncOp op) {
+  SWIFT_CHECK(column < columns_.size()) << "column " << column << " out of range";
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    SWIFT_CHECK(!stopping_);
+    columns_[column].queue.push_back(std::move(op));
+    ++pending_;
+  }
+  work_cv_.notify_one();
+}
+
+void DistributionAgent::Flush() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+std::vector<Status> DistributionAgent::RunPerAgent(std::vector<std::function<Status()>> jobs) {
   SWIFT_CHECK(jobs.size() == transports_.size())
       << "job vector must match the agent set (" << jobs.size() << " vs " << transports_.size()
       << ")";
   std::vector<Status> statuses(jobs.size());
 
   // Count real jobs; if there is only one, run it inline (common for small
-  // unaligned accesses) and skip thread start-up.
+  // unaligned accesses) and skip the pool round-trip.
   size_t job_count = 0;
   size_t last_job = 0;
   for (size_t c = 0; c < jobs.size(); ++c) {
@@ -36,18 +133,59 @@ std::vector<Status> DistributionAgent::RunPerAgent(
     return statuses;
   }
 
-  std::vector<std::thread> workers;
-  workers.reserve(job_count);
+  OpBatch batch(this);
   for (size_t c = 0; c < jobs.size(); ++c) {
     if (!jobs[c]) {
       continue;
     }
-    workers.emplace_back([&statuses, &jobs, c] { statuses[c] = jobs[c](); });
+    batch.Submit(static_cast<uint32_t>(c),
+                 [job = std::move(jobs[c])](AgentTransport*, Completion done) { done(job()); });
   }
-  for (std::thread& worker : workers) {
-    worker.join();
+  return batch.Wait();
+}
+
+// -------------------------------------------------------------------- OpBatch
+
+OpBatch::OpBatch(DistributionAgent* agent)
+    : agent_(agent), column_status_(agent->agent_count()) {}
+
+OpBatch::~OpBatch() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] { return outstanding_ == 0; });
+}
+
+void OpBatch::Submit(uint32_t column, DistributionAgent::AsyncOp op) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++outstanding_;
   }
-  return statuses;
+  agent_->Submit(column, [this, column, op = std::move(op)](AgentTransport* transport,
+                                                           DistributionAgent::Completion done) {
+    op(transport, [this, column, done = std::move(done)](Status status) {
+      {
+        // Notify under the lock: the destructor frees this batch the moment
+        // outstanding_ reaches zero.
+        std::lock_guard<std::mutex> lock(mutex_);
+        Status& slot = column_status_[column];
+        if (!status.ok() &&
+            (slot.ok() || (status.code() == StatusCode::kUnavailable &&
+                           slot.code() != StatusCode::kUnavailable))) {
+          slot = status;
+        }
+        --outstanding_;
+        if (outstanding_ == 0) {
+          cv_.notify_all();
+        }
+      }
+      done(status);
+    });
+  });
+}
+
+std::vector<Status> OpBatch::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] { return outstanding_ == 0; });
+  return column_status_;
 }
 
 }  // namespace swift

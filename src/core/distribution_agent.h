@@ -1,21 +1,31 @@
-// The distribution agent: parallel fan-out over storage agents.
+// The distribution agent: pipelined fan-out over storage agents.
 //
 // §2: "the distribution agent stores or retrieves the data at the storage
 // agents following the transfer plan with no further intervention by the
 // storage mediator." This class owns the per-agent transports for one plan
-// and runs per-agent jobs concurrently — the source of Swift's speed is
-// exactly this simultaneity ("the client communicates with each of the
-// storage agents involved in the request so that they can simultaneously
+// and keeps per-agent work flowing concurrently — the source of Swift's
+// speed is exactly this simultaneity ("the client communicates with each of
+// the storage agents involved in the request so that they can simultaneously
 // perform the I/O operation on the striped file", §3).
 //
-// Concurrency contract: at most one job per column runs at a time (the
-// AgentTransport contract); jobs on different columns run on separate
-// threads.
+// Execution model: a small fixed worker pool drains per-column op queues.
+// Ops on one column start in submission order; at most window(column) =
+// min(options.ops_in_flight, transport->max_in_flight()) ops of a column are
+// in flight at once. For synchronous transports (max_in_flight() == 1) this
+// degenerates to the old one-job-per-column contract, but without spawning a
+// fresh thread per call. For async transports (the UDP reactor) a worker is
+// only occupied for the submission itself, so several stripe-unit ops stay
+// in flight per agent — the deep pipelining that sustains high data-rates.
 
 #ifndef SWIFT_SRC_CORE_DISTRIBUTION_AGENT_H_
 #define SWIFT_SRC_CORE_DISTRIBUTION_AGENT_H_
 
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
 #include <functional>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "src/core/agent_transport.h"
@@ -25,19 +35,97 @@ namespace swift {
 
 class DistributionAgent {
  public:
+  struct Options {
+    // Pool threads. 0 = one per column, capped at 16. Sync transports need
+    // one worker per column for full cross-column overlap; async transports
+    // get by with fewer because submission doesn't block.
+    uint32_t workers = 0;
+    // Target stripe-unit ops in flight per column, capped per column by the
+    // transport's own max_in_flight().
+    uint32_t ops_in_flight = 4;
+  };
+
+  using Completion = std::function<void(Status)>;
+  // One async column operation: runs on a pool worker against the column's
+  // transport and must arrange for done(status) to be invoked exactly once
+  // (inline or later, from any thread).
+  using AsyncOp = std::function<void(AgentTransport*, Completion done)>;
+
   // `transports` in stripe-column order; pointers must outlive this object.
   explicit DistributionAgent(std::vector<AgentTransport*> transports);
+  DistributionAgent(std::vector<AgentTransport*> transports, Options options);
+  ~DistributionAgent();
 
   size_t agent_count() const { return transports_.size(); }
   AgentTransport* transport(uint32_t column) const { return transports_[column]; }
+  const Options& options() const { return options_; }
+  // Ops this column may keep in flight at once.
+  uint32_t window(uint32_t column) const;
+
+  // Enqueues `op` on `column`'s queue. Ops on one column start in submission
+  // order.
+  void Submit(uint32_t column, AsyncOp op);
+
+  // Blocks until every op submitted so far (on any column) has completed.
+  void Flush();
 
   // Runs jobs[c] for every column c with a non-empty job, all concurrently,
   // and returns the per-column statuses (OK for empty slots). `jobs` must
-  // have exactly agent_count() entries.
-  std::vector<Status> RunPerAgent(std::vector<std::function<Status()>> jobs) const;
+  // have exactly agent_count() entries. Legacy synchronous fan-out, kept for
+  // control-plane calls (open/close/truncate); implemented on the pool.
+  std::vector<Status> RunPerAgent(std::vector<std::function<Status()>> jobs);
 
  private:
+  struct Column {
+    std::deque<AsyncOp> queue;
+    uint32_t in_flight = 0;  // started, completion not yet delivered
+  };
+
+  void WorkerLoop();
+  // Under mutex_: index of a dispatchable column, or agent_count() if none.
+  size_t PickColumn();
+  void OnOpDone(uint32_t column);
+
   std::vector<AgentTransport*> transports_;
+  Options options_;
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;  // workers: a column became dispatchable
+  std::condition_variable idle_cv_;  // Flush: pending_ hit zero
+  std::vector<Column> columns_;
+  std::vector<std::thread> workers_;
+  size_t scan_start_ = 0;   // round-robin fairness across columns
+  uint64_t pending_ = 0;    // submitted - completed
+  bool stopping_ = false;
+};
+
+// Aggregates completions for a group of ops submitted across columns.
+// Per-column statuses combine as: OK unless some op failed; kUnavailable
+// wins over other errors (it is the signal that triggers parity takeover —
+// collateral failures of ops already in flight on a dying column must not
+// mask it); otherwise the first failure sticks.
+class OpBatch {
+ public:
+  explicit OpBatch(DistributionAgent* agent);
+  OpBatch(const OpBatch&) = delete;
+  OpBatch& operator=(const OpBatch&) = delete;
+  // Waits for stragglers so completions never outlive the batch.
+  ~OpBatch();
+
+  // Submits `op` on `column`, wrapping its completion to record the status.
+  void Submit(uint32_t column, DistributionAgent::AsyncOp op);
+
+  // Blocks until every op submitted to this batch has completed; returns the
+  // per-column aggregate statuses. May be called repeatedly (submit → wait →
+  // submit more → wait).
+  std::vector<Status> Wait();
+
+ private:
+  DistributionAgent* agent_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  uint64_t outstanding_ = 0;
+  std::vector<Status> column_status_;
 };
 
 }  // namespace swift

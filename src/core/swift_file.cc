@@ -12,20 +12,37 @@ namespace swift {
 
 namespace {
 
-// Failure bookkeeping shared by concurrently running per-agent jobs.
-std::mutex g_failure_mutex;
+// Combines a batch's per-column statuses into one. kUnavailable wins — it is
+// the signal the retry loops react to (re-plan degraded) — otherwise the
+// first failure sticks.
+Status Aggregate(const std::vector<Status>& statuses) {
+  Status first = OkStatus();
+  for (const Status& status : statuses) {
+    if (status.ok()) {
+      continue;
+    }
+    if (status.code() == StatusCode::kUnavailable) {
+      return status;
+    }
+    if (first.ok()) {
+      first = status;
+    }
+  }
+  return first;
+}
 
 }  // namespace
 
 SwiftFile::SwiftFile(std::string name, StripeConfig stripe,
-                     std::vector<AgentTransport*> transports, ObjectDirectory* directory)
+                     std::vector<AgentTransport*> transports, ObjectDirectory* directory,
+                     DistributionAgent::Options io_options)
     : name_(std::move(name)),
       layout_(stripe),
-      distribution_(std::move(transports)),
+      distribution_(std::move(transports), io_options),
       directory_(directory),
       handles_(stripe.num_agents, 0),
-      open_(stripe.num_agents, false),
-      failed_(stripe.num_agents, false) {}
+      open_(stripe.num_agents),
+      failed_(stripe.num_agents) {}
 
 SwiftFile::~SwiftFile() {
   if (!closed_) {
@@ -35,7 +52,8 @@ SwiftFile::~SwiftFile() {
 
 Result<std::unique_ptr<SwiftFile>> SwiftFile::Create(const TransferPlan& plan,
                                                      std::vector<AgentTransport*> transports,
-                                                     ObjectDirectory* directory) {
+                                                     ObjectDirectory* directory,
+                                                     DistributionAgent::Options io_options) {
   SWIFT_RETURN_IF_ERROR(plan.stripe.Validate());
   if (transports.size() != plan.stripe.num_agents) {
     return InvalidArgumentError("transport count does not match the plan's stripe width");
@@ -48,7 +66,7 @@ Result<std::unique_ptr<SwiftFile>> SwiftFile::Create(const TransferPlan& plan,
   SWIFT_RETURN_IF_ERROR(directory->Create(metadata));
 
   std::unique_ptr<SwiftFile> file(
-      new SwiftFile(plan.object_name, plan.stripe, std::move(transports), directory));
+      new SwiftFile(plan.object_name, plan.stripe, std::move(transports), directory, io_options));
   Status status = file->OpenAgentFiles(kOpenCreate | kOpenTruncate);
   if (!status.ok()) {
     (void)directory->Remove(plan.object_name);
@@ -59,13 +77,14 @@ Result<std::unique_ptr<SwiftFile>> SwiftFile::Create(const TransferPlan& plan,
 
 Result<std::unique_ptr<SwiftFile>> SwiftFile::Open(const std::string& name,
                                                    std::vector<AgentTransport*> transports,
-                                                   ObjectDirectory* directory) {
+                                                   ObjectDirectory* directory,
+                                                   DistributionAgent::Options io_options) {
   SWIFT_ASSIGN_OR_RETURN(ObjectMetadata metadata, directory->Lookup(name));
   if (transports.size() != metadata.stripe.num_agents) {
     return InvalidArgumentError("transport count does not match the object's stripe width");
   }
   std::unique_ptr<SwiftFile> file(
-      new SwiftFile(name, metadata.stripe, std::move(transports), directory));
+      new SwiftFile(name, metadata.stripe, std::move(transports), directory, io_options));
   file->size_ = metadata.size;
   SWIFT_RETURN_IF_ERROR(file->OpenAgentFiles(kOpenCreate));
   return file;
@@ -81,7 +100,7 @@ Status SwiftFile::OpenAgentFiles(uint32_t flags) {
         return result.status();
       }
       handles_[c] = result->handle;
-      open_[c] = true;
+      open_[c].store(true);
       return OkStatus();
     };
   }
@@ -98,7 +117,7 @@ Status SwiftFile::OpenAgentFiles(uint32_t flags) {
     }
     SWIFT_RETURN_IF_ERROR(status);
   }
-  if (failed_count_ > 1) {
+  if (failed_count_.load() > 1) {
     return DataLossError("more than one storage agent unavailable at open");
   }
   return OkStatus();
@@ -119,7 +138,7 @@ Status SwiftFile::Close() {
   const uint32_t agents = layout_.config().num_agents;
   std::vector<std::function<Status()>> jobs(agents);
   for (uint32_t c = 0; c < agents; ++c) {
-    if (!open_[c] || failed_[c]) {
+    if (!open_[c].load() || ColumnFailed(c)) {
       continue;
     }
     jobs[c] = [this, c]() -> Status { return distribution_.transport(c)->Close(handles_[c]); };
@@ -136,7 +155,7 @@ Status SwiftFile::Truncate(uint64_t new_size) {
   if (closed_) {
     return InvalidArgumentError("file is closed");
   }
-  if (failed_count_ > 0) {
+  if (failed_count_.load() > 0) {
     return UnavailableError("truncate is not supported while agents are failed");
   }
   if (new_size >= size_) {
@@ -237,10 +256,8 @@ Result<uint64_t> SwiftFile::PWrite(uint64_t offset, std::span<const uint8_t> dat
 }
 
 void SwiftFile::MarkColumnFailed(uint32_t column) {
-  std::lock_guard<std::mutex> lock(g_failure_mutex);
   SWIFT_CHECK(column < failed_.size());
-  if (!failed_[column]) {
-    failed_[column] = true;
+  if (!failed_[column].exchange(true)) {
     ++failed_count_;
   }
 }
@@ -248,7 +265,7 @@ void SwiftFile::MarkColumnFailed(uint32_t column) {
 std::vector<uint32_t> SwiftFile::failed_columns() const {
   std::vector<uint32_t> columns;
   for (uint32_t c = 0; c < failed_.size(); ++c) {
-    if (failed_[c]) {
+    if (failed_[c].load()) {
       columns.push_back(c);
     }
   }
@@ -263,6 +280,79 @@ Status SwiftFile::GuardedCall(uint32_t column, const std::function<Status()>& fn
   return status;
 }
 
+// ------------------------------------------------------------- op plumbing --
+
+void SwiftFile::SubmitRead(OpBatch& batch, uint32_t column, uint64_t agent_offset,
+                           uint64_t length, uint8_t* dst) {
+  batch.Submit(column, [this, column, agent_offset, length, dst](
+                           AgentTransport* transport, DistributionAgent::Completion done) {
+    transport->StartRead(
+        handles_[column], agent_offset, length,
+        [this, column, length, dst, done = std::move(done)](Result<std::vector<uint8_t>> data) {
+          if (!data.ok()) {
+            if (data.code() == StatusCode::kUnavailable) {
+              MarkColumnFailed(column);
+            }
+            done(data.status());
+            return;
+          }
+          std::memcpy(dst, data->data(), std::min<uint64_t>(length, data->size()));
+          done(OkStatus());
+        });
+  });
+}
+
+void SwiftFile::SubmitWrite(OpBatch& batch, uint32_t column, uint64_t agent_offset,
+                            std::span<const uint8_t> bytes) {
+  batch.Submit(column, [this, column, agent_offset, bytes](AgentTransport* transport,
+                                                           DistributionAgent::Completion done) {
+    transport->StartWrite(handles_[column], agent_offset, bytes,
+                          [this, column, done = std::move(done)](Status status) {
+                            if (status.code() == StatusCode::kUnavailable) {
+                              MarkColumnFailed(column);
+                            }
+                            done(std::move(status));
+                          });
+  });
+}
+
+void SwiftFile::SubmitExtentRead(OpBatch& batch, const AgentExtent& extent, uint64_t base_offset,
+                                 std::span<uint8_t> out) {
+  uint8_t* dst = out.data() + (extent.logical_offset - base_offset);
+  const uint64_t unit = layout_.config().stripe_unit;
+  // MapRange coalesces contiguous same-agent units into one extent; chop it
+  // back to stripe-unit ops only when the column can overlap them.
+  if (distribution_.window(extent.agent) <= 1 || extent.length <= unit) {
+    SubmitRead(batch, extent.agent, extent.agent_offset, extent.length, dst);
+    return;
+  }
+  uint64_t done = 0;
+  while (done < extent.length) {
+    const uint64_t position = extent.agent_offset + done;
+    const uint64_t chunk = std::min(unit - (position % unit), extent.length - done);
+    SubmitRead(batch, extent.agent, position, chunk, dst + done);
+    done += chunk;
+  }
+}
+
+void SwiftFile::SubmitExtentWrite(OpBatch& batch, const AgentExtent& extent, uint64_t base_offset,
+                                  std::span<const uint8_t> data) {
+  std::span<const uint8_t> bytes =
+      data.subspan(extent.logical_offset - base_offset, extent.length);
+  const uint64_t unit = layout_.config().stripe_unit;
+  if (distribution_.window(extent.agent) <= 1 || extent.length <= unit) {
+    SubmitWrite(batch, extent.agent, extent.agent_offset, bytes);
+    return;
+  }
+  uint64_t done = 0;
+  while (done < extent.length) {
+    const uint64_t position = extent.agent_offset + done;
+    const uint64_t chunk = std::min(unit - (position % unit), extent.length - done);
+    SubmitWrite(batch, extent.agent, position, bytes.subspan(done, chunk));
+    done += chunk;
+  }
+}
+
 // ---------------------------------------------------------------- reading --
 
 Status SwiftFile::ReadRange(uint64_t offset, std::span<uint8_t> out) {
@@ -270,60 +360,35 @@ Status SwiftFile::ReadRange(uint64_t offset, std::span<uint8_t> out) {
   // A failure discovered mid-read flips a column to failed and we retry;
   // each retry consumes at least one new failure, so attempts are bounded.
   for (uint32_t attempt = 0; attempt <= layout_.config().num_agents; ++attempt) {
-    if (parity_on && failed_count_ > 1) {
+    if (parity_on && failed_count_.load() > 1) {
       return DataLossError("more than one failed agent in a parity group");
     }
-    if (!parity_on && failed_count_ > 0) {
+    if (!parity_on && failed_count_.load() > 0) {
       return UnavailableError("storage agent failed and object has no redundancy");
     }
-    const uint32_t failures_before = failed_count_;
     const std::vector<AgentExtent> extents = layout_.MapRange(offset, out.size());
 
-    // Live extents: parallel per-column jobs.
-    std::vector<std::function<Status()>> jobs(layout_.config().num_agents);
-    std::vector<std::vector<const AgentExtent*>> per_column(layout_.config().num_agents);
+    // Live extents: one batch of stripe-unit ops across the whole range, so
+    // every column pipelines up to its window.
     std::vector<const AgentExtent*> lost_extents;
-    for (const AgentExtent& extent : extents) {
-      if (ColumnFailed(extent.agent)) {
-        lost_extents.push_back(&extent);
-      } else {
-        per_column[extent.agent].push_back(&extent);
-      }
-    }
-    for (uint32_t c = 0; c < per_column.size(); ++c) {
-      if (per_column[c].empty()) {
-        continue;
-      }
-      jobs[c] = [this, c, &per_column, &out, offset]() -> Status {
-        for (const AgentExtent* extent : per_column[c]) {
-          Status status = GuardedCall(c, [&]() -> Status {
-            auto data = distribution_.transport(c)->Read(handles_[c], extent->agent_offset,
-                                                         extent->length);
-            if (!data.ok()) {
-              return data.status();
-            }
-            std::memcpy(out.data() + (extent->logical_offset - offset), data->data(),
-                        extent->length);
-            return OkStatus();
-          });
-          SWIFT_RETURN_IF_ERROR(status);
+    {
+      OpBatch batch(&distribution_);
+      for (const AgentExtent& extent : extents) {
+        if (ColumnFailed(extent.agent)) {
+          lost_extents.push_back(&extent);
+        } else {
+          SubmitExtentRead(batch, extent, offset, out);
         }
-        return OkStatus();
-      };
-    }
-    bool transient_failure = false;
-    for (const Status& status : distribution_.RunPerAgent(std::move(jobs))) {
-      if (status.code() == StatusCode::kUnavailable) {
-        transient_failure = true;
-      } else if (!status.ok()) {
-        return status;
       }
-    }
-    if (transient_failure || failed_count_ != failures_before) {
-      continue;  // re-plan with the updated failure set
+      Status status = Aggregate(batch.Wait());
+      if (status.code() == StatusCode::kUnavailable) {
+        continue;  // re-plan with the updated failure set
+      }
+      SWIFT_RETURN_IF_ERROR(status);
     }
 
-    // Reconstruct extents that live on failed columns, unit by unit.
+    // Reconstruct extents that live on failed columns, unit by unit (each
+    // unit fans its survivor reads out concurrently).
     const uint64_t unit = layout_.config().stripe_unit;
     for (const AgentExtent* extent : lost_extents) {
       uint64_t done = 0;
@@ -353,29 +418,43 @@ Result<std::vector<uint8_t>> SwiftFile::ReconstructUnit(uint64_t row, uint32_t l
   const uint64_t unit = layout_.config().stripe_unit;
   const uint64_t row_offset = row * unit;
   std::vector<uint8_t> rebuilt(unit, 0);
+  // Every survivor read runs concurrently; completions XOR-fold into the
+  // rebuilt unit as they land (XOR is commutative, the mutex makes each fold
+  // atomic).
+  std::mutex fold_mutex;
+  OpBatch batch(&distribution_);
   for (uint32_t c = 0; c < layout_.config().num_agents; ++c) {
     if (c == lost_column) {
       continue;
     }
     if (ColumnFailed(c)) {
-      return DataLossError("second agent failure while reconstructing row " +
-                           std::to_string(row));
+      return DataLossError("second agent failure while reconstructing row " + std::to_string(row));
     }
-    Status status = GuardedCall(c, [&]() -> Status {
-      auto data = distribution_.transport(c)->Read(handles_[c], row_offset, unit);
-      if (!data.ok()) {
-        return data.status();
-      }
-      XorInto(rebuilt, *data);
-      return OkStatus();
+    batch.Submit(c, [this, c, row_offset, unit, &rebuilt, &fold_mutex](
+                        AgentTransport* transport, DistributionAgent::Completion done) {
+      transport->StartRead(handles_[c], row_offset, unit,
+                           [this, c, &rebuilt, &fold_mutex,
+                            done = std::move(done)](Result<std::vector<uint8_t>> data) {
+                             if (!data.ok()) {
+                               if (data.code() == StatusCode::kUnavailable) {
+                                 MarkColumnFailed(c);
+                               }
+                               done(data.status());
+                               return;
+                             }
+                             {
+                               std::lock_guard<std::mutex> lock(fold_mutex);
+                               XorInto(rebuilt, *data);
+                             }
+                             done(OkStatus());
+                           });
     });
-    if (!status.ok()) {
-      if (status.code() == StatusCode::kUnavailable) {
-        return DataLossError("second agent failure while reconstructing row " +
-                             std::to_string(row));
-      }
-      return status;
+  }
+  for (const Status& status : batch.Wait()) {
+    if (status.code() == StatusCode::kUnavailable) {
+      return DataLossError("second agent failure while reconstructing row " + std::to_string(row));
     }
+    SWIFT_RETURN_IF_ERROR(status);
   }
   return rebuilt;
 }
@@ -385,63 +464,52 @@ Result<std::vector<uint8_t>> SwiftFile::ReconstructUnit(uint64_t row, uint32_t l
 Status SwiftFile::WriteRange(uint64_t offset, std::span<const uint8_t> data) {
   const bool parity_on = layout_.config().parity != ParityMode::kNone;
   for (uint32_t attempt = 0; attempt <= layout_.config().num_agents; ++attempt) {
-    if (parity_on && failed_count_ > 1) {
+    if (parity_on && failed_count_.load() > 1) {
       return DataLossError("more than one failed agent in a parity group");
     }
-    if (!parity_on && failed_count_ > 0) {
+    if (!parity_on && failed_count_.load() > 0) {
       return UnavailableError("storage agent failed and object has no redundancy");
     }
-    const uint32_t failures_before = failed_count_;
+    const uint32_t failures_before = failed_count_.load();
     Status status;
 
     if (!parity_on) {
-      // Straight striped write: parallel per-column extent jobs.
+      // Straight striped write: the whole range as one batch of pipelined
+      // stripe-unit ops.
       const std::vector<AgentExtent> extents = layout_.MapRange(offset, data.size());
-      std::vector<std::vector<const AgentExtent*>> per_column(layout_.config().num_agents);
+      OpBatch batch(&distribution_);
       for (const AgentExtent& extent : extents) {
-        per_column[extent.agent].push_back(&extent);
+        SubmitExtentWrite(batch, extent, offset, data);
       }
-      std::vector<std::function<Status()>> jobs(layout_.config().num_agents);
-      for (uint32_t c = 0; c < per_column.size(); ++c) {
-        if (per_column[c].empty()) {
-          continue;
-        }
-        jobs[c] = [this, c, &per_column, &data, offset]() -> Status {
-          for (const AgentExtent* extent : per_column[c]) {
-            Status st = GuardedCall(c, [&]() -> Status {
-              return distribution_.transport(c)->Write(
-                  handles_[c], extent->agent_offset,
-                  data.subspan(extent->logical_offset - offset, extent->length));
-            });
-            SWIFT_RETURN_IF_ERROR(st);
-          }
-          return OkStatus();
-        };
-      }
-      status = OkStatus();
-      for (const Status& st : distribution_.RunPerAgent(std::move(jobs))) {
-        if (!st.ok()) {
-          status = st;
-        }
-      }
+      status = Aggregate(batch.Wait());
     } else {
-      // Parity path: process row by row so parity updates stay atomic with
-      // respect to this writer.
+      // Parity path. Boundary rows that are only partially overwritten need
+      // a read-modify-write; fully overwritten rows compute parity in memory
+      // and batch every unit write of every such row together.
       const auto [first_row, last_row] = layout_.RowRange(offset, data.size());
+      const uint64_t row_bytes = layout_.config().RowDataBytes();
+      std::vector<uint64_t> full_rows;
       status = OkStatus();
       for (uint64_t row = first_row; row <= last_row && status.ok(); ++row) {
-        const uint64_t row_start = row * layout_.config().RowDataBytes();
-        const uint64_t row_end = row_start + layout_.config().RowDataBytes();
+        const uint64_t row_start = row * row_bytes;
+        const uint64_t row_end = row_start + row_bytes;
         const uint64_t write_start = std::max(offset, row_start);
         const uint64_t write_end = std::min(offset + data.size(), row_end);
-        status = WriteRowParity(row, write_start, write_end, offset, data);
+        if (write_start == row_start && write_end == row_end) {
+          full_rows.push_back(row);
+        } else {
+          status = WriteRowParity(row, write_start, write_end, offset, data);
+        }
+      }
+      if (status.ok() && !full_rows.empty()) {
+        status = WriteFullRows(full_rows, offset, data);
       }
     }
 
     if (status.ok()) {
       return OkStatus();
     }
-    if (status.code() == StatusCode::kUnavailable && failed_count_ != failures_before) {
+    if (status.code() == StatusCode::kUnavailable && failed_count_.load() != failures_before) {
       continue;  // a column just died; re-plan degraded
     }
     return status;
@@ -449,55 +517,51 @@ Status SwiftFile::WriteRange(uint64_t offset, std::span<const uint8_t> data) {
   return InternalError("write retry budget exhausted");
 }
 
-Status SwiftFile::WriteRowParity(uint64_t row, uint64_t row_write_start, uint64_t row_write_end,
-                                 uint64_t base_offset, std::span<const uint8_t> data) {
+Status SwiftFile::WriteFullRows(const std::vector<uint64_t>& rows, uint64_t base_offset,
+                                std::span<const uint8_t> data) {
   const uint64_t unit = layout_.config().stripe_unit;
   const uint64_t row_bytes = layout_.config().RowDataBytes();
-  const uint64_t row_start = row * row_bytes;
-  const UnitLocation parity_loc = layout_.ParityLocation(row);
-  const bool parity_agent_failed = ColumnFailed(parity_loc.agent);
-  const bool full_row = row_write_start == row_start && row_write_end == row_start + row_bytes;
 
-  auto new_data_at = [&](uint64_t logical, uint64_t length) -> std::span<const uint8_t> {
-    return data.subspan(logical - base_offset, length);
-  };
-
-  if (full_row) {
-    // Compute parity of the full new row and write everything in parallel.
-    std::span<const uint8_t> row_data = new_data_at(row_start, row_bytes);
+  // One batch carries every unit write of every full row — the whole stripe
+  // group moves as a single pipelined burst. Parity buffers live here so the
+  // spans handed to StartWrite stay valid until the batch completes.
+  std::vector<std::vector<uint8_t>> parity_bufs;
+  parity_bufs.reserve(rows.size());
+  OpBatch batch(&distribution_);
+  for (uint64_t row : rows) {
+    const uint64_t row_start = row * row_bytes;
+    std::span<const uint8_t> row_data = data.subspan(row_start - base_offset, row_bytes);
     std::vector<std::span<const uint8_t>> sources;
     sources.reserve(layout_.config().DataAgentsPerRow());
     for (uint32_t c = 0; c < layout_.config().DataAgentsPerRow(); ++c) {
       sources.push_back(row_data.subspan(static_cast<size_t>(c) * unit, unit));
     }
-    const std::vector<uint8_t> parity = ComputeParity(sources, unit);
+    parity_bufs.push_back(ComputeParity(sources, unit));
 
-    std::vector<std::function<Status()>> jobs(layout_.config().num_agents);
     for (uint32_t c = 0; c < layout_.config().DataAgentsPerRow(); ++c) {
       const UnitLocation loc = layout_.Locate(row_start + static_cast<uint64_t>(c) * unit);
       if (ColumnFailed(loc.agent)) {
         continue;  // captured by parity; reconstructible
       }
-      jobs[loc.agent] = [this, loc, source = sources[c]]() -> Status {
-        return GuardedCall(loc.agent, [&]() -> Status {
-          return distribution_.transport(loc.agent)->Write(handles_[loc.agent], loc.agent_offset,
-                                                           source);
-        });
-      };
+      SubmitWrite(batch, loc.agent, loc.agent_offset, sources[c]);
     }
-    if (!parity_agent_failed) {
-      jobs[parity_loc.agent] = [this, parity_loc, &parity]() -> Status {
-        return GuardedCall(parity_loc.agent, [&]() -> Status {
-          return distribution_.transport(parity_loc.agent)
-              ->Write(handles_[parity_loc.agent], parity_loc.agent_offset, parity);
-        });
-      };
+    const UnitLocation parity_loc = layout_.ParityLocation(row);
+    if (!ColumnFailed(parity_loc.agent)) {
+      SubmitWrite(batch, parity_loc.agent, parity_loc.agent_offset, parity_bufs.back());
     }
-    for (const Status& status : distribution_.RunPerAgent(std::move(jobs))) {
-      SWIFT_RETURN_IF_ERROR(status);
-    }
-    return OkStatus();
   }
+  return Aggregate(batch.Wait());
+}
+
+Status SwiftFile::WriteRowParity(uint64_t row, uint64_t row_write_start, uint64_t row_write_end,
+                                 uint64_t base_offset, std::span<const uint8_t> data) {
+  const uint64_t unit = layout_.config().stripe_unit;
+  const UnitLocation parity_loc = layout_.ParityLocation(row);
+  const bool parity_agent_failed = ColumnFailed(parity_loc.agent);
+
+  auto new_data_at = [&](uint64_t logical, uint64_t length) -> std::span<const uint8_t> {
+    return data.subspan(logical - base_offset, length);
+  };
 
   // Partial row: read-modify-write the parity unit.
   //   parity' = parity ^ old_data ^ new_data
@@ -512,65 +576,66 @@ Status SwiftFile::WriteRowParity(uint64_t row, uint64_t row_write_start, uint64_
   // self-correcting. Writing data first would let an interrupted attempt
   // strand new data under old parity, and the retry's old==new RMW would
   // then freeze the corruption in place.
-  std::vector<uint8_t> parity_buf;
-  if (!parity_agent_failed) {
-    auto parity_read = distribution_.transport(parity_loc.agent)
-                           ->Read(handles_[parity_loc.agent], parity_loc.agent_offset, unit);
-    if (!parity_read.ok()) {
-      if (parity_read.code() == StatusCode::kUnavailable) {
-        MarkColumnFailed(parity_loc.agent);
-      }
-      return parity_read.status();
-    }
-    parity_buf = std::move(*parity_read);
-  }
 
-  struct PendingDataWrite {
+  struct Chunk {
     UnitLocation loc;
+    uint64_t offset_in_unit = 0;
     std::span<const uint8_t> new_data;
+    std::vector<uint8_t> old_data;  // gather target (live chunks)
+    bool lost = false;              // target unit is on a failed column
   };
-  std::vector<PendingDataWrite> pending;
-
-  // Pass 1: read the old contents, fold everything into the parity buffer,
-  // and stage the data writes. Nothing is written to any store yet.
+  std::vector<Chunk> chunks;
   uint64_t logical = row_write_start;
   while (logical < row_write_end) {
     const uint64_t offset_in_unit = logical % unit;
-    const uint64_t chunk = std::min(unit - offset_in_unit, row_write_end - logical);
-    const UnitLocation loc = layout_.Locate(logical);
-    std::span<const uint8_t> new_data = new_data_at(logical, chunk);
+    const uint64_t length = std::min(unit - offset_in_unit, row_write_end - logical);
+    Chunk chunk;
+    chunk.loc = layout_.Locate(logical);
+    chunk.offset_in_unit = offset_in_unit;
+    chunk.new_data = new_data_at(logical, length);
+    chunk.lost = ColumnFailed(chunk.loc.agent);
+    chunks.push_back(std::move(chunk));
+    logical += length;
+  }
 
-    if (!ColumnFailed(loc.agent)) {
-      if (!parity_agent_failed) {
-        // Old contents of exactly the overwritten range.
-        auto old_data =
-            distribution_.transport(loc.agent)->Read(handles_[loc.agent], loc.agent_offset, chunk);
-        if (!old_data.ok()) {
-          if (old_data.code() == StatusCode::kUnavailable) {
-            MarkColumnFailed(loc.agent);
-          }
-          return old_data.status();
-        }
-        UpdateParity(parity_buf, offset_in_unit, *old_data, new_data);
+  // Gather phase: the current parity unit and every overwritten live range,
+  // all in one batch.
+  std::vector<uint8_t> parity_buf(parity_agent_failed ? 0 : unit, 0);
+  if (!parity_agent_failed) {
+    OpBatch batch(&distribution_);
+    SubmitRead(batch, parity_loc.agent, parity_loc.agent_offset, unit, parity_buf.data());
+    for (Chunk& chunk : chunks) {
+      if (!chunk.lost) {
+        chunk.old_data.resize(chunk.new_data.size());
+        SubmitRead(batch, chunk.loc.agent, chunk.loc.agent_offset, chunk.old_data.size(),
+                   chunk.old_data.data());
       }
-      pending.push_back(PendingDataWrite{loc, new_data});
-    } else {
+    }
+    SWIFT_RETURN_IF_ERROR(Aggregate(batch.Wait()));
+  }
+
+  // Fold phase (in memory, deterministic order).
+  for (Chunk& chunk : chunks) {
+    if (chunk.lost) {
       // The target data unit is lost: fold the write into parity only, so a
       // reconstruction of this unit yields the new contents.
       if (parity_agent_failed) {
         return DataLossError("write targets a failed agent and parity is also failed");
       }
-      auto old_unit = ReconstructUnit(row, loc.agent);
+      auto old_unit = ReconstructUnit(row, chunk.loc.agent);
       if (!old_unit.ok()) {
         return old_unit.status();
       }
-      UpdateParity(parity_buf, offset_in_unit,
-                   std::span<const uint8_t>(old_unit->data() + offset_in_unit, chunk), new_data);
+      UpdateParity(parity_buf, chunk.offset_in_unit,
+                   std::span<const uint8_t>(old_unit->data() + chunk.offset_in_unit,
+                                            chunk.new_data.size()),
+                   chunk.new_data);
+    } else if (!parity_agent_failed) {
+      UpdateParity(parity_buf, chunk.offset_in_unit, chunk.old_data, chunk.new_data);
     }
-    logical += chunk;
   }
 
-  // Pass 2: parity first.
+  // Parity first.
   if (!parity_agent_failed) {
     Status status = GuardedCall(parity_loc.agent, [&]() -> Status {
       return distribution_.transport(parity_loc.agent)
@@ -579,15 +644,14 @@ Status SwiftFile::WriteRowParity(uint64_t row, uint64_t row_write_start, uint64_
     SWIFT_RETURN_IF_ERROR(status);
   }
 
-  // Pass 3: the data units.
-  for (const PendingDataWrite& write : pending) {
-    Status status = GuardedCall(write.loc.agent, [&]() -> Status {
-      return distribution_.transport(write.loc.agent)
-          ->Write(handles_[write.loc.agent], write.loc.agent_offset, write.new_data);
-    });
-    SWIFT_RETURN_IF_ERROR(status);
+  // Then the data units, as one parallel batch.
+  OpBatch batch(&distribution_);
+  for (const Chunk& chunk : chunks) {
+    if (!chunk.lost) {
+      SubmitWrite(batch, chunk.loc.agent, chunk.loc.agent_offset, chunk.new_data);
+    }
   }
-  return OkStatus();
+  return Aggregate(batch.Wait());
 }
 
 }  // namespace swift

@@ -4,20 +4,34 @@
 // "Clients are provided with open, close, read, write and seek operations
 // that have Unix file system semantics" (§3). A SwiftFile is the client-side
 // object behind those calls: it owns the file cursor, maps logical ranges
-// through the stripe layout, fans the per-agent work out in parallel via the
-// distribution agent, maintains XOR parity on writes, and transparently
+// through the stripe layout, pipelines the per-agent stripe-unit ops through
+// the distribution agent, maintains XOR parity on writes, and transparently
 // reconstructs data when a storage agent fails mid-session.
+//
+// Data path: reads and writes are issued as whole-stripe-group batches of
+// asynchronous stripe-unit ops (OpBatch over AgentTransport::StartRead/
+// StartWrite). Against a pipelining transport (the UDP reactor) every column
+// keeps several units in flight; against a synchronous transport the batch
+// degenerates to the old one-op-per-column fan-out. Extents are chopped to
+// stripe-unit granularity only when the column's window exceeds one, so the
+// in-process fast path keeps its single-call-per-extent behaviour.
 //
 // Failure model (§2's computed-copy redundancy): with parity enabled, one
 // failed agent is survived — reads reconstruct lost units from the row's
-// survivors, writes keep parity consistent so later reconstruction yields
-// the new data (including writes *to* the failed agent, which land only in
-// parity). A second failure is reported as kDataLoss. Without parity, any
-// agent failure is surfaced as kUnavailable.
+// survivors (XOR-folding each survivor's unit as its completion lands),
+// writes keep parity consistent so later reconstruction yields the new data
+// (including writes *to* the failed agent, which land only in parity). A
+// second failure is reported as kDataLoss. Without parity, any agent failure
+// is surfaced as kUnavailable.
+//
+// Concurrency: the public interface is externally synchronized (one logical
+// client), but op completions arrive on transport/pool threads, so the
+// failure flags they touch are atomics.
 
 #ifndef SWIFT_SRC_CORE_SWIFT_FILE_H_
 #define SWIFT_SRC_CORE_SWIFT_FILE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -39,15 +53,16 @@ class SwiftFile {
  public:
   // Creates a new object with `plan`'s geometry, records it in `directory`,
   // and opens (creating) the per-agent backing files. `transports` must be
-  // in stripe-column order and outlive the file.
-  static Result<std::unique_ptr<SwiftFile>> Create(const TransferPlan& plan,
-                                                   std::vector<AgentTransport*> transports,
-                                                   ObjectDirectory* directory);
+  // in stripe-column order and outlive the file. `io_options` sizes the
+  // worker pool and the per-column op window.
+  static Result<std::unique_ptr<SwiftFile>> Create(
+      const TransferPlan& plan, std::vector<AgentTransport*> transports,
+      ObjectDirectory* directory, DistributionAgent::Options io_options = {});
 
   // Opens an existing object; geometry and size come from the directory.
-  static Result<std::unique_ptr<SwiftFile>> Open(const std::string& name,
-                                                 std::vector<AgentTransport*> transports,
-                                                 ObjectDirectory* directory);
+  static Result<std::unique_ptr<SwiftFile>> Open(
+      const std::string& name, std::vector<AgentTransport*> transports,
+      ObjectDirectory* directory, DistributionAgent::Options io_options = {});
 
   ~SwiftFile();
   SwiftFile(const SwiftFile&) = delete;
@@ -80,9 +95,10 @@ class SwiftFile {
   uint64_t cursor() const { return cursor_; }
   const std::string& name() const { return name_; }
   const StripeLayout& layout() const { return layout_; }
+  const DistributionAgent& distribution() const { return distribution_; }
   // Columns currently marked failed (kUnavailable seen).
   std::vector<uint32_t> failed_columns() const;
-  bool degraded() const { return failed_count_ > 0; }
+  bool degraded() const { return failed_count_.load() > 0; }
 
   // Tests and examples: force a column into the failed state without waiting
   // for a transport error.
@@ -90,35 +106,56 @@ class SwiftFile {
 
  private:
   SwiftFile(std::string name, StripeConfig stripe, std::vector<AgentTransport*> transports,
-            ObjectDirectory* directory);
+            ObjectDirectory* directory, DistributionAgent::Options io_options);
 
   Status OpenAgentFiles(uint32_t flags);
 
   // Failure-aware read of [offset, offset+length) into out (zero-filled past
   // stored data). `length` must fit in out.
   Status ReadRange(uint64_t offset, std::span<uint8_t> out);
-  // Plain striped read (no failed columns involved for these extents).
-  Status ReadExtents(const std::vector<AgentExtent>& extents, uint64_t base_offset,
-                     std::span<uint8_t> out);
-  // Reconstructs the `unit`-sized unit at (row, failed column) via parity.
+  // Reconstructs the `unit`-sized unit at (row, failed column) via parity,
+  // reading every survivor concurrently and XOR-folding completions as they
+  // land.
   Result<std::vector<uint8_t>> ReconstructUnit(uint64_t row, uint32_t lost_column);
 
   Status WriteRange(uint64_t offset, std::span<const uint8_t> data);
+  // Partial-row read-modify-write: gather (batched reads) → parity write →
+  // data writes (batched).
   Status WriteRowParity(uint64_t row, uint64_t row_write_start, uint64_t row_write_end,
                         uint64_t base_offset, std::span<const uint8_t> data);
+  // Full rows: in-memory parity, every unit write of every row in one batch.
+  Status WriteFullRows(const std::vector<uint64_t>& rows, uint64_t base_offset,
+                       std::span<const uint8_t> data);
+
+  // --- async op submission (completions may run on any thread) -------------
+
+  // One read of [agent_offset, +length) on `column` into `dst`.
+  void SubmitRead(OpBatch& batch, uint32_t column, uint64_t agent_offset, uint64_t length,
+                  uint8_t* dst);
+  // One write of `bytes` at agent_offset on `column`. `bytes` must stay
+  // valid until the batch completes.
+  void SubmitWrite(OpBatch& batch, uint32_t column, uint64_t agent_offset,
+                   std::span<const uint8_t> bytes);
+  // Submits `extent` as stripe-unit ops when the column window allows
+  // pipelining, else as one op.
+  void SubmitExtentRead(OpBatch& batch, const AgentExtent& extent, uint64_t base_offset,
+                        std::span<uint8_t> out);
+  void SubmitExtentWrite(OpBatch& batch, const AgentExtent& extent, uint64_t base_offset,
+                         std::span<const uint8_t> data);
 
   // Wraps a transport call: on kUnavailable, marks the column failed.
   Status GuardedCall(uint32_t column, const std::function<Status()>& fn);
-  bool ColumnFailed(uint32_t column) const { return failed_[column]; }
+  bool ColumnFailed(uint32_t column) const { return failed_[column].load(); }
 
   std::string name_;
   StripeLayout layout_;
   DistributionAgent distribution_;
   ObjectDirectory* directory_;
   std::vector<uint32_t> handles_;
-  std::vector<bool> open_;
-  std::vector<bool> failed_;
-  uint32_t failed_count_ = 0;
+  // Atomic: set from op completions on transport/pool threads.
+  std::vector<std::atomic<bool>> open_;
+  std::vector<std::atomic<bool>> failed_;
+  std::atomic<uint32_t> failed_count_{0};
   uint64_t size_ = 0;
   uint64_t cursor_ = 0;
   bool closed_ = false;

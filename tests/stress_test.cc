@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <atomic>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -96,7 +98,9 @@ TEST(StressTest, ParallelClientsOverUdp) {
   constexpr int kClients = 4;
   ObjectDirectory directory;
   std::vector<std::thread> threads;
-  std::vector<bool> ok(kClients, false);
+  // Not vector<bool>: client threads write their own slot concurrently, and
+  // vector<bool> packs adjacent elements into one shared word.
+  std::array<std::atomic<bool>, kClients> ok{};
   for (int c = 0; c < kClients; ++c) {
     threads.emplace_back([&, c] {
       // Per-thread transports (an AgentTransport serializes per instance).

@@ -5,10 +5,14 @@
 //
 //   swift_bench --agents=4751,4752,4753 [--parity] [--unit=65536]
 //               [--size=67108864] [--io=1048576] [--pattern=seq|rand]
-//               [--mode=write|read|readwrite] [--seed=1]
+//               [--mode=write|read|readwrite] [--seed=1] [--window=4]
 //
-// The object ("bench-object") is created, filled, exercised, and removed.
+// --window sets the stripe-unit ops kept in flight per agent (1 = the
+// synchronous stop-and-wait baseline). The object ("bench-object") is
+// created, filled, exercised, and removed; per-agent transport op counters
+// are printed at the end.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -82,7 +86,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: swift_bench --agents=PORT[,PORT...] [--parity] [--unit=BYTES]\n"
                  "       [--size=BYTES] [--io=BYTES] [--pattern=seq|rand]\n"
-                 "       [--mode=write|read|readwrite] [--seed=N]\n");
+                 "       [--mode=write|read|readwrite] [--seed=N] [--window=N]\n");
     return 2;
   }
   const bool parity = FlagPresent(argc, argv, "--parity");
@@ -92,11 +96,15 @@ int main(int argc, char** argv) {
   const std::string pattern = FlagValue(argc, argv, "--pattern", "seq");
   const std::string mode = FlagValue(argc, argv, "--mode", "readwrite");
   const uint64_t seed = static_cast<uint64_t>(std::atoll(FlagValue(argc, argv, "--seed", "1")));
+  const uint32_t window =
+      static_cast<uint32_t>(std::atoi(FlagValue(argc, argv, "--window", "4")));
 
   std::vector<std::unique_ptr<UdpTransport>> transports;
   std::vector<AgentTransport*> raw;
   for (uint16_t port : ports) {
-    transports.push_back(std::make_unique<UdpTransport>(port, UdpTransport::Options{}));
+    UdpTransport::Options options;
+    options.max_in_flight_ops = std::max<uint32_t>(1, window);
+    transports.push_back(std::make_unique<UdpTransport>(port, options));
     raw.push_back(transports.back().get());
   }
 
@@ -109,7 +117,9 @@ int main(int argc, char** argv) {
     plan.agent_ids.push_back(i);
   }
   ObjectDirectory directory;
-  auto file = SwiftFile::Create(plan, raw, &directory);
+  DistributionAgent::Options io_options;
+  io_options.ops_in_flight = std::max<uint32_t>(1, window);
+  auto file = SwiftFile::Create(plan, raw, &directory, io_options);
   if (!file.ok()) {
     std::fprintf(stderr, "create failed: %s\n", file.status().ToString().c_str());
     return 1;
@@ -169,5 +179,23 @@ int main(int argc, char** argv) {
 
   (void)(*file)->Close();
   (void)RemoveObject("bench-object", raw, &directory);
+
+  std::printf("\nper-agent transport counters (window %u):\n",
+              std::max<uint32_t>(1, window));
+  std::printf("%-6s %10s %10s %8s %7s %11s %11s %10s %8s\n", "agent", "submitted",
+              "completed", "retried", "failed", "bytes_read", "bytes_writ",
+              "datagrams", "rexmits");
+  for (size_t i = 0; i < transports.size(); ++i) {
+    const TransportStats stats = transports[i]->stats();
+    std::printf("%-6u %10llu %10llu %8llu %7llu %11s %11s %10llu %8llu\n", ports[i],
+                static_cast<unsigned long long>(stats.ops_submitted),
+                static_cast<unsigned long long>(stats.ops_completed),
+                static_cast<unsigned long long>(stats.ops_retried),
+                static_cast<unsigned long long>(stats.ops_failed),
+                FormatBytes(stats.bytes_read).c_str(),
+                FormatBytes(stats.bytes_written).c_str(),
+                static_cast<unsigned long long>(transports[i]->datagrams_sent()),
+                static_cast<unsigned long long>(transports[i]->retransmissions()));
+  }
   return exit_code;
 }
