@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # CI entry point: tier-1 tests in the default build, then the same suite
-# under ASan/UBSan. Run `./ci.sh tsan` to use ThreadSanitizer for the
+# under ASan/UBSan, then the observability concurrency suite under
+# ThreadSanitizer. Run `./ci.sh tsan` to use ThreadSanitizer for the full
 # sanitized pass instead (slower; not part of the default gate).
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -17,3 +18,22 @@ echo "== tier-1 (${SAN_PRESET}) =="
 cmake --preset "${SAN_PRESET}"
 cmake --build --preset "${SAN_PRESET}" -j "${JOBS}"
 ctest --preset "${SAN_PRESET}" -j "${JOBS}"
+
+if [ "${SAN_PRESET}" != "tsan" ]; then
+  # The lock-free metrics/flight-recorder paths are only meaningfully
+  # exercised under ThreadSanitizer; run just that suite so the default gate
+  # stays fast. Full build: ctest needs every discovered test's include file.
+  echo "== metrics/trace concurrency (tsan) =="
+  cmake --preset tsan
+  cmake --build --preset tsan -j "${JOBS}"
+  ctest --test-dir build-tsan -R '^MetricsTrace' -j "${JOBS}" --output-on-failure
+fi
+
+echo "== agentd --stats-interval smoke =="
+SMOKE_LOG="$(mktemp)"
+./build/tools/swift_agentd --root="$(mktemp -d)" --port=0 --seconds=2 \
+    --stats-interval=1 > "${SMOKE_LOG}" 2>&1
+grep -q '^# swift_agentd metrics' "${SMOKE_LOG}" \
+  || { echo "FAIL: no --stats-interval dump"; cat "${SMOKE_LOG}"; exit 1; }
+rm -f "${SMOKE_LOG}"
+echo "ci: PASS"

@@ -3,8 +3,40 @@
 #include <atomic>
 
 #include "src/proto/message.h"
+#include "src/util/metrics.h"
+#include "src/util/trace.h"
 
 namespace swift {
+
+namespace {
+
+// Registry metrics shared by every agent core in the process.
+struct CoreMetrics {
+  Counter* bytes_read;
+  Counter* bytes_written;
+  Counter* ops;
+};
+
+const CoreMetrics& Metrics() {
+  static const CoreMetrics metrics = [] {
+    MetricRegistry& registry = MetricRegistry::Global();
+    return CoreMetrics{
+        registry.GetCounter("swift_agent_bytes_read_total"),
+        registry.GetCounter("swift_agent_bytes_written_total"),
+        registry.GetCounter("swift_agent_store_ops_total"),
+    };
+  }();
+  return metrics;
+}
+
+// In-proc ops have no UDP request id; give each a process-wide synthetic id
+// so flight-recorder dumps can still correlate start/fail/complete events.
+uint32_t NextInProcOpId() {
+  static std::atomic<uint32_t> next{1u << 31};  // high half: disjoint from UDP ids
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
 
 Result<AgentOpenResult> StorageAgentCore::Open(const std::string& object_name, uint32_t flags) {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -35,6 +67,8 @@ Status StorageAgentCore::Write(uint32_t handle, uint64_t offset, std::span<const
   SWIFT_ASSIGN_OR_RETURN(std::string name, NameFor(handle));
   SWIFT_RETURN_IF_ERROR(store_->WriteAt(name, offset, data));
   bytes_written_ += data.size();
+  Metrics().bytes_written->Increment(data.size());
+  Metrics().ops->Increment();
   return OkStatus();
 }
 
@@ -45,6 +79,8 @@ Result<std::vector<uint8_t>> StorageAgentCore::Read(uint32_t handle, uint64_t of
   auto result = store_->ReadAt(name, offset, length);
   if (result.ok()) {
     bytes_read_ += length;
+    Metrics().bytes_read->Increment(length);
+    Metrics().ops->Increment();
   }
   return result;
 }
@@ -131,23 +167,41 @@ Result<AgentOpenResult> InProcTransport::Open(const std::string& object_name, ui
 }
 
 Status InProcTransport::Write(uint32_t handle, uint64_t offset, std::span<const uint8_t> data) {
+  const uint32_t op_id = NextInProcOpId();
+  FlightRecorder::Global().Record(TraceEventKind::kOpStart, op_id);
   Status status = CheckUp();
   if (status.ok()) {
     status = core_->Write(handle, offset, data);
   }
   Account(status.ok(), 0, status.ok() ? data.size() : 0);
+  if (status.ok()) {
+    FlightRecorder::Global().Record(TraceEventKind::kOpComplete, op_id);
+  } else {
+    FlightRecorder::Global().Record(TraceEventKind::kOpFail, op_id,
+                                    static_cast<uint32_t>(status.code()));
+  }
   return status;
 }
 
 Result<std::vector<uint8_t>> InProcTransport::Read(uint32_t handle, uint64_t offset,
                                                    uint64_t length) {
+  const uint32_t op_id = NextInProcOpId();
+  FlightRecorder::Global().Record(TraceEventKind::kOpStart, op_id);
   Status up = CheckUp();
   if (!up.ok()) {
     Account(false, 0, 0);
+    FlightRecorder::Global().Record(TraceEventKind::kOpFail, op_id,
+                                    static_cast<uint32_t>(up.code()));
     return up;
   }
   auto result = core_->Read(handle, offset, length);
   Account(result.ok(), result.ok() ? length : 0, 0);
+  if (result.ok()) {
+    FlightRecorder::Global().Record(TraceEventKind::kOpComplete, op_id);
+  } else {
+    FlightRecorder::Global().Record(TraceEventKind::kOpFail, op_id,
+                                    static_cast<uint32_t>(result.status().code()));
+  }
   return result;
 }
 

@@ -1,7 +1,10 @@
 #include "src/agent/udp_agent_server.h"
 
+#include <chrono>
+
 #include "src/proto/packetizer.h"
 #include "src/util/logging.h"
+#include "src/util/metrics.h"
 
 namespace swift {
 
@@ -18,6 +21,37 @@ Message ErrorReply(const Message& request, const Status& status) {
   reply.request_id = request.request_id;
   reply.status_code = static_cast<uint32_t>(status.code());
   return reply;
+}
+
+// Wire-level registry metrics shared by every agent server in the process.
+struct ServerMetrics {
+  Counter* datagrams_in;
+  Counter* datagrams_out;
+  Counter* nacks_sent;
+  Counter* stats_requests;
+  HistogramMetric* read_service_us;
+  HistogramMetric* write_service_us;
+};
+
+const ServerMetrics& Metrics() {
+  static const ServerMetrics metrics = [] {
+    MetricRegistry& registry = MetricRegistry::Global();
+    return ServerMetrics{
+        registry.GetCounter("swift_agent_datagrams_in_total"),
+        registry.GetCounter("swift_agent_datagrams_out_total"),
+        registry.GetCounter("swift_agent_nacks_sent_total"),
+        registry.GetCounter("swift_agent_stats_requests_total"),
+        registry.GetHistogram("swift_agent_read_service_us"),
+        registry.GetHistogram("swift_agent_write_service_us"),
+    };
+  }();
+  return metrics;
+}
+
+double ElapsedUs(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
+             std::chrono::steady_clock::now() - since)
+      .count();
 }
 
 }  // namespace
@@ -68,6 +102,10 @@ size_t UdpAgentServer::active_session_count() {
 
 Status UdpAgentServer::SendMessage(UdpSocket& socket, const UdpEndpoint& to,
                                    const Message& message) {
+  Metrics().datagrams_out->Increment();
+  if (message.type == MessageType::kWriteNack) {
+    Metrics().nacks_sent->Increment();
+  }
   return socket.SendTo(to, message.Encode());
 }
 
@@ -84,8 +122,25 @@ void UdpAgentServer::PrimaryLoop() {
     if (!message.ok()) {
       continue;  // corrupted or stray datagram: behave as if lost
     }
+    Metrics().datagrams_in->Increment();
     if (message->type == MessageType::kOpen) {
       HandleOpen(*message, received->from);
+    } else if (message->type == MessageType::kStats) {
+      Metrics().stats_requests->Increment();
+      Message reply;
+      reply.type = MessageType::kStatsReply;
+      reply.request_id = message->request_id;
+      std::string text = MetricRegistry::Global().RenderText();
+      if (text.size() > kMaxPacketPayload) {
+        // A snapshot must fit one datagram; truncate on a line boundary and
+        // mark the cut so readers know the dump is partial.
+        static constexpr char kMarker[] = "# truncated\n";
+        size_t cut = text.rfind('\n', kMaxPacketPayload - sizeof(kMarker));
+        text.resize(cut == std::string::npos ? 0 : cut + 1);
+        text += kMarker;
+      }
+      reply.payload.assign(text.begin(), text.end());
+      (void)SendMessage(primary_socket_, received->from, reply);
     } else if (message->type == MessageType::kRemove) {
       Message reply;
       reply.request_id = message->request_id;
@@ -157,7 +212,9 @@ void UdpAgentServer::SessionLoop(UdpSocket* socket, uint32_t handle) {
     if (!pending.reassembler->complete() || pending.committed) {
       return;
     }
+    const auto service_start = std::chrono::steady_clock::now();
     Status status = core_->Write(handle, pending.offset, pending.reassembler->data());
+    Metrics().write_service_us->Record(ElapsedUs(service_start));
     Message reply;
     reply.handle = handle;
     reply.request_id = request_id;
@@ -183,13 +240,16 @@ void UdpAgentServer::SessionLoop(UdpSocket* socket, uint32_t handle) {
     if (!decoded.ok()) {
       continue;  // treat as lost
     }
+    Metrics().datagrams_in->Increment();
     const Message& m = *decoded;
     const UdpEndpoint& client = received->from;
 
     switch (m.type) {
       case MessageType::kReadReq: {
         // One DATA packet per request, served immediately.
+        const auto service_start = std::chrono::steady_clock::now();
         auto data = core_->Read(handle, m.offset, m.read_length);
+        Metrics().read_service_us->Record(ElapsedUs(service_start));
         if (!data.ok()) {
           (void)SendMessage(*socket, client, ErrorReply(m, data.status()));
           break;

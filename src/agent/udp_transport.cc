@@ -18,6 +18,8 @@
 
 #include "src/proto/packetizer.h"
 #include "src/util/logging.h"
+#include "src/util/metrics.h"
+#include "src/util/trace.h"
 
 namespace swift {
 
@@ -30,6 +32,44 @@ Status StatusFromWire(uint32_t code, const std::string& context) {
     return OkStatus();
   }
   return Status(static_cast<StatusCode>(code), "agent error during " + context);
+}
+
+// Registry metrics shared by every UdpTransport in the process (pointers are
+// stable, so they are resolved once and cached).
+struct ClientMetrics {
+  Counter* datagrams_sent;
+  Counter* retransmissions;
+  Counter* backoff_resets;
+  Counter* reactor_wakeups;
+  HistogramMetric* rpc_us;
+  HistogramMetric* read_us;
+  HistogramMetric* write_us;
+};
+
+const ClientMetrics& Metrics() {
+  static const ClientMetrics metrics = [] {
+    MetricRegistry& registry = MetricRegistry::Global();
+    return ClientMetrics{
+        registry.GetCounter("swift_udp_client_datagrams_sent_total"),
+        registry.GetCounter("swift_udp_client_retransmissions_total"),
+        registry.GetCounter("swift_udp_client_backoff_resets_total"),
+        registry.GetCounter("swift_udp_client_reactor_wakeups_total"),
+        registry.GetHistogram("swift_udp_client_rpc_latency_us"),
+        registry.GetHistogram("swift_udp_client_read_latency_us"),
+        registry.GetHistogram("swift_udp_client_write_latency_us"),
+    };
+  }();
+  return metrics;
+}
+
+uint32_t SaturateU32(double value) {
+  if (value <= 0) {
+    return 0;
+  }
+  if (value >= static_cast<double>(UINT32_MAX)) {
+    return UINT32_MAX;
+  }
+  return static_cast<uint32_t>(value);
 }
 
 }  // namespace
@@ -67,7 +107,9 @@ class UdpTransport::Reactor {
         : reactor_(reactor),
           session_(std::move(session)),
           request_id_(request_id),
-          timeout_ms_(reactor_->policy_.FirstTimeout()) {}
+          timeout_ms_(reactor_->policy_.FirstTimeout()) {
+      FlightRecorder::Global().Record(TraceEventKind::kOpStart, request_id_);
+    }
     virtual ~PendingOp() = default;
 
     uint32_t request_id() const { return request_id_; }
@@ -89,25 +131,55 @@ class UdpTransport::Reactor {
 
     Status Send(const Message& m) {
       transport()->datagrams_sent_.fetch_add(1, std::memory_order_relaxed);
+      Metrics().datagrams_sent->Increment();
       return session_->socket.SendTo(session_->agent, m.Encode());
     }
     Status Resend(const Message& m) {
       transport()->retransmissions_.fetch_add(1, std::memory_order_relaxed);
+      Metrics().retransmissions->Increment();
+      FlightRecorder::Global().Record(TraceEventKind::kOpRetry, request_id_,
+                                      static_cast<uint32_t>(timeouts_));
       return Send(m);
     }
     void ArmDeadline() { deadline_ = Clock::now() + std::chrono::milliseconds(timeout_ms_); }
     void Backoff() { timeout_ms_ = reactor_->policy_.NextTimeout(timeout_ms_); }
     // Counts one more consecutive timeout against the shared budget.
-    bool BudgetExhausted() { return reactor_->policy_.Exhausted(++timeouts_); }
+    bool BudgetExhausted() {
+      if (reactor_->policy_.Exhausted(++timeouts_)) {
+        FlightRecorder::Global().Record(TraceEventKind::kOpTimeout, request_id_,
+                                        static_cast<uint32_t>(timeouts_));
+        return true;
+      }
+      return false;
+    }
     // Progress: forget consecutive timeouts; optionally restart the backoff
     // schedule too (reads do, writes keep the current timeout on a NACK).
     void NoteProgress(bool reset_backoff) {
       timeouts_ = 0;
       if (reset_backoff) {
+        if (timeout_ms_ != reactor_->policy_.FirstTimeout()) {
+          Metrics().backoff_resets->Increment();
+        }
         timeout_ms_ = reactor_->policy_.FirstTimeout();
       }
     }
     void CountRetry() { transport()->ops_retried_.fetch_add(1, std::memory_order_relaxed); }
+
+    // Registry + flight-recorder bookkeeping shared by every op's Finish:
+    // records the op latency and a completion (arg = latency µs) or failure
+    // (arg = status code) trace event.
+    void RecordDone(HistogramMetric* latency_us, bool ok, StatusCode code) {
+      const double us = std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
+                            Clock::now() - started_)
+                            .count();
+      latency_us->Record(us);
+      if (ok) {
+        FlightRecorder::Global().Record(TraceEventKind::kOpComplete, request_id_, SaturateU32(us));
+      } else {
+        FlightRecorder::Global().Record(TraceEventKind::kOpFail, request_id_,
+                                        static_cast<uint32_t>(code));
+      }
+    }
 
     Reactor* reactor_;
     SessionPtr session_;
@@ -115,6 +187,7 @@ class UdpTransport::Reactor {
     int timeout_ms_;
     int timeouts_ = 0;  // consecutive timeouts since last progress
     Clock::time_point deadline_{};
+    Clock::time_point started_ = Clock::now();
   };
 
   // Control RPC (OPEN/STAT/TRUNCATE/CLOSE/REMOVE): one request datagram,
@@ -171,6 +244,7 @@ class UdpTransport::Reactor {
    private:
     bool Finish(Result<Message> result) {
       transport()->AccountOpDone(result.ok());
+      RecordDone(Metrics().rpc_us, result.ok(), result.status().code());
       done_(std::move(result));
       return true;
     }
@@ -275,6 +349,7 @@ class UdpTransport::Reactor {
 
     bool Finish(Result<std::vector<uint8_t>> result) {
       transport()->AccountOpDone(result.ok());
+      RecordDone(Metrics().read_us, result.ok(), result.status().code());
       done_(std::move(result));
       return true;
     }
@@ -376,6 +451,7 @@ class UdpTransport::Reactor {
    private:
     bool Finish(Status status) {
       transport()->AccountOpDone(status.ok());
+      RecordDone(Metrics().write_us, status.ok(), status.code());
       done_(std::move(status));
       return true;
     }
@@ -592,6 +668,7 @@ class UdpTransport::Reactor {
                       1);
       }
       ::poll(pfds.data(), pfds.size(), timeout_ms);
+      Metrics().reactor_wakeups->Increment();
 
       if (pfds[0].revents & POLLIN) {
         uint8_t buf[64];
@@ -847,6 +924,22 @@ Status UdpTransport::Remove(const std::string& object_name) {
   Status status = reactor_->Call(session, std::move(request), {MessageType::kRemoveAck}).status();
   reactor_->RemoveSession(session);
   return status;
+}
+
+Result<std::string> UdpTransport::FetchStats() {
+  // Agent-scoped like Remove: a transient session speaking to the well-known
+  // port.
+  SWIFT_ASSIGN_OR_RETURN(auto session, reactor_->NewSession());
+  reactor_->AddSession(session);
+  Message request;
+  request.type = MessageType::kStats;
+  request.request_id = NextRequestId();
+  auto reply = reactor_->Call(session, std::move(request), {MessageType::kStatsReply});
+  reactor_->RemoveSession(session);
+  if (!reply.ok()) {
+    return reply.status();
+  }
+  return std::string(reply->payload.begin(), reply->payload.end());
 }
 
 void UdpTransport::Drain() { reactor_->Drain(); }

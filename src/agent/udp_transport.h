@@ -98,6 +98,11 @@ class UdpTransport : public AgentTransport {
   Status Close(uint32_t handle) override;
   Status Remove(const std::string& object_name) override;
 
+  // Pulls a metrics snapshot (Prometheus-style text) from the agent's
+  // well-known port via the STATS op. Same retry/backoff semantics as the
+  // other control RPCs.
+  Result<std::string> FetchStats();
+
   void StartRead(uint32_t handle, uint64_t offset, uint64_t length,
                  ReadCompletion done) override;
   void StartWrite(uint32_t handle, uint64_t offset, std::span<const uint8_t> data,

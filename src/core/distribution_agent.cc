@@ -1,13 +1,36 @@
 #include "src/core/distribution_agent.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "src/util/logging.h"
+#include "src/util/metrics.h"
 
 namespace swift {
 
 namespace {
+
 constexpr uint32_t kMaxWorkers = 16;
+
+// Registry metrics shared by every distribution agent in the process.
+struct DistMetrics {
+  Gauge* queue_depth;
+  Gauge* ops_in_flight;
+  HistogramMetric* batch_us;
+};
+
+const DistMetrics& Metrics() {
+  static const DistMetrics metrics = [] {
+    MetricRegistry& registry = MetricRegistry::Global();
+    return DistMetrics{
+        registry.GetGauge("swift_dist_queue_depth"),
+        registry.GetGauge("swift_dist_ops_in_flight"),
+        registry.GetHistogram("swift_dist_batch_latency_us"),
+    };
+  }();
+  return metrics;
+}
+
 }  // namespace
 
 DistributionAgent::DistributionAgent(std::vector<AgentTransport*> transports)
@@ -72,12 +95,15 @@ void DistributionAgent::WorkerLoop() {
       columns_[column].queue.pop_front();
       ++columns_[column].in_flight;
     }
+    Metrics().queue_depth->Add(-1);
+    Metrics().ops_in_flight->Add(1);
     const uint32_t c = static_cast<uint32_t>(column);
     op(transports_[c], [this, c](Status) { OnOpDone(c); });
   }
 }
 
 void DistributionAgent::OnOpDone(uint32_t column) {
+  Metrics().ops_in_flight->Add(-1);
   // Notify while holding the lock: the destructor waits on idle_cv_ under
   // mutex_ and frees this object as soon as pending_ hits zero, so touching
   // the condition variables after unlocking would race with destruction.
@@ -101,6 +127,7 @@ void DistributionAgent::Submit(uint32_t column, AsyncOp op) {
     columns_[column].queue.push_back(std::move(op));
     ++pending_;
   }
+  Metrics().queue_depth->Add(1);
   work_cv_.notify_one();
 }
 
@@ -158,6 +185,10 @@ void OpBatch::Submit(uint32_t column, DistributionAgent::AsyncOp op) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     ++outstanding_;
+    if (!batch_timing_armed_) {
+      batch_timing_armed_ = true;
+      batch_start_ = std::chrono::steady_clock::now();
+    }
   }
   agent_->Submit(column, [this, column, op = std::move(op)](AgentTransport* transport,
                                                            DistributionAgent::Completion done) {
@@ -185,6 +216,13 @@ void OpBatch::Submit(uint32_t column, DistributionAgent::AsyncOp op) {
 std::vector<Status> OpBatch::Wait() {
   std::unique_lock<std::mutex> lock(mutex_);
   cv_.wait(lock, [this] { return outstanding_ == 0; });
+  if (batch_timing_armed_) {
+    batch_timing_armed_ = false;
+    Metrics().batch_us->Record(
+        std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
+            std::chrono::steady_clock::now() - batch_start_)
+            .count());
+  }
   return column_status_;
 }
 

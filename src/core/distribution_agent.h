@@ -20,6 +20,7 @@
 #ifndef SWIFT_SRC_CORE_DISTRIBUTION_AGENT_H_
 #define SWIFT_SRC_CORE_DISTRIBUTION_AGENT_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -126,6 +127,10 @@ class OpBatch {
   std::condition_variable cv_;
   uint64_t outstanding_ = 0;
   std::vector<Status> column_status_;
+  // For the batch-completion latency histogram: set by the first Submit of a
+  // wait round, consumed (and re-armed) by Wait.
+  std::chrono::steady_clock::time_point batch_start_{};
+  bool batch_timing_armed_ = false;
 };
 
 }  // namespace swift

@@ -1,16 +1,45 @@
 #include "src/core/swift_file.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <mutex>
 
 #include "src/core/parity.h"
 #include "src/proto/message.h"
 #include "src/util/logging.h"
+#include "src/util/metrics.h"
 
 namespace swift {
 
 namespace {
+
+// Registry metrics shared by every SwiftFile in the process.
+struct FileMetrics {
+  HistogramMetric* read_us;
+  HistogramMetric* write_us;
+  HistogramMetric* degraded_read_us;
+  Counter* parity_reconstructions;
+};
+
+const FileMetrics& Metrics() {
+  static const FileMetrics metrics = [] {
+    MetricRegistry& registry = MetricRegistry::Global();
+    return FileMetrics{
+        registry.GetHistogram("swift_file_read_latency_us"),
+        registry.GetHistogram("swift_file_write_latency_us"),
+        registry.GetHistogram("swift_file_degraded_read_latency_us"),
+        registry.GetCounter("swift_file_parity_reconstructions_total"),
+    };
+  }();
+  return metrics;
+}
+
+double ElapsedUs(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
 
 // Combines a batch's per-column statuses into one. kUnavailable wins — it is
 // the signal the retry loops react to (re-plan degraded) — otherwise the
@@ -236,7 +265,16 @@ Result<uint64_t> SwiftFile::PRead(uint64_t offset, std::span<uint8_t> out) {
     return static_cast<uint64_t>(0);
   }
   const uint64_t length = std::min<uint64_t>(out.size(), size_ - offset);
+  // A read that starts with failed columns exercises the reconstruction
+  // path; bucket it separately so degraded-mode latency is visible.
+  const bool degraded = failed_count_.load() > 0;
+  const auto start = std::chrono::steady_clock::now();
   SWIFT_RETURN_IF_ERROR(ReadRange(offset, out.subspan(0, length)));
+  const double us = ElapsedUs(start);
+  Metrics().read_us->Record(us);
+  if (degraded) {
+    Metrics().degraded_read_us->Record(us);
+  }
   return length;
 }
 
@@ -247,7 +285,9 @@ Result<uint64_t> SwiftFile::PWrite(uint64_t offset, std::span<const uint8_t> dat
   if (data.empty()) {
     return static_cast<uint64_t>(0);
   }
+  const auto start = std::chrono::steady_clock::now();
   SWIFT_RETURN_IF_ERROR(WriteRange(offset, data));
+  Metrics().write_us->Record(ElapsedUs(start));
   size_ = std::max(size_, offset + data.size());
   if (directory_ != nullptr) {
     SWIFT_RETURN_IF_ERROR(directory_->UpdateSize(name_, size_));
@@ -456,6 +496,7 @@ Result<std::vector<uint8_t>> SwiftFile::ReconstructUnit(uint64_t row, uint32_t l
     }
     SWIFT_RETURN_IF_ERROR(status);
   }
+  Metrics().parity_reconstructions->Increment();
   return rebuilt;
 }
 

@@ -48,6 +48,10 @@ const char* MessageTypeName(MessageType type) {
       return "REMOVE";
     case MessageType::kRemoveAck:
       return "REMOVE_ACK";
+    case MessageType::kStats:
+      return "STATS";
+    case MessageType::kStatsReply:
+      return "STATS_REPLY";
   }
   return "UNKNOWN";
 }
@@ -112,7 +116,7 @@ Result<Message> Message::Decode(std::span<const uint8_t> datagram) {
   }
   Message m;
   const uint8_t raw_type = r.GetU8();
-  if (raw_type < 1 || raw_type > static_cast<uint8_t>(MessageType::kRemoveAck)) {
+  if (raw_type < 1 || raw_type > static_cast<uint8_t>(MessageType::kStatsReply)) {
     return InvalidArgumentError("unknown message type");
   }
   m.type = static_cast<MessageType>(raw_type);

@@ -64,6 +64,8 @@ enum class MessageType : uint8_t {
                     //             else kWriteNack with the missing seqs)
   kRemove = 16,     // client → agent (well-known port): delete a store file
   kRemoveAck = 17,  // agent → client
+  kStats = 18,      // client → agent (well-known port): pull a metrics snapshot
+  kStatsReply = 19, // agent → client: payload carries the rendered registry text
 };
 
 const char* MessageTypeName(MessageType type);

@@ -1,8 +1,35 @@
 #include "src/sim/report.h"
 
+#include <cctype>
 #include <cstdio>
 
+#include "src/util/metrics.h"
+
 namespace swift {
+
+namespace {
+
+// "Swift read (1 MB)" -> "swift_bench_swift_read_1_mb": a registry-legal
+// metric name derived from a row label.
+std::string BenchMetricName(const std::string& label) {
+  std::string name = "swift_bench_";
+  bool last_underscore = true;
+  for (char c : label) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      name.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+      last_underscore = false;
+    } else if (!last_underscore) {
+      name.push_back('_');
+      last_underscore = true;
+    }
+  }
+  while (!name.empty() && name.back() == '_') {
+    name.pop_back();
+  }
+  return name;
+}
+
+}  // namespace
 
 void PrintTableHeader(const std::string& title, const std::string& paper_reference,
                       bool with_columns) {
@@ -28,6 +55,18 @@ void PrintSampleRow(const std::string& label, const SampleStats& measured,
               label.c_str(), measured.mean(), measured.stddev(), measured.min(), measured.max(),
               paper.mean, paper.stddev, paper.ci_low, paper.ci_high, ratio);
   (void)ci;
+
+  // Mirror the row's samples into the live metrics registry and show its
+  // quantile view next to the SampleStats line, so the registry export path
+  // and the table agree on the same data.
+  const std::string metric_name = BenchMetricName(label);
+  HistogramMetric* histogram = MetricRegistry::Global().GetHistogram(metric_name);
+  for (double sample : measured.samples()) {
+    histogram->Record(sample);
+  }
+  const HistogramMetric::Snapshot snap = histogram->Snap();
+  std::printf("  registry %s: p50 %.0f p90 %.0f p99 %.0f (n=%llu)\n", metric_name.c_str(),
+              snap.P50(), snap.P90(), snap.P99(), static_cast<unsigned long long>(snap.count));
 }
 
 void PrintSeriesHeader(const std::string& x_label, const std::string& y_label,

@@ -1,6 +1,7 @@
 #include "src/util/logging.h"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -10,7 +11,18 @@ namespace swift {
 
 namespace {
 
-std::atomic<LogLevel> g_min_level{LogLevel::kInfo};
+LogLevel InitialLogLevel() {
+  const char* env = std::getenv("SWIFT_LOG_LEVEL");
+  if (env != nullptr) {
+    if (std::optional<LogLevel> parsed = ParseLogLevel(env); parsed.has_value()) {
+      return *parsed;
+    }
+    std::fprintf(stderr, "[W logging.cc] ignoring unparseable SWIFT_LOG_LEVEL='%s'\n", env);
+  }
+  return LogLevel::kInfo;
+}
+
+std::atomic<LogLevel> g_min_level{InitialLogLevel()};
 
 // Serializes whole lines; the UDP agent logs from several threads.
 std::mutex& LogMutex() {
@@ -44,6 +56,30 @@ const char* Basename(const char* path) {
 void SetMinLogLevel(LogLevel level) { g_min_level.store(level, std::memory_order_relaxed); }
 
 LogLevel MinLogLevel() { return g_min_level.load(std::memory_order_relaxed); }
+
+std::optional<LogLevel> ParseLogLevel(std::string_view name) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) {
+    lower.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "debug") {
+    return LogLevel::kDebug;
+  }
+  if (lower == "info") {
+    return LogLevel::kInfo;
+  }
+  if (lower == "warning" || lower == "warn") {
+    return LogLevel::kWarning;
+  }
+  if (lower == "error") {
+    return LogLevel::kError;
+  }
+  if (lower == "fatal") {
+    return LogLevel::kFatal;
+  }
+  return std::nullopt;
+}
 
 void EmitLogMessage(LogLevel level, const char* file, int line, const std::string& message) {
   {

@@ -9,18 +9,25 @@
 #ifndef SWIFT_SRC_UTIL_LOGGING_H_
 #define SWIFT_SRC_UTIL_LOGGING_H_
 
+#include <optional>
 #include <ostream>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace swift {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
 
 // Process-wide minimum level; messages below it are discarded. Defaults to
-// kInfo.
+// kInfo, or to the level named by the SWIFT_LOG_LEVEL environment variable
+// (e.g. SWIFT_LOG_LEVEL=debug) when it is set and parses.
 void SetMinLogLevel(LogLevel level);
 LogLevel MinLogLevel();
+
+// Case-insensitive level name parsing: "debug", "info", "warning" (or
+// "warn"), "error", "fatal". Returns nullopt for anything else.
+std::optional<LogLevel> ParseLogLevel(std::string_view name);
 
 // Internal: emits a completed message. Aborts the process after a kFatal.
 void EmitLogMessage(LogLevel level, const char* file, int line, const std::string& message);

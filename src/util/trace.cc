@@ -1,0 +1,153 @@
+#include "src/util/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+
+namespace swift {
+
+namespace {
+
+uint64_t TraceEpochNs() {
+  static const uint64_t epoch = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+  return epoch;
+}
+
+constexpr uint64_t kTimestampMask = (uint64_t{1} << 56) - 1;
+
+}  // namespace
+
+const char* TraceEventKindName(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kOpStart:
+      return "OP_START";
+    case TraceEventKind::kOpRetry:
+      return "OP_RETRY";
+    case TraceEventKind::kOpTimeout:
+      return "OP_TIMEOUT";
+    case TraceEventKind::kOpComplete:
+      return "OP_COMPLETE";
+    case TraceEventKind::kOpFail:
+      return "OP_FAIL";
+  }
+  return "OP_UNKNOWN";
+}
+
+// Single-writer ring. Each slot is published seqlock-style: the owner stores
+// seq=0 (invalid), the payload words, then seq=index+1 with release ordering;
+// readers load seq (acquire), the payload, then re-check seq and drop the
+// slot if it changed underneath them. All slot fields are atomics, so
+// concurrent read/overwrite is a data-race-free torn-read drop, not UB.
+class FlightRecorder::Ring {
+ public:
+  void Push(TraceEventKind kind, uint32_t request_id, uint32_t arg) {
+    const uint64_t index = next_++;  // owner thread only
+    Slot& slot = slots_[index & (kRingCapacity - 1)];
+    slot.seq.store(0, std::memory_order_release);
+    const uint64_t now = FlightRecorder::NowNs();
+    slot.time_kind.store((static_cast<uint64_t>(kind) << 56) | (now & kTimestampMask),
+                         std::memory_order_relaxed);
+    slot.ids.store((static_cast<uint64_t>(request_id) << 32) | arg,
+                   std::memory_order_relaxed);
+    slot.seq.store(index + 1, std::memory_order_release);
+  }
+
+  void Collect(std::vector<TraceEvent>& out) const {
+    for (const Slot& slot : slots_) {
+      const uint64_t seq = slot.seq.load(std::memory_order_acquire);
+      if (seq == 0) {
+        continue;  // never written, or mid-write
+      }
+      const uint64_t time_kind = slot.time_kind.load(std::memory_order_acquire);
+      const uint64_t ids = slot.ids.load(std::memory_order_acquire);
+      if (slot.seq.load(std::memory_order_acquire) != seq) {
+        continue;  // overwritten while we were reading
+      }
+      TraceEvent event;
+      event.timestamp_ns = time_kind & kTimestampMask;
+      event.kind = static_cast<TraceEventKind>(time_kind >> 56);
+      event.request_id = static_cast<uint32_t>(ids >> 32);
+      event.arg = static_cast<uint32_t>(ids);
+      out.push_back(event);
+    }
+  }
+
+ private:
+  struct Slot {
+    std::atomic<uint64_t> seq{0};
+    std::atomic<uint64_t> time_kind{0};
+    std::atomic<uint64_t> ids{0};
+  };
+  Slot slots_[kRingCapacity];
+  uint64_t next_ = 0;
+};
+
+FlightRecorder& FlightRecorder::Global() {
+  static FlightRecorder* recorder = new FlightRecorder();  // never destroyed
+  return *recorder;
+}
+
+uint64_t FlightRecorder::NowNs() {
+  // Fix the epoch before sampling the clock: on the very first call the
+  // epoch initializes to a reading taken after `now` would be, and the
+  // unsigned subtraction would wrap.
+  const uint64_t epoch = TraceEpochNs();
+  const uint64_t now = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+  return now - epoch;
+}
+
+FlightRecorder::Ring* FlightRecorder::RingForThisThread() {
+  // The shared_ptr in rings_ keeps the ring alive past thread exit, so a
+  // dump after a worker finished still sees its events.
+  thread_local Ring* ring = [this] {
+    auto owned = std::make_shared<Ring>();
+    Ring* raw = owned.get();
+    std::lock_guard<std::mutex> lock(mutex_);
+    rings_.push_back(std::move(owned));
+    return raw;
+  }();
+  return ring;
+}
+
+void FlightRecorder::Record(TraceEventKind kind, uint32_t request_id, uint32_t arg) {
+  RingForThisThread()->Push(kind, request_id, arg);
+}
+
+std::vector<TraceEvent> FlightRecorder::Snapshot() const {
+  std::vector<std::shared_ptr<Ring>> rings;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    rings = rings_;
+  }
+  std::vector<TraceEvent> events;
+  for (const auto& ring : rings) {
+    ring->Collect(events);
+  }
+  std::sort(events.begin(), events.end(), [](const TraceEvent& a, const TraceEvent& b) {
+    return a.timestamp_ns < b.timestamp_ns;
+  });
+  return events;
+}
+
+std::string FlightRecorder::Dump() const {
+  const std::vector<TraceEvent> events = Snapshot();
+  std::string out = "flight-recorder: " + std::to_string(events.size()) + " events\n";
+  char line[128];
+  for (const TraceEvent& event : events) {
+    std::snprintf(line, sizeof(line), "  +%.6fs %s req=%" PRIu32 " arg=%" PRIu32 "\n",
+                  static_cast<double>(event.timestamp_ns) / 1e9, TraceEventKindName(event.kind),
+                  event.request_id, event.arg);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace swift

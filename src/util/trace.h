@@ -1,0 +1,76 @@
+// Flight recorder: per-thread lock-free ring buffers of trace events, merged
+// chronologically on read. Each event is (steady timestamp, kind, request id,
+// small argument) — keyed by the UDP transport's request id so a dump after a
+// fault reconstructs which ops started, retried, timed out, completed, or
+// failed, in order, across every thread.
+//
+// Recording is wait-free for the owning thread: a thread writes only its own
+// ring, publishing each slot with a seqlock-style sequence word. Readers
+// (Snapshot/Dump) take the registration mutex to walk the rings but read the
+// slots lock-free, dropping any slot the owner overwrote mid-read. Rings are
+// bounded (kRingCapacity events per thread); old events are overwritten.
+
+#ifndef SWIFT_SRC_UTIL_TRACE_H_
+#define SWIFT_SRC_UTIL_TRACE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace swift {
+
+enum class TraceEventKind : uint8_t {
+  kOpStart = 1,    // op submitted; arg = op tag (transport-specific)
+  kOpRetry = 2,    // a datagram for the op was retransmitted; arg = timeout round
+  kOpTimeout = 3,  // retry budget exhausted; arg = timeout rounds used
+  kOpComplete = 4, // op finished OK; arg = latency in microseconds (saturated)
+  kOpFail = 5,     // op finished with an error; arg = status code
+};
+
+const char* TraceEventKindName(TraceEventKind kind);
+
+struct TraceEvent {
+  uint64_t timestamp_ns = 0;  // steady ns since process trace epoch
+  uint32_t request_id = 0;
+  uint32_t arg = 0;
+  TraceEventKind kind = TraceEventKind::kOpStart;
+};
+
+class FlightRecorder {
+ public:
+  static constexpr size_t kRingCapacity = 4096;  // per thread, power of two
+
+  static FlightRecorder& Global();
+
+  // Wait-free on the calling thread (after its first call, which registers
+  // the thread's ring).
+  void Record(TraceEventKind kind, uint32_t request_id, uint32_t arg = 0);
+
+  // All currently-readable events across every thread, merged in timestamp
+  // order. Weakly consistent while writers are active.
+  std::vector<TraceEvent> Snapshot() const;
+
+  // Human-readable chronological dump, one event per line:
+  //   "  +0.001234s OP_RETRY req=17 arg=2"
+  std::string Dump() const;
+
+  // Steady time on the same epoch as TraceEvent::timestamp_ns, so callers
+  // can take a cut point and filter Snapshot() to events after it.
+  static uint64_t NowNs();
+
+ private:
+  class Ring;
+
+  FlightRecorder() = default;
+  Ring* RingForThisThread();
+
+  mutable std::mutex mutex_;
+  std::vector<std::shared_ptr<Ring>> rings_;
+};
+
+}  // namespace swift
+
+#endif  // SWIFT_SRC_UTIL_TRACE_H_

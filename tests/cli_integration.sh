@@ -20,12 +20,16 @@ cleanup() {
 }
 trap cleanup EXIT
 
-# Start three agents on ephemeral-ish ports derived from the PID.
+# Start three agents on ephemeral-ish ports derived from the PID. Agent 0
+# additionally exercises the periodic stats dump and the log-level env var.
 BASE_PORT=$(( 20000 + ($$ % 20000) ))
 PORTS=""
 for i in 0 1 2; do
   port=$((BASE_PORT + i))
-  "$AGENTD" --root="$WORK/agent$i" --port=$port --seconds=60 >"$WORK/agent$i.log" 2>&1 &
+  extra=""
+  [ "$i" = 0 ] && extra="--stats-interval=1"
+  SWIFT_LOG_LEVEL=debug "$AGENTD" --root="$WORK/agent$i" --port=$port --seconds=60 \
+      $extra >"$WORK/agent$i.log" 2>&1 &
   PIDS="$PIDS $!"
   PORTS="$PORTS,$port"
 done
@@ -44,6 +48,18 @@ $CLI ls | grep -q archive || { echo "FAIL: ls"; exit 1; }
 $CLI get archive "$WORK/copy.bin"
 cmp "$WORK/original.bin" "$WORK/copy.bin" || { echo "FAIL: round trip differs"; exit 1; }
 
+# Live metrics over the STATS op: after the striped workload the agent must
+# report non-zero op counters and populated latency histograms.
+$CLI stats "$BASE_PORT" > "$WORK/stats.txt"
+grep -Eq '^swift_agent_datagrams_in_total [1-9][0-9]*$' "$WORK/stats.txt" \
+  || { echo "FAIL: stats datagram counter"; exit 1; }
+grep -Eq '^swift_agent_write_service_us_count [1-9][0-9]*$' "$WORK/stats.txt" \
+  || { echo "FAIL: stats service histogram"; exit 1; }
+grep -q 'quantile="0.99"' "$WORK/stats.txt" || { echo "FAIL: stats quantiles"; exit 1; }
+$CLI stats > "$WORK/stats_all.txt"
+[ "$(grep -c '^=== agent' "$WORK/stats_all.txt")" = 3 ] \
+  || { echo "FAIL: stats fan-out over all agents"; exit 1; }
+
 # Replace agent 1: wipe its store, rebuild, verify byte-exact.
 rm -f "$WORK/agent1/archive"
 $CLI rebuild archive 1
@@ -56,5 +72,12 @@ $CLI ls | grep -q archive && { echo "FAIL: still listed after rm"; exit 1; }
 for i in 0 1 2; do
   [ -e "$WORK/agent$i/archive" ] && { echo "FAIL: store file survived rm"; exit 1; }
 done
+
+# Agent 0 dumps its registry to stdout every second (--stats-interval=1);
+# give it a beat past the interval and check the dump is well formed.
+sleep 1.5
+grep -q '^# swift_agentd metrics' "$WORK/agent0.log" || { echo "FAIL: no interval dump"; exit 1; }
+grep -Eq '^swift_agent_[a-z0-9_]+ [0-9]' "$WORK/agent0.log" \
+  || { echo "FAIL: malformed interval dump"; exit 1; }
 
 echo "cli_integration: PASS"

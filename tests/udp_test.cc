@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <set>
 #include <vector>
 
 #include "src/agent/backing_store.h"
@@ -16,6 +17,7 @@
 #include "src/core/object_directory.h"
 #include "src/core/swift_file.h"
 #include "src/util/rng.h"
+#include "src/util/trace.h"
 #include "src/util/units.h"
 
 namespace swift {
@@ -117,6 +119,7 @@ TEST(UdpEndToEndTest, MultipleTransportsOneAgent) {
 TEST(UdpEndToEndTest, SurvivesHeavyPacketLoss) {
   // 20% loss in both directions; the retransmission machinery must converge
   // to byte-exact transfers ("can resubmit requests when packets are lost").
+  const uint64_t trace_cut = FlightRecorder::NowNs();
   AgentUnderTest agent(UdpAgentServer::Options{.port = 0, .loss_probability = 0.2, .loss_seed = 7});
   UdpTransport::Options options;
   options.loss_probability = 0.2;
@@ -132,6 +135,36 @@ TEST(UdpEndToEndTest, SurvivesHeavyPacketLoss) {
   ASSERT_TRUE(read.ok()) << read.status().ToString();
   EXPECT_EQ(*read, data);
   EXPECT_GT(transport.retransmissions(), 0u);
+
+  // The flight recorder must account for every retransmission: each retried
+  // request id has an OP_START and reached a terminal event (complete, or a
+  // timeout/fail for ops that exhausted their budget).
+  std::set<uint32_t> started;
+  std::set<uint32_t> retried;
+  std::set<uint32_t> terminal;
+  for (const TraceEvent& event : FlightRecorder::Global().Snapshot()) {
+    if (event.timestamp_ns < trace_cut) {
+      continue;
+    }
+    switch (event.kind) {
+      case TraceEventKind::kOpStart:
+        started.insert(event.request_id);
+        break;
+      case TraceEventKind::kOpRetry:
+        retried.insert(event.request_id);
+        break;
+      case TraceEventKind::kOpTimeout:
+      case TraceEventKind::kOpComplete:
+      case TraceEventKind::kOpFail:
+        terminal.insert(event.request_id);
+        break;
+    }
+  }
+  EXPECT_FALSE(retried.empty()) << "retransmissions happened but left no OP_RETRY events";
+  for (uint32_t id : retried) {
+    EXPECT_TRUE(started.count(id)) << "OP_RETRY for request " << id << " has no OP_START";
+    EXPECT_TRUE(terminal.count(id)) << "retried request " << id << " never reached a terminal event";
+  }
 }
 
 TEST(UdpEndToEndTest, DeadAgentSurfacesAsUnavailable) {

@@ -6,9 +6,13 @@
 // exclusively the Swift storage agent software").
 //
 //   swift_agentd --root=/var/swift/agent0 [--port=4751] [--seconds=N]
+//               [--stats-interval=N]
 //
 // Runs until SIGINT/SIGTERM (or for --seconds, for scripting). Pair it with
-// swift_cli to store and fetch striped objects.
+// swift_cli to store and fetch striped objects. With --stats-interval=N the
+// agent dumps its metrics registry (Prometheus-style text) to stdout every N
+// seconds; the same snapshot is served live via the protocol's STATS op.
+// SWIFT_LOG_LEVEL=debug|info|warning|error controls log verbosity.
 
 #include <csignal>
 #include <cstdio>
@@ -23,6 +27,7 @@
 #include "src/agent/storage_agent.h"
 #include "src/agent/udp_agent_server.h"
 #include "src/proto/message.h"
+#include "src/util/metrics.h"
 
 namespace {
 
@@ -46,9 +51,10 @@ int main(int argc, char** argv) {
   const char* root = FlagValue(argc, argv, "--root");
   const char* port_flag = FlagValue(argc, argv, "--port");
   const char* seconds_flag = FlagValue(argc, argv, "--seconds");
+  const char* stats_flag = FlagValue(argc, argv, "--stats-interval");
   if (root == nullptr) {
     std::fprintf(stderr,
-                 "usage: swift_agentd --root=DIR [--port=%u] [--seconds=N]\n"
+                 "usage: swift_agentd --root=DIR [--port=%u] [--seconds=N] [--stats-interval=N]\n"
                  "serves Swift storage-agent protocol over UDP, storing objects in DIR\n",
                  swift::kDefaultAgentPort);
     return 2;
@@ -72,11 +78,22 @@ int main(int argc, char** argv) {
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
   const int limit_seconds = seconds_flag != nullptr ? std::atoi(seconds_flag) : -1;
+  const int stats_interval = stats_flag != nullptr ? std::atoi(stats_flag) : 0;
   for (int elapsed = 0; g_stop == 0; ++elapsed) {
     if (limit_seconds >= 0 && elapsed >= limit_seconds) {
       break;
     }
+    if (stats_interval > 0 && elapsed > 0 && elapsed % stats_interval == 0) {
+      std::printf("# swift_agentd metrics (t=%ds)\n%s", elapsed,
+                  swift::MetricRegistry::Global().RenderText().c_str());
+      std::fflush(stdout);
+    }
     ::sleep(1);
+  }
+  if (stats_interval > 0) {
+    std::printf("# swift_agentd metrics (final)\n%s",
+                swift::MetricRegistry::Global().RenderText().c_str());
+    std::fflush(stdout);
   }
   server.Stop();
   std::printf("swift_agentd: stopped\n");

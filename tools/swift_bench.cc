@@ -26,6 +26,7 @@
 #include "src/core/object_directory.h"
 #include "src/core/swift_file.h"
 #include "src/util/histogram.h"
+#include "src/util/metrics.h"
 #include "src/util/rng.h"
 #include "src/util/units.h"
 
@@ -197,5 +198,9 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(transports[i]->datagrams_sent()),
                 static_cast<unsigned long long>(transports[i]->retransmissions()));
   }
+
+  // Client-side registry snapshot (the same layer swift_cli stats pulls from
+  // an agent), so live metrics can be compared against the phase lines above.
+  std::printf("\nclient metrics registry:\n%s", MetricRegistry::Global().RenderText().c_str());
   return exit_code;
 }

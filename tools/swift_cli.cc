@@ -15,6 +15,8 @@
 //   ls                                      list objects
 //   rm NAME                                 remove an object (metadata+stores)
 //   rebuild NAME COLUMN                     regenerate a replaced agent's data
+//   stats [PORT]                            pull live metrics from the agents
+//                                           (all of --agents, or just PORT)
 
 #include <cstdio>
 #include <cstdlib>
@@ -222,6 +224,27 @@ int CmdRm(Cli& cli, const std::string& name) {
   return 0;
 }
 
+int CmdStats(Cli& cli, int port_filter) {
+  int shown = 0;
+  for (size_t i = 0; i < cli.transports.size(); ++i) {
+    const uint16_t port = cli.agent_ports[i];
+    if (port_filter > 0 && port != port_filter) {
+      continue;
+    }
+    auto text = cli.transports[i]->FetchStats();
+    if (!text.ok()) {
+      return Fail(text.status());
+    }
+    std::printf("=== agent :%u ===\n%s", port, text->c_str());
+    ++shown;
+  }
+  if (shown == 0) {
+    return Fail(InvalidArgumentError("no agent with port " + std::to_string(port_filter) +
+                                     " in --agents"));
+  }
+  return 0;
+}
+
 int CmdRebuild(Cli& cli, const std::string& name, uint32_t column) {
   auto metadata = cli.directory.Lookup(name);
   if (!metadata.ok()) {
@@ -269,7 +292,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: swift_cli --agents=PORT[,PORT...] --dir=FILE COMMAND\n"
                  "commands: create NAME [--unit=BYTES] [--parity] | put NAME FILE |\n"
-                 "          get NAME FILE | stat NAME | ls | rm NAME | rebuild NAME COL\n");
+                 "          get NAME FILE | stat NAME | ls | rm NAME | rebuild NAME COL |\n"
+                 "          stats [PORT]\n");
     return 2;
   }
   if (Status s = cli.Connect(); !s.ok()) {
@@ -306,6 +330,9 @@ int main(int argc, char** argv) {
   }
   if (command == "rebuild" && args.size() == 3) {
     return CmdRebuild(cli, args[1], static_cast<uint32_t>(std::atoi(args[2].c_str())));
+  }
+  if (command == "stats" && args.size() <= 2) {
+    return CmdStats(cli, args.size() == 2 ? std::atoi(args[1].c_str()) : 0);
   }
   std::fprintf(stderr, "unknown or malformed command '%s'\n", command.c_str());
   return 2;
