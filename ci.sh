@@ -20,13 +20,14 @@ cmake --build --preset "${SAN_PRESET}" -j "${JOBS}"
 ctest --preset "${SAN_PRESET}" -j "${JOBS}"
 
 if [ "${SAN_PRESET}" != "tsan" ]; then
-  # The lock-free metrics/flight-recorder paths are only meaningfully
-  # exercised under ThreadSanitizer; run just that suite so the default gate
-  # stays fast. Full build: ctest needs every discovered test's include file.
-  echo "== metrics/trace concurrency (tsan) =="
+  # The lock-free metrics/flight-recorder paths and the threaded mediator
+  # service loop are only meaningfully exercised under ThreadSanitizer; run
+  # just those suites so the default gate stays fast. Full build: ctest needs
+  # every discovered test's include file.
+  echo "== metrics/trace + mediator concurrency (tsan) =="
   cmake --preset tsan
   cmake --build --preset tsan -j "${JOBS}"
-  ctest --test-dir build-tsan -R '^MetricsTrace' -j "${JOBS}" --output-on-failure
+  ctest --test-dir build-tsan -R '^MetricsTrace|^MediatorService' -j "${JOBS}" --output-on-failure
 fi
 
 echo "== agentd --stats-interval smoke =="

@@ -20,6 +20,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/core/session_handle.h"
 #include "src/core/storage_mediator.h"
 #include "src/disk/disk_catalog.h"
 #include "src/disk/realtime_disk.h"
@@ -44,36 +45,38 @@ int main() {
         std::make_unique<RealTimeDisk>(&sim, FujitsuM2372K(), rng.Fork(), disk_options));
     mediator.RegisterAgent(AgentCapacity{KiBPerSecond(800), MiB(512)});
   }
+  // Sessions are negotiated through a channel so this code would run
+  // unchanged against a networked swift_mediatord (MediatorClient).
+  LocalMediatorChannel channel(&mediator);
 
   // Streams ask for 480 KB/s = six 32 KiB blocks per 400 ms period, striped
   // over 3 agents (2 blocks per agent per period). On a 1990 drive the
   // worst-case admission prices each such reservation at ~46% of a disk, so
   // the 6 disks can guarantee exactly two 3-agent streams.
   struct Stream {
-    uint64_t session = 0;
+    SessionHandle session;
     std::vector<uint32_t> agent_ids;
     std::vector<RealTimeDisk::StreamId> reservations;
   };
   std::vector<Stream> admitted;
   std::printf("admitting streams (each: 6 x 32 KiB blocks / 400 ms over 3 agents):\n");
   for (int s = 0; s < 6; ++s) {
-    auto plan = mediator.OpenSession({.object_name = "stream" + std::to_string(s),
-                                      .expected_size = MiB(64),
-                                      .required_rate = KiBPerSecond(480),
-                                      .typical_request = KiB(96),
-                                      .min_agents = 3,
-                                      .max_agents = 3});
-    if (!plan.ok()) {
+    auto session = SessionHandle::Open(&channel, {.object_name = "stream" + std::to_string(s),
+                                                  .expected_size = MiB(64),
+                                                  .required_rate = KiBPerSecond(480),
+                                                  .typical_request = KiB(96),
+                                                  .min_agents = 3,
+                                                  .max_agents = 3});
+    if (!session.ok()) {
       std::printf("  stream %d: REJECTED by mediator (%s)\n", s,
-                  plan.status().message().c_str());
+                  session.status().message().c_str());
       continue;
     }
     // Device-level admission on each chosen agent's disk.
     Stream stream;
-    stream.session = plan->session_id;
-    stream.agent_ids = plan->agent_ids;
+    stream.agent_ids = session->plan().agent_ids;
     bool all_disks_admitted = true;
-    for (uint32_t agent : plan->agent_ids) {
+    for (uint32_t agent : stream.agent_ids) {
       auto reservation = disks[agent]->AdmitStream(2, KiB(32), Milliseconds(400));
       if (!reservation.ok()) {
         all_disks_admitted = false;
@@ -82,17 +85,17 @@ int main() {
       stream.reservations.push_back(*reservation);
     }
     if (!all_disks_admitted) {
-      // Roll back: the mediator's network/agent-rate reservation and any
-      // disk reservations made so far.
+      // Roll back the disk reservations made so far; the handle going out
+      // of scope releases the mediator's network/agent-rate reservation.
       for (size_t i = 0; i < stream.reservations.size(); ++i) {
         (void)disks[stream.agent_ids[i]]->ReleaseStream(stream.reservations[i]);
       }
-      (void)mediator.CloseSession(plan->session_id);
       std::printf("  stream %d: REJECTED at the disks (device-level guarantee)\n", s);
       continue;
     }
+    stream.session = std::move(*session);
     std::string agent_list;
-    for (uint32_t agent : plan->agent_ids) {
+    for (uint32_t agent : stream.agent_ids) {
       agent_list += (agent_list.empty() ? "" : ",") + std::to_string(agent);
     }
     std::printf("  stream %d: admitted on agents {%s}\n", s, agent_list.c_str());

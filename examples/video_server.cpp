@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "src/agent/local_cluster.h"
+#include "src/core/session_handle.h"
 #include "src/util/rng.h"
 #include "src/util/units.h"
 
@@ -63,7 +64,12 @@ int main() {
               "unit", "why / placement");
   std::printf("--------------------------------------------------------------------------\n");
 
-  std::vector<uint64_t> admitted_sessions;
+  // Sessions are negotiated through a channel: swap LocalMediatorChannel for
+  // a MediatorClient and this admission loop runs against a networked
+  // swift_mediatord instead. Each handle releases its reservation when it
+  // goes out of scope.
+  LocalMediatorChannel channel(&cluster.mediator());
+  std::vector<SessionHandle> admitted_sessions;
   std::string dvi_object;
   int stream_index = 0;
   for (const MediaKind& kind : kinds) {
@@ -73,31 +79,32 @@ int main() {
         c = '_';
       }
     }
-    auto plan = cluster.mediator().OpenSession({.object_name = object,
-                                                .expected_size = kind.object_size,
-                                                .required_rate = kind.rate,
-                                                .typical_request = KiB(512),
-                                                .redundancy = kind.redundancy});
-    if (!plan.ok()) {
+    auto session = SessionHandle::Open(&channel, {.object_name = object,
+                                                  .expected_size = kind.object_size,
+                                                  .required_rate = kind.rate,
+                                                  .typical_request = KiB(512),
+                                                  .redundancy = kind.redundancy});
+    if (!session.ok()) {
       std::printf("%-18s %-10s | %-8s %-7s %-9s %s\n", kind.name,
                   FormatRate(kind.rate).c_str(), "REJECT", "-", "-",
-                  plan.status().message().c_str());
+                  session.status().message().c_str());
       continue;
     }
+    const TransferPlan& plan = session->plan();
     std::printf("%-18s %-10s | %-8s %-7u %-9s session %llu\n", kind.name,
-                FormatRate(kind.rate).c_str(), "admit", plan->stripe.num_agents,
-                FormatBytes(plan->stripe.stripe_unit).c_str(),
-                static_cast<unsigned long long>(plan->session_id));
-    admitted_sessions.push_back(plan->session_id);
+                FormatRate(kind.rate).c_str(), "admit", plan.stripe.num_agents,
+                FormatBytes(plan.stripe.stripe_unit).c_str(),
+                static_cast<unsigned long long>(session->id()));
     if (dvi_object.empty() && kind.rate == MiBPerSecond(1.2)) {
       dvi_object = object;
       // Create the object for the service phase below.
-      auto file = SwiftFile::Create(*plan, cluster.TransportsFor(plan->agent_ids),
+      auto file = SwiftFile::Create(plan, cluster.TransportsFor(plan.agent_ids),
                                     &cluster.directory());
       if (file.ok()) {
         (void)(*file)->Close();
       }
     }
+    admitted_sessions.push_back(std::move(*session));
   }
 
   // Service phase: record 2 seconds of DVI video, then stream it back in
@@ -137,11 +144,9 @@ int main() {
               FormatBytes(recorded).c_str(), FormatBytes(streamed).c_str(),
               streamed == recorded ? "complete" : "INCOMPLETE");
 
-  for (uint64_t session : admitted_sessions) {
-    (void)cluster.mediator().CloseSession(session);
-  }
-  std::printf("released %zu sessions; reserved network rate now %s\n",
-              admitted_sessions.size(),
+  const size_t released = admitted_sessions.size();
+  admitted_sessions.clear();  // RAII: every handle closes its session
+  std::printf("released %zu sessions; reserved network rate now %s\n", released,
               FormatRate(cluster.mediator().reserved_network_rate()).c_str());
   return streamed == recorded ? 0 : 1;
 }

@@ -1,0 +1,71 @@
+// Client side of the mediator control plane: blocking UDP RPCs.
+//
+// MediatorClient implements MediatorChannel over the wire, so everything
+// written against SessionHandle works identically whether the mediator is
+// in-process (LocalMediatorChannel) or a swift_mediatord across the network.
+// Each RPC is at-most-once from the caller's view: the client reuses one
+// request id across every retransmission of a call, and the server keeps a
+// short reply cache keyed on (client endpoint, request id), so a retried
+// CloseSession or ReportFailure never double-executes. Timeouts follow the
+// transport's shared RetryPolicy; an unreachable mediator surfaces as
+// kUnavailable after the retry budget.
+//
+// The client also carries the agent-facing calls (RegisterAgent, Heartbeat)
+// used by swift_agentd's heartbeat loop.
+
+#ifndef SWIFT_SRC_AGENT_MEDIATOR_CLIENT_H_
+#define SWIFT_SRC_AGENT_MEDIATOR_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/agent/udp_socket.h"
+#include "src/agent/udp_transport.h"
+#include "src/core/session_handle.h"
+#include "src/proto/message.h"
+
+namespace swift {
+
+class MediatorClient : public MediatorChannel {
+ public:
+  explicit MediatorClient(uint16_t mediator_port, RetryPolicy policy = RetryPolicy());
+
+  // --- agent-facing (swift_agentd) ---
+  // Registers this agent's capacity and data port; returns the mediator-
+  // assigned agent id to heartbeat under.
+  Result<uint32_t> RegisterAgent(const AgentCapacity& capacity, uint16_t data_port);
+  // Reports liveness and current load. kNotFound means the mediator retired
+  // (or never knew) this id — the agent should re-register.
+  Status Heartbeat(uint32_t agent_id, double load_rate);
+
+  // --- client-facing (MediatorChannel) ---
+  Result<SessionGrant> OpenSession(const StorageMediator::SessionRequest& request) override;
+  Status CloseSession(uint64_t session_id) override;
+  Status RenewLease(uint64_t session_id) override;
+  Result<SessionGrant> ReportFailure(uint64_t session_id, uint32_t failed_agent) override;
+
+  // Failure report addressed by the dead agent's data port instead of its
+  // mediator id — what a client actually knows when a transfer stalls.
+  Result<SessionGrant> ReportFailureByPort(uint64_t session_id, uint16_t failed_port);
+
+  // One text line per open session (diagnostics; swift_cli session list).
+  Result<std::string> ListSessions();
+
+  // Metrics snapshot from the mediator's registry (kStats, like agents).
+  Result<std::string> FetchStats();
+
+ private:
+  // Sends `request` and waits for a reply carrying the same request id,
+  // retransmitting per the retry policy. Fills in the request id.
+  Result<Message> Call(Message request);
+  Result<SessionGrant> CallForGrant(Message request);
+
+  uint16_t mediator_port_;
+  RetryPolicy policy_;
+  UdpSocket socket_;
+  uint32_t next_request_id_ = 1;
+};
+
+}  // namespace swift
+
+#endif  // SWIFT_SRC_AGENT_MEDIATOR_CLIENT_H_

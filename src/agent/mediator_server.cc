@@ -1,0 +1,247 @@
+#include "src/agent/mediator_server.h"
+
+#include <string>
+
+#include "src/core/mediator_wire.h"
+#include "src/util/logging.h"
+#include "src/util/metrics.h"
+
+namespace swift {
+
+namespace {
+
+// The service thread polls with a short timeout so the liveness/lease sweep
+// runs even when no traffic arrives, and Stop() stays prompt.
+constexpr int kServicePollMs = 50;
+
+constexpr size_t kReplyCacheEntries = 64;
+
+// A snapshot must fit one datagram; truncate on a line boundary and mark the
+// cut (same convention as the agent's STATS reply).
+void FitTextPayload(std::string& text) {
+  if (text.size() <= kMaxPacketPayload) {
+    return;
+  }
+  static constexpr char kMarker[] = "# truncated\n";
+  size_t cut = text.rfind('\n', kMaxPacketPayload - sizeof(kMarker));
+  text.resize(cut == std::string::npos ? 0 : cut + 1);
+  text += kMarker;
+}
+
+// State-changing RPCs go through the reply cache; read-only ones do not.
+bool Cacheable(MessageType type) {
+  switch (type) {
+    case MessageType::kRegisterAgent:
+    case MessageType::kOpenSession:
+    case MessageType::kCloseSession:
+    case MessageType::kReportFailure:
+    case MessageType::kRenewLease:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+UdpMediatorServer::UdpMediatorServer(Options options)
+    : options_(options), mediator_(options.mediator) {}
+
+UdpMediatorServer::~UdpMediatorServer() { Stop(); }
+
+Status UdpMediatorServer::Start() {
+  SWIFT_RETURN_IF_ERROR(socket_.BindLoopback(options_.port));
+  port_ = socket_.local_port();
+  epoch_ = std::chrono::steady_clock::now();
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { ServiceLoop(); });
+  SWIFT_LOG(INFO) << "storage mediator listening on udp port " << port_;
+  return OkStatus();
+}
+
+void UdpMediatorServer::Stop() {
+  if (!running_.exchange(false)) {
+    return;
+  }
+  socket_.Shutdown();
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+}
+
+uint64_t UdpMediatorServer::NowMs() const {
+  // +1 so a registration in the very first millisecond still has a nonzero
+  // heartbeat timestamp.
+  return 1 + static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::milliseconds>(
+                                       std::chrono::steady_clock::now() - epoch_)
+                                       .count());
+}
+
+void UdpMediatorServer::ServiceLoop() {
+  while (running_.load(std::memory_order_acquire)) {
+    mediator_.AdvanceTime(NowMs());
+    auto received = socket_.RecvFrom(kServicePollMs);
+    if (!received.ok()) {
+      if (received.code() == StatusCode::kTimedOut) {
+        continue;
+      }
+      break;  // socket shut down
+    }
+    auto message = Message::Decode(received->data);
+    if (!message.ok()) {
+      continue;  // corrupted or stray datagram: behave as if lost
+    }
+
+    const bool cacheable = Cacheable(message->type);
+    if (cacheable) {
+      bool replayed = false;
+      for (const CachedReply& cached : reply_cache_) {
+        if (cached.ipv4_host == received->from.ipv4_host && cached.port == received->from.port &&
+            cached.request_id == message->request_id) {
+          (void)socket_.SendTo(received->from, cached.datagram);
+          replayed = true;
+          break;
+        }
+      }
+      if (replayed) {
+        continue;
+      }
+    }
+
+    Message reply = Dispatch(*message, NowMs());
+    reply.request_id = message->request_id;
+    std::vector<uint8_t> datagram = reply.Encode();
+    (void)socket_.SendTo(received->from, datagram);
+    if (cacheable) {
+      if (reply_cache_.size() >= kReplyCacheEntries) {
+        reply_cache_.pop_front();
+      }
+      reply_cache_.push_back(CachedReply{received->from.ipv4_host, received->from.port,
+                                         message->request_id, std::move(datagram)});
+    }
+  }
+}
+
+Message UdpMediatorServer::Dispatch(const Message& request, uint64_t now_ms) {
+  Message reply;
+
+  auto fail = [&reply](MessageType type, const Status& status) {
+    reply.type = type;
+    reply.status_code = static_cast<uint32_t>(status.code());
+  };
+  auto grant_for = [this](const TransferPlan& plan) {
+    SessionGrant grant;
+    grant.plan = plan;
+    grant.agent_ports.reserve(plan.agent_ids.size());
+    for (uint32_t id : plan.agent_ids) {
+      grant.agent_ports.push_back(mediator_.AgentPort(id));
+    }
+    grant.lease_ms = mediator_.SessionLeaseMs(plan.session_id);
+    return grant;
+  };
+
+  switch (request.type) {
+    case MessageType::kRegisterAgent: {
+      AgentCapacity capacity;
+      capacity.data_rate = request.rate;
+      capacity.storage_bytes = request.size;
+      const uint32_t agent_id = mediator_.RegisterAgent(capacity, request.data_port, now_ms);
+      reply.type = MessageType::kRegisterAgentAck;
+      reply.handle = agent_id;
+      SWIFT_LOG(INFO) << "agent " << agent_id << " registered (port " << request.data_port
+                      << ", " << request.rate << " B/s, " << request.size << " B)";
+      break;
+    }
+    case MessageType::kHeartbeat: {
+      Status status = mediator_.NoteHeartbeat(request.handle, request.rate, now_ms);
+      reply.type = MessageType::kHeartbeatAck;
+      reply.status_code = static_cast<uint32_t>(status.code());
+      break;
+    }
+    case MessageType::kOpenSession: {
+      auto decoded = DecodeSessionRequest(request.payload);
+      if (!decoded.ok()) {
+        fail(MessageType::kSessionPlan, decoded.status());
+        break;
+      }
+      auto plan = mediator_.OpenSession(*decoded, now_ms);
+      if (!plan.ok()) {
+        fail(MessageType::kSessionPlan, plan.status());
+        break;
+      }
+      reply.type = MessageType::kSessionPlan;
+      reply.payload = EncodeSessionGrant(grant_for(*plan));
+      SWIFT_LOG(INFO) << "session " << plan->session_id << " opened for '"
+                      << decoded->object_name << "' across " << plan->agent_ids.size()
+                      << " agents";
+      break;
+    }
+    case MessageType::kCloseSession: {
+      Status status = mediator_.CloseSession(request.size);
+      reply.type = MessageType::kCloseSessionAck;
+      reply.status_code = static_cast<uint32_t>(status.code());
+      break;
+    }
+    case MessageType::kRenewLease: {
+      Status status = mediator_.RenewLease(request.size, now_ms);
+      reply.type = MessageType::kRenewLeaseAck;
+      reply.status_code = static_cast<uint32_t>(status.code());
+      if (status.ok()) {
+        reply.size = mediator_.SessionLeaseMs(request.size);
+      }
+      break;
+    }
+    case MessageType::kReportFailure: {
+      uint32_t failed_agent = request.handle;
+      if (request.data_port != 0) {
+        auto by_port = mediator_.AgentByPort(request.data_port);
+        if (!by_port.ok()) {
+          fail(MessageType::kRevisedPlan, by_port.status());
+          break;
+        }
+        failed_agent = *by_port;
+      }
+      auto revised = mediator_.ReplanSession(request.size, failed_agent);
+      if (!revised.ok()) {
+        fail(MessageType::kRevisedPlan, revised.status());
+        break;
+      }
+      reply.type = MessageType::kRevisedPlan;
+      reply.payload = EncodeSessionGrant(grant_for(*revised));
+      SWIFT_LOG(INFO) << "session " << request.size << " replanned around dead agent "
+                      << failed_agent;
+      break;
+    }
+    case MessageType::kListSessions: {
+      std::string text;
+      for (const auto& info : mediator_.ListSessions(now_ms)) {
+        text += "session=" + std::to_string(info.session_id) + " object=" + info.object_name +
+                " agents=";
+        for (size_t i = 0; i < info.agent_ids.size(); ++i) {
+          text += (i ? "," : "") + std::to_string(info.agent_ids[i]);
+        }
+        text += " rate_bps=" + std::to_string(static_cast<uint64_t>(info.reserved_rate));
+        text += info.leased ? " lease_ms=" + std::to_string(info.lease_remaining_ms)
+                            : " lease_ms=-";
+        text += "\n";
+      }
+      FitTextPayload(text);
+      reply.type = MessageType::kSessionList;
+      reply.payload.assign(text.begin(), text.end());
+      break;
+    }
+    case MessageType::kStats: {
+      std::string text = MetricRegistry::Global().RenderText();
+      FitTextPayload(text);
+      reply.type = MessageType::kStatsReply;
+      reply.payload.assign(text.begin(), text.end());
+      break;
+    }
+    default:
+      fail(MessageType::kError, InvalidArgumentError("not a mediator request"));
+      break;
+  }
+  return reply;
+}
+
+}  // namespace swift

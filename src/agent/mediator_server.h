@@ -1,0 +1,76 @@
+// The networked storage mediator: swift_mediatord's service core.
+//
+// One UDP socket on the mediator's well-known port, one service thread. The
+// wrapped StorageMediator is single-threaded by design; serializing every
+// request (and the liveness/lease sweep) on the service thread is the
+// concurrency-control story — the mediator is out of the data path, so
+// control-plane traffic is light and a single thread is ample.
+//
+// Each loop iteration advances the mediator's clock (auto-retiring silent
+// agents and expiring lapsed leases) before handling the next datagram.
+// State-changing RPCs are made at-most-once by a small reply cache keyed on
+// (client endpoint, request id): a retransmitted request is answered from
+// the cache instead of re-executing, so a client retrying CloseSession or
+// ReportFailure over a lossy link cannot double-apply it. Read-only RPCs
+// (heartbeats, stats, session listings) bypass the cache.
+
+#ifndef SWIFT_SRC_AGENT_MEDIATOR_SERVER_H_
+#define SWIFT_SRC_AGENT_MEDIATOR_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <thread>
+#include <vector>
+
+#include "src/agent/udp_socket.h"
+#include "src/core/storage_mediator.h"
+#include "src/proto/message.h"
+
+namespace swift {
+
+class UdpMediatorServer {
+ public:
+  struct Options {
+    // 0 = kernel-assigned (tests); kDefaultMediatorPort for a deployment.
+    uint16_t port = 0;
+    StorageMediator::Options mediator;
+  };
+
+  explicit UdpMediatorServer(Options options);
+  ~UdpMediatorServer();
+
+  Status Start();
+  // Stops the service thread and closes the port. Idempotent.
+  void Stop();
+
+  uint16_t port() const { return port_; }
+
+ private:
+  void ServiceLoop();
+  // Milliseconds since Start(); the clock every lease and heartbeat deadline
+  // is measured against.
+  uint64_t NowMs() const;
+  Message Dispatch(const Message& request, uint64_t now_ms);
+
+  Options options_;
+  StorageMediator mediator_;
+  UdpSocket socket_;
+  uint16_t port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::chrono::steady_clock::time_point epoch_;
+
+  struct CachedReply {
+    uint32_t ipv4_host = 0;
+    uint16_t port = 0;
+    uint32_t request_id = 0;
+    std::vector<uint8_t> datagram;
+  };
+  // FIFO, bounded; only the service thread touches it.
+  std::deque<CachedReply> reply_cache_;
+};
+
+}  // namespace swift
+
+#endif  // SWIFT_SRC_AGENT_MEDIATOR_SERVER_H_

@@ -80,4 +80,23 @@ Result<RebuildReport> RebuildColumn(const ObjectMetadata& metadata,
   return report;
 }
 
+Result<RebuildReport> MigrateColumn(const ObjectMetadata& metadata,
+                                    const TransferPlan& revised_plan,
+                                    const std::vector<AgentTransport*>& transports,
+                                    uint32_t remapped_column) {
+  if (revised_plan.stripe.num_agents != metadata.stripe.num_agents) {
+    return InvalidArgumentError("revised plan changed the stripe width");
+  }
+  if (revised_plan.stripe.stripe_unit != metadata.stripe.stripe_unit) {
+    return InvalidArgumentError("revised plan changed the striping unit");
+  }
+  if (revised_plan.stripe.parity != metadata.stripe.parity) {
+    return InvalidArgumentError("revised plan changed the parity mode");
+  }
+  if (remapped_column >= revised_plan.agent_ids.size()) {
+    return InvalidArgumentError("remapped column out of range for the revised plan");
+  }
+  return RebuildColumn(metadata, transports, remapped_column);
+}
+
 }  // namespace swift

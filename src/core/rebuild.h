@@ -19,6 +19,7 @@
 
 #include "src/core/agent_transport.h"
 #include "src/core/object_directory.h"
+#include "src/core/transfer_plan.h"
 #include "src/util/status.h"
 
 namespace swift {
@@ -36,6 +37,17 @@ struct RebuildReport {
 Result<RebuildReport> RebuildColumn(const ObjectMetadata& metadata,
                                     const std::vector<AgentTransport*>& transports,
                                     uint32_t lost_column);
+
+// Failure-driven migration: after the mediator replans a session (remapping a
+// dead agent's stripe column onto a replacement), rebuild that column onto the
+// replacement named by the revised plan. Validates that the revised plan kept
+// the object's geometry — same stripe width, unit, and parity mode — before
+// delegating to RebuildColumn. `transports` is in the revised plan's column
+// order, so `transports[remapped_column]` is the replacement agent.
+Result<RebuildReport> MigrateColumn(const ObjectMetadata& metadata,
+                                    const TransferPlan& revised_plan,
+                                    const std::vector<AgentTransport*>& transports,
+                                    uint32_t remapped_column);
 
 }  // namespace swift
 

@@ -4,20 +4,136 @@
 #include <cmath>
 
 #include "src/util/logging.h"
+#include "src/util/metrics.h"
 
 namespace swift {
 
+namespace {
+
+// Control-plane metrics, shared by every mediator in the process (a process
+// normally runs one). Prometheus names for the swift.mediator.* family.
+struct MediatorMetrics {
+  Gauge* sessions_active;
+  Counter* sessions_rejected;
+  Counter* heartbeats;
+  Counter* replans;
+  Counter* leases_expired;
+};
+
+const MediatorMetrics& Metrics() {
+  static const MediatorMetrics metrics = [] {
+    MetricRegistry& registry = MetricRegistry::Global();
+    return MediatorMetrics{
+        registry.GetGauge("swift_mediator_sessions_active"),
+        registry.GetCounter("swift_mediator_sessions_rejected_total"),
+        registry.GetCounter("swift_mediator_heartbeats_total"),
+        registry.GetCounter("swift_mediator_replans_total"),
+        registry.GetCounter("swift_mediator_leases_expired_total"),
+    };
+  }();
+  return metrics;
+}
+
+}  // namespace
+
+void StorageMediator::UpdateSessionGauge() const {
+  Metrics().sessions_active->Set(static_cast<int64_t>(sessions_.size()));
+}
+
 uint32_t StorageMediator::RegisterAgent(const AgentCapacity& capacity) {
-  agents_.push_back(AgentState{capacity, 0, 0, false});
+  AgentState agent;
+  agent.capacity = capacity;
+  agents_.push_back(agent);
   return static_cast<uint32_t>(agents_.size() - 1);
+}
+
+uint32_t StorageMediator::RegisterAgent(const AgentCapacity& capacity, uint16_t port,
+                                        uint64_t now_ms) {
+  const uint32_t id = RegisterAgent(capacity);
+  agents_[id].monitored = true;
+  agents_[id].port = port;
+  agents_[id].last_heartbeat_ms = now_ms;
+  return id;
+}
+
+Status StorageMediator::NoteHeartbeat(uint32_t agent_id, double load_rate, uint64_t now_ms) {
+  if (agent_id >= agents_.size()) {
+    return NotFoundError("no such agent");
+  }
+  AgentState& agent = agents_[agent_id];
+  if (agent.retired) {
+    return NotFoundError("agent " + std::to_string(agent_id) + " is retired; re-register");
+  }
+  agent.monitored = true;
+  agent.last_heartbeat_ms = now_ms;
+  agent.load_rate = load_rate;
+  Metrics().heartbeats->Increment();
+  return OkStatus();
+}
+
+void StorageMediator::ReleaseAgentCharge(SessionState& session, uint32_t agent_id) {
+  auto it = std::find(session.charged.begin(), session.charged.end(), agent_id);
+  if (it == session.charged.end()) {
+    return;
+  }
+  session.charged.erase(it);
+  agents_[agent_id].reserved_rate -= session.per_agent_rate;
+  agents_[agent_id].reserved_storage -= session.per_agent_storage;
+}
+
+void StorageMediator::ReleaseSession(SessionState& session) {
+  for (uint32_t id : std::vector<uint32_t>(session.charged)) {
+    ReleaseAgentCharge(session, id);
+  }
+  reserved_network_rate_ -= session.network_rate;
+  session.network_rate = 0;
+}
+
+void StorageMediator::RetireAndRelease(uint32_t agent_id) {
+  AgentState& agent = agents_[agent_id];
+  if (agent.retired) {
+    return;
+  }
+  agent.retired = true;
+  for (auto& [id, session] : sessions_) {
+    ReleaseAgentCharge(session, agent_id);
+  }
 }
 
 Status StorageMediator::RetireAgent(uint32_t agent_id) {
   if (agent_id >= agents_.size()) {
     return NotFoundError("no such agent");
   }
-  agents_[agent_id].retired = true;
+  RetireAndRelease(agent_id);
   return OkStatus();
+}
+
+void StorageMediator::AdvanceTime(uint64_t now_ms) {
+  // Failure detection: heartbeat_miss_limit missed beats ⇒ dead.
+  const uint64_t silence_budget_ms =
+      options_.heartbeat_interval_ms * options_.heartbeat_miss_limit;
+  for (uint32_t id = 0; id < agents_.size(); ++id) {
+    const AgentState& agent = agents_[id];
+    if (agent.monitored && !agent.retired &&
+        now_ms > agent.last_heartbeat_ms + silence_budget_ms) {
+      SWIFT_LOG(WARNING) << "mediator: agent " << id << " (port " << agent.port
+                         << ") missed heartbeats; auto-retiring";
+      RetireAndRelease(id);
+    }
+  }
+  // Lease expiry.
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    SessionState& session = it->second;
+    if (session.lease_ms > 0 && now_ms >= session.lease_deadline_ms) {
+      SWIFT_LOG(INFO) << "mediator: session " << it->first << " lease expired";
+      ReleaseSession(session);
+      Metrics().leases_expired->Increment();
+      it = sessions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  UpdateSessionGauge();
 }
 
 uint64_t StorageMediator::PickStripeUnit(uint64_t typical_request, uint32_t data_agents) const {
@@ -31,12 +147,17 @@ uint64_t StorageMediator::PickStripeUnit(uint64_t typical_request, uint32_t data
   return std::clamp(unit, options_.min_stripe_unit, options_.max_stripe_unit);
 }
 
-Result<TransferPlan> StorageMediator::OpenSession(const SessionRequest& request) {
+Result<TransferPlan> StorageMediator::OpenSession(const SessionRequest& request,
+                                                  uint64_t now_ms) {
+  auto reject = [](Status status) -> Result<TransferPlan> {
+    Metrics().sessions_rejected->Increment();
+    return status;
+  };
   if (agents_.empty()) {
-    return ResourceExhaustedError("no storage agents registered");
+    return reject(ResourceExhaustedError("no storage agents registered"));
   }
   if (request.redundancy && request.max_agents == 1) {
-    return InvalidArgumentError("redundancy needs at least two agents");
+    return reject(InvalidArgumentError("redundancy needs at least two agents"));
   }
 
   // Candidate agents: not retired, sorted by current load fraction so new
@@ -48,7 +169,7 @@ Result<TransferPlan> StorageMediator::OpenSession(const SessionRequest& request)
     }
   }
   if (candidates.empty()) {
-    return ResourceExhaustedError("all storage agents retired");
+    return reject(ResourceExhaustedError("all storage agents retired"));
   }
   std::stable_sort(candidates.begin(), candidates.end(), [this](uint32_t a, uint32_t b) {
     const double load_a = agents_[a].reserved_rate / std::max(agents_[a].capacity.data_rate, 1.0);
@@ -68,7 +189,7 @@ Result<TransferPlan> StorageMediator::OpenSession(const SessionRequest& request)
     }
     const double usable = min_rate * options_.agent_load_factor;
     if (usable <= 0) {
-      return ResourceExhaustedError("agents advertise no data-rate capacity");
+      return reject(ResourceExhaustedError("agents advertise no data-rate capacity"));
     }
     data_agents = static_cast<uint32_t>(std::ceil(request.required_rate / usable));
     data_agents = std::max<uint32_t>(data_agents, 1);
@@ -85,16 +206,18 @@ Result<TransferPlan> StorageMediator::OpenSession(const SessionRequest& request)
   }
   data_agents = request.redundancy ? total_agents - 1 : total_agents;
   if (total_agents > candidates.size()) {
-    return ResourceExhaustedError("request needs " + std::to_string(total_agents) +
-                                  " agents, only " + std::to_string(candidates.size()) +
-                                  " available");
+    return reject(ResourceExhaustedError("request needs " + std::to_string(total_agents) +
+                                         " agents, only " + std::to_string(candidates.size()) +
+                                         " available"));
   }
 
   StripeConfig stripe;
   stripe.num_agents = total_agents;
   stripe.parity = request.redundancy ? ParityMode::kRotating : ParityMode::kNone;
   stripe.stripe_unit = PickStripeUnit(request.typical_request, data_agents);
-  SWIFT_RETURN_IF_ERROR(stripe.Validate());
+  if (Status s = stripe.Validate(); !s.ok()) {
+    return reject(s);
+  }
 
   // Per-agent reservations. With rotating parity every agent carries an even
   // share of data + parity traffic.
@@ -111,17 +234,17 @@ Result<TransferPlan> StorageMediator::OpenSession(const SessionRequest& request)
     const double spare_rate =
         agent.capacity.data_rate * options_.agent_load_factor - agent.reserved_rate;
     if (per_agent_rate > 0 && spare_rate < per_agent_rate) {
-      return ResourceExhaustedError("agent " + std::to_string(id) +
-                                    " lacks spare data-rate for the session");
+      return reject(ResourceExhaustedError("agent " + std::to_string(id) +
+                                           " lacks spare data-rate for the session"));
     }
     if (agent.capacity.storage_bytes < agent.reserved_storage + per_agent_storage) {
-      return ResourceExhaustedError("agent " + std::to_string(id) +
-                                    " lacks spare storage for the session");
+      return reject(ResourceExhaustedError("agent " + std::to_string(id) +
+                                           " lacks spare storage for the session"));
     }
   }
   if (options_.network_capacity > 0 && request.required_rate > 0 &&
       reserved_network_rate_ + request.required_rate > options_.network_capacity) {
-    return ResourceExhaustedError("interconnect capacity exhausted");
+    return reject(ResourceExhaustedError("interconnect capacity exhausted"));
   }
 
   // Commit.
@@ -140,24 +263,118 @@ Result<TransferPlan> StorageMediator::OpenSession(const SessionRequest& request)
   plan.agent_ids = chosen;
   plan.reserved_rate = request.required_rate;
   plan.expected_size = request.expected_size;
-  sessions_[plan.session_id] =
-      SessionState{chosen, per_agent_rate, per_agent_storage, network_rate};
+
+  SessionState session;
+  session.plan = plan;
+  session.per_agent_rate = per_agent_rate;
+  session.per_agent_storage = per_agent_storage;
+  session.network_rate = network_rate;
+  session.charged = chosen;
+  session.lease_ms = request.lease_ms > 0 ? request.lease_ms : options_.default_lease_ms;
+  if (session.lease_ms > 0) {
+    session.lease_deadline_ms = now_ms + session.lease_ms;
+  }
+  sessions_[plan.session_id] = std::move(session);
+  UpdateSessionGauge();
   return plan;
 }
 
 Status StorageMediator::CloseSession(uint64_t session_id) {
   auto it = sessions_.find(session_id);
   if (it == sessions_.end()) {
+    return OkStatus();  // idempotent: already closed / expired / never opened
+  }
+  ReleaseSession(it->second);
+  sessions_.erase(it);
+  UpdateSessionGauge();
+  return OkStatus();
+}
+
+Status StorageMediator::RenewLease(uint64_t session_id, uint64_t now_ms) {
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) {
     return NotFoundError("no session " + std::to_string(session_id));
   }
-  const SessionState& session = it->second;
-  for (uint32_t id : session.agent_ids) {
-    agents_[id].reserved_rate -= session.per_agent_rate;
-    agents_[id].reserved_storage -= session.per_agent_storage;
+  if (it->second.lease_ms == 0) {
+    return InvalidArgumentError("session " + std::to_string(session_id) + " has no lease");
   }
-  reserved_network_rate_ -= session.network_rate;
-  sessions_.erase(it);
+  it->second.lease_deadline_ms = now_ms + it->second.lease_ms;
   return OkStatus();
+}
+
+Result<TransferPlan> StorageMediator::ReplanSession(uint64_t session_id, uint32_t failed_agent) {
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) {
+    return NotFoundError("no session " + std::to_string(session_id));
+  }
+  if (failed_agent >= agents_.size()) {
+    return NotFoundError("no such agent");
+  }
+  SessionState& session = it->second;
+
+  auto& ids = session.plan.agent_ids;
+  auto column_it = std::find(ids.begin(), ids.end(), failed_agent);
+  if (column_it == ids.end()) {
+    // Duplicate report (the agent was already replaced): answering with the
+    // current plan makes kReportFailure retries safe.
+    if (std::find(session.failed.begin(), session.failed.end(), failed_agent) !=
+        session.failed.end()) {
+      return session.plan;
+    }
+    return InvalidArgumentError("agent " + std::to_string(failed_agent) +
+                                " is not part of session " + std::to_string(session_id));
+  }
+  const uint32_t column = static_cast<uint32_t>(column_it - ids.begin());
+
+  // The reported agent is gone: retire it everywhere and remember the
+  // session must never be handed this agent again.
+  RetireAndRelease(failed_agent);
+  session.failed.push_back(failed_agent);
+
+  // Replacement: least-loaded live agent the session does not already use
+  // (and has never reported failed) with spare rate + storage.
+  uint32_t best = 0;
+  bool found = false;
+  double best_load = 0;
+  for (uint32_t id = 0; id < agents_.size(); ++id) {
+    const AgentState& agent = agents_[id];
+    if (agent.retired) {
+      continue;
+    }
+    if (std::find(ids.begin(), ids.end(), id) != ids.end()) {
+      continue;
+    }
+    if (std::find(session.failed.begin(), session.failed.end(), id) != session.failed.end()) {
+      continue;
+    }
+    const double spare_rate =
+        agent.capacity.data_rate * options_.agent_load_factor - agent.reserved_rate;
+    if (session.per_agent_rate > 0 && spare_rate < session.per_agent_rate) {
+      continue;
+    }
+    if (agent.capacity.storage_bytes < agent.reserved_storage + session.per_agent_storage) {
+      continue;
+    }
+    const double load = agent.reserved_rate / std::max(agent.capacity.data_rate, 1.0);
+    if (!found || load < best_load) {
+      best = id;
+      best_load = load;
+      found = true;
+    }
+  }
+  if (!found) {
+    return ResourceExhaustedError("no replacement agent with spare capacity for session " +
+                                  std::to_string(session_id));
+  }
+
+  agents_[best].reserved_rate += session.per_agent_rate;
+  agents_[best].reserved_storage += session.per_agent_storage;
+  session.charged.push_back(best);
+  ids[column] = best;
+  Metrics().replans->Increment();
+  SWIFT_LOG(INFO) << "mediator: session " << session_id << " column " << column
+                  << " remapped from agent " << failed_agent << " to agent " << best;
+  return session.plan;
 }
 
 double StorageMediator::ReservedRate(uint32_t agent_id) const {
@@ -174,6 +391,48 @@ double StorageMediator::AvailableRate(uint32_t agent_id) const {
 uint64_t StorageMediator::ReservedStorage(uint32_t agent_id) const {
   SWIFT_CHECK(agent_id < agents_.size());
   return agents_[agent_id].reserved_storage;
+}
+
+bool StorageMediator::AgentRetired(uint32_t agent_id) const {
+  SWIFT_CHECK(agent_id < agents_.size());
+  return agents_[agent_id].retired;
+}
+
+uint16_t StorageMediator::AgentPort(uint32_t agent_id) const {
+  SWIFT_CHECK(agent_id < agents_.size());
+  return agents_[agent_id].port;
+}
+
+Result<uint32_t> StorageMediator::AgentByPort(uint16_t port) const {
+  for (uint32_t i = static_cast<uint32_t>(agents_.size()); i > 0; --i) {
+    if (agents_[i - 1].port == port && agents_[i - 1].monitored) {
+      return i - 1;
+    }
+  }
+  return NotFoundError("no agent registered on port " + std::to_string(port));
+}
+
+std::vector<StorageMediator::SessionInfo> StorageMediator::ListSessions(uint64_t now_ms) const {
+  std::vector<SessionInfo> out;
+  out.reserve(sessions_.size());
+  for (const auto& [id, session] : sessions_) {
+    SessionInfo info;
+    info.session_id = id;
+    info.object_name = session.plan.object_name;
+    info.agent_ids = session.plan.agent_ids;
+    info.reserved_rate = session.plan.reserved_rate;
+    info.leased = session.lease_ms > 0;
+    if (info.leased && session.lease_deadline_ms > now_ms) {
+      info.lease_remaining_ms = session.lease_deadline_ms - now_ms;
+    }
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+uint64_t StorageMediator::SessionLeaseMs(uint64_t session_id) const {
+  auto it = sessions_.find(session_id);
+  return it == sessions_.end() ? 0 : it->second.lease_ms;
 }
 
 }  // namespace swift

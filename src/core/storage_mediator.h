@@ -7,12 +7,25 @@
 // session outright if the requirements cannot be met ("storage mediators
 // will reject any request with requirements it is unable to satisfy").
 // The mediator is *not* in the data path; it is consulted only at session
-// open and close.
+// open/close and on failure reports.
 //
 // Unit-selection policy (§2's rule made concrete): a low required rate gets
 // few agents and a large unit; a high rate gets enough agents that each
 // contributes below its deliverable rate, with the unit sized so a typical
 // client request spans all of them.
+//
+// Clocked state (the control plane): the mediator additionally tracks agent
+// liveness and session leases against a caller-supplied millisecond clock.
+// An agent registered with a port is *monitored*: it must heartbeat at least
+// every heartbeat_interval_ms, and after heartbeat_miss_limit missed beats
+// AdvanceTime() auto-retires it and releases every reservation it held. A
+// session opened with a lease must renew before the lease deadline or
+// AdvanceTime() expires it and releases its reservations. ReplanSession()
+// repairs a session whose agent died mid-transfer: the failed agent is
+// retired, its charge released, and the failed stripe column is remapped
+// onto a replacement agent with spare capacity. All methods are
+// single-threaded; a networked front-end (UdpMediatorServer) serializes
+// access on its service thread.
 
 #ifndef SWIFT_SRC_CORE_STORAGE_MEDIATOR_H_
 #define SWIFT_SRC_CORE_STORAGE_MEDIATOR_H_
@@ -48,17 +61,41 @@ class StorageMediator {
     // Headroom factor: an agent is asked for at most this fraction of its
     // rated capacity, leaving margin for positioning-time variance.
     double agent_load_factor = 0.9;
+    // Heartbeat cadence monitored agents must sustain, and how many missed
+    // beats AdvanceTime() tolerates before auto-retiring an agent.
+    uint64_t heartbeat_interval_ms = 500;
+    uint32_t heartbeat_miss_limit = 3;
+    // Lease granted to sessions that do not ask for one explicitly.
+    // 0 = such sessions never expire (library use).
+    uint64_t default_lease_ms = 0;
   };
 
   StorageMediator() : StorageMediator(Options()) {}
   explicit StorageMediator(Options options) : options_(options) {}
 
+  const Options& options() const { return options_; }
+
   // Registers a storage agent; returns its registry id (dense from 0).
+  // Unmonitored: liveness is assumed (in-process library use).
   uint32_t RegisterAgent(const AgentCapacity& capacity);
 
-  // Marks an agent unavailable for new sessions (existing reservations
-  // stand; the data path handles the failure via parity).
+  // Registers a *monitored* agent reachable on `port`: it must heartbeat or
+  // AdvanceTime() retires it once heartbeat_miss_limit beats are missed.
+  uint32_t RegisterAgent(const AgentCapacity& capacity, uint16_t port, uint64_t now_ms);
+
+  // Records a heartbeat (and the agent's self-reported load, bytes/second or
+  // any monotone load proxy). kNotFound for unknown or retired agents — the
+  // agent should re-register.
+  Status NoteHeartbeat(uint32_t agent_id, double load_rate, uint64_t now_ms);
+
+  // Marks an agent unavailable for new sessions and releases every
+  // reservation it held (sessions that used it keep their other agents and
+  // stay open, awaiting ReplanSession or CloseSession).
   Status RetireAgent(uint32_t agent_id);
+
+  // Clock sweep: auto-retires monitored agents whose heartbeats stopped and
+  // expires sessions whose leases lapsed (releasing their reservations).
+  void AdvanceTime(uint64_t now_ms);
 
   struct SessionRequest {
     std::string object_name;
@@ -76,22 +113,62 @@ class StorageMediator {
     // later high-rate readers); max_agents caps it.
     uint32_t min_agents = 0;
     uint32_t max_agents = 0;
+    // Lease the client asks for (ms). 0 = Options::default_lease_ms.
+    uint64_t lease_ms = 0;
   };
 
   // Admits a session and returns its transfer plan, or kResourceExhausted
-  // when agents/network cannot cover the request.
-  Result<TransferPlan> OpenSession(const SessionRequest& request);
+  // when agents/network cannot cover the request. `now_ms` anchors the
+  // session's lease deadline (callers that never AdvanceTime may pass 0).
+  Result<TransferPlan> OpenSession(const SessionRequest& request) {
+    return OpenSession(request, 0);
+  }
+  Result<TransferPlan> OpenSession(const SessionRequest& request, uint64_t now_ms);
 
-  // Releases a session's reservations.
+  // Releases a session's reservations. Idempotent: closing an unknown or
+  // already-closed session is a no-op success.
   Status CloseSession(uint64_t session_id);
 
-  // --- introspection (tests, examples, benches) ---
+  // Extends the session's lease to now_ms + lease_ms. kNotFound for unknown
+  // sessions (including ones that already expired); kInvalidArgument for
+  // sessions without a lease.
+  Status RenewLease(uint64_t session_id, uint64_t now_ms);
+
+  // Repairs a session after the client reports `failed_agent` dead: retires
+  // the agent (releasing its reservations everywhere), and remaps its stripe
+  // column onto a replacement agent — never one the session already uses or
+  // previously reported failed. Returns the revised plan (same session id
+  // and geometry, updated agent_ids). Re-reporting an already-replaced agent
+  // is a no-op success returning the current plan, so kRevisedPlan retries
+  // are safe. kResourceExhausted when no replacement has spare capacity.
+  Result<TransferPlan> ReplanSession(uint64_t session_id, uint32_t failed_agent);
+
+  // --- introspection (tests, examples, benches, the networked front-end) ---
   size_t agent_count() const { return agents_.size(); }
   size_t active_session_count() const { return sessions_.size(); }
   double ReservedRate(uint32_t agent_id) const;
   double AvailableRate(uint32_t agent_id) const;
   uint64_t ReservedStorage(uint32_t agent_id) const;
   double reserved_network_rate() const { return reserved_network_rate_; }
+  bool AgentRetired(uint32_t agent_id) const;
+  // Port the agent registered with (0 for unmonitored/library agents).
+  uint16_t AgentPort(uint32_t agent_id) const;
+  // Newest registration advertising `port` (an agentd restart re-registers
+  // under a fresh id with the same port).
+  Result<uint32_t> AgentByPort(uint16_t port) const;
+
+  struct SessionInfo {
+    uint64_t session_id = 0;
+    std::string object_name;
+    std::vector<uint32_t> agent_ids;
+    double reserved_rate = 0;
+    // 0 when the session has no lease; otherwise ms until expiry at now_ms.
+    uint64_t lease_remaining_ms = 0;
+    bool leased = false;
+  };
+  std::vector<SessionInfo> ListSessions(uint64_t now_ms) const;
+  // Lease granted to `session_id` (0 = none / unknown session).
+  uint64_t SessionLeaseMs(uint64_t session_id) const;
 
   // The unit-selection rule, exposed for tests and for the ablation bench:
   // largest power of two such that a `typical_request` spans all
@@ -104,13 +181,35 @@ class StorageMediator {
     double reserved_rate = 0;
     uint64_t reserved_storage = 0;
     bool retired = false;
+    // Control-plane liveness (monitored agents only).
+    bool monitored = false;
+    uint16_t port = 0;
+    uint64_t last_heartbeat_ms = 0;
+    double load_rate = 0;
   };
   struct SessionState {
-    std::vector<uint32_t> agent_ids;
+    // Current plan, kept up to date across replans.
+    TransferPlan plan;
     double per_agent_rate = 0;
     uint64_t per_agent_storage = 0;
     double network_rate = 0;
+    // Agents currently charged for this session. Starts equal to
+    // plan.agent_ids; retiring an agent removes it here (its reservations
+    // are released), replanning adds the replacement.
+    std::vector<uint32_t> charged;
+    // Agents this session reported failed; never chosen as replacements.
+    std::vector<uint32_t> failed;
+    uint64_t lease_ms = 0;           // 0 = no lease
+    uint64_t lease_deadline_ms = 0;  // meaningful when lease_ms > 0
   };
+
+  // Removes `agent_id`'s charge from `session` (no-op if not charged).
+  void ReleaseAgentCharge(SessionState& session, uint32_t agent_id);
+  // Releases everything `session` still holds (agents + network).
+  void ReleaseSession(SessionState& session);
+  // Retires the agent and releases its reservations from every session.
+  void RetireAndRelease(uint32_t agent_id);
+  void UpdateSessionGauge() const;
 
   Options options_;
   std::vector<AgentState> agents_;

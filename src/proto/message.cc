@@ -1,5 +1,7 @@
 #include "src/proto/message.h"
 
+#include <bit>
+
 #include "src/util/crc32.h"
 #include "src/util/wire_buffer.h"
 
@@ -52,6 +54,34 @@ const char* MessageTypeName(MessageType type) {
       return "STATS";
     case MessageType::kStatsReply:
       return "STATS_REPLY";
+    case MessageType::kRegisterAgent:
+      return "REGISTER_AGENT";
+    case MessageType::kRegisterAgentAck:
+      return "REGISTER_AGENT_ACK";
+    case MessageType::kHeartbeat:
+      return "HEARTBEAT";
+    case MessageType::kHeartbeatAck:
+      return "HEARTBEAT_ACK";
+    case MessageType::kOpenSession:
+      return "OPEN_SESSION";
+    case MessageType::kSessionPlan:
+      return "SESSION_PLAN";
+    case MessageType::kCloseSession:
+      return "CLOSE_SESSION";
+    case MessageType::kCloseSessionAck:
+      return "CLOSE_SESSION_ACK";
+    case MessageType::kReportFailure:
+      return "REPORT_FAILURE";
+    case MessageType::kRevisedPlan:
+      return "REVISED_PLAN";
+    case MessageType::kRenewLease:
+      return "RENEW_LEASE";
+    case MessageType::kRenewLeaseAck:
+      return "RENEW_LEASE_ACK";
+    case MessageType::kListSessions:
+      return "LIST_SESSIONS";
+    case MessageType::kSessionList:
+      return "SESSION_LIST";
   }
   return "UNKNOWN";
 }
@@ -98,6 +128,33 @@ std::vector<uint8_t> Message::Encode() const {
     case MessageType::kError:
       w.PutU32(status_code);
       break;
+    case MessageType::kRegisterAgent:
+      w.PutU64(std::bit_cast<uint64_t>(rate));
+      w.PutU64(size);  // storage capacity, bytes
+      w.PutU16(data_port);
+      break;
+    case MessageType::kHeartbeat:
+      w.PutU64(std::bit_cast<uint64_t>(rate));
+      break;
+    case MessageType::kRegisterAgentAck:
+    case MessageType::kHeartbeatAck:
+    case MessageType::kCloseSessionAck:
+    case MessageType::kSessionPlan:
+    case MessageType::kRevisedPlan:
+      w.PutU32(status_code);
+      break;
+    case MessageType::kCloseSession:
+    case MessageType::kRenewLease:
+      w.PutU64(size);  // session id
+      break;
+    case MessageType::kRenewLeaseAck:
+      w.PutU32(status_code);
+      w.PutU64(size);  // remaining lease, ms
+      break;
+    case MessageType::kReportFailure:
+      w.PutU64(size);  // session id
+      w.PutU16(data_port);
+      break;
     default:
       break;
   }
@@ -116,7 +173,7 @@ Result<Message> Message::Decode(std::span<const uint8_t> datagram) {
   }
   Message m;
   const uint8_t raw_type = r.GetU8();
-  if (raw_type < 1 || raw_type > static_cast<uint8_t>(MessageType::kStatsReply)) {
+  if (raw_type < 1 || raw_type > static_cast<uint8_t>(MessageType::kSessionList)) {
     return InvalidArgumentError("unknown message type");
   }
   m.type = static_cast<MessageType>(raw_type);
@@ -158,6 +215,33 @@ Result<Message> Message::Decode(std::span<const uint8_t> datagram) {
       break;
     case MessageType::kError:
       m.status_code = r.GetU32();
+      break;
+    case MessageType::kRegisterAgent:
+      m.rate = std::bit_cast<double>(r.GetU64());
+      m.size = r.GetU64();
+      m.data_port = r.GetU16();
+      break;
+    case MessageType::kHeartbeat:
+      m.rate = std::bit_cast<double>(r.GetU64());
+      break;
+    case MessageType::kRegisterAgentAck:
+    case MessageType::kHeartbeatAck:
+    case MessageType::kCloseSessionAck:
+    case MessageType::kSessionPlan:
+    case MessageType::kRevisedPlan:
+      m.status_code = r.GetU32();
+      break;
+    case MessageType::kCloseSession:
+    case MessageType::kRenewLease:
+      m.size = r.GetU64();
+      break;
+    case MessageType::kRenewLeaseAck:
+      m.status_code = r.GetU32();
+      m.size = r.GetU64();
+      break;
+    case MessageType::kReportFailure:
+      m.size = r.GetU64();
+      m.data_port = r.GetU16();
       break;
     default:
       break;

@@ -42,6 +42,9 @@ inline constexpr uint32_t kMaxPacketPayload = 8192;
 // Well-known agent port for OPEN requests (real-socket stack).
 inline constexpr uint16_t kDefaultAgentPort = 4751;
 
+// Well-known storage-mediator port for the session control plane.
+inline constexpr uint16_t kDefaultMediatorPort = 4750;
+
 enum class MessageType : uint8_t {
   kOpen = 1,        // client → agent (well-known port): open/create a store file
   kOpenReply = 2,   // agent → client: status, handle, private port, size
@@ -66,6 +69,24 @@ enum class MessageType : uint8_t {
   kRemoveAck = 17,  // agent → client
   kStats = 18,      // client → agent (well-known port): pull a metrics snapshot
   kStatsReply = 19, // agent → client: payload carries the rendered registry text
+
+  // --- mediator control plane (all speak to the mediator's well-known port;
+  // `handle` carries the mediator-assigned agent id where noted) ---
+  kRegisterAgent = 20,    // agent → mediator: capacity (rate/storage), data_port
+  kRegisterAgentAck = 21, // mediator → agent: status; handle = assigned agent id
+  kHeartbeat = 22,        // agent → mediator: handle = agent id, rate = live load
+  kHeartbeatAck = 23,     // mediator → agent: status (NOT_FOUND ⇒ re-register)
+  kOpenSession = 24,      // client → mediator: payload = serialized SessionRequest
+  kSessionPlan = 25,      // mediator → client: status; payload = SessionGrant
+  kCloseSession = 26,     // client → mediator: size = session id
+  kCloseSessionAck = 27,  // mediator → client: status (double close is OK)
+  kReportFailure = 28,    // client → mediator: size = session id; data_port =
+                          //   failed agent's port (0 ⇒ handle = failed agent id)
+  kRevisedPlan = 29,      // mediator → client: status; payload = repaired grant
+  kRenewLease = 30,       // client → mediator: size = session id
+  kRenewLeaseAck = 31,    // mediator → client: status; size = remaining lease ms
+  kListSessions = 32,     // client → mediator
+  kSessionList = 33,      // mediator → client: payload = one text line per session
 };
 
 const char* MessageTypeName(MessageType type);
@@ -91,6 +112,8 @@ struct Message {
   std::vector<uint16_t> missing_seqs; // kWriteNack
   uint32_t read_length = 0;           // kReadReq/kWriteReq: bytes in the request
   uint16_t window = 0;                // kReadReq: packets in flight; kWriteReq: announce/query
+  double rate = 0;                    // kRegisterAgent: capacity (bytes/s);
+                                      // kHeartbeat: current load (IEEE-754 bits on the wire)
 
   std::vector<uint8_t> payload;       // kData/kWriteData
 

@@ -1,13 +1,17 @@
 #!/usr/bin/env bash
 # End-to-end test of the deployable toolchain: three swift_agentd processes,
 # swift_cli create/put/get/stat/rm, parity rebuild after wiping an agent's
-# store, and byte-exact verification throughout.
+# store, and byte-exact verification throughout. A second phase brings up
+# swift_mediatord plus four mediated agents and exercises the control plane:
+# session negotiation, heartbeats, failure-driven replanning with column
+# migration, lease expiry, and the mediator's metrics endpoint.
 #
-# Usage: cli_integration.sh <swift_agentd> <swift_cli>
+# Usage: cli_integration.sh <swift_agentd> <swift_cli> <swift_mediatord>
 set -eu
 
 AGENTD="$1"
 CLI_BIN="$2"
+MEDIATORD="$3"
 WORK="$(mktemp -d)"
 PIDS=""
 
@@ -79,5 +83,105 @@ sleep 1.5
 grep -q '^# swift_agentd metrics' "$WORK/agent0.log" || { echo "FAIL: no interval dump"; exit 1; }
 grep -Eq '^swift_agent_[a-z0-9_]+ [0-9]' "$WORK/agent0.log" \
   || { echo "FAIL: malformed interval dump"; exit 1; }
+
+# ---- mediator control plane -------------------------------------------------
+# swift_mediatord plus four fresh agents that register and heartbeat. A lax
+# failure detector (500ms x 4 misses) keeps live agents safe on slow machines
+# while still noticing the one we kill.
+MED_PORT=$((BASE_PORT + 100))
+"$MEDIATORD" --port=$MED_PORT --seconds=120 --heartbeat-ms=500 --misses=4 \
+    > "$WORK/mediatord.log" 2>&1 &
+PIDS="$PIDS $!"
+
+MPORTS=()
+MPIDS=()
+for i in 0 1 2 3; do
+  port=$((BASE_PORT + 10 + i))
+  "$AGENTD" --root="$WORK/magent$i" --port=$port --seconds=120 \
+      --mediator=$MED_PORT --heartbeat-ms=100 > "$WORK/magent$i.log" 2>&1 &
+  pid=$!
+  PIDS="$PIDS $pid"
+  MPORTS+=("$port")
+  MPIDS+=("$pid")
+done
+for i in 0 1 2 3; do
+  for _ in $(seq 1 50); do
+    grep -q 'registered with mediator' "$WORK/magent$i.log" && break
+    sleep 0.2
+  done
+  grep -q 'registered with mediator' "$WORK/magent$i.log" \
+    || { echo "FAIL: agent $i never registered"; cat "$WORK/magent$i.log"; exit 1; }
+done
+
+# Negotiate a leased parity session pinned to 3 of the 4 agents; the spare is
+# the replan candidate. The printed "agents" line is the column-order port
+# list for data-path invocations.
+MDIR="$WORK/mediated.dirdb"
+$CLI_BIN --mediator=$MED_PORT --dir=$MDIR session open stream --size=2500000 \
+    --rate-mbps=1 --parity --min-agents=3 --max-agents=3 --lease-ms=60000 \
+    > "$WORK/session_open.txt"
+SESSION_ID=$(awk '/^session /{print $2}' "$WORK/session_open.txt")
+SPORTS=$(awk '/^agents /{print $2}' "$WORK/session_open.txt")
+[ -n "$SESSION_ID" ] && [ -n "$SPORTS" ] \
+  || { echo "FAIL: session open output"; cat "$WORK/session_open.txt"; exit 1; }
+
+MCLI="$CLI_BIN --agents=$SPORTS --dir=$MDIR"
+$MCLI put stream "$WORK/original.bin"
+$MCLI get stream "$WORK/mcopy.bin"
+cmp "$WORK/original.bin" "$WORK/mcopy.bin" || { echo "FAIL: mediated round trip"; exit 1; }
+
+$CLI_BIN --mediator=$MED_PORT session list | grep -q "object=stream" \
+  || { echo "FAIL: session not listed"; exit 1; }
+$CLI_BIN --mediator=$MED_PORT session renew "$SESSION_ID" | grep -q "renewed session" \
+  || { echo "FAIL: renew"; exit 1; }
+
+# Kill the agent serving column 1. With parity the object stays readable
+# (degraded), and `repair` reports the failure, adopts the mediator's revised
+# plan, and rebuilds the lost column onto the replacement agent.
+DEAD_PORT=$(echo "$SPORTS" | cut -d, -f2)
+for i in "${!MPORTS[@]}"; do
+  [ "${MPORTS[$i]}" = "$DEAD_PORT" ] && kill "${MPIDS[$i]}"
+done
+$MCLI get stream "$WORK/mcopy_degraded.bin"
+cmp "$WORK/original.bin" "$WORK/mcopy_degraded.bin" \
+  || { echo "FAIL: degraded read differs"; exit 1; }
+
+$CLI_BIN --agents=$SPORTS --dir=$MDIR --mediator=$MED_PORT \
+    repair stream "$DEAD_PORT" --session="$SESSION_ID" > "$WORK/repair.txt"
+grep -q 'repaired column' "$WORK/repair.txt" \
+  || { echo "FAIL: repair output"; cat "$WORK/repair.txt"; exit 1; }
+NEW_PORTS=$(awk '/^agents /{print $2}' "$WORK/repair.txt")
+case ",$NEW_PORTS," in
+  *,"$DEAD_PORT",*) echo "FAIL: dead port still in plan"; exit 1 ;;
+esac
+$CLI_BIN --agents=$NEW_PORTS --dir=$MDIR get stream "$WORK/mcopy_repaired.bin"
+cmp "$WORK/original.bin" "$WORK/mcopy_repaired.bin" \
+  || { echo "FAIL: post-repair read differs"; exit 1; }
+
+# A short-lease session vanishes on its own once the lease runs out.
+$CLI_BIN --mediator=$MED_PORT --dir=$MDIR session open burst --size=65536 \
+    --lease-ms=1000 > /dev/null
+$CLI_BIN --mediator=$MED_PORT session list | grep -q "object=burst" \
+  || { echo "FAIL: leased session not listed"; exit 1; }
+sleep 2
+$CLI_BIN --mediator=$MED_PORT session list | grep -q "object=burst" \
+  && { echo "FAIL: lease never expired"; exit 1; }
+
+# The mediator answers STATS with its control-plane counters.
+$CLI_BIN --agents=$MED_PORT --dir=$MDIR stats "$MED_PORT" > "$WORK/medstats.txt"
+grep -Eq '^swift_mediator_heartbeats_total [1-9][0-9]*' "$WORK/medstats.txt" \
+  || { echo "FAIL: mediator heartbeat counter"; exit 1; }
+grep -Eq '^swift_mediator_replans_total [1-9]' "$WORK/medstats.txt" \
+  || { echo "FAIL: mediator replan counter"; exit 1; }
+grep -Eq '^swift_mediator_leases_expired_total [1-9]' "$WORK/medstats.txt" \
+  || { echo "FAIL: mediator lease-expiry counter"; exit 1; }
+
+# Close is explicit and idempotent.
+$CLI_BIN --mediator=$MED_PORT session close "$SESSION_ID" | grep -q "closed session" \
+  || { echo "FAIL: close"; exit 1; }
+$CLI_BIN --mediator=$MED_PORT session close "$SESSION_ID" | grep -q "closed session" \
+  || { echo "FAIL: close not idempotent"; exit 1; }
+$CLI_BIN --mediator=$MED_PORT session list | grep -q "object=stream" \
+  && { echo "FAIL: session listed after close"; exit 1; }
 
 echo "cli_integration: PASS"

@@ -112,7 +112,8 @@ TEST(MediatorTest, ReservationsAccumulateAndRelease) {
     EXPECT_DOUBLE_EQ(mediator.ReservedRate(id), 0.0);
     EXPECT_EQ(mediator.ReservedStorage(id), 0u);
   }
-  EXPECT_EQ(mediator.CloseSession(plan->session_id).code(), StatusCode::kNotFound);
+  // Close is idempotent: a retried close is a no-op success.
+  EXPECT_TRUE(mediator.CloseSession(plan->session_id).ok());
 }
 
 TEST(MediatorTest, LoadSharingSpreadsSessions) {
@@ -188,6 +189,243 @@ TEST(MediatorTest, BestEffortSessionNeedsNoRate) {
   ASSERT_TRUE(plan.ok());
   EXPECT_DOUBLE_EQ(plan->reserved_rate, 0.0);
   EXPECT_EQ(mediator.ReservedRate(plan->agent_ids[0]), 0.0);
+}
+
+TEST(MediatorTest, PickStripeUnitEdgeCases) {
+  StorageMediator mediator = MakeMediator(1);
+  // Typical request smaller than min_stripe_unit * data_agents: clamped to
+  // the minimum rather than splitting below it.
+  EXPECT_EQ(mediator.PickStripeUnit(KiB(8), 4), KiB(4));
+  EXPECT_EQ(mediator.PickStripeUnit(1, 8), KiB(4));
+  // Zero typical request: still a valid (minimum) unit.
+  EXPECT_EQ(mediator.PickStripeUnit(0, 3), KiB(4));
+  // Non-power-of-two share (300000 / 3 = 100000): rounds down to the largest
+  // power of two that fits, 64 KiB.
+  EXPECT_EQ(mediator.PickStripeUnit(300000, 3), KiB(64));
+  // Clamped to max_stripe_unit no matter how large the request.
+  EXPECT_EQ(mediator.PickStripeUnit(MiB(512), 1), MiB(1));
+  // Custom bounds are respected.
+  StorageMediator::Options narrow;
+  narrow.min_stripe_unit = KiB(16);
+  narrow.max_stripe_unit = KiB(64);
+  StorageMediator bounded = MakeMediator(1, MiBPerSecond(1), MiB(100), narrow);
+  EXPECT_EQ(bounded.PickStripeUnit(KiB(4), 4), KiB(16));
+  EXPECT_EQ(bounded.PickStripeUnit(MiB(8), 1), KiB(64));
+}
+
+// ------------------------------------------------------- control plane -----
+
+TEST(MediatorControlTest, CloseUnknownSessionIsNoOp) {
+  StorageMediator mediator = MakeMediator(2);
+  EXPECT_TRUE(mediator.CloseSession(12345).ok());
+  EXPECT_TRUE(mediator.CloseSession(0).ok());
+}
+
+TEST(MediatorControlTest, AutoRetireReleasesReservations) {
+  StorageMediator::Options options;
+  options.heartbeat_interval_ms = 100;
+  options.heartbeat_miss_limit = 3;
+  StorageMediator mediator(options);
+  for (uint16_t i = 0; i < 3; ++i) {
+    mediator.RegisterAgent(AgentCapacity{MiBPerSecond(1), MiB(100)},
+                           static_cast<uint16_t>(5000 + i), 1000);
+  }
+  auto plan = mediator.OpenSession({.object_name = "x",
+                                    .expected_size = MiB(1),
+                                    .required_rate = MiBPerSecond(1.6)},
+                                   1000);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->agent_ids.size(), 2u);
+  const uint32_t silent = plan->agent_ids[0];
+  const uint32_t chatty = plan->agent_ids[1];
+
+  // Everyone but `silent` keeps heartbeating.
+  for (uint64_t t = 1100; t <= 1400; t += 100) {
+    for (uint32_t id = 0; id < 3; ++id) {
+      if (id != silent) {
+        ASSERT_TRUE(mediator.NoteHeartbeat(id, 0, t).ok());
+      }
+    }
+    mediator.AdvanceTime(t);
+  }
+
+  // 1400 > 1000 + 100*3: the silent agent is auto-retired and its
+  // reservations for the still-open session are released.
+  EXPECT_TRUE(mediator.AgentRetired(silent));
+  EXPECT_DOUBLE_EQ(mediator.ReservedRate(silent), 0.0);
+  EXPECT_EQ(mediator.ReservedStorage(silent), 0u);
+  EXPECT_GT(mediator.ReservedRate(chatty), 0.0);
+  EXPECT_EQ(mediator.active_session_count(), 1u);
+
+  // Heartbeats from a retired agent bounce with NOT_FOUND (re-register).
+  EXPECT_EQ(mediator.NoteHeartbeat(silent, 0, 1500).code(), StatusCode::kNotFound);
+
+  // Closing the session afterwards releases only what is still charged —
+  // nothing goes negative and the survivor ends clean.
+  ASSERT_TRUE(mediator.CloseSession(plan->session_id).ok());
+  for (uint32_t id = 0; id < 3; ++id) {
+    EXPECT_DOUBLE_EQ(mediator.ReservedRate(id), 0.0);
+    EXPECT_EQ(mediator.ReservedStorage(id), 0u);
+  }
+  EXPECT_TRUE(mediator.CloseSession(plan->session_id).ok());  // idempotent
+}
+
+TEST(MediatorControlTest, LeaseExpiryFreesRateForNewSession) {
+  StorageMediator mediator = MakeMediator(1);
+  auto hog = mediator.OpenSession({.object_name = "hog",
+                                   .expected_size = MiB(1),
+                                   .required_rate = MiBPerSecond(0.8),
+                                   .lease_ms = 500},
+                                  0);
+  ASSERT_TRUE(hog.ok());
+
+  // While the lease is live the rate is committed: a second session of the
+  // same size must be rejected.
+  auto blocked = mediator.OpenSession({.object_name = "blocked",
+                                       .expected_size = MiB(1),
+                                       .required_rate = MiBPerSecond(0.8)},
+                                      100);
+  EXPECT_EQ(blocked.code(), StatusCode::kResourceExhausted);
+
+  mediator.AdvanceTime(499);
+  EXPECT_EQ(mediator.active_session_count(), 1u);
+  mediator.AdvanceTime(500);
+  EXPECT_EQ(mediator.active_session_count(), 0u);
+  EXPECT_DOUBLE_EQ(mediator.ReservedRate(0), 0.0);
+
+  auto retry = mediator.OpenSession({.object_name = "blocked",
+                                     .expected_size = MiB(1),
+                                     .required_rate = MiBPerSecond(0.8)},
+                                    600);
+  EXPECT_TRUE(retry.ok());
+  // Closing the expired session later is still a no-op success.
+  EXPECT_TRUE(mediator.CloseSession(hog->session_id).ok());
+}
+
+TEST(MediatorControlTest, RenewLeaseExtendsDeadline) {
+  StorageMediator mediator = MakeMediator(2);
+  auto plan = mediator.OpenSession({.object_name = "x",
+                                    .expected_size = MiB(1),
+                                    .required_rate = KiBPerSecond(100),
+                                    .lease_ms = 500},
+                                   0);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(mediator.SessionLeaseMs(plan->session_id), 500u);
+
+  ASSERT_TRUE(mediator.RenewLease(plan->session_id, 400).ok());
+  mediator.AdvanceTime(600);  // past the original deadline, inside the renewed one
+  EXPECT_EQ(mediator.active_session_count(), 1u);
+  mediator.AdvanceTime(900);  // 400 + 500: renewed lease lapses
+  EXPECT_EQ(mediator.active_session_count(), 0u);
+
+  EXPECT_EQ(mediator.RenewLease(plan->session_id, 1000).code(), StatusCode::kNotFound);
+  auto unleased = mediator.OpenSession({.object_name = "y", .expected_size = KiB(64)});
+  ASSERT_TRUE(unleased.ok());
+  EXPECT_EQ(mediator.RenewLease(unleased->session_id, 0).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MediatorControlTest, DefaultLeaseAppliesWhenRequestHasNone) {
+  StorageMediator::Options options;
+  options.default_lease_ms = 300;
+  StorageMediator mediator = MakeMediator(1, MiBPerSecond(1), MiB(100), options);
+  auto plan = mediator.OpenSession({.object_name = "x", .expected_size = KiB(64)}, 0);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(mediator.SessionLeaseMs(plan->session_id), 300u);
+  mediator.AdvanceTime(300);
+  EXPECT_EQ(mediator.active_session_count(), 0u);
+}
+
+TEST(MediatorControlTest, ReplanMapsFailedColumnOntoSpare) {
+  StorageMediator mediator = MakeMediator(4);
+  auto plan = mediator.OpenSession({.object_name = "movie",
+                                    .expected_size = MiB(4),
+                                    .required_rate = MiBPerSecond(1.6),
+                                    .redundancy = true});
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->agent_ids.size(), 3u);
+  const uint32_t failed = plan->agent_ids[1];
+  const double rate_before = mediator.ReservedRate(failed);
+  ASSERT_GT(rate_before, 0.0);
+
+  auto revised = mediator.ReplanSession(plan->session_id, failed);
+  ASSERT_TRUE(revised.ok());
+  // Same session, same geometry; only column 1 changed, to the one agent not
+  // already in the plan.
+  EXPECT_EQ(revised->session_id, plan->session_id);
+  EXPECT_EQ(revised->stripe.num_agents, plan->stripe.num_agents);
+  EXPECT_EQ(revised->stripe.stripe_unit, plan->stripe.stripe_unit);
+  EXPECT_EQ(revised->agent_ids[0], plan->agent_ids[0]);
+  EXPECT_EQ(revised->agent_ids[2], plan->agent_ids[2]);
+  const uint32_t replacement = revised->agent_ids[1];
+  EXPECT_NE(replacement, failed);
+
+  // The failed agent is retired with its charge released; the replacement
+  // carries the column's reservation instead.
+  EXPECT_TRUE(mediator.AgentRetired(failed));
+  EXPECT_DOUBLE_EQ(mediator.ReservedRate(failed), 0.0);
+  EXPECT_NEAR(mediator.ReservedRate(replacement), rate_before, 1e-9);
+
+  // A duplicate report (retransmitted kReportFailure) is a no-op success
+  // returning the current plan.
+  auto again = mediator.ReplanSession(plan->session_id, failed);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->agent_ids, revised->agent_ids);
+  EXPECT_NEAR(mediator.ReservedRate(replacement), rate_before, 1e-9);
+
+  // Closing releases everything, including the replacement's charge.
+  ASSERT_TRUE(mediator.CloseSession(plan->session_id).ok());
+  for (uint32_t id = 0; id < 4; ++id) {
+    EXPECT_DOUBLE_EQ(mediator.ReservedRate(id), 0.0);
+  }
+}
+
+TEST(MediatorControlTest, ReplanErrors) {
+  StorageMediator mediator = MakeMediator(3);
+  auto plan = mediator.OpenSession({.object_name = "x",
+                                    .expected_size = MiB(1),
+                                    .required_rate = MiBPerSecond(1.6)});
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->agent_ids.size(), 2u);
+
+  EXPECT_EQ(mediator.ReplanSession(999, plan->agent_ids[0]).code(), StatusCode::kNotFound);
+  EXPECT_EQ(mediator.ReplanSession(plan->session_id, 77).code(), StatusCode::kNotFound);
+  // An agent outside the session that was never replaced: invalid report.
+  uint32_t outsider = 3;
+  for (uint32_t id = 0; id < 3; ++id) {
+    if (id != plan->agent_ids[0] && id != plan->agent_ids[1]) {
+      outsider = id;
+    }
+  }
+  EXPECT_EQ(mediator.ReplanSession(plan->session_id, outsider).code(),
+            StatusCode::kInvalidArgument);
+
+  // First failure consumes the only spare; a second failure has no live
+  // replacement left.
+  ASSERT_TRUE(mediator.ReplanSession(plan->session_id, plan->agent_ids[0]).ok());
+  EXPECT_EQ(mediator.ReplanSession(plan->session_id, plan->agent_ids[1]).code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(MediatorControlTest, ListSessionsReportsLeases) {
+  StorageMediator mediator = MakeMediator(2);
+  auto leased = mediator.OpenSession({.object_name = "leased",
+                                      .expected_size = KiB(64),
+                                      .lease_ms = 1000},
+                                     0);
+  auto forever = mediator.OpenSession({.object_name = "forever", .expected_size = KiB(64)});
+  ASSERT_TRUE(leased.ok());
+  ASSERT_TRUE(forever.ok());
+  auto infos = mediator.ListSessions(400);
+  ASSERT_EQ(infos.size(), 2u);
+  for (const auto& info : infos) {
+    if (info.session_id == leased->session_id) {
+      EXPECT_TRUE(info.leased);
+      EXPECT_EQ(info.lease_remaining_ms, 600u);
+    } else {
+      EXPECT_FALSE(info.leased);
+      EXPECT_EQ(info.lease_remaining_ms, 0u);
+    }
+  }
 }
 
 // ----------------------------------------------------------- directory -----

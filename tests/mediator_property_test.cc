@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <vector>
 
@@ -88,6 +89,171 @@ TEST_P(MediatorPropertyTest, ReservationsAlwaysConsistent) {
   // Drain: everything returns to zero.
   for (const auto& record : open_sessions) {
     ASSERT_TRUE(mediator.CloseSession(record.plan.session_id).ok());
+  }
+  for (uint32_t agent = 0; agent < kAgents; ++agent) {
+    EXPECT_NEAR(mediator.ReservedRate(agent), 0, 1e-6);
+    EXPECT_EQ(mediator.ReservedStorage(agent), 0u);
+  }
+  EXPECT_NEAR(mediator.reserved_network_rate(), 0, 1e-6);
+  EXPECT_EQ(mediator.active_session_count(), 0u);
+}
+
+// Control-plane invariants: under any interleaving of opens (leased and
+// unleased), closes, agent retirements, failure-driven replans, renewals, and
+// clock advances,
+//   * per-agent reserved rate tracks a deterministic model of the charged
+//     sets and never exceeds capacity * load_factor,
+//   * a retired agent holds no reservations,
+//   * the interconnect reservation equals the sum of open sessions' rates,
+//   * a replanned session is never handed an agent it reported failed,
+//   * draining every session returns the mediator to pristine.
+TEST_P(MediatorPropertyTest, ControlPlaneInvariants) {
+  Rng rng(GetParam() * 977 + 13);
+  StorageMediator::Options options;
+  options.network_capacity = MiBPerSecond(64);
+  StorageMediator mediator(options);
+  constexpr uint32_t kAgents = 10;
+  const double kAgentRate = MiBPerSecond(1);
+  for (uint32_t i = 0; i < kAgents; ++i) {
+    mediator.RegisterAgent(AgentCapacity{kAgentRate, MiB(256)});
+  }
+
+  struct ModelSession {
+    uint64_t session_id = 0;
+    std::vector<uint32_t> plan_agents;
+    std::vector<uint32_t> charged;
+    std::vector<uint32_t> failed;
+    double per_agent_rate = 0;
+    double network_rate = 0;
+    uint64_t lease_deadline = 0;  // 0 = no lease
+  };
+  std::vector<ModelSession> model;
+  auto erase_charge = [](ModelSession& s, uint32_t agent) {
+    for (auto it = s.charged.begin(); it != s.charged.end(); ++it) {
+      if (*it == agent) {
+        s.charged.erase(it);
+        return;
+      }
+    }
+  };
+
+  uint64_t now = 1;
+  int replans_applied = 0;
+  for (int step = 0; step < 300; ++step) {
+    now += static_cast<uint64_t>(rng.UniformInt(0, 100));
+    const double dice = rng.Uniform(0, 1);
+    if (model.empty() || dice < 0.45) {  // open
+      StorageMediator::SessionRequest request;
+      request.object_name = "o" + std::to_string(step);
+      request.expected_size = static_cast<uint64_t>(rng.UniformInt(0, MiB(16)));
+      request.required_rate = rng.Uniform(0, MiBPerSecond(2.5));
+      request.typical_request = static_cast<uint64_t>(rng.UniformInt(KiB(16), MiB(2)));
+      request.redundancy = rng.Bernoulli(0.3);
+      if (rng.Bernoulli(0.4)) {
+        request.lease_ms = static_cast<uint64_t>(rng.UniformInt(100, 2000));
+      }
+      auto plan = mediator.OpenSession(request, now);
+      if (plan.ok()) {
+        ModelSession s;
+        s.session_id = plan->session_id;
+        s.plan_agents = plan->agent_ids;
+        s.charged = plan->agent_ids;
+        s.per_agent_rate = request.required_rate > 0
+                               ? request.required_rate / plan->stripe.DataAgentsPerRow()
+                               : 0;
+        s.network_rate = request.required_rate;
+        s.lease_deadline = request.lease_ms > 0 ? now + request.lease_ms : 0;
+        model.push_back(std::move(s));
+      }
+    } else if (dice < 0.65) {  // close
+      const size_t victim =
+          static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(model.size()) - 1));
+      ASSERT_TRUE(mediator.CloseSession(model[victim].session_id).ok());
+      model.erase(model.begin() + static_cast<long>(victim));
+    } else if (dice < 0.85) {  // replan a random column of a random session
+      ModelSession& s = model[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(model.size()) - 1))];
+      const uint32_t failed = s.plan_agents[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(s.plan_agents.size()) - 1))];
+      auto revised = mediator.ReplanSession(s.session_id, failed);
+      // Either way the reported agent is now retired with charges released.
+      for (auto& other : model) {
+        erase_charge(other, failed);
+      }
+      s.failed.push_back(failed);
+      if (revised.ok()) {
+        // A column whose earlier replan found no spare may still name its dead
+        // agent (degraded mode), but no *replacement* is ever a failed agent.
+        // Model the remap: each id that changed picks up the charge.
+        for (size_t c = 0; c < revised->agent_ids.size(); ++c) {
+          if (revised->agent_ids[c] != s.plan_agents[c]) {
+            EXPECT_EQ(std::count(s.failed.begin(), s.failed.end(), revised->agent_ids[c]),
+                      0)
+                << "session " << s.session_id << " re-handed failed agent "
+                << revised->agent_ids[c];
+            s.charged.push_back(revised->agent_ids[c]);
+          }
+        }
+        s.plan_agents = revised->agent_ids;
+        ++replans_applied;
+      } else {
+        EXPECT_EQ(revised.code(), StatusCode::kResourceExhausted)
+            << revised.status().ToString();
+      }
+    } else if (dice < 0.95) {  // retire an arbitrary agent out from under everyone
+      const uint32_t agent = static_cast<uint32_t>(rng.UniformInt(0, kAgents - 1));
+      ASSERT_TRUE(mediator.RetireAgent(agent).ok());
+      for (auto& s : model) {
+        erase_charge(s, agent);
+      }
+    } else if (!model.empty()) {  // renew a random leased session
+      ModelSession& s = model[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(model.size()) - 1))];
+      if (s.lease_deadline > 0) {
+        Status renewed = mediator.RenewLease(s.session_id, now);
+        if (renewed.ok()) {
+          // lease_ms is unknown to the model here; recompute from the mediator.
+          s.lease_deadline = now + mediator.SessionLeaseMs(s.session_id);
+        }
+      }
+    }
+
+    // Clock sweep: leases at/past deadline expire in both worlds.
+    mediator.AdvanceTime(now);
+    for (auto it = model.begin(); it != model.end();) {
+      if (it->lease_deadline > 0 && now >= it->lease_deadline) {
+        it = model.erase(it);
+      } else {
+        ++it;
+      }
+    }
+
+    // --- invariants ----------------------------------------------------------
+    std::map<uint32_t, double> expected_rate;
+    double expected_network = 0;
+    for (const auto& s : model) {
+      for (uint32_t agent : s.charged) {
+        expected_rate[agent] += s.per_agent_rate;
+      }
+      expected_network += s.network_rate;
+    }
+    for (uint32_t agent = 0; agent < kAgents; ++agent) {
+      const double reserved = mediator.ReservedRate(agent);
+      EXPECT_NEAR(reserved, expected_rate[agent], 1.0) << "agent " << agent << " step " << step;
+      EXPECT_LE(reserved, kAgentRate * 0.9 + 1.0) << "agent " << agent << " over-promised";
+      if (mediator.AgentRetired(agent)) {
+        EXPECT_NEAR(reserved, 0.0, 1e-6) << "retired agent " << agent << " still charged";
+        EXPECT_EQ(mediator.ReservedStorage(agent), 0u);
+      }
+    }
+    EXPECT_NEAR(mediator.reserved_network_rate(), expected_network, 1.0) << "step " << step;
+    EXPECT_EQ(mediator.active_session_count(), model.size()) << "step " << step;
+  }
+  EXPECT_GT(replans_applied, 0) << "workload never exercised a successful replan";
+
+  // Drain: everything returns to zero.
+  for (const auto& s : model) {
+    ASSERT_TRUE(mediator.CloseSession(s.session_id).ok());
   }
   for (uint32_t agent = 0; agent < kAgents; ++agent) {
     EXPECT_NEAR(mediator.ReservedRate(agent), 0, 1e-6);

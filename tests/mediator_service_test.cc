@@ -1,0 +1,324 @@
+// The networked mediator control plane over real UDP sockets: registration,
+// session negotiation through SessionHandle/MediatorClient, heartbeat-driven
+// auto-retirement, failure-driven replanning addressed by port, lease expiry
+// against the server's clock, and the at-most-once reply cache.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "src/agent/mediator_client.h"
+#include "src/agent/mediator_server.h"
+#include "src/agent/udp_socket.h"
+#include "src/core/mediator_wire.h"
+#include "src/core/session_handle.h"
+#include "src/proto/message.h"
+#include "src/util/units.h"
+
+namespace swift {
+namespace {
+
+void SleepMs(int ms) { std::this_thread::sleep_for(std::chrono::milliseconds(ms)); }
+
+// A server whose failure detector is effectively off, for tests that are not
+// about liveness (agents registered over RPC never heartbeat here).
+UdpMediatorServer::Options QuietOptions() {
+  UdpMediatorServer::Options options;
+  options.port = 0;
+  options.mediator.heartbeat_interval_ms = 60000;
+  return options;
+}
+
+TEST(MediatorServiceTest, RegisterOpenCloseOverWire) {
+  UdpMediatorServer server(QuietOptions());
+  ASSERT_TRUE(server.Start().ok());
+  MediatorClient client(server.port());
+
+  for (uint16_t i = 0; i < 3; ++i) {
+    auto id = client.RegisterAgent(AgentCapacity{MiBPerSecond(1), MiB(100)},
+                                   static_cast<uint16_t>(7001 + i));
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+    EXPECT_EQ(*id, i);
+  }
+
+  StorageMediator::SessionRequest request;
+  request.object_name = "wire-object";
+  request.expected_size = MiB(4);
+  request.required_rate = MiBPerSecond(1.6);
+  request.redundancy = true;
+  auto session = SessionHandle::Open(&client, request);
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  EXPECT_GT(session->id(), 0u);
+  EXPECT_EQ(session->plan().object_name, "wire-object");
+  ASSERT_EQ(session->plan().agent_ids.size(), 3u);
+  ASSERT_EQ(session->grant().agent_ports.size(), 3u);
+  for (size_t c = 0; c < 3; ++c) {
+    EXPECT_EQ(session->grant().agent_ports[c],
+              static_cast<uint16_t>(7001 + session->plan().agent_ids[c]));
+  }
+
+  auto listing = client.ListSessions();
+  ASSERT_TRUE(listing.ok());
+  EXPECT_NE(listing->find("wire-object"), std::string::npos);
+
+  ASSERT_TRUE(session->Close().ok());
+  listing = client.ListSessions();
+  ASSERT_TRUE(listing.ok());
+  EXPECT_EQ(listing->find("wire-object"), std::string::npos);
+  // Close is idempotent end-to-end.
+  EXPECT_TRUE(session->Close().ok());
+
+  auto stats = client.FetchStats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NE(stats->find("swift_mediator_sessions_active"), std::string::npos);
+}
+
+TEST(MediatorServiceTest, AdmissionErrorsCrossTheWire) {
+  UdpMediatorServer server(QuietOptions());
+  ASSERT_TRUE(server.Start().ok());
+  MediatorClient client(server.port());
+
+  StorageMediator::SessionRequest request;
+  request.object_name = "nobody-home";
+  request.expected_size = MiB(1);
+  auto session = SessionHandle::Open(&client, request);
+  EXPECT_EQ(session.code(), StatusCode::kResourceExhausted);  // no agents registered
+
+  EXPECT_TRUE(client.CloseSession(999).ok());  // idempotent even for never-opened
+  EXPECT_EQ(client.RenewLease(999).code(), StatusCode::kNotFound);
+  EXPECT_EQ(client.ReportFailure(999, 0).code(), StatusCode::kNotFound);
+  EXPECT_EQ(client.Heartbeat(42, 0).code(), StatusCode::kNotFound);
+}
+
+TEST(MediatorServiceTest, SilentAgentAutoRetires) {
+  UdpMediatorServer::Options options;
+  options.port = 0;
+  options.mediator.heartbeat_interval_ms = 100;
+  options.mediator.heartbeat_miss_limit = 2;
+  UdpMediatorServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  MediatorClient client(server.port());
+
+  auto id = client.RegisterAgent(AgentCapacity{MiBPerSecond(1), MiB(100)}, 7001);
+  ASSERT_TRUE(id.ok());
+
+  // Keep it alive past the silence budget with heartbeats.
+  for (int i = 0; i < 4; ++i) {
+    SleepMs(100);
+    EXPECT_TRUE(client.Heartbeat(*id, 0).ok());
+  }
+
+  // Then go silent: after interval * misses (plus margin for slow sanitizer
+  // runs) the mediator retires it and admission finds nobody.
+  SleepMs(600);
+  StorageMediator::SessionRequest request;
+  request.object_name = "late";
+  request.expected_size = KiB(64);
+  auto session = SessionHandle::Open(&client, request);
+  EXPECT_EQ(session.code(), StatusCode::kResourceExhausted);
+  // The retired agent's next heartbeat bounces, telling it to re-register.
+  EXPECT_EQ(client.Heartbeat(*id, 0).code(), StatusCode::kNotFound);
+  auto fresh = client.RegisterAgent(AgentCapacity{MiBPerSecond(1), MiB(100)}, 7001);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_NE(*fresh, *id);
+  auto retry = SessionHandle::Open(&client, request);
+  EXPECT_TRUE(retry.ok()) << retry.status().ToString();
+}
+
+TEST(MediatorServiceTest, ReplanByPortRemapsOntoSpare) {
+  UdpMediatorServer server(QuietOptions());
+  ASSERT_TRUE(server.Start().ok());
+  MediatorClient client(server.port());
+
+  for (uint16_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(client
+                    .RegisterAgent(AgentCapacity{MiBPerSecond(1), MiB(100)},
+                                   static_cast<uint16_t>(7001 + i))
+                    .ok());
+  }
+  StorageMediator::SessionRequest request;
+  request.object_name = "failover";
+  request.expected_size = MiB(4);
+  request.required_rate = MiBPerSecond(2.4);  // 3 data agents, 2 spares left
+  auto session = SessionHandle::Open(&client, request);
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  ASSERT_EQ(session->grant().agent_ports.size(), 3u);
+
+  const uint16_t dead_port = session->grant().agent_ports[1];
+  auto revised = client.ReportFailureByPort(session->id(), dead_port);
+  ASSERT_TRUE(revised.ok()) << revised.status().ToString();
+  ASSERT_EQ(revised->agent_ports.size(), 3u);
+  EXPECT_NE(revised->agent_ports[1], dead_port);
+  EXPECT_EQ(revised->agent_ports[0], session->grant().agent_ports[0]);
+  EXPECT_EQ(revised->agent_ports[2], session->grant().agent_ports[2]);
+  for (uint16_t port : revised->agent_ports) {
+    EXPECT_NE(port, dead_port);
+  }
+
+  // SessionHandle::Replan reports the remapped column and adopts the plan.
+  auto failed_id = [&]() -> uint32_t { return session->plan().agent_ids[0]; }();
+  auto column = session->Replan(failed_id);
+  ASSERT_TRUE(column.ok()) << column.status().ToString();
+  EXPECT_EQ(*column, 0u);
+
+  // Both failures consumed both spares: a third report finds no replacement.
+  auto exhausted =
+      client.ReportFailureByPort(session->id(), session->grant().agent_ports[2]);
+  EXPECT_EQ(exhausted.code(), StatusCode::kResourceExhausted);
+}
+
+TEST(MediatorServiceTest, LeaseExpiresOnServerClock) {
+  UdpMediatorServer server(QuietOptions());
+  ASSERT_TRUE(server.Start().ok());
+  MediatorClient client(server.port());
+  ASSERT_TRUE(client.RegisterAgent(AgentCapacity{MiBPerSecond(1), MiB(100)}, 7001).ok());
+
+  StorageMediator::SessionRequest request;
+  request.object_name = "short-lease";
+  request.expected_size = MiB(1);
+  request.required_rate = MiBPerSecond(0.8);
+  request.lease_ms = 300;
+  auto hog = SessionHandle::Open(&client, request);
+  ASSERT_TRUE(hog.ok()) << hog.status().ToString();
+  EXPECT_EQ(hog->grant().lease_ms, 300u);
+
+  // The lease pins the agent's whole usable rate: an immediate second open
+  // must bounce.
+  StorageMediator::SessionRequest rival = request;
+  rival.object_name = "rival";
+  rival.lease_ms = 0;
+  auto blocked = SessionHandle::Open(&client, rival);
+  EXPECT_EQ(blocked.code(), StatusCode::kResourceExhausted);
+
+  // After expiry (plus margin) the reservation is gone and the rival fits.
+  SleepMs(600);
+  auto admitted = SessionHandle::Open(&client, rival);
+  ASSERT_TRUE(admitted.ok()) << admitted.status().ToString();
+  // Renewing the expired session reports NOT_FOUND; closing it is a no-op.
+  EXPECT_EQ(client.RenewLease(hog->id()).code(), StatusCode::kNotFound);
+  EXPECT_TRUE(client.CloseSession(hog->id()).ok());
+  (void)hog->Release();  // already dead on the mediator; don't close again
+}
+
+TEST(MediatorServiceTest, RenewKeepsLeaseAlive) {
+  UdpMediatorServer server(QuietOptions());
+  ASSERT_TRUE(server.Start().ok());
+  MediatorClient client(server.port());
+  ASSERT_TRUE(client.RegisterAgent(AgentCapacity{MiBPerSecond(1), MiB(100)}, 7001).ok());
+
+  StorageMediator::SessionRequest request;
+  request.object_name = "kept-alive";
+  request.expected_size = KiB(64);
+  request.lease_ms = 400;
+  auto session = SessionHandle::Open(&client, request);
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+
+  // Renew twice across what would otherwise be two expiries.
+  for (int i = 0; i < 2; ++i) {
+    SleepMs(250);
+    ASSERT_TRUE(session->Renew().ok());
+  }
+  auto listing = client.ListSessions();
+  ASSERT_TRUE(listing.ok());
+  EXPECT_NE(listing->find("kept-alive"), std::string::npos);
+  EXPECT_TRUE(session->Close().ok());
+}
+
+TEST(MediatorServiceTest, RetransmittedRequestAnsweredFromReplyCache) {
+  UdpMediatorServer server(QuietOptions());
+  ASSERT_TRUE(server.Start().ok());
+  MediatorClient client(server.port());
+  ASSERT_TRUE(client.RegisterAgent(AgentCapacity{MiBPerSecond(1), MiB(100)}, 7001).ok());
+
+  // Hand-roll an OPEN_SESSION and send the identical datagram twice, as a
+  // client whose first reply was lost would. Both replies must describe the
+  // SAME session — the second served from the reply cache, not re-executed.
+  StorageMediator::SessionRequest request;
+  request.object_name = "dedup";
+  request.expected_size = KiB(64);
+  Message open;
+  open.type = MessageType::kOpenSession;
+  open.request_id = 424242;
+  open.payload = EncodeSessionRequest(request);
+  const std::vector<uint8_t> datagram = open.Encode();
+
+  UdpSocket socket;
+  ASSERT_TRUE(socket.BindLoopback(0).ok());
+  const UdpEndpoint mediator = UdpEndpoint::Loopback(server.port());
+  uint64_t session_ids[2] = {0, 0};
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    ASSERT_TRUE(socket.SendTo(mediator, datagram).ok());
+    auto received = socket.RecvFrom(2000);
+    ASSERT_TRUE(received.ok()) << received.status().ToString();
+    auto reply = Message::Decode(received->data);
+    ASSERT_TRUE(reply.ok());
+    ASSERT_EQ(reply->type, MessageType::kSessionPlan);
+    ASSERT_EQ(reply->status_code, 0u);
+    auto grant = DecodeSessionGrant(reply->payload);
+    ASSERT_TRUE(grant.ok());
+    session_ids[attempt] = grant->plan.session_id;
+  }
+  EXPECT_EQ(session_ids[0], session_ids[1]);
+
+  // Exactly one session exists on the mediator.
+  auto listing = client.ListSessions();
+  ASSERT_TRUE(listing.ok());
+  const size_t first = listing->find("session=");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(listing->find("session=", first + 1), std::string::npos);
+}
+
+TEST(MediatorServiceTest, GrantSurvivesWireRoundTrip) {
+  // Codec-level check: a grant with parity, ports, and a lease round-trips.
+  SessionGrant grant;
+  grant.plan.session_id = 77;
+  grant.plan.object_name = "roundtrip";
+  grant.plan.stripe.num_agents = 3;
+  grant.plan.stripe.stripe_unit = KiB(64);
+  grant.plan.stripe.parity = ParityMode::kRotating;
+  grant.plan.agent_ids = {4, 9, 2};
+  grant.plan.reserved_rate = MiBPerSecond(2.5);
+  grant.plan.expected_size = MiB(12);
+  grant.agent_ports = {7010, 7020, 7030};
+  grant.lease_ms = 1234;
+
+  auto decoded = DecodeSessionGrant(EncodeSessionGrant(grant));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->plan.session_id, 77u);
+  EXPECT_EQ(decoded->plan.object_name, "roundtrip");
+  EXPECT_EQ(decoded->plan.stripe.parity, ParityMode::kRotating);
+  EXPECT_EQ(decoded->plan.agent_ids, (std::vector<uint32_t>{4, 9, 2}));
+  EXPECT_DOUBLE_EQ(decoded->plan.reserved_rate, MiBPerSecond(2.5));
+  EXPECT_EQ(decoded->agent_ports, (std::vector<uint16_t>{7010, 7020, 7030}));
+  EXPECT_EQ(decoded->lease_ms, 1234u);
+
+  // Truncated and trailing-garbage payloads are rejected, not misread.
+  std::vector<uint8_t> bytes = EncodeSessionGrant(grant);
+  bytes.pop_back();
+  EXPECT_FALSE(DecodeSessionGrant(bytes).ok());
+  bytes = EncodeSessionGrant(grant);
+  bytes.push_back(0);
+  EXPECT_FALSE(DecodeSessionGrant(bytes).ok());
+
+  StorageMediator::SessionRequest request;
+  request.object_name = "req";
+  request.expected_size = MiB(3);
+  request.required_rate = MiBPerSecond(1.25);
+  request.typical_request = KiB(256);
+  request.redundancy = true;
+  request.min_agents = 2;
+  request.max_agents = 5;
+  request.lease_ms = 900;
+  auto round = DecodeSessionRequest(EncodeSessionRequest(request));
+  ASSERT_TRUE(round.ok());
+  EXPECT_EQ(round->object_name, "req");
+  EXPECT_DOUBLE_EQ(round->required_rate, MiBPerSecond(1.25));
+  EXPECT_TRUE(round->redundancy);
+  EXPECT_EQ(round->min_agents, 2u);
+  EXPECT_EQ(round->max_agents, 5u);
+  EXPECT_EQ(round->lease_ms, 900u);
+}
+
+}  // namespace
+}  // namespace swift

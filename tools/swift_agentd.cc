@@ -6,28 +6,42 @@
 // exclusively the Swift storage agent software").
 //
 //   swift_agentd --root=/var/swift/agent0 [--port=4751] [--seconds=N]
-//               [--stats-interval=N]
+//               [--stats-interval=N] [--mediator=PORT] [--rate-mbps=N]
+//               [--storage-mb=N] [--heartbeat-ms=N]
 //
 // Runs until SIGINT/SIGTERM (or for --seconds, for scripting). Pair it with
 // swift_cli to store and fetch striped objects. With --stats-interval=N the
 // agent dumps its metrics registry (Prometheus-style text) to stdout every N
 // seconds; the same snapshot is served live via the protocol's STATS op.
+//
+// With --mediator=PORT the agent joins a swift_mediatord control plane: it
+// registers its capacity (--rate-mbps, --storage-mb) and data port, then
+// heartbeats every --heartbeat-ms reporting live load (the registry's
+// datagram counters differenced per interval). If the mediator retires the
+// agent (restart, missed beats) the heartbeat gets NOT_FOUND back and the
+// agent simply re-registers under a fresh id.
 // SWIFT_LOG_LEVEL=debug|info|warning|error controls log verbosity.
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 
 #include <sys/stat.h>
 #include <unistd.h>
 
 #include "src/agent/backing_store.h"
+#include "src/agent/mediator_client.h"
 #include "src/agent/storage_agent.h"
 #include "src/agent/udp_agent_server.h"
 #include "src/proto/message.h"
 #include "src/util/metrics.h"
+#include "src/util/units.h"
 
 namespace {
 
@@ -45,6 +59,43 @@ const char* FlagValue(int argc, char** argv, const char* name) {
   return nullptr;
 }
 
+// Registers with the mediator and heartbeats until stopped. Load is the
+// agent's datagram throughput (packets in+out per second, scaled to bytes by
+// the max payload) over the last interval — a cheap monotone proxy the
+// mediator's replanner uses to prefer idle replacements.
+void HeartbeatLoop(uint16_t mediator_port, uint16_t data_port, swift::AgentCapacity capacity,
+                   int interval_ms, const std::atomic<bool>* stop) {
+  swift::MetricRegistry& registry = swift::MetricRegistry::Global();
+  swift::Counter* in = registry.GetCounter("swift_agent_datagrams_in_total");
+  swift::Counter* out = registry.GetCounter("swift_agent_datagrams_out_total");
+
+  swift::MediatorClient client(mediator_port);
+  uint32_t agent_id = 0;
+  bool registered = false;
+  uint64_t last_packets = in->Value() + out->Value();
+  while (!stop->load(std::memory_order_acquire)) {
+    if (!registered) {
+      auto id = client.RegisterAgent(capacity, data_port);
+      if (id.ok()) {
+        agent_id = *id;
+        registered = true;
+        std::printf("swift_agentd: registered with mediator as agent %u\n", agent_id);
+        std::fflush(stdout);
+      }
+    } else {
+      const uint64_t packets = in->Value() + out->Value();
+      const double load = static_cast<double>(packets - last_packets) *
+                          static_cast<double>(swift::kMaxPacketPayload) * 1000.0 / interval_ms;
+      last_packets = packets;
+      swift::Status beat = client.Heartbeat(agent_id, load);
+      if (beat.code() == swift::StatusCode::kNotFound) {
+        registered = false;  // mediator restarted or retired us: re-register
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -52,9 +103,15 @@ int main(int argc, char** argv) {
   const char* port_flag = FlagValue(argc, argv, "--port");
   const char* seconds_flag = FlagValue(argc, argv, "--seconds");
   const char* stats_flag = FlagValue(argc, argv, "--stats-interval");
+  const char* mediator_flag = FlagValue(argc, argv, "--mediator");
+  const char* rate_flag = FlagValue(argc, argv, "--rate-mbps");
+  const char* storage_flag = FlagValue(argc, argv, "--storage-mb");
+  const char* heartbeat_flag = FlagValue(argc, argv, "--heartbeat-ms");
   if (root == nullptr) {
     std::fprintf(stderr,
                  "usage: swift_agentd --root=DIR [--port=%u] [--seconds=N] [--stats-interval=N]\n"
+                 "                    [--mediator=PORT] [--rate-mbps=N] [--storage-mb=N]\n"
+                 "                    [--heartbeat-ms=N]\n"
                  "serves Swift storage-agent protocol over UDP, storing objects in DIR\n",
                  swift::kDefaultAgentPort);
     return 2;
@@ -75,6 +132,20 @@ int main(int argc, char** argv) {
   std::printf("swift_agentd: serving %s on udp port %u\n", root, server.port());
   std::fflush(stdout);
 
+  std::atomic<bool> heartbeat_stop{false};
+  std::thread heartbeat;
+  if (mediator_flag != nullptr) {
+    const uint16_t mediator_port = static_cast<uint16_t>(std::atoi(mediator_flag));
+    swift::AgentCapacity capacity;
+    capacity.data_rate =
+        swift::MiBPerSecond(rate_flag != nullptr ? std::atof(rate_flag) : 100.0);
+    capacity.storage_bytes =
+        swift::MiB(storage_flag != nullptr ? std::atoll(storage_flag) : 1024);
+    const int interval_ms = heartbeat_flag != nullptr ? std::atoi(heartbeat_flag) : 200;
+    heartbeat = std::thread(HeartbeatLoop, mediator_port, server.port(), capacity,
+                            std::max(10, interval_ms), &heartbeat_stop);
+  }
+
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
   const int limit_seconds = seconds_flag != nullptr ? std::atoi(seconds_flag) : -1;
@@ -94,6 +165,10 @@ int main(int argc, char** argv) {
     std::printf("# swift_agentd metrics (final)\n%s",
                 swift::MetricRegistry::Global().RenderText().c_str());
     std::fflush(stdout);
+  }
+  if (heartbeat.joinable()) {
+    heartbeat_stop.store(true, std::memory_order_release);
+    heartbeat.join();
   }
   server.Stop();
   std::printf("swift_agentd: stopped\n");

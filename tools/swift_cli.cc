@@ -17,6 +17,17 @@
 //   rebuild NAME COLUMN                     regenerate a replaced agent's data
 //   stats [PORT]                            pull live metrics from the agents
 //                                           (all of --agents, or just PORT)
+//
+// Mediator control plane (needs --mediator=PORT; see swift_mediatord):
+//   session open NAME [--size=BYTES] [--rate-mbps=N] [--parity]
+//                [--lease-ms=N] [--min-agents=N] [--max-agents=N]
+//       negotiate a session, create NAME across the granted agents, and
+//       print "session <id>" and "agents <p1,p2,...>" (column-order data
+//       ports for later --agents= invocations). The session stays open.
+//   session close ID | session renew ID | session list
+//   repair NAME FAILED_PORT --session=ID
+//       report the dead agent, receive the revised plan, and rebuild the
+//       failed column onto the replacement the mediator chose.
 
 #include <cstdio>
 #include <cstdlib>
@@ -25,10 +36,12 @@
 #include <string>
 #include <vector>
 
+#include "src/agent/mediator_client.h"
 #include "src/agent/udp_transport.h"
 #include "src/core/object_admin.h"
 #include "src/core/object_directory.h"
 #include "src/core/rebuild.h"
+#include "src/core/session_handle.h"
 #include "src/core/swift_file.h"
 #include "src/util/units.h"
 
@@ -39,6 +52,7 @@ using namespace swift;
 struct Cli {
   std::vector<uint16_t> agent_ports;
   std::string directory_path;
+  uint16_t mediator_port = 0;
   ObjectDirectory directory;
   std::vector<std::unique_ptr<UdpTransport>> transports;
 
@@ -46,7 +60,7 @@ struct Cli {
     for (uint16_t port : agent_ports) {
       transports.push_back(std::make_unique<UdpTransport>(port, UdpTransport::Options{}));
     }
-    if (::access(directory_path.c_str(), F_OK) == 0) {
+    if (!directory_path.empty() && ::access(directory_path.c_str(), F_OK) == 0) {
       return directory.LoadFromFile(directory_path);
     }
     return OkStatus();
@@ -264,6 +278,148 @@ int CmdRebuild(Cli& cli, const std::string& name, uint32_t column) {
   return 0;
 }
 
+std::string PortList(const std::vector<uint16_t>& ports) {
+  std::string out;
+  for (size_t i = 0; i < ports.size(); ++i) {
+    out += (i ? "," : "") + std::to_string(ports[i]);
+  }
+  return out;
+}
+
+// session open NAME [--size= --rate-mbps= --parity --lease-ms= --min-agents=
+// --max-agents=]: negotiate with the mediator, create the object across the
+// granted agents, leave the session open (Release), print id + ports.
+int CmdSessionOpen(Cli& cli, const std::vector<std::string>& args) {
+  if (cli.directory_path.empty()) {
+    return Fail(InvalidArgumentError("session open needs --dir= for the object directory"));
+  }
+  const std::string& name = args[2];
+  StorageMediator::SessionRequest request;
+  request.object_name = name;
+  request.expected_size = MiB(64);
+  for (size_t i = 3; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a.rfind("--size=", 0) == 0) {
+      request.expected_size = static_cast<uint64_t>(std::atoll(a.substr(7).c_str()));
+    } else if (a.rfind("--rate-mbps=", 0) == 0) {
+      request.required_rate = MiBPerSecond(std::atof(a.substr(12).c_str()));
+    } else if (a == "--parity") {
+      request.redundancy = true;
+    } else if (a.rfind("--lease-ms=", 0) == 0) {
+      request.lease_ms = static_cast<uint64_t>(std::atoll(a.substr(11).c_str()));
+    } else if (a.rfind("--min-agents=", 0) == 0) {
+      request.min_agents = static_cast<uint32_t>(std::atoi(a.substr(13).c_str()));
+    } else if (a.rfind("--max-agents=", 0) == 0) {
+      request.max_agents = static_cast<uint32_t>(std::atoi(a.substr(13).c_str()));
+    } else if (a.rfind("--typical=", 0) == 0) {
+      request.typical_request = static_cast<uint64_t>(std::atoll(a.substr(10).c_str()));
+    }
+  }
+
+  MediatorClient client(cli.mediator_port);
+  auto session = SessionHandle::Open(&client, request);
+  if (!session.ok()) {
+    return Fail(session.status());
+  }
+  const SessionGrant& grant = session->grant();
+
+  // Create the object across the granted agents. Metadata agent ids are
+  // remapped to dense column indexes, so a later invocation addresses the
+  // object with --agents=<the ports printed below, in order>.
+  TransferPlan plan = grant.plan;
+  for (uint32_t c = 0; c < plan.agent_ids.size(); ++c) {
+    plan.agent_ids[c] = c;
+  }
+  std::vector<std::unique_ptr<UdpTransport>> owned;
+  std::vector<AgentTransport*> transports;
+  for (uint16_t port : grant.agent_ports) {
+    if (port == 0) {
+      (void)session->Close();
+      return Fail(UnavailableError("mediator granted an agent with no data port"));
+    }
+    owned.push_back(std::make_unique<UdpTransport>(port, UdpTransport::Options{}));
+    transports.push_back(owned.back().get());
+  }
+  auto file = SwiftFile::Create(plan, transports, &cli.directory);
+  if (!file.ok()) {
+    (void)session->Close();
+    return Fail(file.status());
+  }
+  (void)(*file)->Close();
+  if (Status s = cli.SaveDirectory(); !s.ok()) {
+    (void)session->Close();
+    return Fail(s);
+  }
+
+  std::printf("session %llu\n", static_cast<unsigned long long>(session->id()));
+  std::printf("agents %s\n", PortList(grant.agent_ports).c_str());
+  std::printf("opened '%s': %u agents, %s units, parity %s, %s reserved, lease %llu ms\n",
+              name.c_str(), grant.plan.stripe.num_agents,
+              FormatBytes(grant.plan.stripe.stripe_unit).c_str(),
+              grant.plan.stripe.parity == ParityMode::kNone ? "off" : "on",
+              FormatRate(grant.plan.reserved_rate).c_str(),
+              static_cast<unsigned long long>(grant.lease_ms));
+  (void)session->Release();  // the session outlives this one-shot invocation
+  return 0;
+}
+
+// repair NAME FAILED_PORT --session=ID: report the failure, adopt the revised
+// plan, and rebuild the dead column onto the replacement agent.
+int CmdRepair(Cli& cli, const std::string& name, uint16_t failed_port, uint64_t session_id) {
+  auto metadata = cli.directory.Lookup(name);
+  if (!metadata.ok()) {
+    return Fail(metadata.status());
+  }
+  // Which stripe column the dead port held (metadata agent ids index
+  // --agents, in column order).
+  uint32_t failed_column = UINT32_MAX;
+  for (uint32_t c = 0; c < metadata->agent_ids.size(); ++c) {
+    const uint32_t id = metadata->agent_ids[c];
+    if (id < cli.agent_ports.size() && cli.agent_ports[id] == failed_port) {
+      failed_column = c;
+      break;
+    }
+  }
+  if (failed_column == UINT32_MAX) {
+    return Fail(InvalidArgumentError("port " + std::to_string(failed_port) +
+                                     " holds no column of '" + name + "'"));
+  }
+
+  MediatorClient client(cli.mediator_port);
+  auto revised = client.ReportFailureByPort(session_id, failed_port);
+  if (!revised.ok()) {
+    return Fail(revised.status());
+  }
+  if (failed_column >= revised->agent_ports.size() ||
+      revised->agent_ports[failed_column] == 0) {
+    return Fail(UnavailableError("revised plan names no reachable replacement"));
+  }
+  const uint16_t replacement_port = revised->agent_ports[failed_column];
+
+  std::vector<uint16_t> new_ports;
+  UdpTransport replacement(replacement_port, UdpTransport::Options{});
+  std::vector<AgentTransport*> transports;
+  for (uint32_t c = 0; c < metadata->agent_ids.size(); ++c) {
+    if (c == failed_column) {
+      transports.push_back(&replacement);
+      new_ports.push_back(replacement_port);
+    } else {
+      transports.push_back(cli.transports[metadata->agent_ids[c]].get());
+      new_ports.push_back(cli.agent_ports[metadata->agent_ids[c]]);
+    }
+  }
+  auto report = MigrateColumn(*metadata, revised->plan, transports, failed_column);
+  if (!report.ok()) {
+    return Fail(report.status());
+  }
+  std::printf("agents %s\n", PortList(new_ports).c_str());
+  std::printf("repaired column %u of '%s' onto port %u: %llu rows, %s\n", failed_column,
+              name.c_str(), replacement_port,
+              static_cast<unsigned long long>(report->rows_rebuilt),
+              FormatBytes(report->bytes_written).c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -284,16 +440,27 @@ int main(int argc, char** argv) {
       }
     } else if (arg.rfind("--dir=", 0) == 0) {
       cli.directory_path = arg.substr(6);
+    } else if (arg.rfind("--mediator=", 0) == 0) {
+      cli.mediator_port = static_cast<uint16_t>(std::atoi(arg.substr(11).c_str()));
     } else {
       args.push_back(arg);
     }
   }
-  if (cli.agent_ports.empty() || cli.directory_path.empty() || args.empty()) {
+  const bool mediator_command = !args.empty() && (args[0] == "session" || args[0] == "repair");
+  const bool usable = !args.empty() &&
+                      (mediator_command ? cli.mediator_port != 0
+                                        : !cli.agent_ports.empty() && !cli.directory_path.empty());
+  if (!usable) {
     std::fprintf(stderr,
-                 "usage: swift_cli --agents=PORT[,PORT...] --dir=FILE COMMAND\n"
+                 "usage: swift_cli --agents=PORT[,PORT...] --dir=FILE [--mediator=PORT] COMMAND\n"
                  "commands: create NAME [--unit=BYTES] [--parity] | put NAME FILE |\n"
                  "          get NAME FILE | stat NAME | ls | rm NAME | rebuild NAME COL |\n"
-                 "          stats [PORT]\n");
+                 "          stats [PORT]\n"
+                 "mediator (need --mediator=PORT):\n"
+                 "          session open NAME [--size=B] [--rate-mbps=N] [--parity]\n"
+                 "                       [--lease-ms=N] [--min-agents=N] [--max-agents=N]\n"
+                 "          session close ID | session renew ID | session list |\n"
+                 "          repair NAME FAILED_PORT --session=ID\n");
     return 2;
   }
   if (Status s = cli.Connect(); !s.ok()) {
@@ -301,6 +468,55 @@ int main(int argc, char** argv) {
   }
 
   const std::string& command = args[0];
+  if (command == "session" && args.size() >= 2) {
+    const std::string& sub = args[1];
+    if (sub == "open" && args.size() >= 3) {
+      return CmdSessionOpen(cli, args);
+    }
+    MediatorClient client(cli.mediator_port);
+    if (sub == "close" && args.size() == 3) {
+      const uint64_t id = static_cast<uint64_t>(std::atoll(args[2].c_str()));
+      if (Status s = client.CloseSession(id); !s.ok()) {
+        return Fail(s);
+      }
+      std::printf("closed session %llu\n", static_cast<unsigned long long>(id));
+      return 0;
+    }
+    if (sub == "renew" && args.size() == 3) {
+      const uint64_t id = static_cast<uint64_t>(std::atoll(args[2].c_str()));
+      if (Status s = client.RenewLease(id); !s.ok()) {
+        return Fail(s);
+      }
+      std::printf("renewed session %llu\n", static_cast<unsigned long long>(id));
+      return 0;
+    }
+    if (sub == "list" && args.size() == 2) {
+      auto text = client.ListSessions();
+      if (!text.ok()) {
+        return Fail(text.status());
+      }
+      std::printf("%s", text->c_str());
+      return 0;
+    }
+    std::fprintf(stderr, "unknown or malformed session command\n");
+    return 2;
+  }
+  if (command == "repair" && args.size() >= 3) {
+    if (cli.agent_ports.empty() || cli.directory_path.empty()) {
+      return Fail(InvalidArgumentError("repair needs --agents= and --dir="));
+    }
+    uint64_t session_id = 0;
+    for (size_t i = 3; i < args.size(); ++i) {
+      if (args[i].rfind("--session=", 0) == 0) {
+        session_id = static_cast<uint64_t>(std::atoll(args[i].substr(10).c_str()));
+      }
+    }
+    if (session_id == 0) {
+      return Fail(InvalidArgumentError("repair needs --session=ID"));
+    }
+    return CmdRepair(cli, args[1], static_cast<uint16_t>(std::atoi(args[2].c_str())),
+                     session_id);
+  }
   if (command == "create" && args.size() >= 2) {
     uint64_t unit = KiB(64);
     bool parity = false;

@@ -1,0 +1,111 @@
+// swift_mediatord: a standalone Swift storage mediator.
+//
+// The control-plane daemon of §2: storage agents register their capacity and
+// heartbeat to it; clients negotiate sessions with it (OPEN_SESSION →
+// SESSION_PLAN), renew leases, and report dead agents to get revised plans.
+// It is never in the data path — after handing out a plan its only work is
+// bookkeeping, so one UDP socket and one service thread suffice.
+//
+//   swift_mediatord [--port=4750] [--seconds=N] [--heartbeat-ms=N]
+//                   [--misses=N] [--network-mbps=N] [--lease-ms=N]
+//                   [--stats-interval=N]
+//
+// --heartbeat-ms / --misses set the failure detector: an agent silent for
+// heartbeat-ms × misses is auto-retired and its reservations released.
+// --lease-ms is the default lease for sessions that don't request one
+// (0 = such sessions never expire). --network-mbps caps the aggregate rate
+// reservable across all sessions (0 = unaccounted).
+// SWIFT_LOG_LEVEL=debug|info|warning|error controls log verbosity.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include <unistd.h>
+
+#include "src/agent/mediator_server.h"
+#include "src/proto/message.h"
+#include "src/util/metrics.h"
+#include "src/util/units.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleSignal(int) { g_stop = 1; }
+
+const char* FlagValue(int argc, char** argv, const char* name) {
+  const size_t name_len = std::strlen(name);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], name, name_len) == 0 && argv[i][name_len] == '=') {
+      return argv[i] + name_len + 1;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (FlagValue(argc, argv, "--help") != nullptr) {
+    std::fprintf(stderr,
+                 "usage: swift_mediatord [--port=%u] [--seconds=N] [--heartbeat-ms=N]\n"
+                 "                       [--misses=N] [--network-mbps=N] [--lease-ms=N]\n"
+                 "                       [--stats-interval=N]\n",
+                 swift::kDefaultMediatorPort);
+    return 2;
+  }
+  const char* port_flag = FlagValue(argc, argv, "--port");
+  const char* seconds_flag = FlagValue(argc, argv, "--seconds");
+  const char* heartbeat_flag = FlagValue(argc, argv, "--heartbeat-ms");
+  const char* misses_flag = FlagValue(argc, argv, "--misses");
+  const char* network_flag = FlagValue(argc, argv, "--network-mbps");
+  const char* lease_flag = FlagValue(argc, argv, "--lease-ms");
+  const char* stats_flag = FlagValue(argc, argv, "--stats-interval");
+
+  swift::UdpMediatorServer::Options options;
+  options.port = port_flag != nullptr ? static_cast<uint16_t>(std::atoi(port_flag))
+                                      : swift::kDefaultMediatorPort;
+  if (heartbeat_flag != nullptr) {
+    options.mediator.heartbeat_interval_ms =
+        static_cast<uint64_t>(std::atoll(heartbeat_flag));
+  }
+  if (misses_flag != nullptr) {
+    options.mediator.heartbeat_miss_limit = static_cast<uint32_t>(std::atoi(misses_flag));
+  }
+  if (network_flag != nullptr) {
+    options.mediator.network_capacity = swift::MiBPerSecond(std::atof(network_flag));
+  }
+  if (lease_flag != nullptr) {
+    options.mediator.default_lease_ms = static_cast<uint64_t>(std::atoll(lease_flag));
+  }
+
+  swift::UdpMediatorServer server(options);
+  swift::Status status = server.Start();
+  if (!status.ok()) {
+    std::fprintf(stderr, "cannot start mediator: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("swift_mediatord: listening on udp port %u\n", server.port());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  const int limit_seconds = seconds_flag != nullptr ? std::atoi(seconds_flag) : -1;
+  const int stats_interval = stats_flag != nullptr ? std::atoi(stats_flag) : 0;
+  for (int elapsed = 0; g_stop == 0; ++elapsed) {
+    if (limit_seconds >= 0 && elapsed >= limit_seconds) {
+      break;
+    }
+    if (stats_interval > 0 && elapsed > 0 && elapsed % stats_interval == 0) {
+      std::printf("# swift_mediatord metrics (t=%ds)\n%s", elapsed,
+                  swift::MetricRegistry::Global().RenderText().c_str());
+      std::fflush(stdout);
+    }
+    ::sleep(1);
+  }
+  server.Stop();
+  std::printf("swift_mediatord: stopped\n");
+  return 0;
+}
