@@ -20,14 +20,18 @@ cmake --build --preset "${SAN_PRESET}" -j "${JOBS}"
 ctest --preset "${SAN_PRESET}" -j "${JOBS}"
 
 if [ "${SAN_PRESET}" != "tsan" ]; then
-  # The lock-free metrics/flight-recorder paths and the threaded mediator
-  # service loop are only meaningfully exercised under ThreadSanitizer; run
-  # just those suites so the default gate stays fast. Full build: ctest needs
-  # every discovered test's include file.
-  echo "== metrics/trace + mediator concurrency (tsan) =="
+  # The lock-free metrics/flight-recorder paths, the threaded mediator
+  # service loop, and the integrity/fault-injection suites (checksum sidecars
+  # and read-repair run inside completion callbacks on reactor threads) are
+  # only meaningfully exercised under ThreadSanitizer; run just those suites
+  # so the default gate stays fast. Full build: ctest needs every discovered
+  # test's include file.
+  echo "== metrics/trace + mediator + integrity concurrency (tsan) =="
   cmake --preset tsan
   cmake --build --preset tsan -j "${JOBS}"
-  ctest --test-dir build-tsan -R '^MetricsTrace|^MediatorService' -j "${JOBS}" --output-on-failure
+  ctest --test-dir build-tsan \
+    -R '^MetricsTrace|^MediatorService|^IntegrityStore|^FaultyStore|^FaultInjection|^SelfHealing|^Scrub|^FaultKinds|^LossyCorrupt' \
+    -j "${JOBS}" --output-on-failure
 fi
 
 echo "== agentd --stats-interval smoke =="

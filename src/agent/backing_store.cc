@@ -34,7 +34,9 @@ Result<std::vector<uint8_t>> InMemoryBackingStore::ReadAt(const std::string& obj
   const std::vector<uint8_t>& file = it->second;
   if (offset < file.size()) {
     const uint64_t available = std::min<uint64_t>(length, file.size() - offset);
-    std::memcpy(out.data(), file.data() + offset, available);
+    if (available > 0) {
+      std::memcpy(out.data(), file.data() + offset, available);
+    }
   }
   return out;
 }
@@ -50,7 +52,9 @@ Status InMemoryBackingStore::WriteAt(const std::string& object_name, uint64_t of
   if (offset + data.size() > file.size()) {
     file.resize(offset + data.size(), 0);
   }
-  std::memcpy(file.data() + offset, data.data(), data.size());
+  if (!data.empty()) {
+    std::memcpy(file.data() + offset, data.data(), data.size());
+  }
   return OkStatus();
 }
 
@@ -75,9 +79,7 @@ Status InMemoryBackingStore::Truncate(const std::string& object_name, uint64_t s
 
 Status InMemoryBackingStore::Remove(const std::string& object_name) {
   std::lock_guard<std::mutex> lock(mutex_);
-  if (files_.erase(object_name) == 0) {
-    return NotFoundError("no store file '" + object_name + "'");
-  }
+  files_.erase(object_name);  // absent is fine: the goal state is reached
   return OkStatus();
 }
 
@@ -92,7 +94,11 @@ uint64_t InMemoryBackingStore::TotalBytes() {
 
 // -------------------------------------------------------- PosixBackingStore
 
-PosixBackingStore::PosixBackingStore(std::string root) : root_(std::move(root)) {
+PosixBackingStore::PosixBackingStore(std::string root)
+    : PosixBackingStore(std::move(root), Options()) {}
+
+PosixBackingStore::PosixBackingStore(std::string root, Options options)
+    : root_(std::move(root)), options_(options) {
   if (!root_.empty() && root_.back() == '/') {
     root_.pop_back();
   }
@@ -174,7 +180,18 @@ Status PosixBackingStore::WriteAt(const std::string& object_name, uint64_t offse
       ::close(fd);
       return IoError("pwrite('" + path + "'): " + std::strerror(errno));
     }
+    if (n == 0) {
+      // pwrite never legitimately writes zero bytes for a nonzero count;
+      // bail rather than spin.
+      ::close(fd);
+      return IoError("pwrite('" + path + "'): wrote 0 bytes");
+    }
     done += static_cast<uint64_t>(n);
+  }
+  if (options_.fsync_on_write && ::fsync(fd) != 0) {
+    const Status status = IoError("fsync('" + path + "'): " + std::strerror(errno));
+    ::close(fd);
+    return status;
   }
   ::close(fd);
   return OkStatus();
@@ -196,14 +213,25 @@ Status PosixBackingStore::Truncate(const std::string& object_name, uint64_t size
     return errno == ENOENT ? NotFoundError("no store file '" + object_name + "'")
                            : IoError("truncate('" + path + "'): " + std::strerror(errno));
   }
+  if (options_.fsync_on_write) {
+    const int fd = ::open(path.c_str(), O_WRONLY);
+    if (fd < 0) {
+      return IoError("open('" + path + "'): " + std::strerror(errno));
+    }
+    if (::fsync(fd) != 0) {
+      const Status status = IoError("fsync('" + path + "'): " + std::strerror(errno));
+      ::close(fd);
+      return status;
+    }
+    ::close(fd);
+  }
   return OkStatus();
 }
 
 Status PosixBackingStore::Remove(const std::string& object_name) {
   SWIFT_ASSIGN_OR_RETURN(std::string path, PathFor(object_name));
-  if (::unlink(path.c_str()) != 0) {
-    return errno == ENOENT ? NotFoundError("no store file '" + object_name + "'")
-                           : IoError("unlink('" + path + "'): " + std::strerror(errno));
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return IoError("unlink('" + path + "'): " + std::strerror(errno));
   }
   return OkStatus();
 }

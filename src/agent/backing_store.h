@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "src/core/scrub_report.h"
 #include "src/util/status.h"
 
 namespace swift {
@@ -40,7 +41,17 @@ class BackingStore {
                          std::span<const uint8_t> data) = 0;
   virtual Result<uint64_t> Size(const std::string& object_name) = 0;
   virtual Status Truncate(const std::string& object_name, uint64_t size) = 0;
+  // Removing an absent file is OK: removal is a goal state, and cleanup paths
+  // (object delete, rebuild) retry after partial failures.
   virtual Status Remove(const std::string& object_name) = 0;
+
+  // Verifies the stored bytes against their at-rest checksums. Only stores
+  // that maintain checksums (IntegrityBackingStore) implement this; bare
+  // stores have nothing to verify against.
+  virtual Result<ScrubReport> Scrub(const std::string& object_name) {
+    (void)object_name;
+    return UnimplementedError("this backing store keeps no at-rest checksums");
+  }
 };
 
 // Heap-backed store for tests and simulation.
@@ -68,8 +79,16 @@ class InMemoryBackingStore : public BackingStore {
 // into file names ('/' is rejected).
 class PosixBackingStore : public BackingStore {
  public:
+  struct Options {
+    // fsync after every WriteAt/Truncate so acknowledged writes survive a
+    // host crash (swift_agentd --durable). Off by default: the 1991
+    // prototype's agents relied on the Unix buffer cache for throughput.
+    bool fsync_on_write = false;
+  };
+
   // `root` must exist and be writable.
   explicit PosixBackingStore(std::string root);
+  PosixBackingStore(std::string root, Options options);
 
   bool Exists(const std::string& object_name) override;
   Status Ensure(const std::string& object_name) override;
@@ -85,6 +104,7 @@ class PosixBackingStore : public BackingStore {
   Result<std::string> PathFor(const std::string& object_name) const;
 
   std::string root_;
+  Options options_;
   std::mutex mutex_;
 };
 

@@ -1,0 +1,194 @@
+#include "src/agent/faulty_store.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "src/util/metrics.h"
+
+namespace swift {
+
+namespace {
+
+struct FaultMetrics {
+  Counter* bitflips;
+  Counter* torn_writes;
+  Counter* eios;
+};
+
+const FaultMetrics& Metrics() {
+  static const FaultMetrics metrics = [] {
+    MetricRegistry& registry = MetricRegistry::Global();
+    return FaultMetrics{
+        registry.GetCounter("swift_fault_bitflips_total"),
+        registry.GetCounter("swift_fault_torn_writes_total"),
+        registry.GetCounter("swift_fault_transient_eio_total"),
+    };
+  }();
+  return metrics;
+}
+
+Result<double> ParseProbability(const std::string& key, const std::string& value) {
+  char* end = nullptr;
+  const double p = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0' || p < 0 || p > 1) {
+    return InvalidArgumentError("fault spec: " + key + "=" + value +
+                                " is not a probability in [0, 1]");
+  }
+  return p;
+}
+
+Result<uint64_t> ParseCount(const std::string& key, const std::string& value) {
+  char* end = nullptr;
+  const unsigned long long n = std::strtoull(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0') {
+    return InvalidArgumentError("fault spec: " + key + "=" + value + " is not an integer");
+  }
+  return static_cast<uint64_t>(n);
+}
+
+}  // namespace
+
+Result<FaultSpec> ParseFaultSpec(const std::string& spec) {
+  FaultSpec out;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    const size_t comma = spec.find(',', pos);
+    const std::string pair =
+        spec.substr(pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    pos = comma == std::string::npos ? spec.size() : comma + 1;
+    const size_t eq = pair.find('=');
+    if (eq == std::string::npos) {
+      return InvalidArgumentError("fault spec: '" + pair + "' is not key=value");
+    }
+    const std::string key = pair.substr(0, eq);
+    const std::string value = pair.substr(eq + 1);
+    if (key == "bitflip") {
+      SWIFT_ASSIGN_OR_RETURN(out.bitflip_per_write, ParseProbability(key, value));
+    } else if (key == "torn") {
+      SWIFT_ASSIGN_OR_RETURN(out.torn_write, ParseProbability(key, value));
+    } else if (key == "eio") {
+      SWIFT_ASSIGN_OR_RETURN(out.transient_eio, ParseProbability(key, value));
+    } else if (key == "seed") {
+      SWIFT_ASSIGN_OR_RETURN(out.seed, ParseCount(key, value));
+    } else if (key == "stuck") {
+      const size_t plus = value.find('+');
+      if (plus == std::string::npos) {
+        return InvalidArgumentError("fault spec: stuck takes <offset>+<length>, got '" +
+                                    value + "'");
+      }
+      SWIFT_ASSIGN_OR_RETURN(out.stuck_offset, ParseCount(key, value.substr(0, plus)));
+      SWIFT_ASSIGN_OR_RETURN(out.stuck_length, ParseCount(key, value.substr(plus + 1)));
+    } else {
+      return InvalidArgumentError("fault spec: unknown key '" + key + "'");
+    }
+  }
+  return out;
+}
+
+FaultyBackingStore::FaultyBackingStore(BackingStore* inner, FaultSpec spec)
+    : inner_(inner), spec_(spec), rng_(spec.seed) {}
+
+bool FaultyBackingStore::RollEio() {
+  if (spec_.transient_eio > 0 && rng_.Bernoulli(spec_.transient_eio)) {
+    ++transient_eios_;
+    Metrics().eios->Increment();
+    return true;
+  }
+  return false;
+}
+
+bool FaultyBackingStore::Exists(const std::string& object_name) {
+  return inner_->Exists(object_name);
+}
+
+Status FaultyBackingStore::Ensure(const std::string& object_name) {
+  return inner_->Ensure(object_name);
+}
+
+Result<std::vector<uint8_t>> FaultyBackingStore::ReadAt(const std::string& object_name,
+                                                        uint64_t offset, uint64_t length) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (RollEio()) {
+      return IoError("injected transient read error on '" + object_name + "'");
+    }
+  }
+  SWIFT_ASSIGN_OR_RETURN(std::vector<uint8_t> out, inner_->ReadAt(object_name, offset, length));
+  // Stuck-at-zero sectors read back zero no matter what was stored.
+  if (spec_.stuck_length > 0) {
+    const uint64_t begin = std::max(offset, spec_.stuck_offset);
+    const uint64_t end = std::min(offset + length, spec_.stuck_offset + spec_.stuck_length);
+    if (begin < end) {
+      std::fill(out.begin() + (begin - offset), out.begin() + (end - offset), 0);
+    }
+  }
+  return out;
+}
+
+Status FaultyBackingStore::WriteAt(const std::string& object_name, uint64_t offset,
+                                   std::span<const uint8_t> data) {
+  uint64_t torn_length = data.size();
+  bool flip = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (RollEio()) {
+      return IoError("injected transient write error on '" + object_name + "'");
+    }
+    if (!data.empty() && spec_.torn_write > 0 && rng_.Bernoulli(spec_.torn_write)) {
+      torn_length = static_cast<uint64_t>(rng_.UniformInt(0, static_cast<int64_t>(data.size()) - 1));
+      ++torn_writes_;
+      Metrics().torn_writes->Increment();
+    }
+    if (!data.empty() && spec_.bitflip_per_write > 0 && rng_.Bernoulli(spec_.bitflip_per_write)) {
+      flip = true;
+    }
+  }
+  // A torn write persists a prefix yet still reports success — the caller
+  // believes the bytes are down.
+  SWIFT_RETURN_IF_ERROR(inner_->WriteAt(object_name, offset, data.first(torn_length)));
+  if (flip && torn_length > 0) {
+    uint64_t byte_index;
+    uint32_t bit;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      byte_index = static_cast<uint64_t>(rng_.UniformInt(0, static_cast<int64_t>(torn_length) - 1));
+      bit = static_cast<uint32_t>(rng_.UniformInt(0, 7));
+      ++bitflips_;
+    }
+    Metrics().bitflips->Increment();
+    SWIFT_ASSIGN_OR_RETURN(std::vector<uint8_t> byte,
+                           inner_->ReadAt(object_name, offset + byte_index, 1));
+    byte[0] ^= static_cast<uint8_t>(1u << bit);
+    SWIFT_RETURN_IF_ERROR(inner_->WriteAt(object_name, offset + byte_index, byte));
+  }
+  return OkStatus();
+}
+
+Result<uint64_t> FaultyBackingStore::Size(const std::string& object_name) {
+  return inner_->Size(object_name);
+}
+
+Status FaultyBackingStore::Truncate(const std::string& object_name, uint64_t size) {
+  return inner_->Truncate(object_name, size);
+}
+
+Status FaultyBackingStore::Remove(const std::string& object_name) {
+  return inner_->Remove(object_name);
+}
+
+uint64_t FaultyBackingStore::bitflips_injected() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bitflips_;
+}
+
+uint64_t FaultyBackingStore::torn_writes_injected() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return torn_writes_;
+}
+
+uint64_t FaultyBackingStore::transient_eios_injected() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return transient_eios_;
+}
+
+}  // namespace swift

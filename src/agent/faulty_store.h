@@ -1,0 +1,95 @@
+// Deterministic fault injection for a backing store.
+//
+// `FaultyBackingStore` decorates any `BackingStore` with the disk failure
+// modes the integrity layer exists to catch. It sits BELOW
+// `IntegrityBackingStore` in the stack (faults corrupt the physical layer;
+// checksums detect them above it):
+//
+//   PosixBackingStore → FaultyBackingStore → IntegrityBackingStore → agent
+//
+// Fault kinds, all driven by one seeded `Rng` so a run is reproducible:
+//   * bit flips     — after a successful write, one random stored bit in the
+//                     written range flips (silent media corruption)
+//   * torn writes   — a write persists only a random prefix yet reports
+//                     success (power loss mid-write)
+//   * transient EIO — a read or write fails with kIoError and changes
+//                     nothing (cabling/controller hiccup; retryable)
+//   * stuck-at-zero — a fixed byte range always reads back zero regardless
+//                     of what was written (dead sectors; unrepairable, so a
+//                     scrub keeps reporting the range)
+//
+// Sidecar traffic from the integrity layer passes through here too — a fault
+// can land on a checksum instead of the data it guards. Both read back as
+// kDataCorrupt, which is the honest answer: the store cannot tell which side
+// of the comparison rotted.
+
+#ifndef SWIFT_SRC_AGENT_FAULTY_STORE_H_
+#define SWIFT_SRC_AGENT_FAULTY_STORE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/agent/backing_store.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace swift {
+
+struct FaultSpec {
+  uint64_t seed = 1;
+  double bitflip_per_write = 0;  // P(one stored bit flips after a write)
+  double torn_write = 0;         // P(a write persists only a prefix)
+  double transient_eio = 0;      // P(a read/write fails with kIoError)
+  uint64_t stuck_offset = 0;     // stuck-at-zero range (length 0 = disabled)
+  uint64_t stuck_length = 0;
+
+  bool enabled() const {
+    return bitflip_per_write > 0 || torn_write > 0 || transient_eio > 0 || stuck_length > 0;
+  }
+};
+
+// Parses the swift_agentd --fault-spec syntax: comma-separated key=value
+// pairs from {bitflip, torn, eio, stuck, seed}, e.g.
+//   "bitflip=0.01,torn=0.05,eio=0.002,stuck=8192+4096,seed=7"
+// where stuck takes "<offset>+<length>". Unknown keys are errors.
+Result<FaultSpec> ParseFaultSpec(const std::string& spec);
+
+class FaultyBackingStore : public BackingStore {
+ public:
+  // `inner` must outlive this store. Does not take ownership.
+  FaultyBackingStore(BackingStore* inner, FaultSpec spec);
+
+  bool Exists(const std::string& object_name) override;
+  Status Ensure(const std::string& object_name) override;
+  Result<std::vector<uint8_t>> ReadAt(const std::string& object_name, uint64_t offset,
+                                      uint64_t length) override;
+  Status WriteAt(const std::string& object_name, uint64_t offset,
+                 std::span<const uint8_t> data) override;
+  Result<uint64_t> Size(const std::string& object_name) override;
+  Status Truncate(const std::string& object_name, uint64_t size) override;
+  Status Remove(const std::string& object_name) override;
+
+  // Injection counters (tests assert faults actually fired).
+  uint64_t bitflips_injected();
+  uint64_t torn_writes_injected();
+  uint64_t transient_eios_injected();
+
+ private:
+  // Rolls the transient-EIO die. Requires mutex_ held.
+  bool RollEio();
+
+  BackingStore* inner_;
+  const FaultSpec spec_;
+  std::mutex mutex_;
+  Rng rng_;
+  uint64_t bitflips_ = 0;
+  uint64_t torn_writes_ = 0;
+  uint64_t transient_eios_ = 0;
+};
+
+}  // namespace swift
+
+#endif  // SWIFT_SRC_AGENT_FAULTY_STORE_H_

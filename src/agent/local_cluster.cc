@@ -19,7 +19,25 @@ LocalSwiftCluster::LocalSwiftCluster(const Options& options)
           << "cannot create " << agent_dir;
       stores_.push_back(std::make_unique<PosixBackingStore>(agent_dir));
     }
-    agents_.push_back(std::make_unique<StorageAgentCore>(stores_.back().get()));
+    // Same stack as swift_agentd: physical store, then fault injection (so
+    // faults corrupt "the disk"), then checksums (so the corruption is
+    // caught), then the agent core.
+    BackingStore* top = stores_.back().get();
+    raw_stores_.push_back(top);
+    if (options.fault_spec.enabled()) {
+      FaultSpec spec = options.fault_spec;
+      spec.seed = options.fault_spec.seed + 0x9e3779b9u * (i + 1);  // decorrelate agents
+      stores_.push_back(std::make_unique<FaultyBackingStore>(top, spec));
+      top = stores_.back().get();
+      faulty_stores_.push_back(static_cast<FaultyBackingStore*>(top));
+    } else {
+      faulty_stores_.push_back(nullptr);
+    }
+    if (options.integrity) {
+      stores_.push_back(std::make_unique<IntegrityBackingStore>(top, options.integrity_block_size));
+      top = stores_.back().get();
+    }
+    agents_.push_back(std::make_unique<StorageAgentCore>(top));
     transports_.push_back(std::make_unique<InProcTransport>(agents_.back().get()));
     const uint32_t id = mediator_.RegisterAgent(
         AgentCapacity{options.agent_data_rate, options.agent_storage});

@@ -20,6 +20,8 @@
 #include <vector>
 
 #include "src/agent/backing_store.h"
+#include "src/agent/faulty_store.h"
+#include "src/agent/integrity_store.h"
 #include "src/agent/storage_agent.h"
 #include "src/core/object_directory.h"
 #include "src/core/storage_mediator.h"
@@ -38,6 +40,18 @@ class LocalSwiftCluster {
     // gets its own subdirectory of real files.
     std::string storage_root;
     StorageMediator::Options mediator_options;
+    // At-rest integrity: wrap every agent's store in an IntegrityBackingStore
+    // (CRC-32 sidecars) so reads never return silently corrupted bytes. On by
+    // default — production agents (swift_agentd) run the same stack.
+    bool integrity = true;
+    // Checksum block granularity. Repair write-backs rewrite whole stripe
+    // units, so pick a value that divides the stripe unit when testing with
+    // units smaller than the 4 KiB default.
+    uint64_t integrity_block_size = kIntegrityBlockSize;
+    // Fault injection under the checksum layer (enabled() == false: no
+    // wrapping). Each agent forks its own deterministic seed from
+    // fault_spec.seed, so corruption lands on different rows per agent.
+    FaultSpec fault_spec;
   };
 
   explicit LocalSwiftCluster(const Options& options);
@@ -47,6 +61,11 @@ class LocalSwiftCluster {
   uint32_t agent_count() const { return static_cast<uint32_t>(agents_.size()); }
   InProcTransport* transport(uint32_t agent_id) { return transports_[agent_id].get(); }
   StorageAgentCore* agent_core(uint32_t agent_id) { return agents_[agent_id].get(); }
+  // The innermost (physical) store — tests reach past the checksum layer
+  // through this to plant corruption directly on "disk".
+  BackingStore* raw_store(uint32_t agent_id) { return raw_stores_[agent_id]; }
+  // The fault injector for an agent, or nullptr when faults are disabled.
+  FaultyBackingStore* faulty_store(uint32_t agent_id) { return faulty_stores_[agent_id]; }
 
   // Transports for a plan/metadata agent list, in stripe-column order.
   std::vector<AgentTransport*> TransportsFor(const std::vector<uint32_t>& agent_ids);
@@ -64,7 +83,11 @@ class LocalSwiftCluster {
   const TransferPlan& last_plan() const { return last_plan_; }
 
  private:
+  // Owns every layer of each agent's store stack (inner → faulty → integrity,
+  // in push order); raw_stores_/faulty_stores_ are per-agent views into it.
   std::vector<std::unique_ptr<BackingStore>> stores_;
+  std::vector<BackingStore*> raw_stores_;
+  std::vector<FaultyBackingStore*> faulty_stores_;
   std::vector<std::unique_ptr<StorageAgentCore>> agents_;
   std::vector<std::unique_ptr<InProcTransport>> transports_;
   StorageMediator mediator_;

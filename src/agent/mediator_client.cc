@@ -15,7 +15,7 @@ Status StatusFromWire(uint32_t code, const char* what) {
   if (code == 0) {
     return OkStatus();
   }
-  if (code > static_cast<uint32_t>(StatusCode::kIoError)) {
+  if (code > static_cast<uint32_t>(StatusCode::kDataCorrupt)) {
     return InternalError(std::string(what) + ": mediator sent an unknown status code");
   }
   return Status(static_cast<StatusCode>(code),

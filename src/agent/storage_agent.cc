@@ -119,6 +119,12 @@ Status StorageAgentCore::Remove(const std::string& object_name) {
   return store_->Remove(object_name);
 }
 
+Result<ScrubReport> StorageAgentCore::Scrub(const std::string& object_name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Metrics().ops->Increment();
+  return store_->Scrub(object_name);
+}
+
 size_t StorageAgentCore::open_handle_count() {
   std::lock_guard<std::mutex> lock(mutex_);
   return handles_.size();
@@ -233,6 +239,11 @@ Status InProcTransport::Close(uint32_t handle) {
 Status InProcTransport::Remove(const std::string& object_name) {
   SWIFT_RETURN_IF_ERROR(CheckUp());
   return core_->Remove(object_name);
+}
+
+Result<ScrubReport> InProcTransport::Scrub(const std::string& object_name) {
+  SWIFT_RETURN_IF_ERROR(CheckUp());
+  return core_->Scrub(object_name);
 }
 
 }  // namespace swift

@@ -37,6 +37,7 @@ class StorageAgentCore {
   Status Truncate(uint32_t handle, uint64_t size);
   Status Close(uint32_t handle);
   Status Remove(const std::string& object_name);
+  Result<ScrubReport> Scrub(const std::string& object_name);
 
   size_t open_handle_count();
 
@@ -83,6 +84,7 @@ class InProcTransport : public AgentTransport {
   Status Truncate(uint32_t handle, uint64_t size) override;
   Status Close(uint32_t handle) override;
   Status Remove(const std::string& object_name) override;
+  Result<ScrubReport> Scrub(const std::string& object_name) override;
 
   void StartRead(uint32_t handle, uint64_t offset, uint64_t length,
                  ReadCompletion done) override;

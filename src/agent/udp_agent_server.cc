@@ -5,6 +5,7 @@
 #include "src/proto/packetizer.h"
 #include "src/util/logging.h"
 #include "src/util/metrics.h"
+#include "src/util/wire_buffer.h"
 
 namespace swift {
 
@@ -150,6 +151,30 @@ void UdpAgentServer::PrimaryLoop() {
       } else {
         reply.type = MessageType::kError;
         reply.status_code = static_cast<uint32_t>(status.code());
+      }
+      (void)SendMessage(primary_socket_, received->from, reply);
+    } else if (message->type == MessageType::kScrub) {
+      Message reply;
+      reply.type = MessageType::kScrubReply;
+      reply.request_id = message->request_id;
+      auto report = core_->Scrub(message->object_name);
+      if (!report.ok()) {
+        reply.status_code = static_cast<uint32_t>(report.code());
+      } else {
+        reply.size = report->blocks_checked;
+        // Payload: (u64 offset, u64 length) per corrupt range, then a u8
+        // truncation flag. Clip to one datagram; the client re-scrubs after
+        // repairing what fit.
+        constexpr size_t kMaxRanges = (kMaxPacketPayload - 1) / 16;
+        const size_t count = std::min(report->corrupt_ranges.size(), kMaxRanges);
+        WireWriter w(count * 16 + 1);
+        for (size_t i = 0; i < count; ++i) {
+          w.PutU64(report->corrupt_ranges[i].offset);
+          w.PutU64(report->corrupt_ranges[i].length);
+        }
+        const bool truncated = report->truncated || count < report->corrupt_ranges.size();
+        w.PutU8(truncated ? 1 : 0);
+        reply.payload = w.Take();
       }
       (void)SendMessage(primary_socket_, received->from, reply);
     }

@@ -20,6 +20,7 @@
 #include "src/util/logging.h"
 #include "src/util/metrics.h"
 #include "src/util/trace.h"
+#include "src/util/wire_buffer.h"
 
 namespace swift {
 
@@ -924,6 +925,36 @@ Status UdpTransport::Remove(const std::string& object_name) {
   Status status = reactor_->Call(session, std::move(request), {MessageType::kRemoveAck}).status();
   reactor_->RemoveSession(session);
   return status;
+}
+
+Result<ScrubReport> UdpTransport::Scrub(const std::string& object_name) {
+  // Object-scoped like Remove: a transient session speaking to the well-known
+  // port.
+  SWIFT_ASSIGN_OR_RETURN(auto session, reactor_->NewSession());
+  reactor_->AddSession(session);
+  Message request;
+  request.type = MessageType::kScrub;
+  request.request_id = NextRequestId();
+  request.object_name = object_name;
+  auto reply = reactor_->Call(session, std::move(request), {MessageType::kScrubReply});
+  reactor_->RemoveSession(session);
+  if (!reply.ok()) {
+    return reply.status();
+  }
+  SWIFT_RETURN_IF_ERROR(StatusFromWire(reply->status_code, "SCRUB of '" + object_name + "'"));
+  ScrubReport report;
+  report.blocks_checked = reply->size;
+  WireReader r(reply->payload);
+  while (r.remaining() > 16) {
+    const uint64_t offset = r.GetU64();
+    const uint64_t length = r.GetU64();
+    report.corrupt_ranges.push_back(CorruptRange{offset, length});
+  }
+  report.truncated = r.remaining() == 1 && r.GetU8() != 0;
+  if (!r.ok()) {
+    return InternalError("malformed SCRUB_REPLY payload from agent");
+  }
+  return report;
 }
 
 Result<std::string> UdpTransport::FetchStats() {

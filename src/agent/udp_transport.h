@@ -98,6 +98,10 @@ class UdpTransport : public AgentTransport {
   Status Close(uint32_t handle) override;
   Status Remove(const std::string& object_name) override;
 
+  // Verifies the agent's file for `object_name` against its at-rest
+  // checksums via the SCRUB op on the well-known port.
+  Result<ScrubReport> Scrub(const std::string& object_name) override;
+
   // Pulls a metrics snapshot (Prometheus-style text) from the agent's
   // well-known port via the STATS op. Same retry/backoff semantics as the
   // other control RPCs.

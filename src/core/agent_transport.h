@@ -49,6 +49,7 @@
 #include <string>
 #include <vector>
 
+#include "src/core/scrub_report.h"
 #include "src/util/status.h"
 
 namespace swift {
@@ -102,6 +103,14 @@ class AgentTransport {
   // Deletes this agent's backing file for `object_name` (no handle: removal
   // is object-scoped, like Open).
   virtual Status Remove(const std::string& object_name) = 0;
+
+  // Verifies this agent's backing file for `object_name` against its at-rest
+  // checksums and reports the corrupt byte ranges (object-scoped, like
+  // Remove). Agents without an integrity layer return kUnimplemented.
+  virtual Result<ScrubReport> Scrub(const std::string& object_name) {
+    (void)object_name;
+    return UnimplementedError("this transport's agent keeps no at-rest checksums");
+  }
 
   // --- asynchronous submit/complete core -----------------------------------
 

@@ -1,0 +1,101 @@
+#include "src/core/mediator_wire.h"
+
+#include <bit>
+
+#include "src/util/wire_buffer.h"
+
+namespace swift {
+
+namespace {
+
+void PutF64(WireWriter& w, double v) { w.PutU64(std::bit_cast<uint64_t>(v)); }
+double GetF64(WireReader& r) { return std::bit_cast<double>(r.GetU64()); }
+
+}  // namespace
+
+std::vector<uint8_t> EncodeSessionRequest(const StorageMediator::SessionRequest& request) {
+  WireWriter w(64 + request.object_name.size());
+  w.PutString(request.object_name);
+  w.PutU64(request.expected_size);
+  PutF64(w, request.required_rate);
+  w.PutU64(request.typical_request);
+  w.PutU8(request.redundancy ? 1 : 0);
+  w.PutU32(request.min_agents);
+  w.PutU32(request.max_agents);
+  w.PutU64(request.lease_ms);
+  return w.Take();
+}
+
+Result<StorageMediator::SessionRequest> DecodeSessionRequest(std::span<const uint8_t> bytes) {
+  WireReader r(bytes);
+  StorageMediator::SessionRequest request;
+  request.object_name = r.GetString();
+  request.expected_size = r.GetU64();
+  request.required_rate = GetF64(r);
+  request.typical_request = r.GetU64();
+  request.redundancy = r.GetU8() != 0;
+  request.min_agents = r.GetU32();
+  request.max_agents = r.GetU32();
+  request.lease_ms = r.GetU64();
+  if (!r.ok() || r.remaining() != 0) {
+    return InvalidArgumentError("malformed session request payload");
+  }
+  return request;
+}
+
+std::vector<uint8_t> EncodeSessionGrant(const SessionGrant& grant) {
+  WireWriter w(96 + grant.plan.object_name.size());
+  w.PutU64(grant.plan.session_id);
+  w.PutString(grant.plan.object_name);
+  w.PutU32(grant.plan.stripe.num_agents);
+  w.PutU64(grant.plan.stripe.stripe_unit);
+  w.PutU8(static_cast<uint8_t>(grant.plan.stripe.parity));
+  w.PutU32(static_cast<uint32_t>(grant.plan.agent_ids.size()));
+  for (uint32_t id : grant.plan.agent_ids) {
+    w.PutU32(id);
+  }
+  PutF64(w, grant.plan.reserved_rate);
+  w.PutU64(grant.plan.expected_size);
+  w.PutU16(static_cast<uint16_t>(grant.agent_ports.size()));
+  for (uint16_t port : grant.agent_ports) {
+    w.PutU16(port);
+  }
+  w.PutU64(grant.lease_ms);
+  return w.Take();
+}
+
+Result<SessionGrant> DecodeSessionGrant(std::span<const uint8_t> bytes) {
+  WireReader r(bytes);
+  SessionGrant grant;
+  grant.plan.session_id = r.GetU64();
+  grant.plan.object_name = r.GetString();
+  grant.plan.stripe.num_agents = r.GetU32();
+  grant.plan.stripe.stripe_unit = r.GetU64();
+  const uint8_t parity = r.GetU8();
+  if (parity > static_cast<uint8_t>(ParityMode::kRotating)) {
+    return InvalidArgumentError("malformed session grant: bad parity mode");
+  }
+  grant.plan.stripe.parity = static_cast<ParityMode>(parity);
+  const uint32_t id_count = r.GetU32();
+  if (id_count > 4096) {
+    return InvalidArgumentError("malformed session grant: absurd agent count");
+  }
+  grant.plan.agent_ids.reserve(id_count);
+  for (uint32_t i = 0; i < id_count; ++i) {
+    grant.plan.agent_ids.push_back(r.GetU32());
+  }
+  grant.plan.reserved_rate = GetF64(r);
+  grant.plan.expected_size = r.GetU64();
+  const uint16_t port_count = r.GetU16();
+  grant.agent_ports.reserve(port_count);
+  for (uint16_t i = 0; i < port_count; ++i) {
+    grant.agent_ports.push_back(r.GetU16());
+  }
+  grant.lease_ms = r.GetU64();
+  if (!r.ok() || r.remaining() != 0) {
+    return InvalidArgumentError("malformed session grant payload");
+  }
+  return grant;
+}
+
+}  // namespace swift

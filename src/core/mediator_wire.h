@@ -1,0 +1,40 @@
+// Payload codecs for the mediator control plane.
+//
+// The mediator message family (proto/message.h, types 20–33) frames its
+// scalar fields in the type-specific header section; the structured bodies —
+// a client's SessionRequest and the mediator's answering SessionGrant — ride
+// in the message payload, encoded here with the same big-endian WireWriter/
+// WireReader vocabulary as the framing layer. Keeping the codec in core (not
+// proto) preserves the layering: proto knows nothing of plans or stripes.
+
+#ifndef SWIFT_SRC_CORE_MEDIATOR_WIRE_H_
+#define SWIFT_SRC_CORE_MEDIATOR_WIRE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/core/storage_mediator.h"
+#include "src/core/transfer_plan.h"
+#include "src/util/status.h"
+
+namespace swift {
+
+// What a mediator hands back for an admitted (or replanned) session: the
+// transfer plan, where to reach each chosen agent (UDP ports in stripe-column
+// order, 0 = not network-registered), and the lease the session runs under.
+struct SessionGrant {
+  TransferPlan plan;
+  std::vector<uint16_t> agent_ports;
+  uint64_t lease_ms = 0;  // 0 = the session never expires
+};
+
+std::vector<uint8_t> EncodeSessionRequest(const StorageMediator::SessionRequest& request);
+Result<StorageMediator::SessionRequest> DecodeSessionRequest(std::span<const uint8_t> bytes);
+
+std::vector<uint8_t> EncodeSessionGrant(const SessionGrant& grant);
+Result<SessionGrant> DecodeSessionGrant(std::span<const uint8_t> bytes);
+
+}  // namespace swift
+
+#endif  // SWIFT_SRC_CORE_MEDIATOR_WIRE_H_

@@ -1,0 +1,142 @@
+#include "src/core/scrub.h"
+
+#include <algorithm>
+#include <string>
+
+#include "src/core/parity.h"
+#include "src/core/stripe_layout.h"
+#include "src/proto/message.h"
+#include "src/util/logging.h"
+#include "src/util/metrics.h"
+
+namespace swift {
+
+namespace {
+
+struct ScrubMetrics {
+  Counter* objects;
+  Counter* blocks_checked;
+  Counter* ranges_found;
+  Counter* ranges_repaired;
+  Counter* ranges_unrepairable;
+};
+
+const ScrubMetrics& Metrics() {
+  static const ScrubMetrics metrics = [] {
+    MetricRegistry& registry = MetricRegistry::Global();
+    return ScrubMetrics{
+        registry.GetCounter("swift_scrub_objects_total"),
+        registry.GetCounter("swift_scrub_blocks_checked_total"),
+        registry.GetCounter("swift_scrub_ranges_found_total"),
+        registry.GetCounter("swift_scrub_ranges_repaired_total"),
+        registry.GetCounter("swift_scrub_ranges_unrepairable_total"),
+    };
+  }();
+  return metrics;
+}
+
+// Reconstructs the unit-aligned cover of `range` on `column` as the XOR of
+// every other column, and rewrites it in one Write. Returns the first error;
+// the caller only tallies (scrubbing keeps sweeping past bad ranges).
+Status RepairRange(const ObjectMetadata& metadata,
+                   const std::vector<AgentTransport*>& transports,
+                   const std::vector<uint32_t>& handles, uint32_t column,
+                   const CorruptRange& range) {
+  if (metadata.stripe.parity == ParityMode::kNone) {
+    return DataLossError("object has no redundancy to repair from");
+  }
+  const uint64_t unit = metadata.stripe.stripe_unit;
+  const uint64_t cover_begin = (range.offset / unit) * unit;
+  const uint64_t cover_end = ((range.offset + range.length + unit - 1) / unit) * unit;
+  std::vector<uint8_t> rebuilt(cover_end - cover_begin, 0);
+  for (uint64_t row_offset = cover_begin; row_offset < cover_end; row_offset += unit) {
+    std::vector<uint8_t> folded(unit, 0);
+    for (uint32_t c = 0; c < transports.size(); ++c) {
+      if (c == column) {
+        continue;
+      }
+      auto data = transports[c]->Read(handles[c], row_offset, unit);
+      if (!data.ok()) {
+        // A corrupt survivor means two bad units in one row: past the XOR
+        // budget, so this row is lost, not just degraded.
+        return data.code() == StatusCode::kDataCorrupt
+                   ? DataLossError("row " + std::to_string(row_offset / unit) +
+                                   " has corrupt units on two columns: " +
+                                   data.status().message())
+                   : data.status();
+      }
+      XorInto(folded, *data);
+    }
+    std::copy(folded.begin(), folded.end(), rebuilt.begin() + (row_offset - cover_begin));
+  }
+  return transports[column]->Write(handles[column], cover_begin, rebuilt);
+}
+
+}  // namespace
+
+Result<ScrubSummary> ScrubObject(const ObjectMetadata& metadata,
+                                 const std::vector<AgentTransport*>& transports) {
+  if (transports.size() != metadata.stripe.num_agents) {
+    return InvalidArgumentError("transport count does not match the object's stripe width");
+  }
+
+  // Repairs read every *other* column of the corrupt row, so all handles are
+  // opened up front. A column that cannot open is still scrubbed — SCRUB is
+  // object-scoped, not handle-scoped — but ranges needing it stay broken.
+  std::vector<uint32_t> handles(transports.size(), 0);
+  std::vector<bool> opened(transports.size(), false);
+  for (uint32_t c = 0; c < transports.size(); ++c) {
+    auto result = transports[c]->Open(metadata.name, 0);
+    if (result.ok()) {
+      handles[c] = result->handle;
+      opened[c] = true;
+    }
+  }
+
+  ScrubSummary summary;
+  for (uint32_t c = 0; c < transports.size(); ++c) {
+    auto report = transports[c]->Scrub(metadata.name);
+    if (!report.ok()) {
+      if (report.code() == StatusCode::kUnimplemented) {
+        ++summary.columns_skipped;
+      } else {
+        ++summary.columns_unavailable;
+        SWIFT_LOG(WARNING) << "scrub of '" << metadata.name << "' column " << c
+                           << " failed: " << report.status().ToString();
+      }
+      continue;
+    }
+    ++summary.columns_scrubbed;
+    summary.blocks_checked += report->blocks_checked;
+    summary.truncated = summary.truncated || report->truncated;
+    Metrics().blocks_checked->Increment(report->blocks_checked);
+
+    for (const CorruptRange& range : report->corrupt_ranges) {
+      ++summary.ranges_found;
+      Metrics().ranges_found->Increment();
+      Status repaired = opened[c]
+                            ? RepairRange(metadata, transports, handles, c, range)
+                            : UnavailableError("column's file could not be opened for repair");
+      if (repaired.ok()) {
+        ++summary.ranges_repaired;
+        Metrics().ranges_repaired->Increment();
+      } else {
+        ++summary.ranges_unrepairable;
+        Metrics().ranges_unrepairable->Increment();
+        SWIFT_LOG(WARNING) << "scrub could not repair '" << metadata.name << "' column " << c
+                           << " [" << range.offset << ", +" << range.length
+                           << "): " << repaired.ToString();
+      }
+    }
+  }
+
+  for (uint32_t c = 0; c < transports.size(); ++c) {
+    if (opened[c]) {
+      (void)transports[c]->Close(handles[c]);
+    }
+  }
+  Metrics().objects->Increment();
+  return summary;
+}
+
+}  // namespace swift

@@ -1,0 +1,36 @@
+// Shared result types for at-rest integrity scrubs.
+//
+// A scrub walks one agent file's checksum sidecar and reports the byte
+// ranges whose stored contents no longer match. The report flows through
+// every layer — BackingStore::Scrub, AgentTransport::Scrub, the SCRUB_REPLY
+// wire message — so the types live here rather than in any one of them.
+
+#ifndef SWIFT_SRC_CORE_SCRUB_REPORT_H_
+#define SWIFT_SRC_CORE_SCRUB_REPORT_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace swift {
+
+// One corrupt byte range in an agent's backing file.
+struct CorruptRange {
+  uint64_t offset = 0;
+  uint64_t length = 0;
+};
+
+// Result of verifying one agent file against its checksum sidecar.
+struct ScrubReport {
+  // Checksum blocks verified (0 for an empty file).
+  uint64_t blocks_checked = 0;
+  // True when the range list was clipped to fit the wire reply; the caller
+  // should re-scrub after repairing what it got.
+  bool truncated = false;
+  std::vector<CorruptRange> corrupt_ranges;
+
+  bool clean() const { return corrupt_ranges.empty() && !truncated; }
+};
+
+}  // namespace swift
+
+#endif  // SWIFT_SRC_CORE_SCRUB_REPORT_H_

@@ -1,0 +1,130 @@
+#include "src/core/session_handle.h"
+
+#include <chrono>
+
+namespace swift {
+
+namespace {
+
+uint64_t SteadyNowMs() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::milliseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
+
+}  // namespace
+
+LocalMediatorChannel::LocalMediatorChannel(StorageMediator* mediator, ClockFn clock)
+    : mediator_(mediator), clock_(clock ? std::move(clock) : ClockFn(SteadyNowMs)) {}
+
+SessionGrant LocalMediatorChannel::GrantFor(const TransferPlan& plan) const {
+  SessionGrant grant;
+  grant.plan = plan;
+  grant.agent_ports.reserve(plan.agent_ids.size());
+  for (uint32_t id : plan.agent_ids) {
+    grant.agent_ports.push_back(mediator_->AgentPort(id));
+  }
+  grant.lease_ms = mediator_->SessionLeaseMs(plan.session_id);
+  return grant;
+}
+
+Result<SessionGrant> LocalMediatorChannel::OpenSession(
+    const StorageMediator::SessionRequest& request) {
+  const uint64_t now = clock_();
+  mediator_->AdvanceTime(now);
+  SWIFT_ASSIGN_OR_RETURN(TransferPlan plan, mediator_->OpenSession(request, now));
+  return GrantFor(plan);
+}
+
+Status LocalMediatorChannel::CloseSession(uint64_t session_id) {
+  mediator_->AdvanceTime(clock_());
+  return mediator_->CloseSession(session_id);
+}
+
+Status LocalMediatorChannel::RenewLease(uint64_t session_id) {
+  const uint64_t now = clock_();
+  mediator_->AdvanceTime(now);
+  return mediator_->RenewLease(session_id, now);
+}
+
+Result<SessionGrant> LocalMediatorChannel::ReportFailure(uint64_t session_id,
+                                                         uint32_t failed_agent) {
+  mediator_->AdvanceTime(clock_());
+  SWIFT_ASSIGN_OR_RETURN(TransferPlan plan, mediator_->ReplanSession(session_id, failed_agent));
+  return GrantFor(plan);
+}
+
+SessionHandle& SessionHandle::operator=(SessionHandle&& other) noexcept {
+  if (this != &other) {
+    (void)Close();
+    channel_ = other.channel_;
+    grant_ = std::move(other.grant_);
+    other.channel_ = nullptr;
+  }
+  return *this;
+}
+
+Result<SessionHandle> SessionHandle::Open(MediatorChannel* channel,
+                                          const StorageMediator::SessionRequest& request) {
+  SWIFT_ASSIGN_OR_RETURN(SessionGrant grant, channel->OpenSession(request));
+  return SessionHandle(channel, std::move(grant));
+}
+
+Status SessionHandle::Renew() {
+  if (!valid()) {
+    return InvalidArgumentError("renew on an empty session handle");
+  }
+  if (grant_.lease_ms == 0) {
+    return OkStatus();
+  }
+  return channel_->RenewLease(id());
+}
+
+Result<uint32_t> SessionHandle::Replan(uint32_t failed_agent) {
+  if (!valid()) {
+    return InvalidArgumentError("replan on an empty session handle");
+  }
+  SWIFT_ASSIGN_OR_RETURN(SessionGrant revised, channel_->ReportFailure(id(), failed_agent));
+  if (revised.plan.agent_ids.size() != grant_.plan.agent_ids.size()) {
+    return InternalError("revised plan changed the stripe width");
+  }
+  // The remapped column: first position whose agent changed. A duplicate
+  // report (no-op replan) leaves the plan unchanged; report the column the
+  // failed agent previously held if we can still find it, else 0.
+  uint32_t column = 0;
+  bool changed = false;
+  for (uint32_t c = 0; c < revised.plan.agent_ids.size(); ++c) {
+    if (revised.plan.agent_ids[c] != grant_.plan.agent_ids[c]) {
+      column = c;
+      changed = true;
+      break;
+    }
+  }
+  if (!changed) {
+    for (uint32_t c = 0; c < grant_.plan.agent_ids.size(); ++c) {
+      if (grant_.plan.agent_ids[c] == failed_agent) {
+        column = c;
+        break;
+      }
+    }
+  }
+  grant_ = std::move(revised);
+  return column;
+}
+
+Status SessionHandle::Close() {
+  if (!valid()) {
+    return OkStatus();
+  }
+  MediatorChannel* channel = channel_;
+  channel_ = nullptr;
+  return channel->CloseSession(grant_.plan.session_id);
+}
+
+uint64_t SessionHandle::Release() {
+  const uint64_t session_id = id();
+  channel_ = nullptr;
+  return session_id;
+}
+
+}  // namespace swift

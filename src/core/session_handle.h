@@ -1,0 +1,105 @@
+// SessionHandle: RAII access to a mediator session, local or remote.
+//
+// Everything that needs a transfer plan — SwiftFile users, the CLI, the
+// examples — acquires it through a MediatorChannel, so session lifecycle
+// logic (close-on-scope-exit, lease renewal, failure-driven replanning)
+// lives here once instead of being open-coded at every call site. The
+// channel has two implementations: LocalMediatorChannel wraps an in-process
+// StorageMediator (library/simulation use); MediatorClient (src/agent)
+// speaks the wire protocol to a swift_mediatord across the network. Client
+// code written against SessionHandle works unchanged over either.
+
+#ifndef SWIFT_SRC_CORE_SESSION_HANDLE_H_
+#define SWIFT_SRC_CORE_SESSION_HANDLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+#include "src/core/mediator_wire.h"
+#include "src/core/storage_mediator.h"
+#include "src/util/status.h"
+
+namespace swift {
+
+// The session-lifecycle face of a storage mediator.
+class MediatorChannel {
+ public:
+  virtual ~MediatorChannel() = default;
+
+  virtual Result<SessionGrant> OpenSession(const StorageMediator::SessionRequest& request) = 0;
+  // Idempotent; closing an unknown/expired session succeeds.
+  virtual Status CloseSession(uint64_t session_id) = 0;
+  virtual Status RenewLease(uint64_t session_id) = 0;
+  // Reports `failed_agent` (a mediator agent id from the grant) dead and
+  // returns the repaired grant.
+  virtual Result<SessionGrant> ReportFailure(uint64_t session_id, uint32_t failed_agent) = 0;
+};
+
+// In-process channel over a StorageMediator the caller owns. The clock
+// drives lease deadlines and liveness sweeps; it defaults to a steady
+// wall-clock in milliseconds, and tests inject a manual one.
+class LocalMediatorChannel : public MediatorChannel {
+ public:
+  using ClockFn = std::function<uint64_t()>;
+
+  explicit LocalMediatorChannel(StorageMediator* mediator, ClockFn clock = nullptr);
+
+  Result<SessionGrant> OpenSession(const StorageMediator::SessionRequest& request) override;
+  Status CloseSession(uint64_t session_id) override;
+  Status RenewLease(uint64_t session_id) override;
+  Result<SessionGrant> ReportFailure(uint64_t session_id, uint32_t failed_agent) override;
+
+ private:
+  SessionGrant GrantFor(const TransferPlan& plan) const;
+
+  StorageMediator* mediator_;
+  ClockFn clock_;
+};
+
+// Move-only owner of one mediator session. Destruction closes the session
+// (best-effort) unless Release() detached it.
+class SessionHandle {
+ public:
+  SessionHandle() = default;
+  ~SessionHandle() { (void)Close(); }
+  SessionHandle(const SessionHandle&) = delete;
+  SessionHandle& operator=(const SessionHandle&) = delete;
+  SessionHandle(SessionHandle&& other) noexcept { *this = std::move(other); }
+  SessionHandle& operator=(SessionHandle&& other) noexcept;
+
+  // Negotiates a session; on admission the handle owns it.
+  static Result<SessionHandle> Open(MediatorChannel* channel,
+                                    const StorageMediator::SessionRequest& request);
+
+  bool valid() const { return channel_ != nullptr; }
+  uint64_t id() const { return grant_.plan.session_id; }
+  const TransferPlan& plan() const { return grant_.plan; }
+  const SessionGrant& grant() const { return grant_; }
+
+  // Extends the lease (no-op success for unleased sessions).
+  Status Renew();
+
+  // Reports a dead agent and adopts the revised plan. Returns the stripe
+  // column that was remapped (the caller rebuilds that column onto the
+  // replacement, e.g. via MigrateColumn).
+  Result<uint32_t> Replan(uint32_t failed_agent);
+
+  // Releases the session's reservations. Idempotent.
+  Status Close();
+
+  // Detaches without closing (the session stays open on the mediator, e.g.
+  // for a one-shot CLI invocation); returns the session id.
+  uint64_t Release();
+
+ private:
+  SessionHandle(MediatorChannel* channel, SessionGrant grant)
+      : channel_(channel), grant_(std::move(grant)) {}
+
+  MediatorChannel* channel_ = nullptr;
+  SessionGrant grant_;
+};
+
+}  // namespace swift
+
+#endif  // SWIFT_SRC_CORE_SESSION_HANDLE_H_

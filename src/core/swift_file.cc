@@ -20,6 +20,7 @@ struct FileMetrics {
   HistogramMetric* write_us;
   HistogramMetric* degraded_read_us;
   Counter* parity_reconstructions;
+  Counter* read_repairs;
 };
 
 const FileMetrics& Metrics() {
@@ -30,6 +31,7 @@ const FileMetrics& Metrics() {
         registry.GetHistogram("swift_file_write_latency_us"),
         registry.GetHistogram("swift_file_degraded_read_latency_us"),
         registry.GetCounter("swift_file_parity_reconstructions_total"),
+        registry.GetCounter("swift_file_read_repairs_total"),
     };
   }();
   return metrics;
@@ -323,15 +325,25 @@ Status SwiftFile::GuardedCall(uint32_t column, const std::function<Status()>& fn
 // ------------------------------------------------------------- op plumbing --
 
 void SwiftFile::SubmitRead(OpBatch& batch, uint32_t column, uint64_t agent_offset,
-                           uint64_t length, uint8_t* dst) {
-  batch.Submit(column, [this, column, agent_offset, length, dst](
+                           uint64_t length, uint8_t* dst, CorruptSink* corrupt) {
+  batch.Submit(column, [this, column, agent_offset, length, dst, corrupt](
                            AgentTransport* transport, DistributionAgent::Completion done) {
     transport->StartRead(
         handles_[column], agent_offset, length,
-        [this, column, length, dst, done = std::move(done)](Result<std::vector<uint8_t>> data) {
+        [this, column, agent_offset, length, dst, corrupt,
+         done = std::move(done)](Result<std::vector<uint8_t>> data) {
           if (!data.ok()) {
             if (data.code() == StatusCode::kUnavailable) {
               MarkColumnFailed(column);
+            }
+            if (data.code() == StatusCode::kDataCorrupt && corrupt != nullptr) {
+              // The agent is alive; only the stored unit failed its checksum.
+              // Park the op for post-batch repair instead of failing the
+              // batch — and leave the column's failure flag alone.
+              std::lock_guard<std::mutex> lock(corrupt->mutex);
+              corrupt->ops.push_back({column, agent_offset, length, dst});
+              done(OkStatus());
+              return;
             }
             done(data.status());
             return;
@@ -357,20 +369,20 @@ void SwiftFile::SubmitWrite(OpBatch& batch, uint32_t column, uint64_t agent_offs
 }
 
 void SwiftFile::SubmitExtentRead(OpBatch& batch, const AgentExtent& extent, uint64_t base_offset,
-                                 std::span<uint8_t> out) {
+                                 std::span<uint8_t> out, CorruptSink* corrupt) {
   uint8_t* dst = out.data() + (extent.logical_offset - base_offset);
   const uint64_t unit = layout_.config().stripe_unit;
   // MapRange coalesces contiguous same-agent units into one extent; chop it
   // back to stripe-unit ops only when the column can overlap them.
   if (distribution_.window(extent.agent) <= 1 || extent.length <= unit) {
-    SubmitRead(batch, extent.agent, extent.agent_offset, extent.length, dst);
+    SubmitRead(batch, extent.agent, extent.agent_offset, extent.length, dst, corrupt);
     return;
   }
   uint64_t done = 0;
   while (done < extent.length) {
     const uint64_t position = extent.agent_offset + done;
     const uint64_t chunk = std::min(unit - (position % unit), extent.length - done);
-    SubmitRead(batch, extent.agent, position, chunk, dst + done);
+    SubmitRead(batch, extent.agent, position, chunk, dst + done, corrupt);
     done += chunk;
   }
 }
@@ -409,15 +421,18 @@ Status SwiftFile::ReadRange(uint64_t offset, std::span<uint8_t> out) {
     const std::vector<AgentExtent> extents = layout_.MapRange(offset, out.size());
 
     // Live extents: one batch of stripe-unit ops across the whole range, so
-    // every column pipelines up to its window.
+    // every column pipelines up to its window. With parity on, checksum
+    // failures park in `corrupt` instead of failing the batch; without
+    // parity there is nothing to rebuild from, so they surface as errors.
     std::vector<const AgentExtent*> lost_extents;
+    CorruptSink corrupt;
     {
       OpBatch batch(&distribution_);
       for (const AgentExtent& extent : extents) {
         if (ColumnFailed(extent.agent)) {
           lost_extents.push_back(&extent);
         } else {
-          SubmitExtentRead(batch, extent, offset, out);
+          SubmitExtentRead(batch, extent, offset, out, parity_on ? &corrupt : nullptr);
         }
       }
       Status status = Aggregate(batch.Wait());
@@ -425,6 +440,12 @@ Status SwiftFile::ReadRange(uint64_t offset, std::span<uint8_t> out) {
         continue;  // re-plan with the updated failure set
       }
       SWIFT_RETURN_IF_ERROR(status);
+    }
+
+    // Heal checksum casualties: reconstruct each corrupt unit from its row's
+    // survivors, hand the verified bytes to the caller, write the unit back.
+    for (const CorruptSink::Op& op : corrupt.ops) {
+      SWIFT_RETURN_IF_ERROR(RepairReadOp(op));
     }
 
     // Reconstruct extents that live on failed columns, unit by unit (each
@@ -494,10 +515,74 @@ Result<std::vector<uint8_t>> SwiftFile::ReconstructUnit(uint64_t row, uint32_t l
     if (status.code() == StatusCode::kUnavailable) {
       return DataLossError("second agent failure while reconstructing row " + std::to_string(row));
     }
+    if (status.code() == StatusCode::kDataCorrupt) {
+      // A corrupt survivor is a second bad unit in this row: the XOR budget
+      // covers one loss, so the unit is gone, not just degraded.
+      return DataLossError("corrupt unit on a second column while reconstructing row " +
+                           std::to_string(row) + ": " + status.message());
+    }
     SWIFT_RETURN_IF_ERROR(status);
   }
   Metrics().parity_reconstructions->Increment();
   return rebuilt;
+}
+
+Status SwiftFile::RepairReadOp(const CorruptSink::Op& op) {
+  const uint64_t unit = layout_.config().stripe_unit;
+  const uint64_t first_row = op.agent_offset / unit;
+  const uint64_t last_row = (op.agent_offset + op.length - 1) / unit;
+  for (uint64_t row = first_row; row <= last_row; ++row) {
+    SWIFT_ASSIGN_OR_RETURN(std::vector<uint8_t> rebuilt, ReconstructUnit(row, op.column));
+    // The caller gets the verified reconstruction, never the stored bytes.
+    const uint64_t unit_start = row * unit;
+    const uint64_t begin = std::max(op.agent_offset, unit_start);
+    const uint64_t end = std::min(op.agent_offset + op.length, unit_start + unit);
+    std::memcpy(op.dst + (begin - op.agent_offset), rebuilt.data() + (begin - unit_start),
+                end - begin);
+    // Read-repair: rewrite the whole unit so the agent reseals it. Best
+    // effort — the read already has good data, and the scrubber sweeps up
+    // anything this misses.
+    if (!ColumnFailed(op.column)) {
+      const Status repaired = GuardedCall(op.column, [&]() -> Status {
+        return distribution_.transport(op.column)
+            ->Write(handles_[op.column], unit_start, rebuilt);
+      });
+      if (repaired.ok()) {
+        Metrics().read_repairs->Increment();
+      } else {
+        SWIFT_LOG(WARNING) << "read-repair of '" << name_ << "' row " << row << " column "
+                           << op.column << " failed: " << repaired.ToString();
+      }
+    }
+  }
+  return OkStatus();
+}
+
+Status SwiftFile::RepairRow(uint64_t row) {
+  const uint64_t unit = layout_.config().stripe_unit;
+  const uint64_t row_offset = row * unit;
+  for (uint32_t c = 0; c < layout_.config().num_agents; ++c) {
+    if (ColumnFailed(c)) {
+      continue;  // covered by parity; nothing stored to repair
+    }
+    auto stored = distribution_.transport(c)->Read(handles_[c], row_offset, unit);
+    if (stored.ok()) {
+      continue;  // unit verified clean by the agent's store
+    }
+    if (stored.code() == StatusCode::kUnavailable) {
+      MarkColumnFailed(c);
+      return stored.status();  // caller's retry loop re-plans degraded
+    }
+    if (stored.code() != StatusCode::kDataCorrupt) {
+      return stored.status();
+    }
+    SWIFT_ASSIGN_OR_RETURN(std::vector<uint8_t> rebuilt, ReconstructUnit(row, c));
+    SWIFT_RETURN_IF_ERROR(GuardedCall(c, [&]() -> Status {
+      return distribution_.transport(c)->Write(handles_[c], row_offset, rebuilt);
+    }));
+    Metrics().read_repairs->Increment();
+  }
+  return OkStatus();
 }
 
 // ---------------------------------------------------------------- writing --
@@ -640,19 +725,32 @@ Status SwiftFile::WriteRowParity(uint64_t row, uint64_t row_write_start, uint64_
   }
 
   // Gather phase: the current parity unit and every overwritten live range,
-  // all in one batch.
+  // all in one batch. A corrupt unit discovered here (old data or parity)
+  // gets the whole row repaired from reconstruction, then one re-gather —
+  // folding unverified old bytes into parity would launder the corruption
+  // into the new parity unit.
   std::vector<uint8_t> parity_buf(parity_agent_failed ? 0 : unit, 0);
   if (!parity_agent_failed) {
-    OpBatch batch(&distribution_);
-    SubmitRead(batch, parity_loc.agent, parity_loc.agent_offset, unit, parity_buf.data());
-    for (Chunk& chunk : chunks) {
-      if (!chunk.lost) {
-        chunk.old_data.resize(chunk.new_data.size());
-        SubmitRead(batch, chunk.loc.agent, chunk.loc.agent_offset, chunk.old_data.size(),
-                   chunk.old_data.data());
+    for (int gather_attempt = 0;; ++gather_attempt) {
+      OpBatch batch(&distribution_);
+      SubmitRead(batch, parity_loc.agent, parity_loc.agent_offset, unit, parity_buf.data());
+      for (Chunk& chunk : chunks) {
+        if (!chunk.lost) {
+          chunk.old_data.resize(chunk.new_data.size());
+          SubmitRead(batch, chunk.loc.agent, chunk.loc.agent_offset, chunk.old_data.size(),
+                     chunk.old_data.data());
+        }
       }
+      const Status status = Aggregate(batch.Wait());
+      if (status.ok()) {
+        break;
+      }
+      if (status.code() == StatusCode::kDataCorrupt && gather_attempt == 0) {
+        SWIFT_RETURN_IF_ERROR(RepairRow(row));
+        continue;
+      }
+      return status;
     }
-    SWIFT_RETURN_IF_ERROR(Aggregate(batch.Wait()));
   }
 
   // Fold phase (in memory, deterministic order).

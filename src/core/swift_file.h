@@ -24,6 +24,17 @@
 // second failure is reported as kDataLoss. Without parity, any agent failure
 // is surfaced as kUnavailable.
 //
+// Integrity (at-rest corruption): a read that fails its agent's stored
+// checksum comes back kDataCorrupt. That is a *unit*-scoped failure — the
+// agent is alive, one unit is bad — so the column is NOT marked failed;
+// instead the unit is reconstructed from the row's survivors exactly like a
+// lost unit, the verified bytes are returned to the caller, and the rebuilt
+// unit is written back so the agent reseals it (read-repair). A corrupt unit
+// on a *second* column of the same parity group (or corruption while already
+// degraded) exceeds the single-failure budget and is kDataLoss. Without
+// parity there is nothing to rebuild from, so kDataCorrupt surfaces to the
+// caller — corrupt bytes are never returned as data.
+//
 // Concurrency: the public interface is externally synchronized (one logical
 // client), but op completions arrive on transport/pool threads, so the
 // failure flags they touch are atomics.
@@ -34,6 +45,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -110,9 +122,30 @@ class SwiftFile {
 
   Status OpenAgentFiles(uint32_t flags);
 
+  // Checksum failures observed by one read batch's completions. Ops land
+  // here (instead of failing the batch) so the batch can finish and the
+  // corrupt units be repaired afterwards, one reconstruction per unit.
+  struct CorruptSink {
+    struct Op {
+      uint32_t column = 0;
+      uint64_t agent_offset = 0;
+      uint64_t length = 0;
+      uint8_t* dst = nullptr;
+    };
+    std::mutex mutex;
+    std::vector<Op> ops;
+  };
+
   // Failure-aware read of [offset, offset+length) into out (zero-filled past
   // stored data). `length` must fit in out.
   Status ReadRange(uint64_t offset, std::span<uint8_t> out);
+  // Heals one corrupt read op: per covered stripe unit, reconstructs from
+  // the row's survivors, copies the requested slice into the op's
+  // destination, and best-effort writes the rebuilt unit back (read-repair).
+  Status RepairReadOp(const CorruptSink::Op& op);
+  // Verifies every live unit of `row` and rewrites corrupt ones from parity
+  // reconstruction. Used when a read-modify-write gather hits kDataCorrupt.
+  Status RepairRow(uint64_t row);
   // Reconstructs the `unit`-sized unit at (row, failed column) via parity,
   // reading every survivor concurrently and XOR-folding completions as they
   // land.
@@ -129,9 +162,12 @@ class SwiftFile {
 
   // --- async op submission (completions may run on any thread) -------------
 
-  // One read of [agent_offset, +length) on `column` into `dst`.
+  // One read of [agent_offset, +length) on `column` into `dst`. When
+  // `corrupt` is non-null a kDataCorrupt completion is recorded there and
+  // the op resolves OK (the caller repairs after the batch); when null,
+  // kDataCorrupt fails the op like any other error.
   void SubmitRead(OpBatch& batch, uint32_t column, uint64_t agent_offset, uint64_t length,
-                  uint8_t* dst);
+                  uint8_t* dst, CorruptSink* corrupt = nullptr);
   // One write of `bytes` at agent_offset on `column`. `bytes` must stay
   // valid until the batch completes.
   void SubmitWrite(OpBatch& batch, uint32_t column, uint64_t agent_offset,
@@ -139,7 +175,7 @@ class SwiftFile {
   // Submits `extent` as stripe-unit ops when the column window allows
   // pipelining, else as one op.
   void SubmitExtentRead(OpBatch& batch, const AgentExtent& extent, uint64_t base_offset,
-                        std::span<uint8_t> out);
+                        std::span<uint8_t> out, CorruptSink* corrupt = nullptr);
   void SubmitExtentWrite(OpBatch& batch, const AgentExtent& extent, uint64_t base_offset,
                          std::span<const uint8_t> data);
 

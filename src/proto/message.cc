@@ -82,6 +82,10 @@ const char* MessageTypeName(MessageType type) {
       return "LIST_SESSIONS";
     case MessageType::kSessionList:
       return "SESSION_LIST";
+    case MessageType::kScrub:
+      return "SCRUB";
+    case MessageType::kScrubReply:
+      return "SCRUB_REPLY";
   }
   return "UNKNOWN";
 }
@@ -102,6 +106,7 @@ std::vector<uint8_t> Message::Encode() const {
   switch (type) {
     case MessageType::kOpen:
     case MessageType::kRemove:
+    case MessageType::kScrub:
       w.PutString(object_name);
       w.PutU32(open_flags);
       break;
@@ -155,6 +160,10 @@ std::vector<uint8_t> Message::Encode() const {
       w.PutU64(size);  // session id
       w.PutU16(data_port);
       break;
+    case MessageType::kScrubReply:
+      w.PutU32(status_code);
+      w.PutU64(size);  // blocks checked
+      break;
     default:
       break;
   }
@@ -173,7 +182,7 @@ Result<Message> Message::Decode(std::span<const uint8_t> datagram) {
   }
   Message m;
   const uint8_t raw_type = r.GetU8();
-  if (raw_type < 1 || raw_type > static_cast<uint8_t>(MessageType::kSessionList)) {
+  if (raw_type < 1 || raw_type > static_cast<uint8_t>(MessageType::kScrubReply)) {
     return InvalidArgumentError("unknown message type");
   }
   m.type = static_cast<MessageType>(raw_type);
@@ -188,6 +197,7 @@ Result<Message> Message::Decode(std::span<const uint8_t> datagram) {
   switch (m.type) {
     case MessageType::kOpen:
     case MessageType::kRemove:
+    case MessageType::kScrub:
       m.object_name = r.GetString();
       m.open_flags = r.GetU32();
       break;
@@ -242,6 +252,10 @@ Result<Message> Message::Decode(std::span<const uint8_t> datagram) {
     case MessageType::kReportFailure:
       m.size = r.GetU64();
       m.data_port = r.GetU16();
+      break;
+    case MessageType::kScrubReply:
+      m.status_code = r.GetU32();
+      m.size = r.GetU64();
       break;
     default:
       break;

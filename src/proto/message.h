@@ -87,6 +87,12 @@ enum class MessageType : uint8_t {
   kRenewLeaseAck = 31,    // mediator → client: status; size = remaining lease ms
   kListSessions = 32,     // client → mediator
   kSessionList = 33,      // mediator → client: payload = one text line per session
+
+  // --- integrity scrub (well-known agent port, object-scoped like REMOVE) ---
+  kScrub = 34,            // client → agent: verify object_name's at-rest checksums
+  kScrubReply = 35,       // agent → client: status; size = blocks checked; payload
+                          //   = (u64 offset, u64 length) per corrupt range, plus a
+                          //   trailing truncation flag (see docs/PROTOCOL.md)
 };
 
 const char* MessageTypeName(MessageType type);

@@ -28,6 +28,8 @@ const char* StatusCodeName(StatusCode code) {
       return "UNIMPLEMENTED";
     case StatusCode::kIoError:
       return "IO_ERROR";
+    case StatusCode::kDataCorrupt:
+      return "DATA_CORRUPT";
   }
   return "UNKNOWN";
 }
@@ -76,6 +78,9 @@ Status UnimplementedError(std::string message) {
 }
 Status IoError(std::string message) {
   return Status(StatusCode::kIoError, std::move(message));
+}
+Status DataCorruptError(std::string message) {
+  return Status(StatusCode::kDataCorrupt, std::move(message));
 }
 
 }  // namespace swift

@@ -31,6 +31,8 @@ enum class StatusCode {
   kInternal,           // invariant violation; indicates a bug
   kUnimplemented,      // feature intentionally absent
   kIoError,            // backing store I/O failure
+  kDataCorrupt,        // stored bytes fail their at-rest checksum (repairable
+                       // through parity, unlike kDataLoss)
 };
 
 // Short stable identifier, e.g. "NOT_FOUND". Never returns null.
@@ -75,6 +77,7 @@ Status TimedOutError(std::string message);
 Status InternalError(std::string message);
 Status UnimplementedError(std::string message);
 Status IoError(std::string message);
+Status DataCorruptError(std::string message);
 
 // A value of type T or an error Status. `Result` is cheap to move and keeps
 // exactly one of {value, error}.

@@ -77,7 +77,8 @@ TYPED_TEST(BackingStoreTest, MissingFileErrors) {
   EXPECT_EQ(store.WriteAt("ghost", 0, Bytes({1})).code(), StatusCode::kNotFound);
   EXPECT_EQ(store.Size("ghost").code(), StatusCode::kNotFound);
   EXPECT_EQ(store.Truncate("ghost", 0).code(), StatusCode::kNotFound);
-  EXPECT_EQ(store.Remove("ghost").code(), StatusCode::kNotFound);
+  // Remove is idempotent: an absent file is already the goal state.
+  EXPECT_TRUE(store.Remove("ghost").ok());
 }
 
 TYPED_TEST(BackingStoreTest, RemoveDeletes) {
@@ -194,7 +195,7 @@ TEST(StorageAgentCoreTest, RemoveSemantics) {
   ASSERT_TRUE(core.Close(h->handle).ok());
   EXPECT_TRUE(core.Remove("obj").ok());
   EXPECT_FALSE(store.Exists("obj"));
-  EXPECT_EQ(core.Remove("obj").code(), StatusCode::kNotFound);
+  EXPECT_TRUE(core.Remove("obj").ok());  // idempotent
 }
 
 TEST(InProcTransportTest, TransientFaultBudget) {

@@ -65,10 +65,39 @@ $CLI stats > "$WORK/stats_all.txt"
   || { echo "FAIL: stats fan-out over all agents"; exit 1; }
 
 # Replace agent 1: wipe its store, rebuild, verify byte-exact.
-rm -f "$WORK/agent1/archive"
+rm -f "$WORK/agent1/archive" "$WORK/agent1/archive.crc"
 $CLI rebuild archive 1
 $CLI get archive "$WORK/copy2.bin"
 cmp "$WORK/original.bin" "$WORK/copy2.bin" || { echo "FAIL: post-rebuild differs"; exit 1; }
+
+# ---- at-rest integrity: silent corruption, self-healing read, scrub ---------
+# Garble 16 bytes in the middle of agent 2's stored file, underneath its CRC
+# sidecar — silent disk rot. The next get must still be byte-exact: the agent
+# answers DATA_CORRUPT, the client reconstructs the unit from parity and
+# writes the repair back.
+printf 'SILENTLY-ROTTED!' | dd of="$WORK/agent2/archive" bs=1 seek=123456 \
+    count=16 conv=notrunc 2>/dev/null
+$CLI get archive "$WORK/copy3.bin"
+cmp "$WORK/original.bin" "$WORK/copy3.bin" || { echo "FAIL: read over corrupt store differs"; exit 1; }
+$CLI stats $((BASE_PORT + 2)) > "$WORK/stats_corrupt.txt"
+grep -Eq '^swift_integrity_corrupt_total [1-9][0-9]*$' "$WORK/stats_corrupt.txt" \
+  || { echo "FAIL: integrity corrupt counter never moved"; exit 1; }
+
+# Corrupt a second region, this time repaired by the scrubber rather than by
+# a client read. The first scrub finds and repairs it; the second is clean.
+printf 'SILENTLY-ROTTED!' | dd of="$WORK/agent0/archive" bs=1 seek=654321 \
+    count=16 conv=notrunc 2>/dev/null
+$CLI scrub archive > "$WORK/scrub1.txt" \
+  || { echo "FAIL: scrub exited non-zero"; cat "$WORK/scrub1.txt"; exit 1; }
+grep -Eq "scrubbed 'archive': [1-9][0-9]* blocks on 3 agents, [1-9][0-9]* corrupt ranges \([1-9][0-9]* repaired, 0 unrepairable\)" \
+    "$WORK/scrub1.txt" \
+  || { echo "FAIL: scrub did not repair"; cat "$WORK/scrub1.txt"; exit 1; }
+$CLI scrub archive > "$WORK/scrub2.txt" \
+  || { echo "FAIL: second scrub exited non-zero"; cat "$WORK/scrub2.txt"; exit 1; }
+grep -q "0 corrupt ranges (0 repaired, 0 unrepairable)" "$WORK/scrub2.txt" \
+  || { echo "FAIL: second scrub not clean"; cat "$WORK/scrub2.txt"; exit 1; }
+$CLI get archive "$WORK/copy4.bin"
+cmp "$WORK/original.bin" "$WORK/copy4.bin" || { echo "FAIL: post-scrub read differs"; exit 1; }
 
 # Removal cleans the directory and the agent stores.
 $CLI rm archive

@@ -200,11 +200,11 @@ TEST(UdpEndToEndTest, RemoveOverTheWire) {
   auto opened = transport.Open("doomed", kOpenCreate);
   ASSERT_TRUE(opened.ok());
   ASSERT_TRUE(transport.Write(opened->handle, 0, Pattern(100)).ok());
-  // Refused while open; fine after close; NOT_FOUND when already gone.
+  // Refused while open; fine after close; idempotent when already gone.
   EXPECT_EQ(transport.Remove("doomed").code(), StatusCode::kInvalidArgument);
   ASSERT_TRUE(transport.Close(opened->handle).ok());
   EXPECT_TRUE(transport.Remove("doomed").ok());
-  EXPECT_EQ(transport.Remove("doomed").code(), StatusCode::kNotFound);
+  EXPECT_TRUE(transport.Remove("doomed").ok());
   EXPECT_FALSE(agent.store.Exists("doomed"));
 }
 

@@ -7,7 +7,18 @@
 //
 //   swift_agentd --root=/var/swift/agent0 [--port=4751] [--seconds=N]
 //               [--stats-interval=N] [--mediator=PORT] [--rate-mbps=N]
-//               [--storage-mb=N] [--heartbeat-ms=N]
+//               [--storage-mb=N] [--heartbeat-ms=N] [--durable]
+//               [--no-integrity] [--fault-spec=SPEC]
+//               [--loss=P] [--loss-seed=N]
+//
+// Storage stack: files under --root, wrapped in CRC-32 at-rest checksums
+// (IntegrityBackingStore) so reads detect silent disk corruption and the
+// SCRUB op can audit the whole file; --no-integrity serves raw files.
+// --durable fsyncs every write before acknowledging it. For recovery drills,
+// --fault-spec injects deterministic disk faults *under* the checksum layer
+// (syntax: "bitflip=0.01,torn=0.05,eio=0.002,stuck=8192+4096,seed=7") and
+// --loss/--loss-seed drop outgoing datagrams with probability P using a
+// reproducible seed.
 //
 // Runs until SIGINT/SIGTERM (or for --seconds, for scripting). Pair it with
 // swift_cli to store and fetch striped objects. With --stats-interval=N the
@@ -29,6 +40,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 
@@ -36,6 +48,8 @@
 #include <unistd.h>
 
 #include "src/agent/backing_store.h"
+#include "src/agent/faulty_store.h"
+#include "src/agent/integrity_store.h"
 #include "src/agent/mediator_client.h"
 #include "src/agent/storage_agent.h"
 #include "src/agent/udp_agent_server.h"
@@ -57,6 +71,15 @@ const char* FlagValue(int argc, char** argv, const char* name) {
     }
   }
   return nullptr;
+}
+
+bool HasFlag(int argc, char** argv, const char* name) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) {
+      return true;
+    }
+  }
+  return false;
 }
 
 // Registers with the mediator and heartbeats until stopped. Load is the
@@ -107,22 +130,54 @@ int main(int argc, char** argv) {
   const char* rate_flag = FlagValue(argc, argv, "--rate-mbps");
   const char* storage_flag = FlagValue(argc, argv, "--storage-mb");
   const char* heartbeat_flag = FlagValue(argc, argv, "--heartbeat-ms");
+  const char* fault_flag = FlagValue(argc, argv, "--fault-spec");
+  const char* loss_flag = FlagValue(argc, argv, "--loss");
+  const char* loss_seed_flag = FlagValue(argc, argv, "--loss-seed");
+  const bool durable = HasFlag(argc, argv, "--durable");
+  const bool no_integrity = HasFlag(argc, argv, "--no-integrity");
   if (root == nullptr) {
     std::fprintf(stderr,
                  "usage: swift_agentd --root=DIR [--port=%u] [--seconds=N] [--stats-interval=N]\n"
                  "                    [--mediator=PORT] [--rate-mbps=N] [--storage-mb=N]\n"
-                 "                    [--heartbeat-ms=N]\n"
+                 "                    [--heartbeat-ms=N] [--durable] [--no-integrity]\n"
+                 "                    [--fault-spec=SPEC] [--loss=P] [--loss-seed=N]\n"
                  "serves Swift storage-agent protocol over UDP, storing objects in DIR\n",
                  swift::kDefaultAgentPort);
     return 2;
   }
   ::mkdir(root, 0755);  // best effort; the store reports real errors
 
-  swift::PosixBackingStore store(root);
-  swift::StorageAgentCore core(&store);
+  // Store stack, bottom up: real files → injected faults (drills) → CRC-32
+  // verification, so injected corruption is caught exactly like real rot.
+  swift::PosixBackingStore::Options posix_options;
+  posix_options.fsync_on_write = durable;
+  swift::PosixBackingStore posix_store(root, posix_options);
+  swift::BackingStore* store = &posix_store;
+  std::unique_ptr<swift::FaultyBackingStore> faulty;
+  if (fault_flag != nullptr) {
+    auto spec = swift::ParseFaultSpec(fault_flag);
+    if (!spec.ok()) {
+      std::fprintf(stderr, "bad --fault-spec: %s\n", spec.status().ToString().c_str());
+      return 2;
+    }
+    faulty = std::make_unique<swift::FaultyBackingStore>(store, *spec);
+    store = faulty.get();
+  }
+  std::unique_ptr<swift::IntegrityBackingStore> integrity;
+  if (!no_integrity) {
+    integrity = std::make_unique<swift::IntegrityBackingStore>(store);
+    store = integrity.get();
+  }
+  swift::StorageAgentCore core(store);
   swift::UdpAgentServer::Options options;
   options.port = port_flag != nullptr ? static_cast<uint16_t>(std::atoi(port_flag))
                                       : swift::kDefaultAgentPort;
+  if (loss_flag != nullptr) {
+    options.loss_probability = std::atof(loss_flag);
+  }
+  if (loss_seed_flag != nullptr) {
+    options.loss_seed = static_cast<uint64_t>(std::atoll(loss_seed_flag));
+  }
   swift::UdpAgentServer server(&core, options);
   swift::Status status = server.Start();
   if (!status.ok()) {

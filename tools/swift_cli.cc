@@ -15,6 +15,9 @@
 //   ls                                      list objects
 //   rm NAME                                 remove an object (metadata+stores)
 //   rebuild NAME COLUMN                     regenerate a replaced agent's data
+//   scrub [NAME]                            verify at-rest checksums on every
+//                                           agent (one object, or all) and
+//                                           repair corrupt units from parity
 //   stats [PORT]                            pull live metrics from the agents
 //                                           (all of --agents, or just PORT)
 //
@@ -41,6 +44,7 @@
 #include "src/core/object_admin.h"
 #include "src/core/object_directory.h"
 #include "src/core/rebuild.h"
+#include "src/core/scrub.h"
 #include "src/core/session_handle.h"
 #include "src/core/swift_file.h"
 #include "src/util/units.h"
@@ -278,6 +282,43 @@ int CmdRebuild(Cli& cli, const std::string& name, uint32_t column) {
   return 0;
 }
 
+// scrub [NAME]: sweep at-rest checksums on every agent and repair corrupt
+// ranges from parity. Exit 0 means the sweep finished and everything found
+// was repaired (a clean object is the degenerate case); anything left
+// unrepaired, unreachable, or unverified is exit 1 so cron jobs notice.
+int CmdScrub(Cli& cli, const std::string& name) {
+  std::vector<std::string> names =
+      name.empty() ? cli.directory.List() : std::vector<std::string>{name};
+  bool healthy = true;
+  for (const std::string& object : names) {
+    auto metadata = cli.directory.Lookup(object);
+    if (!metadata.ok()) {
+      return Fail(metadata.status());
+    }
+    auto transports = cli.TransportsFor(*metadata);
+    if (!transports.ok()) {
+      return Fail(transports.status());
+    }
+    auto summary = ScrubObject(*metadata, *transports);
+    if (!summary.ok()) {
+      return Fail(summary.status());
+    }
+    std::printf("scrubbed '%s': %llu blocks on %llu agents, %llu corrupt ranges "
+                "(%llu repaired, %llu unrepairable)%s%s%s\n",
+                object.c_str(), static_cast<unsigned long long>(summary->blocks_checked),
+                static_cast<unsigned long long>(summary->columns_scrubbed),
+                static_cast<unsigned long long>(summary->ranges_found),
+                static_cast<unsigned long long>(summary->ranges_repaired),
+                static_cast<unsigned long long>(summary->ranges_unrepairable),
+                summary->columns_unavailable > 0 ? ", agents unreachable" : "",
+                summary->columns_skipped > 0 ? ", some agents keep no checksums" : "",
+                summary->truncated ? ", report truncated (re-run)" : "");
+    healthy = healthy && summary->ranges_unrepairable == 0 &&
+              summary->columns_unavailable == 0 && !summary->truncated;
+  }
+  return healthy ? 0 : 1;
+}
+
 std::string PortList(const std::vector<uint16_t>& ports) {
   std::string out;
   for (size_t i = 0; i < ports.size(); ++i) {
@@ -455,7 +496,7 @@ int main(int argc, char** argv) {
                  "usage: swift_cli --agents=PORT[,PORT...] --dir=FILE [--mediator=PORT] COMMAND\n"
                  "commands: create NAME [--unit=BYTES] [--parity] | put NAME FILE |\n"
                  "          get NAME FILE | stat NAME | ls | rm NAME | rebuild NAME COL |\n"
-                 "          stats [PORT]\n"
+                 "          scrub [NAME] | stats [PORT]\n"
                  "mediator (need --mediator=PORT):\n"
                  "          session open NAME [--size=B] [--rate-mbps=N] [--parity]\n"
                  "                       [--lease-ms=N] [--min-agents=N] [--max-agents=N]\n"
@@ -546,6 +587,9 @@ int main(int argc, char** argv) {
   }
   if (command == "rebuild" && args.size() == 3) {
     return CmdRebuild(cli, args[1], static_cast<uint32_t>(std::atoi(args[2].c_str())));
+  }
+  if (command == "scrub" && args.size() <= 2) {
+    return CmdScrub(cli, args.size() == 2 ? args[1] : std::string());
   }
   if (command == "stats" && args.size() <= 2) {
     return CmdStats(cli, args.size() == 2 ? std::atoi(args[1].c_str()) : 0);
