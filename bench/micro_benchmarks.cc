@@ -22,7 +22,9 @@
 #include "src/core/swift_file.h"
 #include "src/proto/message.h"
 #include "src/proto/packetizer.h"
+#include "src/util/buffer.h"
 #include "src/util/crc32.h"
+#include "src/util/metrics.h"
 #include "src/util/rng.h"
 #include "src/util/units.h"
 
@@ -80,7 +82,7 @@ void BM_MessageEncode(benchmark::State& state) {
   m.type = MessageType::kData;
   m.handle = 7;
   m.request_id = 42;
-  m.payload = RandomBytes(static_cast<size_t>(state.range(0)), 4);
+  m.payload = BufferSlice::FromVector(RandomBytes(static_cast<size_t>(state.range(0)), 4));
   for (auto _ : state) {
     auto wire = m.Encode();
     benchmark::DoNotOptimize(wire.data());
@@ -92,7 +94,7 @@ BENCHMARK(BM_MessageEncode)->Arg(1472)->Arg(8192);
 void BM_MessageDecode(benchmark::State& state) {
   Message m;
   m.type = MessageType::kData;
-  m.payload = RandomBytes(static_cast<size_t>(state.range(0)), 5);
+  m.payload = BufferSlice::FromVector(RandomBytes(static_cast<size_t>(state.range(0)), 5));
   const std::vector<uint8_t> wire = m.Encode();
   for (auto _ : state) {
     auto decoded = Message::Decode(wire);
@@ -129,17 +131,9 @@ void BM_StripeMapRange(benchmark::State& state) {
 }
 BENCHMARK(BM_StripeMapRange)->Arg(3)->Arg(9);
 
-// Striped 1 MiB reads through SwiftFile over real UDP loopback agents.
-// Arg 0: stripe-unit ops in flight per column (1 = the synchronous
-// baseline's behaviour, ≥4 = pipelined). Arg 1: simulated datagram loss in
-// percent. Pipelining must never be slower than the window-1 baseline and
-// should win clearly once retransmission stalls stop serializing the column.
-void BM_PipelinedUdpRead(benchmark::State& state) {
-  const uint32_t window = static_cast<uint32_t>(state.range(0));
-  const double loss = static_cast<double>(state.range(1)) / 100.0;
-  constexpr uint32_t kAgents = 3;
-  constexpr size_t kBytes = MiB(1);
-
+// Shared rig: real UDP loopback agents behind a striped SwiftFile, with one
+// object of `bytes` random data already written.
+struct UdpStripedRig {
   struct Agent {
     explicit Agent(UdpAgentServer::Options options) : core(&store), server(&core, options) {
       (void)server.Start();
@@ -148,45 +142,64 @@ void BM_PipelinedUdpRead(benchmark::State& state) {
     StorageAgentCore core;
     UdpAgentServer server;
   };
+
   std::vector<std::unique_ptr<Agent>> agents;
   std::vector<std::unique_ptr<UdpTransport>> transports;
   std::vector<AgentTransport*> raw;
-  for (uint32_t i = 0; i < kAgents; ++i) {
-    agents.push_back(std::make_unique<Agent>(
-        UdpAgentServer::Options{.port = 0, .loss_probability = loss, .loss_seed = 10 + i}));
-    UdpTransport::Options options;
-    options.loss_probability = loss;
-    options.loss_seed = 50 + i;
-    options.initial_timeout_ms = 5;
-    options.max_timeout_ms = 40;
-    options.max_retries = 20;
-    options.max_in_flight_ops = window;
-    transports.push_back(std::make_unique<UdpTransport>(agents.back()->server.port(), options));
-    raw.push_back(transports.back().get());
-  }
-
-  TransferPlan plan;
-  plan.object_name = "bench";
-  plan.stripe.num_agents = kAgents;
-  plan.stripe.stripe_unit = KiB(16);
-  plan.stripe.parity = ParityMode::kNone;
-  for (uint32_t i = 0; i < kAgents; ++i) {
-    plan.agent_ids.push_back(i);
-  }
   ObjectDirectory directory;
-  DistributionAgent::Options io_options;
-  io_options.ops_in_flight = window;
-  auto file = SwiftFile::Create(plan, raw, &directory, io_options);
-  if (!file.ok()) {
-    state.SkipWithError(file.status().ToString().c_str());
+  std::unique_ptr<SwiftFile> file;
+
+  // Returns a non-OK status on any setup failure (caller SkipWithError's).
+  Status Init(uint32_t num_agents, uint32_t window, double loss, size_t bytes) {
+    for (uint32_t i = 0; i < num_agents; ++i) {
+      agents.push_back(std::make_unique<Agent>(
+          UdpAgentServer::Options{.port = 0, .loss_probability = loss, .loss_seed = 10 + i}));
+      UdpTransport::Options options;
+      options.loss_probability = loss;
+      options.loss_seed = 50 + i;
+      options.initial_timeout_ms = 5;
+      options.max_timeout_ms = 40;
+      options.max_retries = 20;
+      options.max_in_flight_ops = window;
+      transports.push_back(std::make_unique<UdpTransport>(agents.back()->server.port(), options));
+      raw.push_back(transports.back().get());
+    }
+
+    TransferPlan plan;
+    plan.object_name = "bench";
+    plan.stripe.num_agents = num_agents;
+    plan.stripe.stripe_unit = KiB(16);
+    plan.stripe.parity = ParityMode::kNone;
+    for (uint32_t i = 0; i < num_agents; ++i) {
+      plan.agent_ids.push_back(i);
+    }
+    DistributionAgent::Options io_options;
+    io_options.ops_in_flight = window;
+    SWIFT_ASSIGN_OR_RETURN(file, SwiftFile::Create(plan, raw, &directory, io_options));
+    std::vector<uint8_t> data = RandomBytes(bytes, 9);
+    SWIFT_RETURN_IF_ERROR(file->PWrite(0, data).status());
+    return OkStatus();
+  }
+};
+
+// Striped 1 MiB reads through SwiftFile over real UDP loopback agents.
+// Arg 0: stripe-unit ops in flight per column (1 = the synchronous
+// baseline's behaviour, ≥4 = pipelined). Arg 1: simulated datagram loss in
+// percent. Pipelining must never be slower than the window-1 baseline and
+// should win clearly once retransmission stalls stop serializing the column.
+void BM_PipelinedUdpRead(benchmark::State& state) {
+  const uint32_t window = static_cast<uint32_t>(state.range(0));
+  const double loss = static_cast<double>(state.range(1)) / 100.0;
+  constexpr size_t kBytes = MiB(1);
+  UdpStripedRig rig;
+  if (Status init = rig.Init(3, window, loss, kBytes); !init.ok()) {
+    state.SkipWithError(init.ToString().c_str());
     return;
   }
-  std::vector<uint8_t> data = RandomBytes(kBytes, 9);
-  (void)(*file)->PWrite(0, data);
 
   std::vector<uint8_t> out(kBytes);
   for (auto _ : state) {
-    auto n = (*file)->PRead(0, out);
+    auto n = rig.file->PRead(0, out);
     if (!n.ok()) {
       state.SkipWithError(n.status().ToString().c_str());
       return;
@@ -202,6 +215,53 @@ BENCHMARK(BM_PipelinedUdpRead)
     ->Args({1, 2})
     ->Args({4, 2})
     ->Unit(benchmark::kMillisecond);
+
+// Copy-path probe: one 4 MiB striped read over clean UDP, reporting how many
+// deliberate user-space payload copies it costs (swift_buffer_copies_total /
+// swift_buffer_copy_bytes_total deltas around the timed loop).
+//
+// The zero-copy pipeline budget is 2 copy points per byte served from an
+// in-memory agent: the store's snapshot copy into the served block, and the
+// reassembler placing each datagram payload into the caller's destination.
+// ci.sh fails the build if `bytes_copied_ratio` regresses above that budget
+// (with headroom for bookkeeping, threshold 2.5) — a new hidden memcpy on
+// the data path shows up here as ratio 3.0+.
+void BM_CopyPer4MiBRead(benchmark::State& state) {
+  constexpr size_t kBytes = MiB(4);
+  UdpStripedRig rig;
+  if (Status init = rig.Init(3, 4, /*loss=*/0, kBytes); !init.ok()) {
+    state.SkipWithError(init.ToString().c_str());
+    return;
+  }
+
+  Counter* copies = MetricRegistry::Global().GetCounter("swift_buffer_copies_total");
+  Counter* copy_bytes = MetricRegistry::Global().GetCounter("swift_buffer_copy_bytes_total");
+  const uint64_t copies_before = copies->Value();
+  const uint64_t bytes_before = copy_bytes->Value();
+  uint64_t reads = 0;
+
+  std::vector<uint8_t> out(kBytes);
+  for (auto _ : state) {
+    auto n = rig.file->PRead(0, out);
+    if (!n.ok()) {
+      state.SkipWithError(n.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(out.data());
+    ++reads;
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * kBytes);
+  if (reads > 0) {
+    const double copies_per_read =
+        static_cast<double>(copies->Value() - copies_before) / static_cast<double>(reads);
+    const double bytes_per_read =
+        static_cast<double>(copy_bytes->Value() - bytes_before) / static_cast<double>(reads);
+    state.counters["copies_per_read"] = copies_per_read;
+    state.counters["bytes_copied_per_read"] = bytes_per_read;
+    state.counters["bytes_copied_ratio"] = bytes_per_read / static_cast<double>(kBytes);
+  }
+}
+BENCHMARK(BM_CopyPer4MiBRead)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace swift

@@ -26,13 +26,29 @@ if [ "${SAN_PRESET}" != "tsan" ]; then
   # only meaningfully exercised under ThreadSanitizer; run just those suites
   # so the default gate stays fast. Full build: ctest needs every discovered
   # test's include file.
-  echo "== metrics/trace + mediator + integrity concurrency (tsan) =="
+  echo "== metrics/trace + mediator + integrity + buffer concurrency (tsan) =="
   cmake --preset tsan
   cmake --build --preset tsan -j "${JOBS}"
   ctest --test-dir build-tsan \
-    -R '^MetricsTrace|^MediatorService|^IntegrityStore|^FaultyStore|^FaultInjection|^SelfHealing|^Scrub|^FaultKinds|^LossyCorrupt' \
+    -R '^MetricsTrace|^MediatorService|^IntegrityStore|^FaultyStore|^FaultInjection|^SelfHealing|^Scrub|^FaultKinds|^LossyCorrupt|^Buffer' \
     -j "${JOBS}" --output-on-failure
 fi
+
+# Copy-regression gate: a 4 MiB striped read over clean UDP must not memcpy
+# payload bytes more than 2.5x the bytes delivered (budget is 2.0 — the
+# agent's in-memory snapshot plus the reassembler placing datagrams into the
+# caller's buffer — with headroom for bookkeeping). A new hidden copy on the
+# data path pushes the ratio to 3.0+ and fails here.
+echo "== zero-copy pipeline gate (bytes_copied_ratio <= 2.5) =="
+COPY_JSON="$(mktemp)"
+./build/bench/micro_benchmarks --benchmark_filter=BM_CopyPer4MiBRead \
+    --benchmark_min_time=0.5 --benchmark_format=json > "${COPY_JSON}"
+RATIO="$(grep -o '"bytes_copied_ratio": [0-9.e+-]*' "${COPY_JSON}" | head -1 | awk '{print $2}')"
+[ -n "${RATIO}" ] || { echo "FAIL: no bytes_copied_ratio in probe output"; cat "${COPY_JSON}"; exit 1; }
+awk -v r="${RATIO}" 'BEGIN { exit !(r <= 2.5) }' \
+  || { echo "FAIL: bytes_copied_ratio ${RATIO} > 2.5 (copy regression)"; exit 1; }
+echo "bytes_copied_ratio ${RATIO} (<= 2.5)"
+rm -f "${COPY_JSON}"
 
 echo "== agentd --stats-interval smoke =="
 SMOKE_LOG="$(mktemp)"

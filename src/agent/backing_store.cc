@@ -23,22 +23,28 @@ Status InMemoryBackingStore::Ensure(const std::string& object_name) {
   return OkStatus();
 }
 
-Result<std::vector<uint8_t>> InMemoryBackingStore::ReadAt(const std::string& object_name,
-                                                          uint64_t offset, uint64_t length) {
+Result<BufferSlice> InMemoryBackingStore::ReadAt(const std::string& object_name,
+                                                 uint64_t offset, uint64_t length) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = files_.find(object_name);
   if (it == files_.end()) {
     return NotFoundError("no store file '" + object_name + "'");
   }
-  std::vector<uint8_t> out(length, 0);
   const std::vector<uint8_t>& file = it->second;
-  if (offset < file.size()) {
-    const uint64_t available = std::min<uint64_t>(length, file.size() - offset);
-    if (available > 0) {
-      std::memcpy(out.data(), file.data() + offset, available);
-    }
+  if (offset >= file.size()) {
+    // Fully past EOF: zero-extension comes straight off the shared zero
+    // page — no allocation, no memset, no copy.
+    return BufferSlice::ZeroPage(length);
   }
-  return out;
+  // The file vector is mutable under later writes, so the served page must
+  // be a snapshot: one counted copy out of the store.
+  Buffer out = Buffer::AllocateZeroed(length);
+  const uint64_t available = std::min<uint64_t>(length, file.size() - offset);
+  if (available > 0) {
+    std::memcpy(out.data(), file.data() + offset, available);
+    CountBufferCopy(available);
+  }
+  return out.SliceAll();
 }
 
 Status InMemoryBackingStore::WriteAt(const std::string& object_name, uint64_t offset,
@@ -132,15 +138,23 @@ Status PosixBackingStore::Ensure(const std::string& object_name) {
   return OkStatus();
 }
 
-Result<std::vector<uint8_t>> PosixBackingStore::ReadAt(const std::string& object_name,
-                                                       uint64_t offset, uint64_t length) {
+Result<BufferSlice> PosixBackingStore::ReadAt(const std::string& object_name,
+                                              uint64_t offset, uint64_t length) {
   SWIFT_ASSIGN_OR_RETURN(std::string path, PathFor(object_name));
   const int fd = ::open(path.c_str(), O_RDONLY);
   if (fd < 0) {
     return errno == ENOENT ? NotFoundError("no store file '" + object_name + "'")
                            : IoError("open('" + path + "'): " + std::strerror(errno));
   }
-  std::vector<uint8_t> out(length, 0);
+  struct stat st;
+  if (::fstat(fd, &st) == 0 && offset >= static_cast<uint64_t>(st.st_size)) {
+    // Fully past EOF: serve the zero-extension off the shared zero page.
+    ::close(fd);
+    return BufferSlice::ZeroPage(length);
+  }
+  // pread lands the bytes directly in the served block (kernel copy only;
+  // no user-space copy to count).
+  Buffer out = Buffer::AllocateZeroed(length);
   uint64_t done = 0;
   while (done < length) {
     const ssize_t n = ::pread(fd, out.data() + done, length - done,
@@ -158,7 +172,7 @@ Result<std::vector<uint8_t>> PosixBackingStore::ReadAt(const std::string& object
     done += static_cast<uint64_t>(n);
   }
   ::close(fd);
-  return out;
+  return out.SliceAll();
 }
 
 Status PosixBackingStore::WriteAt(const std::string& object_name, uint64_t offset,

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "src/core/scrub_report.h"
+#include "src/util/buffer.h"
 #include "src/util/status.h"
 
 namespace swift {
@@ -33,9 +34,11 @@ class BackingStore {
   virtual bool Exists(const std::string& object_name) = 0;
   // Creates an empty file (no-op if it exists).
   virtual Status Ensure(const std::string& object_name) = 0;
-  // Reads exactly `length` bytes at `offset`, zero-filled past EOF.
-  virtual Result<std::vector<uint8_t>> ReadAt(const std::string& object_name, uint64_t offset,
-                                              uint64_t length) = 0;
+  // Reads exactly `length` bytes at `offset`, zero-filled past EOF. Returns
+  // a shared slice; fully-past-EOF reads are served from the process-wide
+  // zero page with no allocation.
+  virtual Result<BufferSlice> ReadAt(const std::string& object_name, uint64_t offset,
+                                     uint64_t length) = 0;
   // Writes `data` at `offset`, extending the file (holes read as zeros).
   virtual Status WriteAt(const std::string& object_name, uint64_t offset,
                          std::span<const uint8_t> data) = 0;
@@ -59,8 +62,8 @@ class InMemoryBackingStore : public BackingStore {
  public:
   bool Exists(const std::string& object_name) override;
   Status Ensure(const std::string& object_name) override;
-  Result<std::vector<uint8_t>> ReadAt(const std::string& object_name, uint64_t offset,
-                                      uint64_t length) override;
+  Result<BufferSlice> ReadAt(const std::string& object_name, uint64_t offset,
+                             uint64_t length) override;
   Status WriteAt(const std::string& object_name, uint64_t offset,
                  std::span<const uint8_t> data) override;
   Result<uint64_t> Size(const std::string& object_name) override;
@@ -92,8 +95,8 @@ class PosixBackingStore : public BackingStore {
 
   bool Exists(const std::string& object_name) override;
   Status Ensure(const std::string& object_name) override;
-  Result<std::vector<uint8_t>> ReadAt(const std::string& object_name, uint64_t offset,
-                                      uint64_t length) override;
+  Result<BufferSlice> ReadAt(const std::string& object_name, uint64_t offset,
+                             uint64_t length) override;
   Status WriteAt(const std::string& object_name, uint64_t offset,
                  std::span<const uint8_t> data) override;
   Result<uint64_t> Size(const std::string& object_name) override;

@@ -105,21 +105,25 @@ Status FaultyBackingStore::Ensure(const std::string& object_name) {
   return inner_->Ensure(object_name);
 }
 
-Result<std::vector<uint8_t>> FaultyBackingStore::ReadAt(const std::string& object_name,
-                                                        uint64_t offset, uint64_t length) {
+Result<BufferSlice> FaultyBackingStore::ReadAt(const std::string& object_name,
+                                               uint64_t offset, uint64_t length) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (RollEio()) {
       return IoError("injected transient read error on '" + object_name + "'");
     }
   }
-  SWIFT_ASSIGN_OR_RETURN(std::vector<uint8_t> out, inner_->ReadAt(object_name, offset, length));
-  // Stuck-at-zero sectors read back zero no matter what was stored.
+  SWIFT_ASSIGN_OR_RETURN(BufferSlice out, inner_->ReadAt(object_name, offset, length));
+  // Stuck-at-zero sectors read back zero no matter what was stored. Slices
+  // are immutable once shared, so this is the tree's one deliberate
+  // copy-on-write: taken only when the stuck range actually intersects.
   if (spec_.stuck_length > 0) {
     const uint64_t begin = std::max(offset, spec_.stuck_offset);
     const uint64_t end = std::min(offset + length, spec_.stuck_offset + spec_.stuck_length);
     if (begin < end) {
-      std::fill(out.begin() + (begin - offset), out.begin() + (end - offset), 0);
+      Buffer mut = Buffer::CopyOf(out.span());
+      std::fill(mut.data() + (begin - offset), mut.data() + (end - offset), 0);
+      return mut.SliceAll();
     }
   }
   return out;
@@ -156,10 +160,11 @@ Status FaultyBackingStore::WriteAt(const std::string& object_name, uint64_t offs
       ++bitflips_;
     }
     Metrics().bitflips->Increment();
-    SWIFT_ASSIGN_OR_RETURN(std::vector<uint8_t> byte,
+    SWIFT_ASSIGN_OR_RETURN(BufferSlice stored,
                            inner_->ReadAt(object_name, offset + byte_index, 1));
-    byte[0] ^= static_cast<uint8_t>(1u << bit);
-    SWIFT_RETURN_IF_ERROR(inner_->WriteAt(object_name, offset + byte_index, byte));
+    const uint8_t flipped = stored[0] ^ static_cast<uint8_t>(1u << bit);
+    SWIFT_RETURN_IF_ERROR(
+        inner_->WriteAt(object_name, offset + byte_index, std::span<const uint8_t>(&flipped, 1)));
   }
   return OkStatus();
 }

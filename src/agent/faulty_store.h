@@ -64,8 +64,8 @@ class FaultyBackingStore : public BackingStore {
 
   bool Exists(const std::string& object_name) override;
   Status Ensure(const std::string& object_name) override;
-  Result<std::vector<uint8_t>> ReadAt(const std::string& object_name, uint64_t offset,
-                                      uint64_t length) override;
+  Result<BufferSlice> ReadAt(const std::string& object_name, uint64_t offset,
+                             uint64_t length) override;
   Status WriteAt(const std::string& object_name, uint64_t offset,
                  std::span<const uint8_t> data) override;
   Result<uint64_t> Size(const std::string& object_name) override;

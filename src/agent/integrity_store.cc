@@ -69,7 +69,7 @@ Result<IntegrityBackingStore::Sidecar> IntegrityBackingStore::SealFromContents(
   for (uint64_t base = 0; base < nblocks; base += kChunkBlocks) {
     const uint64_t count = std::min(kChunkBlocks, nblocks - base);
     const uint64_t span_len = std::min(count * bs, size - base * bs);
-    SWIFT_ASSIGN_OR_RETURN(std::vector<uint8_t> buf,
+    SWIFT_ASSIGN_OR_RETURN(BufferSlice buf,
                            inner_->ReadAt(object_name, base * bs, span_len));
     for (uint64_t i = 0; i < count; ++i) {
       const uint64_t len = std::min(bs, span_len - i * bs);
@@ -107,9 +107,9 @@ Result<IntegrityBackingStore::Sidecar*> IntegrityBackingStore::LoadSidecar(
   if (inner_->Exists(sidecar_name)) {
     SWIFT_ASSIGN_OR_RETURN(const uint64_t sidecar_size, inner_->Size(sidecar_name));
     if (sidecar_size >= 8 && (sidecar_size - 8) % 4 == 0) {
-      SWIFT_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes,
+      SWIFT_ASSIGN_OR_RETURN(BufferSlice bytes,
                              inner_->ReadAt(sidecar_name, 0, sidecar_size));
-      WireReader r(bytes);
+      WireReader r(bytes.span());
       const uint32_t magic = r.GetU32();
       const uint32_t block_size = r.GetU32();
       if (r.ok() && magic == kSidecarMagic && block_size == block_size_) {
@@ -164,8 +164,8 @@ Status IntegrityBackingStore::Ensure(const std::string& object_name) {
   return LoadSidecar(object_name).status();
 }
 
-Result<std::vector<uint8_t>> IntegrityBackingStore::ReadAt(const std::string& object_name,
-                                                           uint64_t offset, uint64_t length) {
+Result<BufferSlice> IntegrityBackingStore::ReadAt(const std::string& object_name,
+                                                  uint64_t offset, uint64_t length) {
   SWIFT_RETURN_IF_ERROR(CheckName(object_name));
   std::lock_guard<std::mutex> lock(mutex_);
   SWIFT_ASSIGN_OR_RETURN(const uint64_t size, inner_->Size(object_name));
@@ -184,7 +184,7 @@ Result<std::vector<uint8_t>> IntegrityBackingStore::ReadAt(const std::string& ob
   const uint64_t b_last = (verify_end - 1) / bs;
   const uint64_t aligned_start = b0 * bs;
   const uint64_t aligned_end = std::min((b_last + 1) * bs, size);  // stored bytes only
-  std::vector<uint8_t> buf;
+  BufferSlice buf;
   if (aligned_end > aligned_start) {
     SWIFT_ASSIGN_OR_RETURN(
         buf, inner_->ReadAt(object_name, aligned_start, aligned_end - aligned_start));
@@ -200,12 +200,20 @@ Result<std::vector<uint8_t>> IntegrityBackingStore::ReadAt(const std::string& ob
     }
   }
   Metrics().blocks_verified->Increment(b_last - b0 + 1);
-  std::vector<uint8_t> out(length, 0);
-  if (offset < aligned_end) {
-    std::memcpy(out.data(), buf.data() + (offset - aligned_start),
-                std::min(offset + length, aligned_end) - offset);
+  if (offset + length <= aligned_end) {
+    // The common case — block-aligned stripe-unit reads land here: the
+    // requested range sits inside the verified page, so the result is a
+    // sub-slice of that page. Zero copies.
+    return buf.Slice(offset - aligned_start, length);
   }
-  return out;
+  // The read extends past the stored bytes: zero-extend into a fresh block.
+  Buffer out = Buffer::AllocateZeroed(length);
+  if (offset < aligned_end) {
+    const uint64_t available = aligned_end - offset;
+    std::memcpy(out.data(), buf.data() + (offset - aligned_start), available);
+    CountBufferCopy(available);
+  }
+  return out.SliceAll();
 }
 
 Status IntegrityBackingStore::WriteAt(const std::string& object_name, uint64_t offset,
@@ -233,9 +241,9 @@ Status IntegrityBackingStore::WriteAt(const std::string& object_name, uint64_t o
   if (det_start > b0 * bs) {
     const uint64_t begin = b0 * bs;
     const uint64_t stored_stop = std::min((b0 + 1) * bs, old_size);
-    SWIFT_ASSIGN_OR_RETURN(std::vector<uint8_t> old_block,
+    SWIFT_ASSIGN_OR_RETURN(BufferSlice old_block,
                            inner_->ReadAt(object_name, begin, stored_stop - begin));
-    if (b0 >= sidecar->crcs.size() || Crc32(old_block) != sidecar->crcs[b0]) {
+    if (b0 >= sidecar->crcs.size() || Crc32(old_block.span()) != sidecar->crcs[b0]) {
       return CorruptBlockError(object_name, b0, bs);
     }
     head.assign(old_block.begin(), old_block.begin() + (det_start - begin));
@@ -244,9 +252,9 @@ Status IntegrityBackingStore::WriteAt(const std::string& object_name, uint64_t o
   const uint64_t tail_stop = std::min((b_last + 1) * bs, old_size);
   if (tail_stop > end) {
     const uint64_t begin = b_last * bs;
-    SWIFT_ASSIGN_OR_RETURN(std::vector<uint8_t> old_block,
+    SWIFT_ASSIGN_OR_RETURN(BufferSlice old_block,
                            inner_->ReadAt(object_name, begin, tail_stop - begin));
-    if (b_last >= sidecar->crcs.size() || Crc32(old_block) != sidecar->crcs[b_last]) {
+    if (b_last >= sidecar->crcs.size() || Crc32(old_block.span()) != sidecar->crcs[b_last]) {
       return CorruptBlockError(object_name, b_last, bs);
     }
     tail.assign(old_block.begin() + (end - begin), old_block.end());
@@ -320,9 +328,9 @@ Status IntegrityBackingStore::Truncate(const std::string& object_name, uint64_t 
   if (boundary % bs != 0) {
     const uint64_t begin = bb * bs;
     const uint64_t stored_stop = std::min((bb + 1) * bs, old_size);
-    SWIFT_ASSIGN_OR_RETURN(std::vector<uint8_t> old_block,
+    SWIFT_ASSIGN_OR_RETURN(BufferSlice old_block,
                            inner_->ReadAt(object_name, begin, stored_stop - begin));
-    if (bb >= sidecar->crcs.size() || Crc32(old_block) != sidecar->crcs[bb]) {
+    if (bb >= sidecar->crcs.size() || Crc32(old_block.span()) != sidecar->crcs[bb]) {
       return CorruptBlockError(object_name, bb, bs);
     }
     const uint64_t new_stop = std::min((bb + 1) * bs, size);
@@ -380,7 +388,7 @@ Result<ScrubReport> IntegrityBackingStore::Scrub(const std::string& object_name)
     const uint64_t count = std::min(kChunkBlocks, nblocks - base);
     const uint64_t stored_len =
         base * bs < size ? std::min(count * bs, size - base * bs) : 0;
-    std::vector<uint8_t> buf;
+    BufferSlice buf;
     if (stored_len > 0) {
       SWIFT_ASSIGN_OR_RETURN(buf, inner_->ReadAt(object_name, base * bs, stored_len));
     }

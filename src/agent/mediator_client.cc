@@ -111,7 +111,7 @@ Result<SessionGrant> MediatorClient::CallForGrant(Message request) {
 Result<SessionGrant> MediatorClient::OpenSession(const StorageMediator::SessionRequest& request) {
   Message message;
   message.type = MessageType::kOpenSession;
-  message.payload = EncodeSessionRequest(request);
+  message.payload = BufferSlice::FromVector(EncodeSessionRequest(request));
   return CallForGrant(std::move(message));
 }
 

@@ -170,7 +170,7 @@ Message UdpMediatorServer::Dispatch(const Message& request, uint64_t now_ms) {
         break;
       }
       reply.type = MessageType::kSessionPlan;
-      reply.payload = EncodeSessionGrant(grant_for(*plan));
+      reply.payload = BufferSlice::FromVector(EncodeSessionGrant(grant_for(*plan)));
       SWIFT_LOG(INFO) << "session " << plan->session_id << " opened for '"
                       << decoded->object_name << "' across " << plan->agent_ids.size()
                       << " agents";
@@ -207,7 +207,7 @@ Message UdpMediatorServer::Dispatch(const Message& request, uint64_t now_ms) {
         break;
       }
       reply.type = MessageType::kRevisedPlan;
-      reply.payload = EncodeSessionGrant(grant_for(*revised));
+      reply.payload = BufferSlice::FromVector(EncodeSessionGrant(grant_for(*revised)));
       SWIFT_LOG(INFO) << "session " << request.size << " replanned around dead agent "
                       << failed_agent;
       break;
@@ -227,14 +227,14 @@ Message UdpMediatorServer::Dispatch(const Message& request, uint64_t now_ms) {
       }
       FitTextPayload(text);
       reply.type = MessageType::kSessionList;
-      reply.payload.assign(text.begin(), text.end());
+      reply.payload = BufferSlice::CopyOf(text);
       break;
     }
     case MessageType::kStats: {
       std::string text = MetricRegistry::Global().RenderText();
       FitTextPayload(text);
       reply.type = MessageType::kStatsReply;
-      reply.payload.assign(text.begin(), text.end());
+      reply.payload = BufferSlice::CopyOf(text);
       break;
     }
     default:

@@ -72,8 +72,8 @@ Status StorageAgentCore::Write(uint32_t handle, uint64_t offset, std::span<const
   return OkStatus();
 }
 
-Result<std::vector<uint8_t>> StorageAgentCore::Read(uint32_t handle, uint64_t offset,
-                                                    uint64_t length) {
+Result<BufferSlice> StorageAgentCore::Read(uint32_t handle, uint64_t offset,
+                                           uint64_t length) {
   std::lock_guard<std::mutex> lock(mutex_);
   SWIFT_ASSIGN_OR_RETURN(std::string name, NameFor(handle));
   auto result = store_->ReadAt(name, offset, length);
@@ -189,8 +189,8 @@ Status InProcTransport::Write(uint32_t handle, uint64_t offset, std::span<const 
   return status;
 }
 
-Result<std::vector<uint8_t>> InProcTransport::Read(uint32_t handle, uint64_t offset,
-                                                   uint64_t length) {
+Result<BufferSlice> InProcTransport::Read(uint32_t handle, uint64_t offset,
+                                          uint64_t length) {
   const uint32_t op_id = NextInProcOpId();
   FlightRecorder::Global().Record(TraceEventKind::kOpStart, op_id);
   Status up = CheckUp();

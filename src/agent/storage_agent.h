@@ -32,7 +32,7 @@ class StorageAgentCore {
   // Mirrors the AgentTransport surface (same semantics), operating locally.
   Result<AgentOpenResult> Open(const std::string& object_name, uint32_t flags);
   Status Write(uint32_t handle, uint64_t offset, std::span<const uint8_t> data);
-  Result<std::vector<uint8_t>> Read(uint32_t handle, uint64_t offset, uint64_t length);
+  Result<BufferSlice> Read(uint32_t handle, uint64_t offset, uint64_t length);
   Result<uint64_t> Stat(uint32_t handle);
   Status Truncate(uint32_t handle, uint64_t size);
   Status Close(uint32_t handle);
@@ -79,7 +79,7 @@ class InProcTransport : public AgentTransport {
 
   Result<AgentOpenResult> Open(const std::string& object_name, uint32_t flags) override;
   Status Write(uint32_t handle, uint64_t offset, std::span<const uint8_t> data) override;
-  Result<std::vector<uint8_t>> Read(uint32_t handle, uint64_t offset, uint64_t length) override;
+  Result<BufferSlice> Read(uint32_t handle, uint64_t offset, uint64_t length) override;
   Result<uint64_t> Stat(uint32_t handle) override;
   Status Truncate(uint32_t handle, uint64_t size) override;
   Status Close(uint32_t handle) override;

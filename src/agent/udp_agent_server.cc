@@ -107,7 +107,10 @@ Status UdpAgentServer::SendMessage(UdpSocket& socket, const UdpEndpoint& to,
   if (message.type == MessageType::kWriteNack) {
     Metrics().nacks_sent->Increment();
   }
-  return socket.SendTo(to, message.Encode());
+  // Header + payload as a two-entry iovec: a DATA reply's payload goes from
+  // the block-cache slice to sendmsg(2) without ever being flattened.
+  const Message::Encoded parts = message.EncodeParts();
+  return socket.SendTo(to, parts.header, parts.payload.span());
 }
 
 void UdpAgentServer::PrimaryLoop() {
@@ -140,7 +143,7 @@ void UdpAgentServer::PrimaryLoop() {
         text.resize(cut == std::string::npos ? 0 : cut + 1);
         text += kMarker;
       }
-      reply.payload.assign(text.begin(), text.end());
+      reply.payload = BufferSlice::CopyOf(text);
       (void)SendMessage(primary_socket_, received->from, reply);
     } else if (message->type == MessageType::kRemove) {
       Message reply;
@@ -174,7 +177,7 @@ void UdpAgentServer::PrimaryLoop() {
         }
         const bool truncated = report->truncated || count < report->corrupt_ranges.size();
         w.PutU8(truncated ? 1 : 0);
-        reply.payload = w.Take();
+        reply.payload = BufferSlice::FromVector(w.Take());
       }
       (void)SendMessage(primary_socket_, received->from, reply);
     }

@@ -14,6 +14,10 @@ namespace {
 constexpr uint32_t kLoopbackHost = 0x7F000001;
 // Largest encoded message: header+fields (<128) + 8 KiB payload.
 constexpr size_t kMaxDatagram = 16 * 1024;
+// Receive-arena block: four max-size datagrams per allocation. Payload
+// slices pin the whole block, so a bigger arena would let one long-lived
+// slice hold more dead datagrams alive; four bounds that waste.
+constexpr size_t kRecvArenaBytes = 4 * kMaxDatagram;
 }  // namespace
 
 sockaddr_in UdpEndpoint::ToSockaddr() const {
@@ -36,9 +40,13 @@ UdpSocket::UdpSocket(UdpSocket&& other) noexcept
     : fd_(other.fd_),
       local_port_(other.local_port_),
       loss_probability_(other.loss_probability_),
-      loss_rng_(std::move(other.loss_rng_)) {
+      loss_rng_(std::move(other.loss_rng_)),
+      recv_arena_(std::move(other.recv_arena_)),
+      recv_arena_used_(other.recv_arena_used_) {
   other.fd_ = -1;
   other.local_port_ = 0;
+  other.recv_arena_ = Buffer();
+  other.recv_arena_used_ = 0;
 }
 
 UdpSocket& UdpSocket::operator=(UdpSocket&& other) noexcept {
@@ -48,8 +56,12 @@ UdpSocket& UdpSocket::operator=(UdpSocket&& other) noexcept {
     local_port_ = other.local_port_;
     loss_probability_ = other.loss_probability_;
     loss_rng_ = std::move(other.loss_rng_);
+    recv_arena_ = std::move(other.recv_arena_);
+    recv_arena_used_ = other.recv_arena_used_;
     other.fd_ = -1;
     other.local_port_ = 0;
+    other.recv_arena_ = Buffer();
+    other.recv_arena_used_ = 0;
   }
   return *this;
 }
@@ -111,6 +123,41 @@ Status UdpSocket::SendTo(const UdpEndpoint& dst, std::span<const uint8_t> data) 
   return OkStatus();
 }
 
+Status UdpSocket::SendTo(const UdpEndpoint& dst, std::span<const uint8_t> head,
+                         std::span<const uint8_t> payload) {
+  if (payload.empty()) {
+    return SendTo(dst, head);
+  }
+  if (fd_ < 0) {
+    return UnavailableError("socket closed");
+  }
+  ++datagrams_sent_;
+  if (loss_probability_ > 0 && loss_rng_.has_value() &&
+      loss_rng_->Bernoulli(loss_probability_)) {
+    ++datagrams_dropped_;
+    return OkStatus();  // silently "lost on the wire"
+  }
+  sockaddr_in addr = dst.ToSockaddr();
+  iovec iov[2];
+  iov[0].iov_base = const_cast<uint8_t*>(head.data());
+  iov[0].iov_len = head.size();
+  iov[1].iov_base = const_cast<uint8_t*>(payload.data());
+  iov[1].iov_len = payload.size();
+  msghdr msg{};
+  msg.msg_name = &addr;
+  msg.msg_namelen = sizeof(addr);
+  msg.msg_iov = iov;
+  msg.msg_iovlen = 2;
+  const ssize_t n = ::sendmsg(fd_, &msg, 0);
+  if (n < 0) {
+    return IoError(std::string("sendmsg: ") + std::strerror(errno));
+  }
+  if (static_cast<size_t>(n) != head.size() + payload.size()) {
+    return IoError("short sendmsg");
+  }
+  return OkStatus();
+}
+
 Result<UdpSocket::ReceivedDatagram> UdpSocket::RecvFrom(int timeout_ms) {
   if (fd_ < 0 || shutdown_.load(std::memory_order_acquire)) {
     return UnavailableError("socket closed");
@@ -123,11 +170,15 @@ Result<UdpSocket::ReceivedDatagram> UdpSocket::RecvFrom(int timeout_ms) {
   if (ready == 0) {
     return TimedOutError("no datagram within the timeout");
   }
-  ReceivedDatagram out;
-  out.data.resize(kMaxDatagram);
+  // Land the datagram in the shared arena; earlier slices pin the old block,
+  // so refilling just drops our reference and lets them age out naturally.
+  if (!recv_arena_.valid() || recv_arena_.size() - recv_arena_used_ < kMaxDatagram) {
+    recv_arena_ = Buffer::Allocate(kRecvArenaBytes);
+    recv_arena_used_ = 0;
+  }
   sockaddr_in addr{};
   socklen_t addr_len = sizeof(addr);
-  const ssize_t n = ::recvfrom(fd_, out.data.data(), out.data.size(), 0,
+  const ssize_t n = ::recvfrom(fd_, recv_arena_.data() + recv_arena_used_, kMaxDatagram, 0,
                                reinterpret_cast<sockaddr*>(&addr), &addr_len);
   if (n < 0) {
     return UnavailableError(std::string("recvfrom: ") + std::strerror(errno));
@@ -135,7 +186,10 @@ Result<UdpSocket::ReceivedDatagram> UdpSocket::RecvFrom(int timeout_ms) {
   if (shutdown_.load(std::memory_order_acquire)) {
     return UnavailableError("socket shut down");
   }
-  out.data.resize(static_cast<size_t>(n));
+  ReceivedDatagram out;
+  out.data = recv_arena_.Slice(recv_arena_used_, static_cast<size_t>(n));
+  // Keep successive datagrams' payloads 8-byte aligned within the block.
+  recv_arena_used_ += (static_cast<size_t>(n) + 7) & ~size_t{7};
   out.from = UdpEndpoint::FromSockaddr(addr);
   return out;
 }

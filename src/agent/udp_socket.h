@@ -18,6 +18,7 @@
 #include <span>
 #include <vector>
 
+#include "src/util/buffer.h"
 #include "src/util/rng.h"
 #include "src/util/status.h"
 
@@ -54,12 +55,24 @@ class UdpSocket {
   // Sends one datagram (dropped silently with loss_probability).
   Status SendTo(const UdpEndpoint& dst, std::span<const uint8_t> data);
 
+  // Scatter-gather send: one datagram made of `head` followed by `payload`,
+  // handed to the kernel as a two-entry iovec via sendmsg(2) — the payload
+  // is never flattened into a contiguous user-space buffer.
+  Status SendTo(const UdpEndpoint& dst, std::span<const uint8_t> head,
+                std::span<const uint8_t> payload);
+
   struct ReceivedDatagram {
-    std::vector<uint8_t> data;
+    BufferSlice data;  // keeps the arena block alive; alias freely
     UdpEndpoint from;
   };
   // Waits up to `timeout_ms` (<0 = forever) for a datagram. Returns
   // kTimedOut on timeout, kUnavailable when the socket was shut down.
+  //
+  // The datagram is received into a shared arena block and returned as a
+  // slice; decoded payloads may alias it indefinitely (the block lives until
+  // the last slice drops). Single consumer: RecvFrom must not be called
+  // concurrently from two threads (it never is — one reactor/session thread
+  // owns each socket's receive side).
   Result<ReceivedDatagram> RecvFrom(int timeout_ms);
 
   // Unblocks any RecvFrom and poisons the socket (thread-safe; used to stop
@@ -79,6 +92,13 @@ class UdpSocket {
   std::optional<Rng> loss_rng_;
   uint64_t datagrams_sent_ = 0;
   uint64_t datagrams_dropped_ = 0;
+
+  // Receive arena: datagrams land in a shared block carved into slices, so
+  // a payload can outlive the next RecvFrom without a copy. Refilled when
+  // the remaining tail can't hold a max-size datagram. Touched only by the
+  // single receiving thread.
+  Buffer recv_arena_;
+  size_t recv_arena_used_ = 0;
 };
 
 }  // namespace swift

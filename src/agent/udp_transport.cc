@@ -133,7 +133,11 @@ class UdpTransport::Reactor {
     Status Send(const Message& m) {
       transport()->datagrams_sent_.fetch_add(1, std::memory_order_relaxed);
       Metrics().datagrams_sent->Increment();
-      return session_->socket.SendTo(session_->agent, m.Encode());
+      // Header and payload leave as a two-entry iovec: the payload slice is
+      // handed to sendmsg(2) where it sits — retransmissions re-serialize
+      // only the fixed header, never the data bytes.
+      const Message::Encoded parts = m.EncodeParts();
+      return session_->socket.SendTo(session_->agent, parts.header, parts.payload.span());
     }
     Status Resend(const Message& m) {
       transport()->retransmissions_.fetch_add(1, std::memory_order_relaxed);
@@ -258,8 +262,15 @@ class UdpTransport::Reactor {
   // Client-driven windowed read (§3.1): request packets one at a time, keep
   // up to `read_window` requests outstanding, re-request whatever is still
   // missing on timeout. No acknowledgements.
+  //
+  // Two completion modes share the state machine. Slice mode owns a fresh
+  // arena and hands it off as an immutable BufferSlice; into mode places
+  // packets straight into a caller-provided span (the striping layer points
+  // this at the user's destination, so the datagram payload's one placement
+  // copy is the only user-space copy on the whole read path).
   class ReadOp : public PendingOp {
    public:
+    // Slice mode.
     ReadOp(Reactor* reactor, SessionPtr session, uint32_t request_id, uint32_t handle,
            uint64_t offset, uint64_t length, uint32_t total, ReadCompletion done)
         : PendingOp(reactor, std::move(session), request_id),
@@ -268,7 +279,18 @@ class UdpTransport::Reactor {
           length_(length),
           total_(total),
           reassembler_(request_id, offset, length, total),
-          done_(std::move(done)) {}
+          slice_done_(std::move(done)) {}
+
+    // Into mode. `dst` must stay valid until the completion runs.
+    ReadOp(Reactor* reactor, SessionPtr session, uint32_t request_id, uint32_t handle,
+           uint64_t offset, std::span<uint8_t> dst, uint32_t total, WriteCompletion done)
+        : PendingOp(reactor, std::move(session), request_id),
+          handle_(handle),
+          offset_(offset),
+          length_(dst.size()),
+          total_(total),
+          reassembler_(request_id, offset, dst, total),
+          into_done_(std::move(done)) {}
 
     bool Start() override {
       if (!TopUp()) {
@@ -291,7 +313,7 @@ class UdpTransport::Reactor {
       }
       if (reassembler_.complete()) {
         transport()->bytes_read_.fetch_add(length_, std::memory_order_relaxed);
-        return Finish(reassembler_.TakeData());
+        return Finish(OkStatus());
       }
       if (!TopUp()) {
         return true;
@@ -348,10 +370,20 @@ class UdpTransport::Reactor {
       return true;
     }
 
-    bool Finish(Result<std::vector<uint8_t>> result) {
-      transport()->AccountOpDone(result.ok());
-      RecordDone(Metrics().read_us, result.ok(), result.status().code());
-      done_(std::move(result));
+    // An OK status means the reassembler completed; anything else is the
+    // op's failure. Dispatches to whichever completion mode was armed.
+    bool Finish(Status status) {
+      transport()->AccountOpDone(status.ok());
+      RecordDone(Metrics().read_us, status.ok(), status.code());
+      if (slice_done_) {
+        if (status.ok()) {
+          slice_done_(reassembler_.TakeSlice());
+        } else {
+          slice_done_(std::move(status));
+        }
+      } else {
+        into_done_(std::move(status));
+      }
       return true;
     }
 
@@ -362,7 +394,8 @@ class UdpTransport::Reactor {
     Reassembler reassembler_;
     std::set<uint32_t> outstanding_;
     uint32_t next_seq_ = 0;
-    ReadCompletion done_;
+    ReadCompletion slice_done_;    // slice mode
+    WriteCompletion into_done_;    // into mode
   };
 
   // Announce + stream + query write (§3.1): blast every packet, then let the
@@ -804,7 +837,7 @@ void UdpTransport::StartRead(uint32_t handle, uint64_t offset, uint64_t length,
   }
   if (length == 0) {
     AccountOpDone(true);
-    done(std::vector<uint8_t>());
+    done(BufferSlice());
     return;
   }
   const uint32_t total = PacketCountFor(length);
@@ -815,6 +848,31 @@ void UdpTransport::StartRead(uint32_t handle, uint64_t offset, uint64_t length,
   }
   reactor_->SubmitOp(std::make_unique<Reactor::ReadOp>(reactor_.get(), std::move(session),
                                                        NextRequestId(), handle, offset, length,
+                                                       total, std::move(done)));
+}
+
+void UdpTransport::StartReadInto(uint32_t handle, uint64_t offset, std::span<uint8_t> out,
+                                 WriteCompletion done) {
+  ops_submitted_.fetch_add(1, std::memory_order_relaxed);
+  auto session = reactor_->SessionForHandle(handle);
+  if (!session) {
+    AccountOpDone(false);
+    done(NotFoundError("no open session for handle " + std::to_string(handle)));
+    return;
+  }
+  if (out.empty()) {
+    AccountOpDone(true);
+    done(OkStatus());
+    return;
+  }
+  const uint32_t total = PacketCountFor(out.size());
+  if (total > UINT16_MAX) {
+    AccountOpDone(false);
+    done(InvalidArgumentError("read too large for one request"));
+    return;
+  }
+  reactor_->SubmitOp(std::make_unique<Reactor::ReadOp>(reactor_.get(), std::move(session),
+                                                       NextRequestId(), handle, offset, out,
                                                        total, std::move(done)));
 }
 
@@ -839,11 +897,11 @@ void UdpTransport::StartWrite(uint32_t handle, uint64_t offset, std::span<const 
                                                         std::move(done)));
 }
 
-Result<std::vector<uint8_t>> UdpTransport::Read(uint32_t handle, uint64_t offset, uint64_t length) {
+Result<BufferSlice> UdpTransport::Read(uint32_t handle, uint64_t offset, uint64_t length) {
   std::mutex m;
   std::condition_variable cv;
-  std::optional<Result<std::vector<uint8_t>>> slot;
-  StartRead(handle, offset, length, [&](Result<std::vector<uint8_t>> result) {
+  std::optional<Result<BufferSlice>> slot;
+  StartRead(handle, offset, length, [&](Result<BufferSlice> result) {
     std::lock_guard<std::mutex> lock(m);
     slot.emplace(std::move(result));
     cv.notify_all();
@@ -944,7 +1002,7 @@ Result<ScrubReport> UdpTransport::Scrub(const std::string& object_name) {
   SWIFT_RETURN_IF_ERROR(StatusFromWire(reply->status_code, "SCRUB of '" + object_name + "'"));
   ScrubReport report;
   report.blocks_checked = reply->size;
-  WireReader r(reply->payload);
+  WireReader r(reply->payload.span());
   while (r.remaining() > 16) {
     const uint64_t offset = r.GetU64();
     const uint64_t length = r.GetU64();

@@ -92,7 +92,7 @@ class UdpTransport : public AgentTransport {
 
   Result<AgentOpenResult> Open(const std::string& object_name, uint32_t flags) override;
   Status Write(uint32_t handle, uint64_t offset, std::span<const uint8_t> data) override;
-  Result<std::vector<uint8_t>> Read(uint32_t handle, uint64_t offset, uint64_t length) override;
+  Result<BufferSlice> Read(uint32_t handle, uint64_t offset, uint64_t length) override;
   Result<uint64_t> Stat(uint32_t handle) override;
   Status Truncate(uint32_t handle, uint64_t size) override;
   Status Close(uint32_t handle) override;
@@ -109,6 +109,10 @@ class UdpTransport : public AgentTransport {
 
   void StartRead(uint32_t handle, uint64_t offset, uint64_t length,
                  ReadCompletion done) override;
+  // Reassembles arriving packets directly into `out` — no intermediate
+  // buffer, no copy on completion. `out` must stay valid until `done` runs.
+  void StartReadInto(uint32_t handle, uint64_t offset, std::span<uint8_t> out,
+                     WriteCompletion done) override;
   void StartWrite(uint32_t handle, uint64_t offset, std::span<const uint8_t> data,
                   WriteCompletion done) override;
   uint32_t max_in_flight() const override { return std::max<uint32_t>(1, options_.max_in_flight_ops); }

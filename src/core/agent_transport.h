@@ -50,6 +50,7 @@
 #include <vector>
 
 #include "src/core/scrub_report.h"
+#include "src/util/buffer.h"
 #include "src/util/status.h"
 
 namespace swift {
@@ -74,8 +75,10 @@ struct TransportStats {
 
 class AgentTransport {
  public:
-  // Completion signatures for the async core.
-  using ReadCompletion = std::function<void(Result<std::vector<uint8_t>>)>;
+  // Completion signatures for the async core. Reads deliver a shared
+  // BufferSlice — a view over whatever block the transport received or
+  // served from — so results cross the seam without a copy.
+  using ReadCompletion = std::function<void(Result<BufferSlice>)>;
   using WriteCompletion = std::function<void(Status)>;
 
   virtual ~AgentTransport() = default;
@@ -87,9 +90,9 @@ class AgentTransport {
   // Writes `data` at `offset` in the agent file, extending it as needed.
   virtual Status Write(uint32_t handle, uint64_t offset, std::span<const uint8_t> data) = 0;
 
-  // Reads exactly `length` bytes at `offset`, zero-filled past EOF.
-  virtual Result<std::vector<uint8_t>> Read(uint32_t handle, uint64_t offset,
-                                            uint64_t length) = 0;
+  // Reads exactly `length` bytes at `offset`, zero-filled past EOF. The
+  // result is a shared slice (possibly aliasing a transport or store block).
+  virtual Result<BufferSlice> Read(uint32_t handle, uint64_t offset, uint64_t length) = 0;
 
   // Stored size of the agent file.
   virtual Result<uint64_t> Stat(uint32_t handle) = 0;
@@ -120,6 +123,26 @@ class AgentTransport {
   virtual void StartRead(uint32_t handle, uint64_t offset, uint64_t length,
                          ReadCompletion done) {
     done(Read(handle, offset, length));
+  }
+
+  // Submits an asynchronous read of exactly `out.size()` bytes at `offset`,
+  // delivered directly into caller memory — the variant SwiftFile uses to
+  // assemble stripe units straight into the user's destination buffer.
+  // `out` must stay valid until `done` runs. The default adapter reads a
+  // slice and places it with one counted copy; transports that own packet
+  // placement (the UDP reactor) override this to land datagram payloads in
+  // `out` with no intermediate block at all.
+  virtual void StartReadInto(uint32_t handle, uint64_t offset, std::span<uint8_t> out,
+                             WriteCompletion done) {
+    StartRead(handle, offset, out.size(),
+              [out, done = std::move(done)](Result<BufferSlice> data) {
+                if (!data.ok()) {
+                  done(data.status());
+                  return;
+                }
+                data->CopyTo(out);
+                done(OkStatus());
+              });
   }
 
   // Submits an asynchronous write. `data` is consumed before StartWrite

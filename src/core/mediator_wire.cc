@@ -14,7 +14,8 @@ double GetF64(WireReader& r) { return std::bit_cast<double>(r.GetU64()); }
 }  // namespace
 
 std::vector<uint8_t> EncodeSessionRequest(const StorageMediator::SessionRequest& request) {
-  WireWriter w(64 + request.object_name.size());
+  // Exact: string (2 + n) + u64 + f64 + u64 + u8 + u32 + u32 + u64.
+  WireWriter w(2 + request.object_name.size() + 8 + 8 + 8 + 1 + 4 + 4 + 8);
   w.PutString(request.object_name);
   w.PutU64(request.expected_size);
   PutF64(w, request.required_rate);
@@ -44,7 +45,10 @@ Result<StorageMediator::SessionRequest> DecodeSessionRequest(std::span<const uin
 }
 
 std::vector<uint8_t> EncodeSessionGrant(const SessionGrant& grant) {
-  WireWriter w(96 + grant.plan.object_name.size());
+  // Exact: u64 + string (2 + n) + u32 + u64 + u8 + u32 + ids + f64 + u64 +
+  // u16 + ports + u64 — a wide plan must not regrow the buffer mid-encode.
+  WireWriter w(8 + 2 + grant.plan.object_name.size() + 4 + 8 + 1 + 4 +
+               4 * grant.plan.agent_ids.size() + 8 + 8 + 2 + 2 * grant.agent_ports.size() + 8);
   w.PutU64(grant.plan.session_id);
   w.PutString(grant.plan.object_name);
   w.PutU32(grant.plan.stripe.num_agents);

@@ -1,5 +1,7 @@
 #include "src/core/parity.h"
 
+#include <algorithm>
+
 #include "src/util/logging.h"
 
 namespace swift {
@@ -26,11 +28,17 @@ void XorInto(std::span<uint8_t> dst, std::span<const uint8_t> src) {
 std::vector<uint8_t> ComputeParity(std::span<const std::span<const uint8_t>> sources,
                                    uint64_t unit_size) {
   std::vector<uint8_t> parity(unit_size, 0);
-  for (std::span<const uint8_t> source : sources) {
-    SWIFT_CHECK(source.size() <= unit_size) << "source larger than the stripe unit";
-    XorInto(std::span<uint8_t>(parity.data(), source.size()), source);
-  }
+  ComputeParityInto(parity, sources);
   return parity;
+}
+
+void ComputeParityInto(std::span<uint8_t> dst,
+                       std::span<const std::span<const uint8_t>> sources) {
+  std::fill(dst.begin(), dst.end(), 0);
+  for (std::span<const uint8_t> source : sources) {
+    SWIFT_CHECK(source.size() <= dst.size()) << "source larger than the stripe unit";
+    XorInto(dst.subspan(0, source.size()), source);
+  }
 }
 
 std::vector<uint8_t> ReconstructUnit(std::span<const std::span<const uint8_t>> survivors,

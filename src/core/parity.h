@@ -25,6 +25,12 @@ void XorInto(std::span<uint8_t> dst, std::span<const uint8_t> src);
 std::vector<uint8_t> ComputeParity(std::span<const std::span<const uint8_t>> sources,
                                    uint64_t unit_size);
 
+// Same math written into caller-provided storage: `dst` (one full unit) is
+// zeroed then XOR-folded in place, so callers can aim it at an arena slot
+// instead of allocating per row.
+void ComputeParityInto(std::span<uint8_t> dst,
+                       std::span<const std::span<const uint8_t>> sources);
+
 // Rebuilds a lost unit from the surviving units of its row (the other data
 // units plus the parity unit) — identical math to ComputeParity; named
 // separately because call sites read better.

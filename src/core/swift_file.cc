@@ -7,6 +7,7 @@
 
 #include "src/core/parity.h"
 #include "src/proto/message.h"
+#include "src/util/buffer.h"
 #include "src/util/logging.h"
 #include "src/util/metrics.h"
 
@@ -328,15 +329,17 @@ void SwiftFile::SubmitRead(OpBatch& batch, uint32_t column, uint64_t agent_offse
                            uint64_t length, uint8_t* dst, CorruptSink* corrupt) {
   batch.Submit(column, [this, column, agent_offset, length, dst, corrupt](
                            AgentTransport* transport, DistributionAgent::Completion done) {
-    transport->StartRead(
-        handles_[column], agent_offset, length,
+    // Read-into: the transport assembles the stripe unit directly at `dst`
+    // (the caller's destination), so no copy happens at this layer.
+    transport->StartReadInto(
+        handles_[column], agent_offset, std::span<uint8_t>(dst, length),
         [this, column, agent_offset, length, dst, corrupt,
-         done = std::move(done)](Result<std::vector<uint8_t>> data) {
-          if (!data.ok()) {
-            if (data.code() == StatusCode::kUnavailable) {
+         done = std::move(done)](Status status) {
+          if (!status.ok()) {
+            if (status.code() == StatusCode::kUnavailable) {
               MarkColumnFailed(column);
             }
-            if (data.code() == StatusCode::kDataCorrupt && corrupt != nullptr) {
+            if (status.code() == StatusCode::kDataCorrupt && corrupt != nullptr) {
               // The agent is alive; only the stored unit failed its checksum.
               // Park the op for post-batch repair instead of failing the
               // batch — and leave the column's failure flag alone.
@@ -345,11 +348,8 @@ void SwiftFile::SubmitRead(OpBatch& batch, uint32_t column, uint64_t agent_offse
               done(OkStatus());
               return;
             }
-            done(data.status());
-            return;
           }
-          std::memcpy(dst, data->data(), std::min<uint64_t>(length, data->size()));
-          done(OkStatus());
+          done(std::move(status));
         });
   });
 }
@@ -449,7 +449,9 @@ Status SwiftFile::ReadRange(uint64_t offset, std::span<uint8_t> out) {
     }
 
     // Reconstruct extents that live on failed columns, unit by unit (each
-    // unit fans its survivor reads out concurrently).
+    // unit fans its survivor reads out concurrently). A whole lost unit is
+    // rebuilt straight into the caller's destination; only unit fragments go
+    // through a scratch buffer.
     const uint64_t unit = layout_.config().stripe_unit;
     for (const AgentExtent* extent : lost_extents) {
       uint64_t done = 0;
@@ -458,12 +460,16 @@ Status SwiftFile::ReadRange(uint64_t offset, std::span<uint8_t> out) {
         const uint64_t row = position / unit;
         const uint64_t offset_in_unit = position % unit;
         const uint64_t chunk = std::min(unit - offset_in_unit, extent->length - done);
-        auto rebuilt = ReconstructUnit(row, extent->agent);
-        if (!rebuilt.ok()) {
-          return rebuilt.status();
+        uint8_t* chunk_dst = out.data() + (extent->logical_offset + done - offset);
+        if (chunk == unit) {
+          SWIFT_RETURN_IF_ERROR(
+              ReconstructUnitInto(row, extent->agent, std::span<uint8_t>(chunk_dst, unit)));
+        } else {
+          Buffer scratch = Buffer::Allocate(unit);
+          SWIFT_RETURN_IF_ERROR(ReconstructUnitInto(row, extent->agent, scratch.span()));
+          std::memcpy(chunk_dst, scratch.data() + offset_in_unit, chunk);
+          CountBufferCopy(chunk);
         }
-        std::memcpy(out.data() + (extent->logical_offset + done - offset),
-                    rebuilt->data() + offset_in_unit, chunk);
         done += chunk;
       }
     }
@@ -472,16 +478,19 @@ Status SwiftFile::ReadRange(uint64_t offset, std::span<uint8_t> out) {
   return InternalError("read retry budget exhausted");
 }
 
-Result<std::vector<uint8_t>> SwiftFile::ReconstructUnit(uint64_t row, uint32_t lost_column) {
+Status SwiftFile::ReconstructUnitInto(uint64_t row, uint32_t lost_column,
+                                      std::span<uint8_t> out) {
   if (layout_.config().parity == ParityMode::kNone) {
     return UnavailableError("cannot reconstruct without parity");
   }
   const uint64_t unit = layout_.config().stripe_unit;
+  SWIFT_CHECK(out.size() == unit) << "reconstruction target must be one stripe unit";
   const uint64_t row_offset = row * unit;
-  std::vector<uint8_t> rebuilt(unit, 0);
-  // Every survivor read runs concurrently; completions XOR-fold into the
-  // rebuilt unit as they land (XOR is commutative, the mutex makes each fold
-  // atomic).
+  std::fill(out.begin(), out.end(), 0);
+  // Every survivor read runs concurrently; each completion XOR-folds its
+  // slice into `out` as it lands (XOR is commutative, the mutex makes each
+  // fold atomic). The survivor payloads are read as shared slices — nothing
+  // is staged or copied on the way to the fold.
   std::mutex fold_mutex;
   OpBatch batch(&distribution_);
   for (uint32_t c = 0; c < layout_.config().num_agents; ++c) {
@@ -491,11 +500,11 @@ Result<std::vector<uint8_t>> SwiftFile::ReconstructUnit(uint64_t row, uint32_t l
     if (ColumnFailed(c)) {
       return DataLossError("second agent failure while reconstructing row " + std::to_string(row));
     }
-    batch.Submit(c, [this, c, row_offset, unit, &rebuilt, &fold_mutex](
+    batch.Submit(c, [this, c, row_offset, unit, out, &fold_mutex](
                         AgentTransport* transport, DistributionAgent::Completion done) {
       transport->StartRead(handles_[c], row_offset, unit,
-                           [this, c, &rebuilt, &fold_mutex,
-                            done = std::move(done)](Result<std::vector<uint8_t>> data) {
+                           [this, c, out, &fold_mutex,
+                            done = std::move(done)](Result<BufferSlice> data) {
                              if (!data.ok()) {
                                if (data.code() == StatusCode::kUnavailable) {
                                  MarkColumnFailed(c);
@@ -505,7 +514,7 @@ Result<std::vector<uint8_t>> SwiftFile::ReconstructUnit(uint64_t row, uint32_t l
                              }
                              {
                                std::lock_guard<std::mutex> lock(fold_mutex);
-                               XorInto(rebuilt, *data);
+                               XorInto(out, *data);
                              }
                              done(OkStatus());
                            });
@@ -524,7 +533,7 @@ Result<std::vector<uint8_t>> SwiftFile::ReconstructUnit(uint64_t row, uint32_t l
     SWIFT_RETURN_IF_ERROR(status);
   }
   Metrics().parity_reconstructions->Increment();
-  return rebuilt;
+  return OkStatus();
 }
 
 Status SwiftFile::RepairReadOp(const CorruptSink::Op& op) {
@@ -532,20 +541,22 @@ Status SwiftFile::RepairReadOp(const CorruptSink::Op& op) {
   const uint64_t first_row = op.agent_offset / unit;
   const uint64_t last_row = (op.agent_offset + op.length - 1) / unit;
   for (uint64_t row = first_row; row <= last_row; ++row) {
-    SWIFT_ASSIGN_OR_RETURN(std::vector<uint8_t> rebuilt, ReconstructUnit(row, op.column));
+    Buffer rebuilt = Buffer::Allocate(unit);
+    SWIFT_RETURN_IF_ERROR(ReconstructUnitInto(row, op.column, rebuilt.span()));
     // The caller gets the verified reconstruction, never the stored bytes.
     const uint64_t unit_start = row * unit;
     const uint64_t begin = std::max(op.agent_offset, unit_start);
     const uint64_t end = std::min(op.agent_offset + op.length, unit_start + unit);
     std::memcpy(op.dst + (begin - op.agent_offset), rebuilt.data() + (begin - unit_start),
                 end - begin);
+    CountBufferCopy(end - begin);
     // Read-repair: rewrite the whole unit so the agent reseals it. Best
     // effort — the read already has good data, and the scrubber sweeps up
     // anything this misses.
     if (!ColumnFailed(op.column)) {
       const Status repaired = GuardedCall(op.column, [&]() -> Status {
         return distribution_.transport(op.column)
-            ->Write(handles_[op.column], unit_start, rebuilt);
+            ->Write(handles_[op.column], unit_start, rebuilt.span());
       });
       if (repaired.ok()) {
         Metrics().read_repairs->Increment();
@@ -576,9 +587,10 @@ Status SwiftFile::RepairRow(uint64_t row) {
     if (stored.code() != StatusCode::kDataCorrupt) {
       return stored.status();
     }
-    SWIFT_ASSIGN_OR_RETURN(std::vector<uint8_t> rebuilt, ReconstructUnit(row, c));
+    Buffer rebuilt = Buffer::Allocate(unit);
+    SWIFT_RETURN_IF_ERROR(ReconstructUnitInto(row, c, rebuilt.span()));
     SWIFT_RETURN_IF_ERROR(GuardedCall(c, [&]() -> Status {
-      return distribution_.transport(c)->Write(handles_[c], row_offset, rebuilt);
+      return distribution_.transport(c)->Write(handles_[c], row_offset, rebuilt.span());
     }));
     Metrics().read_repairs->Increment();
   }
@@ -649,12 +661,13 @@ Status SwiftFile::WriteFullRows(const std::vector<uint64_t>& rows, uint64_t base
   const uint64_t row_bytes = layout_.config().RowDataBytes();
 
   // One batch carries every unit write of every full row — the whole stripe
-  // group moves as a single pipelined burst. Parity buffers live here so the
-  // spans handed to StartWrite stay valid until the batch completes.
-  std::vector<std::vector<uint8_t>> parity_bufs;
-  parity_bufs.reserve(rows.size());
+  // group moves as a single pipelined burst. Parity units live in one arena
+  // (rows × unit, a single allocation) so the spans handed to StartWrite
+  // stay valid until the batch completes.
+  Buffer parity_arena = Buffer::Allocate(rows.size() * unit);
   OpBatch batch(&distribution_);
-  for (uint64_t row : rows) {
+  for (size_t r = 0; r < rows.size(); ++r) {
+    const uint64_t row = rows[r];
     const uint64_t row_start = row * row_bytes;
     std::span<const uint8_t> row_data = data.subspan(row_start - base_offset, row_bytes);
     std::vector<std::span<const uint8_t>> sources;
@@ -662,7 +675,8 @@ Status SwiftFile::WriteFullRows(const std::vector<uint64_t>& rows, uint64_t base
     for (uint32_t c = 0; c < layout_.config().DataAgentsPerRow(); ++c) {
       sources.push_back(row_data.subspan(static_cast<size_t>(c) * unit, unit));
     }
-    parity_bufs.push_back(ComputeParity(sources, unit));
+    std::span<uint8_t> parity_unit = parity_arena.span().subspan(r * unit, unit);
+    ComputeParityInto(parity_unit, sources);
 
     for (uint32_t c = 0; c < layout_.config().DataAgentsPerRow(); ++c) {
       const UnitLocation loc = layout_.Locate(row_start + static_cast<uint64_t>(c) * unit);
@@ -673,7 +687,7 @@ Status SwiftFile::WriteFullRows(const std::vector<uint64_t>& rows, uint64_t base
     }
     const UnitLocation parity_loc = layout_.ParityLocation(row);
     if (!ColumnFailed(parity_loc.agent)) {
-      SubmitWrite(batch, parity_loc.agent, parity_loc.agent_offset, parity_bufs.back());
+      SubmitWrite(batch, parity_loc.agent, parity_loc.agent_offset, parity_unit);
     }
   }
   return Aggregate(batch.Wait());
@@ -761,12 +775,10 @@ Status SwiftFile::WriteRowParity(uint64_t row, uint64_t row_write_start, uint64_
       if (parity_agent_failed) {
         return DataLossError("write targets a failed agent and parity is also failed");
       }
-      auto old_unit = ReconstructUnit(row, chunk.loc.agent);
-      if (!old_unit.ok()) {
-        return old_unit.status();
-      }
+      Buffer old_unit = Buffer::Allocate(unit);
+      SWIFT_RETURN_IF_ERROR(ReconstructUnitInto(row, chunk.loc.agent, old_unit.span()));
       UpdateParity(parity_buf, chunk.offset_in_unit,
-                   std::span<const uint8_t>(old_unit->data() + chunk.offset_in_unit,
+                   std::span<const uint8_t>(old_unit.data() + chunk.offset_in_unit,
                                             chunk.new_data.size()),
                    chunk.new_data);
     } else if (!parity_agent_failed) {

@@ -146,10 +146,11 @@ class SwiftFile {
   // Verifies every live unit of `row` and rewrites corrupt ones from parity
   // reconstruction. Used when a read-modify-write gather hits kDataCorrupt.
   Status RepairRow(uint64_t row);
-  // Reconstructs the `unit`-sized unit at (row, failed column) via parity,
-  // reading every survivor concurrently and XOR-folding completions as they
-  // land.
-  Result<std::vector<uint8_t>> ReconstructUnit(uint64_t row, uint32_t lost_column);
+  // Reconstructs the unit at (row, failed column) into `out` (one full
+  // stripe unit) via parity: zeroes `out`, reads every survivor
+  // concurrently, and XOR-folds completions as they land. When the caller's
+  // destination is unit-aligned this rebuilds in place — no scratch buffer.
+  Status ReconstructUnitInto(uint64_t row, uint32_t lost_column, std::span<uint8_t> out);
 
   Status WriteRange(uint64_t offset, std::span<const uint8_t> data);
   // Partial-row read-modify-write: gather (batched reads) → parity write →

@@ -12,6 +12,54 @@ namespace {
 constexpr uint16_t kMagic = 0x5357;  // "SW"
 constexpr uint8_t kVersion = 1;
 
+// magic + version + type + handle + request + seq + total + offset +
+// payload length + payload crc.
+constexpr size_t kFixedHeaderBytes = 2 + 1 + 1 + 4 + 4 + 2 + 2 + 8 + 4 + 4;
+
+// Exact byte count of the type-specific fields, so Encode/EncodeParts can
+// pre-size their output and never regrow.
+size_t TypeFieldBytes(const Message& m) {
+  switch (m.type) {
+    case MessageType::kOpen:
+    case MessageType::kRemove:
+    case MessageType::kScrub:
+      return 2 + m.object_name.size() + 4;
+    case MessageType::kOpenReply:
+      return 4 + 2 + 8;
+    case MessageType::kReadReq:
+    case MessageType::kWriteReq:
+      return 4 + 2;
+    case MessageType::kWriteNack:
+      return 2 + 2 * m.missing_seqs.size();
+    case MessageType::kStatReply:
+    case MessageType::kTruncate:
+      return 8;
+    case MessageType::kError:
+      return 4;
+    case MessageType::kRegisterAgent:
+      return 8 + 8 + 2;
+    case MessageType::kHeartbeat:
+      return 8;
+    case MessageType::kRegisterAgentAck:
+    case MessageType::kHeartbeatAck:
+    case MessageType::kCloseSessionAck:
+    case MessageType::kSessionPlan:
+    case MessageType::kRevisedPlan:
+      return 4;
+    case MessageType::kCloseSession:
+    case MessageType::kRenewLease:
+      return 8;
+    case MessageType::kRenewLeaseAck:
+      return 4 + 8;
+    case MessageType::kReportFailure:
+      return 8 + 2;
+    case MessageType::kScrubReply:
+      return 4 + 8;
+    default:
+      return 0;
+  }
+}
+
 }  // namespace
 
 const char* MessageTypeName(MessageType type) {
@@ -90,8 +138,8 @@ const char* MessageTypeName(MessageType type) {
   return "UNKNOWN";
 }
 
-std::vector<uint8_t> Message::Encode() const {
-  WireWriter w(64 + payload.size());
+Message::Encoded Message::EncodeParts() const {
+  WireWriter w(kFixedHeaderBytes + TypeFieldBytes(*this));
   w.PutU16(kMagic);
   w.PutU8(kVersion);
   w.PutU8(static_cast<uint8_t>(type));
@@ -101,7 +149,7 @@ std::vector<uint8_t> Message::Encode() const {
   w.PutU16(total);
   w.PutU64(offset);
   w.PutU32(static_cast<uint32_t>(payload.size()));
-  w.PutU32(Crc32(payload));
+  w.PutU32(Crc32(payload.span()));
 
   switch (type) {
     case MessageType::kOpen:
@@ -168,12 +216,23 @@ std::vector<uint8_t> Message::Encode() const {
       break;
   }
 
-  w.PutBytes(payload);
-  return w.Take();
+  return Encoded{w.Take(), payload};
 }
 
-Result<Message> Message::Decode(std::span<const uint8_t> datagram) {
-  WireReader r(datagram);
+std::vector<uint8_t> Message::Encode() const {
+  const Encoded parts = EncodeParts();
+  std::vector<uint8_t> out;
+  out.reserve(parts.size());  // exact: header + payload, no regrowth
+  out.insert(out.end(), parts.header.begin(), parts.header.end());
+  out.insert(out.end(), parts.payload.begin(), parts.payload.end());
+  if (!parts.payload.empty()) {
+    CountBufferCopy(parts.payload.size());
+  }
+  return out;
+}
+
+Result<Message> Message::Decode(const BufferSlice& datagram) {
+  WireReader r(datagram.span());
   if (r.GetU16() != kMagic) {
     return InvalidArgumentError("bad magic");
   }
@@ -267,12 +326,19 @@ Result<Message> Message::Decode(std::span<const uint8_t> datagram) {
   if (r.remaining() != payload_length) {
     return InvalidArgumentError("payload length mismatch");
   }
+  const size_t payload_start = r.position();
   std::span<const uint8_t> payload = r.GetRemaining();
   if (Crc32(payload) != payload_crc) {
     return DataLossError("payload CRC mismatch");
   }
-  m.payload.assign(payload.begin(), payload.end());
+  // Alias, don't copy: the payload slice shares the datagram's block, so the
+  // received bytes flow upward without ever being duplicated.
+  m.payload = datagram.Slice(payload_start, payload.size());
   return m;
+}
+
+Result<Message> Message::Decode(std::span<const uint8_t> datagram) {
+  return Decode(BufferSlice::CopyOf(datagram));
 }
 
 }  // namespace swift

@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "src/util/buffer.h"
 #include "src/util/status.h"
 
 namespace swift {
@@ -121,14 +122,34 @@ struct Message {
   double rate = 0;                    // kRegisterAgent: capacity (bytes/s);
                                       // kHeartbeat: current load (IEEE-754 bits on the wire)
 
-  std::vector<uint8_t> payload;       // kData/kWriteData
+  BufferSlice payload;                // kData/kWriteData; shared view, never copied
 
-  // Serializes to a datagram. The payload CRC is computed here.
+  // A message serialized as two pieces so the socket layer can hand the
+  // kernel an iovec pair (header bytes + the payload slice) and never
+  // flatten the payload into a fresh datagram buffer.
+  struct Encoded {
+    std::vector<uint8_t> header;  // fixed header + type-specific fields
+    BufferSlice payload;          // aliases the message's payload block
+    size_t size() const { return header.size() + payload.size(); }
+  };
+
+  // Serializes header + fields (payload CRC is computed here); the payload
+  // rides along as a slice for scatter-gather send. No payload bytes move.
+  Encoded EncodeParts() const;
+
+  // Serializes to one contiguous datagram, pre-sized exactly to
+  // header + payload (no vector regrowth). Flattening copies the payload
+  // (counted); prefer EncodeParts + UdpSocket::SendTo(head, payload).
   std::vector<uint8_t> Encode() const;
 
   // Parses a datagram. Fails on bad magic/version/truncation/CRC mismatch;
   // a CRC failure is reported as kDataLoss so callers can treat the packet
-  // as lost.
+  // as lost. The returned message's payload *aliases* `datagram` — the
+  // datagram block stays alive for as long as the payload slice does.
+  static Result<Message> Decode(const BufferSlice& datagram);
+
+  // Convenience for callers holding plain bytes (tests, captured vectors):
+  // copies the datagram once (counted) and decodes the copy.
   static Result<Message> Decode(std::span<const uint8_t> datagram);
 };
 

@@ -15,7 +15,7 @@ uint32_t PacketCountFor(uint64_t length, uint32_t max_payload) {
 }
 
 std::vector<Message> SplitIntoPackets(MessageType type, uint32_t handle, uint32_t request_id,
-                                      uint64_t base_offset, std::span<const uint8_t> data,
+                                      uint64_t base_offset, const BufferSlice& data,
                                       uint32_t max_payload) {
   SWIFT_CHECK(type == MessageType::kData || type == MessageType::kWriteData);
   const uint32_t total = PacketCountFor(data.size(), max_payload);
@@ -32,11 +32,17 @@ std::vector<Message> SplitIntoPackets(MessageType type, uint32_t handle, uint32_
     m.seq = static_cast<uint16_t>(seq);
     m.total = static_cast<uint16_t>(total);
     m.offset = base_offset + packet_offset;
-    m.payload.assign(data.begin() + static_cast<ptrdiff_t>(packet_offset),
-                     data.begin() + static_cast<ptrdiff_t>(packet_offset + chunk));
+    m.payload = data.Slice(packet_offset, chunk);
     packets.push_back(std::move(m));
   }
   return packets;
+}
+
+std::vector<Message> SplitIntoPackets(MessageType type, uint32_t handle, uint32_t request_id,
+                                      uint64_t base_offset, std::span<const uint8_t> data,
+                                      uint32_t max_payload) {
+  return SplitIntoPackets(type, handle, request_id, base_offset, BufferSlice::CopyOf(data),
+                          max_payload);
 }
 
 Reassembler::Reassembler(uint32_t request_id, uint64_t base_offset, uint64_t length,
@@ -45,7 +51,24 @@ Reassembler::Reassembler(uint32_t request_id, uint64_t base_offset, uint64_t len
       base_offset_(base_offset),
       total_packets_(total_packets),
       received_(total_packets, false),
-      data_(length, 0) {}
+      owned_(Buffer::AllocateZeroed(length)),
+      dst_(owned_.span()) {}
+
+Reassembler::Reassembler(uint32_t request_id, uint64_t base_offset, std::span<uint8_t> dst,
+                         uint32_t total_packets)
+    : request_id_(request_id),
+      base_offset_(base_offset),
+      total_packets_(total_packets),
+      received_(total_packets, false),
+      dst_(dst) {}
+
+BufferSlice Reassembler::TakeSlice() {
+  SWIFT_CHECK(owned_.valid()) << "TakeSlice on an external-destination reassembler";
+  BufferSlice slice = owned_.SliceAll();
+  owned_ = Buffer();
+  dst_ = {};
+  return slice;
+}
 
 Status Reassembler::Accept(const Message& packet) {
   if (packet.request_id != request_id_) {
@@ -58,7 +81,7 @@ Status Reassembler::Accept(const Message& packet) {
     return InvalidArgumentError("seq out of range");
   }
   if (packet.offset < base_offset_ ||
-      packet.offset + packet.payload.size() > base_offset_ + data_.size()) {
+      packet.offset + packet.payload.size() > base_offset_ + dst_.size()) {
     return OutOfRangeError("payload outside the request window");
   }
   if (received_[packet.seq]) {
@@ -67,8 +90,9 @@ Status Reassembler::Accept(const Message& packet) {
   }
   received_[packet.seq] = true;
   ++received_count_;
-  std::copy(packet.payload.begin(), packet.payload.end(),
-            data_.begin() + static_cast<ptrdiff_t>(packet.offset - base_offset_));
+  // The placement copy: datagram payload → reassembly target. With an
+  // external destination this lands bytes directly in the user's buffer.
+  packet.payload.CopyTo(dst_.subspan(packet.offset - base_offset_, packet.payload.size()));
   return OkStatus();
 }
 

@@ -21,6 +21,14 @@ namespace swift {
 
 // Splits `data` (logically at `base_offset`) into kData or kWriteData
 // packets. `total` across the packets is the packet count; seq runs 0..n-1.
+// Each packet's payload is a sub-slice of `data` — no bytes are copied, and
+// the packets keep the underlying block alive (retransmission-safe).
+std::vector<Message> SplitIntoPackets(MessageType type, uint32_t handle, uint32_t request_id,
+                                      uint64_t base_offset, const BufferSlice& data,
+                                      uint32_t max_payload = kMaxPacketPayload);
+
+// Convenience for callers holding plain bytes: stages `data` into a shared
+// block once (counted copy), then aliases packets from the staged block.
 std::vector<Message> SplitIntoPackets(MessageType type, uint32_t handle, uint32_t request_id,
                                       uint64_t base_offset, std::span<const uint8_t> data,
                                       uint32_t max_payload = kMaxPacketPayload);
@@ -28,11 +36,22 @@ std::vector<Message> SplitIntoPackets(MessageType type, uint32_t handle, uint32_
 // Number of packets a transfer of `length` bytes needs.
 uint32_t PacketCountFor(uint64_t length, uint32_t max_payload = kMaxPacketPayload);
 
-// Reassembles one request's packets into a contiguous buffer.
+// Reassembles one request's packets into a contiguous buffer. Two modes:
+// owning (the reassembler allocates a shared block and hands it out as a
+// slice — agent-side writes) and external-destination (packets land directly
+// in caller memory — the client placing stripe units straight into the
+// user's read buffer; the destination must outlive the reassembler).
+// Placement of each accepted payload is the one deliberate copy of the read
+// path, so Accept() routes it through CountBufferCopy.
 class Reassembler {
  public:
-  // Expects `total_packets` packets covering [base_offset, base_offset+length).
+  // Owning mode: allocates a zeroed block of `length` bytes.
   Reassembler(uint32_t request_id, uint64_t base_offset, uint64_t length, uint32_t total_packets);
+
+  // External-destination mode: packets are placed into `dst` (whose size is
+  // the transfer length). `dst` must stay valid until the last Accept().
+  Reassembler(uint32_t request_id, uint64_t base_offset, std::span<uint8_t> dst,
+              uint32_t total_packets);
 
   // Accepts one packet. Duplicate packets are counted and ignored; packets
   // for other requests, inconsistent geometry, or out-of-range payloads are
@@ -48,8 +67,11 @@ class Reassembler {
   std::vector<uint16_t> MissingSeqs() const;
 
   // The reassembled bytes; valid once complete().
-  const std::vector<uint8_t>& data() const { return data_; }
-  std::vector<uint8_t> TakeData() { return std::move(data_); }
+  std::span<const uint8_t> data() const { return dst_; }
+
+  // Owning mode only: releases the reassembled block as a shared slice
+  // (no copy). The reassembler must not Accept() afterwards.
+  BufferSlice TakeSlice();
 
  private:
   uint32_t request_id_;
@@ -58,7 +80,8 @@ class Reassembler {
   uint32_t received_count_ = 0;
   uint64_t duplicate_count_ = 0;
   std::vector<bool> received_;
-  std::vector<uint8_t> data_;
+  Buffer owned_;            // valid in owning mode only
+  std::span<uint8_t> dst_;  // placement target (owned_.span() or caller memory)
 };
 
 }  // namespace swift

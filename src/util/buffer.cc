@@ -1,0 +1,109 @@
+#include "src/util/buffer.h"
+
+#include <cstring>
+
+#include "src/util/logging.h"
+#include "src/util/metrics.h"
+
+namespace swift {
+
+void CountBufferCopy(size_t bytes) {
+  static struct {
+    Counter* copies = MetricRegistry::Global().GetCounter("swift_buffer_copies_total");
+    Counter* copy_bytes = MetricRegistry::Global().GetCounter("swift_buffer_copy_bytes_total");
+  } m;
+  m.copies->Increment();
+  m.copy_bytes->Increment(bytes);
+}
+
+Buffer Buffer::Allocate(size_t size) {
+  Buffer b;
+  b.data_ = std::shared_ptr<uint8_t[]>(new uint8_t[size]);
+  b.size_ = size;
+  return b;
+}
+
+Buffer Buffer::AllocateZeroed(size_t size) {
+  Buffer b = Allocate(size);
+  std::memset(b.data(), 0, size);
+  return b;
+}
+
+Buffer Buffer::CopyOf(std::span<const uint8_t> bytes) {
+  Buffer b = Allocate(bytes.size());
+  if (!bytes.empty()) {
+    std::memcpy(b.data(), bytes.data(), bytes.size());
+    CountBufferCopy(bytes.size());
+  }
+  return b;
+}
+
+BufferSlice Buffer::Slice(size_t offset, size_t length) const {
+  SWIFT_CHECK(offset + length <= size_) << "slice [" << offset << ", " << offset + length
+                                        << ") outside buffer of " << size_ << " bytes";
+  // Aliasing constructor: the slice points at data_+offset but owns the
+  // whole block, so the block outlives every slice carved from it.
+  return BufferSlice(std::shared_ptr<const uint8_t>(data_, data_.get() + offset), length);
+}
+
+BufferSlice Buffer::SliceAll() const { return Slice(0, size_); }
+
+BufferSlice BufferSlice::CopyOf(std::span<const uint8_t> bytes) {
+  return Buffer::CopyOf(bytes).SliceAll();
+}
+
+BufferSlice BufferSlice::CopyOf(std::string_view text) {
+  return CopyOf(std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(text.data()),
+                                         text.size()));
+}
+
+BufferSlice BufferSlice::FromVector(std::vector<uint8_t>&& bytes) {
+  auto owned = std::make_shared<std::vector<uint8_t>>(std::move(bytes));
+  const size_t size = owned->size();
+  const uint8_t* data = owned->data();
+  // Aliasing constructor again: the control block keeps the vector alive,
+  // the pointer targets its elements. No bytes move.
+  return BufferSlice(std::shared_ptr<const uint8_t>(std::move(owned), data), size);
+}
+
+BufferSlice BufferSlice::ZeroPage(size_t length) {
+  if (length <= kZeroPageSize) {
+    static const Buffer* page = new Buffer(Buffer::AllocateZeroed(kZeroPageSize));
+    return page->Slice(0, length);
+  }
+  return Buffer::AllocateZeroed(length).SliceAll();
+}
+
+BufferSlice BufferSlice::Slice(size_t offset, size_t length) const {
+  SWIFT_CHECK(offset + length <= size_) << "slice [" << offset << ", " << offset + length
+                                        << ") outside slice of " << size_ << " bytes";
+  return BufferSlice(std::shared_ptr<const uint8_t>(data_, data_.get() + offset), length);
+}
+
+size_t BufferSlice::CopyTo(std::span<uint8_t> dst) const {
+  const size_t n = std::min(size_, dst.size());
+  if (n > 0) {
+    std::memcpy(dst.data(), data_.get(), n);
+    CountBufferCopy(n);
+  }
+  return n;
+}
+
+std::vector<uint8_t> BufferSlice::ToVector() const {
+  if (size_ > 0) {
+    CountBufferCopy(size_);
+  }
+  return std::vector<uint8_t>(begin(), end());
+}
+
+bool operator==(const BufferSlice& a, const BufferSlice& b) {
+  return a.size_ == b.size_ &&
+         (a.size_ == 0 || std::memcmp(a.data(), b.data(), a.size_) == 0);
+}
+
+bool operator==(const BufferSlice& a, const std::vector<uint8_t>& b) {
+  return a.size() == b.size() &&
+         (b.empty() || std::memcmp(a.data(), b.data(), b.size()) == 0);
+}
+
+}  // namespace swift

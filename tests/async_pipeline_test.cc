@@ -18,6 +18,7 @@
 #include "src/core/distribution_agent.h"
 #include "src/core/object_directory.h"
 #include "src/core/swift_file.h"
+#include "src/util/metrics.h"
 #include "src/util/rng.h"
 #include "src/util/units.h"
 
@@ -152,11 +153,11 @@ TEST(AsyncTransportTest, UdpPipelinedReadsAndWrites) {
   writes.WaitFor(8);
 
   // 8 pipelined reads of the same slices; results must be byte-identical.
-  std::vector<std::vector<uint8_t>> slices(8);
+  std::vector<BufferSlice> slices(8);
   Collector reads;
   for (size_t i = 0; i < 8; ++i) {
     transport.StartRead(opened->handle, i * kSlice, kSlice,
-                        [&, i](Result<std::vector<uint8_t>> result) {
+                        [&, i](Result<BufferSlice> result) {
                           if (result.ok()) {
                             slices[i] = std::move(*result);
                           }
@@ -177,6 +178,57 @@ TEST(AsyncTransportTest, UdpPipelinedReadsAndWrites) {
   EXPECT_GE(stats.bytes_read, data.size());
 }
 
+// The zero-copy read path end-to-end over a lossy network: StartReadInto
+// reassembles retransmitted datagrams directly into the caller's buffer, and
+// delivery must be byte-exact with no staging copy on the client side (the
+// reassembler placement is the only counted client copy, even under loss —
+// duplicates are dropped before they touch the destination).
+TEST(AsyncTransportTest, LossyReadIntoUserBufferIsByteExact) {
+  constexpr double kLoss = 0.08;
+  InMemoryBackingStore store;
+  StorageAgentCore core(&store);
+  UdpAgentServer server(&core, {.port = 0, .loss_probability = kLoss, .loss_seed = 21});
+  ASSERT_TRUE(server.Start().ok());
+
+  UdpTransport::Options options;
+  options.loss_probability = kLoss;
+  options.loss_seed = 91;
+  options.initial_timeout_ms = 10;
+  options.max_timeout_ms = 80;
+  options.max_retries = 12;
+  options.max_in_flight_ops = 4;
+  UdpTransport transport(server.port(), options);
+
+  auto opened = transport.Open("obj", kOpenCreate);
+  ASSERT_TRUE(opened.ok());
+  const size_t kSlice = KiB(48);
+  std::vector<uint8_t> data = Pattern(4 * kSlice, 23);
+  Collector writes;
+  for (size_t i = 0; i < 4; ++i) {
+    transport.StartWrite(opened->handle, i * kSlice,
+                         std::span<const uint8_t>(data.data() + i * kSlice, kSlice),
+                         [&](Status status) { writes.ExpectOk(std::move(status)); });
+  }
+  writes.WaitFor(4);
+
+  std::vector<uint8_t> out(4 * kSlice, 0xEE);
+  Collector reads;
+  for (size_t i = 0; i < 4; ++i) {
+    transport.StartReadInto(opened->handle, i * kSlice,
+                            std::span<uint8_t>(out.data() + i * kSlice, kSlice),
+                            [&](Status status) { reads.ExpectOk(std::move(status)); });
+  }
+  transport.Drain();
+  reads.WaitFor(4);
+  EXPECT_EQ(out, data);
+  EXPECT_GT(transport.retransmissions(), 0u);  // the loss was real
+
+  const TransportStats stats = transport.stats();
+  EXPECT_EQ(stats.ops_completed, stats.ops_submitted);
+  EXPECT_EQ(stats.ops_failed, 0u);
+  EXPECT_GE(stats.bytes_read, out.size());
+}
+
 TEST(AsyncTransportTest, InProcCompletesInlineAndCounts) {
   InMemoryBackingStore store;
   StorageAgentCore core(&store);
@@ -194,7 +246,7 @@ TEST(AsyncTransportTest, InProcCompletesInlineAndCounts) {
   EXPECT_TRUE(write_done);  // inline: completion before return
 
   bool read_done = false;
-  transport.StartRead(opened->handle, 0, 1000, [&](Result<std::vector<uint8_t>> result) {
+  transport.StartRead(opened->handle, 0, 1000, [&](Result<BufferSlice> result) {
     ASSERT_TRUE(result.ok());
     EXPECT_EQ(*result, data);
     read_done = true;

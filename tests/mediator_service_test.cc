@@ -240,7 +240,7 @@ TEST(MediatorServiceTest, RetransmittedRequestAnsweredFromReplyCache) {
   Message open;
   open.type = MessageType::kOpenSession;
   open.request_id = 424242;
-  open.payload = EncodeSessionRequest(request);
+  open.payload = BufferSlice::FromVector(EncodeSessionRequest(request));
   const std::vector<uint8_t> datagram = open.Encode();
 
   UdpSocket socket;

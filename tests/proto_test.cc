@@ -22,6 +22,10 @@ std::vector<uint8_t> RandomPayload(Rng& rng, size_t n) {
   return out;
 }
 
+std::vector<uint8_t> ToVec(std::span<const uint8_t> bytes) {
+  return std::vector<uint8_t>(bytes.begin(), bytes.end());
+}
+
 Message RoundTrip(const Message& m) {
   auto decoded = Message::Decode(m.Encode());
   EXPECT_TRUE(decoded.ok()) << decoded.status().ToString();
@@ -77,7 +81,7 @@ TEST(MessageTest, DataCarriesPayload) {
   m.seq = 3;
   m.total = 8;
   m.offset = KiB(24);
-  m.payload = RandomPayload(rng, kMaxPacketPayload);
+  m.payload = BufferSlice::FromVector(RandomPayload(rng, kMaxPacketPayload));
   Message d = RoundTrip(m);
   EXPECT_EQ(d.seq, 3);
   EXPECT_EQ(d.total, 8);
@@ -139,14 +143,14 @@ TEST(MessageTest, RejectsTruncation) {
     EXPECT_FALSE(Message::Decode(std::span(wire.data(), wire.size() - cut)).ok())
         << "cut " << cut;
   }
-  EXPECT_FALSE(Message::Decode({}).ok());
+  EXPECT_FALSE(Message::Decode(std::span<const uint8_t>()).ok());
 }
 
 TEST(MessageTest, CorruptPayloadIsDataLoss) {
   Rng rng(2);
   Message m;
   m.type = MessageType::kData;
-  m.payload = RandomPayload(rng, 512);
+  m.payload = BufferSlice::FromVector(RandomPayload(rng, 512));
   std::vector<uint8_t> wire = m.Encode();
   wire[wire.size() - 10] ^= 0x01;  // flip a payload bit
   auto decoded = Message::Decode(wire);
@@ -200,7 +204,7 @@ TEST(PacketizerTest, ReassemblyInOrder) {
     ASSERT_TRUE(reassembler.Accept(p).ok());
   }
   EXPECT_TRUE(reassembler.complete());
-  EXPECT_EQ(reassembler.data(), data);
+  EXPECT_EQ(ToVec(reassembler.data()), data);
 }
 
 TEST(PacketizerTest, ReassemblyOutOfOrderAndDuplicates) {
@@ -215,7 +219,7 @@ TEST(PacketizerTest, ReassemblyOutOfOrderAndDuplicates) {
   }
   EXPECT_TRUE(reassembler.complete());
   EXPECT_EQ(reassembler.duplicate_count(), packets.size());
-  EXPECT_EQ(reassembler.data(), data);
+  EXPECT_EQ(ToVec(reassembler.data()), data);
 }
 
 TEST(PacketizerTest, MissingSeqsDriveRetransmission) {
@@ -232,7 +236,7 @@ TEST(PacketizerTest, MissingSeqsDriveRetransmission) {
   ASSERT_TRUE(reassembler.Accept(packets[2]).ok());
   EXPECT_TRUE(reassembler.complete());
   EXPECT_TRUE(reassembler.MissingSeqs().empty());
-  EXPECT_EQ(reassembler.data(), data);
+  EXPECT_EQ(ToVec(reassembler.data()), data);
 }
 
 TEST(PacketizerTest, RejectsForeignAndMalformedPackets) {
@@ -269,7 +273,7 @@ TEST(PacketizerTest, WireRoundTripOfSplitPackets) {
     ASSERT_TRUE(reassembler.Accept(*decoded).ok());
   }
   EXPECT_TRUE(reassembler.complete());
-  EXPECT_EQ(reassembler.data(), data);
+  EXPECT_EQ(ToVec(reassembler.data()), data);
 }
 
 }  // namespace

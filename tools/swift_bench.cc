@@ -58,12 +58,20 @@ struct Phase {
   uint64_t bytes_moved = 0;
   double seconds = 0;
   LatencyHistogram latency_us;
+  // Deltas of swift_buffer_copies_total / swift_buffer_copy_bytes_total over
+  // the phase: how many deliberate payload memcpys the bytes above cost.
+  uint64_t copies = 0;
+  uint64_t copy_bytes = 0;
 
   void Print() const {
-    std::printf("%-10s %9s in %6.2fs = %8s   lat p50 %7.0fus  p95 %7.0fus  p99 %7.0fus\n",
+    std::printf("%-10s %9s in %6.2fs = %8s   lat p50 %7.0fus  p95 %7.0fus  p99 %7.0fus"
+                "   copies %8llu (%s, %.2fx)\n",
                 label, FormatBytes(bytes_moved).c_str(), seconds,
                 FormatRate(static_cast<double>(bytes_moved) / seconds).c_str(),
-                latency_us.P50(), latency_us.P95(), latency_us.P99());
+                latency_us.P50(), latency_us.P95(), latency_us.P99(),
+                static_cast<unsigned long long>(copies), FormatBytes(copy_bytes).c_str(),
+                bytes_moved ? static_cast<double>(copy_bytes) / static_cast<double>(bytes_moved)
+                            : 0.0);
   }
 };
 
@@ -143,9 +151,14 @@ int main(int argc, char** argv) {
     return op * io;
   };
 
+  Counter* copy_count = MetricRegistry::Global().GetCounter("swift_buffer_copies_total");
+  Counter* copy_bytes = MetricRegistry::Global().GetCounter("swift_buffer_copy_bytes_total");
+
   int exit_code = 0;
   auto run_phase = [&](const char* label, bool is_write) {
     Phase phase{label};
+    const uint64_t copies_before = copy_count->Value();
+    const uint64_t copy_bytes_before = copy_bytes->Value();
     const auto t0 = std::chrono::steady_clock::now();
     for (uint64_t op = 0; op < ops; ++op) {
       const uint64_t offset = offset_for(op);
@@ -168,6 +181,8 @@ int main(int argc, char** argv) {
       phase.bytes_moved += io;
     }
     phase.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    phase.copies = copy_count->Value() - copies_before;
+    phase.copy_bytes = copy_bytes->Value() - copy_bytes_before;
     phase.Print();
   };
 
