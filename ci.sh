@@ -21,16 +21,17 @@ ctest --preset "${SAN_PRESET}" -j "${JOBS}"
 
 if [ "${SAN_PRESET}" != "tsan" ]; then
   # The lock-free metrics/flight-recorder paths, the threaded mediator
-  # service loop, and the integrity/fault-injection suites (checksum sidecars
-  # and read-repair run inside completion callbacks on reactor threads) are
-  # only meaningfully exercised under ThreadSanitizer; run just those suites
-  # so the default gate stays fast. Full build: ctest needs every discovered
-  # test's include file.
-  echo "== metrics/trace + mediator + integrity + buffer concurrency (tsan) =="
+  # service loop, the integrity/fault-injection suites (checksum sidecars
+  # and read-repair run inside completion callbacks on reactor threads), and
+  # the sharded/batched UDP paths (per-shard arenas, lossy multi-shard e2e)
+  # are only meaningfully exercised under ThreadSanitizer; run just those
+  # suites so the default gate stays fast. Full build: ctest needs every
+  # discovered test's include file.
+  echo "== metrics/trace + mediator + integrity + buffer + shard concurrency (tsan) =="
   cmake --preset tsan
   cmake --build --preset tsan -j "${JOBS}"
   ctest --test-dir build-tsan \
-    -R '^MetricsTrace|^MediatorService|^IntegrityStore|^FaultyStore|^FaultInjection|^SelfHealing|^Scrub|^FaultKinds|^LossyCorrupt|^Buffer' \
+    -R '^MetricsTrace|^MediatorService|^IntegrityStore|^FaultyStore|^FaultInjection|^SelfHealing|^Scrub|^FaultKinds|^LossyCorrupt|^Buffer|^UdpBatch|^UdpShard' \
     -j "${JOBS}" --output-on-failure
 fi
 
@@ -49,6 +50,31 @@ awk -v r="${RATIO}" 'BEGIN { exit !(r <= 2.5) }' \
   || { echo "FAIL: bytes_copied_ratio ${RATIO} > 2.5 (copy regression)"; exit 1; }
 echo "bytes_copied_ratio ${RATIO} (<= 2.5)"
 rm -f "${COPY_JSON}"
+
+# Bench trajectory gate: re-run the scale-out matrix and diff it against the
+# committed trajectory point. Two failure modes: (a) any throughput key falls
+# more than 15% below the committed value (a real regression; run-to-run
+# noise on a loaded box stays inside that band), and (b) the scaled-out
+# datagram pump no longer beats the per-datagram baseline by >= 2x (the
+# batching/offload machinery silently degraded to the baseline path).
+echo "== bench trajectory gate (BENCH_udp_scaleout.json, >15% regression fails) =="
+BENCH_JSON="$(mktemp)"
+./build/tools/swift_bench --scaleout --json="${BENCH_JSON}" > /dev/null
+bench_key() { grep -o "\"$2\": [0-9.]*" "$1" | head -1 | awk '{print $2}'; }
+for KEY in scaleout_write_mbps scaleout_read_mbps pump_scaleout_datagrams_per_sec; do
+  WAS="$(bench_key BENCH_udp_scaleout.json "${KEY}")"
+  NOW="$(bench_key "${BENCH_JSON}" "${KEY}")"
+  [ -n "${WAS}" ] && [ -n "${NOW}" ] \
+    || { echo "FAIL: ${KEY} missing from trajectory"; exit 1; }
+  awk -v was="${WAS}" -v now="${NOW}" 'BEGIN { exit !(now >= was * 0.85) }' \
+    || { echo "FAIL: ${KEY} regressed ${WAS} -> ${NOW} (>15%)"; exit 1; }
+  echo "${KEY}: ${WAS} -> ${NOW}"
+done
+SPEEDUP="$(bench_key "${BENCH_JSON}" speedup_datagrams_per_sec)"
+awk -v s="${SPEEDUP}" 'BEGIN { exit !(s >= 2.0) }' \
+  || { echo "FAIL: scale-out speedup ${SPEEDUP}x < 2x over per-datagram baseline"; exit 1; }
+echo "speedup_datagrams_per_sec ${SPEEDUP}x (>= 2x)"
+rm -f "${BENCH_JSON}"
 
 echo "== agentd --stats-interval smoke =="
 SMOKE_LOG="$(mktemp)"

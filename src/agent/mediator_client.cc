@@ -56,6 +56,9 @@ Result<Message> MediatorClient::Call(Message request) {
         if (received.code() == StatusCode::kTimedOut) {
           break;
         }
+        if (received.code() == StatusCode::kMessageTooLarge) {
+          continue;  // truncated datagram: behave as if lost, keep waiting
+        }
         return received.status();
       }
       auto reply = Message::Decode(received->data);

@@ -82,8 +82,9 @@ void UdpMediatorServer::ServiceLoop() {
     mediator_.AdvanceTime(NowMs());
     auto received = socket_.RecvFrom(kServicePollMs);
     if (!received.ok()) {
-      if (received.code() == StatusCode::kTimedOut) {
-        continue;
+      if (received.code() == StatusCode::kTimedOut ||
+          received.code() == StatusCode::kMessageTooLarge) {
+        continue;  // timeout, or a truncated datagram treated as lost
       }
       break;  // socket shut down
     }

@@ -1,6 +1,8 @@
 #include "src/agent/udp_agent_server.h"
 
+#include <algorithm>
 #include <chrono>
+#include <string>
 
 #include "src/proto/packetizer.h"
 #include "src/util/logging.h"
@@ -11,8 +13,8 @@ namespace swift {
 
 namespace {
 
-// Session threads poll with a short timeout so Stop() is prompt even if the
-// wake datagram races.
+// Shard and session threads poll with a short timeout so Stop() is prompt
+// even if the wake datagram races.
 constexpr int kSessionPollMs = 200;
 
 Message ErrorReply(const Message& request, const Status& status) {
@@ -55,6 +57,32 @@ double ElapsedUs(std::chrono::steady_clock::time_point since) {
       .count();
 }
 
+// Encodes `message` for `to` and appends it to the reply queue; the caller
+// flushes the queue with one SendBatch per drained receive batch.
+void QueueReply(std::vector<OutgoingDatagram>& replies, const UdpEndpoint& to,
+                const Message& message) {
+  Metrics().datagrams_out->Increment();
+  if (message.type == MessageType::kWriteNack) {
+    Metrics().nacks_sent->Increment();
+  }
+  // Header + payload stay two separate pieces: a DATA reply's payload goes
+  // from the block-cache slice into sendmmsg(2)'s iovec without ever being
+  // flattened.
+  Message::Encoded parts = message.EncodeParts();
+  replies.push_back(OutgoingDatagram{to, std::move(parts.header), std::move(parts.payload)});
+}
+
+// Flushes the reply queue in chunks of `batch_limit` datagrams, so batch=1
+// stays an honest per-datagram baseline (one syscall per reply). Send errors
+// are absorbed as wire loss in the socket layer; clients retransmit.
+void FlushReplies(UdpSocket& socket, const std::vector<OutgoingDatagram>& replies,
+                  size_t batch_limit) {
+  const std::span<const OutgoingDatagram> all(replies);
+  for (size_t off = 0; off < all.size(); off += batch_limit) {
+    (void)socket.SendBatch(all.subspan(off, std::min(batch_limit, all.size() - off)));
+  }
+}
+
 }  // namespace
 
 UdpAgentServer::UdpAgentServer(StorageAgentCore* core, Options options)
@@ -63,14 +91,44 @@ UdpAgentServer::UdpAgentServer(StorageAgentCore* core, Options options)
 UdpAgentServer::~UdpAgentServer() { Stop(); }
 
 Status UdpAgentServer::Start() {
-  SWIFT_RETURN_IF_ERROR(primary_socket_.BindLoopback(options_.port));
-  if (options_.loss_probability > 0) {
-    primary_socket_.SetLossProbability(options_.loss_probability, options_.loss_seed);
+  const uint32_t wanted = std::max<uint32_t>(1, options_.shards);
+  auto first = std::make_unique<Shard>();
+  first->index = 0;
+  // SO_REUSEPORT must be set on the very first bind too, or later shards
+  // cannot join the port.
+  SWIFT_RETURN_IF_ERROR(first->socket.BindLoopback(options_.port, /*reuseport=*/wanted > 1));
+  port_ = first->socket.local_port();
+  shards_.push_back(std::move(first));
+  for (uint32_t i = 1; i < wanted; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->index = i;
+    Status bound = shard->socket.BindLoopback(port_, /*reuseport=*/true);
+    if (!bound.ok()) {
+      // Platform can't deliver the full shard count (no SO_REUSEPORT, fd
+      // limits): degrade to what bound rather than failing the server.
+      SWIFT_LOG(WARNING) << "shard " << i << " bind failed (" << bound.message()
+                      << "); running with " << shards_.size() << " shard(s)";
+      break;
+    }
+    shards_.push_back(std::move(shard));
   }
-  port_ = primary_socket_.local_port();
+  MetricRegistry& registry = MetricRegistry::Global();
+  for (auto& shard : shards_) {
+    shard->registry_datagrams = registry.GetCounter(
+        "swift_agent_shard" + std::to_string(shard->index) + "_datagrams_total");
+    if (options_.loss_probability > 0) {
+      // Decorrelate the shards' drop patterns.
+      shard->socket.SetLossProbability(options_.loss_probability,
+                                       options_.loss_seed + shard->index * 1000003ULL);
+    }
+  }
   running_.store(true, std::memory_order_release);
-  primary_thread_ = std::thread([this] { PrimaryLoop(); });
-  SWIFT_LOG(INFO) << "storage agent listening on udp port " << port_;
+  for (auto& shard : shards_) {
+    Shard* raw = shard.get();
+    shard->thread = std::thread([this, raw] { ShardLoop(raw); });
+  }
+  SWIFT_LOG(INFO) << "storage agent listening on udp port " << port_ << " with "
+                  << shards_.size() << " shard(s)";
   return OkStatus();
 }
 
@@ -78,113 +136,136 @@ void UdpAgentServer::Stop() {
   if (!running_.exchange(false)) {
     return;
   }
-  primary_socket_.Shutdown();
-  if (primary_thread_.joinable()) {
-    primary_thread_.join();
+  for (auto& shard : shards_) {
+    shard->socket.Shutdown();
   }
-  std::vector<std::unique_ptr<Session>> sessions;
-  {
-    std::lock_guard<std::mutex> lock(sessions_mutex_);
-    sessions = std::move(sessions_);
-    sessions_.clear();
+  for (auto& shard : shards_) {
+    if (shard->thread.joinable()) {
+      shard->thread.join();
+    }
   }
-  for (auto& session : sessions) {
-    session->socket->Shutdown();
-    if (session->thread.joinable()) {
-      session->thread.join();
+  for (auto& shard : shards_) {
+    std::vector<std::unique_ptr<Session>> sessions;
+    {
+      std::lock_guard<std::mutex> lock(shard->sessions_mutex);
+      sessions = std::move(shard->sessions);
+      shard->sessions.clear();
+    }
+    for (auto& session : sessions) {
+      session->socket->Shutdown();
+      if (session->thread.joinable()) {
+        session->thread.join();
+      }
     }
   }
 }
 
 size_t UdpAgentServer::active_session_count() {
-  std::lock_guard<std::mutex> lock(sessions_mutex_);
-  return sessions_.size();
-}
-
-Status UdpAgentServer::SendMessage(UdpSocket& socket, const UdpEndpoint& to,
-                                   const Message& message) {
-  Metrics().datagrams_out->Increment();
-  if (message.type == MessageType::kWriteNack) {
-    Metrics().nacks_sent->Increment();
+  size_t total = 0;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->sessions_mutex);
+    total += shard->sessions.size();
   }
-  // Header + payload as a two-entry iovec: a DATA reply's payload goes from
-  // the block-cache slice to sendmsg(2) without ever being flattened.
-  const Message::Encoded parts = message.EncodeParts();
-  return socket.SendTo(to, parts.header, parts.payload.span());
+  return total;
 }
 
-void UdpAgentServer::PrimaryLoop() {
+std::vector<uint64_t> UdpAgentServer::shard_datagram_counts() const {
+  std::vector<uint64_t> counts;
+  counts.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    counts.push_back(shard->datagrams.load(std::memory_order_relaxed));
+  }
+  return counts;
+}
+
+void UdpAgentServer::ShardLoop(Shard* shard) {
+  const size_t batch_limit = std::max<uint32_t>(1, options_.socket_batch);
+  std::vector<UdpSocket::ReceivedDatagram> batch;
+  std::vector<OutgoingDatagram> replies;
   while (running_.load(std::memory_order_acquire)) {
-    auto received = primary_socket_.RecvFrom(kSessionPollMs);
+    auto received = shard->socket.RecvBatch(kSessionPollMs, batch_limit, batch);
     if (!received.ok()) {
       if (received.code() == StatusCode::kTimedOut) {
         continue;
       }
       break;  // socket shut down
     }
-    auto message = Message::Decode(received->data);
-    if (!message.ok()) {
-      continue;  // corrupted or stray datagram: behave as if lost
-    }
-    Metrics().datagrams_in->Increment();
-    if (message->type == MessageType::kOpen) {
-      HandleOpen(*message, received->from);
-    } else if (message->type == MessageType::kStats) {
-      Metrics().stats_requests->Increment();
-      Message reply;
-      reply.type = MessageType::kStatsReply;
-      reply.request_id = message->request_id;
-      std::string text = MetricRegistry::Global().RenderText();
-      if (text.size() > kMaxPacketPayload) {
-        // A snapshot must fit one datagram; truncate on a line boundary and
-        // mark the cut so readers know the dump is partial.
-        static constexpr char kMarker[] = "# truncated\n";
-        size_t cut = text.rfind('\n', kMaxPacketPayload - sizeof(kMarker));
-        text.resize(cut == std::string::npos ? 0 : cut + 1);
-        text += kMarker;
+    replies.clear();
+    for (const auto& datagram : batch) {
+      if (datagram.truncated) {
+        continue;  // kernel cut it: garbage, behave as if lost
       }
-      reply.payload = BufferSlice::CopyOf(text);
-      (void)SendMessage(primary_socket_, received->from, reply);
-    } else if (message->type == MessageType::kRemove) {
-      Message reply;
-      reply.request_id = message->request_id;
-      Status status = core_->Remove(message->object_name);
-      if (status.ok()) {
-        reply.type = MessageType::kRemoveAck;
-      } else {
-        reply.type = MessageType::kError;
-        reply.status_code = static_cast<uint32_t>(status.code());
+      auto message = Message::Decode(datagram.data);
+      if (!message.ok()) {
+        continue;  // corrupted or stray datagram: behave as if lost
       }
-      (void)SendMessage(primary_socket_, received->from, reply);
-    } else if (message->type == MessageType::kScrub) {
-      Message reply;
-      reply.type = MessageType::kScrubReply;
-      reply.request_id = message->request_id;
-      auto report = core_->Scrub(message->object_name);
-      if (!report.ok()) {
-        reply.status_code = static_cast<uint32_t>(report.code());
-      } else {
-        reply.size = report->blocks_checked;
-        // Payload: (u64 offset, u64 length) per corrupt range, then a u8
-        // truncation flag. Clip to one datagram; the client re-scrubs after
-        // repairing what fit.
-        constexpr size_t kMaxRanges = (kMaxPacketPayload - 1) / 16;
-        const size_t count = std::min(report->corrupt_ranges.size(), kMaxRanges);
-        WireWriter w(count * 16 + 1);
-        for (size_t i = 0; i < count; ++i) {
-          w.PutU64(report->corrupt_ranges[i].offset);
-          w.PutU64(report->corrupt_ranges[i].length);
+      Metrics().datagrams_in->Increment();
+      shard->datagrams.fetch_add(1, std::memory_order_relaxed);
+      shard->registry_datagrams->Increment();
+      if (message->type == MessageType::kOpen) {
+        HandleOpen(shard, *message, datagram.from, replies);
+      } else if (message->type == MessageType::kStats) {
+        Metrics().stats_requests->Increment();
+        Message reply;
+        reply.type = MessageType::kStatsReply;
+        reply.request_id = message->request_id;
+        std::string text = MetricRegistry::Global().RenderText();
+        if (text.size() > kMaxPacketPayload) {
+          // A snapshot must fit one datagram; truncate on a line boundary and
+          // mark the cut so readers know the dump is partial.
+          static constexpr char kMarker[] = "# truncated\n";
+          size_t cut = text.rfind('\n', kMaxPacketPayload - sizeof(kMarker));
+          text.resize(cut == std::string::npos ? 0 : cut + 1);
+          text += kMarker;
         }
-        const bool truncated = report->truncated || count < report->corrupt_ranges.size();
-        w.PutU8(truncated ? 1 : 0);
-        reply.payload = BufferSlice::FromVector(w.Take());
+        reply.payload = BufferSlice::CopyOf(text);
+        QueueReply(replies, datagram.from, reply);
+      } else if (message->type == MessageType::kRemove) {
+        Message reply;
+        reply.request_id = message->request_id;
+        Status status = core_->Remove(message->object_name);
+        if (status.ok()) {
+          reply.type = MessageType::kRemoveAck;
+        } else {
+          reply.type = MessageType::kError;
+          reply.status_code = static_cast<uint32_t>(status.code());
+        }
+        QueueReply(replies, datagram.from, reply);
+      } else if (message->type == MessageType::kScrub) {
+        Message reply;
+        reply.type = MessageType::kScrubReply;
+        reply.request_id = message->request_id;
+        auto report = core_->Scrub(message->object_name);
+        if (!report.ok()) {
+          reply.status_code = static_cast<uint32_t>(report.code());
+        } else {
+          reply.size = report->blocks_checked;
+          // Payload: (u64 offset, u64 length) per corrupt range, then a u8
+          // truncation flag. Clip to one datagram; the client re-scrubs after
+          // repairing what fit.
+          constexpr size_t kMaxRanges = (kMaxPacketPayload - 1) / 16;
+          const size_t count = std::min(report->corrupt_ranges.size(), kMaxRanges);
+          WireWriter w(count * 16 + 1);
+          for (size_t i = 0; i < count; ++i) {
+            w.PutU64(report->corrupt_ranges[i].offset);
+            w.PutU64(report->corrupt_ranges[i].length);
+          }
+          const bool truncated = report->truncated || count < report->corrupt_ranges.size();
+          w.PutU8(truncated ? 1 : 0);
+          reply.payload = BufferSlice::FromVector(w.Take());
+        }
+        QueueReply(replies, datagram.from, reply);
       }
-      (void)SendMessage(primary_socket_, received->from, reply);
+    }
+    if (!replies.empty()) {
+      FlushReplies(shard->socket, replies, batch_limit);
     }
   }
 }
 
-void UdpAgentServer::HandleOpen(const Message& request, const UdpEndpoint& client) {
+void UdpAgentServer::HandleOpen(Shard* shard, const Message& request,
+                                const UdpEndpoint& client,
+                                std::vector<OutgoingDatagram>& replies) {
   Message reply;
   reply.type = MessageType::kOpenReply;
   reply.request_id = request.request_id;
@@ -192,18 +273,20 @@ void UdpAgentServer::HandleOpen(const Message& request, const UdpEndpoint& clien
   auto opened = core_->Open(request.object_name, request.open_flags);
   if (!opened.ok()) {
     reply.status_code = static_cast<uint32_t>(opened.code());
-    (void)SendMessage(primary_socket_, client, reply);
+    QueueReply(replies, client, reply);
     return;
   }
 
-  // Private port + dedicated thread for this file (§3.1).
+  // Private port + dedicated thread for this file (§3.1). The session lives
+  // on the shard whose listener accepted the open, so its bookkeeping never
+  // crosses shards.
   auto session = std::make_unique<Session>();
   session->socket = std::make_unique<UdpSocket>();
   Status bind_status = session->socket->BindLoopback(0);
   if (!bind_status.ok()) {
     (void)core_->Close(opened->handle);
     reply.status_code = static_cast<uint32_t>(bind_status.code());
-    (void)SendMessage(primary_socket_, client, reply);
+    QueueReply(replies, client, reply);
     return;
   }
   if (options_.loss_probability > 0) {
@@ -220,10 +303,10 @@ void UdpAgentServer::HandleOpen(const Message& request, const UdpEndpoint& clien
   const uint32_t handle = opened->handle;
   session->thread = std::thread([this, socket, handle] { SessionLoop(socket, handle); });
   {
-    std::lock_guard<std::mutex> lock(sessions_mutex_);
-    sessions_.push_back(std::move(session));
+    std::lock_guard<std::mutex> lock(shard->sessions_mutex);
+    shard->sessions.push_back(std::move(session));
   }
-  (void)SendMessage(primary_socket_, client, reply);
+  QueueReply(replies, client, reply);
 }
 
 void UdpAgentServer::SessionLoop(UdpSocket* socket, uint32_t handle) {
@@ -234,6 +317,10 @@ void UdpAgentServer::SessionLoop(UdpSocket* socket, uint32_t handle) {
     bool committed = false;
   };
   std::map<uint32_t, PendingWrite> writes;
+
+  const size_t batch_limit = std::max<uint32_t>(1, options_.socket_batch);
+  std::vector<UdpSocket::ReceivedDatagram> batch;
+  std::vector<OutgoingDatagram> replies;
 
   auto commit_if_complete = [&](uint32_t request_id, PendingWrite& pending,
                                 const UdpEndpoint& client) {
@@ -253,135 +340,152 @@ void UdpAgentServer::SessionLoop(UdpSocket* socket, uint32_t handle) {
       reply.type = MessageType::kError;
       reply.status_code = static_cast<uint32_t>(status.code());
     }
-    (void)SendMessage(*socket, client, reply);
+    QueueReply(replies, client, reply);
   };
 
-  while (running_.load(std::memory_order_acquire)) {
-    auto received = socket->RecvFrom(kSessionPollMs);
+  bool closing = false;
+  while (!closing && running_.load(std::memory_order_acquire)) {
+    auto received = socket->RecvBatch(kSessionPollMs, batch_limit, batch);
     if (!received.ok()) {
       if (received.code() == StatusCode::kTimedOut) {
         continue;
       }
       break;
     }
-    auto decoded = Message::Decode(received->data);
-    if (!decoded.ok()) {
-      continue;  // treat as lost
-    }
-    Metrics().datagrams_in->Increment();
-    const Message& m = *decoded;
-    const UdpEndpoint& client = received->from;
+    replies.clear();
+    for (const auto& datagram : batch) {
+      if (datagram.truncated) {
+        continue;  // garbage: behave as if lost, the client retransmits
+      }
+      auto decoded = Message::Decode(datagram.data);
+      if (!decoded.ok()) {
+        continue;  // treat as lost
+      }
+      Metrics().datagrams_in->Increment();
+      const Message& m = *decoded;
+      const UdpEndpoint& client = datagram.from;
 
-    switch (m.type) {
-      case MessageType::kReadReq: {
-        // One DATA packet per request, served immediately.
-        const auto service_start = std::chrono::steady_clock::now();
-        auto data = core_->Read(handle, m.offset, m.read_length);
-        Metrics().read_service_us->Record(ElapsedUs(service_start));
-        if (!data.ok()) {
-          (void)SendMessage(*socket, client, ErrorReply(m, data.status()));
+      switch (m.type) {
+        case MessageType::kReadReq: {
+          // One DATA packet per request, served immediately.
+          const auto service_start = std::chrono::steady_clock::now();
+          auto data = core_->Read(handle, m.offset, m.read_length);
+          Metrics().read_service_us->Record(ElapsedUs(service_start));
+          if (!data.ok()) {
+            QueueReply(replies, client, ErrorReply(m, data.status()));
+            break;
+          }
+          Message reply;
+          reply.type = MessageType::kData;
+          reply.handle = handle;
+          reply.request_id = m.request_id;
+          reply.seq = m.seq;
+          reply.total = m.total;
+          reply.offset = m.offset;
+          reply.payload = std::move(*data);
+          QueueReply(replies, client, reply);
           break;
         }
-        Message reply;
-        reply.type = MessageType::kData;
-        reply.handle = handle;
-        reply.request_id = m.request_id;
-        reply.seq = m.seq;
-        reply.total = m.total;
-        reply.offset = m.offset;
-        reply.payload = std::move(*data);
-        (void)SendMessage(*socket, client, reply);
-        break;
-      }
-      case MessageType::kWriteReq: {
-        auto it = writes.find(m.request_id);
-        if (it == writes.end()) {
-          PendingWrite pending;
-          pending.offset = m.offset;
-          pending.reassembler =
-              std::make_unique<Reassembler>(m.request_id, m.offset, m.read_length, m.total);
-          it = writes.emplace(m.request_id, std::move(pending)).first;
-        }
-        if (m.window == 1) {  // query
-          if (it->second.reassembler->complete()) {
-            commit_if_complete(m.request_id, it->second, client);
-            if (it->second.committed) {
-              Message ack;
-              ack.type = MessageType::kWriteAck;
-              ack.handle = handle;
-              ack.request_id = m.request_id;
-              (void)SendMessage(*socket, client, ack);
-            }
-          } else {
-            Message nack;
-            nack.type = MessageType::kWriteNack;
-            nack.handle = handle;
-            nack.request_id = m.request_id;
-            nack.missing_seqs = it->second.reassembler->MissingSeqs();
-            (void)SendMessage(*socket, client, nack);
+        case MessageType::kWriteReq: {
+          auto it = writes.find(m.request_id);
+          if (it == writes.end()) {
+            PendingWrite pending;
+            pending.offset = m.offset;
+            pending.reassembler =
+                std::make_unique<Reassembler>(m.request_id, m.offset, m.read_length, m.total);
+            it = writes.emplace(m.request_id, std::move(pending)).first;
           }
-        }
-        break;
-      }
-      case MessageType::kWriteData: {
-        auto it = writes.find(m.request_id);
-        if (it == writes.end()) {
-          break;  // data before announce: client's query will resynchronize
-        }
-        if (it->second.reassembler->Accept(m).ok()) {
-          commit_if_complete(m.request_id, it->second, client);
-        }
-        // Bound session memory: drop committed requests once a newer request
-        // id appears (duplicated ACKs are regenerated from the query path).
-        if (writes.size() > 8) {
-          for (auto drop = writes.begin(); drop != writes.end();) {
-            if (drop->second.committed && drop->first != m.request_id) {
-              drop = writes.erase(drop);
+          if (m.window == 1) {  // query
+            if (it->second.reassembler->complete()) {
+              commit_if_complete(m.request_id, it->second, client);
+              if (it->second.committed) {
+                Message ack;
+                ack.type = MessageType::kWriteAck;
+                ack.handle = handle;
+                ack.request_id = m.request_id;
+                QueueReply(replies, client, ack);
+              }
             } else {
-              ++drop;
+              Message nack;
+              nack.type = MessageType::kWriteNack;
+              nack.handle = handle;
+              nack.request_id = m.request_id;
+              nack.missing_seqs = it->second.reassembler->MissingSeqs();
+              QueueReply(replies, client, nack);
             }
           }
-        }
-        break;
-      }
-      case MessageType::kStat: {
-        auto size = core_->Stat(handle);
-        if (!size.ok()) {
-          (void)SendMessage(*socket, client, ErrorReply(m, size.status()));
           break;
         }
-        Message reply;
-        reply.type = MessageType::kStatReply;
-        reply.handle = handle;
-        reply.request_id = m.request_id;
-        reply.size = *size;
-        (void)SendMessage(*socket, client, reply);
-        break;
-      }
-      case MessageType::kTruncate: {
-        Status status = core_->Truncate(handle, m.size);
-        if (!status.ok()) {
-          (void)SendMessage(*socket, client, ErrorReply(m, status));
+        case MessageType::kWriteData: {
+          auto it = writes.find(m.request_id);
+          if (it == writes.end()) {
+            break;  // data before announce: client's query will resynchronize
+          }
+          if (it->second.reassembler->Accept(m).ok()) {
+            commit_if_complete(m.request_id, it->second, client);
+          }
+          // Bound session memory: drop committed requests once a newer request
+          // id appears (duplicated ACKs are regenerated from the query path).
+          if (writes.size() > 8) {
+            for (auto drop = writes.begin(); drop != writes.end();) {
+              if (drop->second.committed && drop->first != m.request_id) {
+                drop = writes.erase(drop);
+              } else {
+                ++drop;
+              }
+            }
+          }
           break;
         }
-        Message reply;
-        reply.type = MessageType::kTruncateAck;
-        reply.handle = handle;
-        reply.request_id = m.request_id;
-        (void)SendMessage(*socket, client, reply);
+        case MessageType::kStat: {
+          auto size = core_->Stat(handle);
+          if (!size.ok()) {
+            QueueReply(replies, client, ErrorReply(m, size.status()));
+            break;
+          }
+          Message reply;
+          reply.type = MessageType::kStatReply;
+          reply.handle = handle;
+          reply.request_id = m.request_id;
+          reply.size = *size;
+          QueueReply(replies, client, reply);
+          break;
+        }
+        case MessageType::kTruncate: {
+          Status status = core_->Truncate(handle, m.size);
+          if (!status.ok()) {
+            QueueReply(replies, client, ErrorReply(m, status));
+            break;
+          }
+          Message reply;
+          reply.type = MessageType::kTruncateAck;
+          reply.handle = handle;
+          reply.request_id = m.request_id;
+          QueueReply(replies, client, reply);
+          break;
+        }
+        case MessageType::kClose: {
+          Message reply;
+          reply.type = MessageType::kCloseAck;
+          reply.handle = handle;
+          reply.request_id = m.request_id;
+          QueueReply(replies, client, reply);
+          (void)core_->Close(handle);
+          // Extinguish this thread after the ACK flushes; the port dies with
+          // the session. Later datagrams in this batch belong to a dead
+          // handle and are dropped, exactly as if they had raced the close.
+          closing = true;
+          break;
+        }
+        default:
+          break;
+      }
+      if (closing) {
         break;
       }
-      case MessageType::kClose: {
-        Message reply;
-        reply.type = MessageType::kCloseAck;
-        reply.handle = handle;
-        reply.request_id = m.request_id;
-        (void)SendMessage(*socket, client, reply);
-        (void)core_->Close(handle);
-        return;  // extinguish this thread; the port dies with the session
-      }
-      default:
-        break;
+    }
+    if (!replies.empty()) {
+      FlushReplies(*socket, replies, batch_limit);
     }
   }
 }

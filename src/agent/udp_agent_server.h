@@ -1,4 +1,5 @@
-// The real-socket storage agent: the paper's §3.1 server, faithfully.
+// The real-socket storage agent: the paper's §3.1 server, faithfully — now
+// scaled across cores.
 //
 // "Each Swift storage agent waits for open requests on a well-known ip
 //  port. When an open request is received, a new (secondary) thread of
@@ -8,7 +9,14 @@
 //  closed by the client; the primary thread always continues to await new
 //  open requests."
 //
-// Session behaviour:
+// Scale-out: the well-known port is served by `Options::shards` SO_REUSEPORT
+// listener sockets, one drain thread per shard, each owning its own receive
+// arena (inside its UdpSocket), its own session list, and its own metric
+// shard — the kernel's flow hash spreads clients across shards and the hot
+// path never crosses cores. Shard and session loops move datagrams in
+// recvmmsg/sendmmsg batches (Options::socket_batch; 1 = the per-datagram
+// baseline). Wire format and session behaviour are unchanged:
+//
 //   * READ_REQ → one DATA packet per request; "the storage agents fulfilled
 //     the packet requests as soon as they were received". No agent-side read
 //     state: the client re-requests lost packets.
@@ -38,6 +46,8 @@
 
 namespace swift {
 
+class Counter;
+
 class UdpAgentServer {
  public:
   struct Options {
@@ -46,13 +56,21 @@ class UdpAgentServer {
     // Outgoing loss injection for recovery tests.
     double loss_probability = 0;
     uint64_t loss_seed = 1;
+    // SO_REUSEPORT listener sockets on the well-known port, one drain thread
+    // (and receive arena, session list, metric shard) each. 1 = the classic
+    // single primary thread. If the platform cannot deliver the full count,
+    // the server degrades to however many sockets it could bind.
+    uint32_t shards = 1;
+    // Datagrams moved per socket syscall in the shard and session loops
+    // (recvmmsg/sendmmsg). 1 = the per-datagram baseline.
+    uint32_t socket_batch = 16;
   };
 
   // Serves `core` (not owned) until Stop()/destruction.
   UdpAgentServer(StorageAgentCore* core, Options options);
   ~UdpAgentServer();
 
-  // Binds the well-known port and starts the primary thread.
+  // Binds the well-known port (all shards) and starts the drain threads.
   Status Start();
   // Stops all threads and closes all ports. Idempotent.
   void Stop();
@@ -60,26 +78,39 @@ class UdpAgentServer {
   uint16_t port() const { return port_; }
   size_t active_session_count();
 
+  // Well-known-port datagrams handled per shard since Start() — the
+  // SO_REUSEPORT distribution, for tests and tooling. Index = shard.
+  std::vector<uint64_t> shard_datagram_counts() const;
+  size_t shard_count() const { return shards_.size(); }
+
  private:
   struct Session {
     std::unique_ptr<UdpSocket> socket;
     std::thread thread;
   };
 
-  void PrimaryLoop();
+  // One SO_REUSEPORT listener: socket + drain thread + private session list
+  // + its slice of the metrics. Nothing here is touched by another shard.
+  struct Shard {
+    uint32_t index = 0;
+    UdpSocket socket;
+    std::thread thread;
+    std::atomic<uint64_t> datagrams{0};
+    Counter* registry_datagrams = nullptr;  // swift_agent_shard<i>_datagrams_total
+    std::mutex sessions_mutex;
+    std::vector<std::unique_ptr<Session>> sessions;
+  };
+
+  void ShardLoop(Shard* shard);
   void SessionLoop(UdpSocket* socket, uint32_t handle);
-  void HandleOpen(const Message& request, const UdpEndpoint& client);
-  Status SendMessage(UdpSocket& socket, const UdpEndpoint& to, const Message& message);
+  void HandleOpen(Shard* shard, const Message& request, const UdpEndpoint& client,
+                  std::vector<OutgoingDatagram>& replies);
 
   StorageAgentCore* core_;
   Options options_;
-  UdpSocket primary_socket_;
   uint16_t port_ = 0;
-  std::thread primary_thread_;
   std::atomic<bool> running_{false};
-
-  std::mutex sessions_mutex_;
-  std::vector<std::unique_ptr<Session>> sessions_;
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace swift

@@ -86,6 +86,13 @@ uint32_t SaturateU32(double value) {
 //  * Every datagram is SENT from the reactor thread (the loss-injection RNG
 //    inside UdpSocket is not thread-safe), except the pre-registration
 //    socket setup done in Open/Remove before the session is visible.
+//  * Sends are coalesced: an op's Send() queues the encoded datagram on the
+//    reactor's pending list, and everything queued in one dispatch round —
+//    opening bursts, NACK resends, timeout retransmits, across all ops of a
+//    session — leaves in one sendmmsg(2) flush right before the next poll.
+//    A datagram the kernel refuses mid-batch is treated as lost on the wire
+//    (the retry machinery recovers, identical failure semantics); only a
+//    closed socket fails Send() synchronously.
 //  * An op's completion runs exactly once, on the reactor thread, after
 //    which the op is destroyed. Completions must not block on this
 //    transport (sync wrappers wait on their own condition variable, which
@@ -131,13 +138,19 @@ class UdpTransport::Reactor {
     UdpTransport* transport() const { return reactor_->transport_; }
 
     Status Send(const Message& m) {
+      if (!session_->socket.valid()) {
+        return UnavailableError("socket closed");
+      }
       transport()->datagrams_sent_.fetch_add(1, std::memory_order_relaxed);
       Metrics().datagrams_sent->Increment();
-      // Header and payload leave as a two-entry iovec: the payload slice is
-      // handed to sendmsg(2) where it sits — retransmissions re-serialize
-      // only the fixed header, never the data bytes.
-      const Message::Encoded parts = m.EncodeParts();
-      return session_->socket.SendTo(session_->agent, parts.header, parts.payload.span());
+      // Header and payload stay a two-part datagram: the payload slice is
+      // queued where it sits and handed to sendmmsg(2) as its own iovec at
+      // flush time — retransmissions re-serialize only the fixed header,
+      // never the data bytes.
+      Message::Encoded parts = m.EncodeParts();
+      reactor_->QueueSend(session_, OutgoingDatagram{session_->agent, std::move(parts.header),
+                                                     std::move(parts.payload)});
+      return OkStatus();
     }
     Status Resend(const Message& m) {
       transport()->retransmissions_.fetch_add(1, std::memory_order_relaxed);
@@ -497,8 +510,12 @@ class UdpTransport::Reactor {
     WriteCompletion done_;
   };
 
-  Reactor(UdpTransport* transport, RetryPolicy policy, uint32_t read_window)
-      : transport_(transport), policy_(policy), read_window_(std::max<uint32_t>(1, read_window)) {
+  Reactor(UdpTransport* transport, RetryPolicy policy, uint32_t read_window,
+          uint32_t socket_batch)
+      : transport_(transport),
+        policy_(policy),
+        read_window_(std::max<uint32_t>(1, read_window)),
+        socket_batch_(std::max<uint32_t>(1, socket_batch)) {
     SWIFT_CHECK(pipe(wake_fds_) == 0) << "reactor wake pipe";
     fcntl(wake_fds_[0], F_SETFL, O_NONBLOCK);
     fcntl(wake_fds_[1], F_SETFL, O_NONBLOCK);
@@ -613,10 +630,51 @@ class UdpTransport::Reactor {
     return std::move(*slot);
   }
 
+  // Reactor-thread only: appends one encoded datagram to the pending flush
+  // list (PendingOp::Send is always invoked on the reactor thread).
+  void QueueSend(const SessionPtr& session, OutgoingDatagram dgram) {
+    pending_sends_.push_back(PendingSend{session, std::move(dgram)});
+  }
+
  private:
   void Wake() {
     const uint8_t byte = 1;
     [[maybe_unused]] ssize_t n = write(wake_fds_[1], &byte, 1);
+  }
+
+  // Flushes every queued datagram, grouped per session so each group leaves
+  // in one sendmmsg call. Per-session order is preserved (announce before
+  // data packets, data before query). Runs on the reactor thread.
+  void FlushSends() {
+    if (pending_sends_.empty()) {
+      return;
+    }
+    // Bucket by owning session; the linear scan is fine because one flush
+    // rarely spans more than a handful of sessions.
+    for (auto& pending : pending_sends_) {
+      Session* key = pending.session.get();
+      auto it = std::find_if(flush_buckets_.begin(), flush_buckets_.end(),
+                             [key](const FlushBucket& b) { return b.session.get() == key; });
+      if (it == flush_buckets_.end()) {
+        flush_buckets_.push_back(FlushBucket{pending.session, {}});
+        it = std::prev(flush_buckets_.end());
+      }
+      it->datagrams.push_back(std::move(pending.dgram));
+    }
+    pending_sends_.clear();
+    for (FlushBucket& bucket : flush_buckets_) {
+      // Send failures inside the batch are absorbed as wire loss (counted in
+      // the socket layer); a dead socket only means its ops will time out,
+      // which is already their UNAVAILABLE path. Chunking by socket_batch_
+      // keeps batch=1 an honest per-datagram baseline (one syscall per
+      // datagram), not just a receive-side setting.
+      const std::span<const OutgoingDatagram> all(bucket.datagrams);
+      for (size_t off = 0; off < all.size(); off += socket_batch_) {
+        (void)bucket.session->socket.SendBatch(
+            all.subspan(off, std::min<size_t>(socket_batch_, all.size() - off)));
+      }
+    }
+    flush_buckets_.clear();
   }
 
   // Reactor-thread only: completes and forgets one op.
@@ -680,6 +738,11 @@ class UdpTransport::Reactor {
         }
       }
 
+      // Everything queued since the last poll — fresh ops' opening bursts
+      // plus whatever the previous dispatch round's OnMessage/OnTimeout
+      // handlers produced — leaves now, batched per session.
+      FlushSends();
+
       // Poll the wake pipe plus every live session socket, out to the
       // nearest retransmission deadline.
       pfds.clear();
@@ -710,27 +773,36 @@ class UdpTransport::Reactor {
         }
       }
 
-      // Drain every readable socket and route datagrams to their ops.
+      // Drain every readable socket in recvmmsg batches and route datagrams
+      // to their ops.
       for (size_t i = 0; i < snapshot.size(); ++i) {
         if ((pfds[i + 1].revents & POLLIN) == 0) {
           continue;
         }
         for (;;) {
-          auto received = snapshot[i]->socket.RecvFrom(0);
-          if (!received.ok()) {
+          auto batch = snapshot[i]->socket.RecvBatch(0, socket_batch_, recv_scratch_);
+          if (!batch.ok()) {
             break;  // kTimedOut = socket drained
           }
-          auto decoded = Message::Decode(received->data);
-          if (!decoded.ok()) {
-            continue;  // corrupt: treat as lost
+          for (UdpSocket::ReceivedDatagram& received : recv_scratch_) {
+            if (received.truncated) {
+              continue;  // counted by the socket layer; treat as lost
+            }
+            auto decoded = Message::Decode(received.data);
+            if (!decoded.ok()) {
+              continue;  // corrupt: treat as lost
+            }
+            auto it = active_.find(decoded->request_id);
+            if (it == active_.end() || it->second->session() != snapshot[i].get()) {
+              continue;  // stale reply from a finished request
+            }
+            if (it->second->OnMessage(*decoded)) {
+              active_.erase(it);
+              MarkFinished();
+            }
           }
-          auto it = active_.find(decoded->request_id);
-          if (it == active_.end() || it->second->session() != snapshot[i].get()) {
-            continue;  // stale reply from a finished request
-          }
-          if (it->second->OnMessage(*decoded)) {
-            active_.erase(it);
-            MarkFinished();
+          if (*batch < socket_batch_) {
+            break;  // short batch = socket drained
           }
         }
       }
@@ -750,6 +822,7 @@ class UdpTransport::Reactor {
   UdpTransport* transport_;
   RetryPolicy policy_;
   uint32_t read_window_;
+  uint32_t socket_batch_;
   int wake_fds_[2] = {-1, -1};
 
   std::mutex mutex_;
@@ -763,6 +836,17 @@ class UdpTransport::Reactor {
 
   // Reactor-thread private.
   std::map<uint32_t, std::unique_ptr<PendingOp>> active_;
+  struct PendingSend {
+    SessionPtr session;
+    OutgoingDatagram dgram;
+  };
+  struct FlushBucket {
+    SessionPtr session;
+    std::vector<OutgoingDatagram> datagrams;
+  };
+  std::vector<PendingSend> pending_sends_;
+  std::vector<FlushBucket> flush_buckets_;            // scratch, reused per flush
+  std::vector<UdpSocket::ReceivedDatagram> recv_scratch_;  // scratch, reused per drain
 
   std::thread thread_;
 };
@@ -773,7 +857,8 @@ UdpTransport::UdpTransport(uint16_t agent_port, Options options)
     : agent_port_(agent_port),
       options_(options),
       next_loss_seed_(options.loss_seed),
-      reactor_(std::make_unique<Reactor>(this, options.retry_policy(), options.read_window)) {}
+      reactor_(std::make_unique<Reactor>(this, options.retry_policy(), options.read_window,
+                                         options.socket_batch)) {}
 
 UdpTransport::~UdpTransport() {
   // Reactor teardown aborts anything still in flight (kUnavailable) before

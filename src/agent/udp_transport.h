@@ -77,6 +77,12 @@ class UdpTransport : public AgentTransport {
     // Timeout-triggered retries before declaring the agent unavailable
     // (max_retries + 1 transmissions in total).
     int max_retries = 6;
+    // Datagrams moved per socket syscall: the reactor coalesces every send
+    // queued in one dispatch round (initial bursts and retransmits alike)
+    // into sendmmsg batches, and drains receives with recvmmsg. 1 = the
+    // per-datagram baseline (one syscall per datagram, the pre-batching
+    // behaviour), which the scale-out bench measures against.
+    uint32_t socket_batch = 16;
     // Outgoing loss injection (testing).
     double loss_probability = 0;
     uint64_t loss_seed = 99;

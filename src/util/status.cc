@@ -30,6 +30,8 @@ const char* StatusCodeName(StatusCode code) {
       return "IO_ERROR";
     case StatusCode::kDataCorrupt:
       return "DATA_CORRUPT";
+    case StatusCode::kMessageTooLarge:
+      return "MSG_TOO_LARGE";
   }
   return "UNKNOWN";
 }
@@ -81,6 +83,9 @@ Status IoError(std::string message) {
 }
 Status DataCorruptError(std::string message) {
   return Status(StatusCode::kDataCorrupt, std::move(message));
+}
+Status MessageTooLargeError(std::string message) {
+  return Status(StatusCode::kMessageTooLarge, std::move(message));
 }
 
 }  // namespace swift

@@ -33,6 +33,9 @@ enum class StatusCode {
   kIoError,            // backing store I/O failure
   kDataCorrupt,        // stored bytes fail their at-rest checksum (repairable
                        // through parity, unlike kDataLoss)
+  kMessageTooLarge,    // datagram exceeded the receiver's buffer (MSG_TRUNC)
+                       // or the sender's limit (EMSGSIZE); appended last so
+                       // existing wire status codes keep their values
 };
 
 // Short stable identifier, e.g. "NOT_FOUND". Never returns null.
@@ -78,6 +81,7 @@ Status InternalError(std::string message);
 Status UnimplementedError(std::string message);
 Status IoError(std::string message);
 Status DataCorruptError(std::string message);
+Status MessageTooLargeError(std::string message);
 
 // A value of type T or an error Status. `Result` is cheap to move and keeps
 // exactly one of {value, error}.

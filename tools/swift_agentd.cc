@@ -9,7 +9,12 @@
 //               [--stats-interval=N] [--mediator=PORT] [--rate-mbps=N]
 //               [--storage-mb=N] [--heartbeat-ms=N] [--durable]
 //               [--no-integrity] [--fault-spec=SPEC]
-//               [--loss=P] [--loss-seed=N]
+//               [--loss=P] [--loss-seed=N] [--shards=N]
+//
+// --shards=N serves the well-known port with N SO_REUSEPORT listener
+// sockets, one drain thread (and receive arena, metric shard) per core;
+// the default is min(4, hardware threads). Per-shard traffic shows up as
+// swift_agent_shard<i>_datagrams_total in STATS / --stats-interval dumps.
 //
 // Storage stack: files under --root, wrapped in CRC-32 at-rest checksums
 // (IntegrityBackingStore) so reads detect silent disk corruption and the
@@ -133,6 +138,7 @@ int main(int argc, char** argv) {
   const char* fault_flag = FlagValue(argc, argv, "--fault-spec");
   const char* loss_flag = FlagValue(argc, argv, "--loss");
   const char* loss_seed_flag = FlagValue(argc, argv, "--loss-seed");
+  const char* shards_flag = FlagValue(argc, argv, "--shards");
   const bool durable = HasFlag(argc, argv, "--durable");
   const bool no_integrity = HasFlag(argc, argv, "--no-integrity");
   if (root == nullptr) {
@@ -141,6 +147,7 @@ int main(int argc, char** argv) {
                  "                    [--mediator=PORT] [--rate-mbps=N] [--storage-mb=N]\n"
                  "                    [--heartbeat-ms=N] [--durable] [--no-integrity]\n"
                  "                    [--fault-spec=SPEC] [--loss=P] [--loss-seed=N]\n"
+                 "                    [--shards=N]\n"
                  "serves Swift storage-agent protocol over UDP, storing objects in DIR\n",
                  swift::kDefaultAgentPort);
     return 2;
@@ -178,6 +185,9 @@ int main(int argc, char** argv) {
   if (loss_seed_flag != nullptr) {
     options.loss_seed = static_cast<uint64_t>(std::atoll(loss_seed_flag));
   }
+  options.shards = shards_flag != nullptr
+                       ? static_cast<uint32_t>(std::max(1, std::atoi(shards_flag)))
+                       : std::min(4u, std::max(1u, std::thread::hardware_concurrency()));
   swift::UdpAgentServer server(&core, options);
   swift::Status status = server.Start();
   if (!status.ok()) {
