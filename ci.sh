@@ -31,7 +31,7 @@ if [ "${SAN_PRESET}" != "tsan" ]; then
   cmake --preset tsan
   cmake --build --preset tsan -j "${JOBS}"
   ctest --test-dir build-tsan \
-    -R '^MetricsTrace|^MediatorService|^IntegrityStore|^FaultyStore|^FaultInjection|^SelfHealing|^Scrub|^FaultKinds|^LossyCorrupt|^Buffer|^UdpBatch|^UdpShard' \
+    -R '^MetricsTrace|^MediatorService|^IntegrityStore|^FaultyStore|^FaultInjection|^SelfHealing|^Scrub|^FaultKinds|^LossyCorrupt|^Buffer|^UdpBatch|^UdpShard|^Trace' \
     -j "${JOBS}" --output-on-failure
 fi
 
@@ -75,6 +75,22 @@ awk -v s="${SPEEDUP}" 'BEGIN { exit !(s >= 2.0) }' \
   || { echo "FAIL: scale-out speedup ${SPEEDUP}x < 2x over per-datagram baseline"; exit 1; }
 echo "speedup_datagrams_per_sec ${SPEEDUP}x (>= 2x)"
 rm -f "${BENCH_JSON}"
+
+# Trace-overhead gate: the always-on sampled mode (the daemons' default)
+# must cost <= 5% striped-I/O throughput versus tracing off. The bench
+# interleaves off/sampled/all phases on one live cell (best-of rounds), so
+# run-to-run scheduler drift cancels out; a regression here means span
+# creation leaked back onto the unsampled fast path (DESIGN.md §14).
+echo "== trace overhead gate (sampled mode <= 5% vs off) =="
+TRACE_JSON="$(mktemp)"
+./build/tools/swift_bench --trace-overhead --json="${TRACE_JSON}" > /dev/null
+# Not bench_key: overhead can legitimately be negative (noise floor).
+SAMPLED_PCT="$(grep -o '"sampled_overhead_pct": -\?[0-9.]*' "${TRACE_JSON}" | head -1 | awk '{print $2}')"
+[ -n "${SAMPLED_PCT}" ] || { echo "FAIL: no sampled_overhead_pct in bench output"; cat "${TRACE_JSON}"; exit 1; }
+awk -v p="${SAMPLED_PCT}" 'BEGIN { exit !(p <= 5.0) }' \
+  || { echo "FAIL: sampled trace overhead ${SAMPLED_PCT}% > 5%"; exit 1; }
+echo "sampled_overhead_pct ${SAMPLED_PCT} (<= 5)"
+rm -f "${TRACE_JSON}"
 
 echo "== agentd --stats-interval smoke =="
 SMOKE_LOG="$(mktemp)"

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "src/agent/udp_socket.h"
 #include "src/agent/udp_transport.h"
@@ -52,13 +53,21 @@ class MediatorClient : public MediatorChannel {
   Result<std::string> ListSessions();
 
   // Metrics snapshot from the mediator's registry (kStats, like agents).
+  // The reply arrives packetized and is reassembled here — never truncated.
   Result<std::string> FetchStats();
+
+  // The mediator's recent spans via the TRACE op (packetized like stats).
+  // A nonzero `trace_filter` restricts to that trace id.
+  Result<std::vector<Span>> FetchSpans(uint64_t trace_filter = 0);
 
  private:
   // Sends `request` and waits for a reply carrying the same request id,
   // retransmitting per the retry policy. Fills in the request id.
   Result<Message> Call(Message request);
   Result<SessionGrant> CallForGrant(Message request);
+  // Like Call, but the reply is a packetized seq/total train of `reply_type`
+  // datagrams; collects and concatenates the payloads.
+  Result<std::vector<uint8_t>> CallCollect(Message request, MessageType reply_type);
 
   uint16_t mediator_port_;
   RetryPolicy policy_;

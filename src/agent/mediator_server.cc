@@ -3,8 +3,10 @@
 #include <string>
 
 #include "src/core/mediator_wire.h"
+#include "src/proto/packetizer.h"
 #include "src/util/logging.h"
 #include "src/util/metrics.h"
+#include "src/util/trace.h"
 
 namespace swift {
 
@@ -93,6 +95,51 @@ void UdpMediatorServer::ServiceLoop() {
       continue;  // corrupted or stray datagram: behave as if lost
     }
 
+    // A traced control RPC gets a mediator-side span: recv wait + service.
+    const bool traced = message->trace.sampled() && GetTraceMode() != TraceMode::kOff;
+    const uint64_t proc_ns = traced ? FlightRecorder::NowNs() : 0;
+    auto record_span = [&] {
+      if (!traced) {
+        return;
+      }
+      Span span;
+      span.trace_id = message->trace.trace_id;
+      span.parent_span_id = message->trace.parent_span_id;
+      span.span_id = NextSpanId();
+      span.node = TraceNodeId();
+      span.request_id = message->request_id;
+      span.op = static_cast<uint8_t>(message->type);
+      span.sampled = message->trace.sampled();
+      span.start_ns = received->recv_ns != 0 ? received->recv_ns : proc_ns;
+      if (received->recv_ns != 0 && proc_ns > received->recv_ns) {
+        span.events.push_back(
+            {SpanStage::kRecvBatch, received->recv_ns, proc_ns - received->recv_ns, 0});
+      }
+      span.end_ns = FlightRecorder::NowNs();
+      span.events.push_back({SpanStage::kService, proc_ns, span.end_ns - proc_ns, 0});
+      SpanStore::Global().Submit(std::move(span));
+    };
+
+    if (message->type == MessageType::kStats || message->type == MessageType::kTrace) {
+      // Bulk read-only replies ship packetized (seq/total trains reassembled
+      // by the client) and bypass the reply cache: each request re-renders.
+      BufferSlice body =
+          message->type == MessageType::kStats
+              ? BufferSlice::CopyOf(MetricRegistry::Global().RenderText())
+              : BufferSlice::FromVector(
+                    SerializeSpans(SpanStore::Global().Snapshot(message->size)));
+      const MessageType reply_type = message->type == MessageType::kStats
+                                         ? MessageType::kStatsReply
+                                         : MessageType::kTraceReply;
+      for (const Message& packet :
+           SplitIntoPackets(reply_type, 0, message->request_id, 0, std::move(body))) {
+        Message::Encoded parts = packet.EncodeParts();
+        (void)socket_.SendTo(received->from, parts.header, parts.payload.span());
+      }
+      record_span();
+      continue;
+    }
+
     const bool cacheable = Cacheable(message->type);
     if (cacheable) {
       bool replayed = false;
@@ -120,6 +167,7 @@ void UdpMediatorServer::ServiceLoop() {
       reply_cache_.push_back(CachedReply{received->from.ipv4_host, received->from.port,
                                          message->request_id, std::move(datagram)});
     }
+    record_span();
   }
 }
 
@@ -228,13 +276,6 @@ Message UdpMediatorServer::Dispatch(const Message& request, uint64_t now_ms) {
       }
       FitTextPayload(text);
       reply.type = MessageType::kSessionList;
-      reply.payload = BufferSlice::CopyOf(text);
-      break;
-    }
-    case MessageType::kStats: {
-      std::string text = MetricRegistry::Global().RenderText();
-      FitTextPayload(text);
-      reply.type = MessageType::kStatsReply;
       reply.payload = BufferSlice::CopyOf(text);
       break;
     }

@@ -7,6 +7,7 @@
 #include "src/proto/packetizer.h"
 #include "src/util/logging.h"
 #include "src/util/metrics.h"
+#include "src/util/trace.h"
 #include "src/util/wire_buffer.h"
 
 namespace swift {
@@ -32,6 +33,7 @@ struct ServerMetrics {
   Counter* datagrams_out;
   Counter* nacks_sent;
   Counter* stats_requests;
+  Counter* trace_requests;
   HistogramMetric* read_service_us;
   HistogramMetric* write_service_us;
 };
@@ -44,6 +46,7 @@ const ServerMetrics& Metrics() {
         registry.GetCounter("swift_agent_datagrams_out_total"),
         registry.GetCounter("swift_agent_nacks_sent_total"),
         registry.GetCounter("swift_agent_stats_requests_total"),
+        registry.GetCounter("swift_agent_trace_requests_total"),
         registry.GetHistogram("swift_agent_read_service_us"),
         registry.GetHistogram("swift_agent_write_service_us"),
     };
@@ -55,6 +58,23 @@ double ElapsedUs(std::chrono::steady_clock::time_point since) {
   return std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
              std::chrono::steady_clock::now() - since)
       .count();
+}
+
+// Starts a server-side span as the child of the context a request carried.
+// `shard_tag` is 1-based (0 = unsharded) so merged dumps attribute shard 0's
+// work distinguishably from untagged threads.
+Span NewServerSpan(const Message& m, uint32_t shard_tag, uint64_t recv_ns) {
+  Span span;
+  span.trace_id = m.trace.trace_id;
+  span.parent_span_id = m.trace.parent_span_id;
+  span.span_id = NextSpanId();
+  span.node = TraceNodeId();
+  span.shard = shard_tag;
+  span.request_id = m.request_id;
+  span.op = static_cast<uint8_t>(m.type);
+  span.sampled = m.trace.sampled();
+  span.start_ns = recv_ns != 0 ? recv_ns : FlightRecorder::NowNs();
+  return span;
 }
 
 // Encodes `message` for `to` and appends it to the reply queue; the caller
@@ -179,6 +199,7 @@ std::vector<uint64_t> UdpAgentServer::shard_datagram_counts() const {
 }
 
 void UdpAgentServer::ShardLoop(Shard* shard) {
+  SetThreadTraceShard(shard->index + 1);  // 1-based: 0 means "unsharded"
   const size_t batch_limit = std::max<uint32_t>(1, options_.socket_batch);
   std::vector<UdpSocket::ReceivedDatagram> batch;
   std::vector<OutgoingDatagram> replies;
@@ -202,24 +223,32 @@ void UdpAgentServer::ShardLoop(Shard* shard) {
       Metrics().datagrams_in->Increment();
       shard->datagrams.fetch_add(1, std::memory_order_relaxed);
       shard->registry_datagrams->Increment();
+      // Well-known-port requests are single datagrams; a traced one gets a
+      // self-contained span (recv-batch wait + handler time) right here.
+      const bool traced = message->trace.sampled() && GetTraceMode() != TraceMode::kOff;
+      const uint64_t proc_ns = traced ? FlightRecorder::NowNs() : 0;
       if (message->type == MessageType::kOpen) {
         HandleOpen(shard, *message, datagram.from, replies);
       } else if (message->type == MessageType::kStats) {
         Metrics().stats_requests->Increment();
-        Message reply;
-        reply.type = MessageType::kStatsReply;
-        reply.request_id = message->request_id;
-        std::string text = MetricRegistry::Global().RenderText();
-        if (text.size() > kMaxPacketPayload) {
-          // A snapshot must fit one datagram; truncate on a line boundary and
-          // mark the cut so readers know the dump is partial.
-          static constexpr char kMarker[] = "# truncated\n";
-          size_t cut = text.rfind('\n', kMaxPacketPayload - sizeof(kMarker));
-          text.resize(cut == std::string::npos ? 0 : cut + 1);
-          text += kMarker;
+        // The full registry, packetized: STATS_REPLY is a bulk reply family,
+        // so a many-KiB snapshot ships as a seq/total train instead of being
+        // truncated to one datagram.
+        const std::string text = MetricRegistry::Global().RenderText();
+        for (const Message& packet :
+             SplitIntoPackets(MessageType::kStatsReply, 0, message->request_id, 0,
+                              BufferSlice::CopyOf(text))) {
+          QueueReply(replies, datagram.from, packet);
         }
-        reply.payload = BufferSlice::CopyOf(text);
-        QueueReply(replies, datagram.from, reply);
+      } else if (message->type == MessageType::kTrace) {
+        Metrics().trace_requests->Increment();
+        // `size` carries the trace-id filter (0 = all recent spans).
+        const std::vector<Span> spans = SpanStore::Global().Snapshot(message->size);
+        for (const Message& packet :
+             SplitIntoPackets(MessageType::kTraceReply, 0, message->request_id, 0,
+                              BufferSlice::FromVector(SerializeSpans(spans)))) {
+          QueueReply(replies, datagram.from, packet);
+        }
       } else if (message->type == MessageType::kRemove) {
         Message reply;
         reply.request_id = message->request_id;
@@ -255,6 +284,17 @@ void UdpAgentServer::ShardLoop(Shard* shard) {
           reply.payload = BufferSlice::FromVector(w.Take());
         }
         QueueReply(replies, datagram.from, reply);
+      }
+      if (traced) {
+        Span span = NewServerSpan(*message, shard->index + 1,
+                                  datagram.recv_ns != 0 ? datagram.recv_ns : proc_ns);
+        if (datagram.recv_ns != 0 && proc_ns > datagram.recv_ns) {
+          span.events.push_back(
+              {SpanStage::kRecvBatch, datagram.recv_ns, proc_ns - datagram.recv_ns, 0});
+        }
+        span.end_ns = FlightRecorder::NowNs();
+        span.events.push_back({SpanStage::kService, proc_ns, span.end_ns - proc_ns, 0});
+        SpanStore::Global().Submit(std::move(span));
       }
     }
     if (!replies.empty()) {
@@ -301,7 +341,9 @@ void UdpAgentServer::HandleOpen(Shard* shard, const Message& request,
 
   UdpSocket* socket = session->socket.get();
   const uint32_t handle = opened->handle;
-  session->thread = std::thread([this, socket, handle] { SessionLoop(socket, handle); });
+  const uint32_t shard_index = shard->index;
+  session->thread = std::thread(
+      [this, socket, handle, shard_index] { SessionLoop(socket, handle, shard_index); });
   {
     std::lock_guard<std::mutex> lock(shard->sessions_mutex);
     shard->sessions.push_back(std::move(session));
@@ -309,7 +351,8 @@ void UdpAgentServer::HandleOpen(Shard* shard, const Message& request,
   QueueReply(replies, client, reply);
 }
 
-void UdpAgentServer::SessionLoop(UdpSocket* socket, uint32_t handle) {
+void UdpAgentServer::SessionLoop(UdpSocket* socket, uint32_t handle, uint32_t shard_index) {
+  SetThreadTraceShard(shard_index + 1);  // session inherits its shard's tag
   // In-progress write requests on this file, keyed by request id.
   struct PendingWrite {
     std::unique_ptr<Reassembler> reassembler;
@@ -318,17 +361,66 @@ void UdpAgentServer::SessionLoop(UdpSocket* socket, uint32_t handle) {
   };
   std::map<uint32_t, PendingWrite> writes;
 
+  // A client op (one request id) arrives as many datagrams spread across
+  // receive batches; its server-side story is aggregated here and submitted
+  // as ONE span — per-stage sums, not one span per datagram. Submission
+  // happens when the session goes idle (poll timeout), when the map is
+  // culled, or when the session closes; timestamps inside the span are
+  // recorded live, so late submission costs nothing.
+  struct RequestTrace {
+    Span span;
+    uint64_t recv_wait_ns = 0;      // sum: kernel receive → processing start
+    uint64_t service_start_ns = 0;  // first handler start
+    uint64_t service_ns = 0;        // sum of handler time minus store time
+    uint64_t store_start_ns = 0;    // first backing-store call start
+    uint64_t store_ns = 0;          // sum of backing-store call time
+    uint64_t reply_start_ns = 0;    // first reply-flush start
+    uint64_t reply_ns = 0;          // sum of reply-flush time
+  };
+  std::map<uint32_t, RequestTrace> traces;
+  std::vector<uint32_t> touched;  // request ids handled in this batch
+
+  auto submit_trace = [](RequestTrace& t) {
+    Span& s = t.span;
+    if (t.recv_wait_ns != 0) {
+      s.events.push_back({SpanStage::kRecvBatch, s.start_ns, t.recv_wait_ns, 0});
+    }
+    if (t.service_ns != 0) {
+      s.events.push_back({SpanStage::kService, t.service_start_ns, t.service_ns, 0});
+    }
+    if (t.store_ns != 0) {
+      s.events.push_back({SpanStage::kStore, t.store_start_ns, t.store_ns, 0});
+    }
+    if (t.reply_ns != 0) {
+      s.events.push_back({SpanStage::kReply, t.reply_start_ns, t.reply_ns, 0});
+    }
+    SpanStore::Global().Submit(std::move(s));
+  };
+  auto submit_all_traces = [&] {
+    for (auto& [id, t] : traces) {
+      submit_trace(t);
+    }
+    traces.clear();
+  };
+
   const size_t batch_limit = std::max<uint32_t>(1, options_.socket_batch);
   std::vector<UdpSocket::ReceivedDatagram> batch;
   std::vector<OutgoingDatagram> replies;
 
   auto commit_if_complete = [&](uint32_t request_id, PendingWrite& pending,
-                                const UdpEndpoint& client) {
+                                const UdpEndpoint& client, RequestTrace* trace) {
     if (!pending.reassembler->complete() || pending.committed) {
       return;
     }
     const auto service_start = std::chrono::steady_clock::now();
+    const uint64_t store_begin_ns = trace != nullptr ? FlightRecorder::NowNs() : 0;
     Status status = core_->Write(handle, pending.offset, pending.reassembler->data());
+    if (trace != nullptr) {
+      trace->store_ns += FlightRecorder::NowNs() - store_begin_ns;
+      if (trace->store_start_ns == 0) {
+        trace->store_start_ns = store_begin_ns;
+      }
+    }
     Metrics().write_service_us->Record(ElapsedUs(service_start));
     Message reply;
     reply.handle = handle;
@@ -348,11 +440,15 @@ void UdpAgentServer::SessionLoop(UdpSocket* socket, uint32_t handle) {
     auto received = socket->RecvBatch(kSessionPollMs, batch_limit, batch);
     if (!received.ok()) {
       if (received.code() == StatusCode::kTimedOut) {
+        // Idle: every in-flight request has gone quiet for a poll interval;
+        // ship its aggregated span so collectors see it promptly.
+        submit_all_traces();
         continue;
       }
       break;
     }
     replies.clear();
+    touched.clear();
     for (const auto& datagram : batch) {
       if (datagram.truncated) {
         continue;  // garbage: behave as if lost, the client retransmits
@@ -365,11 +461,40 @@ void UdpAgentServer::SessionLoop(UdpSocket* socket, uint32_t handle) {
       const Message& m = *decoded;
       const UdpEndpoint& client = datagram.from;
 
+      RequestTrace* trace = nullptr;
+      uint64_t handler_begin_ns = 0;
+      uint64_t store_before_ns = 0;
+      if (m.trace.sampled() && GetTraceMode() != TraceMode::kOff) {
+        handler_begin_ns = FlightRecorder::NowNs();
+        auto [slot, fresh] = traces.try_emplace(m.request_id);
+        trace = &slot->second;
+        if (fresh) {
+          trace->span = NewServerSpan(
+              m, shard_index + 1,
+              datagram.recv_ns != 0 ? datagram.recv_ns : handler_begin_ns);
+        }
+        if (datagram.recv_ns != 0 && handler_begin_ns > datagram.recv_ns) {
+          trace->recv_wait_ns += handler_begin_ns - datagram.recv_ns;
+        }
+        if (trace->service_start_ns == 0) {
+          trace->service_start_ns = handler_begin_ns;
+        }
+        store_before_ns = trace->store_ns;
+        touched.push_back(m.request_id);
+      }
+
       switch (m.type) {
         case MessageType::kReadReq: {
           // One DATA packet per request, served immediately.
           const auto service_start = std::chrono::steady_clock::now();
+          const uint64_t store_begin_ns = trace != nullptr ? FlightRecorder::NowNs() : 0;
           auto data = core_->Read(handle, m.offset, m.read_length);
+          if (trace != nullptr) {
+            trace->store_ns += FlightRecorder::NowNs() - store_begin_ns;
+            if (trace->store_start_ns == 0) {
+              trace->store_start_ns = store_begin_ns;
+            }
+          }
           Metrics().read_service_us->Record(ElapsedUs(service_start));
           if (!data.ok()) {
             QueueReply(replies, client, ErrorReply(m, data.status()));
@@ -397,7 +522,7 @@ void UdpAgentServer::SessionLoop(UdpSocket* socket, uint32_t handle) {
           }
           if (m.window == 1) {  // query
             if (it->second.reassembler->complete()) {
-              commit_if_complete(m.request_id, it->second, client);
+              commit_if_complete(m.request_id, it->second, client, trace);
               if (it->second.committed) {
                 Message ack;
                 ack.type = MessageType::kWriteAck;
@@ -422,7 +547,7 @@ void UdpAgentServer::SessionLoop(UdpSocket* socket, uint32_t handle) {
             break;  // data before announce: client's query will resynchronize
           }
           if (it->second.reassembler->Accept(m).ok()) {
-            commit_if_complete(m.request_id, it->second, client);
+            commit_if_complete(m.request_id, it->second, client, trace);
           }
           // Bound session memory: drop committed requests once a newer request
           // id appears (duplicated ACKs are regenerated from the query path).
@@ -480,14 +605,53 @@ void UdpAgentServer::SessionLoop(UdpSocket* socket, uint32_t handle) {
         default:
           break;
       }
+      if (trace != nullptr) {
+        const uint64_t handler_end_ns = FlightRecorder::NowNs();
+        const uint64_t handler_ns = handler_end_ns - handler_begin_ns;
+        const uint64_t store_ns = trace->store_ns - store_before_ns;
+        trace->service_ns += handler_ns > store_ns ? handler_ns - store_ns : 0;
+        trace->span.end_ns = handler_end_ns;
+      }
       if (closing) {
         break;
       }
     }
     if (!replies.empty()) {
+      const uint64_t flush_begin_ns = touched.empty() ? 0 : FlightRecorder::NowNs();
       FlushReplies(*socket, replies, batch_limit);
+      if (!touched.empty()) {
+        // Charge the batch's reply flush to every traced request it served;
+        // the intervals overlap, which the timeline's union-based attribution
+        // handles (replies for concurrent requests really do share syscalls).
+        const uint64_t flush_end_ns = FlightRecorder::NowNs();
+        for (uint32_t request_id : touched) {
+          auto it = traces.find(request_id);
+          if (it == traces.end()) {
+            continue;
+          }
+          it->second.reply_ns += flush_end_ns - flush_begin_ns;
+          if (it->second.reply_start_ns == 0) {
+            it->second.reply_start_ns = flush_begin_ns;
+          }
+          it->second.span.end_ns = flush_end_ns;
+        }
+      }
+    }
+    // Bound span-aggregation memory the same way `writes` is bounded: once
+    // the map outgrows the in-flight window, ship everything except the
+    // requests this batch touched (they may still be receiving datagrams).
+    if (traces.size() > 32) {
+      for (auto it = traces.begin(); it != traces.end();) {
+        if (std::find(touched.begin(), touched.end(), it->first) == touched.end()) {
+          submit_trace(it->second);
+          it = traces.erase(it);
+        } else {
+          ++it;
+        }
+      }
     }
   }
+  submit_all_traces();
 }
 
 }  // namespace swift

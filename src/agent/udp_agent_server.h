@@ -102,7 +102,7 @@ class UdpAgentServer {
   };
 
   void ShardLoop(Shard* shard);
-  void SessionLoop(UdpSocket* socket, uint32_t handle);
+  void SessionLoop(UdpSocket* socket, uint32_t handle, uint32_t shard_index);
   void HandleOpen(Shard* shard, const Message& request, const UdpEndpoint& client,
                   std::vector<OutgoingDatagram>& replies);
 

@@ -10,6 +10,7 @@
 #include <cstring>
 
 #include "src/util/metrics.h"
+#include "src/util/trace.h"
 
 // recvmmsg/sendmmsg are Linux syscalls; everywhere else (and for batches of
 // one, the measured per-datagram baseline) the same API degrades to one
@@ -514,11 +515,13 @@ Result<size_t> UdpSocket::RecvGroTrain(int timeout_ms) {
   const bool kernel_truncated = (msg.msg_flags & MSG_TRUNC) != 0;
   const UdpEndpoint from = UdpEndpoint::FromSockaddr(addr);
   Metrics().recv_batch_size->Record(static_cast<double>(count));
+  const uint64_t recv_ns = FlightRecorder::NowNs();
   for (size_t i = 0; i < count; ++i) {
     const size_t offset = i * stride;
     ReceivedDatagram d;
     d.data = recv_arena_.Slice(base + offset, std::min(stride, len - offset));
     d.from = from;
+    d.recv_ns = recv_ns;
     // The slot fits any UDP datagram, so kernel truncation is out of the
     // picture in practice — but a single datagram over the protocol's
     // per-datagram limit must surface exactly as it did when the 16 KiB
@@ -600,6 +603,7 @@ Result<UdpSocket::ReceivedDatagram> UdpSocket::RecvFrom(int timeout_ms) {
   // Keep successive datagrams' payloads 8-byte aligned within the block.
   recv_arena_used_ += Align8(static_cast<size_t>(n));
   out.from = UdpEndpoint::FromSockaddr(addr);
+  out.recv_ns = FlightRecorder::NowNs();
   return out;
 }
 
@@ -695,10 +699,12 @@ Result<size_t> UdpSocket::RecvBatch(int timeout_ms, size_t max_batch,
     }
     Metrics().recv_batch_size->Record(static_cast<double>(n));
     out.reserve(static_cast<size_t>(n));
+    const uint64_t recv_ns = FlightRecorder::NowNs();
     for (int i = 0; i < n; ++i) {
       ReceivedDatagram d;
       d.data = recv_arena_.Slice(base + static_cast<size_t>(i) * kMaxDatagram, hdrs[i].msg_len);
       d.from = UdpEndpoint::FromSockaddr(addrs[i]);
+      d.recv_ns = recv_ns;
       d.truncated = (hdrs[i].msg_hdr.msg_flags & MSG_TRUNC) != 0;
       if (d.truncated) {
         Metrics().truncated_datagrams->Increment();

@@ -111,18 +111,66 @@ class UdpTransport::Reactor {
   // datagrams and timeout expirations.
   class PendingOp {
    public:
-    PendingOp(Reactor* reactor, SessionPtr session, uint32_t request_id)
+    // The constructor runs on the submitting thread: it captures the caller's
+    // ambient trace context (becoming a child span), or — when the submit is
+    // untraced and tracing is on — starts a fresh root trace for this op.
+    // Introspection ops (stats/trace pulls) pass traced=false so observing
+    // the system does not add spans to it.
+    PendingOp(Reactor* reactor, SessionPtr session, uint32_t request_id, bool traced = true)
         : reactor_(reactor),
           session_(std::move(session)),
           request_id_(request_id),
           timeout_ms_(reactor_->policy_.FirstTimeout()) {
       FlightRecorder::Global().Record(TraceEventKind::kOpStart, request_id_);
+      if (traced && GetTraceMode() != TraceMode::kOff) {
+        TraceContext parent = CurrentTraceContext();
+        if (!parent.present()) {
+          parent = NewRootContext();
+        }
+        // Only sampled traces materialize per-op spans and ride the wire.
+        // Unsampled roots still got measured by their creator (root latency
+        // histogram, tail threshold), but skip per-op detail — that skip is
+        // what keeps sampled mode within the ≤5% overhead budget.
+        if (parent.sampled()) {
+          span_.trace_id = parent.trace_id;
+          span_.parent_span_id = parent.parent_span_id;
+          span_.span_id = NextSpanId();
+          span_.node = TraceNodeId();
+          span_.request_id = request_id_;
+          span_.sampled = parent.sampled();
+          span_.start_ns = FlightRecorder::NowNs();
+          trace_flags_ = parent.flags;
+        }
+      }
     }
     virtual ~PendingOp() = default;
 
     uint32_t request_id() const { return request_id_; }
     const Session* session() const { return session_.get(); }
     Clock::time_point deadline() const { return deadline_; }
+
+    // Reactor thread, just before Start(): closes the client-queue stage
+    // (submit → reactor pickup).
+    void NotePickup() {
+      if (span_.trace_id == 0) {
+        return;
+      }
+      pickup_ns_ = FlightRecorder::NowNs();
+      span_.events.push_back(
+          SpanEvent{SpanStage::kClientQueue, span_.start_ns, pickup_ns_ - span_.start_ns, 0});
+    }
+
+    // Reactor thread, right after the flush that carried this op's opening
+    // burst to the kernel: closes the send-flush stage. The wire stage opens
+    // here and is closed by RecordDone.
+    void NoteFlushed(uint64_t flushed_ns) {
+      if (span_.trace_id == 0) {
+        return;
+      }
+      flush_ns_ = flushed_ns;
+      span_.events.push_back(
+          SpanEvent{SpanStage::kSendFlush, pickup_ns_, flushed_ns - pickup_ns_, 0});
+    }
 
     // Sends the op's opening datagram burst. Returns true when the op
     // finished immediately (send failure → completion already invoked).
@@ -136,6 +184,13 @@ class UdpTransport::Reactor {
 
    protected:
     UdpTransport* transport() const { return reactor_->transport_; }
+
+    // Context stamped into this op's outgoing messages: the op's own span is
+    // the remote side's parent.
+    TraceContext message_context() const {
+      return TraceContext{span_.trace_id, span_.span_id, trace_flags_};
+    }
+    void Stamp(Message& m) const { m.trace = message_context(); }
 
     Status Send(const Message& m) {
       if (!session_->socket.valid()) {
@@ -157,6 +212,12 @@ class UdpTransport::Reactor {
       Metrics().retransmissions->Increment();
       FlightRecorder::Global().Record(TraceEventKind::kOpRetry, request_id_,
                                       static_cast<uint32_t>(timeouts_));
+      // A retransmit is a child event of the op's span — the same trace id
+      // rides the re-sent datagram; no new trace begins.
+      if (span_.trace_id != 0) {
+        span_.events.push_back(SpanEvent{SpanStage::kRetransmit, FlightRecorder::NowNs(), 0,
+                                         static_cast<uint32_t>(timeouts_)});
+      }
       return Send(m);
     }
     void ArmDeadline() { deadline_ = Clock::now() + std::chrono::milliseconds(timeout_ms_); }
@@ -185,8 +246,10 @@ class UdpTransport::Reactor {
 
     // Registry + flight-recorder bookkeeping shared by every op's Finish:
     // records the op latency and a completion (arg = latency µs) or failure
-    // (arg = status code) trace event.
-    void RecordDone(HistogramMetric* latency_us, bool ok, StatusCode code) {
+    // (arg = status code) trace event, then closes and submits the op's span
+    // (the wire stage spans flush → completion, so from the client's side it
+    // covers the network plus everything the remote did).
+    void RecordDone(HistogramMetric* latency_us, bool ok, StatusCode code, MessageType op) {
       const double us = std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
                             Clock::now() - started_)
                             .count();
@@ -197,6 +260,17 @@ class UdpTransport::Reactor {
         FlightRecorder::Global().Record(TraceEventKind::kOpFail, request_id_,
                                         static_cast<uint32_t>(code));
       }
+      if (span_.trace_id != 0) {
+        span_.end_ns = FlightRecorder::NowNs();
+        span_.op = static_cast<uint8_t>(op);
+        span_.status = static_cast<uint32_t>(code);
+        if (flush_ns_ != 0 && span_.end_ns > flush_ns_) {
+          span_.events.push_back(
+              SpanEvent{SpanStage::kWire, flush_ns_, span_.end_ns - flush_ns_, 0});
+        }
+        SpanStore::Global().Submit(std::move(span_));
+        span_ = Span{};  // RecordDone runs once, but keep reuse harmless
+      }
     }
 
     Reactor* reactor_;
@@ -206,6 +280,14 @@ class UdpTransport::Reactor {
     int timeouts_ = 0;  // consecutive timeouts since last progress
     Clock::time_point deadline_{};
     Clock::time_point started_ = Clock::now();
+
+    // Span state. trace_id == 0 ⇒ this op is untraced and every hook above
+    // is a no-op. Mutated on the submitting thread (constructor) and the
+    // reactor thread afterwards; the inbox mutex orders the handoff.
+    Span span_;
+    uint32_t trace_flags_ = 0;
+    uint64_t pickup_ns_ = 0;
+    uint64_t flush_ns_ = 0;
   };
 
   // Control RPC (OPEN/STAT/TRUNCATE/CLOSE/REMOVE): one request datagram,
@@ -219,7 +301,9 @@ class UdpTransport::Reactor {
         : PendingOp(reactor, std::move(session), request.request_id),
           request_(std::move(request)),
           want_types_(std::move(want_types)),
-          done_(std::move(done)) {}
+          done_(std::move(done)) {
+      Stamp(request_);
+    }
 
     bool Start() override {
       Status sent = Send(request_);
@@ -262,7 +346,7 @@ class UdpTransport::Reactor {
    private:
     bool Finish(Result<Message> result) {
       transport()->AccountOpDone(result.ok());
-      RecordDone(Metrics().rpc_us, result.ok(), result.status().code());
+      RecordDone(Metrics().rpc_us, result.ok(), result.status().code(), request_.type);
       done_(std::move(result));
       return true;
     }
@@ -366,6 +450,7 @@ class UdpTransport::Reactor {
       m.read_length = static_cast<uint32_t>(std::min<uint64_t>(
           kMaxPacketPayload, length_ - static_cast<uint64_t>(seq) * kMaxPacketPayload));
       m.window = static_cast<uint16_t>(reactor_->read_window_);
+      Stamp(m);
       return m;
     }
 
@@ -387,7 +472,7 @@ class UdpTransport::Reactor {
     // op's failure. Dispatches to whichever completion mode was armed.
     bool Finish(Status status) {
       transport()->AccountOpDone(status.ok());
-      RecordDone(Metrics().read_us, status.ok(), status.code());
+      RecordDone(Metrics().read_us, status.ok(), status.code(), MessageType::kReadReq);
       if (slice_done_) {
         if (status.ok()) {
           slice_done_(reassembler_.TakeSlice());
@@ -428,8 +513,12 @@ class UdpTransport::Reactor {
       announce_.read_length = static_cast<uint32_t>(data.size());
       announce_.total = static_cast<uint16_t>(packets_.size());
       announce_.window = 0;
+      Stamp(announce_);
       query_ = announce_;
       query_.window = 1;
+      for (Message& packet : packets_) {
+        Stamp(packet);
+      }
     }
 
     bool Start() override {
@@ -498,7 +587,7 @@ class UdpTransport::Reactor {
    private:
     bool Finish(Status status) {
       transport()->AccountOpDone(status.ok());
-      RecordDone(Metrics().write_us, status.ok(), status.code());
+      RecordDone(Metrics().write_us, status.ok(), status.code(), MessageType::kWriteData);
       done_(std::move(status));
       return true;
     }
@@ -508,6 +597,93 @@ class UdpTransport::Reactor {
     Message query_;
     std::vector<Message> packets_;
     WriteCompletion done_;
+  };
+
+  // Multi-packet reply collector for the bulk introspection pulls (STATS,
+  // TRACE): one request datagram, answered by a packetized reply whose
+  // payload is reassembled by (seq, total). A timeout re-sends the request;
+  // the server regenerates its snapshot, so if `total` changes the partial
+  // collection is discarded and restarted — mixing two renderings would
+  // corrupt the stream. Untraced by design (observing must not add spans).
+  class CollectOp : public PendingOp {
+   public:
+    using Completion = std::function<void(Result<std::vector<uint8_t>>)>;
+
+    CollectOp(Reactor* reactor, SessionPtr session, Message request, MessageType reply_type,
+              Completion done)
+        : PendingOp(reactor, std::move(session), request.request_id, /*traced=*/false),
+          request_(std::move(request)),
+          reply_type_(reply_type),
+          done_(std::move(done)) {}
+
+    bool Start() override {
+      Status sent = Send(request_);
+      if (!sent.ok()) {
+        return Finish(std::move(sent));
+      }
+      ArmDeadline();
+      return false;
+    }
+
+    bool OnMessage(const Message& m) override {
+      if (m.type == MessageType::kError) {
+        return Finish(StatusFromWire(m.status_code, MessageTypeName(request_.type)));
+      }
+      if (m.type != reply_type_) {
+        return false;
+      }
+      if (m.status_code != 0) {
+        return Finish(StatusFromWire(m.status_code, MessageTypeName(request_.type)));
+      }
+      NoteProgress(/*reset_backoff=*/true);
+      if (m.total != total_) {
+        parts_.clear();  // a re-request produced a fresh snapshot
+        total_ = m.total;
+      }
+      if (m.seq < total_) {
+        parts_.emplace(m.seq, std::vector<uint8_t>(m.payload.begin(), m.payload.end()));
+      }
+      if (total_ != 0 && parts_.size() == total_) {
+        std::vector<uint8_t> bytes;
+        for (auto& [seq, part] : parts_) {
+          bytes.insert(bytes.end(), part.begin(), part.end());
+        }
+        return Finish(std::move(bytes));
+      }
+      ArmDeadline();
+      return false;
+    }
+
+    bool OnTimeout() override {
+      if (BudgetExhausted()) {
+        return Finish(UnavailableError("node unreachable (no reply to " +
+                                       std::string(MessageTypeName(request_.type)) + ")"));
+      }
+      CountRetry();
+      Backoff();
+      Status sent = Resend(request_);
+      if (!sent.ok()) {
+        return Finish(std::move(sent));
+      }
+      ArmDeadline();
+      return false;
+    }
+
+    void Abort(Status status) override { Finish(std::move(status)); }
+
+   private:
+    bool Finish(Result<std::vector<uint8_t>> result) {
+      transport()->AccountOpDone(result.ok());
+      RecordDone(Metrics().rpc_us, result.ok(), result.status().code(), request_.type);
+      done_(std::move(result));
+      return true;
+    }
+
+    Message request_;
+    MessageType reply_type_;
+    uint16_t total_ = 0;  // 0 until the first reply packet arrives
+    std::map<uint16_t, std::vector<uint8_t>> parts_;
+    Completion done_;
   };
 
   Reactor(UdpTransport* transport, RetryPolicy policy, uint32_t read_window,
@@ -630,6 +806,25 @@ class UdpTransport::Reactor {
     return std::move(*slot);
   }
 
+  // Submits a bulk-collection request (STATS/TRACE) and waits for the fully
+  // reassembled reply payload. Same threading rules as Call.
+  Result<std::vector<uint8_t>> CallCollect(SessionPtr session, Message request,
+                                           MessageType reply_type) {
+    transport_->ops_submitted_.fetch_add(1, std::memory_order_relaxed);
+    std::mutex m;
+    std::condition_variable cv;
+    std::optional<Result<std::vector<uint8_t>>> slot;
+    SubmitOp(std::make_unique<CollectOp>(this, std::move(session), std::move(request), reply_type,
+                                         [&](Result<std::vector<uint8_t>> reply) {
+                                           std::lock_guard<std::mutex> lock(m);
+                                           slot.emplace(std::move(reply));
+                                           cv.notify_all();
+                                         }));
+    std::unique_lock<std::mutex> lock(m);
+    cv.wait(lock, [&] { return slot.has_value(); });
+    return std::move(*slot);
+  }
+
   // Reactor-thread only: appends one encoded datagram to the pending flush
   // list (PendingOp::Send is always invoked on the reactor thread).
   void QueueSend(const SessionPtr& session, OutgoingDatagram dgram) {
@@ -730,10 +925,13 @@ class UdpTransport::Reactor {
       for (const SessionPtr& session : gone) {
         AbortOpsOn(session.get(), "session closed with ops in flight");
       }
+      started_scratch_.clear();
       for (auto& op : fresh) {
+        op->NotePickup();
         if (op->Start()) {
           MarkFinished();
         } else {
+          started_scratch_.push_back(op.get());
           active_[op->request_id()] = std::move(op);
         }
       }
@@ -742,6 +940,14 @@ class UdpTransport::Reactor {
       // plus whatever the previous dispatch round's OnMessage/OnTimeout
       // handlers produced — leaves now, batched per session.
       FlushSends();
+      if (!started_scratch_.empty()) {
+        // The opening bursts just hit the kernel: close the send-flush stage
+        // of every op started this round (its wire stage opens here).
+        const uint64_t flushed_ns = FlightRecorder::NowNs();
+        for (PendingOp* op : started_scratch_) {
+          op->NoteFlushed(flushed_ns);
+        }
+      }
 
       // Poll the wake pipe plus every live session socket, out to the
       // nearest retransmission deadline.
@@ -847,6 +1053,7 @@ class UdpTransport::Reactor {
   std::vector<PendingSend> pending_sends_;
   std::vector<FlushBucket> flush_buckets_;            // scratch, reused per flush
   std::vector<UdpSocket::ReceivedDatagram> recv_scratch_;  // scratch, reused per drain
+  std::vector<PendingOp*> started_scratch_;           // ops started this round
 
   std::thread thread_;
 };
@@ -1102,18 +1309,37 @@ Result<ScrubReport> UdpTransport::Scrub(const std::string& object_name) {
 
 Result<std::string> UdpTransport::FetchStats() {
   // Agent-scoped like Remove: a transient session speaking to the well-known
-  // port.
+  // port. The rendered registry no longer fits one datagram (per-shard and
+  // per-stage metrics overflowed the old 8 KiB single-reply), so the reply is
+  // packetized and reassembled here — never truncated.
   SWIFT_ASSIGN_OR_RETURN(auto session, reactor_->NewSession());
   reactor_->AddSession(session);
   Message request;
   request.type = MessageType::kStats;
   request.request_id = NextRequestId();
-  auto reply = reactor_->Call(session, std::move(request), {MessageType::kStatsReply});
+  auto bytes = reactor_->CallCollect(session, std::move(request), MessageType::kStatsReply);
   reactor_->RemoveSession(session);
-  if (!reply.ok()) {
-    return reply.status();
+  if (!bytes.ok()) {
+    return bytes.status();
   }
-  return std::string(reply->payload.begin(), reply->payload.end());
+  return std::string(bytes->begin(), bytes->end());
+}
+
+Result<std::vector<Span>> UdpTransport::FetchSpans(uint64_t trace_filter) {
+  // Node-scoped like FetchStats: pull the agent's recent spans (optionally
+  // one trace's) over TRACE/TRACE_REPLY.
+  SWIFT_ASSIGN_OR_RETURN(auto session, reactor_->NewSession());
+  reactor_->AddSession(session);
+  Message request;
+  request.type = MessageType::kTrace;
+  request.request_id = NextRequestId();
+  request.size = trace_filter;
+  auto bytes = reactor_->CallCollect(session, std::move(request), MessageType::kTraceReply);
+  reactor_->RemoveSession(session);
+  if (!bytes.ok()) {
+    return bytes.status();
+  }
+  return ParseSpans(*bytes);
 }
 
 void UdpTransport::Drain() { reactor_->Drain(); }

@@ -109,9 +109,14 @@ class UdpTransport : public AgentTransport {
   Result<ScrubReport> Scrub(const std::string& object_name) override;
 
   // Pulls a metrics snapshot (Prometheus-style text) from the agent's
-  // well-known port via the STATS op. Same retry/backoff semantics as the
-  // other control RPCs.
+  // well-known port via the STATS op. The reply arrives packetized and is
+  // reassembled here — the full registry, never truncated. Same
+  // retry/backoff semantics as the other control RPCs.
   Result<std::string> FetchStats();
+
+  // Pulls the agent's recent spans via the TRACE op (packetized like
+  // FetchStats). A nonzero `trace_filter` restricts to that trace id.
+  Result<std::vector<Span>> FetchSpans(uint64_t trace_filter = 0);
 
   void StartRead(uint32_t handle, uint64_t offset, uint64_t length,
                  ReadCompletion done) override;

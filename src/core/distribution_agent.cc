@@ -5,6 +5,7 @@
 
 #include "src/util/logging.h"
 #include "src/util/metrics.h"
+#include "src/util/trace.h"
 
 namespace swift {
 
@@ -121,6 +122,14 @@ void DistributionAgent::OnOpDone(uint32_t column) {
 
 void DistributionAgent::Submit(uint32_t column, AsyncOp op) {
   SWIFT_CHECK(column < columns_.size()) << "column " << column << " out of range";
+  // The op runs on a pool worker; carry the submitter's trace context across
+  // so the transport op it starts joins the submitting request's trace.
+  if (TraceContext context = CurrentTraceContext(); context.present()) {
+    op = [context, inner = std::move(op)](AgentTransport* transport, Completion done) {
+      ScopedTraceContext scope(context);
+      inner(transport, std::move(done));
+    };
+  }
   {
     std::lock_guard<std::mutex> lock(mutex_);
     SWIFT_CHECK(!stopping_);

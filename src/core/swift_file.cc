@@ -4,12 +4,14 @@
 #include <chrono>
 #include <cstring>
 #include <mutex>
+#include <optional>
 
 #include "src/core/parity.h"
 #include "src/proto/message.h"
 #include "src/util/buffer.h"
 #include "src/util/logging.h"
 #include "src/util/metrics.h"
+#include "src/util/trace.h"
 
 namespace swift {
 
@@ -62,6 +64,93 @@ Status Aggregate(const std::vector<Status>& statuses) {
   }
   return first;
 }
+
+// Parity time accumulated on this thread for the enclosing root span.
+// Reconstruction and parity-maintenance run synchronously on the PRead/PWrite
+// caller thread (the XOR folds inside them land on completion threads, but
+// the caller blocks in batch.Wait()), so a thread-local covers the call tree.
+thread_local uint64_t t_parity_ns = 0;
+thread_local uint64_t t_parity_first_ns = 0;
+thread_local uint32_t t_parity_depth = 0;
+
+// Charges the enclosing scope for one parity section. Only the outermost
+// timer records (WriteRowParity may call ReconstructUnitInto — counting both
+// would double-charge the stage).
+class ParityTimer {
+ public:
+  ParityTimer() : active_(CurrentTraceContext().present()) {
+    if (active_ && t_parity_depth++ == 0) {
+      begin_ns_ = FlightRecorder::NowNs();
+    }
+  }
+  ~ParityTimer() {
+    if (!active_) {
+      return;
+    }
+    --t_parity_depth;
+    if (begin_ns_ != 0) {
+      if (t_parity_first_ns == 0) {
+        t_parity_first_ns = begin_ns_;
+      }
+      t_parity_ns += FlightRecorder::NowNs() - begin_ns_;
+    }
+  }
+  ParityTimer(const ParityTimer&) = delete;
+  ParityTimer& operator=(const ParityTimer&) = delete;
+
+ private:
+  bool active_;
+  uint64_t begin_ns_ = 0;
+};
+
+// Root span for one client-visible file operation (label "pread"/"pwrite").
+// Installs the ambient context every transport op spawned below inherits; on
+// destruction folds in the thread's parity time and submits the span. A
+// no-op when an outer trace context already covers this call (nested ops,
+// scrub-triggered repairs) or tracing is off.
+class RootSpanScope {
+ public:
+  RootSpanScope(const char* label, std::atomic<uint64_t>& last_trace_id) {
+    if (CurrentTraceContext().present()) {
+      return;  // part of an enclosing traced operation
+    }
+    TraceContext context = NewRootContext();
+    if (!context.present()) {
+      return;
+    }
+    span_.trace_id = context.trace_id;
+    span_.span_id = NextSpanId();
+    span_.parent_span_id = 0;
+    span_.node = TraceNodeId();
+    span_.sampled = context.sampled();
+    span_.start_ns = FlightRecorder::NowNs();
+    span_.label = label;
+    context.parent_span_id = span_.span_id;
+    t_parity_ns = 0;
+    t_parity_first_ns = 0;
+    scope_.emplace(context);
+    last_trace_id.store(context.trace_id, std::memory_order_relaxed);
+  }
+  ~RootSpanScope() {
+    if (!scope_.has_value()) {
+      return;
+    }
+    scope_.reset();  // restore the ambient context before submitting
+    span_.end_ns = FlightRecorder::NowNs();
+    if (t_parity_ns != 0) {
+      span_.events.push_back({SpanStage::kParity, t_parity_first_ns, t_parity_ns, 0});
+      t_parity_ns = 0;
+      t_parity_first_ns = 0;
+    }
+    SpanStore::Global().Submit(std::move(span_));
+  }
+  RootSpanScope(const RootSpanScope&) = delete;
+  RootSpanScope& operator=(const RootSpanScope&) = delete;
+
+ private:
+  Span span_;
+  std::optional<ScopedTraceContext> scope_;
+};
 
 }  // namespace
 
@@ -268,6 +357,7 @@ Result<uint64_t> SwiftFile::PRead(uint64_t offset, std::span<uint8_t> out) {
     return static_cast<uint64_t>(0);
   }
   const uint64_t length = std::min<uint64_t>(out.size(), size_ - offset);
+  RootSpanScope trace_root("pread", last_trace_id_);
   // A read that starts with failed columns exercises the reconstruction
   // path; bucket it separately so degraded-mode latency is visible.
   const bool degraded = failed_count_.load() > 0;
@@ -288,6 +378,7 @@ Result<uint64_t> SwiftFile::PWrite(uint64_t offset, std::span<const uint8_t> dat
   if (data.empty()) {
     return static_cast<uint64_t>(0);
   }
+  RootSpanScope trace_root("pwrite", last_trace_id_);
   const auto start = std::chrono::steady_clock::now();
   SWIFT_RETURN_IF_ERROR(WriteRange(offset, data));
   Metrics().write_us->Record(ElapsedUs(start));
@@ -483,6 +574,7 @@ Status SwiftFile::ReconstructUnitInto(uint64_t row, uint32_t lost_column,
   if (layout_.config().parity == ParityMode::kNone) {
     return UnavailableError("cannot reconstruct without parity");
   }
+  ParityTimer parity_timer;
   const uint64_t unit = layout_.config().stripe_unit;
   SWIFT_CHECK(out.size() == unit) << "reconstruction target must be one stripe unit";
   const uint64_t row_offset = row * unit;
@@ -676,7 +768,10 @@ Status SwiftFile::WriteFullRows(const std::vector<uint64_t>& rows, uint64_t base
       sources.push_back(row_data.subspan(static_cast<size_t>(c) * unit, unit));
     }
     std::span<uint8_t> parity_unit = parity_arena.span().subspan(r * unit, unit);
-    ComputeParityInto(parity_unit, sources);
+    {
+      ParityTimer parity_timer;
+      ComputeParityInto(parity_unit, sources);
+    }
 
     for (uint32_t c = 0; c < layout_.config().DataAgentsPerRow(); ++c) {
       const UnitLocation loc = layout_.Locate(row_start + static_cast<uint64_t>(c) * unit);
@@ -695,6 +790,7 @@ Status SwiftFile::WriteFullRows(const std::vector<uint64_t>& rows, uint64_t base
 
 Status SwiftFile::WriteRowParity(uint64_t row, uint64_t row_write_start, uint64_t row_write_end,
                                  uint64_t base_offset, std::span<const uint8_t> data) {
+  ParityTimer parity_timer;
   const uint64_t unit = layout_.config().stripe_unit;
   const UnitLocation parity_loc = layout_.ParityLocation(row);
   const bool parity_agent_failed = ColumnFailed(parity_loc.agent);

@@ -111,6 +111,9 @@ class SwiftFile {
   // Columns currently marked failed (kUnavailable seen).
   std::vector<uint32_t> failed_columns() const;
   bool degraded() const { return failed_count_.load() > 0; }
+  // Trace id of the most recent PRead/PWrite that opened a root span (0 if
+  // none yet, or tracing is off) — what `swift_cli trace <id>` queries.
+  uint64_t last_trace_id() const { return last_trace_id_.load(std::memory_order_relaxed); }
 
   // Tests and examples: force a column into the failed state without waiting
   // for a transport error.
@@ -193,6 +196,7 @@ class SwiftFile {
   std::vector<std::atomic<bool>> open_;
   std::vector<std::atomic<bool>> failed_;
   std::atomic<uint32_t> failed_count_{0};
+  std::atomic<uint64_t> last_trace_id_{0};
   uint64_t size_ = 0;
   uint64_t cursor_ = 0;
   bool closed_ = false;

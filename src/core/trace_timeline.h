@@ -1,0 +1,56 @@
+// Merging distributed spans into one causal timeline.
+//
+// Every process records spans against its own trace epoch (a steady clock
+// started at an arbitrary instant), so raw timestamps from two nodes are not
+// comparable. What IS shared is causality: a remote span's parent lives on
+// the requesting node, and the child executes inside the parent's lifetime.
+// BuildTraceTimeline exploits that to align clocks: for every cross-node
+// parent→child edge it assumes the child's midpoint coincides with the
+// parent's midpoint (the symmetric-delay assumption classic offset estimators
+// make), averages the implied offset over all edges into each node, and
+// shifts that node's spans onto the root's clock.
+//
+// The rendered timeline lists spans in causal (depth-first, start-ordered)
+// order with per-stage events, then attributes the root's duration to named
+// stages: the union of aligned stage intervals clipped to the root window,
+// as a percentage of the root's duration. A healthy trace attributes ≥95%
+// of client-observed latency; a large unattributed gap means a stage is
+// missing instrumentation.
+
+#ifndef SWIFT_SRC_CORE_TRACE_TIMELINE_H_
+#define SWIFT_SRC_CORE_TRACE_TIMELINE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+#include "src/util/trace.h"
+
+namespace swift {
+
+struct TraceTimeline {
+  uint64_t trace_id = 0;
+  size_t span_count = 0;  // spans of this trace that were merged
+  size_t node_count = 0;  // distinct recording nodes
+  // Percentage of the root span's duration covered by the union of named
+  // stage intervals (0..100). The "≥95% attributed" acceptance bar.
+  double attributed_pct = 0;
+  // Total aligned stage time per stage name, for the per-hop breakdown.
+  // (Sums can exceed the root duration: concurrent shards overlap.)
+  std::vector<std::pair<std::string, uint64_t>> stage_totals_ns;
+  // Human-readable rendering: merged causal timeline + per-hop breakdown +
+  // the attribution line.
+  std::string text;
+};
+
+// Merges `spans` (from any number of nodes, any order, other traces allowed —
+// they are filtered out) into the timeline of `trace_id`. With trace_id == 0,
+// picks the trace of the latest-starting root span present. Fails
+// kNotFound when no span of the trace exists and kInvalidArgument when the
+// trace has no root span (the client process's spans were not collected).
+Result<TraceTimeline> BuildTraceTimeline(const std::vector<Span>& spans, uint64_t trace_id);
+
+}  // namespace swift
+
+#endif  // SWIFT_SRC_CORE_TRACE_TIMELINE_H_

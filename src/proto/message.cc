@@ -11,10 +11,17 @@ namespace {
 
 constexpr uint16_t kMagic = 0x5357;  // "SW"
 constexpr uint8_t kVersion = 1;
+// Bit 7 of the version byte flags a header-extension block (trace context);
+// the low 7 bits stay the protocol version.
+constexpr uint8_t kVersionMask = 0x7F;
+constexpr uint8_t kExtensionFlag = 0x80;
 
 // magic + version + type + handle + request + seq + total + offset +
 // payload length + payload crc.
 constexpr size_t kFixedHeaderBytes = 2 + 1 + 1 + 4 + 4 + 2 + 2 + 8 + 4 + 4;
+
+// ext_len + trace_id + parent_span_id + flags.
+constexpr size_t kTraceExtensionBytes = 2 + 8 + 4 + 4;
 
 // Exact byte count of the type-specific fields, so Encode/EncodeParts can
 // pre-size their output and never regrow.
@@ -55,6 +62,10 @@ size_t TypeFieldBytes(const Message& m) {
       return 8 + 2;
     case MessageType::kScrubReply:
       return 4 + 8;
+    case MessageType::kTrace:
+      return 8;
+    case MessageType::kTraceReply:
+      return 4;
     default:
       return 0;
   }
@@ -134,14 +145,20 @@ const char* MessageTypeName(MessageType type) {
       return "SCRUB";
     case MessageType::kScrubReply:
       return "SCRUB_REPLY";
+    case MessageType::kTrace:
+      return "TRACE";
+    case MessageType::kTraceReply:
+      return "TRACE_REPLY";
   }
   return "UNKNOWN";
 }
 
 Message::Encoded Message::EncodeParts() const {
-  WireWriter w(kFixedHeaderBytes + TypeFieldBytes(*this));
+  const bool traced = trace.present();
+  WireWriter w(kFixedHeaderBytes + (traced ? kTraceExtensionBytes : 0) +
+               TypeFieldBytes(*this));
   w.PutU16(kMagic);
-  w.PutU8(kVersion);
+  w.PutU8(traced ? static_cast<uint8_t>(kVersion | kExtensionFlag) : kVersion);
   w.PutU8(static_cast<uint8_t>(type));
   w.PutU32(handle);
   w.PutU32(request_id);
@@ -150,6 +167,12 @@ Message::Encoded Message::EncodeParts() const {
   w.PutU64(offset);
   w.PutU32(static_cast<uint32_t>(payload.size()));
   w.PutU32(Crc32(payload.span()));
+  if (traced) {
+    w.PutU16(static_cast<uint16_t>(kTraceExtensionBytes - 2));
+    w.PutU64(trace.trace_id);
+    w.PutU32(trace.parent_span_id);
+    w.PutU32(trace.flags);
+  }
 
   switch (type) {
     case MessageType::kOpen:
@@ -212,6 +235,12 @@ Message::Encoded Message::EncodeParts() const {
       w.PutU32(status_code);
       w.PutU64(size);  // blocks checked
       break;
+    case MessageType::kTrace:
+      w.PutU64(size);  // trace id filter (0 = all)
+      break;
+    case MessageType::kTraceReply:
+      w.PutU32(status_code);
+      break;
     default:
       break;
   }
@@ -236,12 +265,13 @@ Result<Message> Message::Decode(const BufferSlice& datagram) {
   if (r.GetU16() != kMagic) {
     return InvalidArgumentError("bad magic");
   }
-  if (r.GetU8() != kVersion) {
+  const uint8_t version_byte = r.GetU8();
+  if ((version_byte & kVersionMask) != kVersion) {
     return InvalidArgumentError("unsupported protocol version");
   }
   Message m;
   const uint8_t raw_type = r.GetU8();
-  if (raw_type < 1 || raw_type > static_cast<uint8_t>(MessageType::kScrubReply)) {
+  if (raw_type < 1 || raw_type > static_cast<uint8_t>(MessageType::kTraceReply)) {
     return InvalidArgumentError("unknown message type");
   }
   m.type = static_cast<MessageType>(raw_type);
@@ -252,6 +282,20 @@ Result<Message> Message::Decode(const BufferSlice& datagram) {
   m.offset = r.GetU64();
   const uint32_t payload_length = r.GetU32();
   const uint32_t payload_crc = r.GetU32();
+
+  if ((version_byte & kExtensionFlag) != 0) {
+    // Self-describing extension block: parse the trace context we know,
+    // skip any bytes a newer sender appended.
+    const uint16_t ext_len = r.GetU16();
+    if (ext_len >= kTraceExtensionBytes - 2) {
+      m.trace.trace_id = r.GetU64();
+      m.trace.parent_span_id = r.GetU32();
+      m.trace.flags = r.GetU32();
+      r.GetBytes(ext_len - (kTraceExtensionBytes - 2));
+    } else {
+      r.GetBytes(ext_len);  // too short to carry a context; ignore
+    }
+  }
 
   switch (m.type) {
     case MessageType::kOpen:
@@ -315,6 +359,12 @@ Result<Message> Message::Decode(const BufferSlice& datagram) {
     case MessageType::kScrubReply:
       m.status_code = r.GetU32();
       m.size = r.GetU64();
+      break;
+    case MessageType::kTrace:
+      m.size = r.GetU64();
+      break;
+    case MessageType::kTraceReply:
+      m.status_code = r.GetU32();
       break;
     default:
       break;

@@ -21,6 +21,19 @@
 //   crc       u32   CRC-32 of the payload
 //
 // followed by type-specific fields and the payload. Integers are big-endian.
+//
+// Header extension (distributed tracing): when bit 7 of the version byte is
+// set, a self-describing extension block follows the fixed header (before
+// the type-specific fields):
+//
+//   ext_len       u16   byte count of the extension body (16 today)
+//   trace_id      u64   causal trace identity (never 0 when present)
+//   parent_span   u32   sender's span id (the receiver's parent)
+//   flags         u32   bit 0 = sampled
+//
+// Messages without a trace context are encoded without the extension and are
+// byte-identical to the pre-trace wire format; decoders skip extension bytes
+// beyond the 16 they understand, so the block can grow compatibly.
 
 #ifndef SWIFT_SRC_PROTO_MESSAGE_H_
 #define SWIFT_SRC_PROTO_MESSAGE_H_
@@ -32,6 +45,7 @@
 
 #include "src/util/buffer.h"
 #include "src/util/status.h"
+#include "src/util/trace.h"
 
 namespace swift {
 
@@ -94,6 +108,12 @@ enum class MessageType : uint8_t {
   kScrubReply = 35,       // agent → client: status; size = blocks checked; payload
                           //   = (u64 offset, u64 length) per corrupt range, plus a
                           //   trailing truncation flag (see docs/PROTOCOL.md)
+
+  // --- distributed tracing (well-known agent/mediator port) ---
+  kTrace = 36,            // client → node: pull recent spans; size = trace id
+                          //   filter (0 = all recent spans)
+  kTraceReply = 37,       // node → client: status; payload = serialized span
+                          //   stream, packetized across seq/total datagrams
 };
 
 const char* MessageTypeName(MessageType type);
@@ -121,6 +141,11 @@ struct Message {
   uint16_t window = 0;                // kReadReq: packets in flight; kWriteReq: announce/query
   double rate = 0;                    // kRegisterAgent: capacity (bytes/s);
                                       // kHeartbeat: current load (IEEE-754 bits on the wire)
+
+  // Distributed-tracing context; carried as a flagged header extension when
+  // trace.present() (see file comment). Absent contexts leave the wire
+  // byte-identical to the pre-trace format.
+  TraceContext trace;
 
   BufferSlice payload;                // kData/kWriteData; shared view, never copied
 

@@ -17,8 +17,13 @@ uint32_t PacketCountFor(uint64_t length, uint32_t max_payload) {
 std::vector<Message> SplitIntoPackets(MessageType type, uint32_t handle, uint32_t request_id,
                                       uint64_t base_offset, const BufferSlice& data,
                                       uint32_t max_payload) {
-  SWIFT_CHECK(type == MessageType::kData || type == MessageType::kWriteData);
-  const uint32_t total = PacketCountFor(data.size(), max_payload);
+  SWIFT_CHECK(type == MessageType::kData || type == MessageType::kWriteData ||
+              type == MessageType::kStatsReply || type == MessageType::kTraceReply);
+  // Bulk replies (stats/trace) must still answer an empty snapshot, so they
+  // ship one empty packet instead of none.
+  const uint32_t total = std::max<uint32_t>(
+      PacketCountFor(data.size(), max_payload),
+      type == MessageType::kStatsReply || type == MessageType::kTraceReply ? 1 : 0);
   SWIFT_CHECK(total <= UINT16_MAX) << "transfer too large for 16-bit seq space";
   std::vector<Message> packets;
   packets.reserve(total);

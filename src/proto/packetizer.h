@@ -19,10 +19,12 @@
 
 namespace swift {
 
-// Splits `data` (logically at `base_offset`) into kData or kWriteData
-// packets. `total` across the packets is the packet count; seq runs 0..n-1.
-// Each packet's payload is a sub-slice of `data` — no bytes are copied, and
-// the packets keep the underlying block alive (retransmission-safe).
+// Splits `data` (logically at `base_offset`) into kData, kWriteData,
+// kStatsReply, or kTraceReply packets. `total` across the packets is the
+// packet count; seq runs 0..n-1 (bulk replies ship one empty packet when
+// `data` is empty, so the requester still gets an answer). Each packet's
+// payload is a sub-slice of `data` — no bytes are copied, and the packets
+// keep the underlying block alive (retransmission-safe).
 std::vector<Message> SplitIntoPackets(MessageType type, uint32_t handle, uint32_t request_id,
                                       uint64_t base_offset, const BufferSlice& data,
                                       uint32_t max_payload = kMaxPacketPayload);

@@ -64,6 +64,29 @@ $CLI stats > "$WORK/stats_all.txt"
 [ "$(grep -c '^=== agent' "$WORK/stats_all.txt")" = 3 ] \
   || { echo "FAIL: stats fan-out over all agents"; exit 1; }
 
+# ---- distributed tracing ----------------------------------------------------
+# A traced get prints its trace id; `trace <id>` then pulls spans from every
+# agent (TRACE op), merges them with the client's own spans (--trace-in), and
+# must attribute >= 95% of the client-observed latency to named stages.
+$CLI --trace-mode=all --trace-out="$WORK/client.spans" get archive "$WORK/tcopy.bin" \
+    > "$WORK/traced_get.txt"
+cmp "$WORK/original.bin" "$WORK/tcopy.bin" || { echo "FAIL: traced get differs"; exit 1; }
+TRACE_ID=$(grep -o '0x[0-9a-f]*' "$WORK/traced_get.txt" | head -1)
+[ -n "$TRACE_ID" ] \
+  || { echo "FAIL: traced get printed no trace id"; cat "$WORK/traced_get.txt"; exit 1; }
+sleep 0.5  # agent session loops ship aggregated spans on their next idle poll
+$CLI_BIN --agents=$PORTS --trace-in="$WORK/client.spans" trace "$TRACE_ID" \
+    > "$WORK/timeline.txt" \
+  || { echo "FAIL: trace query"; cat "$WORK/timeline.txt"; exit 1; }
+grep -q "^trace 0x" "$WORK/timeline.txt" \
+  || { echo "FAIL: no merged timeline header"; cat "$WORK/timeline.txt"; exit 1; }
+grep -q "node:" "$WORK/timeline.txt" \
+  || { echo "FAIL: timeline has no remote spans"; cat "$WORK/timeline.txt"; exit 1; }
+ATTR=$(grep -o 'attributed [0-9.]*' "$WORK/timeline.txt" | awk '{print $2}')
+[ -n "$ATTR" ] || { echo "FAIL: no attribution line"; cat "$WORK/timeline.txt"; exit 1; }
+awk -v a="$ATTR" 'BEGIN { exit !(a >= 95.0) }' \
+  || { echo "FAIL: only ${ATTR}% of latency attributed"; cat "$WORK/timeline.txt"; exit 1; }
+
 # Replace agent 1: wipe its store, rebuild, verify byte-exact.
 rm -f "$WORK/agent1/archive" "$WORK/agent1/archive.crc"
 $CLI rebuild archive 1

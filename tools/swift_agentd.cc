@@ -10,6 +10,7 @@
 //               [--storage-mb=N] [--heartbeat-ms=N] [--durable]
 //               [--no-integrity] [--fault-spec=SPEC]
 //               [--loss=P] [--loss-seed=N] [--shards=N]
+//               [--trace-mode=off|sampled|all]
 //
 // --shards=N serves the well-known port with N SO_REUSEPORT listener
 // sockets, one drain thread (and receive arena, metric shard) per core;
@@ -60,6 +61,7 @@
 #include "src/agent/udp_agent_server.h"
 #include "src/proto/message.h"
 #include "src/util/metrics.h"
+#include "src/util/trace.h"
 #include "src/util/units.h"
 
 namespace {
@@ -193,6 +195,21 @@ int main(int argc, char** argv) {
   if (!status.ok()) {
     std::fprintf(stderr, "cannot start agent: %s\n", status.ToString().c_str());
     return 1;
+  }
+  // The bound port doubles as this node's identity in distributed traces:
+  // unique per process on one host, stable for the life of the daemon.
+  swift::SetTraceNodeId(server.port());
+  if (const char* trace_mode = FlagValue(argc, argv, "--trace-mode")) {
+    if (std::strcmp(trace_mode, "off") == 0) {
+      swift::SetTraceMode(swift::TraceMode::kOff);
+    } else if (std::strcmp(trace_mode, "sampled") == 0) {
+      swift::SetTraceMode(swift::TraceMode::kSampled);
+    } else if (std::strcmp(trace_mode, "all") == 0) {
+      swift::SetTraceMode(swift::TraceMode::kAll);
+    } else {
+      std::fprintf(stderr, "bad --trace-mode (off|sampled|all): %s\n", trace_mode);
+      return 2;
+    }
   }
   std::printf("swift_agentd: serving %s on udp port %u\n", root, server.port());
   std::fflush(stdout);

@@ -7,6 +7,7 @@
 //               [--size=67108864] [--io=1048576] [--pattern=seq|rand]
 //               [--mode=write|read|readwrite] [--seed=1] [--window=4]
 //   swift_bench --scaleout [--size=BYTES] [--json=PATH]
+//   swift_bench --trace-overhead [--size=BYTES] [--json=PATH]
 //
 // --window sets the stripe-unit ops kept in flight per agent (1 = the
 // synchronous stop-and-wait baseline). The object ("bench-object") is
@@ -21,6 +22,11 @@
 // throughput, latency percentiles, copies/byte, and datagrams/sec/core per
 // cell; --json=PATH additionally writes the machine-readable trajectory
 // point ci.sh diffs against the committed BENCH_udp_scaleout.json.
+//
+// --trace-overhead runs the same scale-out cell under each TraceMode (off /
+// sampled / all) and reports per-mode throughput plus overhead relative to
+// tracing-off; --json=PATH writes BENCH_trace_overhead.json, which ci.sh
+// gates at ≤5% sampled-mode overhead.
 
 #include <algorithm>
 #include <atomic>
@@ -43,6 +49,7 @@
 #include "src/util/histogram.h"
 #include "src/util/metrics.h"
 #include "src/util/rng.h"
+#include "src/util/trace.h"
 #include "src/util/units.h"
 
 namespace {
@@ -438,6 +445,173 @@ int RunScaleout(uint64_t size, const char* json_path) {
   return 0;
 }
 
+// ------------------------- trace overhead matrix -----------------------------
+
+// Measures what distributed tracing costs the data path: the scale-out cell
+// (4 agents, 4 shards, batched syscalls) run under each TraceMode. "off"
+// skips span recording entirely, "sampled" is the always-on production
+// default (1-in-16 head sampling + p99 tail), "all" traces every request.
+// The ci.sh gate holds sampled-mode overhead at ≤5% of the off-mode rate.
+struct TraceOverheadCell {
+  const char* name;
+  TraceMode mode;
+  double combined_mbps = 0;  // 2×size over write+read wall time, best of runs
+  uint64_t spans = 0;        // spans one repetition leaves in the store
+};
+
+int RunTraceOverhead(uint64_t size, const char* json_path) {
+  // One live cell — 4 agents, 4 shards, batched syscalls, built once — with
+  // timed write+read phases interleaved round-robin across the modes (off,
+  // sampled, all, off, …) after a discarded warmup. Reusing the same
+  // agents/transports/file for every phase and taking best-of-N per mode
+  // keeps setup cost and scheduler drift out of the comparison; only the
+  // trace mode differs between phases.
+  constexpr int kAgents = 4;
+  constexpr uint64_t kUnit = 16 * 1024;
+  constexpr uint64_t kIo = 1024 * 1024;
+  constexpr uint32_t kWindow = 16;
+  constexpr int kRounds = 16;
+
+  struct Agent {
+    InMemoryBackingStore store;
+    std::unique_ptr<StorageAgentCore> core;
+    std::unique_ptr<UdpAgentServer> server;
+  };
+  std::vector<std::unique_ptr<Agent>> agents;
+  std::vector<std::unique_ptr<UdpTransport>> transports;
+  std::vector<AgentTransport*> raw;
+  for (int i = 0; i < kAgents; ++i) {
+    auto agent = std::make_unique<Agent>();
+    agent->core = std::make_unique<StorageAgentCore>(&agent->store);
+    UdpAgentServer::Options server_options;
+    server_options.shards = 4;
+    server_options.socket_batch = 16;
+    agent->server = std::make_unique<UdpAgentServer>(agent->core.get(), server_options);
+    if (!agent->server->Start().ok()) {
+      return 1;
+    }
+    UdpTransport::Options options;
+    options.max_in_flight_ops = kWindow;
+    options.read_window = 8;
+    options.socket_batch = 16;
+    transports.push_back(std::make_unique<UdpTransport>(agent->server->port(), options));
+    raw.push_back(transports.back().get());
+    agents.push_back(std::move(agent));
+  }
+  TransferPlan plan;
+  plan.object_name = "trace-overhead-bench";
+  plan.stripe.num_agents = kAgents;
+  plan.stripe.stripe_unit = kUnit;
+  plan.stripe.parity = ParityMode::kNone;
+  for (uint32_t i = 0; i < kAgents; ++i) {
+    plan.agent_ids.push_back(i);
+  }
+  ObjectDirectory directory;
+  DistributionAgent::Options io_options;
+  io_options.ops_in_flight = kWindow;
+  auto file = SwiftFile::Create(plan, raw, &directory, io_options);
+  if (!file.ok()) {
+    return 1;
+  }
+
+  Rng rng(1);
+  std::vector<uint8_t> buffer(kIo);
+  for (auto& b : buffer) {
+    b = static_cast<uint8_t>(rng.UniformInt(0, 255));
+  }
+  const uint64_t ops = std::max<uint64_t>(1, size / kIo);
+
+  // One timed phase: the whole object written then read back under `mode`.
+  auto run_phase = [&](TraceMode mode, uint64_t* spans) -> double {
+    SetTraceMode(mode);
+    SpanStore::Global().Reset();
+    const auto t0 = std::chrono::steady_clock::now();
+    for (uint64_t op = 0; op < ops; ++op) {
+      if (!(*file)->PWrite(op * kIo, buffer).ok()) {
+        return 0;
+      }
+    }
+    for (uint64_t op = 0; op < ops; ++op) {
+      if (!(*file)->PRead(op * kIo, buffer).ok()) {
+        return 0;
+      }
+    }
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    if (spans != nullptr) {
+      *spans = SpanStore::Global().Snapshot().size();
+    }
+    return 2.0 * static_cast<double>(ops * kIo) / elapsed / 1e6;
+  };
+
+  TraceOverheadCell cells[] = {
+      {"off", TraceMode::kOff},
+      {"sampled", TraceMode::kSampled},
+      {"all", TraceMode::kAll},
+  };
+  std::printf("swift_bench trace-overhead matrix: 4 agents x 4 shards, %s object, "
+              "best of %d interleaved phases per mode\n",
+              FormatBytes(ops * kIo).c_str(), kRounds);
+  bool failed = run_phase(TraceMode::kOff, nullptr) == 0;  // warmup, discarded
+  for (int round = 0; round < kRounds && !failed; ++round) {
+    for (TraceOverheadCell& cell : cells) {
+      const double mbps = run_phase(cell.mode, &cell.spans);
+      if (mbps == 0) {
+        failed = true;
+        break;
+      }
+      cell.combined_mbps = std::max(cell.combined_mbps, mbps);
+    }
+  }
+  (void)(*file)->Close();
+  SetTraceMode(TraceMode::kSampled);
+  if (failed) {
+    std::fprintf(stderr, "trace-overhead bench failed\n");
+    return 1;
+  }
+
+  const double off = cells[0].combined_mbps;
+  auto overhead_pct = [off](const TraceOverheadCell& cell) {
+    return off > 0 ? 100.0 * (off - cell.combined_mbps) / off : 0.0;
+  };
+  for (const TraceOverheadCell& cell : cells) {
+    std::printf("trace %-8s %8.1f MB/s  overhead %5.1f%%  spans %llu\n", cell.name,
+                cell.combined_mbps, overhead_pct(cell),
+                static_cast<unsigned long long>(cell.spans));
+  }
+
+  if (json_path != nullptr) {
+    std::string json = "{\n  \"bench\": \"trace_overhead\",\n";
+    char line[160];
+    std::snprintf(line, sizeof(line), "  \"object_bytes\": %llu,\n",
+                  static_cast<unsigned long long>(size));
+    json += line;
+    for (const TraceOverheadCell& cell : cells) {
+      std::snprintf(line, sizeof(line), "  \"%s_mbps\": %.2f,\n", cell.name,
+                    cell.combined_mbps);
+      json += line;
+      std::snprintf(line, sizeof(line), "  \"%s_spans\": %llu,\n", cell.name,
+                    static_cast<unsigned long long>(cell.spans));
+      json += line;
+    }
+    std::snprintf(line, sizeof(line), "  \"sampled_overhead_pct\": %.2f,\n",
+                  overhead_pct(cells[1]));
+    json += line;
+    std::snprintf(line, sizeof(line), "  \"all_overhead_pct\": %.2f\n}\n",
+                  overhead_pct(cells[2]));
+    json += line;
+    std::FILE* out = std::fopen(json_path, "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path);
+      return 1;
+    }
+    std::fwrite(json.data(), 1, json.size(), out);
+    std::fclose(out);
+    std::printf("trace overhead point written to %s\n", json_path);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -445,6 +619,11 @@ int main(int argc, char** argv) {
     const uint64_t size = static_cast<uint64_t>(
         std::atoll(FlagValue(argc, argv, "--size", "16777216")));
     return RunScaleout(size, FlagValue(argc, argv, "--json", nullptr));
+  }
+  if (FlagPresent(argc, argv, "--trace-overhead")) {
+    const uint64_t size = static_cast<uint64_t>(
+        std::atoll(FlagValue(argc, argv, "--size", "16777216")));
+    return RunTraceOverhead(size, FlagValue(argc, argv, "--json", nullptr));
   }
   std::vector<uint16_t> ports;
   {

@@ -20,6 +20,18 @@
 //                                           repair corrupt units from parity
 //   stats [PORT]                            pull live metrics from the agents
 //                                           (all of --agents, or just PORT)
+//   trace TRACE_ID                          pull recent spans from every agent
+//                                           (and the mediator, with
+//                                           --mediator=) plus any --trace-in=
+//                                           file, and print one merged causal
+//                                           timeline with per-hop latency
+//
+// Tracing flags (any command):
+//   --trace-mode=off|sampled|all   span recording in this process
+//   --trace-out=FILE               dump this process's spans on exit (get/put
+//                                  print "trace 0x<id>"; feed both to a later
+//                                  `trace` invocation via --trace-in=FILE)
+//   --trace-in=FILE                extra spans for the `trace` command
 //
 // Mediator control plane (needs --mediator=PORT; see swift_mediatord):
 //   session open NAME [--size=BYTES] [--rate-mbps=N] [--parity]
@@ -47,6 +59,8 @@
 #include "src/core/scrub.h"
 #include "src/core/session_handle.h"
 #include "src/core/swift_file.h"
+#include "src/core/trace_timeline.h"
+#include "src/util/trace.h"
 #include "src/util/units.h"
 
 namespace {
@@ -57,6 +71,8 @@ struct Cli {
   std::vector<uint16_t> agent_ports;
   std::string directory_path;
   uint16_t mediator_port = 0;
+  std::string trace_in_path;
+  std::string trace_out_path;
   ObjectDirectory directory;
   std::vector<std::unique_ptr<UdpTransport>> transports;
 
@@ -148,6 +164,7 @@ int CmdPut(Cli& cli, const std::string& name, const std::string& local) {
     total += n;
   }
   std::fclose(in);
+  const uint64_t trace_id = (*file)->last_trace_id();
   if (Status s = (*file)->Close(); !s.ok()) {
     return Fail(s);
   }
@@ -155,6 +172,9 @@ int CmdPut(Cli& cli, const std::string& name, const std::string& local) {
     return Fail(s);
   }
   std::printf("stored %s into '%s'\n", FormatBytes(total).c_str(), name.c_str());
+  if (trace_id != 0) {
+    std::printf("trace 0x%016llx\n", static_cast<unsigned long long>(trace_id));
+  }
   return 0;
 }
 
@@ -195,6 +215,10 @@ int CmdGet(Cli& cli, const std::string& name, const std::string& local) {
   std::fclose(out);
   std::printf("fetched %s from '%s'%s\n", FormatBytes(total).c_str(), name.c_str(),
               (*file)->degraded() ? " (degraded: reconstructed through parity)" : "");
+  if ((*file)->last_trace_id() != 0) {
+    std::printf("trace 0x%016llx\n",
+                static_cast<unsigned long long>((*file)->last_trace_id()));
+  }
   return 0;
 }
 
@@ -317,6 +341,68 @@ int CmdScrub(Cli& cli, const std::string& name) {
               summary->columns_unavailable == 0 && !summary->truncated;
   }
   return healthy ? 0 : 1;
+}
+
+// trace TRACE_ID: pull spans for the trace from every reachable node, merge
+// them with whatever --trace-in supplies (typically the client process's own
+// spans, dumped by get/put --trace-out), and print the causal timeline.
+int CmdTrace(Cli& cli, const std::string& id_text) {
+  const uint64_t trace_id = std::strtoull(id_text.c_str(), nullptr, 0);
+  if (trace_id == 0) {
+    return Fail(InvalidArgumentError("bad trace id '" + id_text + "' (decimal or 0x-hex)"));
+  }
+
+  std::vector<Span> spans = SpanStore::Global().Snapshot(trace_id);
+  if (!cli.trace_in_path.empty()) {
+    std::FILE* in = std::fopen(cli.trace_in_path.c_str(), "rb");
+    if (in == nullptr) {
+      return Fail(IoError("cannot open '" + cli.trace_in_path + "'"));
+    }
+    std::vector<uint8_t> bytes;
+    uint8_t buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), in)) > 0) {
+      bytes.insert(bytes.end(), buf, buf + n);
+    }
+    std::fclose(in);
+    auto parsed = ParseSpans(bytes);
+    if (!parsed.ok()) {
+      return Fail(parsed.status());
+    }
+    for (Span& span : *parsed) {
+      if (span.trace_id == trace_id) {
+        spans.push_back(std::move(span));
+      }
+    }
+  }
+  for (size_t i = 0; i < cli.transports.size(); ++i) {
+    auto fetched = cli.transports[i]->FetchSpans(trace_id);
+    if (!fetched.ok()) {
+      std::fprintf(stderr, "warning: agent :%u spans unavailable: %s\n", cli.agent_ports[i],
+                   fetched.status().ToString().c_str());
+      continue;
+    }
+    spans.insert(spans.end(), std::make_move_iterator(fetched->begin()),
+                 std::make_move_iterator(fetched->end()));
+  }
+  if (cli.mediator_port != 0) {
+    MediatorClient client(cli.mediator_port);
+    auto fetched = client.FetchSpans(trace_id);
+    if (!fetched.ok()) {
+      std::fprintf(stderr, "warning: mediator spans unavailable: %s\n",
+                   fetched.status().ToString().c_str());
+    } else {
+      spans.insert(spans.end(), std::make_move_iterator(fetched->begin()),
+                   std::make_move_iterator(fetched->end()));
+    }
+  }
+
+  auto timeline = BuildTraceTimeline(spans, trace_id);
+  if (!timeline.ok()) {
+    return Fail(timeline.status());
+  }
+  std::printf("%s", timeline->text.c_str());
+  return 0;
 }
 
 std::string PortList(const std::vector<uint16_t>& ports) {
@@ -483,20 +569,43 @@ int main(int argc, char** argv) {
       cli.directory_path = arg.substr(6);
     } else if (arg.rfind("--mediator=", 0) == 0) {
       cli.mediator_port = static_cast<uint16_t>(std::atoi(arg.substr(11).c_str()));
+    } else if (arg.rfind("--trace-in=", 0) == 0) {
+      cli.trace_in_path = arg.substr(11);
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      cli.trace_out_path = arg.substr(12);
+    } else if (arg.rfind("--trace-mode=", 0) == 0) {
+      const std::string mode = arg.substr(13);
+      if (mode == "off") {
+        SetTraceMode(TraceMode::kOff);
+      } else if (mode == "sampled") {
+        SetTraceMode(TraceMode::kSampled);
+      } else if (mode == "all") {
+        SetTraceMode(TraceMode::kAll);
+      } else {
+        std::fprintf(stderr, "bad --trace-mode '%s' (off|sampled|all)\n", mode.c_str());
+        return 2;
+      }
     } else {
       args.push_back(arg);
     }
   }
   const bool mediator_command = !args.empty() && (args[0] == "session" || args[0] == "repair");
-  const bool usable = !args.empty() &&
-                      (mediator_command ? cli.mediator_port != 0
-                                        : !cli.agent_ports.empty() && !cli.directory_path.empty());
+  const bool trace_command = !args.empty() && args[0] == "trace";
+  const bool usable =
+      !args.empty() &&
+      (mediator_command
+           ? cli.mediator_port != 0
+           : trace_command
+                 ? !cli.agent_ports.empty() || !cli.trace_in_path.empty() ||
+                       cli.mediator_port != 0
+                 : !cli.agent_ports.empty() && !cli.directory_path.empty());
   if (!usable) {
     std::fprintf(stderr,
                  "usage: swift_cli --agents=PORT[,PORT...] --dir=FILE [--mediator=PORT] COMMAND\n"
                  "commands: create NAME [--unit=BYTES] [--parity] | put NAME FILE |\n"
                  "          get NAME FILE | stat NAME | ls | rm NAME | rebuild NAME COL |\n"
-                 "          scrub [NAME] | stats [PORT]\n"
+                 "          scrub [NAME] | stats [PORT] | trace TRACE_ID\n"
+                 "tracing:  --trace-mode=off|sampled|all --trace-out=FILE --trace-in=FILE\n"
                  "mediator (need --mediator=PORT):\n"
                  "          session open NAME [--size=B] [--rate-mbps=N] [--parity]\n"
                  "                       [--lease-ms=N] [--min-agents=N] [--max-agents=N]\n"
@@ -507,6 +616,27 @@ int main(int argc, char** argv) {
   if (Status s = cli.Connect(); !s.ok()) {
     return Fail(s);
   }
+
+  // Dump this process's spans on every exit path once a command ran, so a
+  // later `swift_cli trace --trace-in=FILE` can merge the client-side story.
+  struct TraceOutDumper {
+    const std::string& path;
+    ~TraceOutDumper() {
+      if (path.empty()) {
+        return;
+      }
+      const std::vector<uint8_t> bytes = SerializeSpans(SpanStore::Global().Snapshot());
+      std::FILE* out = std::fopen(path.c_str(), "wb");
+      if (out == nullptr) {
+        std::fprintf(stderr, "warning: cannot write trace file '%s'\n", path.c_str());
+        return;
+      }
+      if (std::fwrite(bytes.data(), 1, bytes.size(), out) != bytes.size()) {
+        std::fprintf(stderr, "warning: short write to trace file '%s'\n", path.c_str());
+      }
+      std::fclose(out);
+    }
+  } trace_out_dumper{cli.trace_out_path};
 
   const std::string& command = args[0];
   if (command == "session" && args.size() >= 2) {
@@ -593,6 +723,9 @@ int main(int argc, char** argv) {
   }
   if (command == "stats" && args.size() <= 2) {
     return CmdStats(cli, args.size() == 2 ? std::atoi(args[1].c_str()) : 0);
+  }
+  if (command == "trace" && args.size() == 2) {
+    return CmdTrace(cli, args[1]);
   }
   std::fprintf(stderr, "unknown or malformed command '%s'\n", command.c_str());
   return 2;

@@ -27,6 +27,7 @@
 #include "src/agent/mediator_server.h"
 #include "src/proto/message.h"
 #include "src/util/metrics.h"
+#include "src/util/trace.h"
 #include "src/util/units.h"
 
 namespace {
@@ -87,6 +88,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cannot start mediator: %s\n", status.ToString().c_str());
     return 1;
   }
+  // The bound port identifies this node in distributed traces.
+  swift::SetTraceNodeId(server.port());
   std::printf("swift_mediatord: listening on udp port %u\n", server.port());
   std::fflush(stdout);
 
