@@ -31,7 +31,7 @@ if [ "${SAN_PRESET}" != "tsan" ]; then
   cmake --preset tsan
   cmake --build --preset tsan -j "${JOBS}"
   ctest --test-dir build-tsan \
-    -R '^MetricsTrace|^MediatorService|^IntegrityStore|^FaultyStore|^FaultInjection|^SelfHealing|^Scrub|^FaultKinds|^LossyCorrupt|^Buffer|^UdpBatch|^UdpShard|^Trace' \
+    -R '^MetricsTrace|^MediatorService|^IntegrityStore|^FaultyStore|^FaultInjection|^SelfHealing|^Scrub|^FaultKinds|^LossyCorrupt|^Buffer|^UdpBatch|^UdpShard|^Trace|^Congestion|^CcMode|^RttEstimator|^OwdBaseTracker|^DelayController|^DecorrelatedJitter|^TokenBucket|^JainFairness|^TimestampWire|^SessionGrantWire' \
     -j "${JOBS}" --output-on-failure
 fi
 
@@ -91,6 +91,38 @@ awk -v p="${SAMPLED_PCT}" 'BEGIN { exit !(p <= 5.0) }' \
   || { echo "FAIL: sampled trace overhead ${SAMPLED_PCT}% > 5%"; exit 1; }
 echo "sampled_overhead_pct ${SAMPLED_PCT} (<= 5)"
 rm -f "${TRACE_JSON}"
+
+# Congestion-control gate (DESIGN.md §15): re-run the --cc matrix and hold
+# the PR's acceptance bars. (a) 16 sessions sharing one agent must split the
+# link fairly (Jain >= 0.8); (b) the delay controller's adaptive RTO +
+# jittered backoff must not retransmit more per op than the fixed doubling
+# table on the same 10%-loss channel (and stay under an absolute ceiling);
+# (c) single-session delay-mode throughput must stay within 15% of the
+# committed BENCH_congestion.json point — the controller cannot tax the
+# clean-path trajectory.
+echo "== congestion-control gate (BENCH_congestion.json) =="
+CC_JSON="$(mktemp)"
+./build/tools/swift_bench --cc --json="${CC_JSON}" > /dev/null 2>&1
+JAIN16="$(bench_key "${CC_JSON}" jain_16)"
+[ -n "${JAIN16}" ] || { echo "FAIL: no jain_16 in --cc output"; cat "${CC_JSON}"; exit 1; }
+awk -v j="${JAIN16}" 'BEGIN { exit !(j >= 0.8) }' \
+  || { echo "FAIL: 16-session Jain index ${JAIN16} < 0.8"; exit 1; }
+echo "jain_16 ${JAIN16} (>= 0.8)"
+RETX_DELAY="$(bench_key "${CC_JSON}" lossy_retransmits_per_op_delay)"
+RETX_OFF="$(bench_key "${CC_JSON}" lossy_retransmits_per_op_off)"
+awk -v d="${RETX_DELAY}" -v o="${RETX_OFF}" 'BEGIN { exit !(d <= 12.0 && d <= o * 1.5) }' \
+  || { echo "FAIL: delay-mode retransmits/op ${RETX_DELAY} unstable (off: ${RETX_OFF})"; exit 1; }
+echo "lossy_retransmits_per_op delay ${RETX_DELAY} vs off ${RETX_OFF} (<= 1.5x, <= 12)"
+for KEY in single_delay_write_mbps single_delay_read_mbps; do
+  WAS="$(bench_key BENCH_congestion.json "${KEY}")"
+  NOW="$(bench_key "${CC_JSON}" "${KEY}")"
+  [ -n "${WAS}" ] && [ -n "${NOW}" ] \
+    || { echo "FAIL: ${KEY} missing from congestion point"; exit 1; }
+  awk -v was="${WAS}" -v now="${NOW}" 'BEGIN { exit !(now >= was * 0.85) }' \
+    || { echo "FAIL: ${KEY} regressed ${WAS} -> ${NOW} (>15%)"; exit 1; }
+  echo "${KEY}: ${WAS} -> ${NOW}"
+done
+rm -f "${CC_JSON}"
 
 echo "== agentd --stats-interval smoke =="
 SMOKE_LOG="$(mktemp)"

@@ -1,0 +1,206 @@
+#include "src/agent/congestion.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+
+namespace swift {
+
+namespace {
+std::atomic<CcMode> g_cc_mode{CcMode::kDelay};
+}  // namespace
+
+void SetCcMode(CcMode mode) { g_cc_mode.store(mode, std::memory_order_relaxed); }
+
+CcMode GetCcMode() { return g_cc_mode.load(std::memory_order_relaxed); }
+
+const char* CcModeName(CcMode mode) {
+  switch (mode) {
+    case CcMode::kOff: return "off";
+    case CcMode::kFixed: return "fixed";
+    case CcMode::kDelay: return "delay";
+  }
+  return "?";
+}
+
+bool ParseCcMode(std::string_view text, CcMode* out) {
+  if (text == "off") { *out = CcMode::kOff; return true; }
+  if (text == "fixed") { *out = CcMode::kFixed; return true; }
+  if (text == "delay") { *out = CcMode::kDelay; return true; }
+  return false;
+}
+
+// --- RttEstimator ---------------------------------------------------------
+
+void RttEstimator::AddSample(double rtt_us) {
+  if (rtt_us < 0.0) rtt_us = 0.0;
+  // Relaxed read-modify-write is safe: AddSample has a single writer (the
+  // reactor thread); the atomics only make the concurrent readers clean.
+  const double srtt = srtt_us_.load(std::memory_order_relaxed);
+  if (samples_.load(std::memory_order_relaxed) == 0) {
+    srtt_us_.store(rtt_us, std::memory_order_relaxed);
+    rttvar_us_.store(rtt_us / 2.0, std::memory_order_relaxed);
+  } else {
+    // RFC 6298 §2.3: alpha = 1/8, beta = 1/4.
+    const double rttvar = rttvar_us_.load(std::memory_order_relaxed);
+    const double err = std::fabs(srtt - rtt_us);
+    rttvar_us_.store(rttvar + (err - rttvar) / 4.0, std::memory_order_relaxed);
+    srtt_us_.store(srtt + (rtt_us - srtt) / 8.0, std::memory_order_relaxed);
+  }
+  samples_.fetch_add(1, std::memory_order_relaxed);
+}
+
+double RttEstimator::RtoUs(double floor_us, double ceil_us) const {
+  if (!has_samples()) return floor_us;
+  const double rto = srtt_us() + 4.0 * rttvar_us();
+  return std::min(ceil_us, std::max(floor_us, rto));
+}
+
+// --- OwdBaseTracker -------------------------------------------------------
+
+OwdBaseTracker::OwdBaseTracker(uint64_t bucket_us, size_t history)
+    : bucket_us_(bucket_us == 0 ? 1 : bucket_us),
+      history_(history == 0 ? 1 : history) {}
+
+double OwdBaseTracker::Update(double owd_us, uint64_t now_us) {
+  const uint64_t bucket_start = now_us - (now_us % bucket_us_);
+  if (buckets_.empty() || buckets_.back().start_us != bucket_start) {
+    // Time moved into a new interval (or jumped); retire buckets that fell
+    // out of the history window.
+    buckets_.push_back(Bucket{bucket_start, owd_us});
+    while (buckets_.size() > history_) buckets_.pop_front();
+  } else if (owd_us < buckets_.back().min_owd_us) {
+    buckets_.back().min_owd_us = owd_us;
+  }
+  return std::max(0.0, owd_us - base_us());
+}
+
+double OwdBaseTracker::base_us() const {
+  double base = buckets_.empty() ? 0.0 : buckets_.front().min_owd_us;
+  for (const Bucket& b : buckets_) base = std::min(base, b.min_owd_us);
+  return base;
+}
+
+// --- DelayController ------------------------------------------------------
+
+DelayController::DelayController(const DelayControllerOptions& options)
+    : options_(options),
+      cwnd_(std::min(options.max_cwnd,
+                     std::max(options.min_cwnd, options.initial_cwnd))) {}
+
+void DelayController::OnAck(double queuing_delay_us) {
+  // LEDBAT ramp: off_target in [-1, 1]; a full window of on-target acks
+  // moves cwnd by `gain` ops. Below target we probe up, above we back off
+  // proportionally — the same expression handles both signs.
+  const double target = std::max(1.0, options_.target_delay_us);
+  double off_target = (target - queuing_delay_us) / target;
+  off_target = std::min(1.0, std::max(-1.0, off_target));
+  cwnd_ += options_.gain * off_target / std::max(1.0, cwnd_);
+  cwnd_ = std::min(options_.max_cwnd, std::max(options_.min_cwnd, cwnd_));
+}
+
+void DelayController::OnLoss(uint64_t now_us, double srtt_us) {
+  // One decrease per RTT: losses inside the same flight are one congestion
+  // signal. srtt may be 0 before the first sample — gate on a small floor
+  // so a pre-sample loss burst still only decreases once per millisecond.
+  const uint64_t gate_us =
+      static_cast<uint64_t>(std::max(1000.0, srtt_us));
+  if (last_decrease_us_ != 0 && now_us - last_decrease_us_ < gate_us) return;
+  last_decrease_us_ = now_us;
+  ++decreases_;
+  cwnd_ = std::max(options_.min_cwnd, cwnd_ * options_.decrease_factor);
+}
+
+uint32_t DelayController::window() const {
+  const double clamped =
+      std::min(options_.max_cwnd, std::max(1.0, std::floor(cwnd_)));
+  return static_cast<uint32_t>(clamped);
+}
+
+// --- DecorrelatedJitter ---------------------------------------------------
+
+DecorrelatedJitter::DecorrelatedJitter(uint64_t seed)
+    : state_(seed ? seed : 0x9e3779b97f4a7c15ULL) {}
+
+double DecorrelatedJitter::NextUnit() {
+  // xorshift64*: cheap, seedable, good enough for jitter (not crypto).
+  state_ ^= state_ >> 12;
+  state_ ^= state_ << 25;
+  state_ ^= state_ >> 27;
+  const uint64_t x = state_ * 0x2545F4914F6CDD1DULL;
+  return static_cast<double>(x >> 11) * (1.0 / 9007199254740992.0);
+}
+
+uint32_t DecorrelatedJitter::NextTimeoutMs(uint32_t base_ms, uint32_t prev_ms,
+                                           uint32_t cap_ms) {
+  base_ms = std::max(1u, base_ms);
+  cap_ms = std::max(base_ms, cap_ms);
+  const uint64_t grown = static_cast<uint64_t>(std::max(base_ms, prev_ms)) * 3;
+  const uint32_t hi =
+      static_cast<uint32_t>(std::min<uint64_t>(cap_ms, grown));
+  if (hi <= base_ms) return base_ms;
+  const double span = static_cast<double>(hi - base_ms) + 1.0;
+  return base_ms + static_cast<uint32_t>(NextUnit() * span);
+}
+
+// --- TokenBucket ----------------------------------------------------------
+
+void TokenBucket::Configure(double bytes_per_sec, double burst_bytes,
+                            uint64_t now_us) {
+  rate_bytes_per_sec_ = bytes_per_sec;
+  burst_bytes_ = std::max(burst_bytes, 1.0);
+  tokens_ = burst_bytes_;
+  last_refill_us_ = now_us;
+}
+
+void TokenBucket::SetRate(double bytes_per_sec, double burst_bytes,
+                          uint64_t now_us) {
+  if (unlimited()) {
+    // First transition from unlimited: behave like Configure (start full).
+    Configure(bytes_per_sec, burst_bytes, now_us);
+    return;
+  }
+  Refill(now_us);  // accrue at the old rate up to now
+  rate_bytes_per_sec_ = bytes_per_sec;
+  burst_bytes_ = std::max(burst_bytes, 1.0);
+  tokens_ = std::min(tokens_, burst_bytes_);
+}
+
+void TokenBucket::Refill(uint64_t now_us) {
+  if (now_us <= last_refill_us_) return;
+  const double elapsed_s =
+      static_cast<double>(now_us - last_refill_us_) * 1e-6;
+  tokens_ = std::min(burst_bytes_, tokens_ + elapsed_s * rate_bytes_per_sec_);
+  last_refill_us_ = now_us;
+}
+
+bool TokenBucket::TryConsume(double bytes, uint64_t now_us) {
+  if (unlimited()) return true;
+  Refill(now_us);
+  if (tokens_ < bytes) return false;
+  tokens_ -= bytes;
+  return true;
+}
+
+uint64_t TokenBucket::MicrosUntil(double bytes, uint64_t now_us) {
+  if (unlimited()) return 0;
+  Refill(now_us);
+  if (tokens_ >= bytes) return 0;
+  const double deficit = std::min(bytes, burst_bytes_) - tokens_;
+  return static_cast<uint64_t>(
+      std::ceil(deficit / rate_bytes_per_sec_ * 1e6));
+}
+
+// --- fairness -------------------------------------------------------------
+
+double JainFairnessIndex(const std::vector<double>& goodputs) {
+  double sum = 0.0, sum_sq = 0.0;
+  for (double x : goodputs) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (goodputs.empty() || sum_sq <= 0.0) return 1.0;
+  return (sum * sum) / (static_cast<double>(goodputs.size()) * sum_sq);
+}
+
+}  // namespace swift

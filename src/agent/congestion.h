@@ -1,0 +1,207 @@
+// Delay-based congestion control for the UDP transport (DESIGN.md §15).
+//
+// The transport's window used to be a compile-time constant
+// (max_in_flight_ops) with a fixed doubling retry table. This module holds
+// the measured replacements, one instance of each per destination channel:
+//
+//  - RttEstimator: RFC 6298 SRTT/RTTVAR smoothing and the adaptive RTO
+//    derived from it. Karn's rule is enforced by the caller (samples from
+//    retransmitted ops are never fed in).
+//  - OwdBaseTracker: one-way-delay base tracking over a sliding window of
+//    per-interval minima (LEDBAT BASE_HISTORY). The remote stamps its send
+//    time with its own clock; the unknown clock offset is absorbed by the
+//    base, so only the queuing-delay *excess* above the windowed minimum is
+//    meaningful.
+//  - DelayController: LEDBAT-style window. Each non-retransmitted ack moves
+//    cwnd toward the target queuing delay proportionally to how far off
+//    target the sample was; loss (a retry timeout) is a multiplicative
+//    decrease, applied at most once per RTT so a burst of losses from one
+//    congestion event does not collapse the window to the floor.
+//  - DecorrelatedJitter: retry backoff as uniform(base, min(cap, 3*prev)).
+//    Replaces the deterministic doubling table, which self-synchronized
+//    retransmissions across a fleet of channels sharing one lossy link.
+//  - TokenBucket: send pacing. The reactor flush loop spends bytes from the
+//    bucket and re-arms its poll timeout for the refill instant instead of
+//    blasting a full batch into the bottleneck queue.
+//
+// Everything here is plain arithmetic on caller-supplied clocks — no
+// threads, no sockets, no globals except the process-wide CcMode — so the
+// whole policy layer is unit-testable deterministically.
+
+#ifndef SWIFT_SRC_AGENT_CONGESTION_H_
+#define SWIFT_SRC_AGENT_CONGESTION_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <string_view>
+#include <vector>
+
+namespace swift {
+
+// --- mode -----------------------------------------------------------------
+
+// Process-wide congestion-control mode, mirroring TraceMode. Daemons and
+// tools set it from --cc-mode at startup; transports resolve it once at
+// construction (Options::cc_mode overrides for tests).
+enum class CcMode : uint8_t {
+  kOff = 0,    // PR-6 behavior: static window, fixed doubling backoff
+  kFixed = 1,  // static window + timestamp sampling/adaptive RTO (no cwnd)
+  kDelay = 2,  // default: delay-gated cwnd + pacing + adaptive RTO
+};
+
+void SetCcMode(CcMode mode);
+CcMode GetCcMode();
+const char* CcModeName(CcMode mode);
+// Accepts "off" | "fixed" | "delay"; returns false on anything else.
+bool ParseCcMode(std::string_view text, CcMode* out);
+
+// --- RTT estimation (RFC 6298) --------------------------------------------
+
+class RttEstimator {
+ public:
+  // One RTT sample, microseconds. Caller enforces Karn's rule: never feed a
+  // sample measured on an op that was ever retransmitted. Single-writer
+  // (the reactor); the relaxed-atomic fields exist for the readers below,
+  // which run on op-submitting threads (initial RTO) and stats pulls.
+  void AddSample(double rtt_us);
+
+  bool has_samples() const { return samples() > 0; }
+  uint64_t samples() const { return samples_.load(std::memory_order_relaxed); }
+  double srtt_us() const { return srtt_us_.load(std::memory_order_relaxed); }
+  double rttvar_us() const { return rttvar_us_.load(std::memory_order_relaxed); }
+
+  // RTO = SRTT + 4*RTTVAR, clamped into [floor_us, ceil_us]. Returns
+  // floor_us before the first sample. The two fields are read without a
+  // snapshot — a timeout heuristic tolerates a torn pair.
+  double RtoUs(double floor_us, double ceil_us) const;
+
+ private:
+  std::atomic<uint64_t> samples_{0};
+  std::atomic<double> srtt_us_{0.0};
+  std::atomic<double> rttvar_us_{0.0};
+};
+
+// --- one-way-delay base tracking ------------------------------------------
+
+class OwdBaseTracker {
+ public:
+  // `bucket_us` is the minima interval, `history` how many intervals the
+  // base window spans (LEDBAT defaults: 1 minute x 4... scaled down for a
+  // transport whose sessions live seconds, not hours).
+  explicit OwdBaseTracker(uint64_t bucket_us = 10'000'000, size_t history = 4);
+
+  // Records one one-way-delay observation (remote tx clock minus local rx
+  // clock — may be negative; the offset is absorbed by the base) and
+  // returns the queuing-delay estimate max(0, owd - base) in microseconds.
+  double Update(double owd_us, uint64_t now_us);
+
+  bool has_base() const { return !buckets_.empty(); }
+  double base_us() const;
+
+ private:
+  struct Bucket {
+    uint64_t start_us = 0;
+    double min_owd_us = 0.0;
+  };
+
+  uint64_t bucket_us_;
+  size_t history_;
+  std::deque<Bucket> buckets_;
+};
+
+// --- LEDBAT-style window --------------------------------------------------
+
+struct DelayControllerOptions {
+  double target_delay_us = 25'000.0;  // queuing-delay target
+  double gain = 1.0;                  // cwnd ops gained per off-target RTT
+  double min_cwnd = 1.0;
+  double max_cwnd = 8.0;      // hard cap (the old max_in_flight_ops)
+  double initial_cwnd = 2.0;  // seeded from the mediator rate grant
+  double decrease_factor = 0.6;
+};
+
+class DelayController {
+ public:
+  explicit DelayController(const DelayControllerOptions& options);
+
+  // One acked (non-retransmitted) op with its queuing-delay estimate.
+  void OnAck(double queuing_delay_us);
+
+  // A retry timeout fired. Multiplicative decrease, applied at most once
+  // per `srtt_us` (one congestion event, not one per lost datagram).
+  void OnLoss(uint64_t now_us, double srtt_us);
+
+  double cwnd() const { return cwnd_; }
+  // floor(cwnd) clamped to [1, max_cwnd] — what the reactor admits.
+  uint32_t window() const;
+  uint64_t decreases() const { return decreases_; }
+
+ private:
+  DelayControllerOptions options_;
+  double cwnd_;
+  uint64_t last_decrease_us_ = 0;
+  uint64_t decreases_ = 0;
+};
+
+// --- retry jitter ---------------------------------------------------------
+
+class DecorrelatedJitter {
+ public:
+  explicit DecorrelatedJitter(uint64_t seed);
+
+  // Decorrelated jitter (AWS architecture blog form): uniform in
+  // [base_ms, min(cap_ms, 3 * prev_ms)]. Monotone in neither direction —
+  // that is the point; it decorrelates retry storms.
+  uint32_t NextTimeoutMs(uint32_t base_ms, uint32_t prev_ms, uint32_t cap_ms);
+
+ private:
+  double NextUnit();  // uniform [0, 1)
+  uint64_t state_;
+};
+
+// --- pacing ---------------------------------------------------------------
+
+class TokenBucket {
+ public:
+  TokenBucket() = default;  // unlimited until Configure
+
+  // rate <= 0 means unlimited. The bucket starts full (burst_bytes).
+  void Configure(double bytes_per_sec, double burst_bytes, uint64_t now_us);
+
+  // Updates rate/burst without refilling: accrued tokens are kept (clamped
+  // to the new burst), so per-flush reconfiguration cannot be used to burst
+  // past the pace.
+  void SetRate(double bytes_per_sec, double burst_bytes, uint64_t now_us);
+
+  bool unlimited() const { return rate_bytes_per_sec_ <= 0.0; }
+
+  // Refills by elapsed time, then tries to spend `bytes`. Always succeeds
+  // when unlimited.
+  bool TryConsume(double bytes, uint64_t now_us);
+
+  // Microseconds until `bytes` tokens will be available (0 if now / when
+  // unlimited).
+  uint64_t MicrosUntil(double bytes, uint64_t now_us);
+
+  double tokens() const { return tokens_; }
+
+ private:
+  void Refill(uint64_t now_us);
+
+  double rate_bytes_per_sec_ = 0.0;
+  double burst_bytes_ = 0.0;
+  double tokens_ = 0.0;
+  uint64_t last_refill_us_ = 0;
+};
+
+// --- fairness -------------------------------------------------------------
+
+// Jain's fairness index: (sum x)^2 / (n * sum x^2), in (0, 1]; 1 = equal
+// shares. Returns 1.0 for empty/all-zero input (nothing to be unfair about).
+double JainFairnessIndex(const std::vector<double>& goodputs);
+
+}  // namespace swift
+
+#endif  // SWIFT_SRC_AGENT_CONGESTION_H_

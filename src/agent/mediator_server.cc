@@ -186,6 +186,13 @@ Message UdpMediatorServer::Dispatch(const Message& request, uint64_t now_ms) {
       grant.agent_ports.push_back(mediator_.AgentPort(id));
     }
     grant.lease_ms = mediator_.SessionLeaseMs(plan.session_id);
+    // Coarse admission knob: the session's reserved rate, split evenly
+    // across its stripe columns, seeds each channel's congestion window and
+    // bounds its pacer on the client side.
+    if (plan.reserved_rate > 0 && !plan.agent_ids.empty()) {
+      grant.channel_rate_cap =
+          plan.reserved_rate / static_cast<double>(plan.agent_ids.size());
+    }
     return grant;
   };
 

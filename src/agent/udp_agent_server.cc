@@ -79,8 +79,15 @@ Span NewServerSpan(const Message& m, uint32_t shard_tag, uint64_t recv_ns) {
 
 // Encodes `message` for `to` and appends it to the reply queue; the caller
 // flushes the queue with one SendBatch per drained receive batch.
-void QueueReply(std::vector<OutgoingDatagram>& replies, const UdpEndpoint& to,
-                const Message& message) {
+// `echo_ts_us` is the request's tx timestamp: when nonzero the reply carries
+// the timestamp-echo extension (DESIGN.md §15) — the client's stamp
+// reflected for RTT, plus this server's own send instant for one-way delay.
+void QueueReply(std::vector<OutgoingDatagram>& replies, const UdpEndpoint& to, Message message,
+                uint64_t echo_ts_us) {
+  if (echo_ts_us != 0) {
+    message.echo_ts_us = echo_ts_us;
+    message.tx_ts_us = std::max<uint64_t>(1, FlightRecorder::NowNs() / 1000);
+  }
   Metrics().datagrams_out->Increment();
   if (message.type == MessageType::kWriteNack) {
     Metrics().nacks_sent->Increment();
@@ -238,7 +245,7 @@ void UdpAgentServer::ShardLoop(Shard* shard) {
         for (const Message& packet :
              SplitIntoPackets(MessageType::kStatsReply, 0, message->request_id, 0,
                               BufferSlice::CopyOf(text))) {
-          QueueReply(replies, datagram.from, packet);
+          QueueReply(replies, datagram.from, packet, message->tx_ts_us);
         }
       } else if (message->type == MessageType::kTrace) {
         Metrics().trace_requests->Increment();
@@ -247,7 +254,7 @@ void UdpAgentServer::ShardLoop(Shard* shard) {
         for (const Message& packet :
              SplitIntoPackets(MessageType::kTraceReply, 0, message->request_id, 0,
                               BufferSlice::FromVector(SerializeSpans(spans)))) {
-          QueueReply(replies, datagram.from, packet);
+          QueueReply(replies, datagram.from, packet, message->tx_ts_us);
         }
       } else if (message->type == MessageType::kRemove) {
         Message reply;
@@ -259,7 +266,7 @@ void UdpAgentServer::ShardLoop(Shard* shard) {
           reply.type = MessageType::kError;
           reply.status_code = static_cast<uint32_t>(status.code());
         }
-        QueueReply(replies, datagram.from, reply);
+        QueueReply(replies, datagram.from, reply, message->tx_ts_us);
       } else if (message->type == MessageType::kScrub) {
         Message reply;
         reply.type = MessageType::kScrubReply;
@@ -283,7 +290,7 @@ void UdpAgentServer::ShardLoop(Shard* shard) {
           w.PutU8(truncated ? 1 : 0);
           reply.payload = BufferSlice::FromVector(w.Take());
         }
-        QueueReply(replies, datagram.from, reply);
+        QueueReply(replies, datagram.from, reply, message->tx_ts_us);
       }
       if (traced) {
         Span span = NewServerSpan(*message, shard->index + 1,
@@ -313,7 +320,7 @@ void UdpAgentServer::HandleOpen(Shard* shard, const Message& request,
   auto opened = core_->Open(request.object_name, request.open_flags);
   if (!opened.ok()) {
     reply.status_code = static_cast<uint32_t>(opened.code());
-    QueueReply(replies, client, reply);
+    QueueReply(replies, client, reply, request.tx_ts_us);
     return;
   }
 
@@ -326,7 +333,7 @@ void UdpAgentServer::HandleOpen(Shard* shard, const Message& request,
   if (!bind_status.ok()) {
     (void)core_->Close(opened->handle);
     reply.status_code = static_cast<uint32_t>(bind_status.code());
-    QueueReply(replies, client, reply);
+    QueueReply(replies, client, reply, request.tx_ts_us);
     return;
   }
   if (options_.loss_probability > 0) {
@@ -348,7 +355,7 @@ void UdpAgentServer::HandleOpen(Shard* shard, const Message& request,
     std::lock_guard<std::mutex> lock(shard->sessions_mutex);
     shard->sessions.push_back(std::move(session));
   }
-  QueueReply(replies, client, reply);
+  QueueReply(replies, client, reply, request.tx_ts_us);
 }
 
 void UdpAgentServer::SessionLoop(UdpSocket* socket, uint32_t handle, uint32_t shard_index) {
@@ -408,7 +415,8 @@ void UdpAgentServer::SessionLoop(UdpSocket* socket, uint32_t handle, uint32_t sh
   std::vector<OutgoingDatagram> replies;
 
   auto commit_if_complete = [&](uint32_t request_id, PendingWrite& pending,
-                                const UdpEndpoint& client, RequestTrace* trace) {
+                                const UdpEndpoint& client, RequestTrace* trace,
+                                uint64_t echo_ts_us) {
     if (!pending.reassembler->complete() || pending.committed) {
       return;
     }
@@ -432,7 +440,7 @@ void UdpAgentServer::SessionLoop(UdpSocket* socket, uint32_t handle, uint32_t sh
       reply.type = MessageType::kError;
       reply.status_code = static_cast<uint32_t>(status.code());
     }
-    QueueReply(replies, client, reply);
+    QueueReply(replies, client, reply, echo_ts_us);
   };
 
   bool closing = false;
@@ -497,7 +505,7 @@ void UdpAgentServer::SessionLoop(UdpSocket* socket, uint32_t handle, uint32_t sh
           }
           Metrics().read_service_us->Record(ElapsedUs(service_start));
           if (!data.ok()) {
-            QueueReply(replies, client, ErrorReply(m, data.status()));
+            QueueReply(replies, client, ErrorReply(m, data.status()), m.tx_ts_us);
             break;
           }
           Message reply;
@@ -508,7 +516,7 @@ void UdpAgentServer::SessionLoop(UdpSocket* socket, uint32_t handle, uint32_t sh
           reply.total = m.total;
           reply.offset = m.offset;
           reply.payload = std::move(*data);
-          QueueReply(replies, client, reply);
+          QueueReply(replies, client, reply, m.tx_ts_us);
           break;
         }
         case MessageType::kWriteReq: {
@@ -522,13 +530,13 @@ void UdpAgentServer::SessionLoop(UdpSocket* socket, uint32_t handle, uint32_t sh
           }
           if (m.window == 1) {  // query
             if (it->second.reassembler->complete()) {
-              commit_if_complete(m.request_id, it->second, client, trace);
+              commit_if_complete(m.request_id, it->second, client, trace, m.tx_ts_us);
               if (it->second.committed) {
                 Message ack;
                 ack.type = MessageType::kWriteAck;
                 ack.handle = handle;
                 ack.request_id = m.request_id;
-                QueueReply(replies, client, ack);
+                QueueReply(replies, client, ack, m.tx_ts_us);
               }
             } else {
               Message nack;
@@ -536,7 +544,7 @@ void UdpAgentServer::SessionLoop(UdpSocket* socket, uint32_t handle, uint32_t sh
               nack.handle = handle;
               nack.request_id = m.request_id;
               nack.missing_seqs = it->second.reassembler->MissingSeqs();
-              QueueReply(replies, client, nack);
+              QueueReply(replies, client, nack, m.tx_ts_us);
             }
           }
           break;
@@ -547,7 +555,7 @@ void UdpAgentServer::SessionLoop(UdpSocket* socket, uint32_t handle, uint32_t sh
             break;  // data before announce: client's query will resynchronize
           }
           if (it->second.reassembler->Accept(m).ok()) {
-            commit_if_complete(m.request_id, it->second, client, trace);
+            commit_if_complete(m.request_id, it->second, client, trace, m.tx_ts_us);
           }
           // Bound session memory: drop committed requests once a newer request
           // id appears (duplicated ACKs are regenerated from the query path).
@@ -565,7 +573,7 @@ void UdpAgentServer::SessionLoop(UdpSocket* socket, uint32_t handle, uint32_t sh
         case MessageType::kStat: {
           auto size = core_->Stat(handle);
           if (!size.ok()) {
-            QueueReply(replies, client, ErrorReply(m, size.status()));
+            QueueReply(replies, client, ErrorReply(m, size.status()), m.tx_ts_us);
             break;
           }
           Message reply;
@@ -573,20 +581,20 @@ void UdpAgentServer::SessionLoop(UdpSocket* socket, uint32_t handle, uint32_t sh
           reply.handle = handle;
           reply.request_id = m.request_id;
           reply.size = *size;
-          QueueReply(replies, client, reply);
+          QueueReply(replies, client, reply, m.tx_ts_us);
           break;
         }
         case MessageType::kTruncate: {
           Status status = core_->Truncate(handle, m.size);
           if (!status.ok()) {
-            QueueReply(replies, client, ErrorReply(m, status));
+            QueueReply(replies, client, ErrorReply(m, status), m.tx_ts_us);
             break;
           }
           Message reply;
           reply.type = MessageType::kTruncateAck;
           reply.handle = handle;
           reply.request_id = m.request_id;
-          QueueReply(replies, client, reply);
+          QueueReply(replies, client, reply, m.tx_ts_us);
           break;
         }
         case MessageType::kClose: {
@@ -594,7 +602,7 @@ void UdpAgentServer::SessionLoop(UdpSocket* socket, uint32_t handle, uint32_t sh
           reply.type = MessageType::kCloseAck;
           reply.handle = handle;
           reply.request_id = m.request_id;
-          QueueReply(replies, client, reply);
+          QueueReply(replies, client, reply, m.tx_ts_us);
           (void)core_->Close(handle);
           // Extinguish this thread after the ACK flushes; the port dies with
           // the session. Later datagrams in this batch belong to a dead

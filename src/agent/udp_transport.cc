@@ -6,13 +6,16 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <condition_variable>
+#include <deque>
 #include <functional>
 #include <map>
 #include <mutex>
 #include <optional>
 #include <set>
 #include <thread>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -73,6 +76,60 @@ uint32_t SaturateU32(double value) {
   return static_cast<uint32_t>(value);
 }
 
+// Congestion-control metrics, shared by every transport in the process
+// (per-channel visibility comes from the _port_<agent> gauges resolved per
+// reactor; with several transports on one port the gauge is last-writer-wins,
+// which is fine for a live dashboard).
+struct CcProcessMetrics {
+  Gauge* cwnd;
+  Gauge* srtt_us;
+  HistogramMetric* cwnd_samples;
+  HistogramMetric* srtt_samples_us;
+  HistogramMetric* pacing_delay_us;
+  Counter* rtt_samples;
+  Counter* rtt_samples_karn_dropped;
+  Counter* cwnd_decreases;
+  Counter* late_datagrams;
+  Counter* duplicate_datagrams;
+  Counter* paced_datagrams;
+};
+
+const CcProcessMetrics& CcMetrics() {
+  static const CcProcessMetrics metrics = [] {
+    MetricRegistry& registry = MetricRegistry::Global();
+    return CcProcessMetrics{
+        registry.GetGauge("swift_cc_cwnd"),
+        registry.GetGauge("swift_cc_srtt_us"),
+        registry.GetHistogram("swift_cc_cwnd_samples"),
+        registry.GetHistogram("swift_cc_srtt_samples_us"),
+        registry.GetHistogram("swift_cc_pacing_delay_us"),
+        registry.GetCounter("swift_cc_rtt_samples_total"),
+        registry.GetCounter("swift_cc_rtt_samples_karn_dropped_total"),
+        registry.GetCounter("swift_cc_cwnd_decreases_total"),
+        registry.GetCounter("swift_cc_late_datagrams_total"),
+        registry.GetCounter("swift_cc_duplicate_datagrams_total"),
+        registry.GetCounter("swift_cc_paced_datagrams_total"),
+    };
+  }();
+  return metrics;
+}
+
+// Microseconds on the flight-recorder's steady epoch — the clock behind
+// every wire timestamp this process emits. Never 0, so a stamped field is
+// distinguishable from an absent one.
+uint64_t NowUs() { return std::max<uint64_t>(1, FlightRecorder::NowNs() / 1000); }
+
+// Overwrites the 8 tx-timestamp bytes (big-endian, kTxTimestampHeaderOffset)
+// of an encoded header. Encode reserved them via the placeholder stamp; the
+// flush loop patches the real send instant here so paced or re-queued
+// datagrams carry honest times.
+void PatchTxTimestamp(std::vector<uint8_t>& head, uint64_t ts_us) {
+  for (size_t i = 0; i < 8; ++i) {
+    head[kTxTimestampHeaderOffset + i] =
+        static_cast<uint8_t>(ts_us >> (56 - 8 * i));
+  }
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -120,7 +177,7 @@ class UdpTransport::Reactor {
         : reactor_(reactor),
           session_(std::move(session)),
           request_id_(request_id),
-          timeout_ms_(reactor_->policy_.FirstTimeout()) {
+          timeout_ms_(reactor_->InitialTimeoutMs()) {
       FlightRecorder::Global().Record(TraceEventKind::kOpStart, request_id_);
       if (traced && GetTraceMode() != TraceMode::kOff) {
         TraceContext parent = CurrentTraceContext();
@@ -148,6 +205,42 @@ class UdpTransport::Reactor {
     uint32_t request_id() const { return request_id_; }
     const Session* session() const { return session_.get(); }
     Clock::time_point deadline() const { return deadline_; }
+
+    // Data ops (reads/writes) count against the congestion window and queue
+    // at the reactor's window gate under delay mode; control RPCs and
+    // introspection pulls bypass it.
+    virtual bool is_data_op() const { return false; }
+    // Payload bytes this op moves (0 for control RPCs) — feeds the channel's
+    // bytes-per-op estimate, which the pacer's delivery-rate model uses.
+    virtual uint64_t data_bytes() const { return 0; }
+    // Karn's rule: once any datagram of this op was retransmitted, its
+    // replies are ambiguous and never feed the RTT estimator.
+    bool retransmitted() const { return retransmitted_; }
+    bool counted_in_window() const { return counted_in_window_; }
+    void set_counted_in_window() { counted_in_window_ = true; }
+
+    // Window gate entered (reactor picked the op up but cwnd was full).
+    void NoteGateEntered() { gate_enter_ns_ = FlightRecorder::NowNs(); }
+    // Window gate cleared: attribute the wait to the cc_gate stage and move
+    // the send-flush baseline forward so stages stay non-overlapping.
+    void NoteGateExit() {
+      if (gate_enter_ns_ == 0) {
+        return;
+      }
+      const uint64_t now_ns = FlightRecorder::NowNs();
+      if (span_.trace_id != 0 && now_ns > gate_enter_ns_) {
+        span_.events.push_back(
+            SpanEvent{SpanStage::kCcGate, gate_enter_ns_, now_ns - gate_enter_ns_, 0});
+      }
+      pickup_ns_ = now_ns;
+      gate_enter_ns_ = 0;
+    }
+    // A datagram of this op was held by the pacer: attribute the hold.
+    void NotePaced(uint64_t start_ns, uint64_t dur_ns, uint32_t bytes) {
+      if (span_.trace_id != 0 && dur_ns > 0) {
+        span_.events.push_back(SpanEvent{SpanStage::kCcGate, start_ns, dur_ns, bytes});
+      }
+    }
 
     // Reactor thread, just before Start(): closes the client-queue stage
     // (submit → reactor pickup).
@@ -191,6 +284,14 @@ class UdpTransport::Reactor {
       return TraceContext{span_.trace_id, span_.span_id, trace_flags_};
     }
     void Stamp(Message& m) const { m.trace = message_context(); }
+    // Marks the message for timestamp-echo sampling (when the channel runs
+    // with CC enabled): a nonzero placeholder makes Encode reserve the
+    // extension bytes; the flush loop patches the real send instant.
+    void StampTs(Message& m) const {
+      if (reactor_->timestamps_enabled()) {
+        m.tx_ts_us = 1;
+      }
+    }
 
     Status Send(const Message& m) {
       if (!session_->socket.valid()) {
@@ -203,11 +304,14 @@ class UdpTransport::Reactor {
       // flush time — retransmissions re-serialize only the fixed header,
       // never the data bytes.
       Message::Encoded parts = m.EncodeParts();
-      reactor_->QueueSend(session_, OutgoingDatagram{session_->agent, std::move(parts.header),
-                                                     std::move(parts.payload)});
+      reactor_->QueueSend(session_,
+                          OutgoingDatagram{session_->agent, std::move(parts.header),
+                                           std::move(parts.payload)},
+                          request_id_, m.has_timestamps());
       return OkStatus();
     }
     Status Resend(const Message& m) {
+      retransmitted_ = true;  // Karn: this op's replies are now ambiguous
       transport()->retransmissions_.fetch_add(1, std::memory_order_relaxed);
       Metrics().retransmissions->Increment();
       FlightRecorder::Global().Record(TraceEventKind::kOpRetry, request_id_,
@@ -221,7 +325,7 @@ class UdpTransport::Reactor {
       return Send(m);
     }
     void ArmDeadline() { deadline_ = Clock::now() + std::chrono::milliseconds(timeout_ms_); }
-    void Backoff() { timeout_ms_ = reactor_->policy_.NextTimeout(timeout_ms_); }
+    void Backoff() { timeout_ms_ = reactor_->NextTimeoutMs(timeout_ms_, data_bytes()); }
     // Counts one more consecutive timeout against the shared budget.
     bool BudgetExhausted() {
       if (reactor_->policy_.Exhausted(++timeouts_)) {
@@ -236,13 +340,19 @@ class UdpTransport::Reactor {
     void NoteProgress(bool reset_backoff) {
       timeouts_ = 0;
       if (reset_backoff) {
-        if (timeout_ms_ != reactor_->policy_.FirstTimeout()) {
+        const int fresh = reactor_->InitialTimeoutMs(data_bytes());
+        if (timeout_ms_ != fresh) {
           Metrics().backoff_resets->Increment();
         }
-        timeout_ms_ = reactor_->policy_.FirstTimeout();
+        timeout_ms_ = fresh;
       }
     }
-    void CountRetry() { transport()->ops_retried_.fetch_add(1, std::memory_order_relaxed); }
+    // One more timeout-triggered retry: op accounting plus the channel's
+    // loss signal (a retry timeout is the delay controller's loss event).
+    void CountRetry() {
+      transport()->ops_retried_.fetch_add(1, std::memory_order_relaxed);
+      reactor_->NoteLoss();
+    }
 
     // Registry + flight-recorder bookkeeping shared by every op's Finish:
     // records the op latency and a completion (arg = latency µs) or failure
@@ -278,6 +388,9 @@ class UdpTransport::Reactor {
     uint32_t request_id_;
     int timeout_ms_;
     int timeouts_ = 0;  // consecutive timeouts since last progress
+    bool retransmitted_ = false;     // any datagram of this op re-sent (Karn)
+    bool counted_in_window_ = false; // holds one congestion-window slot
+    uint64_t gate_enter_ns_ = 0;     // nonzero while parked at the window gate
     Clock::time_point deadline_{};
     Clock::time_point started_ = Clock::now();
 
@@ -303,6 +416,7 @@ class UdpTransport::Reactor {
           want_types_(std::move(want_types)),
           done_(std::move(done)) {
       Stamp(request_);
+      StampTs(request_);
     }
 
     bool Start() override {
@@ -387,7 +501,14 @@ class UdpTransport::Reactor {
           length_(dst.size()),
           total_(total),
           reassembler_(request_id, offset, dst, total),
-          into_done_(std::move(done)) {}
+          into_done_(std::move(done)) {
+      // The base ctor sized the timeout for a zero-byte RPC (data_bytes() is
+      // not virtual-dispatchable there); re-size it for this op's payload.
+      timeout_ms_ = reactor->InitialTimeoutMs(length_);
+    }
+
+    bool is_data_op() const override { return true; }
+    uint64_t data_bytes() const override { return length_; }
 
     bool Start() override {
       if (!TopUp()) {
@@ -402,6 +523,13 @@ class UdpTransport::Reactor {
         return Finish(StatusFromWire(m.status_code, "READ"));
       }
       if (m.type != MessageType::kData) {
+        return false;
+      }
+      if (outstanding_.find(m.seq) == outstanding_.end()) {
+        // A packet we already placed: the original and a re-requested copy
+        // both arrived (reordering/duplication), not fresh progress and not
+        // loss — count it and move on.
+        reactor_->NoteDuplicate();
         return false;
       }
       NoteProgress(/*reset_backoff=*/true);
@@ -451,6 +579,7 @@ class UdpTransport::Reactor {
           kMaxPacketPayload, length_ - static_cast<uint64_t>(seq) * kMaxPacketPayload));
       m.window = static_cast<uint16_t>(reactor_->read_window_);
       Stamp(m);
+      StampTs(m);
       return m;
     }
 
@@ -506,6 +635,8 @@ class UdpTransport::Reactor {
           bytes_(data.size()),
           packets_(SplitIntoPackets(MessageType::kWriteData, handle, request_id, offset, data)),
           done_(std::move(done)) {
+      // Re-size the base ctor's zero-byte timeout for this op's payload.
+      timeout_ms_ = reactor->InitialTimeoutMs(bytes_);
       announce_.type = MessageType::kWriteReq;
       announce_.handle = handle;
       announce_.request_id = request_id;
@@ -514,12 +645,17 @@ class UdpTransport::Reactor {
       announce_.total = static_cast<uint16_t>(packets_.size());
       announce_.window = 0;
       Stamp(announce_);
+      StampTs(announce_);
       query_ = announce_;
       query_.window = 1;
       for (Message& packet : packets_) {
         Stamp(packet);
+        StampTs(packet);
       }
     }
+
+    bool is_data_op() const override { return true; }
+    uint64_t data_bytes() const override { return bytes_; }
 
     bool Start() override {
       // "The client sends out the data to be written as fast as it can."
@@ -686,16 +822,66 @@ class UdpTransport::Reactor {
     Completion done_;
   };
 
+  // Per-destination congestion state: this transport speaks to exactly one
+  // agent, so the reactor IS the channel. All members are reactor-thread
+  // private; the transport's atomics publish snapshots outward.
+  struct ChannelState {
+    RttEstimator rtt;
+    OwdBaseTracker owd;
+    DelayController cc;
+    TokenBucket pacer;
+    DecorrelatedJitter jitter;
+    // EWMA of payload bytes per retired data op: the cwnd counts ops, so
+    // the pacer's delivery-rate model needs bytes-per-op to convert it into
+    // a byte rate. Starts at one packet (the smallest a data op can be).
+    double avg_op_bytes = static_cast<double>(kMaxPacketPayload);
+
+    ChannelState(const DelayControllerOptions& options, uint64_t jitter_seed)
+        : cc(options), jitter(jitter_seed) {}
+  };
+
   Reactor(UdpTransport* transport, RetryPolicy policy, uint32_t read_window,
           uint32_t socket_batch)
       : transport_(transport),
         policy_(policy),
         read_window_(std::max<uint32_t>(1, read_window)),
-        socket_batch_(std::max<uint32_t>(1, socket_batch)) {
+        socket_batch_(std::max<uint32_t>(1, socket_batch)),
+        cc_mode_(transport->cc_mode()),
+        channel_(ControllerOptions(transport), transport->options_.loss_seed ^
+                                                   (uint64_t(transport->agent_port_) << 32) ^
+                                                   NowUs()) {
+    MetricRegistry& registry = MetricRegistry::Global();
+    const std::string port = std::to_string(transport->agent_port_);
+    channel_cwnd_gauge_ = registry.GetGauge("swift_cc_cwnd_port_" + port);
+    channel_srtt_gauge_ = registry.GetGauge("swift_cc_srtt_us_port_" + port);
+    channel_pace_gauge_ = registry.GetGauge("swift_cc_pace_rate_bps_port_" + port);
+    PublishCc();
     SWIFT_CHECK(pipe(wake_fds_) == 0) << "reactor wake pipe";
     fcntl(wake_fds_[0], F_SETFL, O_NONBLOCK);
     fcntl(wake_fds_[1], F_SETFL, O_NONBLOCK);
     thread_ = std::thread([this] { Run(); });
+  }
+
+  // The delay controller's knobs derive from the transport's options: the
+  // static max_in_flight_ops becomes the hard ceiling, and a mediator rate
+  // cap seeds the initial window (admission composing with CC). Without a
+  // cap the window starts at the ceiling — the pre-CC static behavior —
+  // and adapts DOWN under queuing delay or loss.
+  static DelayControllerOptions ControllerOptions(UdpTransport* transport) {
+    const Options& o = transport->options_;
+    DelayControllerOptions cc;
+    cc.target_delay_us = std::max(1000.0, o.cc_target_delay_us);
+    cc.max_cwnd = std::max<uint32_t>(1, o.max_in_flight_ops);
+    if (o.rate_cap_bytes_per_sec > 0) {
+      // Window worth one RTT-guess of the granted rate (the retry schedule's
+      // initial timeout quarters as the guess, 10ms at defaults).
+      const double rtt_guess_s = std::max(1, o.initial_timeout_ms) / 4 * 1e-3;
+      cc.initial_cwnd = std::clamp(
+          o.rate_cap_bytes_per_sec * rtt_guess_s / kMaxPacketPayload, 2.0, cc.max_cwnd);
+    } else {
+      cc.initial_cwnd = cc.max_cwnd;
+    }
+    return cc;
   }
 
   ~Reactor() {
@@ -827,8 +1013,136 @@ class UdpTransport::Reactor {
 
   // Reactor-thread only: appends one encoded datagram to the pending flush
   // list (PendingOp::Send is always invoked on the reactor thread).
-  void QueueSend(const SessionPtr& session, OutgoingDatagram dgram) {
-    pending_sends_.push_back(PendingSend{session, std::move(dgram)});
+  // `timestamped` marks a header whose tx-timestamp bytes must be patched
+  // with the true send instant at flush.
+  void QueueSend(const SessionPtr& session, OutgoingDatagram dgram, uint32_t request_id,
+                 bool timestamped) {
+    pending_sends_.push_back(
+        PendingSend{session, std::move(dgram), request_id, timestamped, NowUs()});
+  }
+
+  // --- congestion-control hooks (reactor thread) ---------------------------
+
+  bool timestamps_enabled() const { return cc_mode_ != CcMode::kOff; }
+
+  // Retry timeout for a fresh transmission: the estimator's RTO once the
+  // channel has samples (floor initial/8 so a measured fast link retries
+  // much sooner than the static schedule), the static table otherwise.
+  // `op_bytes` adds a serialization allowance on top of the RTO: a
+  // multi-megabyte op must drain hundreds of datagrams before any reply can
+  // exist, and the RTT of a one-packet RPC says nothing about that — without
+  // the allowance the adaptive floor times the whole op out mid-transmission
+  // and the retry budget burns on spurious full resends. 32 bytes/µs
+  // (≈32 MB/s) is a drain-rate floor slow enough for sanitizer builds.
+  int InitialTimeoutMs(uint64_t op_bytes = 0) const {
+    if (timestamps_enabled() && channel_.rtt.has_samples()) {
+      const double floor_us = std::max(1, policy_.initial_timeout_ms / 8) * 1000.0;
+      const double ceil_us = std::max(1, policy_.max_timeout_ms) * 1000.0;
+      const double serialize_us = static_cast<double>(op_bytes) / 32.0;
+      return std::max(
+          1, static_cast<int>(std::ceil(
+                 (channel_.rtt.RtoUs(floor_us, ceil_us) + serialize_us) / 1000.0)));
+    }
+    return policy_.FirstTimeout();
+  }
+
+  // Backoff with decorrelated jitter (every cc mode — the doubling table
+  // self-synchronized retry storms across channels sharing a lossy link).
+  int NextTimeoutMs(int current_ms, uint64_t op_bytes = 0) {
+    // The cap must never sit below the serialization-adjusted base, or the
+    // jitter range inverts for ops larger than max_timeout_ms' worth of wire.
+    const uint32_t base = static_cast<uint32_t>(std::max(1, InitialTimeoutMs(op_bytes)));
+    return static_cast<int>(channel_.jitter.NextTimeoutMs(
+        base, static_cast<uint32_t>(std::max(1, current_ms)),
+        std::max(base, static_cast<uint32_t>(std::max(1, policy_.max_timeout_ms)))));
+  }
+
+  // A retry timeout fired somewhere on this channel: the delay controller's
+  // loss signal (gated to one decrease per RTT inside the controller).
+  void NoteLoss() {
+    if (cc_mode_ != CcMode::kDelay) {
+      return;
+    }
+    const uint64_t before = channel_.cc.decreases();
+    channel_.cc.OnLoss(NowUs(), channel_.rtt.has_samples() ? channel_.rtt.srtt_us() : 0.0);
+    if (channel_.cc.decreases() != before) {
+      CcMetrics().cwnd_decreases->Increment();
+      transport_->cc_decreases_.fetch_add(1, std::memory_order_relaxed);
+    }
+    PublishCc();
+  }
+
+  // A reply carrying a timestamp echo arrived for a live op: RTT on our own
+  // clock (now - echoed tx), one-way delay against the server's clock (its
+  // tx stamp; the offset is absorbed by the base tracker), both feeding the
+  // delay controller. Karn's rule: retransmitted ops never feed samples.
+  void NoteEcho(const Message& m, const PendingOp& op) {
+    if (!timestamps_enabled() || m.echo_ts_us == 0) {
+      return;
+    }
+    if (op.retransmitted()) {
+      CcMetrics().rtt_samples_karn_dropped->Increment();
+      return;
+    }
+    const uint64_t now_us = NowUs();
+    if (now_us <= m.echo_ts_us) {
+      return;  // clock went sideways; drop the sample
+    }
+    const double rtt_us = static_cast<double>(now_us - m.echo_ts_us);
+    channel_.rtt.AddSample(rtt_us);
+    CcMetrics().rtt_samples->Increment();
+    CcMetrics().srtt_samples_us->Record(channel_.rtt.srtt_us());
+    transport_->cc_rtt_samples_.fetch_add(1, std::memory_order_relaxed);
+    double queuing_delay_us = 0;
+    if (m.tx_ts_us != 0) {
+      const double owd_us =
+          static_cast<double>(now_us) - static_cast<double>(m.tx_ts_us);
+      queuing_delay_us = channel_.owd.Update(owd_us, now_us);
+    }
+    if (cc_mode_ == CcMode::kDelay) {
+      channel_.cc.OnAck(queuing_delay_us);
+      CcMetrics().cwnd_samples->Record(channel_.cc.cwnd());
+    }
+    PublishCc();
+  }
+
+  void NoteDuplicate() {
+    CcMetrics().duplicate_datagrams->Increment();
+    transport_->cc_dup_datagrams_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Ring of recently-completed request ids: a reply that matches one is a
+  // late/reordered datagram for a finished op — counted, never treated as a
+  // stray (and never mistaken for loss).
+  void NoteDone(uint32_t request_id) {
+    if (recent_done_.insert(request_id).second) {
+      recent_done_fifo_.push_back(request_id);
+      if (recent_done_fifo_.size() > kRecentDoneCap) {
+        recent_done_.erase(recent_done_fifo_.front());
+        recent_done_fifo_.pop_front();
+      }
+    }
+  }
+  bool WasRecentlyDone(uint32_t request_id) const {
+    return recent_done_.find(request_id) != recent_done_.end();
+  }
+
+  // Publishes the channel's live state to the transport's atomics and the
+  // process/per-port gauges.
+  void PublishCc() {
+    const uint32_t window =
+        cc_mode_ == CcMode::kDelay ? channel_.cc.window() : transport_->max_in_flight();
+    transport_->cc_window_.store(window, std::memory_order_relaxed);
+    transport_->cc_cwnd_milli_.store(
+        static_cast<uint64_t>(channel_.cc.cwnd() * 1000.0), std::memory_order_relaxed);
+    transport_->cc_srtt_us_.store(static_cast<uint64_t>(channel_.rtt.srtt_us()),
+                                  std::memory_order_relaxed);
+    transport_->cc_rttvar_us_.store(static_cast<uint64_t>(channel_.rtt.rttvar_us()),
+                                    std::memory_order_relaxed);
+    CcMetrics().cwnd->Set(static_cast<int64_t>(window));
+    CcMetrics().srtt_us->Set(static_cast<int64_t>(channel_.rtt.srtt_us()));
+    channel_cwnd_gauge_->Set(static_cast<int64_t>(window));
+    channel_srtt_gauge_->Set(static_cast<int64_t>(channel_.rtt.srtt_us()));
   }
 
  private:
@@ -837,16 +1151,95 @@ class UdpTransport::Reactor {
     [[maybe_unused]] ssize_t n = write(wake_fds_[1], &byte, 1);
   }
 
-  // Flushes every queued datagram, grouped per session so each group leaves
-  // in one sendmmsg call. Per-session order is preserved (announce before
-  // data packets, data before query). Runs on the reactor thread.
+  // Re-derives the pace from the channel's live state: twice the measured
+  // delivery rate (2 * cwnd * bytes-per-op / srtt — pacing smooths bursts
+  // without capping steady-state throughput; cwnd counts ops, so the
+  // channel's bytes-per-op EWMA converts it into a byte rate), upper-bounded
+  // by the mediator's admission cap. Unlimited until the first RTT sample
+  // unless capped.
+  void ReconfigurePacer(uint64_t now_us) {
+    const double cap = transport_->options_.rate_cap_bytes_per_sec;
+    double rate = cap > 0 ? cap : 0.0;
+    if (channel_.rtt.has_samples()) {
+      const double op_bytes =
+          std::max<double>(kMaxPacketPayload, channel_.avg_op_bytes);
+      const double dynamic = 2.0 * channel_.cc.cwnd() * op_bytes * 1e6 /
+                             std::max(100.0, channel_.rtt.srtt_us());
+      rate = cap > 0 ? std::min(cap, dynamic) : dynamic;
+    }
+    if (rate <= 0) {
+      return;  // no signal yet and no cap: leave the bucket unlimited
+    }
+    // Burst of one full flush chunk so sendmmsg batches still coalesce,
+    // floored at two max-size datagrams (payload + header + extension) so a
+    // batch=1 transport can still pass its largest datagram through the
+    // bucket.
+    const double burst =
+        std::max<double>(static_cast<double>(socket_batch_), 2.0) *
+        (kMaxPacketPayload + 128);
+    channel_.pacer.SetRate(rate, burst, now_us);
+    channel_pace_gauge_->Set(static_cast<int64_t>(rate));
+  }
+
+  // Flushes the queued datagrams the pacer admits, grouped per session so
+  // each group leaves in one sendmmsg call. Per-session order is preserved
+  // (announce before data packets, data before query); under pacing the
+  // admitted set is always a prefix, so ordering survives a split flush.
+  // Runs on the reactor thread.
   void FlushSends() {
+    next_pace_deadline_us_ = 0;
     if (pending_sends_.empty()) {
       return;
     }
+    const uint64_t now_us = NowUs();
+    if (cc_mode_ == CcMode::kDelay) {
+      ReconfigurePacer(now_us);
+    }
+    size_t admit = pending_sends_.size();
+    if (cc_mode_ == CcMode::kDelay && !channel_.pacer.unlimited()) {
+      admit = 0;
+      while (admit < pending_sends_.size()) {
+        const PendingSend& p = pending_sends_[admit];
+        const double bytes =
+            static_cast<double>(p.dgram.head.size() + p.dgram.payload.size());
+        if (!channel_.pacer.TryConsume(bytes, now_us)) {
+          // Re-arm the poll for the refill instant; the held tail is marked
+          // paced once so the counter and span attribution fire per datagram.
+          next_pace_deadline_us_ =
+              now_us + std::max<uint64_t>(1, channel_.pacer.MicrosUntil(bytes, now_us));
+          break;
+        }
+        ++admit;
+      }
+      for (size_t i = admit; i < pending_sends_.size(); ++i) {
+        if (!pending_sends_[i].paced) {
+          pending_sends_[i].paced = true;
+          CcMetrics().paced_datagrams->Increment();
+        }
+      }
+      if (admit == 0) {
+        return;
+      }
+    }
     // Bucket by owning session; the linear scan is fine because one flush
     // rarely spans more than a handful of sessions.
-    for (auto& pending : pending_sends_) {
+    for (size_t i = 0; i < admit; ++i) {
+      PendingSend& pending = pending_sends_[i];
+      if (pending.timestamped) {
+        // The true send instant, stamped as late as possible: queue time in
+        // the reactor must read as pacing delay, not as network RTT.
+        PatchTxTimestamp(pending.dgram.head, NowUs());
+      }
+      const uint64_t waited_us = now_us > pending.queued_us ? now_us - pending.queued_us : 0;
+      CcMetrics().pacing_delay_us->Record(static_cast<double>(waited_us));
+      if (pending.paced && waited_us > 0) {
+        if (auto it = active_.find(pending.request_id); it != active_.end()) {
+          const uint64_t dur_ns = waited_us * 1000;
+          it->second->NotePaced(FlightRecorder::NowNs() - dur_ns, dur_ns,
+                                static_cast<uint32_t>(pending.dgram.head.size() +
+                                                      pending.dgram.payload.size()));
+        }
+      }
       Session* key = pending.session.get();
       auto it = std::find_if(flush_buckets_.begin(), flush_buckets_.end(),
                              [key](const FlushBucket& b) { return b.session.get() == key; });
@@ -856,7 +1249,8 @@ class UdpTransport::Reactor {
       }
       it->datagrams.push_back(std::move(pending.dgram));
     }
-    pending_sends_.clear();
+    pending_sends_.erase(pending_sends_.begin(),
+                         pending_sends_.begin() + static_cast<ptrdiff_t>(admit));
     for (FlushBucket& bucket : flush_buckets_) {
       // Send failures inside the batch are absorbed as wire loss (counted in
       // the socket layer); a dead socket only means its ops will time out,
@@ -872,6 +1266,40 @@ class UdpTransport::Reactor {
     flush_buckets_.clear();
   }
 
+  // Starts gated data ops while the congestion window has room. Ops enter
+  // in submit order; each started op holds one window slot until it leaves
+  // active_. window() is never below 1, so waiting_ can only be non-empty
+  // while at least one op is in flight to wake the poll loop.
+  void DispatchWindow() {
+    while (!waiting_.empty() && data_in_flight_ < channel_.cc.window()) {
+      std::unique_ptr<PendingOp> op = std::move(waiting_.front());
+      waiting_.pop_front();
+      op->NoteGateExit();
+      if (op->Start()) {
+        MarkFinished();
+        continue;
+      }
+      op->set_counted_in_window();
+      ++data_in_flight_;
+      started_scratch_.push_back(op.get());
+      active_[op->request_id()] = std::move(op);
+    }
+  }
+
+  // Reactor-thread only: bookkeeping for an op leaving active_ — frees its
+  // window slot and remembers its id so late replies count as reordering.
+  void RetireOp(const PendingOp& op) {
+    NoteDone(op.request_id());
+    if (op.is_data_op() && op.data_bytes() > 0) {
+      channel_.avg_op_bytes =
+          0.875 * channel_.avg_op_bytes + 0.125 * static_cast<double>(op.data_bytes());
+    }
+    if (op.counted_in_window()) {
+      SWIFT_CHECK(data_in_flight_ > 0);
+      --data_in_flight_;
+    }
+  }
+
   // Reactor-thread only: completes and forgets one op.
   void MarkFinished() {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -883,9 +1311,19 @@ class UdpTransport::Reactor {
   }
 
   void AbortOpsOn(const Session* session, const char* why) {
+    for (auto it = waiting_.begin(); it != waiting_.end();) {
+      if ((*it)->session() == session) {
+        (*it)->Abort(UnavailableError(why));
+        it = waiting_.erase(it);
+        MarkFinished();
+      } else {
+        ++it;
+      }
+    }
     for (auto it = active_.begin(); it != active_.end();) {
       if (it->second->session() == session) {
         it->second->Abort(UnavailableError(why));
+        RetireOp(*it->second);
         it = active_.erase(it);
         MarkFinished();
       } else {
@@ -914,6 +1352,11 @@ class UdpTransport::Reactor {
           op->Abort(UnavailableError("transport shutting down"));
           MarkFinished();
         }
+        for (auto& op : waiting_) {
+          op->Abort(UnavailableError("transport shutting down"));
+          MarkFinished();
+        }
+        waiting_.clear();
         for (auto& [id, op] : active_) {
           op->Abort(UnavailableError("transport shutting down"));
           MarkFinished();
@@ -928,6 +1371,14 @@ class UdpTransport::Reactor {
       started_scratch_.clear();
       for (auto& op : fresh) {
         op->NotePickup();
+        // Data ops under delay mode queue at the window gate; control RPCs
+        // (and every op in off/fixed mode, where the submit path's
+        // max_in_flight cap is the only limit) start immediately.
+        if (cc_mode_ == CcMode::kDelay && op->is_data_op()) {
+          op->NoteGateEntered();
+          waiting_.push_back(std::move(op));
+          continue;
+        }
         if (op->Start()) {
           MarkFinished();
         } else {
@@ -935,6 +1386,7 @@ class UdpTransport::Reactor {
           active_[op->request_id()] = std::move(op);
         }
       }
+      DispatchWindow();
 
       // Everything queued since the last poll — fresh ops' opening bursts
       // plus whatever the previous dispatch round's OnMessage/OnTimeout
@@ -970,6 +1422,16 @@ class UdpTransport::Reactor {
                       std::chrono::duration_cast<std::chrono::milliseconds>(nearest - now).count() +
                       1);
       }
+      if (next_pace_deadline_us_ != 0) {
+        // Datagrams are parked in the pacer: wake at the refill instant even
+        // if every retransmission deadline is further out.
+        const uint64_t now_us = NowUs();
+        const int pace_ms =
+            next_pace_deadline_us_ <= now_us
+                ? 0
+                : static_cast<int>((next_pace_deadline_us_ - now_us + 999) / 1000);
+        timeout_ms = timeout_ms < 0 ? pace_ms : std::min(timeout_ms, pace_ms);
+      }
       ::poll(pfds.data(), pfds.size(), timeout_ms);
       Metrics().reactor_wakeups->Increment();
 
@@ -1000,9 +1462,18 @@ class UdpTransport::Reactor {
             }
             auto it = active_.find(decoded->request_id);
             if (it == active_.end() || it->second->session() != snapshot[i].get()) {
-              continue;  // stale reply from a finished request
+              // Stale reply from a finished request. A recently-completed id
+              // is a reordered/late datagram, not an anomaly — count it so
+              // the reordering-tolerance invariant is observable.
+              if (it == active_.end() && WasRecentlyDone(decoded->request_id)) {
+                CcMetrics().late_datagrams->Increment();
+                transport_->cc_late_datagrams_.fetch_add(1, std::memory_order_relaxed);
+              }
+              continue;
             }
+            NoteEcho(*decoded, *it->second);
             if (it->second->OnMessage(*decoded)) {
+              RetireOp(*it->second);
               active_.erase(it);
               MarkFinished();
             }
@@ -1016,6 +1487,7 @@ class UdpTransport::Reactor {
       const auto now = Clock::now();
       for (auto it = active_.begin(); it != active_.end();) {
         if (it->second->deadline() <= now && it->second->OnTimeout()) {
+          RetireOp(*it->second);
           it = active_.erase(it);
           MarkFinished();
         } else {
@@ -1040,11 +1512,34 @@ class UdpTransport::Reactor {
   std::map<uint32_t, SessionPtr> handles_;
   uint64_t live_ops_ = 0;  // inbox + active, for Drain()
 
+  // Congestion state (reactor-thread private; cc_mode_ is const). Declared
+  // before thread_ so the reactor loop never races construction.
+  const CcMode cc_mode_;
+  ChannelState channel_;
+  Gauge* channel_cwnd_gauge_ = nullptr;  // swift_cc_cwnd_port_<p>
+  Gauge* channel_srtt_gauge_ = nullptr;  // swift_cc_srtt_us_port_<p>
+  Gauge* channel_pace_gauge_ = nullptr;  // swift_cc_pace_rate_bps_port_<p>
+
   // Reactor-thread private.
   std::map<uint32_t, std::unique_ptr<PendingOp>> active_;
+  // Data ops parked at the congestion-window gate (delay mode only), FIFO.
+  std::deque<std::unique_ptr<PendingOp>> waiting_;
+  size_t data_in_flight_ = 0;  // active_ ops holding a window slot
+  // Recently-completed request ids, for late-datagram classification.
+  static constexpr size_t kRecentDoneCap = 512;
+  std::unordered_set<uint32_t> recent_done_;
+  std::deque<uint32_t> recent_done_fifo_;
+  // Absolute instant (NowUs clock) the pacer can next release bytes; 0 when
+  // nothing is parked in the pacer.
+  uint64_t next_pace_deadline_us_ = 0;
+
   struct PendingSend {
     SessionPtr session;
     OutgoingDatagram dgram;
+    uint32_t request_id = 0;
+    bool timestamped = false;  // header carries tx-timestamp bytes to patch
+    uint64_t queued_us = 0;    // QueueSend instant, for pacing-delay metrics
+    bool paced = false;        // held at least one flush by the token bucket
   };
   struct FlushBucket {
     SessionPtr session;
@@ -1063,9 +1558,32 @@ class UdpTransport::Reactor {
 UdpTransport::UdpTransport(uint16_t agent_port, Options options)
     : agent_port_(agent_port),
       options_(options),
+      cc_mode_(options.cc_mode >= 0 && options.cc_mode <= 2
+                   ? static_cast<CcMode>(options.cc_mode)
+                   : GetCcMode()),
       next_loss_seed_(options.loss_seed),
       reactor_(std::make_unique<Reactor>(this, options.retry_policy(), options.read_window,
                                          options.socket_batch)) {}
+
+uint32_t UdpTransport::current_window() const {
+  if (cc_mode_ != CcMode::kDelay) {
+    return max_in_flight();
+  }
+  return std::clamp<uint32_t>(cc_window_.load(std::memory_order_relaxed), 1, max_in_flight());
+}
+
+UdpTransport::CcSnapshot UdpTransport::cc_snapshot() const {
+  CcSnapshot snap;
+  snap.cwnd = static_cast<double>(cc_cwnd_milli_.load(std::memory_order_relaxed)) / 1000.0;
+  snap.window = current_window();
+  snap.srtt_us = static_cast<double>(cc_srtt_us_.load(std::memory_order_relaxed));
+  snap.rttvar_us = static_cast<double>(cc_rttvar_us_.load(std::memory_order_relaxed));
+  snap.rtt_samples = cc_rtt_samples_.load(std::memory_order_relaxed);
+  snap.cwnd_decreases = cc_decreases_.load(std::memory_order_relaxed);
+  snap.late_datagrams = cc_late_datagrams_.load(std::memory_order_relaxed);
+  snap.duplicate_datagrams = cc_dup_datagrams_.load(std::memory_order_relaxed);
+  return snap;
+}
 
 UdpTransport::~UdpTransport() {
   // Reactor teardown aborts anything still in flight (kUnavailable) before

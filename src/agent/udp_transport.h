@@ -22,6 +22,22 @@
 // dead agent surfaces as kUnavailable after the retry budget, which is what
 // lets SwiftFile's parity machinery take over — identical failure semantics
 // to the in-proc transport.
+//
+// Congestion control (DESIGN.md §15): under the default --cc-mode=delay the
+// transport runs a per-channel LEDBAT-style controller. Every stamped
+// datagram carries a tx timestamp (patched at flush time) that the server
+// echoes back; the reactor feeds the echo into an RFC 6298 SRTT/RTTVAR
+// estimator (Karn's rule: samples from retransmitted ops are dropped) and a
+// one-way-delay base tracker. The resulting congestion window — not
+// max_in_flight_ops — is the real data-op in-flight limit (ops queue at the
+// window gate, attributed to the cc_gate span stage), sends are paced by a
+// per-channel token bucket inside the reactor flush loop, and the retry
+// timeout comes from the estimator (decorrelated-jitter backoff replaces
+// the doubling table in every mode). max_in_flight_ops remains the hard
+// cwnd ceiling, and current_window() advertises the live window to
+// schedulers. A mediator session grant's per-channel rate cap seeds the
+// initial window and bounds the pacer — coarse admission composing with
+// fine-grained CC.
 
 #ifndef SWIFT_SRC_AGENT_UDP_TRANSPORT_H_
 #define SWIFT_SRC_AGENT_UDP_TRANSPORT_H_
@@ -32,6 +48,7 @@
 #include <memory>
 #include <string>
 
+#include "src/agent/congestion.h"
 #include "src/agent/udp_socket.h"
 #include "src/core/agent_transport.h"
 #include "src/proto/message.h"
@@ -87,9 +104,34 @@ class UdpTransport : public AgentTransport {
     double loss_probability = 0;
     uint64_t loss_seed = 99;
 
+    // Congestion-control mode override: -1 follows the process-wide
+    // SetCcMode (the daemons' --cc-mode flag, default delay); 0/1/2 pin
+    // CcMode::{kOff,kFixed,kDelay} for this transport (tests, benches).
+    int cc_mode = -1;
+    // Per-channel admission rate from the mediator's session grant
+    // (bytes/s). Seeds the initial congestion window and upper-bounds the
+    // pacer; 0 = no cap (the dynamic 2x-delivery-rate pace still applies
+    // under delay mode).
+    double rate_cap_bytes_per_sec = 0;
+    // Queuing-delay target for the delay controller (LEDBAT TARGET).
+    double cc_target_delay_us = 25'000.0;
+
     RetryPolicy retry_policy() const {
       return RetryPolicy{initial_timeout_ms, max_timeout_ms, max_retries};
     }
+  };
+
+  // Introspection snapshot of the channel's congestion state (reactor
+  // publishes, any thread reads).
+  struct CcSnapshot {
+    double cwnd = 0;            // fractional congestion window, ops
+    uint32_t window = 0;        // floor(cwnd) clamped — the advertised limit
+    double srtt_us = 0;
+    double rttvar_us = 0;
+    uint64_t rtt_samples = 0;
+    uint64_t cwnd_decreases = 0;
+    uint64_t late_datagrams = 0;       // replies after op completion
+    uint64_t duplicate_datagrams = 0;  // duplicate DATA within a live op
   };
 
   // Connects to the agent's well-known port on loopback.
@@ -127,12 +169,20 @@ class UdpTransport : public AgentTransport {
   void StartWrite(uint32_t handle, uint64_t offset, std::span<const uint8_t> data,
                   WriteCompletion done) override;
   uint32_t max_in_flight() const override { return std::max<uint32_t>(1, options_.max_in_flight_ops); }
+  // Live window advertisement: the delay controller's cwnd under
+  // --cc-mode=delay (clamped to [1, max_in_flight_ops]), the static cap
+  // otherwise. Schedulers re-poll this per batch.
+  uint32_t current_window() const override;
   void Drain() override;
   TransportStats stats() const override;
 
   // --- statistics -----------------------------------------------------------
   uint64_t datagrams_sent() const { return datagrams_sent_.load(std::memory_order_relaxed); }
   uint64_t retransmissions() const { return retransmissions_.load(std::memory_order_relaxed); }
+
+  // --- congestion control ---------------------------------------------------
+  CcMode cc_mode() const { return cc_mode_; }
+  CcSnapshot cc_snapshot() const;
 
  private:
   class Reactor;
@@ -142,7 +192,20 @@ class UdpTransport : public AgentTransport {
 
   uint16_t agent_port_;
   Options options_;
+  CcMode cc_mode_;  // resolved once at construction (option or global)
   std::atomic<uint64_t> next_loss_seed_;
+
+  // Congestion state published by the reactor thread, read anywhere
+  // (current_window(), cc_snapshot(), swift_cli stats).
+  std::atomic<uint32_t> cc_window_{1};
+  std::atomic<uint64_t> cc_cwnd_milli_{1000};  // cwnd * 1000
+  std::atomic<uint64_t> cc_srtt_us_{0};
+  std::atomic<uint64_t> cc_rttvar_us_{0};
+  std::atomic<uint64_t> cc_rtt_samples_{0};
+  std::atomic<uint64_t> cc_decreases_{0};
+  std::atomic<uint64_t> cc_late_datagrams_{0};
+  std::atomic<uint64_t> cc_dup_datagrams_{0};
+
   std::unique_ptr<Reactor> reactor_;
   std::atomic<uint32_t> next_request_id_{1};
 

@@ -157,6 +157,12 @@ class AgentTransport {
   // callers cap their per-agent window at this value.
   virtual uint32_t max_in_flight() const { return 1; }
 
+  // The window the transport currently advertises. Static transports return
+  // max_in_flight(); congestion-controlled ones (the UDP reactor under
+  // --cc-mode=delay) return the live cwnd, so schedulers that re-poll per
+  // batch breathe with the network instead of pinning the compile-time cap.
+  virtual uint32_t current_window() const { return max_in_flight(); }
+
   // Delivers completions a transport has queued for the caller's thread.
   // Returns the number delivered. Transports with a service thread (or that
   // complete inline) have nothing to deliver here.

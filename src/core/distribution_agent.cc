@@ -64,7 +64,11 @@ DistributionAgent::~DistributionAgent() {
 }
 
 uint32_t DistributionAgent::window(uint32_t column) const {
-  const uint32_t transport_cap = std::max<uint32_t>(1, transports_[column]->max_in_flight());
+  // Re-polled on every PickColumn scan: a congestion-controlled transport's
+  // advertisement moves between batches, and the column queue must breathe
+  // with it rather than pin the static max_in_flight cap.
+  const uint32_t transport_cap =
+      std::max<uint32_t>(1, transports_[column]->current_window());
   return std::min(std::max<uint32_t>(1, options_.ops_in_flight), transport_cap);
 }
 
@@ -183,38 +187,41 @@ std::vector<Status> DistributionAgent::RunPerAgent(std::vector<std::function<Sta
 // -------------------------------------------------------------------- OpBatch
 
 OpBatch::OpBatch(DistributionAgent* agent)
-    : agent_(agent), column_status_(agent->agent_count()) {}
+    : agent_(agent), state_(std::make_shared<State>()) {
+  state_->column_status.resize(agent->agent_count());
+}
 
 OpBatch::~OpBatch() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  cv_.wait(lock, [this] { return outstanding_ == 0; });
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  state_->cv.wait(lock, [this] { return state_->outstanding == 0; });
 }
 
 void OpBatch::Submit(uint32_t column, DistributionAgent::AsyncOp op) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++outstanding_;
-    if (!batch_timing_armed_) {
-      batch_timing_armed_ = true;
-      batch_start_ = std::chrono::steady_clock::now();
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    ++state_->outstanding;
+    if (!state_->batch_timing_armed) {
+      state_->batch_timing_armed = true;
+      state_->batch_start = std::chrono::steady_clock::now();
     }
   }
-  agent_->Submit(column, [this, column, op = std::move(op)](AgentTransport* transport,
-                                                           DistributionAgent::Completion done) {
-    op(transport, [this, column, done = std::move(done)](Status status) {
+  // The completion captures shared ownership of the batch state, never the
+  // batch itself: the waiter may destroy the OpBatch frame the instant
+  // outstanding hits zero, while the completer is still unlocking.
+  agent_->Submit(column, [state = state_, column, op = std::move(op)](
+                             AgentTransport* transport, DistributionAgent::Completion done) {
+    op(transport, [state, column, done = std::move(done)](Status status) {
       {
-        // Notify under the lock: the destructor frees this batch the moment
-        // outstanding_ reaches zero.
-        std::lock_guard<std::mutex> lock(mutex_);
-        Status& slot = column_status_[column];
+        std::lock_guard<std::mutex> lock(state->mutex);
+        Status& slot = state->column_status[column];
         if (!status.ok() &&
             (slot.ok() || (status.code() == StatusCode::kUnavailable &&
                            slot.code() != StatusCode::kUnavailable))) {
           slot = status;
         }
-        --outstanding_;
-        if (outstanding_ == 0) {
-          cv_.notify_all();
+        --state->outstanding;
+        if (state->outstanding == 0) {
+          state->cv.notify_all();
         }
       }
       done(status);
@@ -223,16 +230,16 @@ void OpBatch::Submit(uint32_t column, DistributionAgent::AsyncOp op) {
 }
 
 std::vector<Status> OpBatch::Wait() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  cv_.wait(lock, [this] { return outstanding_ == 0; });
-  if (batch_timing_armed_) {
-    batch_timing_armed_ = false;
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  state_->cv.wait(lock, [this] { return state_->outstanding == 0; });
+  if (state_->batch_timing_armed) {
+    state_->batch_timing_armed = false;
     Metrics().batch_us->Record(
         std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
-            std::chrono::steady_clock::now() - batch_start_)
+            std::chrono::steady_clock::now() - state_->batch_start)
             .count());
   }
-  return column_status_;
+  return state_->column_status;
 }
 
 }  // namespace swift

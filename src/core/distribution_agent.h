@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -122,15 +123,23 @@ class OpBatch {
   std::vector<Status> Wait();
 
  private:
+  // Completion callbacks share ownership of this state: the last completer
+  // is still inside its mutex unlock when the waiter's predicate flips, so
+  // the state must outlive the OpBatch frame or the unlock touches a
+  // destroyed mutex (stack reuse — caught by TSan on the striped read path).
+  struct State {
+    std::mutex mutex;
+    std::condition_variable cv;
+    uint64_t outstanding = 0;
+    std::vector<Status> column_status;
+    // For the batch-completion latency histogram: set by the first Submit of
+    // a wait round, consumed (and re-armed) by Wait.
+    std::chrono::steady_clock::time_point batch_start{};
+    bool batch_timing_armed = false;
+  };
+
   DistributionAgent* agent_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  uint64_t outstanding_ = 0;
-  std::vector<Status> column_status_;
-  // For the batch-completion latency histogram: set by the first Submit of a
-  // wait round, consumed (and re-armed) by Wait.
-  std::chrono::steady_clock::time_point batch_start_{};
-  bool batch_timing_armed_ = false;
+  std::shared_ptr<State> state_;
 };
 
 }  // namespace swift

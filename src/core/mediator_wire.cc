@@ -46,9 +46,11 @@ Result<StorageMediator::SessionRequest> DecodeSessionRequest(std::span<const uin
 
 std::vector<uint8_t> EncodeSessionGrant(const SessionGrant& grant) {
   // Exact: u64 + string (2 + n) + u32 + u64 + u8 + u32 + ids + f64 + u64 +
-  // u16 + ports + u64 — a wide plan must not regrow the buffer mid-encode.
+  // u16 + ports + u64 + f64 — a wide plan must not regrow the buffer
+  // mid-encode.
   WireWriter w(8 + 2 + grant.plan.object_name.size() + 4 + 8 + 1 + 4 +
-               4 * grant.plan.agent_ids.size() + 8 + 8 + 2 + 2 * grant.agent_ports.size() + 8);
+               4 * grant.plan.agent_ids.size() + 8 + 8 + 2 + 2 * grant.agent_ports.size() + 8 +
+               8);
   w.PutU64(grant.plan.session_id);
   w.PutString(grant.plan.object_name);
   w.PutU32(grant.plan.stripe.num_agents);
@@ -65,6 +67,7 @@ std::vector<uint8_t> EncodeSessionGrant(const SessionGrant& grant) {
     w.PutU16(port);
   }
   w.PutU64(grant.lease_ms);
+  PutF64(w, grant.channel_rate_cap);
   return w.Take();
 }
 
@@ -96,6 +99,11 @@ Result<SessionGrant> DecodeSessionGrant(std::span<const uint8_t> bytes) {
     grant.agent_ports.push_back(r.GetU16());
   }
   grant.lease_ms = r.GetU64();
+  if (r.remaining() >= 8) {
+    // Trailing per-channel rate cap: absent (and defaulted to 0) when the
+    // grant came from a pre-CC mediator.
+    grant.channel_rate_cap = GetF64(r);
+  }
   if (!r.ok() || r.remaining() != 0) {
     return InvalidArgumentError("malformed session grant payload");
   }

@@ -27,6 +27,12 @@ struct SessionGrant {
   TransferPlan plan;
   std::vector<uint16_t> agent_ports;
   uint64_t lease_ms = 0;  // 0 = the session never expires
+  // Per-channel admission rate (bytes/s): the session's reserved rate split
+  // evenly across its stripe columns. Seeds each transport's initial
+  // congestion window and upper-bounds its pacer (DESIGN.md §15); 0 = no
+  // cap. Encoded as a trailing field, absent in pre-CC grants — the decoder
+  // defaults it to 0 so old and new peers interoperate.
+  double channel_rate_cap = 0;
 };
 
 std::vector<uint8_t> EncodeSessionRequest(const StorageMediator::SessionRequest& request);

@@ -22,6 +22,10 @@ constexpr size_t kFixedHeaderBytes = 2 + 1 + 1 + 4 + 4 + 2 + 2 + 8 + 4 + 4;
 
 // ext_len + trace_id + parent_span_id + flags.
 constexpr size_t kTraceExtensionBytes = 2 + 8 + 4 + 4;
+// Extension body lengths (the ext_len value on the wire): the PR-7 trace
+// context alone, or trace context + tx/echo timestamps (DESIGN.md §15).
+constexpr uint16_t kTraceExtBodyBytes = kTraceExtensionBytes - 2;
+constexpr uint16_t kTimestampExtBodyBytes = kTraceExtBodyBytes + 8 + 8;
 
 // Exact byte count of the type-specific fields, so Encode/EncodeParts can
 // pre-size their output and never regrow.
@@ -155,10 +159,15 @@ const char* MessageTypeName(MessageType type) {
 
 Message::Encoded Message::EncodeParts() const {
   const bool traced = trace.present();
-  WireWriter w(kFixedHeaderBytes + (traced ? kTraceExtensionBytes : 0) +
+  const bool timestamped = has_timestamps();
+  const bool extended = traced || timestamped;
+  const uint16_t ext_body =
+      timestamped ? kTimestampExtBodyBytes : kTraceExtBodyBytes;
+  WireWriter w(kFixedHeaderBytes + (extended ? 2 + ext_body : 0) +
                TypeFieldBytes(*this));
   w.PutU16(kMagic);
-  w.PutU8(traced ? static_cast<uint8_t>(kVersion | kExtensionFlag) : kVersion);
+  w.PutU8(extended ? static_cast<uint8_t>(kVersion | kExtensionFlag)
+                   : kVersion);
   w.PutU8(static_cast<uint8_t>(type));
   w.PutU32(handle);
   w.PutU32(request_id);
@@ -167,11 +176,18 @@ Message::Encoded Message::EncodeParts() const {
   w.PutU64(offset);
   w.PutU32(static_cast<uint32_t>(payload.size()));
   w.PutU32(Crc32(payload.span()));
-  if (traced) {
-    w.PutU16(static_cast<uint16_t>(kTraceExtensionBytes - 2));
+  if (extended) {
+    // A timestamp-only block writes trace_id 0 — decoders already treat
+    // that as "no trace", so the trace bytes double as padding that keeps
+    // tx_ts_us at the fixed kTxTimestampHeaderOffset.
+    w.PutU16(ext_body);
     w.PutU64(trace.trace_id);
     w.PutU32(trace.parent_span_id);
     w.PutU32(trace.flags);
+    if (timestamped) {
+      w.PutU64(tx_ts_us);
+      w.PutU64(echo_ts_us);
+    }
   }
 
   switch (type) {
@@ -284,14 +300,21 @@ Result<Message> Message::Decode(const BufferSlice& datagram) {
   const uint32_t payload_crc = r.GetU32();
 
   if ((version_byte & kExtensionFlag) != 0) {
-    // Self-describing extension block: parse the trace context we know,
-    // skip any bytes a newer sender appended.
+    // Self-describing extension block: parse the trace context and (when
+    // long enough) the congestion timestamps, skip any bytes a newer
+    // sender appended.
     const uint16_t ext_len = r.GetU16();
-    if (ext_len >= kTraceExtensionBytes - 2) {
+    if (ext_len >= kTraceExtBodyBytes) {
       m.trace.trace_id = r.GetU64();
       m.trace.parent_span_id = r.GetU32();
       m.trace.flags = r.GetU32();
-      r.GetBytes(ext_len - (kTraceExtensionBytes - 2));
+      if (ext_len >= kTimestampExtBodyBytes) {
+        m.tx_ts_us = r.GetU64();
+        m.echo_ts_us = r.GetU64();
+        r.GetBytes(ext_len - kTimestampExtBodyBytes);
+      } else {
+        r.GetBytes(ext_len - kTraceExtBodyBytes);
+      }
     } else {
       r.GetBytes(ext_len);  // too short to carry a context; ignore
     }

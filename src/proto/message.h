@@ -22,18 +22,25 @@
 //
 // followed by type-specific fields and the payload. Integers are big-endian.
 //
-// Header extension (distributed tracing): when bit 7 of the version byte is
-// set, a self-describing extension block follows the fixed header (before
-// the type-specific fields):
+// Header extension (distributed tracing + congestion timestamps): when bit 7
+// of the version byte is set, a self-describing extension block follows the
+// fixed header (before the type-specific fields):
 //
-//   ext_len       u16   byte count of the extension body (16 today)
-//   trace_id      u64   causal trace identity (never 0 when present)
+//   ext_len       u16   byte count of the extension body (16 or 32 today)
+//   trace_id      u64   causal trace identity (0 = untraced timestamp-only)
 //   parent_span   u32   sender's span id (the receiver's parent)
 //   flags         u32   bit 0 = sampled
+//   -- present only when ext_len >= 32 (timestamp echo, DESIGN.md §15) --
+//   tx_ts_us      u64   sender's send time, sender's microsecond clock
+//   echo_ts_us    u64   on replies: the request's tx_ts_us echoed back
 //
-// Messages without a trace context are encoded without the extension and are
-// byte-identical to the pre-trace wire format; decoders skip extension bytes
-// beyond the 16 they understand, so the block can grow compatibly.
+// Messages without a trace context or timestamps are encoded without the
+// extension and are byte-identical to the pre-trace wire format; a traced
+// but un-timestamped message keeps the 16-byte body of PR 7. Decoders skip
+// extension bytes beyond what they understand (PR-6 peers skip the whole
+// block, PR-7 peers skip the 16 timestamp bytes), so the block grows
+// compatibly in both directions. A timestamp-only extension carries
+// trace_id 0, which decodes as "no trace" exactly like an absent block.
 
 #ifndef SWIFT_SRC_PROTO_MESSAGE_H_
 #define SWIFT_SRC_PROTO_MESSAGE_H_
@@ -53,6 +60,13 @@ namespace swift {
 // the kernel scatter-gather straight into user buffers while staying under
 // the SunOS socket-buffer limits that §3.1 describes.
 inline constexpr uint32_t kMaxPacketPayload = 8192;
+
+// Byte offset of tx_ts_us inside an encoded header that carries the
+// timestamp extension: fixed header (32) + ext_len (2) + trace context (16).
+// The transport overwrites these 8 big-endian bytes at flush time so paced
+// or re-queued datagrams carry their true send instant, not their encode
+// instant. Encode reserves the bytes whenever has_timestamps().
+inline constexpr size_t kTxTimestampHeaderOffset = 32 + 2 + 16;
 
 // Well-known agent port for OPEN requests (real-socket stack).
 inline constexpr uint16_t kDefaultAgentPort = 4751;
@@ -146,6 +160,17 @@ struct Message {
   // trace.present() (see file comment). Absent contexts leave the wire
   // byte-identical to the pre-trace format.
   TraceContext trace;
+
+  // Timestamp echo for delay-based congestion control (DESIGN.md §15),
+  // carried in the same header extension when nonzero. tx_ts_us is the
+  // sender's send time on its own microsecond clock (the transport patches
+  // it at flush so paced datagrams carry honest times); replies echo the
+  // request's tx_ts_us back as echo_ts_us so the client measures RTT on its
+  // own clock and one-way delay against the server's.
+  uint64_t tx_ts_us = 0;
+  uint64_t echo_ts_us = 0;
+
+  bool has_timestamps() const { return tx_ts_us != 0 || echo_ts_us != 0; }
 
   BufferSlice payload;                // kData/kWriteData; shared view, never copied
 

@@ -272,6 +272,8 @@ const char* SpanStageName(SpanStage stage) {
       return "reply";
     case SpanStage::kRetransmit:
       return "retransmit";
+    case SpanStage::kCcGate:
+      return "cc_gate";
   }
   return "unknown";
 }
@@ -284,14 +286,14 @@ HistogramMetric* StageHistogram(SpanStage stage) {
   static std::once_flag once;
   std::call_once(once, [] {
     auto& registry = MetricRegistry::Global();
-    for (uint8_t s = 1; s <= static_cast<uint8_t>(SpanStage::kRetransmit); ++s) {
+    for (uint8_t s = 1; s <= static_cast<uint8_t>(SpanStage::kCcGate); ++s) {
       const std::string name =
           std::string("swift_trace_stage_") + SpanStageName(static_cast<SpanStage>(s)) + "_us";
       histograms[s] = registry.GetHistogram(name);
     }
   });
   const uint8_t index = static_cast<uint8_t>(stage);
-  return index <= static_cast<uint8_t>(SpanStage::kRetransmit) ? histograms[index] : nullptr;
+  return index <= static_cast<uint8_t>(SpanStage::kCcGate) ? histograms[index] : nullptr;
 }
 
 }  // namespace

@@ -186,6 +186,8 @@ enum class SpanStage : uint8_t {
   kParity = 7,       // client-side parity compute/fold
   kReply = 8,        // server handling done → replies flushed
   kRetransmit = 9,   // one retransmitted datagram (arg = timeout round)
+  kCcGate = 10,      // congestion gate: send pacing / window admission delay
+                     // (arg = paced bytes)
 };
 
 const char* SpanStageName(SpanStage stage);

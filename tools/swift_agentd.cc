@@ -10,7 +10,7 @@
 //               [--storage-mb=N] [--heartbeat-ms=N] [--durable]
 //               [--no-integrity] [--fault-spec=SPEC]
 //               [--loss=P] [--loss-seed=N] [--shards=N]
-//               [--trace-mode=off|sampled|all]
+//               [--trace-mode=off|sampled|all] [--cc-mode=off|fixed|delay]
 //
 // --shards=N serves the well-known port with N SO_REUSEPORT listener
 // sockets, one drain thread (and receive arena, metric shard) per core;
@@ -54,6 +54,7 @@
 #include <unistd.h>
 
 #include "src/agent/backing_store.h"
+#include "src/agent/congestion.h"
 #include "src/agent/faulty_store.h"
 #include "src/agent/integrity_store.h"
 #include "src/agent/mediator_client.h"
@@ -210,6 +211,14 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "bad --trace-mode (off|sampled|all): %s\n", trace_mode);
       return 2;
     }
+  }
+  if (const char* cc_mode = FlagValue(argc, argv, "--cc-mode")) {
+    swift::CcMode mode;
+    if (!swift::ParseCcMode(cc_mode, &mode)) {
+      std::fprintf(stderr, "bad --cc-mode (off|fixed|delay): %s\n", cc_mode);
+      return 2;
+    }
+    swift::SetCcMode(mode);
   }
   std::printf("swift_agentd: serving %s on udp port %u\n", root, server.port());
   std::fflush(stdout);

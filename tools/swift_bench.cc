@@ -8,6 +8,7 @@
 //               [--mode=write|read|readwrite] [--seed=1] [--window=4]
 //   swift_bench --scaleout [--size=BYTES] [--json=PATH]
 //   swift_bench --trace-overhead [--size=BYTES] [--json=PATH]
+//   swift_bench --cc [--size=BYTES] [--json=PATH]
 //
 // --window sets the stripe-unit ops kept in flight per agent (1 = the
 // synchronous stop-and-wait baseline). The object ("bench-object") is
@@ -27,6 +28,14 @@
 // sampled / all) and reports per-mode throughput plus overhead relative to
 // tracing-off; --json=PATH writes BENCH_trace_overhead.json, which ci.sh
 // gates at ≤5% sampled-mode overhead.
+//
+// --cc runs the congestion-control matrix (DESIGN.md §15): the scale-out
+// cell under --cc-mode delay vs off (single-session regression guard),
+// 4- and 16-session fairness against one shared single-shard agent (Jain's
+// index over per-session goodput), and a 10%-loss channel's retransmitted
+// datagrams per op, delay vs off. --json=PATH writes BENCH_congestion.json;
+// ci.sh gates 16-session Jain >= 0.8, bounded retransmits/op, and
+// single-session throughput against the committed point.
 
 #include <algorithm>
 #include <atomic>
@@ -40,6 +49,7 @@
 #include <vector>
 
 #include "src/agent/backing_store.h"
+#include "src/agent/congestion.h"
 #include "src/agent/storage_agent.h"
 #include "src/agent/udp_agent_server.h"
 #include "src/agent/udp_transport.h"
@@ -105,6 +115,9 @@ struct ScaleoutCell {
   const char* name;
   uint32_t shards;
   uint32_t socket_batch;
+  // Congestion-control mode for the driving transports: -1 follows the
+  // process default (delay), 0/1/2 pin off/fixed/delay (the --cc matrix).
+  int cc_mode = -1;
 
   // Measured:
   double write_mbps = 0;
@@ -148,6 +161,7 @@ bool RunScaleoutCell(ScaleoutCell& cell, uint64_t size) {
     options.max_in_flight_ops = kWindow;
     options.read_window = 8;
     options.socket_batch = cell.socket_batch;
+    options.cc_mode = cell.cc_mode;
     transports.push_back(
         std::make_unique<UdpTransport>(agent->server->port(), options));
     raw.push_back(transports.back().get());
@@ -612,6 +626,268 @@ int RunTraceOverhead(uint64_t size, const char* json_path) {
   return 0;
 }
 
+// ------------------------- congestion-control matrix -------------------------
+
+// --cc measures what the delay-based congestion controller (DESIGN.md §15)
+// delivers and what it costs:
+//  - single-session throughput on the clean scale-out cell, delay vs off —
+//    the regression guard against the PR-6 trajectory;
+//  - N sessions sharing one single-shard agent, per-session goodput and
+//    Jain's fairness index — the multi-stream fairness claim;
+//  - a lossy channel, retransmitted datagrams per completed op, delay vs
+//    off — adaptive RTO + jittered backoff must not retransmit more than
+//    the fixed doubling table did.
+
+struct FairnessCell {
+  int sessions;
+  double jain = 0;
+  double aggregate_mbps = 0;
+  double min_share_mbps = 0;
+  double max_share_mbps = 0;
+  double mean_srtt_us = 0;
+  double mean_cwnd = 0;
+};
+
+bool RunFairnessCell(FairnessCell& cell, int duration_ms) {
+  constexpr uint64_t kIoBytes = 64 * 1024;
+
+  // One single-shard agent: a genuinely shared bottleneck, so the sessions'
+  // controllers are competing for the same service capacity.
+  InMemoryBackingStore store;
+  StorageAgentCore core(&store);
+  UdpAgentServer::Options server_options;
+  server_options.shards = 1;
+  server_options.socket_batch = 16;
+  UdpAgentServer server(&core, server_options);
+  if (!server.Start().ok()) {
+    return false;
+  }
+
+  std::vector<std::unique_ptr<UdpTransport>> transports;
+  std::vector<uint32_t> handles;
+  Rng rng(7);
+  std::vector<uint8_t> buffer(kIoBytes);
+  for (int s = 0; s < cell.sessions; ++s) {
+    UdpTransport::Options options;
+    options.cc_mode = 2;  // delay
+    transports.push_back(std::make_unique<UdpTransport>(server.port(), options));
+    auto opened =
+        transports.back()->Open("cc-fair-" + std::to_string(s), kOpenCreate);
+    if (!opened.ok()) {
+      return false;
+    }
+    handles.push_back(opened->handle);
+    for (auto& b : buffer) {
+      b = static_cast<uint8_t>(rng.UniformInt(0, 255));
+    }
+    if (!transports.back()->Write(opened->handle, 0, buffer).ok()) {
+      return false;
+    }
+  }
+
+  std::vector<uint64_t> ops_done(cell.sessions, 0);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> workers;
+  for (int s = 0; s < cell.sessions; ++s) {
+    workers.emplace_back([&, s] {
+      while (!stop.load(std::memory_order_acquire)) {
+        if (transports[s]->Read(handles[s], 0, kIoBytes).ok()) {
+          ++ops_done[s];
+        }
+      }
+    });
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(std::chrono::milliseconds(duration_ms));
+  stop.store(true, std::memory_order_release);
+  for (auto& worker : workers) {
+    worker.join();
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  std::vector<double> goodputs;
+  double total = 0, srtt_sum = 0, cwnd_sum = 0;
+  for (int s = 0; s < cell.sessions; ++s) {
+    const double mbps =
+        static_cast<double>(ops_done[s]) * kIoBytes / elapsed / 1e6;
+    goodputs.push_back(mbps);
+    total += mbps;
+    const UdpTransport::CcSnapshot cc = transports[s]->cc_snapshot();
+    srtt_sum += cc.srtt_us;
+    cwnd_sum += cc.cwnd;
+  }
+  cell.jain = JainFairnessIndex(goodputs);
+  cell.aggregate_mbps = total;
+  cell.min_share_mbps = *std::min_element(goodputs.begin(), goodputs.end());
+  cell.max_share_mbps = *std::max_element(goodputs.begin(), goodputs.end());
+  cell.mean_srtt_us = srtt_sum / cell.sessions;
+  cell.mean_cwnd = cwnd_sum / cell.sessions;
+  return true;
+}
+
+struct LossyCell {
+  const char* name;
+  int cc_mode;
+  double retransmits_per_op = 0;
+  double read_mbps = 0;
+  double srtt_us = 0;
+  uint64_t cwnd_decreases = 0;
+};
+
+bool RunLossyCell(LossyCell& cell) {
+  constexpr double kLoss = 0.1;  // each way: ~19% per round trip
+  constexpr uint64_t kObject = 256 * 1024;
+  constexpr int kReads = 48;
+
+  InMemoryBackingStore store;
+  StorageAgentCore core(&store);
+  UdpAgentServer::Options server_options;
+  server_options.loss_probability = kLoss;
+  server_options.loss_seed = 41;
+  UdpAgentServer server(&core, server_options);
+  if (!server.Start().ok()) {
+    return false;
+  }
+
+  UdpTransport::Options options;
+  options.cc_mode = cell.cc_mode;
+  options.loss_probability = kLoss;
+  options.loss_seed = 43;
+  options.max_retries = 12;
+  UdpTransport transport(server.port(), options);
+  auto opened = transport.Open("cc-lossy", kOpenCreate);
+  if (!opened.ok()) {
+    return false;
+  }
+  Rng rng(9);
+  std::vector<uint8_t> buffer(kObject);
+  for (auto& b : buffer) {
+    b = static_cast<uint8_t>(rng.UniformInt(0, 255));
+  }
+  if (!transport.Write(opened->handle, 0, buffer).ok()) {
+    return false;
+  }
+
+  const uint64_t retx_before = transport.retransmissions();
+  const uint64_t ops_before = transport.stats().ops_completed;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kReads; ++i) {
+    if (!transport.Read(opened->handle, 0, kObject).ok()) {
+      return false;
+    }
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  const uint64_t ops = transport.stats().ops_completed - ops_before;
+  cell.retransmits_per_op =
+      ops > 0 ? static_cast<double>(transport.retransmissions() - retx_before) /
+                    static_cast<double>(ops)
+              : 0;
+  cell.read_mbps = static_cast<double>(kReads) * kObject / elapsed / 1e6;
+  const UdpTransport::CcSnapshot cc = transport.cc_snapshot();
+  cell.srtt_us = cc.srtt_us;
+  cell.cwnd_decreases = cc.cwnd_decreases;
+  return true;
+}
+
+int RunCongestion(uint64_t size, const char* json_path) {
+  // Single-session regression guard: the scale-out cell (4 agents, 4
+  // shards, batched syscalls) under the delay controller vs CC off.
+  // Best-of-N interleaved rounds so scheduler drift on a loaded box cancels
+  // out of the comparison (same trick as the trace-overhead matrix).
+  constexpr int kRounds = 3;
+  ScaleoutCell delay{"cc-delay", /*shards=*/4, /*socket_batch=*/16, /*cc_mode=*/2};
+  ScaleoutCell off{"cc-off", /*shards=*/4, /*socket_batch=*/16, /*cc_mode=*/0};
+  std::printf("swift_bench congestion matrix: scale-out cell under --cc-mode "
+              "delay vs off, %s object, best of %d rounds\n",
+              FormatBytes(size).c_str(), kRounds);
+  for (int round = 0; round < kRounds; ++round) {
+    for (ScaleoutCell* cell : {&delay, &off}) {
+      ScaleoutCell sample = *cell;
+      sample.write_mbps = sample.read_mbps = 0;
+      if (!RunScaleoutCell(sample, size)) {
+        std::fprintf(stderr, "congestion single-session cell failed\n");
+        return 1;
+      }
+      if (sample.write_mbps + sample.read_mbps > cell->write_mbps + cell->read_mbps) {
+        *cell = sample;
+      }
+    }
+  }
+  PrintScaleoutCell(delay);
+  PrintScaleoutCell(off);
+
+  FairnessCell fair4{/*sessions=*/4};
+  FairnessCell fair16{/*sessions=*/16};
+  if (!RunFairnessCell(fair4, /*duration_ms=*/600) ||
+      !RunFairnessCell(fair16, /*duration_ms=*/1000)) {
+    std::fprintf(stderr, "congestion fairness cell failed\n");
+    return 1;
+  }
+  for (const FairnessCell* cell : {&fair4, &fair16}) {
+    std::printf("fairness %2d sessions  jain %.3f  aggregate %7.1f MB/s  "
+                "share min %6.1f max %6.1f  mean srtt %6.0fus cwnd %.2f\n",
+                cell->sessions, cell->jain, cell->aggregate_mbps,
+                cell->min_share_mbps, cell->max_share_mbps, cell->mean_srtt_us,
+                cell->mean_cwnd);
+  }
+
+  LossyCell lossy_delay{"delay", /*cc_mode=*/2};
+  LossyCell lossy_off{"off", /*cc_mode=*/0};
+  if (!RunLossyCell(lossy_delay) || !RunLossyCell(lossy_off)) {
+    std::fprintf(stderr, "congestion lossy cell failed\n");
+    return 1;
+  }
+  for (const LossyCell* cell : {&lossy_delay, &lossy_off}) {
+    std::printf("lossy %-6s retransmits/op %5.2f  read %6.1f MB/s  srtt %6.0fus"
+                "  cwnd decreases %llu\n",
+                cell->name, cell->retransmits_per_op, cell->read_mbps, cell->srtt_us,
+                static_cast<unsigned long long>(cell->cwnd_decreases));
+  }
+
+  if (json_path != nullptr) {
+    std::string json = "{\n  \"bench\": \"congestion\",\n";
+    char line[160];
+    std::snprintf(line, sizeof(line), "  \"object_bytes\": %llu,\n",
+                  static_cast<unsigned long long>(size));
+    json += line;
+    auto put = [&](const char* key, double value) {
+      std::snprintf(line, sizeof(line), "  \"%s\": %.3f,\n", key, value);
+      json += line;
+    };
+    put("single_delay_write_mbps", delay.write_mbps);
+    put("single_delay_read_mbps", delay.read_mbps);
+    put("single_off_write_mbps", off.write_mbps);
+    put("single_off_read_mbps", off.read_mbps);
+    put("jain_4", fair4.jain);
+    put("sessions_4_aggregate_mbps", fair4.aggregate_mbps);
+    put("jain_16", fair16.jain);
+    put("sessions_16_aggregate_mbps", fair16.aggregate_mbps);
+    put("sessions_16_min_share_mbps", fair16.min_share_mbps);
+    put("sessions_16_max_share_mbps", fair16.max_share_mbps);
+    put("sessions_16_mean_srtt_us", fair16.mean_srtt_us);
+    put("sessions_16_mean_cwnd", fair16.mean_cwnd);
+    put("lossy_retransmits_per_op_delay", lossy_delay.retransmits_per_op);
+    put("lossy_retransmits_per_op_off", lossy_off.retransmits_per_op);
+    put("lossy_delay_read_mbps", lossy_delay.read_mbps);
+    put("lossy_off_read_mbps", lossy_off.read_mbps);
+    std::snprintf(line, sizeof(line), "  \"lossy_cwnd_decreases_delay\": %llu\n}\n",
+                  static_cast<unsigned long long>(lossy_delay.cwnd_decreases));
+    json += line;
+    std::FILE* out = std::fopen(json_path, "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path);
+      return 1;
+    }
+    std::fwrite(json.data(), 1, json.size(), out);
+    std::fclose(out);
+    std::printf("congestion point written to %s\n", json_path);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -624,6 +900,11 @@ int main(int argc, char** argv) {
     const uint64_t size = static_cast<uint64_t>(
         std::atoll(FlagValue(argc, argv, "--size", "16777216")));
     return RunTraceOverhead(size, FlagValue(argc, argv, "--json", nullptr));
+  }
+  if (FlagPresent(argc, argv, "--cc")) {
+    const uint64_t size = static_cast<uint64_t>(
+        std::atoll(FlagValue(argc, argv, "--size", "16777216")));
+    return RunCongestion(size, FlagValue(argc, argv, "--json", nullptr));
   }
   std::vector<uint16_t> ports;
   {

@@ -52,6 +52,7 @@
 #include <vector>
 
 #include "src/agent/mediator_client.h"
+#include "src/agent/congestion.h"
 #include "src/agent/udp_transport.h"
 #include "src/core/object_admin.h"
 #include "src/core/object_directory.h"
@@ -284,6 +285,22 @@ int CmdStats(Cli& cli, int port_filter) {
     return Fail(InvalidArgumentError("no agent with port " + std::to_string(port_filter) +
                                      " in --agents"));
   }
+  // Client-side view: each channel's live congestion state (the agent-side
+  // dump above cannot see the client's cwnd/SRTT — they live here).
+  std::printf("=== client congestion control ===\n");
+  for (size_t i = 0; i < cli.transports.size(); ++i) {
+    if (port_filter > 0 && cli.agent_ports[i] != port_filter) {
+      continue;
+    }
+    const UdpTransport::CcSnapshot cc = cli.transports[i]->cc_snapshot();
+    std::printf("agent :%u mode=%s cwnd=%.2f window=%u srtt_us=%.0f rttvar_us=%.0f "
+                "rtt_samples=%llu decreases=%llu late=%llu dup=%llu\n",
+                cli.agent_ports[i], CcModeName(cli.transports[i]->cc_mode()), cc.cwnd, cc.window,
+                cc.srtt_us, cc.rttvar_us, static_cast<unsigned long long>(cc.rtt_samples),
+                static_cast<unsigned long long>(cc.cwnd_decreases),
+                static_cast<unsigned long long>(cc.late_datagrams),
+                static_cast<unsigned long long>(cc.duplicate_datagrams));
+  }
   return 0;
 }
 
@@ -459,12 +476,17 @@ int CmdSessionOpen(Cli& cli, const std::vector<std::string>& args) {
   }
   std::vector<std::unique_ptr<UdpTransport>> owned;
   std::vector<AgentTransport*> transports;
+  // The grant's per-channel rate cap seeds each transport's congestion
+  // window and bounds its pacer — the mediator's admission decision carried
+  // down into the delay controller.
+  UdpTransport::Options channel_options;
+  channel_options.rate_cap_bytes_per_sec = grant.channel_rate_cap;
   for (uint16_t port : grant.agent_ports) {
     if (port == 0) {
       (void)session->Close();
       return Fail(UnavailableError("mediator granted an agent with no data port"));
     }
-    owned.push_back(std::make_unique<UdpTransport>(port, UdpTransport::Options{}));
+    owned.push_back(std::make_unique<UdpTransport>(port, channel_options));
     transports.push_back(owned.back().get());
   }
   auto file = SwiftFile::Create(plan, transports, &cli.directory);
@@ -585,6 +607,14 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "bad --trace-mode '%s' (off|sampled|all)\n", mode.c_str());
         return 2;
       }
+    } else if (arg.rfind("--cc-mode=", 0) == 0) {
+      const std::string mode = arg.substr(10);
+      CcMode cc;
+      if (!ParseCcMode(mode, &cc)) {
+        std::fprintf(stderr, "bad --cc-mode '%s' (off|fixed|delay)\n", mode.c_str());
+        return 2;
+      }
+      SetCcMode(cc);
     } else {
       args.push_back(arg);
     }
@@ -606,6 +636,7 @@ int main(int argc, char** argv) {
                  "          get NAME FILE | stat NAME | ls | rm NAME | rebuild NAME COL |\n"
                  "          scrub [NAME] | stats [PORT] | trace TRACE_ID\n"
                  "tracing:  --trace-mode=off|sampled|all --trace-out=FILE --trace-in=FILE\n"
+                 "transport: --cc-mode=off|fixed|delay (delay-based congestion control; default delay)\n"
                  "mediator (need --mediator=PORT):\n"
                  "          session open NAME [--size=B] [--rate-mbps=N] [--parity]\n"
                  "                       [--lease-ms=N] [--min-agents=N] [--max-agents=N]\n"

@@ -24,6 +24,7 @@
 
 #include <unistd.h>
 
+#include "src/agent/congestion.h"
 #include "src/agent/mediator_server.h"
 #include "src/proto/message.h"
 #include "src/util/metrics.h"
@@ -53,7 +54,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: swift_mediatord [--port=%u] [--seconds=N] [--heartbeat-ms=N]\n"
                  "                       [--misses=N] [--network-mbps=N] [--lease-ms=N]\n"
-                 "                       [--stats-interval=N]\n",
+                 "                       [--stats-interval=N] [--cc-mode=off|fixed|delay]\n",
                  swift::kDefaultMediatorPort);
     return 2;
   }
@@ -64,6 +65,14 @@ int main(int argc, char** argv) {
   const char* network_flag = FlagValue(argc, argv, "--network-mbps");
   const char* lease_flag = FlagValue(argc, argv, "--lease-ms");
   const char* stats_flag = FlagValue(argc, argv, "--stats-interval");
+  if (const char* cc_mode = FlagValue(argc, argv, "--cc-mode")) {
+    swift::CcMode mode;
+    if (!swift::ParseCcMode(cc_mode, &mode)) {
+      std::fprintf(stderr, "bad --cc-mode (off|fixed|delay): %s\n", cc_mode);
+      return 2;
+    }
+    swift::SetCcMode(mode);
+  }
 
   swift::UdpMediatorServer::Options options;
   options.port = port_flag != nullptr ? static_cast<uint16_t>(std::atoi(port_flag))
