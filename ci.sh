@@ -27,11 +27,11 @@ if [ "${SAN_PRESET}" != "tsan" ]; then
   # are only meaningfully exercised under ThreadSanitizer; run just those
   # suites so the default gate stays fast. Full build: ctest needs every
   # discovered test's include file.
-  echo "== metrics/trace + mediator + integrity + buffer + shard concurrency (tsan) =="
+  echo "== metrics/trace + mediator + integrity + buffer + shard + tail concurrency (tsan) =="
   cmake --preset tsan
   cmake --build --preset tsan -j "${JOBS}"
   ctest --test-dir build-tsan \
-    -R '^MetricsTrace|^MediatorService|^IntegrityStore|^FaultyStore|^FaultInjection|^SelfHealing|^Scrub|^FaultKinds|^LossyCorrupt|^Buffer|^UdpBatch|^UdpShard|^Trace|^Congestion|^CcMode|^RttEstimator|^OwdBaseTracker|^DelayController|^DecorrelatedJitter|^TokenBucket|^JainFairness|^TimestampWire|^SessionGrantWire' \
+    -R '^MetricsTrace|^MediatorService|^IntegrityStore|^FaultyStore|^FaultInjection|^SelfHealing|^Scrub|^FaultKinds|^LossyCorrupt|^Buffer|^UdpBatch|^UdpShard|^Trace|^Congestion|^CcMode|^RttEstimator|^OwdBaseTracker|^DelayController|^DecorrelatedJitter|^TokenBucket|^JainFairness|^TimestampWire|^SessionGrantWire|^Chaos|^Hedge|^Deadline|^Overload' \
     -j "${JOBS}" --output-on-failure
 fi
 
@@ -124,6 +124,37 @@ for KEY in single_delay_write_mbps single_delay_read_mbps; do
 done
 rm -f "${CC_JSON}"
 
+# Tail-latency gate (DESIGN.md §16): re-run the tail matrix — column 0
+# straggles +40 ms behind a scripted chaos director, 1-in-40 reads touch it —
+# and hold the PR's acceptance bars: (a) hedged read p99 <= 0.5x unhedged at
+# equal-or-better goodput; (b) the healthy path (pre-straggler warmup) hedges
+# nothing; (c) the governor keeps hedges <= 5% of reads even with the
+# straggler live. The unhedged p99 floor proves the fault was actually
+# injected — without it, a silently dead chaos path would pass (a) and (b).
+echo "== tail-latency gate (BENCH_tail.json) =="
+TAIL_JSON="$(mktemp)"
+./build/tools/swift_bench --tail --json="${TAIL_JSON}" > /dev/null 2>&1
+TAIL_RATIO="$(bench_key "${TAIL_JSON}" tail_p99_ratio)"
+[ -n "${TAIL_RATIO}" ] || { echo "FAIL: no tail_p99_ratio in --tail output"; cat "${TAIL_JSON}"; exit 1; }
+awk -v r="${TAIL_RATIO}" 'BEGIN { exit !(r <= 0.5) }' \
+  || { echo "FAIL: hedged/unhedged p99 ratio ${TAIL_RATIO} > 0.5"; exit 1; }
+echo "tail_p99_ratio ${TAIL_RATIO} (<= 0.5)"
+UNHEDGED_P99="$(bench_key "${TAIL_JSON}" tail_unhedged_p99_us)"
+awk -v p="${UNHEDGED_P99}" 'BEGIN { exit !(p >= 10000) }' \
+  || { echo "FAIL: unhedged p99 ${UNHEDGED_P99}us < 10ms — straggler not injected"; exit 1; }
+HEALTHY_RATE="$(bench_key "${TAIL_JSON}" healthy_hedge_rate_pct)"
+awk -v h="${HEALTHY_RATE}" 'BEGIN { exit !(h <= 1.0) }' \
+  || { echo "FAIL: healthy-path hedge rate ${HEALTHY_RATE}% > 1%"; exit 1; }
+HEDGE_RATE="$(bench_key "${TAIL_JSON}" tail_hedged_hedge_rate_pct)"
+awk -v r="${HEDGE_RATE}" 'BEGIN { exit !(r <= 5.0) }' \
+  || { echo "FAIL: hedge rate ${HEDGE_RATE}% above the 5% governor cap"; exit 1; }
+UNHEDGED_MBPS="$(bench_key "${TAIL_JSON}" tail_unhedged_read_mbps)"
+HEDGED_MBPS="$(bench_key "${TAIL_JSON}" tail_hedged_read_mbps)"
+awk -v u="${UNHEDGED_MBPS}" -v h="${HEDGED_MBPS}" 'BEGIN { exit !(h >= u) }' \
+  || { echo "FAIL: hedged goodput ${HEDGED_MBPS} < unhedged ${UNHEDGED_MBPS} MB/s"; exit 1; }
+echo "unhedged p99 ${UNHEDGED_P99}us, healthy hedge ${HEALTHY_RATE}%, hedge rate ${HEDGE_RATE}%, goodput ${UNHEDGED_MBPS} -> ${HEDGED_MBPS} MB/s"
+rm -f "${TAIL_JSON}"
+
 echo "== agentd --stats-interval smoke =="
 SMOKE_LOG="$(mktemp)"
 ./build/tools/swift_agentd --root="$(mktemp -d)" --port=0 --seconds=2 \
@@ -131,4 +162,22 @@ SMOKE_LOG="$(mktemp)"
 grep -q '^# swift_agentd metrics' "${SMOKE_LOG}" \
   || { echo "FAIL: no --stats-interval dump"; cat "${SMOKE_LOG}"; exit 1; }
 rm -f "${SMOKE_LOG}"
+
+# Chaos smoke: the daemon accepts a seeded scripted-fault spec and stays up
+# under it (delay spike then a one-way blackhole), and rejects a malformed
+# one with a usage error instead of serving with chaos silently off.
+echo "== agentd --chaos-spec smoke =="
+CHAOS_LOG="$(mktemp)"
+./build/tools/swift_agentd --root="$(mktemp -d)" --port=0 --seconds=2 \
+    --stats-interval=1 --chaos-spec='0-800:delay:*:5;900-1400:blackhole-in:*' \
+    --chaos-seed=7 > "${CHAOS_LOG}" 2>&1
+grep -q '^# swift_agentd metrics' "${CHAOS_LOG}" \
+  || { echo "FAIL: agentd did not survive --chaos-spec"; cat "${CHAOS_LOG}"; exit 1; }
+if ./build/tools/swift_agentd --root="$(mktemp -d)" --port=0 --seconds=1 \
+    --chaos-spec='0-100:meteor:*' > "${CHAOS_LOG}" 2>&1; then
+  echo "FAIL: malformed --chaos-spec accepted"; cat "${CHAOS_LOG}"; exit 1
+fi
+grep -q 'bad --chaos-spec' "${CHAOS_LOG}" \
+  || { echo "FAIL: malformed --chaos-spec not diagnosed"; cat "${CHAOS_LOG}"; exit 1; }
+rm -f "${CHAOS_LOG}"
 echo "ci: PASS"

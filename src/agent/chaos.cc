@@ -1,0 +1,187 @@
+#include "src/agent/chaos.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace swift {
+
+namespace {
+
+// Splits `text` on `sep`, keeping empty fields (a trailing ';' is tolerated
+// by skipping empty rules at the call site).
+std::vector<std::string> Split(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  for (;;) {
+    const size_t pos = text.find(sep, start);
+    if (pos == std::string::npos) {
+      parts.push_back(text.substr(start));
+      return parts;
+    }
+    parts.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+bool ParseU64(const std::string& text, uint64_t* out) {
+  if (text.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') {
+    return false;
+  }
+  *out = static_cast<uint64_t>(value);
+  return true;
+}
+
+bool ParseDouble(const std::string& text, double* out) {
+  if (text.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == nullptr || *end != '\0') {
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+ChaosDirector::ChaosDirector(std::vector<Rule> rules, uint64_t seed)
+    : epoch_(std::chrono::steady_clock::now()), rules_(std::move(rules)), rng_(seed) {}
+
+Result<std::shared_ptr<ChaosDirector>> ChaosDirector::Parse(const std::string& spec,
+                                                            uint64_t seed) {
+  std::vector<Rule> rules;
+  for (const std::string& entry : Split(spec, ';')) {
+    if (entry.empty()) {
+      continue;
+    }
+    const std::vector<std::string> fields = Split(entry, ':');
+    if (fields.size() < 3 || fields.size() > 4) {
+      return InvalidArgumentError("chaos rule needs window:kind:peer[:param]: " + entry);
+    }
+    Rule rule;
+    const std::vector<std::string> window = Split(fields[0], '-');
+    if (window.size() != 2 || !ParseU64(window[0], &rule.start_ms) ||
+        !ParseU64(window[1], &rule.end_ms) || rule.end_ms < rule.start_ms) {
+      return InvalidArgumentError("bad chaos window (want <start_ms>-<end_ms>): " + entry);
+    }
+    const std::string& kind = fields[1];
+    bool wants_param = false;
+    if (kind == "blackhole-out") {
+      rule.kind = Kind::kBlackholeOut;
+    } else if (kind == "blackhole-in") {
+      rule.kind = Kind::kBlackholeIn;
+    } else if (kind == "partition") {
+      rule.kind = Kind::kPartition;
+    } else if (kind == "delay") {
+      rule.kind = Kind::kDelay;
+      wants_param = true;
+    } else if (kind == "reorder") {
+      rule.kind = Kind::kReorder;
+      wants_param = true;
+    } else if (kind == "dup") {
+      rule.kind = Kind::kDup;
+      wants_param = true;
+    } else if (kind == "loss") {
+      rule.kind = Kind::kLoss;
+      wants_param = true;
+    } else {
+      return InvalidArgumentError("unknown chaos kind '" + kind + "' in: " + entry);
+    }
+    if (fields[2] == "*") {
+      rule.port = 0;
+    } else {
+      uint64_t port = 0;
+      if (!ParseU64(fields[2], &port) || port == 0 || port > 65535) {
+        return InvalidArgumentError("bad chaos peer port (want 1-65535 or *): " + entry);
+      }
+      rule.port = static_cast<uint16_t>(port);
+    }
+    if (wants_param) {
+      if (fields.size() != 4 || !ParseDouble(fields[3], &rule.param) || rule.param < 0) {
+        return InvalidArgumentError("chaos kind '" + kind + "' needs a numeric param: " + entry);
+      }
+      if ((rule.kind == Kind::kDup || rule.kind == Kind::kLoss) && rule.param > 1.0) {
+        return InvalidArgumentError("chaos probability must be in [0,1]: " + entry);
+      }
+    } else if (fields.size() == 4) {
+      return InvalidArgumentError("chaos kind '" + kind + "' takes no param: " + entry);
+    }
+    rules.push_back(rule);
+  }
+  return std::shared_ptr<ChaosDirector>(new ChaosDirector(std::move(rules), seed));
+}
+
+uint64_t ChaosDirector::ElapsedMs() const {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::milliseconds>(
+                                   std::chrono::steady_clock::now() - epoch_)
+                                   .count());
+}
+
+ChaosDirector::Verdict ChaosDirector::OnSend(uint16_t peer_port) {
+  const uint64_t now_ms = ElapsedMs();
+  for (const Rule& rule : rules_) {
+    if (now_ms < rule.start_ms || now_ms >= rule.end_ms ||
+        (rule.port != 0 && rule.port != peer_port)) {
+      continue;
+    }
+    switch (rule.kind) {
+      case Kind::kBlackholeOut:
+      case Kind::kPartition:
+        return {Action::kDrop};
+      case Kind::kLoss: {
+        std::lock_guard<std::mutex> lock(rng_mutex_);
+        if (rng_.Bernoulli(rule.param)) {
+          return {Action::kDrop};
+        }
+        break;
+      }
+      default:
+        break;  // receive-side kinds
+    }
+  }
+  return {Action::kDeliver};
+}
+
+ChaosDirector::Verdict ChaosDirector::OnRecv(uint16_t peer_port) {
+  const uint64_t now_ms = ElapsedMs();
+  // First matching drop wins; a delay and a dup can both fire conceptually,
+  // but one verdict per datagram keeps the socket side simple — the first
+  // matching non-drop rule decides.
+  for (const Rule& rule : rules_) {
+    if (now_ms < rule.start_ms || now_ms >= rule.end_ms ||
+        (rule.port != 0 && rule.port != peer_port)) {
+      continue;
+    }
+    switch (rule.kind) {
+      case Kind::kBlackholeIn:
+      case Kind::kPartition:
+        return {Action::kDrop};
+      case Kind::kDelay:
+        return {Action::kDelay, static_cast<uint32_t>(rule.param)};
+      case Kind::kReorder: {
+        std::lock_guard<std::mutex> lock(rng_mutex_);
+        return {Action::kDelay,
+                static_cast<uint32_t>(rng_.Uniform(0.0, std::max(rule.param, 1.0)))};
+      }
+      case Kind::kDup: {
+        std::lock_guard<std::mutex> lock(rng_mutex_);
+        if (rng_.Bernoulli(rule.param)) {
+          return {Action::kDuplicate};
+        }
+        break;
+      }
+      default:
+        break;  // send-side kinds
+    }
+  }
+  return {Action::kDeliver};
+}
+
+}  // namespace swift

@@ -17,7 +17,7 @@ Status StatusFromWire(uint32_t code, const char* what) {
   if (code == 0) {
     return OkStatus();
   }
-  if (code > static_cast<uint32_t>(StatusCode::kDataCorrupt)) {
+  if (code > static_cast<uint32_t>(StatusCode::kCancelled)) {
     return InternalError(std::string(what) + ": mediator sent an unknown status code");
   }
   return Status(static_cast<StatusCode>(code),

@@ -53,6 +53,7 @@ UdpMediatorServer::~UdpMediatorServer() { Stop(); }
 
 Status UdpMediatorServer::Start() {
   SWIFT_RETURN_IF_ERROR(socket_.BindLoopback(options_.port));
+  socket_.SetChaos(options_.chaos);
   port_ = socket_.local_port();
   epoch_ = std::chrono::steady_clock::now();
   running_.store(true, std::memory_order_release);
@@ -72,6 +73,9 @@ void UdpMediatorServer::Stop() {
 }
 
 uint64_t UdpMediatorServer::NowMs() const {
+  if (options_.now_ms) {
+    return options_.now_ms();
+  }
   // +1 so a registration in the very first millisecond still has a nonzero
   // heartbeat timestamp.
   return 1 + static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::milliseconds>(

@@ -20,6 +20,7 @@
 #include <atomic>
 #include <chrono>
 #include <deque>
+#include <functional>
 #include <thread>
 #include <vector>
 
@@ -35,6 +36,15 @@ class UdpMediatorServer {
     // 0 = kernel-assigned (tests); kDefaultMediatorPort for a deployment.
     uint16_t port = 0;
     StorageMediator::Options mediator;
+    // Injectable millisecond clock for the lease/heartbeat timeline. Tests
+    // step a fake clock instead of sleeping through real lease windows (the
+    // deflake lever for lease-expiry suites); unset = milliseconds since
+    // Start() on the steady clock.
+    std::function<uint64_t()> now_ms;
+    // Fault-injection director for the mediator's socket (see
+    // src/agent/chaos.h) — lets chaos tests partition the control plane as
+    // well as the data plane. Nullptr = no chaos.
+    std::shared_ptr<ChaosDirector> chaos;
   };
 
   explicit UdpMediatorServer(Options options);

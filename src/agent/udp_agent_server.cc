@@ -34,6 +34,7 @@ struct ServerMetrics {
   Counter* nacks_sent;
   Counter* stats_requests;
   Counter* trace_requests;
+  Counter* overload_sheds;
   HistogramMetric* read_service_us;
   HistogramMetric* write_service_us;
 };
@@ -47,11 +48,27 @@ const ServerMetrics& Metrics() {
         registry.GetCounter("swift_agent_nacks_sent_total"),
         registry.GetCounter("swift_agent_stats_requests_total"),
         registry.GetCounter("swift_agent_trace_requests_total"),
+        registry.GetCounter("swift_agent_overload_shed_total"),
         registry.GetHistogram("swift_agent_read_service_us"),
         registry.GetHistogram("swift_agent_write_service_us"),
     };
   }();
   return metrics;
+}
+
+// True when the request's deadline budget (a RELATIVE µs value — clocks are
+// never compared across nodes) expired while the datagram sat in kernel
+// socket buffers or the receive batch. The client has already written this
+// attempt off, so serving it is pure waste ahead of fresher work: the server
+// sheds it with kOverloaded, which the client treats as backpressure (jitter
+// retry, no congestion-window decrease). recv_ns is the kernel-drain stamp
+// on the FlightRecorder clock; 0 (untracked) never sheds.
+bool BudgetExpired(const Message& m, uint64_t recv_ns) {
+  if (m.deadline_us == 0 || recv_ns == 0) {
+    return false;
+  }
+  const uint64_t now_ns = FlightRecorder::NowNs();
+  return now_ns > recv_ns && (now_ns - recv_ns) / 1000 > m.deadline_us;
 }
 
 double ElapsedUs(std::chrono::steady_clock::time_point since) {
@@ -148,6 +165,7 @@ Status UdpAgentServer::Start() {
       shard->socket.SetLossProbability(options_.loss_probability,
                                        options_.loss_seed + shard->index * 1000003ULL);
     }
+    shard->socket.SetChaos(options_.chaos);
   }
   running_.store(true, std::memory_order_release);
   for (auto& shard : shards_) {
@@ -230,6 +248,13 @@ void UdpAgentServer::ShardLoop(Shard* shard) {
       Metrics().datagrams_in->Increment();
       shard->datagrams.fetch_add(1, std::memory_order_relaxed);
       shard->registry_datagrams->Increment();
+      if (BudgetExpired(*message, datagram.recv_ns)) {
+        Metrics().overload_sheds->Increment();
+        QueueReply(replies, datagram.from,
+                   ErrorReply(*message, OverloadedError("deadline expired in queue")),
+                   message->tx_ts_us);
+        continue;
+      }
       // Well-known-port requests are single datagrams; a traced one gets a
       // self-contained span (recv-batch wait + handler time) right here.
       const bool traced = message->trace.sampled() && GetTraceMode() != TraceMode::kOff;
@@ -340,6 +365,7 @@ void UdpAgentServer::HandleOpen(Shard* shard, const Message& request,
     session->socket->SetLossProbability(options_.loss_probability,
                                         options_.loss_seed * 31 + opened->handle);
   }
+  session->socket->SetChaos(options_.chaos);
 
   reply.status_code = 0;
   reply.handle = opened->handle;
@@ -468,6 +494,20 @@ void UdpAgentServer::SessionLoop(UdpSocket* socket, uint32_t handle, uint32_t sh
       Metrics().datagrams_in->Increment();
       const Message& m = *decoded;
       const UdpEndpoint& client = datagram.from;
+
+      // Shed expired queued work before any service or trace accounting.
+      // kClose is exempt (releasing the handle must always go through), and
+      // an expired WRITE_DATA packet is dropped silently — the write op's
+      // query/NACK cycle resynchronizes, and one kOverloaded on the query
+      // beats a reply storm mirroring the whole burst.
+      if (m.type != MessageType::kClose && BudgetExpired(m, datagram.recv_ns)) {
+        Metrics().overload_sheds->Increment();
+        if (m.type != MessageType::kWriteData) {
+          QueueReply(replies, client,
+                     ErrorReply(m, OverloadedError("deadline expired in queue")), m.tx_ts_us);
+        }
+        continue;
+      }
 
       RequestTrace* trace = nullptr;
       uint64_t handler_begin_ns = 0;

@@ -56,6 +56,10 @@ class UdpAgentServer {
     // Outgoing loss injection for recovery tests.
     double loss_probability = 0;
     uint64_t loss_seed = 1;
+    // Fault-injection director installed on every server socket — the
+    // well-known-port shards and each per-session socket (see
+    // src/agent/chaos.h). Nullptr = no chaos.
+    std::shared_ptr<ChaosDirector> chaos;
     // SO_REUSEPORT listener sockets on the well-known port, one drain thread
     // (and receive arena, session list, metric shard) each. 1 = the classic
     // single primary thread. If the platform cannot deliver the full count,

@@ -7,8 +7,10 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <climits>
 #include <cstring>
 
+#include "src/agent/chaos.h"
 #include "src/util/metrics.h"
 #include "src/util/trace.h"
 
@@ -112,7 +114,9 @@ UdpSocket::UdpSocket(UdpSocket&& other) noexcept
       gro_enabled_(other.gro_enabled_),
       gso_send_disabled_(other.gso_send_disabled_),
       pending_rx_(std::move(other.pending_rx_)),
-      pending_rx_next_(other.pending_rx_next_) {
+      pending_rx_next_(other.pending_rx_next_),
+      chaos_(std::move(other.chaos_)),
+      chaos_held_(std::move(other.chaos_held_)) {
   other.fd_ = -1;
   other.local_port_ = 0;
   other.recv_arena_ = Buffer();
@@ -135,6 +139,8 @@ UdpSocket& UdpSocket::operator=(UdpSocket&& other) noexcept {
     gso_send_disabled_ = other.gso_send_disabled_;
     pending_rx_ = std::move(other.pending_rx_);
     pending_rx_next_ = other.pending_rx_next_;
+    chaos_ = std::move(other.chaos_);
+    chaos_held_ = std::move(other.chaos_held_);
     other.fd_ = -1;
     other.local_port_ = 0;
     other.recv_arena_ = Buffer();
@@ -203,11 +209,20 @@ bool UdpSocket::LoseOutgoing() {
   return false;
 }
 
+bool UdpSocket::ChaosDropOutgoing(const UdpEndpoint& dst) {
+  if (chaos_ == nullptr ||
+      chaos_->OnSend(dst.port).action != ChaosDirector::Action::kDrop) {
+    return false;
+  }
+  ++datagrams_dropped_;
+  return true;
+}
+
 Status UdpSocket::SendTo(const UdpEndpoint& dst, std::span<const uint8_t> data) {
   if (fd_ < 0) {
     return UnavailableError("socket closed");
   }
-  if (LoseOutgoing()) {
+  if (LoseOutgoing() || ChaosDropOutgoing(dst)) {
     return OkStatus();  // silently "lost on the wire"
   }
   sockaddr_in addr = dst.ToSockaddr();
@@ -233,7 +248,7 @@ Status UdpSocket::SendTo(const UdpEndpoint& dst, std::span<const uint8_t> head,
   if (fd_ < 0) {
     return UnavailableError("socket closed");
   }
-  if (LoseOutgoing()) {
+  if (LoseOutgoing() || ChaosDropOutgoing(dst)) {
     return OkStatus();  // silently "lost on the wire"
   }
   sockaddr_in addr = dst.ToSockaddr();
@@ -282,7 +297,7 @@ Status UdpSocket::SendBatch(std::span<const OutgoingDatagram> batch) {
   addrs.reserve(batch.size());
   iovs.reserve(batch.size() * 2);
   for (const OutgoingDatagram& d : batch) {
-    if (LoseOutgoing()) {
+    if (LoseOutgoing() || ChaosDropOutgoing(d.dst)) {
       continue;
     }
     addrs.push_back(d.dst.ToSockaddr());
@@ -541,7 +556,7 @@ Result<size_t> UdpSocket::RecvGroTrain(int) {
 }
 #endif
 
-Result<UdpSocket::ReceivedDatagram> UdpSocket::RecvFrom(int timeout_ms) {
+Result<UdpSocket::ReceivedDatagram> UdpSocket::RecvFromKernel(int timeout_ms) {
   if (fd_ < 0 || shutdown_.load(std::memory_order_acquire)) {
     return UnavailableError("socket closed");
   }
@@ -607,8 +622,8 @@ Result<UdpSocket::ReceivedDatagram> UdpSocket::RecvFrom(int timeout_ms) {
   return out;
 }
 
-Result<size_t> UdpSocket::RecvBatch(int timeout_ms, size_t max_batch,
-                                    std::vector<ReceivedDatagram>& out) {
+Result<size_t> UdpSocket::RecvBatchKernel(int timeout_ms, size_t max_batch,
+                                          std::vector<ReceivedDatagram>& out) {
   out.clear();
   if (fd_ < 0 || shutdown_.load(std::memory_order_acquire)) {
     return UnavailableError("socket closed");
@@ -721,7 +736,7 @@ Result<size_t> UdpSocket::RecvBatch(int timeout_ms, size_t max_batch,
 
   // Fallback / batch-of-one path: exactly the per-datagram baseline, one
   // recvmsg per datagram, truncation surfaced via the flag for API parity.
-  auto received = RecvFrom(timeout_ms);
+  auto received = RecvFromKernel(timeout_ms);
   if (!received.ok()) {
     if (received.code() == StatusCode::kMessageTooLarge) {
       ReceivedDatagram d;
@@ -734,6 +749,188 @@ Result<size_t> UdpSocket::RecvBatch(int timeout_ms, size_t max_batch,
   out.push_back(*std::move(received));
   return size_t{1};
 }
+
+bool UdpSocket::TakeDueHeld(ReceivedDatagram* out) {
+  if (chaos_held_.empty()) {
+    return false;
+  }
+  const auto now = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < chaos_held_.size(); ++i) {
+    if (chaos_held_[i].release <= now) {
+      *out = std::move(chaos_held_[i].datagram);
+      // The datagram "arrives" now: chaos models network delay, so the
+      // kernel-exit stamp moves to the release instant (queueing before the
+      // fault does not count against server-side budgets).
+      out->recv_ns = FlightRecorder::NowNs();
+      chaos_held_[i] = std::move(chaos_held_.back());
+      chaos_held_.pop_back();
+      return true;
+    }
+  }
+  return false;
+}
+
+bool UdpSocket::NextChaosWaitMs(std::chrono::steady_clock::time_point start, int timeout_ms,
+                                int* wait_ms) const {
+  const auto now = std::chrono::steady_clock::now();
+  int64_t wait = -1;  // forever
+  if (timeout_ms >= 0) {
+    const int64_t elapsed =
+        std::chrono::duration_cast<std::chrono::milliseconds>(now - start).count();
+    wait = static_cast<int64_t>(timeout_ms) - elapsed;
+    if (wait <= 0) {
+      return false;  // the caller's budget is spent; held datagrams keep
+    }
+  }
+  for (const HeldDatagram& held : chaos_held_) {
+    // +1 rounds up so the poll does not wake a hair before the release.
+    const int64_t until = std::max<int64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(held.release - now).count() + 1,
+        0);
+    if (wait < 0 || until < wait) {
+      wait = until;
+    }
+  }
+  *wait_ms = static_cast<int>(std::min<int64_t>(wait, INT_MAX));
+  return true;
+}
+
+int UdpSocket::NextChaosReleaseMs() const {
+  if (chaos_held_.empty()) {
+    return -1;
+  }
+  const auto now = std::chrono::steady_clock::now();
+  int64_t nearest = INT_MAX;
+  for (const HeldDatagram& held : chaos_held_) {
+    const int64_t until = std::max<int64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(held.release - now).count() + 1,
+        0);
+    nearest = std::min(nearest, until);
+  }
+  return static_cast<int>(nearest);
+}
+
+Result<UdpSocket::ReceivedDatagram> UdpSocket::RecvFrom(int timeout_ms) {
+  if (chaos_ == nullptr) {
+    return RecvFromKernel(timeout_ms);
+  }
+  const auto start = std::chrono::steady_clock::now();
+  bool swept_kernel = false;
+  for (;;) {
+    ReceivedDatagram held;
+    if (TakeDueHeld(&held)) {
+      return held;
+    }
+    int wait_ms = 0;
+    if (!NextChaosWaitMs(start, timeout_ms, &wait_ms)) {
+      // A zero (or spent) budget still gets one nonblocking kernel sweep —
+      // event-loop callers poll(2) first and drain with timeout 0, and the
+      // kernel path honours that contract.
+      if (swept_kernel) {
+        return TimedOutError("no datagram within the timeout");
+      }
+      wait_ms = 0;
+    }
+    swept_kernel = true;
+    auto received = RecvFromKernel(wait_ms);
+    if (!received.ok()) {
+      if (received.code() == StatusCode::kTimedOut) {
+        continue;  // a held release may be due, or the caller's budget spent
+      }
+      return received.status();
+    }
+    const ChaosDirector::Verdict verdict = chaos_->OnRecv(received->from.port);
+    switch (verdict.action) {
+      case ChaosDirector::Action::kDrop:
+        continue;
+      case ChaosDirector::Action::kDelay:
+        chaos_held_.push_back({*std::move(received),
+                               std::chrono::steady_clock::now() +
+                                   std::chrono::milliseconds(verdict.delay_ms)});
+        continue;
+      case ChaosDirector::Action::kDuplicate: {
+        // The copy aliases the same arena block — no payload bytes move.
+        ReceivedDatagram copy = *received;
+        chaos_held_.push_back({std::move(copy), std::chrono::steady_clock::now()});
+        return *std::move(received);
+      }
+      case ChaosDirector::Action::kDeliver:
+        return *std::move(received);
+    }
+  }
+}
+
+Result<size_t> UdpSocket::RecvBatch(int timeout_ms, size_t max_batch,
+                                    std::vector<ReceivedDatagram>& out) {
+  if (chaos_ == nullptr) {
+    return RecvBatchKernel(timeout_ms, max_batch, out);
+  }
+  out.clear();
+  if (max_batch == 0) {
+    max_batch = 1;
+  }
+  const auto start = std::chrono::steady_clock::now();
+  // Chaos classification re-batches through scratch so drops and delays
+  // never leave holes in the caller's vector.
+  static thread_local std::vector<ReceivedDatagram> raw;
+  bool swept_kernel = false;
+  for (;;) {
+    ReceivedDatagram held;
+    while (out.size() < max_batch && TakeDueHeld(&held)) {
+      out.push_back(std::move(held));
+    }
+    if (!out.empty()) {
+      return out.size();
+    }
+    int wait_ms = 0;
+    if (!NextChaosWaitMs(start, timeout_ms, &wait_ms)) {
+      // One nonblocking kernel sweep even on a zero/spent budget (see
+      // RecvFrom): timeout-0 drains from an event loop must not go deaf.
+      if (swept_kernel) {
+        return TimedOutError("no datagram within the timeout");
+      }
+      wait_ms = 0;
+    }
+    swept_kernel = true;
+    auto received = RecvBatchKernel(wait_ms, max_batch, raw);
+    if (!received.ok()) {
+      if (received.code() == StatusCode::kTimedOut) {
+        continue;
+      }
+      return received.status();
+    }
+    for (ReceivedDatagram& d : raw) {
+      if (d.truncated) {
+        // Flagged garbage either way; chaos adds nothing to it.
+        out.push_back(std::move(d));
+        continue;
+      }
+      const ChaosDirector::Verdict verdict = chaos_->OnRecv(d.from.port);
+      switch (verdict.action) {
+        case ChaosDirector::Action::kDrop:
+          break;
+        case ChaosDirector::Action::kDelay:
+          chaos_held_.push_back({std::move(d),
+                                 std::chrono::steady_clock::now() +
+                                     std::chrono::milliseconds(verdict.delay_ms)});
+          break;
+        case ChaosDirector::Action::kDuplicate:
+          out.push_back(d);
+          out.push_back(std::move(d));
+          break;
+        case ChaosDirector::Action::kDeliver:
+          out.push_back(std::move(d));
+          break;
+      }
+    }
+    raw.clear();
+    if (!out.empty()) {
+      return out.size();
+    }
+  }
+}
+
+void UdpSocket::SetChaos(std::shared_ptr<ChaosDirector> chaos) { chaos_ = std::move(chaos); }
 
 void UdpSocket::Shutdown() {
   // shutdown(2) does not wake pollers on unconnected UDP sockets; instead

@@ -30,7 +30,9 @@
 #include <netinet/in.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
@@ -40,6 +42,8 @@
 #include "src/util/status.h"
 
 namespace swift {
+
+class ChaosDirector;
 
 struct UdpEndpoint {
   uint32_t ipv4_host = 0;  // host byte order; loopback = 0x7F000001
@@ -127,6 +131,13 @@ class UdpSocket {
   // the last slice drops). Single consumer: RecvFrom must not be called
   // concurrently from two threads (it never is — one reactor/session thread
   // owns each socket's receive side).
+  //
+  // With a ChaosDirector installed the datagram is first classified: dropped
+  // datagrams are consumed silently, delayed ones are held inside the socket
+  // and delivered once their release time passes (their recv_ns is re-stamped
+  // at release — chaos models network delay, not queue delay), duplicated
+  // ones are delivered twice. The poll timeout is clamped so held datagrams
+  // deliver on time.
   Result<ReceivedDatagram> RecvFrom(int timeout_ms);
 
   // Waits up to `timeout_ms` for at least one datagram, then drains up to
@@ -150,8 +161,37 @@ class UdpSocket {
   // Fraction of outgoing datagrams to drop (testing).
   void SetLossProbability(double p, uint64_t seed);
 
+  // Installs (or clears, with nullptr) a fault-injection director consulted
+  // for every datagram sent and received. Several sockets may share one
+  // director (its verdicts are thread-safe); the held-datagram queue is per
+  // socket and touched only by the receiving thread. Install before the
+  // receive loop starts.
+  void SetChaos(std::shared_ptr<ChaosDirector> chaos);
+
+  // Milliseconds until the earliest chaos-held datagram is due for release
+  // (0 = due now), or -1 when nothing is held. Held datagrams were already
+  // consumed from the kernel, so they raise no POLLIN: an event loop that
+  // multiplexes this socket must fold this into its poll deadline and drain
+  // the socket when a release comes due. Same thread as the receive calls.
+  int NextChaosReleaseMs() const;
+
  private:
   void CloseFd();
+  // Kernel-facing receive paths (chaos-free); the public RecvFrom/RecvBatch
+  // wrap these with fault classification when a director is installed.
+  Result<ReceivedDatagram> RecvFromKernel(int timeout_ms);
+  Result<size_t> RecvBatchKernel(int timeout_ms, size_t max_batch,
+                                 std::vector<ReceivedDatagram>& out);
+  // True when chaos says to drop this outgoing datagram (counted as dropped).
+  bool ChaosDropOutgoing(const UdpEndpoint& dst);
+  // Moves one due held datagram into `out` (re-stamping recv_ns); false when
+  // none is due yet.
+  bool TakeDueHeld(ReceivedDatagram* out);
+  // Poll budget for the next kernel wait: the caller's remaining budget
+  // (negative `timeout_ms` = forever) clamped to the earliest held-datagram
+  // release. Returns false when the caller's budget is spent (→ kTimedOut).
+  bool NextChaosWaitMs(std::chrono::steady_clock::time_point start, int timeout_ms,
+                       int* wait_ms) const;
   // True when the datagram should be dropped by loss injection (counted).
   bool LoseOutgoing();
   // Ensures the receive arena has at least one free slot (kMaxDatagram, or a
@@ -193,6 +233,16 @@ class UdpSocket {
   bool gso_send_disabled_ = false;
   std::vector<ReceivedDatagram> pending_rx_;
   size_t pending_rx_next_ = 0;
+
+  // Fault injection. `chaos_held_` is the delayed-datagram hold queue
+  // (unordered; scanned for the earliest release), owned by the receiving
+  // thread like the arena.
+  std::shared_ptr<ChaosDirector> chaos_;
+  struct HeldDatagram {
+    ReceivedDatagram datagram;
+    std::chrono::steady_clock::time_point release;
+  };
+  std::vector<HeldDatagram> chaos_held_;
 };
 
 }  // namespace swift

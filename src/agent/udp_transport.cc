@@ -45,6 +45,9 @@ struct ClientMetrics {
   Counter* retransmissions;
   Counter* backoff_resets;
   Counter* reactor_wakeups;
+  Counter* overloaded_replies;
+  Counter* deadline_failures;
+  Counter* cancelled_reads;
   HistogramMetric* rpc_us;
   HistogramMetric* read_us;
   HistogramMetric* write_us;
@@ -58,6 +61,9 @@ const ClientMetrics& Metrics() {
         registry.GetCounter("swift_udp_client_retransmissions_total"),
         registry.GetCounter("swift_udp_client_backoff_resets_total"),
         registry.GetCounter("swift_udp_client_reactor_wakeups_total"),
+        registry.GetCounter("swift_udp_client_overloaded_replies_total"),
+        registry.GetCounter("swift_udp_client_deadline_failures_total"),
+        registry.GetCounter("swift_udp_client_cancelled_reads_total"),
         registry.GetHistogram("swift_udp_client_rpc_latency_us"),
         registry.GetHistogram("swift_udp_client_read_latency_us"),
         registry.GetHistogram("swift_udp_client_write_latency_us"),
@@ -130,6 +136,16 @@ void PatchTxTimestamp(std::vector<uint8_t>& head, uint64_t ts_us) {
   }
 }
 
+// Same trick for the deadline budget (big-endian, kDeadlineHeaderOffset):
+// the budget remaining is a function of the send instant, so a datagram
+// held by the pacer or re-queued must be re-stamped at flush.
+void PatchDeadline(std::vector<uint8_t>& head, uint64_t budget_us) {
+  for (size_t i = 0; i < 8; ++i) {
+    head[kDeadlineHeaderOffset + i] =
+        static_cast<uint8_t>(budget_us >> (56 - 8 * i));
+  }
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -179,6 +195,12 @@ class UdpTransport::Reactor {
           request_id_(request_id),
           timeout_ms_(reactor_->InitialTimeoutMs()) {
       FlightRecorder::Global().Record(TraceEventKind::kOpStart, request_id_);
+      // Introspection ops (traced=false) are exempt from op deadlines:
+      // observing the system should never be shed or deadline-failed.
+      if (traced && reactor_->OpDeadlineMs() > 0) {
+        has_op_deadline_ = true;
+        op_deadline_ = started_ + std::chrono::milliseconds(reactor_->OpDeadlineMs());
+      }
       if (traced && GetTraceMode() != TraceMode::kOff) {
         TraceContext parent = CurrentTraceContext();
         if (!parent.present()) {
@@ -292,6 +314,56 @@ class UdpTransport::Reactor {
         m.tx_ts_us = 1;
       }
     }
+    // Marks the message as deadline-bearing: a nonzero placeholder makes
+    // Encode reserve the extension bytes; the flush loop patches the budget
+    // remaining at the true send instant.
+    void StampDeadline(Message& m) const {
+      if (has_op_deadline_) {
+        m.deadline_us = 1;
+      }
+    }
+
+    // True once this op's wall-clock budget is spent — checked before every
+    // retransmission decision so the retry schedule never rides past it.
+    bool PastDeadline() const {
+      return has_op_deadline_ && Clock::now() >= op_deadline_;
+    }
+    // The op's terminal status at the deadline. kTimedOut, like an exhausted
+    // retry budget: callers above (parity reconstruction, SwiftFile) already
+    // treat it as a per-op failure, not a poisoned channel.
+    Status DeadlineFailure(const char* what) {
+      transport()->ops_deadline_failed_.fetch_add(1, std::memory_order_relaxed);
+      Metrics().deadline_failures->Increment();
+      return TimedOutError(std::string(what) + ": op deadline of " +
+                           std::to_string(reactor_->OpDeadlineMs()) + "ms exceeded");
+    }
+
+    // A kOverloaded reply arrived: the server shed this request (its queue
+    // outlived the budget, or it is load-shedding). Backpressure, not wire
+    // loss — re-arm with decorrelated jitter and let the timeout path
+    // retransmit, with the loss signal for that retransmit suppressed so the
+    // congestion window never charges a shed to the network. Returns false
+    // when the op must fail instead (deadline passed, or the shed would
+    // outlive the retry budget).
+    bool NoteOverloaded() {
+      transport()->ops_overloaded_.fetch_add(1, std::memory_order_relaxed);
+      Metrics().overloaded_replies->Increment();
+      if (PastDeadline() || reactor_->policy_.Exhausted(timeouts_ + 1)) {
+        return false;
+      }
+      overload_deferred_ = true;
+      Backoff();
+      ArmDeadline();
+      return true;
+    }
+    // Terminal status when NoteOverloaded says stop.
+    Status OverloadFailure(const char* what) {
+      if (PastDeadline()) {
+        return DeadlineFailure(what);
+      }
+      return OverloadedError(std::string(what) +
+                             ": agent still shedding load after the retry budget");
+    }
 
     Status Send(const Message& m) {
       if (!session_->socket.valid()) {
@@ -307,7 +379,7 @@ class UdpTransport::Reactor {
       reactor_->QueueSend(session_,
                           OutgoingDatagram{session_->agent, std::move(parts.header),
                                            std::move(parts.payload)},
-                          request_id_, m.has_timestamps());
+                          request_id_, m.has_timestamps(), m.has_deadline(), op_deadline_);
       return OkStatus();
     }
     Status Resend(const Message& m) {
@@ -324,7 +396,15 @@ class UdpTransport::Reactor {
       }
       return Send(m);
     }
-    void ArmDeadline() { deadline_ = Clock::now() + std::chrono::milliseconds(timeout_ms_); }
+    // Arms the retransmission timer, clamped to the op deadline so the poll
+    // loop wakes AT the deadline — an expired budget surfaces as a prompt
+    // OnTimeout → PastDeadline failure, not at the next scheduled retry.
+    void ArmDeadline() {
+      deadline_ = Clock::now() + std::chrono::milliseconds(timeout_ms_);
+      if (has_op_deadline_ && op_deadline_ < deadline_) {
+        deadline_ = op_deadline_;
+      }
+    }
     void Backoff() { timeout_ms_ = reactor_->NextTimeoutMs(timeout_ms_, data_bytes()); }
     // Counts one more consecutive timeout against the shared budget.
     bool BudgetExhausted() {
@@ -348,10 +428,16 @@ class UdpTransport::Reactor {
       }
     }
     // One more timeout-triggered retry: op accounting plus the channel's
-    // loss signal (a retry timeout is the delay controller's loss event).
+    // loss signal (a retry timeout is the delay controller's loss event) —
+    // unless the retransmit was scheduled by an overload shed, which is
+    // server backpressure, not congestion.
     void CountRetry() {
       transport()->ops_retried_.fetch_add(1, std::memory_order_relaxed);
-      reactor_->NoteLoss();
+      if (overload_deferred_) {
+        overload_deferred_ = false;
+      } else {
+        reactor_->NoteLoss();
+      }
     }
 
     // Registry + flight-recorder bookkeeping shared by every op's Finish:
@@ -390,8 +476,11 @@ class UdpTransport::Reactor {
     int timeouts_ = 0;  // consecutive timeouts since last progress
     bool retransmitted_ = false;     // any datagram of this op re-sent (Karn)
     bool counted_in_window_ = false; // holds one congestion-window slot
+    bool has_op_deadline_ = false;   // wall-clock budget armed (op_deadline_ms)
+    bool overload_deferred_ = false; // next retransmit is backpressure, not loss
     uint64_t gate_enter_ns_ = 0;     // nonzero while parked at the window gate
     Clock::time_point deadline_{};
+    Clock::time_point op_deadline_{};  // absolute end of the op's budget
     Clock::time_point started_ = Clock::now();
 
     // Span state. trace_id == 0 ⇒ this op is untraced and every hook above
@@ -417,6 +506,7 @@ class UdpTransport::Reactor {
           done_(std::move(done)) {
       Stamp(request_);
       StampTs(request_);
+      StampDeadline(request_);
     }
 
     bool Start() override {
@@ -430,6 +520,12 @@ class UdpTransport::Reactor {
 
     bool OnMessage(const Message& m) override {
       if (m.type == MessageType::kError) {
+        if (static_cast<StatusCode>(m.status_code) == StatusCode::kOverloaded) {
+          if (NoteOverloaded()) {
+            return false;  // backed off; the timeout path retransmits
+          }
+          return Finish(OverloadFailure(MessageTypeName(request_.type)));
+        }
         return Finish(StatusFromWire(m.status_code, MessageTypeName(request_.type)));
       }
       for (MessageType want : want_types_) {
@@ -441,6 +537,9 @@ class UdpTransport::Reactor {
     }
 
     bool OnTimeout() override {
+      if (PastDeadline()) {
+        return Finish(DeadlineFailure(MessageTypeName(request_.type)));
+      }
       if (BudgetExhausted()) {
         return Finish(UnavailableError("storage agent unreachable (no reply to " +
                                        std::string(MessageTypeName(request_.type)) + ")"));
@@ -520,6 +619,12 @@ class UdpTransport::Reactor {
 
     bool OnMessage(const Message& m) override {
       if (m.type == MessageType::kError) {
+        if (static_cast<StatusCode>(m.status_code) == StatusCode::kOverloaded) {
+          if (NoteOverloaded()) {
+            return false;
+          }
+          return Finish(OverloadFailure("READ"));
+        }
         return Finish(StatusFromWire(m.status_code, "READ"));
       }
       if (m.type != MessageType::kData) {
@@ -548,6 +653,9 @@ class UdpTransport::Reactor {
     }
 
     bool OnTimeout() override {
+      if (PastDeadline()) {
+        return Finish(DeadlineFailure("READ"));
+      }
       if (BudgetExhausted()) {
         return Finish(UnavailableError("storage agent unreachable during read"));
       }
@@ -580,6 +688,7 @@ class UdpTransport::Reactor {
       m.window = static_cast<uint16_t>(reactor_->read_window_);
       Stamp(m);
       StampTs(m);
+      StampDeadline(m);
       return m;
     }
 
@@ -648,9 +757,12 @@ class UdpTransport::Reactor {
       StampTs(announce_);
       query_ = announce_;
       query_.window = 1;
+      StampDeadline(announce_);
+      StampDeadline(query_);
       for (Message& packet : packets_) {
         Stamp(packet);
         StampTs(packet);
+        StampDeadline(packet);
       }
     }
 
@@ -697,6 +809,12 @@ class UdpTransport::Reactor {
           return false;
         }
         case MessageType::kError:
+          if (static_cast<StatusCode>(m.status_code) == StatusCode::kOverloaded) {
+            if (NoteOverloaded()) {
+              return false;
+            }
+            return Finish(OverloadFailure("WRITE"));
+          }
           return Finish(StatusFromWire(m.status_code, "WRITE"));
         default:
           return false;
@@ -704,6 +822,9 @@ class UdpTransport::Reactor {
     }
 
     bool OnTimeout() override {
+      if (PastDeadline()) {
+        return Finish(DeadlineFailure("WRITE"));
+      }
       if (BudgetExhausted()) {
         return Finish(UnavailableError("storage agent unreachable during write"));
       }
@@ -948,6 +1069,22 @@ class UdpTransport::Reactor {
     Wake();
   }
 
+  // Requests cancellation of a pending op (any thread). Processed on the
+  // reactor thread after the inbox drain, so an op cancelled right after
+  // submit is found either way; an op that already completed is a no-op.
+  // Because SubmitOp and Cancel go through the same mutex, the op can never
+  // arrive in a LATER inbox swap than its cancel.
+  void Cancel(uint32_t request_id) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stop_) {
+        return;  // shutdown aborts everything anyway
+      }
+      cancels_.push_back(request_id);
+    }
+    Wake();
+  }
+
   // Blocks until every submitted op has completed.
   void Drain() {
     std::unique_lock<std::mutex> lock(mutex_);
@@ -965,6 +1102,7 @@ class UdpTransport::Reactor {
           transport_->options_.loss_probability,
           transport_->next_loss_seed_.fetch_add(1, std::memory_order_relaxed));
     }
+    session->socket.SetChaos(transport_->options_.chaos);
     // Speak to the well-known port first; an OPEN reply retargets the
     // session to its private port.
     session->agent = UdpEndpoint::Loopback(transport_->agent_port_);
@@ -1016,10 +1154,13 @@ class UdpTransport::Reactor {
   // `timestamped` marks a header whose tx-timestamp bytes must be patched
   // with the true send instant at flush.
   void QueueSend(const SessionPtr& session, OutgoingDatagram dgram, uint32_t request_id,
-                 bool timestamped) {
-    pending_sends_.push_back(
-        PendingSend{session, std::move(dgram), request_id, timestamped, NowUs()});
+                 bool timestamped, bool deadlined, Clock::time_point op_deadline) {
+    pending_sends_.push_back(PendingSend{session, std::move(dgram), request_id, timestamped,
+                                         deadlined, op_deadline, NowUs()});
   }
+
+  // Per-op wall-clock budget from the transport's options (0 = off).
+  int OpDeadlineMs() const { return transport_->options_.op_deadline_ms; }
 
   // --- congestion-control hooks (reactor thread) ---------------------------
 
@@ -1230,6 +1371,20 @@ class UdpTransport::Reactor {
         // the reactor must read as pacing delay, not as network RTT.
         PatchTxTimestamp(pending.dgram.head, NowUs());
       }
+      if (pending.deadlined) {
+        // Budget remaining at the send instant. An already-expired budget
+        // still ships as the 1µs floor: the server sheds it on arrival,
+        // which is the honest outcome (and what the shed counters measure).
+        const auto wall_now = Clock::now();
+        uint64_t budget_us = 1;
+        if (pending.op_deadline > wall_now) {
+          budget_us = std::max<uint64_t>(
+              1, static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                           pending.op_deadline - wall_now)
+                                           .count()));
+        }
+        PatchDeadline(pending.dgram.head, budget_us);
+      }
       const uint64_t waited_us = now_us > pending.queued_us ? now_us - pending.queued_us : 0;
       CcMetrics().pacing_delay_us->Record(static_cast<double>(waited_us));
       if (pending.paced && waited_us > 0) {
@@ -1336,6 +1491,7 @@ class UdpTransport::Reactor {
     std::vector<pollfd> pfds;
     for (;;) {
       std::vector<std::unique_ptr<PendingOp>> fresh;
+      std::vector<uint32_t> cancels;
       std::vector<SessionPtr> gone;
       std::vector<SessionPtr> snapshot;
       bool stopping;
@@ -1343,6 +1499,7 @@ class UdpTransport::Reactor {
         std::lock_guard<std::mutex> lock(mutex_);
         stopping = stop_;
         fresh.swap(inbox_);
+        cancels.swap(cancels_);
         gone.swap(removals_);
         snapshot = sessions_;
       }
@@ -1384,6 +1541,32 @@ class UdpTransport::Reactor {
         } else {
           started_scratch_.push_back(op.get());
           active_[op->request_id()] = std::move(op);
+        }
+      }
+
+      // Cancellations, after the inbox drain (the target may have arrived in
+      // this very swap) and before the window dispatch (a gated op leaves
+      // without ever sending). A cancelled op completes kCancelled here and
+      // leaves active_, so nothing can write its destination buffer again —
+      // any reply that arrives later matches the recent-done ring and is
+      // counted as a late datagram, never placed.
+      for (uint32_t id : cancels) {
+        if (auto it = active_.find(id); it != active_.end()) {
+          Metrics().cancelled_reads->Increment();
+          it->second->Abort(CancelledError("read cancelled by submitter"));
+          RetireOp(*it->second);
+          active_.erase(it);
+          MarkFinished();
+          continue;
+        }
+        for (auto it = waiting_.begin(); it != waiting_.end(); ++it) {
+          if ((*it)->request_id() == id) {
+            Metrics().cancelled_reads->Increment();
+            (*it)->Abort(CancelledError("read cancelled by submitter"));
+            waiting_.erase(it);
+            MarkFinished();
+            break;
+          }
         }
       }
       DispatchWindow();
@@ -1432,6 +1615,15 @@ class UdpTransport::Reactor {
                 : static_cast<int>((next_pace_deadline_us_ - now_us + 999) / 1000);
         timeout_ms = timeout_ms < 0 ? pace_ms : std::min(timeout_ms, pace_ms);
       }
+      for (const SessionPtr& session : snapshot) {
+        // Chaos-held datagrams raise no POLLIN (they already left the
+        // kernel): wake at the earliest scripted release or the delay
+        // stretches to the next retransmission instead of the scripted spike.
+        const int held_ms = session->socket.NextChaosReleaseMs();
+        if (held_ms >= 0) {
+          timeout_ms = timeout_ms < 0 ? held_ms : std::min(timeout_ms, held_ms);
+        }
+      }
       ::poll(pfds.data(), pfds.size(), timeout_ms);
       Metrics().reactor_wakeups->Increment();
 
@@ -1444,7 +1636,8 @@ class UdpTransport::Reactor {
       // Drain every readable socket in recvmmsg batches and route datagrams
       // to their ops.
       for (size_t i = 0; i < snapshot.size(); ++i) {
-        if ((pfds[i + 1].revents & POLLIN) == 0) {
+        if ((pfds[i + 1].revents & POLLIN) == 0 &&
+            snapshot[i]->socket.NextChaosReleaseMs() != 0) {
           continue;
         }
         for (;;) {
@@ -1509,6 +1702,7 @@ class UdpTransport::Reactor {
   std::vector<SessionPtr> sessions_;
   std::vector<SessionPtr> removals_;
   std::vector<std::unique_ptr<PendingOp>> inbox_;
+  std::vector<uint32_t> cancels_;  // request ids to cancel next iteration
   std::map<uint32_t, SessionPtr> handles_;
   uint64_t live_ops_ = 0;  // inbox + active, for Drain()
 
@@ -1538,6 +1732,8 @@ class UdpTransport::Reactor {
     OutgoingDatagram dgram;
     uint32_t request_id = 0;
     bool timestamped = false;  // header carries tx-timestamp bytes to patch
+    bool deadlined = false;    // header carries deadline bytes to patch
+    Clock::time_point op_deadline{};  // absolute end of the op's budget
     uint64_t queued_us = 0;    // QueueSend instant, for pacing-delay metrics
     bool paced = false;        // held at least one flush by the token bucket
   };
@@ -1661,29 +1857,57 @@ void UdpTransport::StartRead(uint32_t handle, uint64_t offset, uint64_t length,
                                                        total, std::move(done)));
 }
 
-void UdpTransport::StartReadInto(uint32_t handle, uint64_t offset, std::span<uint8_t> out,
-                                 WriteCompletion done) {
+uint32_t UdpTransport::SubmitReadInto(uint32_t handle, uint64_t offset, std::span<uint8_t> out,
+                                      WriteCompletion done) {
   ops_submitted_.fetch_add(1, std::memory_order_relaxed);
   auto session = reactor_->SessionForHandle(handle);
   if (!session) {
     AccountOpDone(false);
     done(NotFoundError("no open session for handle " + std::to_string(handle)));
-    return;
+    return 0;
   }
   if (out.empty()) {
     AccountOpDone(true);
     done(OkStatus());
-    return;
+    return 0;
   }
   const uint32_t total = PacketCountFor(out.size());
   if (total > UINT16_MAX) {
     AccountOpDone(false);
     done(InvalidArgumentError("read too large for one request"));
+    return 0;
+  }
+  const uint32_t request_id = NextRequestId();
+  reactor_->SubmitOp(std::make_unique<Reactor::ReadOp>(reactor_.get(), std::move(session),
+                                                       request_id, handle, offset, out, total,
+                                                       std::move(done)));
+  return request_id;
+}
+
+void UdpTransport::StartReadInto(uint32_t handle, uint64_t offset, std::span<uint8_t> out,
+                                 WriteCompletion done) {
+  SubmitReadInto(handle, offset, out, std::move(done));
+}
+
+uint64_t UdpTransport::StartCancellableReadInto(uint32_t handle, uint64_t offset,
+                                                std::span<uint8_t> out, WriteCompletion done) {
+  return SubmitReadInto(handle, offset, out, std::move(done));
+}
+
+void UdpTransport::CancelRead(uint64_t token) {
+  if (token == 0) {
     return;
   }
-  reactor_->SubmitOp(std::make_unique<Reactor::ReadOp>(reactor_.get(), std::move(session),
-                                                       NextRequestId(), handle, offset, out,
-                                                       total, std::move(done)));
+  reactor_->Cancel(static_cast<uint32_t>(token));
+}
+
+bool UdpTransport::RttEstimate(double* srtt_us, double* rttvar_us) const {
+  if (cc_rtt_samples_.load(std::memory_order_relaxed) == 0) {
+    return false;
+  }
+  *srtt_us = static_cast<double>(cc_srtt_us_.load(std::memory_order_relaxed));
+  *rttvar_us = static_cast<double>(cc_rttvar_us_.load(std::memory_order_relaxed));
+  return true;
 }
 
 void UdpTransport::StartWrite(uint32_t handle, uint64_t offset, std::span<const uint8_t> data,

@@ -103,6 +103,10 @@ class UdpTransport : public AgentTransport {
     // Outgoing loss injection (testing).
     double loss_probability = 0;
     uint64_t loss_seed = 99;
+    // Fault injection richer than loss: every client socket consults the
+    // director (see src/agent/chaos.h) for partitions, delay spikes,
+    // reordering and duplication. Nullptr = no chaos.
+    std::shared_ptr<ChaosDirector> chaos;
 
     // Congestion-control mode override: -1 follows the process-wide
     // SetCcMode (the daemons' --cc-mode flag, default delay); 0/1/2 pin
@@ -115,6 +119,12 @@ class UdpTransport : public AgentTransport {
     double rate_cap_bytes_per_sec = 0;
     // Queuing-delay target for the delay controller (LEDBAT TARGET).
     double cc_target_delay_us = 25'000.0;
+    // Per-op wall-clock deadline budget, milliseconds (0 = none). When set,
+    // every datagram of an op carries the remaining budget in its header
+    // extension (patched at flush time), servers shed work whose budget
+    // expired while queued (kOverloaded), and the op fails kTimedOut at the
+    // deadline instead of riding the retry schedule past it.
+    int op_deadline_ms = 0;
 
     RetryPolicy retry_policy() const {
       return RetryPolicy{initial_timeout_ms, max_timeout_ms, max_retries};
@@ -166,6 +176,17 @@ class UdpTransport : public AgentTransport {
   // buffer, no copy on completion. `out` must stay valid until `done` runs.
   void StartReadInto(uint32_t handle, uint64_t offset, std::span<uint8_t> out,
                      WriteCompletion done) override;
+  // Cancellable variant: the token is the op's request id. CancelRead posts
+  // a cancel command to the reactor; the op completes kCancelled on the
+  // reactor thread, leaves the active set (so `out` is never written again),
+  // and any datagram that arrives afterwards is classified as late by the
+  // recent-done ring instead of being placed.
+  uint64_t StartCancellableReadInto(uint32_t handle, uint64_t offset, std::span<uint8_t> out,
+                                    WriteCompletion done) override;
+  void CancelRead(uint64_t token) override;
+  // Channel SRTT/RTTVAR from the delay controller's estimator (false until
+  // the first echo sample lands).
+  bool RttEstimate(double* srtt_us, double* rttvar_us) const override;
   void StartWrite(uint32_t handle, uint64_t offset, std::span<const uint8_t> data,
                   WriteCompletion done) override;
   uint32_t max_in_flight() const override { return std::max<uint32_t>(1, options_.max_in_flight_ops); }
@@ -179,6 +200,14 @@ class UdpTransport : public AgentTransport {
   // --- statistics -----------------------------------------------------------
   uint64_t datagrams_sent() const { return datagrams_sent_.load(std::memory_order_relaxed); }
   uint64_t retransmissions() const { return retransmissions_.load(std::memory_order_relaxed); }
+  // kOverloaded replies absorbed as backpressure (jittered re-arm, no cwnd
+  // decrease) and ops failed at their deadline budget.
+  uint64_t overloaded_replies() const {
+    return ops_overloaded_.load(std::memory_order_relaxed);
+  }
+  uint64_t deadline_failures() const {
+    return ops_deadline_failed_.load(std::memory_order_relaxed);
+  }
 
   // --- congestion control ---------------------------------------------------
   CcMode cc_mode() const { return cc_mode_; }
@@ -189,6 +218,11 @@ class UdpTransport : public AgentTransport {
 
   uint32_t NextRequestId() { return next_request_id_.fetch_add(1, std::memory_order_relaxed); }
   void AccountOpDone(bool ok);
+  // Shared submit path for both StartReadInto flavours; returns the op's
+  // request id, or 0 when the completion already ran inline (bad handle,
+  // empty read, oversized read).
+  uint32_t SubmitReadInto(uint32_t handle, uint64_t offset, std::span<uint8_t> out,
+                          WriteCompletion done);
 
   uint16_t agent_port_;
   Options options_;
@@ -215,6 +249,8 @@ class UdpTransport : public AgentTransport {
   std::atomic<uint64_t> ops_completed_{0};
   std::atomic<uint64_t> ops_retried_{0};
   std::atomic<uint64_t> ops_failed_{0};
+  std::atomic<uint64_t> ops_overloaded_{0};
+  std::atomic<uint64_t> ops_deadline_failed_{0};
   std::atomic<uint64_t> bytes_read_{0};
   std::atomic<uint64_t> bytes_written_{0};
 };

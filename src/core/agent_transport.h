@@ -145,6 +145,34 @@ class AgentTransport {
               });
   }
 
+  // StartReadInto variant that can be abandoned mid-flight: returns an
+  // opaque nonzero cancellation token when the transport supports in-flight
+  // cancellation, 0 when the op was submitted uncancellably (synchronous
+  // transports complete before returning, so there is never anything to
+  // cancel — hedging layers skip such ops). The completion still runs
+  // exactly once either way.
+  virtual uint64_t StartCancellableReadInto(uint32_t handle, uint64_t offset,
+                                            std::span<uint8_t> out, WriteCompletion done) {
+    StartReadInto(handle, offset, out, std::move(done));
+    return 0;
+  }
+
+  // Requests cancellation of a read submitted via StartCancellableReadInto.
+  // Best-effort and idempotent: if the op is still in flight its completion
+  // runs promptly with kCancelled and the transport guarantees `out` is
+  // never touched again afterwards (late datagrams are absorbed, not
+  // placed); if it already completed, nothing happens.
+  virtual void CancelRead(uint64_t token) { (void)token; }
+
+  // Live smoothed-RTT estimate of this transport's channel, for hedge-timer
+  // arming. False when the transport keeps no estimator or has no samples
+  // yet (callers fall back to a fixed hedge delay).
+  virtual bool RttEstimate(double* srtt_us, double* rttvar_us) const {
+    (void)srtt_us;
+    (void)rttvar_us;
+    return false;
+  }
+
   // Submits an asynchronous write. `data` is consumed before StartWrite
   // returns. The default adapter executes the synchronous Write inline.
   virtual void StartWrite(uint32_t handle, uint64_t offset, std::span<const uint8_t> data,

@@ -229,6 +229,16 @@ void OpBatch::Submit(uint32_t column, DistributionAgent::AsyncOp op) {
   });
 }
 
+bool OpBatch::WaitFor(std::chrono::microseconds timeout) {
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  return state_->cv.wait_for(lock, timeout, [this] { return state_->outstanding == 0; });
+}
+
+uint64_t OpBatch::Outstanding() {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->outstanding;
+}
+
 std::vector<Status> OpBatch::Wait() {
   std::unique_lock<std::mutex> lock(state_->mutex);
   state_->cv.wait(lock, [this] { return state_->outstanding == 0; });

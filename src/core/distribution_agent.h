@@ -45,6 +45,18 @@ class DistributionAgent {
     // Target stripe-unit ops in flight per column, capped per column by the
     // transport's own max_in_flight().
     uint32_t ops_in_flight = 4;
+    // Tail-tolerant reads: when a read batch has made no progress for one
+    // hedge delay (srtt + hedge_k·rttvar, clamped to [hedge_floor_us,
+    // hedge_cap_us]) and every outstanding op sits on a single column, that
+    // straggler's ops are cancelled and their ranges rebuilt from the row's
+    // parity survivors. Off by default: a hedge spends survivor-column reads
+    // to cut tail latency, and is only safe with parity on and no column
+    // already failed. Hedges are capped globally at ≤5% of reads.
+    bool hedged_reads = false;
+    double hedge_k = 3.0;
+    uint32_t hedge_floor_us = 500;
+    // Also the arm delay while the transport has no RTT estimate yet.
+    uint32_t hedge_cap_us = 100000;
   };
 
   using Completion = std::function<void(Status)>;
@@ -121,6 +133,16 @@ class OpBatch {
   // per-column aggregate statuses. May be called repeatedly (submit → wait →
   // submit more → wait).
   std::vector<Status> Wait();
+
+  // Waits until the batch drains or `timeout` elapses; true when it drained.
+  // Leaves the statuses and batch timing alone — follow with Wait(). The
+  // hedged-read loop polls this to spot a straggler column mid-batch.
+  bool WaitFor(std::chrono::microseconds timeout);
+
+  // Ops submitted whose completion has not yet been delivered. Advisory (the
+  // count can move the instant the lock drops); used for progress detection
+  // between WaitFor rounds.
+  uint64_t Outstanding();
 
  private:
   // Completion callbacks share ownership of this state: the last completer

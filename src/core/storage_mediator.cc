@@ -293,6 +293,16 @@ Status StorageMediator::CloseSession(uint64_t session_id) {
 Status StorageMediator::RenewLease(uint64_t session_id, uint64_t now_ms) {
   auto it = sessions_.find(session_id);
   if (it == sessions_.end()) {
+    // Session ids are assigned monotonically, so an id below the watermark
+    // once existed and was retired (lease expiry, heartbeat auto-retire, or
+    // an explicit close). A renew racing that retirement must NOT recreate
+    // the session — its reservations were already released and possibly
+    // re-granted — and must not report kNotFound either, which callers would
+    // read as "never existed". kSessionGone tells the client to reopen.
+    if (session_id != 0 && session_id < next_session_id_) {
+      return SessionGoneError("session " + std::to_string(session_id) +
+                              " was retired; reopen instead of renewing");
+    }
     return NotFoundError("no session " + std::to_string(session_id));
   }
   if (it->second.lease_ms == 0) {

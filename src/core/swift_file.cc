@@ -24,6 +24,9 @@ struct FileMetrics {
   HistogramMetric* degraded_read_us;
   Counter* parity_reconstructions;
   Counter* read_repairs;
+  Counter* hedge_attempts;
+  Counter* hedge_wins;
+  Counter* hedge_suppressed;
 };
 
 const FileMetrics& Metrics() {
@@ -35,10 +38,41 @@ const FileMetrics& Metrics() {
         registry.GetHistogram("swift_file_degraded_read_latency_us"),
         registry.GetCounter("swift_file_parity_reconstructions_total"),
         registry.GetCounter("swift_file_read_repairs_total"),
+        registry.GetCounter("swift_hedge_attempts_total"),
+        registry.GetCounter("swift_hedge_wins_total"),
+        registry.GetCounter("swift_hedge_suppressed_total"),
     };
   }();
   return metrics;
 }
+
+// Process-global hedge budget: a hedge is admitted only while the hedge count
+// stays at or under 5% of hedge-eligible reads. The first 19 reads can never
+// hedge — the warm-up doubles as protection against hedging on a cold RTT
+// estimate.
+struct HedgeGovernor {
+  std::atomic<uint64_t> reads{0};
+  std::atomic<uint64_t> hedges{0};
+  bool Admit() {
+    const uint64_t r = reads.load(std::memory_order_relaxed);
+    uint64_t h = hedges.load(std::memory_order_relaxed);
+    for (;;) {
+      if ((h + 1) * 20 > r) {
+        return false;
+      }
+      if (hedges.compare_exchange_weak(h, h + 1, std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+  }
+};
+
+HedgeGovernor& Governor() {
+  static HedgeGovernor governor;
+  return governor;
+}
+
+constexpr uint32_t kNoColumn = UINT32_MAX;
 
 double ElapsedUs(std::chrono::steady_clock::time_point since) {
   return std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
@@ -417,31 +451,91 @@ Status SwiftFile::GuardedCall(uint32_t column, const std::function<Status()>& fn
 // ------------------------------------------------------------- op plumbing --
 
 void SwiftFile::SubmitRead(OpBatch& batch, uint32_t column, uint64_t agent_offset,
-                           uint64_t length, uint8_t* dst, CorruptSink* corrupt) {
-  batch.Submit(column, [this, column, agent_offset, length, dst, corrupt](
+                           uint64_t length, uint8_t* dst, CorruptSink* corrupt,
+                           const std::shared_ptr<HedgeTracker>& hedge) {
+  size_t slot = 0;
+  if (hedge != nullptr) {
+    std::lock_guard<std::mutex> lock(hedge->mutex);
+    slot = hedge->ops.size();
+    HedgeTracker::Op op;
+    op.column = column;
+    op.agent_offset = agent_offset;
+    op.length = length;
+    op.dst = dst;
+    hedge->ops.push_back(op);
+  }
+  batch.Submit(column, [this, column, agent_offset, length, dst, corrupt, hedge, slot](
                            AgentTransport* transport, DistributionAgent::Completion done) {
     // Read-into: the transport assembles the stripe unit directly at `dst`
     // (the caller's destination), so no copy happens at this layer.
-    transport->StartReadInto(
-        handles_[column], agent_offset, std::span<uint8_t>(dst, length),
-        [this, column, agent_offset, length, dst, corrupt,
-         done = std::move(done)](Status status) {
-          if (!status.ok()) {
-            if (status.code() == StatusCode::kUnavailable) {
-              MarkColumnFailed(column);
-            }
-            if (status.code() == StatusCode::kDataCorrupt && corrupt != nullptr) {
-              // The agent is alive; only the stored unit failed its checksum.
-              // Park the op for post-batch repair instead of failing the
-              // batch — and leave the column's failure flag alone.
-              std::lock_guard<std::mutex> lock(corrupt->mutex);
-              corrupt->ops.push_back({column, agent_offset, length, dst});
-              done(OkStatus());
-              return;
-            }
+    // done() is never called under a tracker/sink lock: the final done()
+    // releases the batch waiter, whose stack frame owns the sink — an unlock
+    // after it could touch a dead mutex.
+    auto completion = [this, column, agent_offset, length, dst, corrupt, hedge, slot,
+                       done = std::move(done)](Status status) {
+      if (hedge != nullptr) {
+        bool parked = false;
+        {
+          std::lock_guard<std::mutex> lock(hedge->mutex);
+          HedgeTracker::Op& op = hedge->ops[slot];
+          op.done = true;
+          parked = op.parked;
+        }
+        if (parked) {
+          // The hedge owns this range now: whatever the transport delivered
+          // (cancellation, a late success, even an error), the batch sees OK
+          // and the range is rebuilt from parity afterwards. A real agent
+          // death still flips the column so reconstruction can see it.
+          if (status.code() == StatusCode::kUnavailable) {
+            MarkColumnFailed(column);
           }
-          done(std::move(status));
-        });
+          done(OkStatus());
+          return;
+        }
+      }
+      if (!status.ok()) {
+        if (status.code() == StatusCode::kUnavailable) {
+          MarkColumnFailed(column);
+        }
+        if (status.code() == StatusCode::kDataCorrupt && corrupt != nullptr) {
+          // The agent is alive; only the stored unit failed its checksum.
+          // Park the op for post-batch repair instead of failing the
+          // batch — and leave the column's failure flag alone.
+          {
+            std::lock_guard<std::mutex> lock(corrupt->mutex);
+            corrupt->ops.push_back({column, agent_offset, length, dst});
+          }
+          done(OkStatus());
+          return;
+        }
+      }
+      done(std::move(status));
+    };
+    if (hedge == nullptr) {
+      transport->StartReadInto(handles_[column], agent_offset,
+                               std::span<uint8_t>(dst, length), std::move(completion));
+      return;
+    }
+    bool parked = false;
+    {
+      std::lock_guard<std::mutex> lock(hedge->mutex);
+      HedgeTracker::Op& op = hedge->ops[slot];
+      op.started = true;
+      parked = op.parked;
+    }
+    if (parked) {
+      // Hedged before this op ever reached the wire: resolve without
+      // touching the transport — reconstruction already covers the range.
+      completion(OkStatus());
+      return;
+    }
+    const uint64_t token = transport->StartCancellableReadInto(
+        handles_[column], agent_offset, std::span<uint8_t>(dst, length),
+        std::move(completion));
+    if (token != 0) {
+      std::lock_guard<std::mutex> lock(hedge->mutex);
+      hedge->ops[slot].token = token;
+    }
   });
 }
 
@@ -460,20 +554,21 @@ void SwiftFile::SubmitWrite(OpBatch& batch, uint32_t column, uint64_t agent_offs
 }
 
 void SwiftFile::SubmitExtentRead(OpBatch& batch, const AgentExtent& extent, uint64_t base_offset,
-                                 std::span<uint8_t> out, CorruptSink* corrupt) {
+                                 std::span<uint8_t> out, CorruptSink* corrupt,
+                                 const std::shared_ptr<HedgeTracker>& hedge) {
   uint8_t* dst = out.data() + (extent.logical_offset - base_offset);
   const uint64_t unit = layout_.config().stripe_unit;
   // MapRange coalesces contiguous same-agent units into one extent; chop it
   // back to stripe-unit ops only when the column can overlap them.
   if (distribution_.window(extent.agent) <= 1 || extent.length <= unit) {
-    SubmitRead(batch, extent.agent, extent.agent_offset, extent.length, dst, corrupt);
+    SubmitRead(batch, extent.agent, extent.agent_offset, extent.length, dst, corrupt, hedge);
     return;
   }
   uint64_t done = 0;
   while (done < extent.length) {
     const uint64_t position = extent.agent_offset + done;
     const uint64_t chunk = std::min(unit - (position % unit), extent.length - done);
-    SubmitRead(batch, extent.agent, position, chunk, dst + done, corrupt);
+    SubmitRead(batch, extent.agent, position, chunk, dst + done, corrupt, hedge);
     done += chunk;
   }
 }
@@ -511,26 +606,68 @@ Status SwiftFile::ReadRange(uint64_t offset, std::span<uint8_t> out) {
     }
     const std::vector<AgentExtent> extents = layout_.MapRange(offset, out.size());
 
+    // Hedging needs the full parity budget in reserve: reconstruction of a
+    // cancelled straggler is only safe when no column is already failed.
+    const bool hedging = distribution_.options().hedged_reads && parity_on &&
+                         failed_count_.load() == 0 && layout_.config().num_agents > 1;
+
     // Live extents: one batch of stripe-unit ops across the whole range, so
     // every column pipelines up to its window. With parity on, checksum
     // failures park in `corrupt` instead of failing the batch; without
     // parity there is nothing to rebuild from, so they surface as errors.
     std::vector<const AgentExtent*> lost_extents;
     CorruptSink corrupt;
+    // Shared, not stack-owned: submit-path lambdas store cancel tokens after
+    // starting the transport op, which can lose a race with the batch waiter
+    // leaving this frame (see the HedgeTracker comment in the header).
+    auto hedge_tracker = hedging ? std::make_shared<HedgeTracker>() : nullptr;
+    std::vector<HedgeTracker::Op> hedged;
     {
       OpBatch batch(&distribution_);
       for (const AgentExtent& extent : extents) {
         if (ColumnFailed(extent.agent)) {
           lost_extents.push_back(&extent);
         } else {
-          SubmitExtentRead(batch, extent, offset, out, parity_on ? &corrupt : nullptr);
+          SubmitExtentRead(batch, extent, offset, out, parity_on ? &corrupt : nullptr,
+                           hedge_tracker);
         }
       }
-      Status status = Aggregate(batch.Wait());
+      Status status = Aggregate(hedging ? WaitHedged(batch, *hedge_tracker, &hedged)
+                                        : batch.Wait());
       if (status.code() == StatusCode::kUnavailable) {
         continue;  // re-plan with the updated failure set
       }
       SWIFT_RETURN_IF_ERROR(status);
+    }
+
+    // Finish a hedge: the straggler's cancelled ranges come from parity
+    // reconstruction. If reconstruction loses its bet (a survivor died
+    // mid-hedge), the straggler column itself is still healthy — re-read the
+    // ranges from it directly, so correctness never depends on the hedge.
+    if (!hedged.empty()) {
+      Status rebuilt = OkStatus();
+      for (const HedgeTracker::Op& op : hedged) {
+        rebuilt = ReconstructRange(op.column, op.agent_offset, op.length, op.dst);
+        if (!rebuilt.ok()) {
+          break;
+        }
+      }
+      if (rebuilt.ok()) {
+        Metrics().hedge_wins->Increment();
+      } else if (!ColumnFailed(hedged.front().column)) {
+        OpBatch retry(&distribution_);
+        for (const HedgeTracker::Op& op : hedged) {
+          SubmitRead(retry, op.column, op.agent_offset, op.length, op.dst,
+                     parity_on ? &corrupt : nullptr);
+        }
+        Status status = Aggregate(retry.Wait());
+        if (status.code() == StatusCode::kUnavailable) {
+          continue;  // the straggler died for real; re-plan degraded
+        }
+        SWIFT_RETURN_IF_ERROR(status);
+      } else {
+        SWIFT_RETURN_IF_ERROR(rebuilt);
+      }
     }
 
     // Heal checksum casualties: reconstruct each corrupt unit from its row's
@@ -567,6 +704,125 @@ Status SwiftFile::ReadRange(uint64_t offset, std::span<uint8_t> out) {
     return OkStatus();
   }
   return InternalError("read retry budget exhausted");
+}
+
+uint64_t SwiftFile::HedgeDelayUs() const {
+  const DistributionAgent::Options& io = distribution_.options();
+  double max_us = 0;
+  for (uint32_t c = 0; c < layout_.config().num_agents; ++c) {
+    if (ColumnFailed(c)) {
+      continue;
+    }
+    double srtt_us = 0;
+    double rttvar_us = 0;
+    if (distribution_.transport(c)->RttEstimate(&srtt_us, &rttvar_us)) {
+      max_us = std::max(max_us, srtt_us + io.hedge_k * rttvar_us);
+    }
+  }
+  if (max_us <= 0) {
+    return io.hedge_cap_us;  // no samples yet: arm late, never early
+  }
+  return std::clamp<uint64_t>(static_cast<uint64_t>(max_us), io.hedge_floor_us,
+                              io.hedge_cap_us);
+}
+
+std::vector<Status> SwiftFile::WaitHedged(OpBatch& batch, HedgeTracker& tracker,
+                                          std::vector<HedgeTracker::Op>* parked) {
+  Governor().reads.fetch_add(1, std::memory_order_relaxed);
+  const auto delay = std::chrono::microseconds(HedgeDelayUs());
+  bool armed = false;
+  uint64_t last_outstanding = UINT64_MAX;
+  for (;;) {
+    if (batch.WaitFor(delay)) {
+      break;
+    }
+    if (armed) {
+      continue;  // at most one hedge per batch; just drain
+    }
+    // Only a batch that made NO progress over a whole delay window is a
+    // hedge candidate: the delay is a per-op bound (srtt + k·rttvar), so a
+    // deep multi-round batch that is still completing ops is healthy even
+    // though it outlives one delay.
+    const uint64_t outstanding = batch.Outstanding();
+    if (outstanding != last_outstanding) {
+      last_outstanding = outstanding;
+      continue;
+    }
+    // Stalled: hedge iff every outstanding op sits on one column, each
+    // started op is cancellable, the parity budget is intact, and the
+    // global rate cap admits it.
+    uint32_t straggler = kNoColumn;
+    std::vector<uint64_t> tokens;
+    {
+      std::lock_guard<std::mutex> lock(tracker.mutex);
+      bool eligible = true;
+      for (const HedgeTracker::Op& op : tracker.ops) {
+        if (op.done) {
+          continue;
+        }
+        if (straggler == kNoColumn) {
+          straggler = op.column;
+        }
+        if (op.column != straggler || (op.started && op.token == 0)) {
+          eligible = false;
+          break;
+        }
+      }
+      if (straggler == kNoColumn || failed_count_.load() != 0) {
+        eligible = false;
+      }
+      if (eligible && !Governor().Admit()) {
+        eligible = false;
+        Metrics().hedge_suppressed->Increment();
+      }
+      if (!eligible) {
+        straggler = kNoColumn;
+      } else {
+        for (HedgeTracker::Op& op : tracker.ops) {
+          if (op.done || op.column != straggler) {
+            continue;
+          }
+          op.parked = true;
+          parked->push_back(op);
+          if (op.token != 0) {
+            tokens.push_back(op.token);
+          }
+        }
+        Metrics().hedge_attempts->Increment();
+      }
+    }
+    if (straggler != kNoColumn) {
+      armed = true;
+      AgentTransport* transport = distribution_.transport(straggler);
+      for (uint64_t token : tokens) {
+        transport->CancelRead(token);
+      }
+    }
+  }
+  return batch.Wait();
+}
+
+Status SwiftFile::ReconstructRange(uint32_t column, uint64_t agent_offset, uint64_t length,
+                                   uint8_t* dst) {
+  const uint64_t unit = layout_.config().stripe_unit;
+  uint64_t done = 0;
+  while (done < length) {
+    const uint64_t position = agent_offset + done;
+    const uint64_t row = position / unit;
+    const uint64_t offset_in_unit = position % unit;
+    const uint64_t chunk = std::min(unit - offset_in_unit, length - done);
+    if (chunk == unit) {
+      SWIFT_RETURN_IF_ERROR(
+          ReconstructUnitInto(row, column, std::span<uint8_t>(dst + done, unit)));
+    } else {
+      Buffer scratch = Buffer::Allocate(unit);
+      SWIFT_RETURN_IF_ERROR(ReconstructUnitInto(row, column, scratch.span()));
+      std::memcpy(dst + done, scratch.data() + offset_in_unit, chunk);
+      CountBufferCopy(chunk);
+    }
+    done += chunk;
+  }
+  return OkStatus();
 }
 
 Status SwiftFile::ReconstructUnitInto(uint64_t row, uint32_t lost_column,

@@ -139,9 +139,49 @@ class SwiftFile {
     std::vector<Op> ops;
   };
 
+  // Read ops of one live batch tracked for hedging. Every submitted read
+  // registers a slot here so the hedge loop can see which ops are still
+  // outstanding, cancel a straggler column's cancellable ones, and mark them
+  // parked: a parked op resolves OK whatever its transport status, and its
+  // range is rebuilt from parity after the batch. An op that has not started
+  // when parked is never issued at all. Shared-owned: the submit path keeps
+  // touching the tracker after it starts the transport op (token store), and
+  // the final completion releases the batch waiter — so stack ownership
+  // would let the waiter's frame die under a thread still holding the mutex.
+  struct HedgeTracker {
+    struct Op {
+      uint32_t column = 0;
+      uint64_t agent_offset = 0;
+      uint64_t length = 0;
+      uint8_t* dst = nullptr;
+      uint64_t token = 0;    // cancellable-read token (0 = none)
+      bool started = false;  // transport op issued
+      bool done = false;     // completion delivered
+      bool parked = false;   // hedged away; reconstruct after the batch
+    };
+    std::mutex mutex;
+    std::vector<Op> ops;
+  };
+
   // Failure-aware read of [offset, offset+length) into out (zero-filled past
   // stored data). `length` must fit in out.
   Status ReadRange(uint64_t offset, std::span<uint8_t> out);
+  // Waits for a live read batch with the hedge armed: after a no-progress
+  // hedge delay with every outstanding op on one column, cancels that
+  // column's ops (appending them to `parked`) so parity reconstruction can
+  // finish the read instead of the straggler. At most one hedge per batch;
+  // the global governor keeps hedges ≤5% of reads.
+  std::vector<Status> WaitHedged(OpBatch& batch, HedgeTracker& tracker,
+                                 std::vector<HedgeTracker::Op>* parked);
+  // Rebuilds [agent_offset, +length) of `column` into `dst` from the rows'
+  // parity survivors, without writing anything back (the column is healthy —
+  // just slow — so there is nothing to repair).
+  Status ReconstructRange(uint32_t column, uint64_t agent_offset, uint64_t length,
+                          uint8_t* dst);
+  // The hedge arm delay: max over live columns of srtt + hedge_k·rttvar,
+  // clamped to [hedge_floor_us, hedge_cap_us]; the cap when no column has an
+  // RTT estimate yet.
+  uint64_t HedgeDelayUs() const;
   // Heals one corrupt read op: per covered stripe unit, reconstructs from
   // the row's survivors, copies the requested slice into the op's
   // destination, and best-effort writes the rebuilt unit back (read-repair).
@@ -169,9 +209,12 @@ class SwiftFile {
   // One read of [agent_offset, +length) on `column` into `dst`. When
   // `corrupt` is non-null a kDataCorrupt completion is recorded there and
   // the op resolves OK (the caller repairs after the batch); when null,
-  // kDataCorrupt fails the op like any other error.
+  // kDataCorrupt fails the op like any other error. When `hedge` is non-null
+  // the op registers in the tracker and is issued cancellably, so a hedge
+  // can claim it mid-flight.
   void SubmitRead(OpBatch& batch, uint32_t column, uint64_t agent_offset, uint64_t length,
-                  uint8_t* dst, CorruptSink* corrupt = nullptr);
+                  uint8_t* dst, CorruptSink* corrupt = nullptr,
+                  const std::shared_ptr<HedgeTracker>& hedge = nullptr);
   // One write of `bytes` at agent_offset on `column`. `bytes` must stay
   // valid until the batch completes.
   void SubmitWrite(OpBatch& batch, uint32_t column, uint64_t agent_offset,
@@ -179,7 +222,8 @@ class SwiftFile {
   // Submits `extent` as stripe-unit ops when the column window allows
   // pipelining, else as one op.
   void SubmitExtentRead(OpBatch& batch, const AgentExtent& extent, uint64_t base_offset,
-                        std::span<uint8_t> out, CorruptSink* corrupt = nullptr);
+                        std::span<uint8_t> out, CorruptSink* corrupt = nullptr,
+                        const std::shared_ptr<HedgeTracker>& hedge = nullptr);
   void SubmitExtentWrite(OpBatch& batch, const AgentExtent& extent, uint64_t base_offset,
                          std::span<const uint8_t> data);
 

@@ -26,6 +26,7 @@ constexpr size_t kTraceExtensionBytes = 2 + 8 + 4 + 4;
 // context alone, or trace context + tx/echo timestamps (DESIGN.md §15).
 constexpr uint16_t kTraceExtBodyBytes = kTraceExtensionBytes - 2;
 constexpr uint16_t kTimestampExtBodyBytes = kTraceExtBodyBytes + 8 + 8;
+constexpr uint16_t kDeadlineExtBodyBytes = kTimestampExtBodyBytes + 8;
 
 // Exact byte count of the type-specific fields, so Encode/EncodeParts can
 // pre-size their output and never regrow.
@@ -159,10 +160,13 @@ const char* MessageTypeName(MessageType type) {
 
 Message::Encoded Message::EncodeParts() const {
   const bool traced = trace.present();
-  const bool timestamped = has_timestamps();
+  // A deadline rides behind the timestamp slots; encoding zeros there keeps
+  // tx_ts_us at the fixed kTxTimestampHeaderOffset for flush-time patching.
+  const bool timestamped = has_timestamps() || has_deadline();
   const bool extended = traced || timestamped;
-  const uint16_t ext_body =
-      timestamped ? kTimestampExtBodyBytes : kTraceExtBodyBytes;
+  const uint16_t ext_body = has_deadline()    ? kDeadlineExtBodyBytes
+                            : timestamped     ? kTimestampExtBodyBytes
+                                              : kTraceExtBodyBytes;
   WireWriter w(kFixedHeaderBytes + (extended ? 2 + ext_body : 0) +
                TypeFieldBytes(*this));
   w.PutU16(kMagic);
@@ -187,6 +191,9 @@ Message::Encoded Message::EncodeParts() const {
     if (timestamped) {
       w.PutU64(tx_ts_us);
       w.PutU64(echo_ts_us);
+    }
+    if (has_deadline()) {
+      w.PutU64(deadline_us);
     }
   }
 
@@ -311,7 +318,12 @@ Result<Message> Message::Decode(const BufferSlice& datagram) {
       if (ext_len >= kTimestampExtBodyBytes) {
         m.tx_ts_us = r.GetU64();
         m.echo_ts_us = r.GetU64();
-        r.GetBytes(ext_len - kTimestampExtBodyBytes);
+        if (ext_len >= kDeadlineExtBodyBytes) {
+          m.deadline_us = r.GetU64();
+          r.GetBytes(ext_len - kDeadlineExtBodyBytes);
+        } else {
+          r.GetBytes(ext_len - kTimestampExtBodyBytes);
+        }
       } else {
         r.GetBytes(ext_len - kTraceExtBodyBytes);
       }

@@ -26,21 +26,30 @@
 // of the version byte is set, a self-describing extension block follows the
 // fixed header (before the type-specific fields):
 //
-//   ext_len       u16   byte count of the extension body (16 or 32 today)
+//   ext_len       u16   byte count of the extension body (16, 32, or 40)
 //   trace_id      u64   causal trace identity (0 = untraced timestamp-only)
 //   parent_span   u32   sender's span id (the receiver's parent)
 //   flags         u32   bit 0 = sampled
 //   -- present only when ext_len >= 32 (timestamp echo, DESIGN.md §15) --
 //   tx_ts_us      u64   sender's send time, sender's microsecond clock
 //   echo_ts_us    u64   on replies: the request's tx_ts_us echoed back
+//   -- present only when ext_len >= 40 (deadline budget, DESIGN.md §16) --
+//   deadline_us   u64   remaining per-op budget, microseconds (0 = none).
+//                       Relative, not absolute: clocks are never compared
+//                       across nodes — the receiver measures elapsed time
+//                       from its own kernel receive stamp and sheds work
+//                       once the budget is spent.
 //
 // Messages without a trace context or timestamps are encoded without the
 // extension and are byte-identical to the pre-trace wire format; a traced
 // but un-timestamped message keeps the 16-byte body of PR 7. Decoders skip
 // extension bytes beyond what they understand (PR-6 peers skip the whole
-// block, PR-7 peers skip the 16 timestamp bytes), so the block grows
-// compatibly in both directions. A timestamp-only extension carries
-// trace_id 0, which decodes as "no trace" exactly like an absent block.
+// block, PR-7 peers skip the 16 timestamp bytes, PR-8 peers skip the 8
+// deadline bytes), so the block grows compatibly in both directions. A
+// timestamp-only extension carries trace_id 0, which decodes as "no trace"
+// exactly like an absent block; a deadline-bearing extension always carries
+// the timestamp bytes (zeros when unmeasured) so tx_ts_us stays at the fixed
+// kTxTimestampHeaderOffset.
 
 #ifndef SWIFT_SRC_PROTO_MESSAGE_H_
 #define SWIFT_SRC_PROTO_MESSAGE_H_
@@ -67,6 +76,13 @@ inline constexpr uint32_t kMaxPacketPayload = 8192;
 // or re-queued datagrams carry their true send instant, not their encode
 // instant. Encode reserves the bytes whenever has_timestamps().
 inline constexpr size_t kTxTimestampHeaderOffset = 32 + 2 + 16;
+
+// Byte offset of deadline_us inside an encoded header that carries the
+// deadline extension: the 8 bytes after tx_ts_us + echo_ts_us. Like the tx
+// timestamp, the transport overwrites these at flush time so a paced or
+// re-queued datagram carries the budget remaining at its true send instant.
+// Encode reserves the bytes whenever has_deadline().
+inline constexpr size_t kDeadlineHeaderOffset = kTxTimestampHeaderOffset + 16;
 
 // Well-known agent port for OPEN requests (real-socket stack).
 inline constexpr uint16_t kDefaultAgentPort = 4751;
@@ -171,6 +187,14 @@ struct Message {
   uint64_t echo_ts_us = 0;
 
   bool has_timestamps() const { return tx_ts_us != 0 || echo_ts_us != 0; }
+
+  // Remaining per-op deadline budget in microseconds (0 = no deadline).
+  // Carried in the header extension when nonzero; the server sheds work
+  // whose budget expired while it was queued (replying kError with
+  // StatusCode::kOverloaded), and the client stops retrying past it.
+  uint64_t deadline_us = 0;
+
+  bool has_deadline() const { return deadline_us != 0; }
 
   BufferSlice payload;                // kData/kWriteData; shared view, never copied
 

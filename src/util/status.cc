@@ -32,6 +32,12 @@ const char* StatusCodeName(StatusCode code) {
       return "DATA_CORRUPT";
     case StatusCode::kMessageTooLarge:
       return "MSG_TOO_LARGE";
+    case StatusCode::kOverloaded:
+      return "OVERLOADED";
+    case StatusCode::kSessionGone:
+      return "SESSION_GONE";
+    case StatusCode::kCancelled:
+      return "CANCELLED";
   }
   return "UNKNOWN";
 }
@@ -86,6 +92,15 @@ Status DataCorruptError(std::string message) {
 }
 Status MessageTooLargeError(std::string message) {
   return Status(StatusCode::kMessageTooLarge, std::move(message));
+}
+Status OverloadedError(std::string message) {
+  return Status(StatusCode::kOverloaded, std::move(message));
+}
+Status SessionGoneError(std::string message) {
+  return Status(StatusCode::kSessionGone, std::move(message));
+}
+Status CancelledError(std::string message) {
+  return Status(StatusCode::kCancelled, std::move(message));
 }
 
 }  // namespace swift

@@ -34,8 +34,17 @@ enum class StatusCode {
   kDataCorrupt,        // stored bytes fail their at-rest checksum (repairable
                        // through parity, unlike kDataLoss)
   kMessageTooLarge,    // datagram exceeded the receiver's buffer (MSG_TRUNC)
-                       // or the sender's limit (EMSGSIZE); appended last so
-                       // existing wire status codes keep their values
+                       // or the sender's limit (EMSGSIZE)
+  kOverloaded,         // server shed the request (deadline already expired on
+                       // arrival, or load shedding); backpressure, not wire
+                       // loss — clients retry with jitter, no cwnd decrease
+  kSessionGone,        // mediator session existed but was retired or its lease
+                       // expired; distinct from kNotFound (never existed) so a
+                       // late RenewLease cannot be mistaken for a typo
+  kCancelled,          // op cancelled by its submitter (hedged read whose
+                       // rival won); never an agent-side failure.
+                       // New codes are appended last so existing wire status
+                       // codes keep their values.
 };
 
 // Short stable identifier, e.g. "NOT_FOUND". Never returns null.
@@ -82,6 +91,9 @@ Status UnimplementedError(std::string message);
 Status IoError(std::string message);
 Status DataCorruptError(std::string message);
 Status MessageTooLargeError(std::string message);
+Status OverloadedError(std::string message);
+Status SessionGoneError(std::string message);
+Status CancelledError(std::string message);
 
 // A value of type T or an error Status. `Result` is cheap to move and keeps
 // exactly one of {value, error}.

@@ -1,0 +1,394 @@
+// The network chaos harness: the ChaosDirector spec grammar, the socket-level
+// fault actions (blackholes, partitions, delay, duplication, windows), and
+// the driver scenario — a striped parity object served through a partitioned
+// agent and a partitioned mediator stays byte-exact, fails nothing open-ended,
+// and converges after the mediator replans the dead column onto a spare.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/agent/backing_store.h"
+#include "src/agent/chaos.h"
+#include "src/agent/mediator_client.h"
+#include "src/agent/mediator_server.h"
+#include "src/agent/storage_agent.h"
+#include "src/agent/udp_agent_server.h"
+#include "src/agent/udp_socket.h"
+#include "src/agent/udp_transport.h"
+#include "src/core/object_directory.h"
+#include "src/core/rebuild.h"
+#include "src/core/session_handle.h"
+#include "src/core/swift_file.h"
+#include "src/util/rng.h"
+#include "src/util/units.h"
+
+namespace swift {
+namespace {
+
+std::vector<uint8_t> Pattern(size_t n, uint64_t seed = 1) {
+  std::vector<uint8_t> out(n);
+  Rng rng(seed);
+  for (auto& b : out) {
+    b = static_cast<uint8_t>(rng.UniformInt(0, 255));
+  }
+  return out;
+}
+
+// --- spec grammar -----------------------------------------------------------
+
+TEST(ChaosParseTest, AcceptsTheDocumentedGrammar) {
+  auto chaos = ChaosDirector::Parse(
+      "0-3000:partition:7001;5000-8000:delay:7002:50;0-60000:loss:*:0.01;"
+      "100-200:blackhole-out:1;100-200:blackhole-in:65535;0-1:reorder:*:2.5;"
+      "0-1:dup:9:1.0",
+      7);
+  ASSERT_TRUE(chaos.ok()) << chaos.status().ToString();
+  EXPECT_NE(*chaos, nullptr);
+
+  // Empty specs and trailing separators are fine (a no-op director).
+  EXPECT_TRUE(ChaosDirector::Parse("", 1).ok());
+  EXPECT_TRUE(ChaosDirector::Parse("0-10:partition:*;", 1).ok());
+}
+
+TEST(ChaosParseTest, RejectsMalformedRules) {
+  const char* bad[] = {
+      "partition:*",                  // no window
+      "10:partition:*",               // window is not a range
+      "20-10:partition:*",            // end before start
+      "x-10:partition:*",             // non-numeric window
+      "0-10:meteor:*",                // unknown kind
+      "0-10:partition",               // missing peer
+      "0-10:partition:0",             // port 0 reserved for '*'
+      "0-10:partition:70000",         // port out of range
+      "0-10:partition:*:5",           // param on a kind that takes none
+      "0-10:delay:*",                 // missing required param
+      "0-10:delay:*:fast",            // non-numeric param
+      "0-10:delay:*:-1",              // negative param
+      "0-10:loss:*:1.5",              // probability above 1
+      "0-10:dup:*:2",                 // probability above 1
+      "0-10:delay:*:5:extra",         // too many fields
+  };
+  for (const char* spec : bad) {
+    EXPECT_EQ(ChaosDirector::Parse(spec, 1).code(), StatusCode::kInvalidArgument)
+        << "accepted: " << spec;
+  }
+}
+
+TEST(ChaosParseTest, VerdictsRespectKindAndPeer) {
+  auto chaos = ChaosDirector::Parse("0-600000:blackhole-out:7001", 3);
+  ASSERT_TRUE(chaos.ok());
+  EXPECT_EQ((*chaos)->OnSend(7001).action, ChaosDirector::Action::kDrop);
+  EXPECT_EQ((*chaos)->OnSend(7002).action, ChaosDirector::Action::kDeliver);
+  // blackhole-out never touches the receive side.
+  EXPECT_EQ((*chaos)->OnRecv(7001).action, ChaosDirector::Action::kDeliver);
+
+  auto delay = ChaosDirector::Parse("0-600000:delay:*:40", 3);
+  ASSERT_TRUE(delay.ok());
+  const ChaosDirector::Verdict verdict = (*delay)->OnRecv(1234);
+  EXPECT_EQ(verdict.action, ChaosDirector::Action::kDelay);
+  EXPECT_EQ(verdict.delay_ms, 40u);
+  EXPECT_EQ((*delay)->OnSend(1234).action, ChaosDirector::Action::kDeliver);
+
+  auto expired = ChaosDirector::Parse("0-0:partition:*", 3);
+  ASSERT_TRUE(expired.ok());
+  // A zero-length window matches nothing: chaos that never happens.
+  EXPECT_EQ((*expired)->OnSend(7001).action, ChaosDirector::Action::kDeliver);
+  EXPECT_EQ((*expired)->OnRecv(7001).action, ChaosDirector::Action::kDeliver);
+}
+
+// --- socket-level actions ---------------------------------------------------
+
+std::shared_ptr<ChaosDirector> MustParse(const std::string& spec, uint64_t seed) {
+  auto chaos = ChaosDirector::Parse(spec, seed);
+  EXPECT_TRUE(chaos.ok()) << chaos.status().ToString();
+  return *chaos;
+}
+
+std::vector<uint8_t> BytesOf(const UdpSocket::ReceivedDatagram& datagram) {
+  return std::vector<uint8_t>(datagram.data.span().begin(), datagram.data.span().end());
+}
+
+TEST(ChaosSocketTest, BlackholeOutDropsSends) {
+  UdpSocket a;
+  UdpSocket b;
+  ASSERT_TRUE(a.BindLoopback().ok());
+  ASSERT_TRUE(b.BindLoopback().ok());
+  a.SetChaos(MustParse("0-600000:blackhole-out:" + std::to_string(b.local_port()), 1));
+
+  const std::vector<uint8_t> payload = Pattern(64, 2);
+  ASSERT_TRUE(a.SendTo(UdpEndpoint::Loopback(b.local_port()), payload).ok());
+  EXPECT_EQ(b.RecvFrom(100).code(), StatusCode::kTimedOut);
+
+  // The blackhole is per-peer: a second receiver still hears from `a`.
+  UdpSocket c;
+  ASSERT_TRUE(c.BindLoopback().ok());
+  ASSERT_TRUE(a.SendTo(UdpEndpoint::Loopback(c.local_port()), payload).ok());
+  auto received = c.RecvFrom(2000);
+  ASSERT_TRUE(received.ok()) << received.status().ToString();
+  EXPECT_EQ(BytesOf(*received), payload);
+}
+
+TEST(ChaosSocketTest, BlackholeInDropsReceivesFromThatPeerOnly) {
+  UdpSocket a;
+  UdpSocket b;
+  UdpSocket c;
+  ASSERT_TRUE(a.BindLoopback().ok());
+  ASSERT_TRUE(b.BindLoopback().ok());
+  ASSERT_TRUE(c.BindLoopback().ok());
+  b.SetChaos(MustParse("0-600000:blackhole-in:" + std::to_string(a.local_port()), 1));
+
+  const std::vector<uint8_t> from_a = Pattern(32, 3);
+  const std::vector<uint8_t> from_c = Pattern(32, 4);
+  ASSERT_TRUE(a.SendTo(UdpEndpoint::Loopback(b.local_port()), from_a).ok());
+  ASSERT_TRUE(c.SendTo(UdpEndpoint::Loopback(b.local_port()), from_c).ok());
+  // Only the unfiltered peer's datagram surfaces.
+  auto received = b.RecvFrom(2000);
+  ASSERT_TRUE(received.ok()) << received.status().ToString();
+  EXPECT_EQ(BytesOf(*received), from_c);
+  EXPECT_EQ(b.RecvFrom(100).code(), StatusCode::kTimedOut);
+}
+
+TEST(ChaosSocketTest, PartitionCutsBothDirections) {
+  UdpSocket a;
+  UdpSocket b;
+  ASSERT_TRUE(a.BindLoopback().ok());
+  ASSERT_TRUE(b.BindLoopback().ok());
+  a.SetChaos(MustParse("0-600000:partition:" + std::to_string(b.local_port()), 1));
+
+  ASSERT_TRUE(a.SendTo(UdpEndpoint::Loopback(b.local_port()), Pattern(16, 5)).ok());
+  EXPECT_EQ(b.RecvFrom(100).code(), StatusCode::kTimedOut);
+  ASSERT_TRUE(b.SendTo(UdpEndpoint::Loopback(a.local_port()), Pattern(16, 6)).ok());
+  EXPECT_EQ(a.RecvFrom(100).code(), StatusCode::kTimedOut);
+}
+
+TEST(ChaosSocketTest, DelayHoldsDeliveryForTheSpike) {
+  UdpSocket a;
+  UdpSocket b;
+  ASSERT_TRUE(a.BindLoopback().ok());
+  ASSERT_TRUE(b.BindLoopback().ok());
+  b.SetChaos(MustParse("0-600000:delay:*:100", 1));
+
+  const std::vector<uint8_t> payload = Pattern(48, 7);
+  const auto sent_at = std::chrono::steady_clock::now();
+  ASSERT_TRUE(a.SendTo(UdpEndpoint::Loopback(b.local_port()), payload).ok());
+  // A short poll must come back empty: the datagram is held, not delivered.
+  EXPECT_EQ(b.RecvFrom(20).code(), StatusCode::kTimedOut);
+  auto received = b.RecvFrom(5000);
+  ASSERT_TRUE(received.ok()) << received.status().ToString();
+  EXPECT_EQ(BytesOf(*received), payload);
+  const auto held_for = std::chrono::steady_clock::now() - sent_at;
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::milliseconds>(held_for).count(), 100);
+}
+
+TEST(ChaosSocketTest, DupDeliversTheDatagramTwice) {
+  UdpSocket a;
+  UdpSocket b;
+  ASSERT_TRUE(a.BindLoopback().ok());
+  ASSERT_TRUE(b.BindLoopback().ok());
+  b.SetChaos(MustParse("0-600000:dup:*:1.0", 1));
+
+  const std::vector<uint8_t> payload = Pattern(40, 8);
+  ASSERT_TRUE(a.SendTo(UdpEndpoint::Loopback(b.local_port()), payload).ok());
+  auto first = b.RecvFrom(2000);
+  auto second = b.RecvFrom(2000);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(BytesOf(*first), payload);
+  EXPECT_EQ(BytesOf(*second), payload);
+  EXPECT_EQ(b.RecvFrom(50).code(), StatusCode::kTimedOut);
+}
+
+TEST(ChaosSocketTest, WindowExpiryHealsTheFault) {
+  UdpSocket a;
+  UdpSocket b;
+  ASSERT_TRUE(a.BindLoopback().ok());
+  ASSERT_TRUE(b.BindLoopback().ok());
+  // The whole fault window is 1 ms long and starts at director construction;
+  // by the time the sleep ends it is long over.
+  b.SetChaos(MustParse("0-1:blackhole-in:*", 1));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  const std::vector<uint8_t> payload = Pattern(24, 9);
+  ASSERT_TRUE(a.SendTo(UdpEndpoint::Loopback(b.local_port()), payload).ok());
+  auto received = b.RecvFrom(2000);
+  ASSERT_TRUE(received.ok()) << received.status().ToString();
+  EXPECT_EQ(BytesOf(*received), payload);
+}
+
+// --- the chaos driver -------------------------------------------------------
+
+struct AgentUnderTest {
+  AgentUnderTest() : core(&store), server(&core, UdpAgentServer::Options{}) {
+    Status status = server.Start();
+    EXPECT_TRUE(status.ok()) << status.ToString();
+  }
+  InMemoryBackingStore store;
+  StorageAgentCore core;
+  UdpAgentServer server;
+};
+
+// The full gray-failure rehearsal: register a fleet through a mediator whose
+// inbound path is blackholed for the first second (control-plane convergence
+// after heal), stripe a parity object, then partition one data agent from the
+// client (data-plane: degraded open, parity reconstruction, byte-exact reads,
+// bounded latency), report the failure by port, and migrate the column onto
+// the spare the revised grant names (replan convergence).
+TEST(ChaosDriverTest, PartitionedAgentAndMediatorStayByteExactAndConverge) {
+  constexpr int kAgents = 5;
+  std::vector<std::unique_ptr<AgentUnderTest>> agents;
+  for (int i = 0; i < kAgents; ++i) {
+    agents.push_back(std::make_unique<AgentUnderTest>());
+  }
+  auto port_of = [&](uint16_t data_port) -> AgentUnderTest* {
+    for (auto& agent : agents) {
+      if (agent->server.port() == data_port) {
+        return agent.get();
+      }
+    }
+    return nullptr;
+  };
+
+  // Mediator deaf to everyone for its first second.
+  std::shared_ptr<ChaosDirector> mediator_chaos = MustParse("0-1000:blackhole-in:*", 42);
+  UdpMediatorServer::Options moptions;
+  moptions.port = 0;
+  moptions.mediator.heartbeat_interval_ms = 60000;  // liveness is not under test
+  moptions.chaos = mediator_chaos;
+  UdpMediatorServer mediator(moptions);
+  ASSERT_TRUE(mediator.Start().ok());
+
+  RetryPolicy policy;
+  policy.initial_timeout_ms = 20;
+  policy.max_timeout_ms = 80;
+  policy.max_retries = 2;
+  MediatorClient client(mediator.port(), policy);
+
+  // During the blackhole every RPC must fail *bounded* (kUnavailable after
+  // the retry budget), not hang; if this first call returned while the
+  // window was still open, it cannot have succeeded.
+  auto first = client.RegisterAgent(AgentCapacity{MiBPerSecond(1), MiB(100)},
+                                    agents[0]->server.port());
+  if (mediator_chaos->ElapsedMs() < 1000) {
+    EXPECT_EQ(first.code(), StatusCode::kUnavailable);
+  }
+
+  // Convergence after heal: keep retrying registration until the window
+  // closes; every agent must get in well within the deadline.
+  const auto register_deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  for (int i = 0; i < kAgents; ++i) {
+    for (;;) {
+      auto id = client.RegisterAgent(AgentCapacity{MiBPerSecond(1), MiB(100)},
+                                     agents[i]->server.port());
+      if (id.ok()) {
+        break;
+      }
+      ASSERT_LT(std::chrono::steady_clock::now(), register_deadline)
+          << "registration never converged after the chaos window healed: "
+          << id.status().ToString();
+    }
+  }
+
+  // 2 data + 1 parity agents, two spares left for replanning.
+  StorageMediator::SessionRequest request;
+  request.object_name = "chaos-object";
+  request.expected_size = KiB(192);
+  request.required_rate = MiBPerSecond(1.6);
+  // 16 KiB units (32 KiB typical request over 2 data agents): every column
+  // holds real bytes of the 192 KiB object, so the partitioned column's loss
+  // actually exercises reconstruction and the migration below moves data.
+  request.typical_request = KiB(32);
+  request.redundancy = true;
+  auto session = SessionHandle::Open(&client, request);
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  ASSERT_EQ(session->grant().agent_ports.size(), 3u);
+  const std::vector<uint16_t> ports = session->grant().agent_ports;
+
+  // Healthy write/read through the granted ports.
+  auto transport_options = [] {
+    UdpTransport::Options options;
+    options.max_retries = 4;
+    options.initial_timeout_ms = 20;
+    return options;
+  };
+  std::vector<std::unique_ptr<UdpTransport>> healthy;
+  std::vector<AgentTransport*> columns;
+  for (uint16_t port : ports) {
+    healthy.push_back(std::make_unique<UdpTransport>(port, transport_options()));
+    columns.push_back(healthy.back().get());
+  }
+  ObjectDirectory directory;
+  const std::vector<uint8_t> data = Pattern(KiB(192), 77);
+  {
+    auto file = SwiftFile::Create(session->plan(), columns, &directory);
+    ASSERT_TRUE(file.ok()) << file.status().ToString();
+    ASSERT_TRUE((*file)->Write(data).ok());
+    std::vector<uint8_t> read_back(data.size());
+    ASSERT_TRUE((*file)->PRead(0, read_back).ok());
+    EXPECT_EQ(read_back, data);
+    ASSERT_TRUE((*file)->Close().ok());
+  }
+
+  // Partition column 1 from this client's point of view (the agent process
+  // itself stays up — a gray failure) and reopen the object through it.
+  UdpTransport::Options partitioned_options = transport_options();
+  partitioned_options.max_retries = 3;
+  partitioned_options.chaos = MustParse("0-600000:partition:*", 43);
+  UdpTransport partitioned(ports[1], partitioned_options);
+  std::vector<AgentTransport*> degraded_columns = {healthy[0].get(), &partitioned,
+                                                   healthy[2].get()};
+  auto degraded = SwiftFile::Open("chaos-object", degraded_columns, &directory);
+  ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
+  EXPECT_TRUE((*degraded)->degraded());
+  EXPECT_EQ((*degraded)->failed_columns(), std::vector<uint32_t>{1});
+
+  // Reads reconstruct through parity: byte-exact, and bounded — a partition
+  // must never turn into an unbounded stall.
+  std::vector<uint8_t> reconstructed(data.size());
+  const auto read_start = std::chrono::steady_clock::now();
+  ASSERT_TRUE((*degraded)->PRead(0, reconstructed).ok());
+  const auto read_elapsed = std::chrono::steady_clock::now() - read_start;
+  EXPECT_EQ(reconstructed, data);
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::seconds>(read_elapsed).count(), 30)
+      << "degraded read took unbounded time under partition";
+  ASSERT_TRUE((*degraded)->Close().ok());
+
+  // Replan: report the dead column by port; the mediator must remap exactly
+  // that column onto a spare and leave the survivors alone.
+  auto revised = client.ReportFailureByPort(session->id(), ports[1]);
+  ASSERT_TRUE(revised.ok()) << revised.status().ToString();
+  ASSERT_EQ(revised->agent_ports.size(), 3u);
+  EXPECT_EQ(revised->agent_ports[0], ports[0]);
+  EXPECT_EQ(revised->agent_ports[2], ports[2]);
+  const uint16_t spare_port = revised->agent_ports[1];
+  EXPECT_NE(spare_port, ports[1]);
+
+  // Migrate the lost column onto the spare and verify full redundancy: the
+  // spare now holds real bytes and a fresh open through it is not degraded.
+  UdpTransport spare(spare_port, transport_options());
+  std::vector<AgentTransport*> revised_columns = {healthy[0].get(), &spare, healthy[2].get()};
+  auto metadata = directory.Lookup("chaos-object");
+  ASSERT_TRUE(metadata.ok());
+  ASSERT_EQ(metadata->size, data.size());
+  auto report = MigrateColumn(*metadata, revised->plan, revised_columns, 1);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GT(report->bytes_written, 0u);
+  EXPECT_GT(port_of(spare_port)->store.TotalBytes(), 0u);
+
+  auto healed = SwiftFile::Open("chaos-object", revised_columns, &directory);
+  ASSERT_TRUE(healed.ok()) << healed.status().ToString();
+  EXPECT_FALSE((*healed)->degraded());
+  std::vector<uint8_t> final_read(data.size());
+  ASSERT_TRUE((*healed)->PRead(0, final_read).ok());
+  EXPECT_EQ(final_read, data);
+
+  ASSERT_TRUE(session->Close().ok());
+}
+
+}  // namespace
+}  // namespace swift

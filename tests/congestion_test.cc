@@ -323,6 +323,91 @@ TEST(TimestampWireTest, TxTimestampPatchOffsetMatchesEncoding) {
   EXPECT_EQ(decoded->tx_ts_us, patched);
 }
 
+// --- deadline-budget wire extension ---------------------------------------
+
+TEST(DeadlineWireTest, DeadlineRoundTripsAloneAndWithTimestamps) {
+  Message m;
+  m.type = MessageType::kReadReq;
+  m.handle = 2;
+  m.request_id = 31;
+  m.read_length = 1024;
+  m.deadline_us = 250'000;
+  auto decoded = Message::Decode(m.Encode());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->deadline_us, 250'000u);
+  EXPECT_EQ(decoded->tx_ts_us, 0u) << "deadline-only pads timestamps with zeros";
+  EXPECT_FALSE(decoded->trace.present());
+
+  m.tx_ts_us = 777;
+  m.trace = TraceContext{0x99, 5, 1};
+  auto full = Message::Decode(m.Encode());
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(full->deadline_us, 250'000u);
+  EXPECT_EQ(full->tx_ts_us, 777u);
+  EXPECT_EQ(full->trace.trace_id, 0x99u);
+}
+
+TEST(DeadlineWireTest, UndeadlinedMessagesStayByteIdentical) {
+  Message plain;
+  plain.type = MessageType::kReadReq;
+  plain.handle = 4;
+  plain.request_id = 8;
+  plain.read_length = 512;
+  plain.tx_ts_us = 55;  // the PR-8 timestamp extension, unchanged
+  const std::vector<uint8_t> baseline = plain.Encode();
+
+  Message budgeted = plain;
+  budgeted.deadline_us = 1'000'000;
+  const std::vector<uint8_t> extended = budgeted.Encode();
+  EXPECT_EQ(extended.size(), baseline.size() + 8)
+      << "a deadline costs exactly the appended u64";
+
+  budgeted.deadline_us = 0;
+  EXPECT_EQ(budgeted.Encode(), baseline);
+}
+
+TEST(DeadlineWireTest, OldDecodersSkipTheDeadlineBytes) {
+  // A PR-8 peer reads ext_len and skips bytes beyond the timestamps; the
+  // current decoder must do the same for bodies longer than it understands.
+  Message m;
+  m.type = MessageType::kStat;
+  m.handle = 1;
+  m.request_id = 2;
+  m.deadline_us = 42;
+  std::vector<uint8_t> bytes = m.Encode();
+  // Grow the extension body by 8 unknown trailing bytes (a future field):
+  // patch ext_len (big-endian u16 at offset 32) from 40 to 48 and splice the
+  // extra bytes in after the deadline.
+  ASSERT_EQ(bytes[32], 0u);
+  ASSERT_EQ(bytes[33], 40u);
+  bytes[33] = 48;
+  bytes.insert(bytes.begin() + 34 + 48 - 8, {0xDE, 0xAD, 0xBE, 0xEF, 1, 2, 3, 4});
+  auto decoded = Message::Decode(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->deadline_us, 42u);
+  EXPECT_EQ(decoded->handle, 1u);
+}
+
+TEST(DeadlineWireTest, DeadlineKeepsTxTimestampPatchOffset) {
+  // Flush-time tx-stamp patching must keep working on deadline-bearing
+  // headers: the deadline rides *behind* the timestamp slots.
+  Message m;
+  m.type = MessageType::kReadReq;
+  m.request_id = 1;
+  m.deadline_us = 90'000;
+  Message::Encoded parts = m.EncodeParts();
+  ASSERT_GE(parts.header.size(), kTxTimestampHeaderOffset + 8);
+  const uint64_t patched = 0x1122334455667788ULL;
+  for (int i = 0; i < 8; ++i) {
+    parts.header[kTxTimestampHeaderOffset + i] =
+        static_cast<uint8_t>(patched >> (56 - 8 * i));
+  }
+  auto decoded = Message::Decode(parts.header);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->tx_ts_us, patched);
+  EXPECT_EQ(decoded->deadline_us, 90'000u);
+}
+
 // --- session-grant rate cap ------------------------------------------------
 
 TEST(SessionGrantWireTest, RateCapRoundTrips) {
@@ -512,6 +597,7 @@ TEST(CongestionTransportTest, ToleratesDuplicateAndLateDatagrams) {
 
   const std::vector<uint8_t> content = Pattern(2 * kMaxPacketPayload, 21);
   std::atomic<bool> stop{false};
+  std::atomic<bool> read_done{false};
   std::thread server([&] {
     // One OPEN on the well-known port, then READ_REQs on the session port.
     while (!stop.load()) {
@@ -566,14 +652,16 @@ TEST(CongestionTransportTest, ToleratesDuplicateAndLateDatagrams) {
       }
       ++served;
       if (served == 2) {
-        // Give the op time to complete, then deliver the last packet again:
-        // a late, reordered datagram for a finished request.
-        std::this_thread::sleep_for(std::chrono::milliseconds(150));
+        // Wait until the client's Read actually returned (signalled below,
+        // not guessed with a sleep), then deliver the last packet again: a
+        // late, reordered datagram for a finished request.
+        while (!read_done.load(std::memory_order_acquire) && !stop.load()) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
         Message late = reply;
         late.seq = last_seq;
         (void)read_request_id;
         ASSERT_TRUE(session.SendTo(client, late.Encode()).ok());
-        std::this_thread::sleep_for(std::chrono::milliseconds(100));
       }
     }
   });
@@ -587,10 +675,18 @@ TEST(CongestionTransportTest, ToleratesDuplicateAndLateDatagrams) {
   auto read = transport.Read(opened->handle, 0, content.size());
   ASSERT_TRUE(read.ok()) << read.status().ToString();
   EXPECT_EQ(*read, content);
+  read_done.store(true, std::memory_order_release);
 
-  // The late datagram lands after Read returned; give the reactor a moment.
-  std::this_thread::sleep_for(std::chrono::milliseconds(400));
-  const UdpTransport::CcSnapshot cc = transport.cc_snapshot();
+  // The late datagram lands after Read returned; poll the counters with a
+  // generous ceiling instead of a fixed sleep (sanitizer builds can stall the
+  // reactor far past any sleep chosen for the fast build).
+  const auto poll_deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  UdpTransport::CcSnapshot cc = transport.cc_snapshot();
+  while ((cc.duplicate_datagrams < 1 || cc.late_datagrams < 1) &&
+         std::chrono::steady_clock::now() < poll_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    cc = transport.cc_snapshot();
+  }
   EXPECT_GE(cc.duplicate_datagrams, 1u) << "duplicate DATA within the live op";
   EXPECT_GE(cc.late_datagrams, 1u) << "reply after op completion";
 
@@ -668,6 +764,221 @@ TEST(CongestionTransportTest, MediatorRateCapSeedsInitialWindow) {
   auto read = transport.Read(opened->handle, 0, data.size());
   ASSERT_TRUE(read.ok());
   EXPECT_EQ(*read, data);
+}
+
+// --- deadline budgets and overload backpressure ----------------------------
+
+// A scripted agent that opens normally, then goes silent on the data port:
+// with an op deadline armed, the read must fail kTimedOut AT the deadline
+// instead of riding the full exponential retry budget (seconds).
+TEST(DeadlineTransportTest, ExpiredBudgetFailsPromptlyInsteadOfRidingRetries) {
+  UdpSocket well_known;
+  UdpSocket session;
+  ASSERT_TRUE(well_known.BindLoopback().ok());
+  ASSERT_TRUE(session.BindLoopback().ok());
+
+  std::atomic<bool> stop{false};
+  std::thread server([&] {
+    while (!stop.load()) {
+      auto received = well_known.RecvFrom(20);
+      if (!received.ok()) {
+        continue;
+      }
+      auto request = Message::Decode(received->data);
+      if (!request.ok() || request->type != MessageType::kOpen) {
+        continue;
+      }
+      Message reply;
+      reply.type = MessageType::kOpenReply;
+      reply.request_id = request->request_id;
+      reply.handle = 7;
+      reply.data_port = session.local_port();
+      reply.size = kMaxPacketPayload;
+      ASSERT_TRUE(well_known.SendTo(received->from, reply.Encode()).ok());
+      break;
+    }
+    // Swallow every READ_REQ without answering: a black-holed data path.
+    while (!stop.load()) {
+      (void)session.RecvFrom(20);
+    }
+  });
+
+  Counter* deadline_failures =
+      MetricRegistry::Global().GetCounter("swift_udp_client_deadline_failures_total");
+  const uint64_t failures_before = deadline_failures->Value();
+
+  UdpTransport::Options options;
+  options.cc_mode = static_cast<int>(CcMode::kDelay);
+  options.op_deadline_ms = 200;
+  options.max_retries = 12;  // full retry budget alone would run for seconds
+  UdpTransport transport(well_known.local_port(), options);
+  auto opened = transport.Open("deadlined", 0);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+
+  const auto start = std::chrono::steady_clock::now();
+  auto read = transport.Read(opened->handle, 0, kMaxPacketPayload);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_EQ(read.code(), StatusCode::kTimedOut) << read.status().ToString();
+  // Wall-clock bound: generous for sanitizer builds, but far under the
+  // ~3.5 s the 12-retry exponential budget would take.
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count(), 2500);
+  EXPECT_GT(deadline_failures->Value(), failures_before);
+
+  stop.store(true);
+  server.join();
+}
+
+// A scripted agent that sheds the first read attempts with kOverloaded, then
+// serves normally: the client must treat the shed as backpressure (retry
+// after jittered backoff, succeed) and never charge it to the congestion
+// window as a loss event.
+TEST(OverloadTransportTest, OverloadedReplyIsBackpressureNotLoss) {
+  UdpSocket well_known;
+  UdpSocket session;
+  ASSERT_TRUE(well_known.BindLoopback().ok());
+  ASSERT_TRUE(session.BindLoopback().ok());
+
+  const std::vector<uint8_t> content = Pattern(kMaxPacketPayload, 27);
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> sheds{0};
+  std::thread server([&] {
+    while (!stop.load()) {
+      auto received = well_known.RecvFrom(20);
+      if (!received.ok()) {
+        continue;
+      }
+      auto request = Message::Decode(received->data);
+      if (!request.ok() || request->type != MessageType::kOpen) {
+        continue;
+      }
+      Message reply;
+      reply.type = MessageType::kOpenReply;
+      reply.request_id = request->request_id;
+      reply.handle = 7;
+      reply.data_port = session.local_port();
+      reply.size = content.size();
+      ASSERT_TRUE(well_known.SendTo(received->from, reply.Encode()).ok());
+      break;
+    }
+    size_t requests_seen = 0;
+    while (!stop.load()) {
+      auto received = session.RecvFrom(20);
+      if (!received.ok()) {
+        continue;
+      }
+      auto request = Message::Decode(received->data);
+      if (!request.ok() || request->type != MessageType::kReadReq) {
+        continue;
+      }
+      if (requests_seen < 2) {
+        ++requests_seen;
+        Message shed;
+        shed.type = MessageType::kError;
+        shed.request_id = request->request_id;
+        shed.handle = request->handle;
+        shed.status_code = static_cast<uint32_t>(StatusCode::kOverloaded);
+        ASSERT_TRUE(session.SendTo(received->from, shed.Encode()).ok());
+        sheds.fetch_add(1);
+        continue;
+      }
+      Message reply;
+      reply.type = MessageType::kData;
+      reply.handle = 7;
+      reply.request_id = request->request_id;
+      reply.seq = request->seq;
+      reply.total = request->total;
+      reply.offset = request->offset;
+      reply.payload = BufferSlice::FromVector(std::vector<uint8_t>(
+          content.begin() + static_cast<ptrdiff_t>(request->offset),
+          content.begin() + static_cast<ptrdiff_t>(request->offset + request->read_length)));
+      ASSERT_TRUE(session.SendTo(received->from, reply.Encode()).ok());
+    }
+  });
+
+  Counter* overloaded =
+      MetricRegistry::Global().GetCounter("swift_udp_client_overloaded_replies_total");
+  const uint64_t overloaded_before = overloaded->Value();
+
+  UdpTransport::Options options;
+  options.cc_mode = static_cast<int>(CcMode::kDelay);
+  options.read_window = 1;  // strictly sequential requests keep the script simple
+  UdpTransport transport(well_known.local_port(), options);
+  auto opened = transport.Open("shedding", 0);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+
+  auto read = transport.Read(opened->handle, 0, content.size());
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(*read, content);
+  EXPECT_GE(sheds.load(), 1u) << "the script never actually shed a request";
+  EXPECT_GT(overloaded->Value(), overloaded_before);
+  // Backpressure, not loss: the shed-then-retry round trips must not have
+  // decreased the congestion window.
+  EXPECT_EQ(transport.cc_snapshot().cwnd_decreases, 0u);
+
+  stop.store(true);
+  server.join();
+}
+
+// When the agent keeps shedding past the whole retry budget, the op fails
+// with kOverloaded — distinct from kUnavailable (dead) and kTimedOut
+// (deadline), so callers can tell "alive but drowning" apart.
+TEST(OverloadTransportTest, PersistentSheddingExhaustsRetriesAsOverloaded) {
+  UdpSocket well_known;
+  UdpSocket session;
+  ASSERT_TRUE(well_known.BindLoopback().ok());
+  ASSERT_TRUE(session.BindLoopback().ok());
+
+  std::atomic<bool> stop{false};
+  std::thread server([&] {
+    while (!stop.load()) {
+      auto received = well_known.RecvFrom(20);
+      if (!received.ok()) {
+        continue;
+      }
+      auto request = Message::Decode(received->data);
+      if (!request.ok() || request->type != MessageType::kOpen) {
+        continue;
+      }
+      Message reply;
+      reply.type = MessageType::kOpenReply;
+      reply.request_id = request->request_id;
+      reply.handle = 7;
+      reply.data_port = session.local_port();
+      reply.size = kMaxPacketPayload;
+      ASSERT_TRUE(well_known.SendTo(received->from, reply.Encode()).ok());
+      break;
+    }
+    while (!stop.load()) {
+      auto received = session.RecvFrom(20);
+      if (!received.ok()) {
+        continue;
+      }
+      auto request = Message::Decode(received->data);
+      if (!request.ok() || request->type != MessageType::kReadReq) {
+        continue;
+      }
+      Message shed;
+      shed.type = MessageType::kError;
+      shed.request_id = request->request_id;
+      shed.handle = request->handle;
+      shed.status_code = static_cast<uint32_t>(StatusCode::kOverloaded);
+      ASSERT_TRUE(session.SendTo(received->from, shed.Encode()).ok());
+    }
+  });
+
+  UdpTransport::Options options;
+  options.cc_mode = static_cast<int>(CcMode::kDelay);
+  options.read_window = 1;
+  options.max_retries = 2;
+  options.initial_timeout_ms = 20;
+  UdpTransport transport(well_known.local_port(), options);
+  auto opened = transport.Open("drowning", 0);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  auto read = transport.Read(opened->handle, 0, kMaxPacketPayload);
+  EXPECT_EQ(read.code(), StatusCode::kOverloaded) << read.status().ToString();
+
+  stop.store(true);
+  server.join();
 }
 
 }  // namespace

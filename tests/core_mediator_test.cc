@@ -318,7 +318,9 @@ TEST(MediatorControlTest, RenewLeaseExtendsDeadline) {
   mediator.AdvanceTime(900);  // 400 + 500: renewed lease lapses
   EXPECT_EQ(mediator.active_session_count(), 0u);
 
-  EXPECT_EQ(mediator.RenewLease(plan->session_id, 1000).code(), StatusCode::kNotFound);
+  // The id was genuinely issued and then auto-retired: SESSION_GONE, not
+  // NOT_FOUND — the renewing client must reopen rather than keep retrying.
+  EXPECT_EQ(mediator.RenewLease(plan->session_id, 1000).code(), StatusCode::kSessionGone);
   auto unleased = mediator.OpenSession({.object_name = "y", .expected_size = KiB(64)});
   ASSERT_TRUE(unleased.ok());
   EXPECT_EQ(mediator.RenewLease(unleased->session_id, 0).code(), StatusCode::kInvalidArgument);

@@ -5,8 +5,8 @@
 
 #include <gtest/gtest.h>
 
-#include <chrono>
-#include <thread>
+#include <atomic>
+#include <memory>
 
 #include "src/agent/mediator_client.h"
 #include "src/agent/mediator_server.h"
@@ -19,7 +19,23 @@
 namespace swift {
 namespace {
 
-void SleepMs(int ms) { std::this_thread::sleep_for(std::chrono::milliseconds(ms)); }
+// Steppable fake clock for Options::now_ms: the lease/heartbeat timeline
+// advances exactly when a test says so, never because a sanitizer build ran
+// slow. The server's service loop runs its expiry sweep (AdvanceTime) at the
+// top of every iteration, so after stepping the clock one throwaway RPC
+// (ListSessions below) guarantees the NEXT request is dispatched after a
+// sweep that saw the new time — no sleeps, no margins.
+std::shared_ptr<std::atomic<uint64_t>> InstallFakeClock(UdpMediatorServer::Options* options) {
+  auto clock = std::make_shared<std::atomic<uint64_t>>(0);
+  options->now_ms = [clock] { return clock->load(std::memory_order_acquire); };
+  return clock;
+}
+
+// Forces the service loop past one full iteration so AdvanceTime has run
+// with the current fake-clock value before the caller's next RPC.
+void SyncExpirySweep(MediatorClient& client) {
+  ASSERT_TRUE(client.ListSessions().ok());
+}
 
 // A server whose failure detector is effectively off, for tests that are not
 // about liveness (agents registered over RPC never heartbeat here).
@@ -96,6 +112,7 @@ TEST(MediatorServiceTest, SilentAgentAutoRetires) {
   options.port = 0;
   options.mediator.heartbeat_interval_ms = 100;
   options.mediator.heartbeat_miss_limit = 2;
+  auto clock = InstallFakeClock(&options);
   UdpMediatorServer server(options);
   ASSERT_TRUE(server.Start().ok());
   MediatorClient client(server.port());
@@ -103,15 +120,17 @@ TEST(MediatorServiceTest, SilentAgentAutoRetires) {
   auto id = client.RegisterAgent(AgentCapacity{MiBPerSecond(1), MiB(100)}, 7001);
   ASSERT_TRUE(id.ok());
 
-  // Keep it alive past the silence budget with heartbeats.
-  for (int i = 0; i < 4; ++i) {
-    SleepMs(100);
+  // Keep it alive past the silence budget with heartbeats on the fake
+  // timeline: each beat lands well inside the 200 ms silence budget.
+  for (int i = 1; i <= 4; ++i) {
+    clock->store(static_cast<uint64_t>(i) * 100, std::memory_order_release);
     EXPECT_TRUE(client.Heartbeat(*id, 0).ok());
   }
 
-  // Then go silent: after interval * misses (plus margin for slow sanitizer
-  // runs) the mediator retires it and admission finds nobody.
-  SleepMs(600);
+  // Then go silent: step far past interval * misses and force one expiry
+  // sweep; the mediator retires the agent and admission finds nobody.
+  clock->store(1000, std::memory_order_release);
+  SyncExpirySweep(client);
   StorageMediator::SessionRequest request;
   request.object_name = "late";
   request.expected_size = KiB(64);
@@ -169,7 +188,9 @@ TEST(MediatorServiceTest, ReplanByPortRemapsOntoSpare) {
 }
 
 TEST(MediatorServiceTest, LeaseExpiresOnServerClock) {
-  UdpMediatorServer server(QuietOptions());
+  UdpMediatorServer::Options options = QuietOptions();
+  auto clock = InstallFakeClock(&options);
+  UdpMediatorServer server(options);
   ASSERT_TRUE(server.Start().ok());
   MediatorClient client(server.port());
   ASSERT_TRUE(client.RegisterAgent(AgentCapacity{MiBPerSecond(1), MiB(100)}, 7001).ok());
@@ -191,18 +212,24 @@ TEST(MediatorServiceTest, LeaseExpiresOnServerClock) {
   auto blocked = SessionHandle::Open(&client, rival);
   EXPECT_EQ(blocked.code(), StatusCode::kResourceExhausted);
 
-  // After expiry (plus margin) the reservation is gone and the rival fits.
-  SleepMs(600);
+  // Step past the 300 ms lease and force one expiry sweep: the reservation
+  // is gone and the rival fits.
+  clock->store(600, std::memory_order_release);
+  SyncExpirySweep(client);
   auto admitted = SessionHandle::Open(&client, rival);
   ASSERT_TRUE(admitted.ok()) << admitted.status().ToString();
-  // Renewing the expired session reports NOT_FOUND; closing it is a no-op.
-  EXPECT_EQ(client.RenewLease(hog->id()).code(), StatusCode::kNotFound);
+  // Renewing the expired session reports SESSION_GONE — the id was really
+  // issued once, so the mediator distinguishes "retired" from "never
+  // existed" and the client knows to reopen, not retry. Closing is a no-op.
+  EXPECT_EQ(client.RenewLease(hog->id()).code(), StatusCode::kSessionGone);
   EXPECT_TRUE(client.CloseSession(hog->id()).ok());
   (void)hog->Release();  // already dead on the mediator; don't close again
 }
 
 TEST(MediatorServiceTest, RenewKeepsLeaseAlive) {
-  UdpMediatorServer server(QuietOptions());
+  UdpMediatorServer::Options options = QuietOptions();
+  auto clock = InstallFakeClock(&options);
+  UdpMediatorServer server(options);
   ASSERT_TRUE(server.Start().ok());
   MediatorClient client(server.port());
   ASSERT_TRUE(client.RegisterAgent(AgentCapacity{MiBPerSecond(1), MiB(100)}, 7001).ok());
@@ -214,9 +241,10 @@ TEST(MediatorServiceTest, RenewKeepsLeaseAlive) {
   auto session = SessionHandle::Open(&client, request);
   ASSERT_TRUE(session.ok()) << session.status().ToString();
 
-  // Renew twice across what would otherwise be two expiries.
-  for (int i = 0; i < 2; ++i) {
-    SleepMs(250);
+  // Renew twice, each time late enough that without the previous renewal the
+  // lease (issued at t=0, 400 ms) would already have expired by the next step.
+  for (int i = 1; i <= 2; ++i) {
+    clock->store(static_cast<uint64_t>(i) * 250, std::memory_order_release);
     ASSERT_TRUE(session->Renew().ok());
   }
   auto listing = client.ListSessions();

@@ -208,6 +208,47 @@ TEST(TraceSpanStoreTest, SampledModeDropsUnsampledSpansButMeasuresThem) {
   SpanStore::Global().Reset();
 }
 
+TEST(TraceSpanStoreTest, TailPromotionRetainsSlowUnsampledRoots) {
+  // Deterministic tail-sampling check, no timing involved: the spans' start
+  // and end stamps are fabricated, so the moving-p99 threshold and the
+  // promotion decision depend only on the values below. The threshold
+  // refreshes every 64 root submissions; Reset() zeroes the counter, so
+  // submitting 65 fast roots guarantees at least one refresh from a
+  // histogram that has seen only sub-millisecond durations (plus whatever
+  // earlier tests recorded — all far below the slow root used here).
+  ScopedTraceMode mode(TraceMode::kSampled);
+  SpanStore::Global().Reset();
+
+  for (uint32_t i = 0; i < 65; ++i) {
+    Span fast = MakeSpan(5000 + i, i + 1, 0);
+    fast.sampled = false;
+    fast.end_ns = fast.start_ns + 1000;  // 1 us: never above any p99
+    SpanStore::Global().Submit(fast);
+  }
+  ASSERT_NE(SpanStore::Global().TailThresholdNs(), 0u)
+      << "65 roots must have refreshed the tail threshold";
+
+  // Unsampled but absurdly slow (a full minute — no suite records roots
+  // anywhere near that): must be tail-promoted into the ring.
+  Span slow = MakeSpan(9999, 77, 0);
+  slow.sampled = false;
+  slow.end_ns = slow.start_ns + 60'000'000'000ULL;
+  SpanStore::Global().Submit(slow);
+
+  const std::vector<Span> kept = SpanStore::Global().Snapshot(9999);
+  ASSERT_EQ(kept.size(), 1u) << "the slow root must survive sampled mode";
+  EXPECT_TRUE(kept[0].sampled) << "promotion must mark the span sampled";
+
+  // An equally-unsampled, near-instant root submitted after the refresh
+  // still drops (10 ns — far under any bucketed p99 of 1 us samples).
+  Span fast = MakeSpan(10000, 78, 0);
+  fast.sampled = false;
+  fast.end_ns = fast.start_ns + 10;
+  SpanStore::Global().Submit(fast);
+  EXPECT_TRUE(SpanStore::Global().Snapshot(10000).empty());
+  SpanStore::Global().Reset();
+}
+
 TEST(TraceSpanStoreTest, ConcurrentSubmitAndSnapshotAreClean) {
   // Writers on four threads racing a snapshotting reader: tsan-clean, every
   // snapshot internally consistent (this suite runs under ThreadSanitizer in

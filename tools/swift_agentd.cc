@@ -10,6 +10,7 @@
 //               [--storage-mb=N] [--heartbeat-ms=N] [--durable]
 //               [--no-integrity] [--fault-spec=SPEC]
 //               [--loss=P] [--loss-seed=N] [--shards=N]
+//               [--chaos-spec=SPEC] [--chaos-seed=N]
 //               [--trace-mode=off|sampled|all] [--cc-mode=off|fixed|delay]
 //
 // --shards=N serves the well-known port with N SO_REUSEPORT listener
@@ -24,7 +25,10 @@
 // --fault-spec injects deterministic disk faults *under* the checksum layer
 // (syntax: "bitflip=0.01,torn=0.05,eio=0.002,stuck=8192+4096,seed=7") and
 // --loss/--loss-seed drop outgoing datagrams with probability P using a
-// reproducible seed.
+// reproducible seed. --chaos-spec scripts richer network faults — one-way
+// blackholes, partitions, delay spikes, reordering, duplication — on every
+// server socket (see src/agent/chaos.h for the grammar, e.g.
+// "0-3000:partition:*;5000-8000:delay:*:50"); --chaos-seed fixes its RNG.
 //
 // Runs until SIGINT/SIGTERM (or for --seconds, for scripting). Pair it with
 // swift_cli to store and fetch striped objects. With --stats-interval=N the
@@ -54,6 +58,7 @@
 #include <unistd.h>
 
 #include "src/agent/backing_store.h"
+#include "src/agent/chaos.h"
 #include "src/agent/congestion.h"
 #include "src/agent/faulty_store.h"
 #include "src/agent/integrity_store.h"
@@ -142,6 +147,8 @@ int main(int argc, char** argv) {
   const char* loss_flag = FlagValue(argc, argv, "--loss");
   const char* loss_seed_flag = FlagValue(argc, argv, "--loss-seed");
   const char* shards_flag = FlagValue(argc, argv, "--shards");
+  const char* chaos_flag = FlagValue(argc, argv, "--chaos-spec");
+  const char* chaos_seed_flag = FlagValue(argc, argv, "--chaos-seed");
   const bool durable = HasFlag(argc, argv, "--durable");
   const bool no_integrity = HasFlag(argc, argv, "--no-integrity");
   if (root == nullptr) {
@@ -150,7 +157,7 @@ int main(int argc, char** argv) {
                  "                    [--mediator=PORT] [--rate-mbps=N] [--storage-mb=N]\n"
                  "                    [--heartbeat-ms=N] [--durable] [--no-integrity]\n"
                  "                    [--fault-spec=SPEC] [--loss=P] [--loss-seed=N]\n"
-                 "                    [--shards=N]\n"
+                 "                    [--shards=N] [--chaos-spec=SPEC] [--chaos-seed=N]\n"
                  "serves Swift storage-agent protocol over UDP, storing objects in DIR\n",
                  swift::kDefaultAgentPort);
     return 2;
@@ -191,6 +198,16 @@ int main(int argc, char** argv) {
   options.shards = shards_flag != nullptr
                        ? static_cast<uint32_t>(std::max(1, std::atoi(shards_flag)))
                        : std::min(4u, std::max(1u, std::thread::hardware_concurrency()));
+  if (chaos_flag != nullptr) {
+    const uint64_t chaos_seed =
+        chaos_seed_flag != nullptr ? static_cast<uint64_t>(std::atoll(chaos_seed_flag)) : 1;
+    auto chaos = swift::ChaosDirector::Parse(chaos_flag, chaos_seed);
+    if (!chaos.ok()) {
+      std::fprintf(stderr, "bad --chaos-spec: %s\n", chaos.status().ToString().c_str());
+      return 2;
+    }
+    options.chaos = *std::move(chaos);
+  }
   swift::UdpAgentServer server(&core, options);
   swift::Status status = server.Start();
   if (!status.ok()) {

@@ -9,6 +9,7 @@
 //   swift_bench --scaleout [--size=BYTES] [--json=PATH]
 //   swift_bench --trace-overhead [--size=BYTES] [--json=PATH]
 //   swift_bench --cc [--size=BYTES] [--json=PATH]
+//   swift_bench --tail [--json=PATH]
 //
 // --window sets the stripe-unit ops kept in flight per agent (1 = the
 // synchronous stop-and-wait baseline). The object ("bench-object") is
@@ -36,6 +37,15 @@
 // datagrams per op, delay vs off. --json=PATH writes BENCH_congestion.json;
 // ci.sh gates 16-session Jain >= 0.8, bounded retransmits/op, and
 // single-session throughput against the committed point.
+//
+// --tail runs the tail-latency matrix (DESIGN.md §16): a 3-agent parity
+// cell whose column-0 transport is scripted (via the chaos director) to
+// hold every reply 40 ms — a gray-failure straggler: alive, just late. Unit
+// reads run unhedged vs hedged with 1-in-40 reads touching the straggler
+// column; the hedged pass must cut read p99 to <= 0.5x the unhedged pass
+// while the governor keeps the hedge rate <= 5% and the healthy warmup path
+// hedges nothing. --json=PATH writes BENCH_tail.json, which ci.sh gates on
+// all three bars.
 
 #include <algorithm>
 #include <atomic>
@@ -49,6 +59,7 @@
 #include <vector>
 
 #include "src/agent/backing_store.h"
+#include "src/agent/chaos.h"
 #include "src/agent/congestion.h"
 #include "src/agent/storage_agent.h"
 #include "src/agent/udp_agent_server.h"
@@ -888,6 +899,235 @@ int RunCongestion(uint64_t size, const char* json_path) {
   return 0;
 }
 
+// --------------------------- tail-latency matrix ---------------------------
+
+// One cell: sequential stripe-unit reads against the 3-agent parity cluster
+// while the column-0 transport's chaos director fires periodic delay spikes.
+struct TailCell {
+  const char* name;
+  bool hedged;
+
+  // Measured:
+  double read_mbps = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+  double hedge_rate_pct = 0;          // hedges per measured read
+  double healthy_hedge_rate_pct = 0;  // hedges per warmup (spike-free) read
+  uint64_t hedge_wins = 0;
+};
+
+// Straggler geometry shared by both cells. From kStragglerStartMs on, every
+// reply from column 0 is held kStragglerDelayMs by the transport-side chaos
+// director — a gray failure: the agent answers, just 40 ms late. The tail
+// FREQUENCY is set by the measured read mix, not the schedule: 1 in
+// kStragglerEveryN reads touches a column-0 unit (offset 0), the rest stay
+// on odd stripe units, which rotating parity always parks on a survivor
+// column. That keeps straggler hits ~2.5% of reads — inside the hedge
+// governor's 5% budget and solidly above the 1% a p99 can see — without the
+// closed read loop collapsing the tail by waiting out each spike.
+constexpr uint64_t kTailUnit = 16 * 1024;
+constexpr uint64_t kTailUnits = 64;  // 1 MiB object
+constexpr uint64_t kStragglerStartMs = 600;
+constexpr uint32_t kStragglerDelayMs = 40;
+constexpr int kStragglerEveryN = 40;
+constexpr int kTailWarmupReads = 200;
+constexpr int kTailMeasuredReads = 800;
+
+bool RunTailCell(TailCell& cell, const std::vector<uint16_t>& ports,
+                 ObjectDirectory* directory, const std::vector<uint8_t>& expected) {
+  char spec[64];
+  std::snprintf(spec, sizeof(spec), "%llu-1800000:delay:*:%u",
+                static_cast<unsigned long long>(kStragglerStartMs), kStragglerDelayMs);
+  auto chaos = ChaosDirector::Parse(spec, /*seed=*/7);
+  if (!chaos.ok()) {
+    std::fprintf(stderr, "tail straggler spec rejected: %s\n",
+                 chaos.status().ToString().c_str());
+    return false;
+  }
+  std::vector<std::unique_ptr<UdpTransport>> transports;
+  std::vector<AgentTransport*> raw;
+  for (size_t i = 0; i < ports.size(); ++i) {
+    UdpTransport::Options options;
+    options.initial_timeout_ms = 60;  // > the hold: retries cannot mask it
+    options.max_retries = 6;
+    if (i == 0) {
+      options.chaos = *chaos;
+    }
+    transports.push_back(std::make_unique<UdpTransport>(ports[i], options));
+    raw.push_back(transports.back().get());
+  }
+  DistributionAgent::Options io_options;
+  io_options.hedged_reads = cell.hedged;
+  auto file = SwiftFile::Open("tail-bench", raw, directory, io_options);
+  if (!file.ok()) {
+    std::fprintf(stderr, "tail open failed: %s\n", file.status().ToString().c_str());
+    return false;
+  }
+
+  Counter* attempts = MetricRegistry::Global().GetCounter("swift_hedge_attempts_total");
+  Counter* wins = MetricRegistry::Global().GetCounter("swift_hedge_wins_total");
+  std::vector<uint8_t> buffer(kTailUnit);
+  auto read_unit = [&](uint64_t unit) -> bool {
+    const uint64_t offset = (unit % kTailUnits) * kTailUnit;
+    if (!(*file)->PRead(offset, buffer).ok()) {
+      return false;
+    }
+    return std::equal(buffer.begin(), buffer.end(), expected.begin() + offset);
+  };
+
+  // Warmup before the straggler window opens: RTT estimators, the hedge
+  // governor's read floor, and the healthy-path hedge rate (must be zero —
+  // a hedge on a healthy cluster spends survivor reads for nothing).
+  const uint64_t warmup_attempts_before = attempts->Value();
+  int warmup_reads = 0;
+  for (; warmup_reads < kTailWarmupReads || (*chaos)->ElapsedMs() < kStragglerStartMs;
+       ++warmup_reads) {
+    if (!read_unit(static_cast<uint64_t>(warmup_reads))) {
+      std::fprintf(stderr, "tail warmup read %d failed\n", warmup_reads);
+      return false;
+    }
+  }
+  cell.healthy_hedge_rate_pct =
+      100.0 * static_cast<double>(attempts->Value() - warmup_attempts_before) /
+      static_cast<double>(warmup_reads);
+
+  const uint64_t attempts_before = attempts->Value();
+  const uint64_t wins_before = wins->Value();
+  LatencyHistogram latency_us;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kTailMeasuredReads; ++i) {
+    // Unit 0 sits on the straggler column (row 0 parks parity on the last
+    // agent); odd units never do. See kStragglerEveryN above.
+    const uint64_t unit = (i % kStragglerEveryN == kStragglerEveryN / 2)
+                              ? 0
+                              : 1 + 2 * (static_cast<uint64_t>(i) % (kTailUnits / 2));
+    const auto s0 = std::chrono::steady_clock::now();
+    const bool ok = read_unit(unit);
+    const auto s1 = std::chrono::steady_clock::now();
+    if (!ok) {
+      std::fprintf(stderr, "tail %s read %d failed or mismatched\n", cell.name, i);
+      return false;
+    }
+    latency_us.Add(std::chrono::duration<double, std::micro>(s1 - s0).count());
+  }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  (void)(*file)->Close();
+
+  cell.read_mbps =
+      static_cast<double>(kTailMeasuredReads * kTailUnit) / seconds / 1e6;
+  cell.p50_us = latency_us.P50();
+  cell.p99_us = latency_us.P99();
+  cell.hedge_rate_pct = 100.0 *
+                        static_cast<double>(attempts->Value() - attempts_before) /
+                        static_cast<double>(kTailMeasuredReads);
+  cell.hedge_wins = wins->Value() - wins_before;
+  return true;
+}
+
+int RunTail(const char* json_path) {
+  struct Agent {
+    InMemoryBackingStore store;
+    std::unique_ptr<StorageAgentCore> core;
+    std::unique_ptr<UdpAgentServer> server;
+  };
+  constexpr int kAgents = 3;
+  std::vector<std::unique_ptr<Agent>> agents;
+  std::vector<uint16_t> ports;
+  for (int i = 0; i < kAgents; ++i) {
+    auto agent = std::make_unique<Agent>();
+    agent->core = std::make_unique<StorageAgentCore>(&agent->store);
+    agent->server = std::make_unique<UdpAgentServer>(agent->core.get(),
+                                                     UdpAgentServer::Options{});
+    if (!agent->server->Start().ok()) {
+      std::fprintf(stderr, "tail agent %d failed to start\n", i);
+      return 1;
+    }
+    ports.push_back(agent->server->port());
+    agents.push_back(std::move(agent));
+  }
+
+  // Create and fill the object over clean transports, then close; each cell
+  // reopens it through its own (chaos-scripted) transport set.
+  ObjectDirectory directory;
+  TransferPlan plan;
+  plan.object_name = "tail-bench";
+  plan.stripe.num_agents = kAgents;
+  plan.stripe.stripe_unit = kTailUnit;
+  plan.stripe.parity = ParityMode::kRotating;
+  for (uint32_t i = 0; i < kAgents; ++i) {
+    plan.agent_ids.push_back(i);
+  }
+  Rng rng(3);
+  std::vector<uint8_t> data(kTailUnits * kTailUnit);
+  for (auto& b : data) {
+    b = static_cast<uint8_t>(rng.UniformInt(0, 255));
+  }
+  {
+    std::vector<std::unique_ptr<UdpTransport>> transports;
+    std::vector<AgentTransport*> raw;
+    for (uint16_t port : ports) {
+      transports.push_back(std::make_unique<UdpTransport>(port, UdpTransport::Options{}));
+      raw.push_back(transports.back().get());
+    }
+    auto file = SwiftFile::Create(plan, raw, &directory);
+    if (!file.ok() || !(*file)->Write(data).ok()) {
+      std::fprintf(stderr, "tail object fill failed\n");
+      return 1;
+    }
+    (void)(*file)->Close();
+  }
+
+  std::printf("swift_bench tail matrix: %d-agent rotating parity, %s units, "
+              "column 0 straggles +%u ms, 1-in-%d reads touch it, %d reads per cell\n",
+              kAgents, FormatBytes(kTailUnit).c_str(), kStragglerDelayMs,
+              kStragglerEveryN, kTailMeasuredReads);
+  TailCell unhedged{"unhedged", /*hedged=*/false};
+  TailCell hedged{"hedged", /*hedged=*/true};
+  for (TailCell* cell : {&unhedged, &hedged}) {
+    if (!RunTailCell(*cell, ports, &directory, data)) {
+      return 1;
+    }
+    std::printf("tail %-8s read %6.1f MB/s  p50 %6.0fus  p99 %7.0fus  "
+                "hedge rate %4.2f%% (healthy %4.2f%%)  wins %llu\n",
+                cell->name, cell->read_mbps, cell->p50_us, cell->p99_us,
+                cell->hedge_rate_pct, cell->healthy_hedge_rate_pct,
+                static_cast<unsigned long long>(cell->hedge_wins));
+  }
+  const double ratio = unhedged.p99_us > 0 ? hedged.p99_us / unhedged.p99_us : 0;
+  std::printf("tail p99 hedged/unhedged = %.3f (gate <= 0.5)\n", ratio);
+
+  if (json_path != nullptr) {
+    std::string json = "{\n  \"bench\": \"tail\",\n";
+    char line[160];
+    auto put = [&](const char* key, double value) {
+      std::snprintf(line, sizeof(line), "  \"%s\": %.3f,\n", key, value);
+      json += line;
+    };
+    put("tail_unhedged_read_mbps", unhedged.read_mbps);
+    put("tail_unhedged_p50_us", unhedged.p50_us);
+    put("tail_unhedged_p99_us", unhedged.p99_us);
+    put("tail_hedged_read_mbps", hedged.read_mbps);
+    put("tail_hedged_p50_us", hedged.p50_us);
+    put("tail_hedged_p99_us", hedged.p99_us);
+    put("tail_p99_ratio", ratio);
+    put("tail_hedged_hedge_rate_pct", hedged.hedge_rate_pct);
+    put("healthy_hedge_rate_pct", hedged.healthy_hedge_rate_pct);
+    std::snprintf(line, sizeof(line), "  \"tail_hedge_wins\": %llu\n}\n",
+                  static_cast<unsigned long long>(hedged.hedge_wins));
+    json += line;
+    std::FILE* out = std::fopen(json_path, "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path);
+      return 1;
+    }
+    std::fwrite(json.data(), 1, json.size(), out);
+    std::fclose(out);
+    std::printf("tail point written to %s\n", json_path);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -905,6 +1145,9 @@ int main(int argc, char** argv) {
     const uint64_t size = static_cast<uint64_t>(
         std::atoll(FlagValue(argc, argv, "--size", "16777216")));
     return RunCongestion(size, FlagValue(argc, argv, "--json", nullptr));
+  }
+  if (FlagPresent(argc, argv, "--tail")) {
+    return RunTail(FlagValue(argc, argv, "--json", nullptr));
   }
   std::vector<uint16_t> ports;
   {

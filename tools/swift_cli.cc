@@ -20,6 +20,10 @@
 //                                           repair corrupt units from parity
 //   stats [PORT]                            pull live metrics from the agents
 //                                           (all of --agents, or just PORT)
+//   hedge-stats [PORT]                      tail-tolerance counters only:
+//                                           per-agent overload sheds plus this
+//                                           process's hedged-read / deadline
+//                                           numbers
 //   trace TRACE_ID                          pull recent spans from every agent
 //                                           (and the mediator, with
 //                                           --mediator=) plus any --trace-in=
@@ -48,6 +52,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -61,6 +66,7 @@
 #include "src/core/session_handle.h"
 #include "src/core/swift_file.h"
 #include "src/core/trace_timeline.h"
+#include "src/util/metrics.h"
 #include "src/util/trace.h"
 #include "src/util/units.h"
 
@@ -301,6 +307,61 @@ int CmdStats(Cli& cli, int port_filter) {
                 static_cast<unsigned long long>(cc.late_datagrams),
                 static_cast<unsigned long long>(cc.duplicate_datagrams));
   }
+  return 0;
+}
+
+// Prints the lines of Prometheus-style `text` whose metric name contains any
+// of `needles` (comments and non-matching series are dropped).
+void PrintMatchingMetrics(const std::string& text, std::span<const char* const> needles) {
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) {
+      end = text.size();
+    }
+    const std::string line = text.substr(start, end - start);
+    start = end + 1;
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    for (const char* needle : needles) {
+      if (line.find(needle) != std::string::npos) {
+        std::printf("%s\n", line.c_str());
+        break;
+      }
+    }
+  }
+}
+
+// hedge-stats: the tail-tolerance counters from both ends of the protocol.
+// Agent side (pulled via STATS): work shed because its deadline budget
+// expired in the queue. Client side (this process's registry): hedged-read,
+// overload-backpressure and deadline counters accumulated by whatever this
+// invocation ran — zeros in a fresh process, so pair it with the workload
+// under test (e.g. a scripted get loop) or scrape the daemon's
+// --stats-interval dumps for long-lived numbers.
+int CmdHedgeStats(Cli& cli, int port_filter) {
+  static constexpr const char* kNeedles[] = {"hedge", "overload", "deadline", "cancelled"};
+  int shown = 0;
+  for (size_t i = 0; i < cli.transports.size(); ++i) {
+    const uint16_t port = cli.agent_ports[i];
+    if (port_filter > 0 && port != port_filter) {
+      continue;
+    }
+    auto text = cli.transports[i]->FetchStats();
+    if (!text.ok()) {
+      return Fail(text.status());
+    }
+    std::printf("=== agent :%u ===\n", port);
+    PrintMatchingMetrics(*text, kNeedles);
+    ++shown;
+  }
+  if (shown == 0) {
+    return Fail(InvalidArgumentError("no agent with port " + std::to_string(port_filter) +
+                                     " in --agents"));
+  }
+  std::printf("=== client (this process) ===\n");
+  PrintMatchingMetrics(MetricRegistry::Global().RenderText(), kNeedles);
   return 0;
 }
 
@@ -634,7 +695,7 @@ int main(int argc, char** argv) {
                  "usage: swift_cli --agents=PORT[,PORT...] --dir=FILE [--mediator=PORT] COMMAND\n"
                  "commands: create NAME [--unit=BYTES] [--parity] | put NAME FILE |\n"
                  "          get NAME FILE | stat NAME | ls | rm NAME | rebuild NAME COL |\n"
-                 "          scrub [NAME] | stats [PORT] | trace TRACE_ID\n"
+                 "          scrub [NAME] | stats [PORT] | hedge-stats [PORT] | trace TRACE_ID\n"
                  "tracing:  --trace-mode=off|sampled|all --trace-out=FILE --trace-in=FILE\n"
                  "transport: --cc-mode=off|fixed|delay (delay-based congestion control; default delay)\n"
                  "mediator (need --mediator=PORT):\n"
@@ -754,6 +815,9 @@ int main(int argc, char** argv) {
   }
   if (command == "stats" && args.size() <= 2) {
     return CmdStats(cli, args.size() == 2 ? std::atoi(args[1].c_str()) : 0);
+  }
+  if (command == "hedge-stats" && args.size() <= 2) {
+    return CmdHedgeStats(cli, args.size() == 2 ? std::atoi(args[1].c_str()) : 0);
   }
   if (command == "trace" && args.size() == 2) {
     return CmdTrace(cli, args[1]);
