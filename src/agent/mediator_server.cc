@@ -280,6 +280,8 @@ Message UdpMediatorServer::Dispatch(const Message& request, uint64_t now_ms) {
         for (size_t i = 0; i < info.agent_ids.size(); ++i) {
           text += (i ? "," : "") + std::to_string(info.agent_ids[i]);
         }
+        text += " k=" + std::to_string(info.data_agents) +
+                " m=" + std::to_string(info.parity_units);
         text += " rate_bps=" + std::to_string(static_cast<uint64_t>(info.reserved_rate));
         text += info.leased ? " lease_ms=" + std::to_string(info.lease_remaining_ms)
                             : " lease_ms=-";

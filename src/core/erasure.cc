@@ -1,0 +1,511 @@
+#include "src/core/erasure.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <tuple>
+
+#include "src/core/parity.h"
+#include "src/util/logging.h"
+#include "src/util/metrics.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define SWIFT_GF_X86 1
+#endif
+
+namespace swift {
+
+namespace {
+
+struct ErasureMetrics {
+  Counter* encode_bytes;
+  Counter* reconstruct_bytes;
+  Counter* matrix_inversions;
+};
+
+const ErasureMetrics& Metrics() {
+  static const ErasureMetrics metrics = [] {
+    MetricRegistry& registry = MetricRegistry::Global();
+    return ErasureMetrics{
+        registry.GetCounter("swift_erasure_encode_bytes_total"),
+        registry.GetCounter("swift_erasure_reconstruct_bytes_total"),
+        registry.GetCounter("swift_erasure_matrix_inversions_total"),
+    };
+  }();
+  return metrics;
+}
+
+// ---------------------------------------------------------- GF(2^8) tables --
+
+constexpr uint32_t kGfPoly = 0x11D;  // x^8 + x^4 + x^3 + x^2 + 1; α = 2 generates
+
+struct GfTables {
+  uint8_t exp[512];          // α^i, doubled so exp[log a + log b] never wraps
+  uint8_t log[256];          // log 0 unused
+  uint8_t mul[256][256];     // full product table (the scalar fold kernel)
+  uint8_t inv[256];          // inv[0] unused
+  // Nibble product tables for the pshufb kernels: for coefficient c,
+  // c ⊗ x = nib_lo[c][x & 15] ^ nib_hi[c][x >> 4].
+  alignas(16) uint8_t nib_lo[256][16];
+  alignas(16) uint8_t nib_hi[256][16];
+};
+
+const GfTables& Tables() {
+  static const GfTables tables = [] {
+    GfTables t{};
+    uint32_t x = 1;
+    for (int i = 0; i < 255; ++i) {
+      t.exp[i] = static_cast<uint8_t>(x);
+      t.log[x] = static_cast<uint8_t>(i);
+      x <<= 1;
+      if (x & 0x100) {
+        x ^= kGfPoly;
+      }
+    }
+    for (int i = 255; i < 512; ++i) {
+      t.exp[i] = t.exp[i - 255];
+    }
+    for (int a = 0; a < 256; ++a) {
+      for (int b = 0; b < 256; ++b) {
+        t.mul[a][b] = (a == 0 || b == 0)
+                          ? 0
+                          : t.exp[t.log[a] + t.log[b]];
+      }
+    }
+    for (int a = 1; a < 256; ++a) {
+      t.inv[a] = t.exp[255 - t.log[a]];
+    }
+    for (int c = 0; c < 256; ++c) {
+      for (int n = 0; n < 16; ++n) {
+        t.nib_lo[c][n] = t.mul[c][n];
+        t.nib_hi[c][n] = t.mul[c][n << 4];
+      }
+    }
+    return t;
+  }();
+  return tables;
+}
+
+// ------------------------------------------------------------ fold kernels --
+
+void GfMulFoldScalar(uint8_t* dst, const uint8_t* src, size_t n, uint8_t c) {
+  const uint8_t* row = Tables().mul[c];
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    dst[i] ^= row[src[i]];
+    dst[i + 1] ^= row[src[i + 1]];
+    dst[i + 2] ^= row[src[i + 2]];
+    dst[i + 3] ^= row[src[i + 3]];
+  }
+  for (; i < n; ++i) {
+    dst[i] ^= row[src[i]];
+  }
+}
+
+#ifdef SWIFT_GF_X86
+
+__attribute__((target("ssse3"))) void GfMulFoldSsse3(uint8_t* dst, const uint8_t* src,
+                                                     size_t n, uint8_t c) {
+  const GfTables& t = Tables();
+  const __m128i lo = _mm_load_si128(reinterpret_cast<const __m128i*>(t.nib_lo[c]));
+  const __m128i hi = _mm_load_si128(reinterpret_cast<const __m128i*>(t.nib_hi[c]));
+  const __m128i mask = _mm_set1_epi8(0x0F);
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i s = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    __m128i d = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    const __m128i pl = _mm_shuffle_epi8(lo, _mm_and_si128(s, mask));
+    const __m128i ph =
+        _mm_shuffle_epi8(hi, _mm_and_si128(_mm_srli_epi64(s, 4), mask));
+    d = _mm_xor_si128(d, _mm_xor_si128(pl, ph));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), d);
+  }
+  if (i < n) {
+    GfMulFoldScalar(dst + i, src + i, n - i, c);
+  }
+}
+
+__attribute__((target("avx2"))) void GfMulFoldAvx2(uint8_t* dst, const uint8_t* src,
+                                                   size_t n, uint8_t c) {
+  const GfTables& t = Tables();
+  // vpshufb shuffles within each 128-bit lane, so the 16-entry tables are
+  // broadcast to both lanes.
+  const __m256i lo = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(t.nib_lo[c])));
+  const __m256i hi = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(t.nib_hi[c])));
+  const __m256i mask = _mm256_set1_epi8(0x0F);
+  size_t i = 0;
+  // Two independent 32-byte streams per iteration: the second product chain
+  // overlaps the first's shuffle latency.
+  for (; i + 64 <= n; i += 64) {
+    const __m256i s0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i s1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i + 32));
+    __m256i d0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    __m256i d1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i + 32));
+    const __m256i pl0 = _mm256_shuffle_epi8(lo, _mm256_and_si256(s0, mask));
+    const __m256i pl1 = _mm256_shuffle_epi8(lo, _mm256_and_si256(s1, mask));
+    const __m256i ph0 =
+        _mm256_shuffle_epi8(hi, _mm256_and_si256(_mm256_srli_epi64(s0, 4), mask));
+    const __m256i ph1 =
+        _mm256_shuffle_epi8(hi, _mm256_and_si256(_mm256_srli_epi64(s1, 4), mask));
+    d0 = _mm256_xor_si256(d0, _mm256_xor_si256(pl0, ph0));
+    d1 = _mm256_xor_si256(d1, _mm256_xor_si256(pl1, ph1));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), d0);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i + 32), d1);
+  }
+  for (; i + 32 <= n; i += 32) {
+    const __m256i s = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    __m256i d = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i pl = _mm256_shuffle_epi8(lo, _mm256_and_si256(s, mask));
+    const __m256i ph =
+        _mm256_shuffle_epi8(hi, _mm256_and_si256(_mm256_srli_epi64(s, 4), mask));
+    d = _mm256_xor_si256(d, _mm256_xor_si256(pl, ph));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), d);
+  }
+  if (i < n) {
+    GfMulFoldScalar(dst + i, src + i, n - i, c);
+  }
+}
+
+#endif  // SWIFT_GF_X86
+
+using FoldFn = void (*)(uint8_t*, const uint8_t*, size_t, uint8_t);
+
+struct KernelChoice {
+  FoldFn fn;
+  const char* name;
+};
+
+KernelChoice DetectKernel() {
+#ifdef SWIFT_GF_X86
+  if (__builtin_cpu_supports("avx2")) {
+    return {GfMulFoldAvx2, "avx2"};
+  }
+  if (__builtin_cpu_supports("ssse3")) {
+    return {GfMulFoldSsse3, "ssse3"};
+  }
+#endif
+  return {GfMulFoldScalar, "scalar"};
+}
+
+const KernelChoice& DetectedKernel() {
+  static const KernelChoice choice = DetectKernel();
+  return choice;
+}
+
+std::atomic<bool> g_simd_enabled{true};
+
+}  // namespace
+
+uint8_t GfMul(uint8_t a, uint8_t b) { return Tables().mul[a][b]; }
+
+uint8_t GfInv(uint8_t a) {
+  SWIFT_CHECK(a != 0) << "GF(2^8) zero has no inverse";
+  return Tables().inv[a];
+}
+
+void GfMulFold(std::span<uint8_t> dst, std::span<const uint8_t> src, uint8_t c) {
+  SWIFT_CHECK(dst.size() == src.size()) << "fold size mismatch";
+  if (c == 0 || dst.empty()) {
+    return;
+  }
+  if (c == 1) {
+    // The m=1 XOR path, byte- and perf-identical to the pre-codec kernels.
+    XorInto(dst, src);
+    return;
+  }
+  if (g_simd_enabled.load(std::memory_order_relaxed)) {
+    DetectedKernel().fn(dst.data(), src.data(), dst.size(), c);
+  } else {
+    GfMulFoldScalar(dst.data(), src.data(), dst.size(), c);
+  }
+}
+
+bool SetGfSimdEnabled(bool enabled) {
+  return g_simd_enabled.exchange(enabled, std::memory_order_relaxed);
+}
+
+const char* GfKernelName() {
+  return g_simd_enabled.load(std::memory_order_relaxed) ? DetectedKernel().name : "scalar";
+}
+
+// -------------------------------------------------------------- the codecs --
+
+void ErasureCodec::UpdateParity(uint32_t parity_index, uint32_t data_index,
+                                std::span<uint8_t> parity, uint64_t offset_in_unit,
+                                std::span<const uint8_t> old_data,
+                                std::span<const uint8_t> new_data) const {
+  SWIFT_CHECK(old_data.size() == new_data.size()) << "old/new data size mismatch";
+  SWIFT_CHECK(offset_in_unit + old_data.size() <= parity.size())
+      << "update outside parity unit";
+  std::span<uint8_t> window = parity.subspan(offset_in_unit, old_data.size());
+  const uint8_t c = Coefficient(parity_index, data_index);
+  if (c == 1) {
+    // parity ^= old ^ new — the exact pre-codec RMW math.
+    XorInto(window, old_data);
+    XorInto(window, new_data);
+    return;
+  }
+  // parity ^= c ⊗ (old ^ new), in cache-sized blocks so the delta staging
+  // never allocates.
+  uint8_t delta[1024];
+  size_t done = 0;
+  while (done < old_data.size()) {
+    const size_t chunk = std::min(sizeof(delta), old_data.size() - done);
+    for (size_t i = 0; i < chunk; ++i) {
+      delta[i] = old_data[done + i] ^ new_data[done + i];
+    }
+    GfMulFold(window.subspan(done, chunk), std::span<const uint8_t>(delta, chunk), c);
+    done += chunk;
+  }
+}
+
+namespace {
+
+Status ValidateErased(std::span<const uint32_t> erased, uint32_t k, uint32_t m) {
+  if (erased.empty()) {
+    return InvalidArgumentError("no erased positions to reconstruct");
+  }
+  if (erased.size() > m) {
+    return DataLossError(std::to_string(erased.size()) + " erasures exceed the " +
+                         std::to_string(m) + "-unit parity budget");
+  }
+  for (size_t i = 0; i < erased.size(); ++i) {
+    if (erased[i] >= k + m) {
+      return InvalidArgumentError("erased position out of range");
+    }
+    if (i > 0 && erased[i] <= erased[i - 1]) {
+      return InvalidArgumentError("erased positions must be ascending and unique");
+    }
+  }
+  return OkStatus();
+}
+
+// The m=1 special case: parity is the XOR of the data units, every
+// reconstruction coefficient is 1. EncodeInto delegates to the original
+// parity kernel so the bytes (and the fast path) are exactly the pre-codec
+// ones.
+class XorCodec : public ErasureCodec {
+ public:
+  explicit XorCodec(uint32_t k) : k_(k) {}
+
+  ErasureKind kind() const override { return ErasureKind::kXor; }
+  uint32_t data_units() const override { return k_; }
+  uint32_t parity_units() const override { return 1; }
+  uint8_t Coefficient(uint32_t, uint32_t) const override { return 1; }
+
+  void EncodeInto(std::span<const std::span<const uint8_t>> data,
+                  std::span<const std::span<uint8_t>> parity) const override {
+    SWIFT_CHECK(parity.size() == 1) << "xor parity is a single unit";
+    ComputeParityInto(parity[0], data);
+    Metrics().encode_bytes->Increment(parity[0].size());
+  }
+
+  Result<ReconstructionPlan> PlanReconstruction(
+      std::span<const uint32_t> erased) const override {
+    SWIFT_RETURN_IF_ERROR(ValidateErased(erased, k_, 1));
+    ReconstructionPlan plan;
+    plan.targets.assign(erased.begin(), erased.end());
+    plan.survivors.reserve(k_);
+    for (uint32_t p = 0; p < k_ + 1; ++p) {
+      if (p != erased[0]) {
+        plan.survivors.push_back(p);
+      }
+    }
+    plan.coefficients.assign(plan.survivors.size(), 1);
+    return plan;
+  }
+
+ private:
+  uint32_t k_;
+};
+
+class RsCodec : public ErasureCodec {
+ public:
+  RsCodec(uint32_t k, uint32_t m) : k_(k), m_(m), generator_(m * k) {
+    SWIFT_CHECK(k >= 1 && m >= 1 && k + m <= 255) << "RS(k,m) needs k+m <= 255";
+    // Cauchy generator: x_j = k + j, y_i = i are disjoint, so every entry
+    // (and every square submatrix) is invertible — the code is MDS for any
+    // erasure pattern of ≤ m units.
+    for (uint32_t j = 0; j < m; ++j) {
+      for (uint32_t i = 0; i < k; ++i) {
+        generator_[j * k + i] = GfInv(static_cast<uint8_t>((k + j) ^ i));
+      }
+    }
+  }
+
+  ErasureKind kind() const override { return ErasureKind::kReedSolomon; }
+  uint32_t data_units() const override { return k_; }
+  uint32_t parity_units() const override { return m_; }
+  uint8_t Coefficient(uint32_t parity_index, uint32_t data_index) const override {
+    return generator_[parity_index * k_ + data_index];
+  }
+
+  void EncodeInto(std::span<const std::span<const uint8_t>> data,
+                  std::span<const std::span<uint8_t>> parity) const override {
+    SWIFT_CHECK(data.size() == k_) << "RS encode needs every data unit";
+    SWIFT_CHECK(parity.size() == m_) << "RS encode produces every parity unit";
+    uint64_t parity_bytes = 0;
+    for (std::span<uint8_t> p : parity) {
+      std::fill(p.begin(), p.end(), 0);
+      parity_bytes += p.size();
+    }
+    // Block-interleaved fold: one source block stays cache-hot across all m
+    // parity folds instead of streaming each unit m times from memory.
+    constexpr size_t kBlock = 4096;
+    for (uint32_t i = 0; i < k_; ++i) {
+      const std::span<const uint8_t> src = data[i];
+      SWIFT_CHECK(src.size() <= parity[0].size()) << "source larger than the stripe unit";
+      for (size_t b = 0; b < src.size(); b += kBlock) {
+        const size_t chunk = std::min(kBlock, src.size() - b);
+        for (uint32_t j = 0; j < m_; ++j) {
+          GfMulFold(parity[j].subspan(b, chunk), src.subspan(b, chunk),
+                    Coefficient(j, i));
+        }
+      }
+    }
+    Metrics().encode_bytes->Increment(parity_bytes);
+  }
+
+  Result<ReconstructionPlan> PlanReconstruction(
+      std::span<const uint32_t> erased) const override {
+    SWIFT_RETURN_IF_ERROR(ValidateErased(erased, k_, m_));
+    ReconstructionPlan plan;
+    plan.targets.assign(erased.begin(), erased.end());
+    plan.survivors.reserve(k_);
+    for (uint32_t p = 0; p < k_ + m_ && plan.survivors.size() < k_; ++p) {
+      if (!std::binary_search(erased.begin(), erased.end(), p)) {
+        plan.survivors.push_back(p);
+      }
+    }
+    SWIFT_CHECK(plan.survivors.size() == k_);
+
+    // Invert the k×k matrix of survivor generator rows (identity rows for
+    // data survivors, Cauchy rows for parity survivors): survivor = A · data,
+    // so data = A⁻¹ · survivor.
+    const uint32_t k = k_;
+    std::vector<uint8_t> a(k * k, 0);
+    for (uint32_t r = 0; r < k; ++r) {
+      const uint32_t p = plan.survivors[r];
+      if (p < k) {
+        a[r * k + p] = 1;
+      } else {
+        std::memcpy(&a[r * k], &generator_[(p - k) * k], k);
+      }
+    }
+    std::vector<uint8_t> inv(k * k, 0);
+    for (uint32_t r = 0; r < k; ++r) {
+      inv[r * k + r] = 1;
+    }
+    for (uint32_t col = 0; col < k; ++col) {
+      uint32_t pivot = col;
+      while (pivot < k && a[pivot * k + col] == 0) {
+        ++pivot;
+      }
+      // A Cauchy survivor matrix is always nonsingular; a zero column here
+      // would mean the construction is broken, not the input.
+      SWIFT_CHECK(pivot < k) << "singular RS survivor matrix";
+      if (pivot != col) {
+        for (uint32_t c = 0; c < k; ++c) {
+          std::swap(a[pivot * k + c], a[col * k + c]);
+          std::swap(inv[pivot * k + c], inv[col * k + c]);
+        }
+      }
+      const uint8_t scale = GfInv(a[col * k + col]);
+      for (uint32_t c = 0; c < k; ++c) {
+        a[col * k + c] = GfMul(a[col * k + c], scale);
+        inv[col * k + c] = GfMul(inv[col * k + c], scale);
+      }
+      for (uint32_t r = 0; r < k; ++r) {
+        const uint8_t factor = a[r * k + col];
+        if (r == col || factor == 0) {
+          continue;
+        }
+        for (uint32_t c = 0; c < k; ++c) {
+          a[r * k + c] ^= GfMul(a[col * k + c], factor);
+          inv[r * k + c] ^= GfMul(inv[col * k + c], factor);
+        }
+      }
+    }
+    Metrics().matrix_inversions->Increment();
+
+    // Coefficient rows: a data target t is row t of A⁻¹; a parity target is
+    // its generator row pushed through A⁻¹ (parity = G · data = G · A⁻¹ ·
+    // survivors).
+    plan.coefficients.assign(plan.targets.size() * k, 0);
+    for (size_t t = 0; t < plan.targets.size(); ++t) {
+      uint8_t* row = &plan.coefficients[t * k];
+      const uint32_t target = plan.targets[t];
+      if (target < k) {
+        std::memcpy(row, &inv[target * k], k);
+      } else {
+        const uint8_t* g = &generator_[(target - k) * k];
+        for (uint32_t s = 0; s < k; ++s) {
+          uint8_t acc = 0;
+          for (uint32_t i = 0; i < k; ++i) {
+            acc ^= GfMul(g[i], inv[i * k + s]);
+          }
+          row[s] = acc;
+        }
+      }
+    }
+    return plan;
+  }
+
+ private:
+  uint32_t k_;
+  uint32_t m_;
+  std::vector<uint8_t> generator_;  // row-major [m][k]
+};
+
+}  // namespace
+
+void ReconstructWithPlan(const ReconstructionPlan& plan,
+                         std::span<const std::span<const uint8_t>> survivors,
+                         std::span<const std::span<uint8_t>> targets) {
+  SWIFT_CHECK(survivors.size() == plan.survivors.size());
+  SWIFT_CHECK(targets.size() == plan.targets.size());
+  uint64_t rebuilt_bytes = 0;
+  for (std::span<uint8_t> target : targets) {
+    std::fill(target.begin(), target.end(), 0);
+    rebuilt_bytes += target.size();
+  }
+  for (size_t s = 0; s < survivors.size(); ++s) {
+    for (size_t t = 0; t < targets.size(); ++t) {
+      SWIFT_CHECK(survivors[s].size() <= targets[t].size())
+          << "survivor larger than the stripe unit";
+      GfMulFold(targets[t].subspan(0, survivors[s].size()), survivors[s],
+                plan.Coefficient(t, s));
+    }
+  }
+  Metrics().reconstruct_bytes->Increment(rebuilt_bytes);
+}
+
+const ErasureCodec& CodecFor(const StripeConfig& config) {
+  SWIFT_CHECK(config.parity != ParityMode::kNone) << "no codec without parity";
+  const uint32_t k = config.DataAgentsPerRow();
+  const uint32_t m = config.parity_units;
+  static std::mutex mutex;
+  static std::map<std::tuple<uint8_t, uint32_t, uint32_t>, std::unique_ptr<ErasureCodec>>
+      cache;
+  std::lock_guard<std::mutex> lock(mutex);
+  auto key = std::make_tuple(static_cast<uint8_t>(config.codec), k, m);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    std::unique_ptr<ErasureCodec> codec;
+    if (config.codec == ErasureKind::kXor) {
+      SWIFT_CHECK(m == 1) << "xor parity supports exactly one parity unit";
+      codec = std::make_unique<XorCodec>(k);
+    } else {
+      codec = std::make_unique<RsCodec>(k, m);
+    }
+    it = cache.emplace(key, std::move(codec)).first;
+  }
+  return *it->second;
+}
+
+}  // namespace swift

@@ -1,0 +1,133 @@
+// Pluggable k+m erasure coding for stripe groups.
+//
+// The paper's "computed copy" redundancy (§2) is one XOR parity unit per
+// stripe row — resilient to a single failure per group. This layer makes the
+// redundancy scheme a pluggable `ErasureCodec`: the XOR codec keeps the m=1
+// fast path (byte-identical math to parity.h, so on-disk sidecars and wire
+// bytes never change), and a GF(2^8) Reed-Solomon codec generalizes to m
+// parity units per row, reconstructing any ≤m erasures.
+//
+// Unit positions. Codec math is expressed in *unit positions* within one
+// stripe row: data units occupy positions [0, k), parity units positions
+// [k, k+m). Physical placement (which agent holds which position, including
+// the rotating-parity permutation) stays in StripeLayout; SwiftFile and the
+// repair tools translate agents ↔ positions per row.
+//
+// Reed-Solomon construction: systematic code over GF(2^8) (polynomial
+// 0x11D), Cauchy generator g[j][i] = 1/(x_j ⊕ y_i) with x_j = k + j and
+// y_i = i. Every square submatrix of a Cauchy matrix is nonsingular, so the
+// stacked matrix [I; G] is MDS by construction: any k surviving units
+// determine the rest. Reconstruction inverts the k×k matrix of survivor
+// generator rows (Gauss-Jordan over GF(2^8)) and expresses every erased unit
+// as a GF linear combination of the survivors.
+//
+// Kernels. Everything reduces to `dst ^= c ⊗ src` (GfMulFold). c == 1 is
+// plain XorInto — the XOR codec and the RS identity coefficients ride the
+// same word-at-a-time loop the parity path always used. c > 1 dispatches at
+// runtime to an AVX2 or SSSE3 nibble-table (pshufb) kernel on x86, with a
+// 256×256 product-table scalar fallback everywhere else. GF addition is XOR,
+// so folds commute — streaming reconstruction can fold survivor completions
+// in arrival order, exactly like the XOR path.
+
+#ifndef SWIFT_SRC_CORE_ERASURE_H_
+#define SWIFT_SRC_CORE_ERASURE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/core/stripe_layout.h"
+#include "src/util/status.h"
+
+namespace swift {
+
+// --- GF(2^8) primitives (exposed for tests and the bench) -------------------
+
+// Product a ⊗ b in GF(2^8) / 0x11D.
+uint8_t GfMul(uint8_t a, uint8_t b);
+// Multiplicative inverse; a must be non-zero.
+uint8_t GfInv(uint8_t a);
+
+// dst ^= c ⊗ src, element-wise (the erasure fold kernel). Sizes must match.
+// c == 0 is a no-op, c == 1 is XorInto.
+void GfMulFold(std::span<uint8_t> dst, std::span<const uint8_t> src, uint8_t c);
+
+// Test hook: force the scalar fold kernel (compare SIMD vs scalar output).
+// Returns the previous setting. Not thread-safe against concurrent folds.
+bool SetGfSimdEnabled(bool enabled);
+// Which kernel GfMulFold currently dispatches to, for bench labels.
+const char* GfKernelName();
+
+// --- reconstruction plans ---------------------------------------------------
+
+// How to rebuild the erased units of one stripe row: read the k survivor
+// positions and fold survivor s into target t with Coefficient(t, s). The
+// coefficient matrix row for target t reproduces that unit exactly:
+//   unit[targets[t]] = Σ_s Coefficient(t, s) ⊗ unit[survivors[s]]
+struct ReconstructionPlan {
+  std::vector<uint32_t> survivors;  // k unit positions, ascending
+  std::vector<uint32_t> targets;    // the erased positions, ascending
+  // Row-major [targets.size()][survivors.size()].
+  std::vector<uint8_t> coefficients;
+
+  uint8_t Coefficient(size_t target, size_t survivor) const {
+    return coefficients[target * survivors.size() + survivor];
+  }
+};
+
+// --- the codec interface ----------------------------------------------------
+
+class ErasureCodec {
+ public:
+  virtual ~ErasureCodec() = default;
+
+  virtual ErasureKind kind() const = 0;
+  // Data units per stripe row (k).
+  virtual uint32_t data_units() const = 0;
+  // Parity units per stripe row (m).
+  virtual uint32_t parity_units() const = 0;
+
+  // Generator coefficient of data unit `data_index` in parity unit
+  // `parity_index` (the incremental-update weight).
+  virtual uint8_t Coefficient(uint32_t parity_index, uint32_t data_index) const = 0;
+
+  // Computes every parity unit of one row into `parity` (m spans, one full
+  // stripe unit each; zeroed then filled). Data sources may be shorter than
+  // the unit (a partially filled trailing row); missing bytes count as zero.
+  // For the XOR codec this is exactly ComputeParityInto — byte-identical
+  // parity units to the pre-codec path.
+  virtual void EncodeInto(std::span<const std::span<const uint8_t>> data,
+                          std::span<const std::span<uint8_t>> parity) const = 0;
+
+  // Plans the rebuild of `erased` unit positions (ascending, ≤ m of them)
+  // from k survivors. kDataLoss when more positions are erased than the
+  // codec can cover.
+  virtual Result<ReconstructionPlan> PlanReconstruction(
+      std::span<const uint32_t> erased) const = 0;
+
+  // Incremental parity maintenance for a read-modify-write:
+  //   parity' = parity ^ Coefficient(parity_index, data_index) ⊗ (old ^ new)
+  // applied at `offset_in_unit`. With coefficient 1 (always, for XOR) this is
+  // the classic parity ^= old ^ new — same math, same bytes as before.
+  void UpdateParity(uint32_t parity_index, uint32_t data_index, std::span<uint8_t> parity,
+                    uint64_t offset_in_unit, std::span<const uint8_t> old_data,
+                    std::span<const uint8_t> new_data) const;
+};
+
+// Synchronous reconstruction for the repair tools (scrub, rebuild): zeroes
+// every target span and folds each survivor in. `survivors` must be in
+// plan.survivors order, `targets` in plan.targets order, all one full unit.
+// Survivor spans may be shorter than the unit (zero-extended trailing data).
+void ReconstructWithPlan(const ReconstructionPlan& plan,
+                         std::span<const std::span<const uint8_t>> survivors,
+                         std::span<const std::span<uint8_t>> targets);
+
+// The process-wide codec for a stripe config (parity must be enabled).
+// Codecs are stateless and cached by (kind, k, m); the reference stays valid
+// for the life of the process.
+const ErasureCodec& CodecFor(const StripeConfig& config);
+
+}  // namespace swift
+
+#endif  // SWIFT_SRC_CORE_ERASURE_H_

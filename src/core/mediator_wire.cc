@@ -15,7 +15,8 @@ double GetF64(WireReader& r) { return std::bit_cast<double>(r.GetU64()); }
 
 std::vector<uint8_t> EncodeSessionRequest(const StorageMediator::SessionRequest& request) {
   // Exact: string (2 + n) + u64 + f64 + u64 + u8 + u32 + u32 + u64.
-  WireWriter w(2 + request.object_name.size() + 8 + 8 + 8 + 1 + 4 + 4 + 8);
+  WireWriter w(2 + request.object_name.size() + 8 + 8 + 8 + 1 + 4 + 4 + 8 +
+               (request.parity_units != 1 ? 4 : 0));
   w.PutString(request.object_name);
   w.PutU64(request.expected_size);
   PutF64(w, request.required_rate);
@@ -24,6 +25,12 @@ std::vector<uint8_t> EncodeSessionRequest(const StorageMediator::SessionRequest&
   w.PutU32(request.min_agents);
   w.PutU32(request.max_agents);
   w.PutU64(request.lease_ms);
+  if (request.parity_units != 1) {
+    // Trailing parity-unit count (m): encoded only when a client asks for
+    // more than single parity, so m=1 requests stay byte-identical to the
+    // pre-codec wire format.
+    w.PutU32(request.parity_units);
+  }
   return w.Take();
 }
 
@@ -38,6 +45,12 @@ Result<StorageMediator::SessionRequest> DecodeSessionRequest(std::span<const uin
   request.min_agents = r.GetU32();
   request.max_agents = r.GetU32();
   request.lease_ms = r.GetU64();
+  if (r.remaining() >= 4) {
+    request.parity_units = r.GetU32();
+    if (request.parity_units == 0) {
+      return InvalidArgumentError("malformed session request: zero parity units");
+    }
+  }
   if (!r.ok() || r.remaining() != 0) {
     return InvalidArgumentError("malformed session request payload");
   }
@@ -45,12 +58,14 @@ Result<StorageMediator::SessionRequest> DecodeSessionRequest(std::span<const uin
 }
 
 std::vector<uint8_t> EncodeSessionGrant(const SessionGrant& grant) {
+  const bool erasure_ext = grant.plan.stripe.parity_units != 1 ||
+                           grant.plan.stripe.codec != ErasureKind::kXor;
   // Exact: u64 + string (2 + n) + u32 + u64 + u8 + u32 + ids + f64 + u64 +
-  // u16 + ports + u64 + f64 — a wide plan must not regrow the buffer
-  // mid-encode.
+  // u16 + ports + u64 + f64 [+ u32 + u8] — a wide plan must not regrow the
+  // buffer mid-encode.
   WireWriter w(8 + 2 + grant.plan.object_name.size() + 4 + 8 + 1 + 4 +
                4 * grant.plan.agent_ids.size() + 8 + 8 + 2 + 2 * grant.agent_ports.size() + 8 +
-               8);
+               8 + (erasure_ext ? 5 : 0));
   w.PutU64(grant.plan.session_id);
   w.PutString(grant.plan.object_name);
   w.PutU32(grant.plan.stripe.num_agents);
@@ -68,6 +83,12 @@ std::vector<uint8_t> EncodeSessionGrant(const SessionGrant& grant) {
   }
   w.PutU64(grant.lease_ms);
   PutF64(w, grant.channel_rate_cap);
+  if (erasure_ext) {
+    // Trailing erasure-coding extension: only k+m plans beyond single XOR
+    // parity carry it, so m=1 grants stay byte-identical to pre-codec ones.
+    w.PutU32(grant.plan.stripe.parity_units);
+    w.PutU8(static_cast<uint8_t>(grant.plan.stripe.codec));
+  }
   return w.Take();
 }
 
@@ -103,6 +124,17 @@ Result<SessionGrant> DecodeSessionGrant(std::span<const uint8_t> bytes) {
     // Trailing per-channel rate cap: absent (and defaulted to 0) when the
     // grant came from a pre-CC mediator.
     grant.channel_rate_cap = GetF64(r);
+  }
+  if (r.remaining() >= 5) {
+    // Trailing erasure extension: absent (and defaulted to m=1 XOR) when the
+    // grant came from a pre-codec mediator.
+    grant.plan.stripe.parity_units = r.GetU32();
+    const uint8_t codec = r.GetU8();
+    if (grant.plan.stripe.parity_units == 0 ||
+        codec > static_cast<uint8_t>(ErasureKind::kReedSolomon)) {
+      return InvalidArgumentError("malformed session grant: bad erasure config");
+    }
+    grant.plan.stripe.codec = static_cast<ErasureKind>(codec);
   }
   if (!r.ok() || r.remaining() != 0) {
     return InvalidArgumentError("malformed session grant payload");

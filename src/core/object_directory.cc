@@ -7,10 +7,15 @@ namespace swift {
 
 namespace {
 
-// Record format (one object per line, space-separated):
+// Record formats (one object per line, space-separated):
 //   v1 <name> <num_agents> <stripe_unit> <parity:0|1|2> <size> <agent_count> <id...>
+//   v2 <name> <num_agents> <stripe_unit> <parity:0|1|2> <parity_units> <codec:0|1>
+//      <size> <agent_count> <id...>
+// Single-XOR-parity objects keep emitting v1 so pre-codec directory files
+// stay byte-identical; anything with m > 1 or a non-XOR codec uses v2.
 // Names may not contain whitespace or newlines (enforced at Create).
-constexpr char kRecordTag[] = "v1";
+constexpr char kRecordTagV1[] = "v1";
+constexpr char kRecordTagV2[] = "v2";
 
 bool ValidName(const std::string& name) {
   if (name.empty()) {
@@ -95,9 +100,15 @@ Status ObjectDirectory::SaveToFile(const std::string& path) const {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     for (const auto& [name, m] : objects_) {
-      out << kRecordTag << ' ' << name << ' ' << m.stripe.num_agents << ' '
-          << m.stripe.stripe_unit << ' ' << static_cast<int>(m.stripe.parity) << ' ' << m.size
-          << ' ' << m.agent_ids.size();
+      const bool legacy =
+          m.stripe.parity_units == 1 && m.stripe.codec == ErasureKind::kXor;
+      out << (legacy ? kRecordTagV1 : kRecordTagV2) << ' ' << name << ' '
+          << m.stripe.num_agents << ' ' << m.stripe.stripe_unit << ' '
+          << static_cast<int>(m.stripe.parity);
+      if (!legacy) {
+        out << ' ' << m.stripe.parity_units << ' ' << static_cast<int>(m.stripe.codec);
+      }
+      out << ' ' << m.size << ' ' << m.agent_ids.size();
       for (uint32_t id : m.agent_ids) {
         out << ' ' << id;
       }
@@ -144,12 +155,19 @@ Status ObjectDirectory::LoadFromFile(const std::string& path) {
     ObjectMetadata m;
     int parity = 0;
     size_t agent_count = 0;
-    fields >> tag >> m.name >> m.stripe.num_agents >> m.stripe.stripe_unit >> parity >> m.size >>
-        agent_count;
-    if (!fields || tag != kRecordTag || parity < 0 || parity > 2) {
+    fields >> tag >> m.name >> m.stripe.num_agents >> m.stripe.stripe_unit >> parity;
+    const bool v2 = tag == kRecordTagV2;
+    int codec = 0;
+    if (v2) {
+      fields >> m.stripe.parity_units >> codec;
+    }
+    fields >> m.size >> agent_count;
+    if (!fields || (tag != kRecordTagV1 && !v2) || parity < 0 || parity > 2 || codec < 0 ||
+        codec > 1) {
       return IoError("malformed directory record at line " + std::to_string(line_number));
     }
     m.stripe.parity = static_cast<ParityMode>(parity);
+    m.stripe.codec = static_cast<ErasureKind>(codec);
     m.agent_ids.resize(agent_count);
     for (size_t i = 0; i < agent_count; ++i) {
       fields >> m.agent_ids[i];

@@ -1,34 +1,95 @@
 #include "src/core/rebuild.h"
 
-#include "src/core/parity.h"
+#include <algorithm>
+
+#include "src/core/erasure.h"
 #include "src/core/stripe_layout.h"
 #include "src/proto/message.h"
 
 namespace swift {
 
-Result<RebuildReport> RebuildColumn(const ObjectMetadata& metadata,
-                                    const std::vector<AgentTransport*>& transports,
-                                    uint32_t lost_column) {
+namespace {
+
+// A rebuild row's decode recipe: the codec plan for the row's erased unit
+// positions plus, for each lost column, which plan target rebuilds it. The
+// rotation repeats every num_agents rows, so plans are cached per residue.
+struct RowPlan {
+  ReconstructionPlan plan;
+  std::vector<size_t> target_of_lost;
+};
+
+}  // namespace
+
+Result<RebuildReport> RebuildColumns(const ObjectMetadata& metadata,
+                                     const std::vector<AgentTransport*>& transports,
+                                     std::span<const uint32_t> lost_columns) {
   if (metadata.stripe.parity == ParityMode::kNone) {
     return InvalidArgumentError("object has no redundancy to rebuild from");
   }
   if (transports.size() != metadata.stripe.num_agents) {
     return InvalidArgumentError("transport count does not match the object's stripe width");
   }
-  if (lost_column >= metadata.stripe.num_agents) {
-    return InvalidArgumentError("lost column out of range");
+  if (lost_columns.empty()) {
+    return InvalidArgumentError("no lost columns to rebuild");
+  }
+  if (lost_columns.size() > metadata.stripe.ParityUnitsPerRow()) {
+    return InvalidArgumentError("more lost columns than the codec's parity units cover");
+  }
+  for (size_t i = 0; i < lost_columns.size(); ++i) {
+    if (lost_columns[i] >= metadata.stripe.num_agents) {
+      return InvalidArgumentError("lost column out of range");
+    }
+    for (size_t j = i + 1; j < lost_columns.size(); ++j) {
+      if (lost_columns[i] == lost_columns[j]) {
+        return InvalidArgumentError("duplicate lost column");
+      }
+    }
   }
 
   StripeLayout layout(metadata.stripe);
+  const ErasureCodec& codec = CodecFor(metadata.stripe);
   const uint64_t unit = metadata.stripe.stripe_unit;
-  const uint64_t target_bytes = layout.AgentFileSize(lost_column, metadata.size);
-  const uint64_t rows = (target_bytes + unit - 1) / unit;
+  const uint32_t num_agents = metadata.stripe.num_agents;
+
+  std::vector<uint64_t> target_bytes(lost_columns.size());
+  uint64_t rows = 0;
+  for (size_t i = 0; i < lost_columns.size(); ++i) {
+    target_bytes[i] = layout.AgentFileSize(lost_columns[i], metadata.size);
+    rows = std::max(rows, (target_bytes[i] + unit - 1) / unit);
+  }
+
+  // Plans depend on the row only through the parity rotation, which repeats
+  // every num_agents rows — precompute one plan per residue (and fail before
+  // touching any file if the erasure pattern is undecodable).
+  std::vector<RowPlan> plans;
+  const uint64_t residues = std::min<uint64_t>(rows, num_agents);
+  plans.reserve(residues);
+  for (uint64_t row = 0; row < residues; ++row) {
+    std::vector<uint32_t> erased_positions(lost_columns.size());
+    for (size_t i = 0; i < lost_columns.size(); ++i) {
+      erased_positions[i] = layout.UnitPositionOf(row, lost_columns[i]);
+    }
+    std::sort(erased_positions.begin(), erased_positions.end());
+    SWIFT_ASSIGN_OR_RETURN(ReconstructionPlan plan,
+                           codec.PlanReconstruction(erased_positions));
+    RowPlan row_plan{std::move(plan), std::vector<size_t>(lost_columns.size())};
+    for (size_t i = 0; i < lost_columns.size(); ++i) {
+      const uint32_t position = layout.UnitPositionOf(row, lost_columns[i]);
+      const auto it = std::find(row_plan.plan.targets.begin(),
+                                row_plan.plan.targets.end(), position);
+      row_plan.target_of_lost[i] = static_cast<size_t>(it - row_plan.plan.targets.begin());
+    }
+    plans.push_back(std::move(row_plan));
+  }
 
   // Open every file: survivors read-only semantics (plain open), the
-  // replacement created empty.
+  // replacements created empty.
   std::vector<uint32_t> handles(transports.size());
+  const auto is_lost = [&](uint32_t c) {
+    return std::find(lost_columns.begin(), lost_columns.end(), c) != lost_columns.end();
+  };
   for (uint32_t c = 0; c < transports.size(); ++c) {
-    const uint32_t flags = c == lost_column ? (kOpenCreate | kOpenTruncate) : kOpenCreate;
+    const uint32_t flags = is_lost(c) ? (kOpenCreate | kOpenTruncate) : kOpenCreate;
     auto opened = transports[c]->Open(metadata.name, flags);
     if (!opened.ok()) {
       return opened.status();
@@ -38,37 +99,52 @@ Result<RebuildReport> RebuildColumn(const ObjectMetadata& metadata,
 
   RebuildReport report;
   Status status = OkStatus();
+  std::vector<std::vector<uint8_t>> rebuilt(lost_columns.size());
   for (uint64_t row = 0; row < rows && status.ok(); ++row) {
     const uint64_t row_offset = row * unit;
-    // The last unit of the failed agent's file may be short (a partially
+    const RowPlan& row_plan = plans[row % residues];
+    // The last unit of a failed agent's file may be short (a partially
     // filled trailing data unit); writing the zero-extended reconstruction
     // and truncating at the end restores the exact size.
-    std::vector<uint8_t> rebuilt(unit, 0);
-    for (uint32_t c = 0; c < transports.size() && status.ok(); ++c) {
-      if (c == lost_column) {
-        continue;
-      }
-      auto data = transports[c]->Read(handles[c], row_offset, unit);
+    for (auto& buf : rebuilt) {
+      buf.assign(unit, 0);
+    }
+    for (size_t s = 0; s < row_plan.plan.survivors.size() && status.ok(); ++s) {
+      const uint32_t agent = layout.AgentAtPosition(row, row_plan.plan.survivors[s]);
+      auto data = transports[agent]->Read(handles[agent], row_offset, unit);
       if (!data.ok()) {
         status = data.status();
         break;
       }
-      XorInto(rebuilt, *data);
+      for (size_t i = 0; i < lost_columns.size(); ++i) {
+        GfMulFold(std::span<uint8_t>(rebuilt[i].data(), data->size()), *data,
+                  row_plan.plan.Coefficient(row_plan.target_of_lost[i], s));
+      }
     }
     if (!status.ok()) {
       break;
     }
-    const uint64_t chunk = std::min(unit, target_bytes - row_offset);
-    status = transports[lost_column]->Write(
-        handles[lost_column], row_offset,
-        std::span<const uint8_t>(rebuilt.data(), chunk));
-    if (status.ok()) {
+    bool wrote = false;
+    for (size_t i = 0; i < lost_columns.size() && status.ok(); ++i) {
+      if (row_offset >= target_bytes[i]) {
+        continue;  // this replacement's file ends before the row
+      }
+      const uint64_t chunk = std::min(unit, target_bytes[i] - row_offset);
+      status = transports[lost_columns[i]]->Write(
+          handles[lost_columns[i]], row_offset,
+          std::span<const uint8_t>(rebuilt[i].data(), chunk));
+      if (status.ok()) {
+        wrote = true;
+        report.bytes_written += chunk;
+      }
+    }
+    if (status.ok() && wrote) {
       ++report.rows_rebuilt;
-      report.bytes_written += chunk;
     }
   }
-  if (status.ok()) {
-    status = transports[lost_column]->Truncate(handles[lost_column], target_bytes);
+  for (size_t i = 0; i < lost_columns.size() && status.ok(); ++i) {
+    status = transports[lost_columns[i]]->Truncate(handles[lost_columns[i]],
+                                                   target_bytes[i]);
   }
 
   for (uint32_t c = 0; c < transports.size(); ++c) {
@@ -78,6 +154,13 @@ Result<RebuildReport> RebuildColumn(const ObjectMetadata& metadata,
     return status;
   }
   return report;
+}
+
+Result<RebuildReport> RebuildColumn(const ObjectMetadata& metadata,
+                                    const std::vector<AgentTransport*>& transports,
+                                    uint32_t lost_column) {
+  const uint32_t lost[] = {lost_column};
+  return RebuildColumns(metadata, transports, lost);
 }
 
 Result<RebuildReport> MigrateColumn(const ObjectMetadata& metadata,
@@ -92,6 +175,12 @@ Result<RebuildReport> MigrateColumn(const ObjectMetadata& metadata,
   }
   if (revised_plan.stripe.parity != metadata.stripe.parity) {
     return InvalidArgumentError("revised plan changed the parity mode");
+  }
+  if (revised_plan.stripe.parity_units != metadata.stripe.parity_units) {
+    return InvalidArgumentError("revised plan changed the parity unit count");
+  }
+  if (revised_plan.stripe.codec != metadata.stripe.codec) {
+    return InvalidArgumentError("revised plan changed the erasure codec");
   }
   if (remapped_column >= revised_plan.agent_ids.size()) {
     return InvalidArgumentError("remapped column out of range for the revised plan");

@@ -3,11 +3,12 @@
 // The 1991 paper stops at surviving a failure (reads reconstruct through
 // parity); restoring full redundancy afterwards is the natural next step —
 // "by selectively hardening each of the system components, Swift can
-// achieve arbitrarily high reliability" (§6). `RebuildColumn` regenerates
-// every unit the failed agent held — data units and the parity units the
-// rotation placed there — as the XOR of the surviving columns, and writes
-// them to a replacement agent. Afterwards the object tolerates a fresh
-// single failure.
+// achieve arbitrarily high reliability" (§6). `RebuildColumns` regenerates
+// every unit the failed agents held — data units and the parity units the
+// rotation placed there — by decoding the surviving columns through the
+// object's erasure codec, and writes them to replacement agents. Up to m
+// columns (the codec's parity count) rebuild in one pass; afterwards the
+// object tolerates m fresh failures again.
 //
 // The rebuild streams row by row, so peak memory is one stripe unit per
 // surviving agent regardless of object size.
@@ -15,6 +16,7 @@
 #ifndef SWIFT_SRC_CORE_REBUILD_H_
 #define SWIFT_SRC_CORE_REBUILD_H_
 
+#include <span>
 #include <vector>
 
 #include "src/core/agent_transport.h"
@@ -29,11 +31,17 @@ struct RebuildReport {
   uint64_t bytes_written = 0;
 };
 
-// Reconstructs column `lost_column` of `metadata`'s object. `transports` is
-// in stripe-column order; `transports[lost_column]` must be the *replacement*
-// agent (its file is created/truncated), the others must be the healthy
-// survivors. Requires parity; fails with kUnavailable if a survivor is down
-// (two simultaneous failures are unrecoverable with single parity).
+// Reconstructs columns `lost_columns` of `metadata`'s object in one
+// streaming pass. `transports` is in stripe-column order; each
+// `transports[lost]` must be a *replacement* agent (its file is
+// created/truncated), the others must be the healthy survivors. Requires
+// parity, at most m lost columns (the codec's parity count), and no
+// duplicates; fails with kUnavailable if a survivor is down.
+Result<RebuildReport> RebuildColumns(const ObjectMetadata& metadata,
+                                     const std::vector<AgentTransport*>& transports,
+                                     std::span<const uint32_t> lost_columns);
+
+// Single-column convenience wrapper around RebuildColumns.
 Result<RebuildReport> RebuildColumn(const ObjectMetadata& metadata,
                                     const std::vector<AgentTransport*>& transports,
                                     uint32_t lost_column);
@@ -41,9 +49,10 @@ Result<RebuildReport> RebuildColumn(const ObjectMetadata& metadata,
 // Failure-driven migration: after the mediator replans a session (remapping a
 // dead agent's stripe column onto a replacement), rebuild that column onto the
 // replacement named by the revised plan. Validates that the revised plan kept
-// the object's geometry — same stripe width, unit, and parity mode — before
-// delegating to RebuildColumn. `transports` is in the revised plan's column
-// order, so `transports[remapped_column]` is the replacement agent.
+// the object's geometry — same stripe width, unit, parity mode, parity count,
+// and codec — before delegating to RebuildColumns. `transports` is in the
+// revised plan's column order, so `transports[remapped_column]` is the
+// replacement agent.
 Result<RebuildReport> MigrateColumn(const ObjectMetadata& metadata,
                                     const TransferPlan& revised_plan,
                                     const std::vector<AgentTransport*>& transports,

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <string>
 
-#include "src/core/parity.h"
+#include "src/core/erasure.h"
 #include "src/core/stripe_layout.h"
 #include "src/proto/message.h"
 #include "src/util/logging.h"
@@ -19,6 +19,7 @@ struct ScrubMetrics {
   Counter* ranges_found;
   Counter* ranges_repaired;
   Counter* ranges_unrepairable;
+  Counter* multi_failure_repairs;
 };
 
 const ScrubMetrics& Metrics() {
@@ -30,42 +31,82 @@ const ScrubMetrics& Metrics() {
         registry.GetCounter("swift_scrub_ranges_found_total"),
         registry.GetCounter("swift_scrub_ranges_repaired_total"),
         registry.GetCounter("swift_scrub_ranges_unrepairable_total"),
+        registry.GetCounter("swift_erasure_multi_failure_repairs_total"),
     };
   }();
   return metrics;
 }
 
-// Reconstructs the unit-aligned cover of `range` on `column` as the XOR of
-// every other column, and rewrites it in one Write. Returns the first error;
-// the caller only tallies (scrubbing keeps sweeping past bad ranges).
+// Reconstructs the unit-aligned cover of `range` on `column` by decoding the
+// row's surviving units through the object's erasure codec, and rewrites it
+// in one Write. A survivor that turns out to be corrupt or unavailable is
+// promoted into the erased set and the row is re-planned, so a Reed-Solomon
+// group heals up to m bad units per row in a single sweep. Sets
+// `*multi_failure` when any row had to decode around two or more erasures.
+// Returns the first error; the caller only tallies (scrubbing keeps sweeping
+// past bad ranges).
 Status RepairRange(const ObjectMetadata& metadata,
                    const std::vector<AgentTransport*>& transports,
                    const std::vector<uint32_t>& handles, uint32_t column,
-                   const CorruptRange& range) {
+                   const CorruptRange& range, bool* multi_failure) {
   if (metadata.stripe.parity == ParityMode::kNone) {
     return DataLossError("object has no redundancy to repair from");
   }
+  const StripeLayout layout(metadata.stripe);
+  const ErasureCodec& codec = CodecFor(metadata.stripe);
+  const uint32_t budget = metadata.stripe.ParityUnitsPerRow();
   const uint64_t unit = metadata.stripe.stripe_unit;
   const uint64_t cover_begin = (range.offset / unit) * unit;
   const uint64_t cover_end = ((range.offset + range.length + unit - 1) / unit) * unit;
   std::vector<uint8_t> rebuilt(cover_end - cover_begin, 0);
   for (uint64_t row_offset = cover_begin; row_offset < cover_end; row_offset += unit) {
+    const uint64_t row = row_offset / unit;
+    std::vector<uint32_t> erased_agents{column};
     std::vector<uint8_t> folded(unit, 0);
-    for (uint32_t c = 0; c < transports.size(); ++c) {
-      if (c == column) {
+    for (;;) {
+      if (erased_agents.size() > budget) {
+        return DataLossError("row " + std::to_string(row) + " has " +
+                             std::to_string(erased_agents.size()) +
+                             " unreadable units but the codec covers only " +
+                             std::to_string(budget));
+      }
+      std::vector<uint32_t> erased_positions;
+      erased_positions.reserve(erased_agents.size());
+      for (uint32_t agent : erased_agents) {
+        erased_positions.push_back(layout.UnitPositionOf(row, agent));
+      }
+      std::sort(erased_positions.begin(), erased_positions.end());
+      SWIFT_ASSIGN_OR_RETURN(const ReconstructionPlan plan,
+                             codec.PlanReconstruction(erased_positions));
+      const uint32_t target_position = layout.UnitPositionOf(row, column);
+      size_t target_index = 0;
+      while (plan.targets[target_index] != target_position) {
+        ++target_index;
+      }
+      std::fill(folded.begin(), folded.end(), 0);
+      bool promoted = false;
+      for (size_t s = 0; s < plan.survivors.size(); ++s) {
+        const uint32_t agent = layout.AgentAtPosition(row, plan.survivors[s]);
+        auto data = transports[agent]->Read(handles[agent], row_offset, unit);
+        if (!data.ok()) {
+          if (data.code() == StatusCode::kDataCorrupt ||
+              data.code() == StatusCode::kUnavailable) {
+            erased_agents.push_back(agent);
+            promoted = true;
+            break;
+          }
+          return data.status();
+        }
+        GfMulFold(std::span<uint8_t>(folded.data(), data->size()), *data,
+                  plan.Coefficient(target_index, s));
+      }
+      if (promoted) {
         continue;
       }
-      auto data = transports[c]->Read(handles[c], row_offset, unit);
-      if (!data.ok()) {
-        // A corrupt survivor means two bad units in one row: past the XOR
-        // budget, so this row is lost, not just degraded.
-        return data.code() == StatusCode::kDataCorrupt
-                   ? DataLossError("row " + std::to_string(row_offset / unit) +
-                                   " has corrupt units on two columns: " +
-                                   data.status().message())
-                   : data.status();
+      if (erased_agents.size() >= 2) {
+        *multi_failure = true;
       }
-      XorInto(folded, *data);
+      break;
     }
     std::copy(folded.begin(), folded.end(), rebuilt.begin() + (row_offset - cover_begin));
   }
@@ -114,12 +155,17 @@ Result<ScrubSummary> ScrubObject(const ObjectMetadata& metadata,
     for (const CorruptRange& range : report->corrupt_ranges) {
       ++summary.ranges_found;
       Metrics().ranges_found->Increment();
+      bool multi_failure = false;
       Status repaired = opened[c]
-                            ? RepairRange(metadata, transports, handles, c, range)
+                            ? RepairRange(metadata, transports, handles, c, range, &multi_failure)
                             : UnavailableError("column's file could not be opened for repair");
       if (repaired.ok()) {
         ++summary.ranges_repaired;
         Metrics().ranges_repaired->Increment();
+        if (multi_failure) {
+          ++summary.multi_failure_repairs;
+          Metrics().multi_failure_repairs->Increment();
+        }
       } else {
         ++summary.ranges_unrepairable;
         Metrics().ranges_unrepairable->Increment();

@@ -36,9 +36,12 @@ struct ScrubSummary {
   uint64_t blocks_checked = 0;
   uint64_t ranges_found = 0;
   uint64_t ranges_repaired = 0;
-  // No parity to rebuild from, a survivor needed for reconstruction was
-  // itself corrupt/unavailable, or the repair write failed.
+  // No parity to rebuild from, more unreadable units in a row than the
+  // codec's m parity units cover, or the repair write failed.
   uint64_t ranges_unrepairable = 0;
+  // Repairs that had to decode around ≥ 2 unreadable units in one row
+  // (possible only with a Reed-Solomon m ≥ 2 codec).
+  uint64_t multi_failure_repairs = 0;
   // Some agent clipped its corrupt-range report to fit the reply datagram;
   // re-run the scrub after repairs to pick up the remainder.
   bool truncated = false;

@@ -156,8 +156,13 @@ Result<TransferPlan> StorageMediator::OpenSession(const SessionRequest& request,
   if (agents_.empty()) {
     return reject(ResourceExhaustedError("no storage agents registered"));
   }
-  if (request.redundancy && request.max_agents == 1) {
-    return reject(InvalidArgumentError("redundancy needs at least two agents"));
+  // Parity units requested (m); 0 without redundancy.
+  const uint32_t parity_units = request.redundancy ? std::max<uint32_t>(request.parity_units, 1) : 0;
+  if (request.redundancy && request.max_agents != 0 &&
+      request.max_agents < parity_units + 1) {
+    return reject(InvalidArgumentError("redundancy with " + std::to_string(parity_units) +
+                                       " parity units needs at least " +
+                                       std::to_string(parity_units + 1) + " agents"));
   }
 
   // Candidate agents: not retired, sorted by current load fraction so new
@@ -194,17 +199,17 @@ Result<TransferPlan> StorageMediator::OpenSession(const SessionRequest& request,
     data_agents = static_cast<uint32_t>(std::ceil(request.required_rate / usable));
     data_agents = std::max<uint32_t>(data_agents, 1);
   }
-  uint32_t total_agents = data_agents + (request.redundancy ? 1 : 0);
+  uint32_t total_agents = data_agents + parity_units;
   if (request.min_agents > 0) {
     total_agents = std::max(total_agents, request.min_agents);
   }
   if (request.max_agents > 0) {
     total_agents = std::min(total_agents, request.max_agents);
   }
-  if (request.redundancy && total_agents < 2) {
-    total_agents = 2;
+  if (request.redundancy && total_agents < parity_units + 1) {
+    total_agents = parity_units + 1;
   }
-  data_agents = request.redundancy ? total_agents - 1 : total_agents;
+  data_agents = total_agents - parity_units;
   if (total_agents > candidates.size()) {
     return reject(ResourceExhaustedError("request needs " + std::to_string(total_agents) +
                                          " agents, only " + std::to_string(candidates.size()) +
@@ -214,6 +219,8 @@ Result<TransferPlan> StorageMediator::OpenSession(const SessionRequest& request,
   StripeConfig stripe;
   stripe.num_agents = total_agents;
   stripe.parity = request.redundancy ? ParityMode::kRotating : ParityMode::kNone;
+  stripe.parity_units = std::max<uint32_t>(parity_units, 1);
+  stripe.codec = parity_units > 1 ? ErasureKind::kReedSolomon : ErasureKind::kXor;
   stripe.stripe_unit = PickStripeUnit(request.typical_request, data_agents);
   if (Status s = stripe.Validate(); !s.ok()) {
     return reject(s);
@@ -431,6 +438,8 @@ std::vector<StorageMediator::SessionInfo> StorageMediator::ListSessions(uint64_t
     info.object_name = session.plan.object_name;
     info.agent_ids = session.plan.agent_ids;
     info.reserved_rate = session.plan.reserved_rate;
+    info.data_agents = session.plan.stripe.DataAgentsPerRow();
+    info.parity_units = session.plan.stripe.ParityUnitsPerRow();
     info.leased = session.lease_ms > 0;
     if (info.leased && session.lease_deadline_ms > now_ms) {
       info.lease_remaining_ms = session.lease_deadline_ms - now_ms;

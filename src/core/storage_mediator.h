@@ -106,8 +106,12 @@ class StorageMediator {
     double required_rate = 0;
     // Typical client request size; guides the striping-unit choice.
     uint64_t typical_request = MiB(1);
-    // Store XOR parity so any single agent failure is survivable.
+    // Store parity so agent failures are survivable.
     bool redundancy = false;
+    // Parity units per stripe row (m) when redundancy is on: 1 keeps the
+    // original XOR parity; m > 1 selects GF(2^8) Reed-Solomon and survives
+    // any ≤ m concurrent agent failures. Ignored without redundancy.
+    uint32_t parity_units = 1;
     // Caller-imposed bounds on total agents used (0 = mediator's choice).
     // min_agents forces extra width (e.g. to spread a scratch file for
     // later high-rate readers); max_agents caps it.
@@ -162,6 +166,10 @@ class StorageMediator {
     std::string object_name;
     std::vector<uint32_t> agent_ids;
     double reserved_rate = 0;
+    // Stripe geometry: k data agents + m parity units per row (m = 0 when
+    // the session runs without redundancy).
+    uint32_t data_agents = 0;
+    uint32_t parity_units = 0;
     // 0 when the session has no lease; otherwise ms until expiry at now_ms.
     uint64_t lease_remaining_ms = 0;
     bool leased = false;

@@ -11,8 +11,22 @@ Status StripeConfig::Validate() const {
   if (num_agents == 0) {
     return InvalidArgumentError("at least one storage agent required");
   }
-  if (parity != ParityMode::kNone && num_agents < 2) {
-    return InvalidArgumentError("parity requires at least two agents");
+  if (parity != ParityMode::kNone) {
+    if (num_agents < 2) {
+      return InvalidArgumentError("parity requires at least two agents");
+    }
+    if (parity_units == 0) {
+      return InvalidArgumentError("parity requires at least one parity unit");
+    }
+    if (parity_units >= num_agents) {
+      return InvalidArgumentError("parity units must leave at least one data agent");
+    }
+    if (codec == ErasureKind::kXor && parity_units != 1) {
+      return InvalidArgumentError("xor parity supports exactly one parity unit");
+    }
+    if (codec == ErasureKind::kReedSolomon && num_agents > 255) {
+      return InvalidArgumentError("reed-solomon stripe groups are limited to 255 units");
+    }
   }
   return OkStatus();
 }
@@ -30,16 +44,17 @@ uint32_t StripeLayout::DataColumnOf(uint64_t logical_offset) const {
                                config_.DataAgentsPerRow());
 }
 
-uint32_t StripeLayout::ParityAgentOf(uint64_t row) const {
+uint32_t StripeLayout::ParityBaseOf(uint64_t row) const {
   switch (config_.parity) {
     case ParityMode::kNone:
       SWIFT_CHECK(false) << "no parity agent without parity";
       return 0;
     case ParityMode::kFixedAgent:
-      return config_.num_agents - 1;
+      return config_.num_agents - config_.ParityUnitsPerRow();
     case ParityMode::kRotating:
-      // Left-symmetric rotation: row 0 parks parity on the last agent, each
-      // subsequent row moves it one agent to the left.
+      // Left-symmetric rotation: row 0 parks the parity run ending on the
+      // last agent, each subsequent row moves it one agent to the left. With
+      // m=1 this is the original single rotating parity agent.
       return static_cast<uint32_t>((config_.num_agents - 1 -
                                     (row % config_.num_agents) + config_.num_agents) %
                                    config_.num_agents);
@@ -47,13 +62,68 @@ uint32_t StripeLayout::ParityAgentOf(uint64_t row) const {
   return 0;
 }
 
+uint32_t StripeLayout::ParityWrapOf(uint64_t row) const {
+  const uint32_t base = ParityBaseOf(row);
+  const uint32_t end = base + config_.ParityUnitsPerRow();
+  return end > config_.num_agents ? end - config_.num_agents : 0;
+}
+
 uint32_t StripeLayout::DataAgentOf(uint64_t row, uint32_t col) const {
   SWIFT_CHECK(col < config_.DataAgentsPerRow());
   if (config_.parity == ParityMode::kNone) {
     return col;
   }
-  const uint32_t parity_agent = ParityAgentOf(row);
-  return col < parity_agent ? col : col + 1;
+  const uint32_t base = ParityBaseOf(row);
+  const uint32_t wrap = ParityWrapOf(row);
+  if (wrap == 0) {
+    // Parity run [base, base+m) doesn't wrap: data agents are everything
+    // below it plus everything above it.
+    return col < base ? col : col + config_.ParityUnitsPerRow();
+  }
+  // Parity wraps around agent 0: data agents are the contiguous run
+  // [wrap, base).
+  return col + wrap;
+}
+
+bool StripeLayout::IsParityAgent(uint64_t row, uint32_t agent) const {
+  SWIFT_CHECK(agent < config_.num_agents);
+  if (config_.parity == ParityMode::kNone) {
+    return false;
+  }
+  const uint32_t base = ParityBaseOf(row);
+  const uint32_t wrap = ParityWrapOf(row);
+  if (wrap == 0) {
+    return agent >= base && agent < base + config_.ParityUnitsPerRow();
+  }
+  return agent >= base || agent < wrap;
+}
+
+uint32_t StripeLayout::UnitPositionOf(uint64_t row, uint32_t agent) const {
+  SWIFT_CHECK(agent < config_.num_agents);
+  if (config_.parity == ParityMode::kNone) {
+    return agent;
+  }
+  const uint32_t base = ParityBaseOf(row);
+  const uint32_t wrap = ParityWrapOf(row);
+  if (IsParityAgent(row, agent)) {
+    const uint32_t parity_index =
+        (agent - base + config_.num_agents) % config_.num_agents;
+    return config_.DataAgentsPerRow() + parity_index;
+  }
+  if (wrap == 0) {
+    return agent < base ? agent : agent - config_.ParityUnitsPerRow();
+  }
+  return agent - wrap;
+}
+
+uint32_t StripeLayout::AgentAtPosition(uint64_t row, uint32_t position) const {
+  const uint32_t k = config_.DataAgentsPerRow();
+  if (position < k) {
+    return DataAgentOf(row, position);
+  }
+  const uint32_t parity_index = position - k;
+  SWIFT_CHECK(parity_index < config_.ParityUnitsPerRow()) << "unit position out of range";
+  return (ParityBaseOf(row) + parity_index) % config_.num_agents;
 }
 
 UnitLocation StripeLayout::Locate(uint64_t logical_offset) const {
@@ -66,9 +136,14 @@ UnitLocation StripeLayout::Locate(uint64_t logical_offset) const {
 }
 
 UnitLocation StripeLayout::ParityLocation(uint64_t row) const {
+  return ParityLocation(row, 0);
+}
+
+UnitLocation StripeLayout::ParityLocation(uint64_t row, uint32_t parity_index) const {
   SWIFT_CHECK(config_.parity != ParityMode::kNone) << "parity disabled";
+  SWIFT_CHECK(parity_index < config_.ParityUnitsPerRow()) << "parity index out of range";
   UnitLocation loc;
-  loc.agent = ParityAgentOf(row);
+  loc.agent = (ParityBaseOf(row) + parity_index) % config_.num_agents;
   loc.agent_offset = row * config_.stripe_unit;
   return loc;
 }
@@ -80,11 +155,10 @@ Result<uint64_t> StripeLayout::LogicalOffsetAt(uint32_t agent, uint64_t agent_of
   const uint64_t row = agent_offset / config_.stripe_unit;
   uint32_t col = agent;
   if (config_.parity != ParityMode::kNone) {
-    const uint32_t parity_agent = ParityAgentOf(row);
-    if (agent == parity_agent) {
+    if (IsParityAgent(row, agent)) {
       return InvalidArgumentError("position holds parity, not data");
     }
-    col = agent < parity_agent ? agent : agent - 1;
+    col = UnitPositionOf(row, agent);
   }
   return (row * config_.DataAgentsPerRow() + col) * config_.stripe_unit +
          agent_offset % config_.stripe_unit;
@@ -126,14 +200,13 @@ uint64_t StripeLayout::AgentFileSize(uint32_t agent, uint64_t object_size) const
     return size;
   }
   const uint64_t last_row = full_rows;
-  if (config_.parity != ParityMode::kNone && agent == ParityAgentOf(last_row)) {
-    // The parity unit of a partially-filled row is written in full.
+  if (config_.parity != ParityMode::kNone && IsParityAgent(last_row, agent)) {
+    // Parity units of a partially-filled row are written in full.
     return size + config_.stripe_unit;
   }
   uint32_t col = agent;
   if (config_.parity != ParityMode::kNone) {
-    const uint32_t parity_agent = ParityAgentOf(last_row);
-    col = agent < parity_agent ? agent : agent - 1;
+    col = UnitPositionOf(last_row, agent);
   }
   const uint64_t col_start = static_cast<uint64_t>(col) * config_.stripe_unit;
   if (remainder > col_start) {

@@ -28,25 +28,40 @@ namespace swift {
 
 enum class ParityMode : uint8_t {
   kNone = 0,      // no redundancy; all agents hold data
-  kFixedAgent,    // last agent holds all parity (RAID4-style)
+  kFixedAgent,    // last agent(s) hold all parity (RAID4-style)
   kRotating,      // parity rotates across agents by row (RAID5-style)
 };
 
+// Which erasure code computes the parity units (see src/core/erasure.h).
+enum class ErasureKind : uint8_t {
+  kXor = 0,          // single XOR parity unit (m must be 1)
+  kReedSolomon = 1,  // GF(2^8) Reed-Solomon, any m >= 1
+};
+
 struct StripeConfig {
-  // Total storage agents, including the parity agent when parity is on.
+  // Total storage agents, including the parity agents when parity is on.
   uint32_t num_agents = 3;
   // Bytes per stripe unit.
   uint64_t stripe_unit = 64 * 1024;
   ParityMode parity = ParityMode::kNone;
+  // Parity units per stripe row (m); ignored when parity is kNone. The
+  // defaults (m=1, XOR) reproduce the pre-codec layout exactly.
+  uint32_t parity_units = 1;
+  ErasureKind codec = ErasureKind::kXor;
 
-  // Agents holding data in each row.
+  // Agents holding data in each row (k).
   uint32_t DataAgentsPerRow() const {
-    return parity == ParityMode::kNone ? num_agents : num_agents - 1;
+    return parity == ParityMode::kNone ? num_agents : num_agents - parity_units;
+  }
+  // Parity agents in each row (m), 0 when parity is off.
+  uint32_t ParityUnitsPerRow() const {
+    return parity == ParityMode::kNone ? 0 : parity_units;
   }
   // Bytes of client data per row.
   uint64_t RowDataBytes() const { return stripe_unit * DataAgentsPerRow(); }
 
-  // Validates invariants (>=1 data agent, >=2 agents with parity, unit > 0).
+  // Validates invariants (>=1 data agent, m >= 1 with parity, unit > 0,
+  // XOR means m == 1, Reed-Solomon needs k+m <= 255).
   Status Validate() const;
 };
 
@@ -80,9 +95,21 @@ class StripeLayout {
   // Physical location of the byte at `logical_offset`.
   UnitLocation Locate(uint64_t logical_offset) const;
 
-  // Agent holding row `row`'s parity unit, and that unit's offset. Only
-  // valid when parity is enabled.
+  // Agent holding row `row`'s first parity unit, and that unit's offset.
+  // Only valid when parity is enabled. (Kept for the m=1 call sites.)
   UnitLocation ParityLocation(uint64_t row) const;
+  // Agent holding parity unit `parity_index` (< m) of `row`.
+  UnitLocation ParityLocation(uint64_t row, uint32_t parity_index) const;
+
+  // Whether `agent` holds one of row `row`'s parity units.
+  bool IsParityAgent(uint64_t row, uint32_t agent) const;
+
+  // Codec unit position of `agent` within `row`: data columns map to
+  // [0, k), parity agents to k + parity_index. See erasure.h for the
+  // position convention.
+  uint32_t UnitPositionOf(uint64_t row, uint32_t agent) const;
+  // Inverse: the agent holding unit position `position` of `row`.
+  uint32_t AgentAtPosition(uint64_t row, uint32_t position) const;
 
   // Inverse of Locate for data bytes: the logical offset stored at
   // (agent, agent_offset), or an error if that position holds parity.
@@ -102,9 +129,13 @@ class StripeLayout {
   std::pair<uint64_t, uint64_t> RowRange(uint64_t offset, uint64_t length) const;
 
  private:
-  // Agent hosting parity for `row`.
-  uint32_t ParityAgentOf(uint64_t row) const;
-  // Agent hosting data column `col` of `row` (skips the parity position).
+  // First agent of row `row`'s parity run. The m parity agents occupy the
+  // cyclic interval [base, base+m) mod num_agents; with m=1 this is the
+  // original single parity agent.
+  uint32_t ParityBaseOf(uint64_t row) const;
+  // How far the parity run wraps past the last agent (0 when it doesn't).
+  uint32_t ParityWrapOf(uint64_t row) const;
+  // Agent hosting data column `col` of `row` (skips the parity positions).
   uint32_t DataAgentOf(uint64_t row, uint32_t col) const;
   // Row index within an agent's file: every row consumes one unit on every
   // agent (data or parity), so unit k of agent a is row k.

@@ -6,7 +6,7 @@
 #include <mutex>
 #include <optional>
 
-#include "src/core/parity.h"
+#include "src/core/erasure.h"
 #include "src/proto/message.h"
 #include "src/util/buffer.h"
 #include "src/util/logging.h"
@@ -27,6 +27,7 @@ struct FileMetrics {
   Counter* hedge_attempts;
   Counter* hedge_wins;
   Counter* hedge_suppressed;
+  Counter* multi_failure_repairs;
 };
 
 const FileMetrics& Metrics() {
@@ -41,6 +42,7 @@ const FileMetrics& Metrics() {
         registry.GetCounter("swift_hedge_attempts_total"),
         registry.GetCounter("swift_hedge_wins_total"),
         registry.GetCounter("swift_hedge_suppressed_total"),
+        registry.GetCounter("swift_erasure_multi_failure_repairs_total"),
     };
   }();
   return metrics;
@@ -71,8 +73,6 @@ HedgeGovernor& Governor() {
   static HedgeGovernor governor;
   return governor;
 }
-
-constexpr uint32_t kNoColumn = UINT32_MAX;
 
 double ElapsedUs(std::chrono::steady_clock::time_point since) {
   return std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
@@ -264,19 +264,21 @@ Status SwiftFile::OpenAgentFiles(uint32_t flags) {
   for (uint32_t c = 0; c < agents; ++c) {
     const Status& status = statuses[c];
     if (status.code() == StatusCode::kUnavailable && parity_on) {
-      // Degraded open: a single dead agent must not make the object
-      // unavailable (§2). The column is marked failed; the data path
-      // reconstructs through parity.
+      // Degraded open: a dead agent within the parity budget must not make
+      // the object unavailable (§2). The column is marked failed; the data
+      // path reconstructs through the codec.
       MarkColumnFailed(c);
       continue;
     }
     SWIFT_RETURN_IF_ERROR(status);
   }
-  if (failed_count_.load() > 1) {
-    return DataLossError("more than one storage agent unavailable at open");
+  if (failed_count_.load() > ParityBudget()) {
+    return DataLossError("more storage agents unavailable at open than parity units cover");
   }
   return OkStatus();
 }
+
+uint32_t SwiftFile::ParityBudget() const { return layout_.config().ParityUnitsPerRow(); }
 
 Status SwiftFile::Close() {
   if (closed_) {
@@ -598,18 +600,20 @@ Status SwiftFile::ReadRange(uint64_t offset, std::span<uint8_t> out) {
   // A failure discovered mid-read flips a column to failed and we retry;
   // each retry consumes at least one new failure, so attempts are bounded.
   for (uint32_t attempt = 0; attempt <= layout_.config().num_agents; ++attempt) {
-    if (parity_on && failed_count_.load() > 1) {
-      return DataLossError("more than one failed agent in a parity group");
+    if (parity_on && failed_count_.load() > ParityBudget()) {
+      return DataLossError("more failed agents than parity units in a stripe group");
     }
     if (!parity_on && failed_count_.load() > 0) {
       return UnavailableError("storage agent failed and object has no redundancy");
     }
     const std::vector<AgentExtent> extents = layout_.MapRange(offset, out.size());
 
-    // Hedging needs the full parity budget in reserve: reconstruction of a
-    // cancelled straggler is only safe when no column is already failed.
+    // Hedging needs spare parity budget: reconstruction of a cancelled
+    // straggler is only safe while failed columns + cancelled columns stay
+    // within the codec's m erasures.
     const bool hedging = distribution_.options().hedged_reads && parity_on &&
-                         failed_count_.load() == 0 && layout_.config().num_agents > 1;
+                         failed_count_.load() < ParityBudget() &&
+                         layout_.config().num_agents > 1;
 
     // Live extents: one batch of stripe-unit ops across the whole range, so
     // every column pipelines up to its window. With parity on, checksum
@@ -640,21 +644,33 @@ Status SwiftFile::ReadRange(uint64_t offset, std::span<uint8_t> out) {
       SWIFT_RETURN_IF_ERROR(status);
     }
 
-    // Finish a hedge: the straggler's cancelled ranges come from parity
-    // reconstruction. If reconstruction loses its bet (a survivor died
-    // mid-hedge), the straggler column itself is still healthy — re-read the
-    // ranges from it directly, so correctness never depends on the hedge.
+    // Finish a hedge: the stragglers' cancelled ranges come from erasure
+    // reconstruction, which must avoid reading *any* hedged column (their
+    // ops were cancelled). If reconstruction loses its bet (a survivor died
+    // mid-hedge), the straggler columns themselves are still healthy —
+    // re-read the ranges from them directly, so correctness never depends on
+    // the hedge.
     if (!hedged.empty()) {
+      std::vector<uint32_t> avoid;
+      for (const HedgeTracker::Op& op : hedged) {
+        if (std::find(avoid.begin(), avoid.end(), op.column) == avoid.end()) {
+          avoid.push_back(op.column);
+        }
+      }
       Status rebuilt = OkStatus();
       for (const HedgeTracker::Op& op : hedged) {
-        rebuilt = ReconstructRange(op.column, op.agent_offset, op.length, op.dst);
+        rebuilt = ReconstructRange(op.column, op.agent_offset, op.length, op.dst, avoid);
         if (!rebuilt.ok()) {
           break;
         }
       }
+      bool straggler_died = false;
+      for (uint32_t column : avoid) {
+        straggler_died = straggler_died || ColumnFailed(column);
+      }
       if (rebuilt.ok()) {
         Metrics().hedge_wins->Increment();
-      } else if (!ColumnFailed(hedged.front().column)) {
+      } else if (!straggler_died) {
         OpBatch retry(&distribution_);
         for (const HedgeTracker::Op& op : hedged) {
           SubmitRead(retry, op.column, op.agent_offset, op.length, op.dst,
@@ -662,11 +678,13 @@ Status SwiftFile::ReadRange(uint64_t offset, std::span<uint8_t> out) {
         }
         Status status = Aggregate(retry.Wait());
         if (status.code() == StatusCode::kUnavailable) {
-          continue;  // the straggler died for real; re-plan degraded
+          continue;  // a straggler died for real; re-plan degraded
         }
         SWIFT_RETURN_IF_ERROR(status);
       } else {
-        SWIFT_RETURN_IF_ERROR(rebuilt);
+        // A cancelled column really died: the budget check at the top of the
+        // retry loop decides whether the remaining parity covers it.
+        continue;
       }
     }
 
@@ -748,11 +766,11 @@ std::vector<Status> SwiftFile::WaitHedged(OpBatch& batch, HedgeTracker& tracker,
       last_outstanding = outstanding;
       continue;
     }
-    // Stalled: hedge iff every outstanding op sits on one column, each
-    // started op is cancellable, the parity budget is intact, and the
-    // global rate cap admits it.
-    uint32_t straggler = kNoColumn;
-    std::vector<uint64_t> tokens;
+    // Stalled: hedge iff every outstanding op sits on columns the parity
+    // budget can spare (stragglers + already-failed columns ≤ m), each
+    // started op is cancellable, and the global rate cap admits it.
+    std::vector<uint32_t> stragglers;
+    std::vector<std::pair<uint32_t, uint64_t>> cancels;  // (column, token)
     {
       std::lock_guard<std::mutex> lock(tracker.mutex);
       bool eligible = true;
@@ -760,15 +778,16 @@ std::vector<Status> SwiftFile::WaitHedged(OpBatch& batch, HedgeTracker& tracker,
         if (op.done) {
           continue;
         }
-        if (straggler == kNoColumn) {
-          straggler = op.column;
+        if (std::find(stragglers.begin(), stragglers.end(), op.column) == stragglers.end()) {
+          stragglers.push_back(op.column);
         }
-        if (op.column != straggler || (op.started && op.token == 0)) {
+        if (op.started && op.token == 0) {
           eligible = false;
           break;
         }
       }
-      if (straggler == kNoColumn || failed_count_.load() != 0) {
+      if (stragglers.empty() ||
+          stragglers.size() + failed_count_.load() > ParityBudget()) {
         eligible = false;
       }
       if (eligible && !Governor().Admit()) {
@@ -776,26 +795,25 @@ std::vector<Status> SwiftFile::WaitHedged(OpBatch& batch, HedgeTracker& tracker,
         Metrics().hedge_suppressed->Increment();
       }
       if (!eligible) {
-        straggler = kNoColumn;
+        stragglers.clear();
       } else {
         for (HedgeTracker::Op& op : tracker.ops) {
-          if (op.done || op.column != straggler) {
+          if (op.done) {
             continue;
           }
           op.parked = true;
           parked->push_back(op);
           if (op.token != 0) {
-            tokens.push_back(op.token);
+            cancels.emplace_back(op.column, op.token);
           }
         }
         Metrics().hedge_attempts->Increment();
       }
     }
-    if (straggler != kNoColumn) {
+    if (!stragglers.empty()) {
       armed = true;
-      AgentTransport* transport = distribution_.transport(straggler);
-      for (uint64_t token : tokens) {
-        transport->CancelRead(token);
+      for (const auto& [column, token] : cancels) {
+        distribution_.transport(column)->CancelRead(token);
       }
     }
   }
@@ -803,7 +821,7 @@ std::vector<Status> SwiftFile::WaitHedged(OpBatch& batch, HedgeTracker& tracker,
 }
 
 Status SwiftFile::ReconstructRange(uint32_t column, uint64_t agent_offset, uint64_t length,
-                                   uint8_t* dst) {
+                                   uint8_t* dst, std::span<const uint32_t> avoid) {
   const uint64_t unit = layout_.config().stripe_unit;
   uint64_t done = 0;
   while (done < length) {
@@ -811,12 +829,14 @@ Status SwiftFile::ReconstructRange(uint32_t column, uint64_t agent_offset, uint6
     const uint64_t row = position / unit;
     const uint64_t offset_in_unit = position % unit;
     const uint64_t chunk = std::min(unit - offset_in_unit, length - done);
+    const uint32_t targets[1] = {column};
     if (chunk == unit) {
-      SWIFT_RETURN_IF_ERROR(
-          ReconstructUnitInto(row, column, std::span<uint8_t>(dst + done, unit)));
+      uint8_t* const outs[1] = {dst + done};
+      SWIFT_RETURN_IF_ERROR(ReconstructUnitsInto(row, targets, outs, avoid));
     } else {
       Buffer scratch = Buffer::Allocate(unit);
-      SWIFT_RETURN_IF_ERROR(ReconstructUnitInto(row, column, scratch.span()));
+      uint8_t* const outs[1] = {scratch.data()};
+      SWIFT_RETURN_IF_ERROR(ReconstructUnitsInto(row, targets, outs, avoid));
       std::memcpy(dst + done, scratch.data() + offset_in_unit, chunk);
       CountBufferCopy(chunk);
     }
@@ -827,61 +847,134 @@ Status SwiftFile::ReconstructRange(uint32_t column, uint64_t agent_offset, uint6
 
 Status SwiftFile::ReconstructUnitInto(uint64_t row, uint32_t lost_column,
                                       std::span<uint8_t> out) {
-  if (layout_.config().parity == ParityMode::kNone) {
+  SWIFT_CHECK(out.size() == layout_.config().stripe_unit)
+      << "reconstruction target must be one stripe unit";
+  const uint32_t targets[1] = {lost_column};
+  uint8_t* const outs[1] = {out.data()};
+  return ReconstructUnitsInto(row, targets, outs, {});
+}
+
+Status SwiftFile::ReconstructUnitsInto(uint64_t row, std::span<const uint32_t> target_agents,
+                                       std::span<uint8_t* const> outs,
+                                       std::span<const uint32_t> avoid) {
+  const StripeConfig& config = layout_.config();
+  if (config.parity == ParityMode::kNone) {
     return UnavailableError("cannot reconstruct without parity");
   }
+  SWIFT_CHECK(target_agents.size() == outs.size());
   ParityTimer parity_timer;
-  const uint64_t unit = layout_.config().stripe_unit;
-  SWIFT_CHECK(out.size() == unit) << "reconstruction target must be one stripe unit";
+  const uint64_t unit = config.stripe_unit;
   const uint64_t row_offset = row * unit;
-  std::fill(out.begin(), out.end(), 0);
-  // Every survivor read runs concurrently; each completion XOR-folds its
-  // slice into `out` as it lands (XOR is commutative, the mutex makes each
-  // fold atomic). The survivor payloads are read as shared slices — nothing
-  // is staged or copied on the way to the fold.
-  std::mutex fold_mutex;
-  OpBatch batch(&distribution_);
-  for (uint32_t c = 0; c < layout_.config().num_agents; ++c) {
-    if (c == lost_column) {
-      continue;
+  const ErasureCodec& codec = CodecFor(config);
+  const uint32_t budget = config.ParityUnitsPerRow();
+
+  // The erased set: the targets, the avoid list, every failed column, plus
+  // columns promoted after a survivor read comes back corrupt or
+  // unavailable. Each retry adds at least one erasure, so the loop is
+  // bounded by the budget check.
+  std::vector<uint32_t> erased_agents(target_agents.begin(), target_agents.end());
+  auto add_erased = [&erased_agents](uint32_t agent) {
+    if (std::find(erased_agents.begin(), erased_agents.end(), agent) == erased_agents.end()) {
+      erased_agents.push_back(agent);
     }
+  };
+  for (uint32_t agent : avoid) {
+    add_erased(agent);
+  }
+  for (uint32_t c = 0; c < config.num_agents; ++c) {
     if (ColumnFailed(c)) {
-      return DataLossError("second agent failure while reconstructing row " + std::to_string(row));
+      add_erased(c);
     }
-    batch.Submit(c, [this, c, row_offset, unit, out, &fold_mutex](
-                        AgentTransport* transport, DistributionAgent::Completion done) {
-      transport->StartRead(handles_[c], row_offset, unit,
-                           [this, c, out, &fold_mutex,
-                            done = std::move(done)](Result<BufferSlice> data) {
-                             if (!data.ok()) {
-                               if (data.code() == StatusCode::kUnavailable) {
-                                 MarkColumnFailed(c);
-                               }
-                               done(data.status());
-                               return;
-                             }
-                             {
-                               std::lock_guard<std::mutex> lock(fold_mutex);
-                               XorInto(out, *data);
-                             }
-                             done(OkStatus());
-                           });
-    });
   }
-  for (const Status& status : batch.Wait()) {
-    if (status.code() == StatusCode::kUnavailable) {
-      return DataLossError("second agent failure while reconstructing row " + std::to_string(row));
+
+  for (;;) {
+    if (erased_agents.size() > budget) {
+      return DataLossError(std::to_string(erased_agents.size()) + " unreadable units in row " +
+                           std::to_string(row) + " exceed the " + std::to_string(budget) +
+                           "-unit parity budget");
     }
-    if (status.code() == StatusCode::kDataCorrupt) {
-      // A corrupt survivor is a second bad unit in this row: the XOR budget
-      // covers one loss, so the unit is gone, not just degraded.
-      return DataLossError("corrupt unit on a second column while reconstructing row " +
-                           std::to_string(row) + ": " + status.message());
+    std::vector<uint32_t> erased_positions;
+    erased_positions.reserve(erased_agents.size());
+    for (uint32_t agent : erased_agents) {
+      erased_positions.push_back(layout_.UnitPositionOf(row, agent));
     }
-    SWIFT_RETURN_IF_ERROR(status);
+    std::sort(erased_positions.begin(), erased_positions.end());
+    SWIFT_ASSIGN_OR_RETURN(const ReconstructionPlan plan,
+                           codec.PlanReconstruction(erased_positions));
+
+    // Which plan target backs each caller output.
+    std::vector<size_t> target_index(target_agents.size());
+    for (size_t t = 0; t < target_agents.size(); ++t) {
+      const uint32_t position = layout_.UnitPositionOf(row, target_agents[t]);
+      const auto it = std::find(plan.targets.begin(), plan.targets.end(), position);
+      SWIFT_CHECK(it != plan.targets.end());
+      target_index[t] = static_cast<size_t>(it - plan.targets.begin());
+      std::fill(outs[t], outs[t] + unit, 0);
+    }
+
+    // Every survivor read runs concurrently; each completion folds its
+    // coefficient-scaled payload into every caller target as it lands (GF
+    // addition is XOR, so folds commute; the mutex makes each fold atomic).
+    // The survivor payloads are read as shared slices — nothing is staged or
+    // copied on the way to the fold. A survivor that comes back corrupt or
+    // unavailable resolves OK and is promoted to an erasure for the retry.
+    std::mutex fold_mutex;
+    std::vector<uint32_t> promoted;
+    std::mutex promoted_mutex;
+    {
+      OpBatch batch(&distribution_);
+      for (size_t s = 0; s < plan.survivors.size(); ++s) {
+        const uint32_t agent = layout_.AgentAtPosition(row, plan.survivors[s]);
+        batch.Submit(agent, [this, agent, s, row_offset, unit, &plan, &outs, &target_index,
+                             &fold_mutex, &promoted, &promoted_mutex](
+                                AgentTransport* transport, DistributionAgent::Completion done) {
+          transport->StartRead(
+              handles_[agent], row_offset, unit,
+              [this, agent, s, &plan, &outs, &target_index, &fold_mutex, &promoted,
+               &promoted_mutex, done = std::move(done)](Result<BufferSlice> data) {
+                if (!data.ok()) {
+                  if (data.code() == StatusCode::kUnavailable) {
+                    MarkColumnFailed(agent);
+                  }
+                  if (data.code() == StatusCode::kUnavailable ||
+                      data.code() == StatusCode::kDataCorrupt) {
+                    {
+                      std::lock_guard<std::mutex> lock(promoted_mutex);
+                      promoted.push_back(agent);
+                    }
+                    done(OkStatus());
+                    return;
+                  }
+                  done(data.status());
+                  return;
+                }
+                {
+                  std::lock_guard<std::mutex> lock(fold_mutex);
+                  for (size_t t = 0; t < target_index.size(); ++t) {
+                    GfMulFold(std::span<uint8_t>(outs[t], data->size()), *data,
+                              plan.Coefficient(target_index[t], s));
+                  }
+                }
+                done(OkStatus());
+              });
+        });
+      }
+      for (const Status& status : batch.Wait()) {
+        SWIFT_RETURN_IF_ERROR(status);
+      }
+    }
+    if (!promoted.empty()) {
+      for (uint32_t agent : promoted) {
+        add_erased(agent);
+      }
+      continue;  // replan with the survivors that remain
+    }
+    Metrics().parity_reconstructions->Increment();
+    if (erased_agents.size() >= 2) {
+      Metrics().multi_failure_repairs->Increment();
+    }
+    return OkStatus();
   }
-  Metrics().parity_reconstructions->Increment();
-  return OkStatus();
 }
 
 Status SwiftFile::RepairReadOp(const CorruptSink::Op& op) {
@@ -950,8 +1043,8 @@ Status SwiftFile::RepairRow(uint64_t row) {
 Status SwiftFile::WriteRange(uint64_t offset, std::span<const uint8_t> data) {
   const bool parity_on = layout_.config().parity != ParityMode::kNone;
   for (uint32_t attempt = 0; attempt <= layout_.config().num_agents; ++attempt) {
-    if (parity_on && failed_count_.load() > 1) {
-      return DataLossError("more than one failed agent in a parity group");
+    if (parity_on && failed_count_.load() > ParityBudget()) {
+      return DataLossError("more failed agents than parity units in a stripe group");
     }
     if (!parity_on && failed_count_.load() > 0) {
       return UnavailableError("storage agent failed and object has no redundancy");
@@ -1010,35 +1103,44 @@ Status SwiftFile::WriteFullRows(const std::vector<uint64_t>& rows, uint64_t base
 
   // One batch carries every unit write of every full row — the whole stripe
   // group moves as a single pipelined burst. Parity units live in one arena
-  // (rows × unit, a single allocation) so the spans handed to StartWrite
+  // (rows × m × unit, a single allocation) so the spans handed to StartWrite
   // stay valid until the batch completes.
-  Buffer parity_arena = Buffer::Allocate(rows.size() * unit);
+  const uint32_t k = layout_.config().DataAgentsPerRow();
+  const uint32_t m = layout_.config().ParityUnitsPerRow();
+  const ErasureCodec& codec = CodecFor(layout_.config());
+  Buffer parity_arena = Buffer::Allocate(rows.size() * m * unit);
   OpBatch batch(&distribution_);
   for (size_t r = 0; r < rows.size(); ++r) {
     const uint64_t row = rows[r];
     const uint64_t row_start = row * row_bytes;
     std::span<const uint8_t> row_data = data.subspan(row_start - base_offset, row_bytes);
     std::vector<std::span<const uint8_t>> sources;
-    sources.reserve(layout_.config().DataAgentsPerRow());
-    for (uint32_t c = 0; c < layout_.config().DataAgentsPerRow(); ++c) {
+    sources.reserve(k);
+    for (uint32_t c = 0; c < k; ++c) {
       sources.push_back(row_data.subspan(static_cast<size_t>(c) * unit, unit));
     }
-    std::span<uint8_t> parity_unit = parity_arena.span().subspan(r * unit, unit);
+    std::vector<std::span<uint8_t>> parity_units;
+    parity_units.reserve(m);
+    for (uint32_t j = 0; j < m; ++j) {
+      parity_units.push_back(parity_arena.span().subspan((r * m + j) * unit, unit));
+    }
     {
       ParityTimer parity_timer;
-      ComputeParityInto(parity_unit, sources);
+      codec.EncodeInto(sources, parity_units);
     }
 
-    for (uint32_t c = 0; c < layout_.config().DataAgentsPerRow(); ++c) {
+    for (uint32_t c = 0; c < k; ++c) {
       const UnitLocation loc = layout_.Locate(row_start + static_cast<uint64_t>(c) * unit);
       if (ColumnFailed(loc.agent)) {
         continue;  // captured by parity; reconstructible
       }
       SubmitWrite(batch, loc.agent, loc.agent_offset, sources[c]);
     }
-    const UnitLocation parity_loc = layout_.ParityLocation(row);
-    if (!ColumnFailed(parity_loc.agent)) {
-      SubmitWrite(batch, parity_loc.agent, parity_loc.agent_offset, parity_unit);
+    for (uint32_t j = 0; j < m; ++j) {
+      const UnitLocation parity_loc = layout_.ParityLocation(row, j);
+      if (!ColumnFailed(parity_loc.agent)) {
+        SubmitWrite(batch, parity_loc.agent, parity_loc.agent_offset, parity_units[j]);
+      }
     }
   }
   return Aggregate(batch.Wait());
@@ -1048,29 +1150,49 @@ Status SwiftFile::WriteRowParity(uint64_t row, uint64_t row_write_start, uint64_
                                  uint64_t base_offset, std::span<const uint8_t> data) {
   ParityTimer parity_timer;
   const uint64_t unit = layout_.config().stripe_unit;
-  const UnitLocation parity_loc = layout_.ParityLocation(row);
-  const bool parity_agent_failed = ColumnFailed(parity_loc.agent);
+  const uint32_t m = layout_.config().ParityUnitsPerRow();
+  const ErasureCodec& codec = CodecFor(layout_.config());
+
+  // The row's live parity units (failed parity columns are simply skipped —
+  // their content is reconstructible like any other lost unit).
+  struct ParityUnit {
+    uint32_t index = 0;  // codec parity index j
+    UnitLocation loc;
+    std::vector<uint8_t> buf;
+  };
+  std::vector<ParityUnit> live_parity;
+  for (uint32_t j = 0; j < m; ++j) {
+    const UnitLocation loc = layout_.ParityLocation(row, j);
+    if (!ColumnFailed(loc.agent)) {
+      ParityUnit p;
+      p.index = j;
+      p.loc = loc;
+      p.buf.assign(unit, 0);
+      live_parity.push_back(std::move(p));
+    }
+  }
 
   auto new_data_at = [&](uint64_t logical, uint64_t length) -> std::span<const uint8_t> {
     return data.subspan(logical - base_offset, length);
   };
 
-  // Partial row: read-modify-write the parity unit.
-  //   parity' = parity ^ old_data ^ new_data
+  // Partial row: read-modify-write every live parity unit.
+  //   parity_j' = parity_j ^ g[j][col] ⊗ (old_data ^ new_data)
   //
   // Ordering matters for crash/retry consistency (the RAID write hole, here
   // surfaced by the transient-fault retry): all reads happen first, then the
-  // parity write, then the data writes. If the attempt dies at any point,
+  // parity writes, then the data writes. If the attempt dies at any point,
   // the retry's own read-modify-write (or, for a now-failed data column, the
-  // reconstruct-and-fold path) restores the invariant "parity = XOR of
-  // stored data, with the failed column's virtual content defined by that
-  // XOR" — which is exactly what a parity-write-before-data ordering keeps
-  // self-correcting. Writing data first would let an interrupted attempt
-  // strand new data under old parity, and the retry's old==new RMW would
-  // then freeze the corruption in place.
+  // reconstruct-and-fold path) restores the invariant "each parity unit is
+  // the codec combination of the stored data, with failed columns' virtual
+  // content defined by the code" — which is exactly what a
+  // parity-write-before-data ordering keeps self-correcting. Writing data
+  // first would let an interrupted attempt strand new data under old parity,
+  // and the retry's old==new RMW would then freeze the corruption in place.
 
   struct Chunk {
     UnitLocation loc;
+    uint32_t data_col = 0;  // codec data index of the target unit
     uint64_t offset_in_unit = 0;
     std::span<const uint8_t> new_data;
     std::vector<uint8_t> old_data;  // gather target (live chunks)
@@ -1083,6 +1205,7 @@ Status SwiftFile::WriteRowParity(uint64_t row, uint64_t row_write_start, uint64_
     const uint64_t length = std::min(unit - offset_in_unit, row_write_end - logical);
     Chunk chunk;
     chunk.loc = layout_.Locate(logical);
+    chunk.data_col = layout_.DataColumnOf(logical);
     chunk.offset_in_unit = offset_in_unit;
     chunk.new_data = new_data_at(logical, length);
     chunk.lost = ColumnFailed(chunk.loc.agent);
@@ -1090,16 +1213,17 @@ Status SwiftFile::WriteRowParity(uint64_t row, uint64_t row_write_start, uint64_
     logical += length;
   }
 
-  // Gather phase: the current parity unit and every overwritten live range,
+  // Gather phase: every live parity unit and every overwritten live range,
   // all in one batch. A corrupt unit discovered here (old data or parity)
   // gets the whole row repaired from reconstruction, then one re-gather —
   // folding unverified old bytes into parity would launder the corruption
-  // into the new parity unit.
-  std::vector<uint8_t> parity_buf(parity_agent_failed ? 0 : unit, 0);
-  if (!parity_agent_failed) {
+  // into the new parity units.
+  if (!live_parity.empty()) {
     for (int gather_attempt = 0;; ++gather_attempt) {
       OpBatch batch(&distribution_);
-      SubmitRead(batch, parity_loc.agent, parity_loc.agent_offset, unit, parity_buf.data());
+      for (ParityUnit& p : live_parity) {
+        SubmitRead(batch, p.loc.agent, p.loc.agent_offset, unit, p.buf.data());
+      }
       for (Chunk& chunk : chunks) {
         if (!chunk.lost) {
           chunk.old_data.resize(chunk.new_data.size());
@@ -1122,29 +1246,35 @@ Status SwiftFile::WriteRowParity(uint64_t row, uint64_t row_write_start, uint64_
   // Fold phase (in memory, deterministic order).
   for (Chunk& chunk : chunks) {
     if (chunk.lost) {
-      // The target data unit is lost: fold the write into parity only, so a
-      // reconstruction of this unit yields the new contents.
-      if (parity_agent_failed) {
-        return DataLossError("write targets a failed agent and parity is also failed");
+      // The target data unit is lost: fold the write into the live parity
+      // units only, so a reconstruction of this unit yields the new
+      // contents.
+      if (live_parity.empty()) {
+        return DataLossError("write targets a failed agent and every parity unit is failed");
       }
       Buffer old_unit = Buffer::Allocate(unit);
       SWIFT_RETURN_IF_ERROR(ReconstructUnitInto(row, chunk.loc.agent, old_unit.span()));
-      UpdateParity(parity_buf, chunk.offset_in_unit,
-                   std::span<const uint8_t>(old_unit.data() + chunk.offset_in_unit,
-                                            chunk.new_data.size()),
-                   chunk.new_data);
-    } else if (!parity_agent_failed) {
-      UpdateParity(parity_buf, chunk.offset_in_unit, chunk.old_data, chunk.new_data);
+      const std::span<const uint8_t> old_slice(old_unit.data() + chunk.offset_in_unit,
+                                               chunk.new_data.size());
+      for (ParityUnit& p : live_parity) {
+        codec.UpdateParity(p.index, chunk.data_col, p.buf, chunk.offset_in_unit, old_slice,
+                           chunk.new_data);
+      }
+    } else {
+      for (ParityUnit& p : live_parity) {
+        codec.UpdateParity(p.index, chunk.data_col, p.buf, chunk.offset_in_unit,
+                           chunk.old_data, chunk.new_data);
+      }
     }
   }
 
-  // Parity first.
-  if (!parity_agent_failed) {
-    Status status = GuardedCall(parity_loc.agent, [&]() -> Status {
-      return distribution_.transport(parity_loc.agent)
-          ->Write(handles_[parity_loc.agent], parity_loc.agent_offset, parity_buf);
-    });
-    SWIFT_RETURN_IF_ERROR(status);
+  // Parity first, as one batch.
+  if (!live_parity.empty()) {
+    OpBatch parity_batch(&distribution_);
+    for (const ParityUnit& p : live_parity) {
+      SubmitWrite(parity_batch, p.loc.agent, p.loc.agent_offset, p.buf);
+    }
+    SWIFT_RETURN_IF_ERROR(Aggregate(parity_batch.Wait()));
   }
 
   // Then the data units, as one parallel batch.

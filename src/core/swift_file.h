@@ -16,24 +16,26 @@
 // stripe-unit granularity only when the column's window exceeds one, so the
 // in-process fast path keeps its single-call-per-extent behaviour.
 //
-// Failure model (§2's computed-copy redundancy): with parity enabled, one
-// failed agent is survived — reads reconstruct lost units from the row's
-// survivors (XOR-folding each survivor's unit as its completion lands),
-// writes keep parity consistent so later reconstruction yields the new data
-// (including writes *to* the failed agent, which land only in parity). A
-// second failure is reported as kDataLoss. Without parity, any agent failure
-// is surfaced as kUnavailable.
+// Failure model (§2's computed-copy redundancy, generalized to k+m erasure
+// coding): with parity enabled the object's codec stores m parity units per
+// row — up to m concurrent failed agents are survived. Reads reconstruct
+// lost units from the row's survivors (GF-folding each survivor's unit as
+// its completion lands), writes keep every live parity unit consistent so
+// later reconstruction yields the new data (including writes *to* failed
+// agents, which land only in parity). More than m failures is kDataLoss.
+// Without parity, any agent failure is surfaced as kUnavailable.
 //
 // Integrity (at-rest corruption): a read that fails its agent's stored
 // checksum comes back kDataCorrupt. That is a *unit*-scoped failure — the
 // agent is alive, one unit is bad — so the column is NOT marked failed;
 // instead the unit is reconstructed from the row's survivors exactly like a
 // lost unit, the verified bytes are returned to the caller, and the rebuilt
-// unit is written back so the agent reseals it (read-repair). A corrupt unit
-// on a *second* column of the same parity group (or corruption while already
-// degraded) exceeds the single-failure budget and is kDataLoss. Without
-// parity there is nothing to rebuild from, so kDataCorrupt surfaces to the
-// caller — corrupt bytes are never returned as data.
+// unit is written back so the agent reseals it (read-repair). Corrupt units
+// count against the same m-failure budget as lost columns: once a row's
+// unreadable units (failed, hedged away, or corrupt) exceed m, the row is
+// kDataLoss. Without parity there is nothing to rebuild from, so
+// kDataCorrupt surfaces to the caller — corrupt bytes are never returned as
+// data.
 //
 // Concurrency: the public interface is externally synchronized (one logical
 // client), but op completions arrive on transport/pool threads, so the
@@ -167,17 +169,18 @@ class SwiftFile {
   // stored data). `length` must fit in out.
   Status ReadRange(uint64_t offset, std::span<uint8_t> out);
   // Waits for a live read batch with the hedge armed: after a no-progress
-  // hedge delay with every outstanding op on one column, cancels that
-  // column's ops (appending them to `parked`) so parity reconstruction can
-  // finish the read instead of the straggler. At most one hedge per batch;
-  // the global governor keeps hedges ≤5% of reads.
+  // hedge delay with every outstanding op on at most m - failed straggler
+  // columns, cancels those columns' ops (appending them to `parked`) so
+  // erasure reconstruction can finish the read instead of the stragglers. At
+  // most one hedge per batch; the global governor keeps hedges ≤5% of reads.
   std::vector<Status> WaitHedged(OpBatch& batch, HedgeTracker& tracker,
                                  std::vector<HedgeTracker::Op>* parked);
   // Rebuilds [agent_offset, +length) of `column` into `dst` from the rows'
   // parity survivors, without writing anything back (the column is healthy —
-  // just slow — so there is nothing to repair).
+  // just slow — so there is nothing to repair). `avoid` lists additional
+  // columns reconstruction must not read (other hedged-away stragglers).
   Status ReconstructRange(uint32_t column, uint64_t agent_offset, uint64_t length,
-                          uint8_t* dst);
+                          uint8_t* dst, std::span<const uint32_t> avoid = {});
   // The hedge arm delay: max over live columns of srtt + hedge_k·rttvar,
   // clamped to [hedge_floor_us, hedge_cap_us]; the cap when no column has an
   // RTT estimate yet.
@@ -190,10 +193,23 @@ class SwiftFile {
   // reconstruction. Used when a read-modify-write gather hits kDataCorrupt.
   Status RepairRow(uint64_t row);
   // Reconstructs the unit at (row, failed column) into `out` (one full
-  // stripe unit) via parity: zeroes `out`, reads every survivor
-  // concurrently, and XOR-folds completions as they land. When the caller's
-  // destination is unit-aligned this rebuilds in place — no scratch buffer.
+  // stripe unit) via the codec. When the caller's destination is
+  // unit-aligned this rebuilds in place — no scratch buffer.
   Status ReconstructUnitInto(uint64_t row, uint32_t lost_column, std::span<uint8_t> out);
+  // General form: rebuilds the units of `row` held by `target_agents` into
+  // `outs` (one full stripe unit each) from the row's survivors. `avoid`
+  // agents are treated as additionally unreadable (hedged-away stragglers);
+  // failed columns are always excluded. Zeroes each target, reads the k
+  // survivors concurrently, and folds each completion (scaled by its plan
+  // coefficient) into every target as it lands. Survivors that come back
+  // corrupt or unavailable are promoted to erasures and the attempt retried
+  // while the codec's m-unit budget allows; beyond that, kDataLoss.
+  Status ReconstructUnitsInto(uint64_t row, std::span<const uint32_t> target_agents,
+                              std::span<uint8_t* const> outs,
+                              std::span<const uint32_t> avoid);
+  // Concurrent column failures the object's codec covers (m with parity on,
+  // 0 without).
+  uint32_t ParityBudget() const;
 
   Status WriteRange(uint64_t offset, std::span<const uint8_t> data);
   // Partial-row read-modify-write: gather (batched reads) → parity write →

@@ -112,15 +112,63 @@ printf 'SILENTLY-ROTTED!' | dd of="$WORK/agent0/archive" bs=1 seek=654321 \
     count=16 conv=notrunc 2>/dev/null
 $CLI scrub archive > "$WORK/scrub1.txt" \
   || { echo "FAIL: scrub exited non-zero"; cat "$WORK/scrub1.txt"; exit 1; }
-grep -Eq "scrubbed 'archive': [1-9][0-9]* blocks on 3 agents, [1-9][0-9]* corrupt ranges \([1-9][0-9]* repaired, 0 unrepairable\)" \
+grep -Eq "scrubbed 'archive' \(k=2 m=1\): [1-9][0-9]* blocks on 3 agents, [1-9][0-9]* corrupt ranges \([1-9][0-9]* repaired, 0 multi-failure, 0 unrepairable\)" \
     "$WORK/scrub1.txt" \
   || { echo "FAIL: scrub did not repair"; cat "$WORK/scrub1.txt"; exit 1; }
 $CLI scrub archive > "$WORK/scrub2.txt" \
   || { echo "FAIL: second scrub exited non-zero"; cat "$WORK/scrub2.txt"; exit 1; }
-grep -q "0 corrupt ranges (0 repaired, 0 unrepairable)" "$WORK/scrub2.txt" \
+grep -q "0 corrupt ranges (0 repaired, 0 multi-failure, 0 unrepairable)" "$WORK/scrub2.txt" \
   || { echo "FAIL: second scrub not clean"; cat "$WORK/scrub2.txt"; exit 1; }
 $CLI get archive "$WORK/copy4.bin"
 cmp "$WORK/original.bin" "$WORK/copy4.bin" || { echo "FAIL: post-scrub read differs"; exit 1; }
+
+# ---- Reed-Solomon stripe groups: chaos-kill m agents, multi-column rebuild --
+# Six more agents host an RS(4,2) object. Killing two of them outright mid-
+# session must leave every byte readable (two-erasure reconstruction); fresh
+# agents on the same ports then take a two-column rebuild, restoring full
+# redundancy.
+RSPORTS=""
+RSPIDS=()
+for i in 0 1 2 3 4 5; do
+  port=$((BASE_PORT + 30 + i))
+  "$AGENTD" --root="$WORK/rsagent$i" --port=$port --seconds=60 \
+      > "$WORK/rsagent$i.log" 2>&1 &
+  pid=$!
+  PIDS="$PIDS $pid"
+  RSPIDS+=("$pid")
+  RSPORTS="$RSPORTS,$port"
+done
+RSPORTS="${RSPORTS#,}"
+sleep 0.5
+
+RSCLI="$CLI_BIN --agents=$RSPORTS --dir=$WORK/rs.dirdb"
+$RSCLI create tape --unit=65536 --parity --parity-units=2
+$RSCLI stat tape | grep -q "parity on (rs k=4 m=2)" \
+  || { echo "FAIL: stat does not report RS geometry"; $RSCLI stat tape; exit 1; }
+$RSCLI put tape "$WORK/original.bin"
+
+kill "${RSPIDS[1]}" "${RSPIDS[4]}"    # chaos: columns 1 and 4 die
+$RSCLI get tape "$WORK/rs_degraded.bin"
+cmp "$WORK/original.bin" "$WORK/rs_degraded.bin" \
+  || { echo "FAIL: RS degraded read differs"; exit 1; }
+
+# Replacement agents with empty stores on the dead columns' ports.
+sleep 0.3
+for i in 1 4; do
+  port=$((BASE_PORT + 30 + i))
+  "$AGENTD" --root="$WORK/rsagent${i}b" --port=$port --seconds=60 \
+      > "$WORK/rsagent${i}b.log" 2>&1 &
+  PIDS="$PIDS $!"
+done
+sleep 0.5
+$RSCLI rebuild tape 1,4 > "$WORK/rs_rebuild.txt"
+grep -q "rebuilt columns 1,4 of 'tape'" "$WORK/rs_rebuild.txt" \
+  || { echo "FAIL: RS rebuild output"; cat "$WORK/rs_rebuild.txt"; exit 1; }
+$RSCLI get tape "$WORK/rs_repaired.bin"
+cmp "$WORK/original.bin" "$WORK/rs_repaired.bin" \
+  || { echo "FAIL: post-RS-rebuild read differs"; exit 1; }
+$RSCLI scrub tape | grep -q "scrubbed 'tape' (k=4 m=2)" \
+  || { echo "FAIL: RS scrub geometry"; exit 1; }
 
 # Removal cleans the directory and the agent stores.
 $CLI rm archive
@@ -182,8 +230,11 @@ $MCLI put stream "$WORK/original.bin"
 $MCLI get stream "$WORK/mcopy.bin"
 cmp "$WORK/original.bin" "$WORK/mcopy.bin" || { echo "FAIL: mediated round trip"; exit 1; }
 
-$CLI_BIN --mediator=$MED_PORT session list | grep -q "object=stream" \
+$CLI_BIN --mediator=$MED_PORT session list > "$WORK/session_list.txt"
+grep -q "object=stream" "$WORK/session_list.txt" \
   || { echo "FAIL: session not listed"; exit 1; }
+grep -q "object=stream .*k=2 m=1" "$WORK/session_list.txt" \
+  || { echo "FAIL: session list missing stripe geometry"; cat "$WORK/session_list.txt"; exit 1; }
 $CLI_BIN --mediator=$MED_PORT session renew "$SESSION_ID" | grep -q "renewed session" \
   || { echo "FAIL: renew"; exit 1; }
 

@@ -10,6 +10,7 @@
 //   swift_bench --trace-overhead [--size=BYTES] [--json=PATH]
 //   swift_bench --cc [--size=BYTES] [--json=PATH]
 //   swift_bench --tail [--json=PATH]
+//   swift_bench --erasure [--json=PATH]
 //
 // --window sets the stripe-unit ops kept in flight per agent (1 = the
 // synchronous stop-and-wait baseline). The object ("bench-object") is
@@ -46,6 +47,13 @@
 // while the governor keeps the hedge rate <= 5% and the healthy warmup path
 // hedges nothing. --json=PATH writes BENCH_tail.json, which ci.sh gates on
 // all three bars.
+//
+// --erasure runs the pluggable-codec matrix (DESIGN.md §17): XOR(4,1) vs
+// RS(4,2) vs RS(10,4), measuring codec-level encode and worst-case
+// reconstruct GB/s plus end-to-end degraded-read p50/p99 and copies/byte
+// with m columns marked failed. --json=PATH writes BENCH_erasure.json;
+// ci.sh gates reconstruct throughput, the RS-within-3x-of-XOR ratios, and
+// copies/byte <= 2.5 on the RS degraded-read path.
 
 #include <algorithm>
 #include <atomic>
@@ -61,9 +69,11 @@
 #include "src/agent/backing_store.h"
 #include "src/agent/chaos.h"
 #include "src/agent/congestion.h"
+#include "src/agent/local_cluster.h"
 #include "src/agent/storage_agent.h"
 #include "src/agent/udp_agent_server.h"
 #include "src/agent/udp_transport.h"
+#include "src/core/erasure.h"
 #include "src/core/object_admin.h"
 #include "src/core/object_directory.h"
 #include "src/core/swift_file.h"
@@ -1128,6 +1138,313 @@ int RunTail(const char* json_path) {
   return 0;
 }
 
+// ------------------------------ erasure matrix ------------------------------
+
+// --erasure measures the pluggable-codec layer (DESIGN.md §17) three ways per
+// cell — XOR(4,1) vs RS(4,2) vs RS(10,4), named (k,m):
+//  - codec-level encode GB/s (data bytes through EncodeInto, best-of-N);
+//  - codec-level reconstruct GB/s, the worst case: the first m data units
+//    erased and rebuilt from the k survivors via ReconstructWithPlan;
+//  - end-to-end degraded reads: an in-process cluster with m columns marked
+//    failed, stripe-unit reads timed through the full reconstruction read
+//    path (p50/p99), plus copies/byte over the degraded phase — the
+//    zero-copy gate extended to RS reads.
+
+struct ErasureCell {
+  const char* name;
+  uint32_t k;
+  uint32_t m;
+
+  double encode_gbps = 0;
+  double reconstruct_gbps = 0;
+  double read_copies_per_byte = 0;      // healthy striped reads (the gate)
+  double degraded_p50_us = 0;
+  double degraded_p99_us = 0;
+  double degraded_copies_per_byte = 0;  // informational: survivor traffic is ~k×
+};
+
+// Codec-level workload for one cell, built once; timed passes run round-robin
+// across cells (best-of-N per cell) so scheduler and frequency drift cancel
+// out of the XOR-vs-RS ratios instead of landing on whichever cell ran last.
+struct ErasureCodecState {
+  ErasureCell* cell = nullptr;
+  const ErasureCodec* codec = nullptr;
+  std::vector<std::vector<uint8_t>> data;
+  std::vector<std::vector<uint8_t>> parity;
+  std::vector<std::vector<uint8_t>> out;
+  std::vector<std::span<const uint8_t>> data_spans;
+  std::vector<std::span<uint8_t>> parity_spans;
+  std::vector<std::span<const uint8_t>> survivor_spans;
+  std::vector<std::span<uint8_t>> out_spans;
+  ReconstructionPlan plan;
+};
+
+constexpr uint64_t kErasureUnit = 64 * 1024;
+constexpr int kErasureReps = 128;
+constexpr int kErasurePasses = 5;
+
+bool InitErasureCodecState(ErasureCodecState& state, ErasureCell& cell) {
+  state.cell = &cell;
+  StripeConfig stripe;
+  stripe.num_agents = cell.k + cell.m;
+  stripe.stripe_unit = kErasureUnit;
+  stripe.parity = ParityMode::kRotating;
+  stripe.parity_units = cell.m;
+  stripe.codec = cell.m > 1 ? ErasureKind::kReedSolomon : ErasureKind::kXor;
+  state.codec = &CodecFor(stripe);
+
+  Rng rng(17);
+  state.data.assign(cell.k, std::vector<uint8_t>(kErasureUnit));
+  for (auto& unit : state.data) {
+    for (auto& b : unit) {
+      b = static_cast<uint8_t>(rng.UniformInt(0, 255));
+    }
+  }
+  state.parity.assign(cell.m, std::vector<uint8_t>(kErasureUnit));
+  for (auto& unit : state.data) {
+    state.data_spans.emplace_back(unit);
+  }
+  for (auto& unit : state.parity) {
+    state.parity_spans.emplace_back(unit);
+  }
+
+  // Worst-case reconstruction: the first m data units erased, so every
+  // target needs a full k-survivor decode (no parity shortcut). Parity must
+  // be valid before survivors are wired up.
+  state.codec->EncodeInto(state.data_spans, state.parity_spans);
+  std::vector<uint32_t> erased(cell.m);
+  for (uint32_t j = 0; j < cell.m; ++j) {
+    erased[j] = j;
+  }
+  auto plan = state.codec->PlanReconstruction(erased);
+  if (!plan.ok()) {
+    return false;
+  }
+  state.plan = *std::move(plan);
+  for (uint32_t pos : state.plan.survivors) {
+    state.survivor_spans.emplace_back(pos < cell.k ? state.data[pos]
+                                                   : state.parity[pos - cell.k]);
+  }
+  state.out.assign(cell.m, std::vector<uint8_t>(kErasureUnit));
+  for (auto& unit : state.out) {
+    state.out_spans.emplace_back(unit);
+  }
+  return true;
+}
+
+void RunErasureCodecPass(ErasureCodecState& state) {
+  const auto e0 = std::chrono::steady_clock::now();
+  for (int rep = 0; rep < kErasureReps; ++rep) {
+    state.codec->EncodeInto(state.data_spans, state.parity_spans);
+  }
+  const double encode_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - e0).count();
+  state.cell->encode_gbps = std::max(
+      state.cell->encode_gbps,
+      static_cast<double>(kErasureReps) * state.cell->k * kErasureUnit / encode_s / 1e9);
+
+  const auto r0 = std::chrono::steady_clock::now();
+  for (int rep = 0; rep < kErasureReps; ++rep) {
+    ReconstructWithPlan(state.plan, state.survivor_spans, state.out_spans);
+  }
+  const double reconstruct_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - r0).count();
+  state.cell->reconstruct_gbps =
+      std::max(state.cell->reconstruct_gbps,
+               static_cast<double>(kErasureReps) * state.cell->m * kErasureUnit /
+                   reconstruct_s / 1e9);
+}
+
+bool VerifyErasureCodecState(const ErasureCodecState& state) {
+  for (uint32_t j = 0; j < state.cell->m; ++j) {
+    if (state.out[j] != state.data[j]) {
+      std::fprintf(stderr, "erasure %s: reconstruction mismatch on unit %u\n",
+                   state.cell->name, j);
+      return false;
+    }
+  }
+  return true;
+}
+
+bool RunErasureDegradedPhase(ErasureCell& cell) {
+  constexpr int kReads = 400;
+  LocalSwiftCluster::Options options;
+  options.num_agents = cell.k + cell.m;
+  options.agent_data_rate = MiBPerSecond(64);
+  LocalSwiftCluster cluster(options);
+
+  StorageMediator::SessionRequest request;
+  request.object_name = std::string("erasure-bench-") + cell.name;
+  request.expected_size = MiB(4);
+  request.redundancy = true;
+  request.parity_units = cell.m;
+  request.min_agents = cell.k + cell.m;
+  request.max_agents = cell.k + cell.m;
+  auto file = cluster.CreateFile(request);
+  if (!file.ok()) {
+    std::fprintf(stderr, "erasure %s: create failed: %s\n", cell.name,
+                 file.status().ToString().c_str());
+    return false;
+  }
+  const uint64_t unit = cluster.last_plan().stripe.stripe_unit;
+  const uint64_t object_bytes =
+      unit * cluster.last_plan().stripe.DataAgentsPerRow() * 16;  // 16 rows
+
+  Rng rng(23);
+  std::vector<uint8_t> data(object_bytes);
+  for (auto& b : data) {
+    b = static_cast<uint8_t>(rng.UniformInt(0, 255));
+  }
+  if (!(*file)->Write(data).ok()) {
+    std::fprintf(stderr, "erasure %s: fill failed\n", cell.name);
+    return false;
+  }
+
+  Counter* copy_bytes = MetricRegistry::Global().GetCounter("swift_buffer_copy_bytes_total");
+  LatencyHistogram latency_us;
+  std::vector<uint8_t> buffer(unit);
+  const uint64_t units_total = object_bytes / unit;
+  // One read per offset, timed or not by `timed`; returns copies/byte over
+  // the sweep. The healthy pass is the zero-copy gate (the striped-read path
+  // under the RS codec must not pick up extra memcpys); the degraded pass
+  // reports latency percentiles and its own — inherently ~k× — copy rate.
+  auto sweep = [&](int reads, bool timed, double* copies_out) -> bool {
+    const uint64_t copy_before = copy_bytes->Value();
+    uint64_t bytes_read = 0;
+    for (int i = 0; i < reads; ++i) {
+      const uint64_t offset = (static_cast<uint64_t>(i) % units_total) * unit;
+      const auto s0 = std::chrono::steady_clock::now();
+      const bool ok = (*file)->PRead(offset, buffer).ok();
+      const auto s1 = std::chrono::steady_clock::now();
+      if (!ok || !std::equal(buffer.begin(), buffer.end(), data.begin() + offset)) {
+        std::fprintf(stderr, "erasure %s: read %d failed or mismatched\n", cell.name, i);
+        return false;
+      }
+      if (timed) {
+        latency_us.Add(std::chrono::duration<double, std::micro>(s1 - s0).count());
+      }
+      bytes_read += unit;
+    }
+    *copies_out = static_cast<double>(copy_bytes->Value() - copy_before) /
+                  static_cast<double>(bytes_read);
+    return true;
+  };
+
+  if (!sweep(kReads, /*timed=*/false, &cell.read_copies_per_byte)) {
+    return false;
+  }
+  for (uint32_t c = 0; c < cell.m; ++c) {
+    (*file)->MarkColumnFailed(c);
+  }
+  if (!sweep(kReads, /*timed=*/true, &cell.degraded_copies_per_byte)) {
+    return false;
+  }
+  cell.degraded_p50_us = latency_us.P50();
+  cell.degraded_p99_us = latency_us.P99();
+  (void)(*file)->Close();
+  return true;
+}
+
+int RunErasure(const char* json_path) {
+  ErasureCell cells[] = {
+      {"xor41", /*k=*/4, /*m=*/1},
+      {"rs42", /*k=*/4, /*m=*/2},
+      {"rs104", /*k=*/10, /*m=*/4},
+  };
+  std::printf("swift_bench erasure matrix: GF fold kernel %s, 64 KiB codec units, "
+              "best of %d interleaved passes, m columns failed for the degraded phase\n",
+              GfKernelName(), kErasurePasses);
+  ErasureCodecState states[3];
+  for (int i = 0; i < 3; ++i) {
+    if (!InitErasureCodecState(states[i], cells[i])) {
+      std::fprintf(stderr, "erasure cell %s failed to initialize\n", cells[i].name);
+      return 1;
+    }
+  }
+  RunErasureCodecPass(states[0]);  // warmup (page faults, turbo), discarded
+  for (auto& state : states) {
+    state.cell->encode_gbps = state.cell->reconstruct_gbps = 0;
+  }
+  for (int pass = 0; pass < kErasurePasses; ++pass) {
+    for (auto& state : states) {
+      RunErasureCodecPass(state);
+    }
+  }
+  for (auto& state : states) {
+    if (!VerifyErasureCodecState(state)) {
+      return 1;
+    }
+  }
+  for (ErasureCell& cell : cells) {
+    if (!RunErasureDegradedPhase(cell)) {
+      std::fprintf(stderr, "erasure cell %s failed\n", cell.name);
+      return 1;
+    }
+    std::printf("erasure %-6s k=%2u m=%u  encode %6.2f GB/s  reconstruct %6.2f GB/s  "
+                "read copies/B %.2f  degraded p50 %6.0fus p99 %7.0fus copies/B %.2f\n",
+                cell.name, cell.k, cell.m, cell.encode_gbps, cell.reconstruct_gbps,
+                cell.read_copies_per_byte, cell.degraded_p50_us, cell.degraded_p99_us,
+                cell.degraded_copies_per_byte);
+  }
+  // Slowdown ratios in data GB/s. Encode cost scales with m (every fold —
+  // XOR or GF — runs at the same port-bound rate), so RS(10,4)'s data-rate
+  // ratio sits near m by construction; the per-parity-stream ratio is the
+  // like-for-like kernel comparison.
+  const double rs42_encode_vs_xor = cells[0].encode_gbps / cells[1].encode_gbps;
+  const double rs104_encode_vs_xor = cells[0].encode_gbps / cells[2].encode_gbps;
+  const double rs42_reconstruct_vs_xor =
+      cells[0].reconstruct_gbps / cells[1].reconstruct_gbps;
+  const double rs104_reconstruct_vs_xor =
+      cells[0].reconstruct_gbps / cells[2].reconstruct_gbps;
+  std::printf("xor/rs slowdown: encode rs42 %.2fx rs104 %.2fx (%.2fx/parity), "
+              "reconstruct rs42 %.2fx rs104 %.2fx\n",
+              rs42_encode_vs_xor, rs104_encode_vs_xor, rs104_encode_vs_xor / cells[2].m,
+              rs42_reconstruct_vs_xor, rs104_reconstruct_vs_xor);
+
+  if (json_path != nullptr) {
+    std::string json = "{\n  \"bench\": \"erasure\",\n";
+    char line[160];
+    std::snprintf(line, sizeof(line), "  \"kernel\": \"%s\",\n", GfKernelName());
+    json += line;
+    for (const ErasureCell& cell : cells) {
+      auto put = [&](const char* key, double value) {
+        std::snprintf(line, sizeof(line), "  \"%s_%s\": %.3f,\n", cell.name, key, value);
+        json += line;
+      };
+      put("encode_gbps", cell.encode_gbps);
+      put("reconstruct_gbps", cell.reconstruct_gbps);
+      put("read_copies_per_byte", cell.read_copies_per_byte);
+      put("degraded_p50_us", cell.degraded_p50_us);
+      put("degraded_p99_us", cell.degraded_p99_us);
+      put("degraded_copies_per_byte", cell.degraded_copies_per_byte);
+    }
+    std::snprintf(line, sizeof(line), "  \"rs42_encode_vs_xor\": %.3f,\n",
+                  rs42_encode_vs_xor);
+    json += line;
+    std::snprintf(line, sizeof(line), "  \"rs104_encode_vs_xor\": %.3f,\n",
+                  rs104_encode_vs_xor);
+    json += line;
+    std::snprintf(line, sizeof(line), "  \"rs104_encode_vs_xor_per_parity\": %.3f,\n",
+                  rs104_encode_vs_xor / cells[2].m);
+    json += line;
+    std::snprintf(line, sizeof(line), "  \"rs42_reconstruct_vs_xor\": %.3f,\n",
+                  rs42_reconstruct_vs_xor);
+    json += line;
+    std::snprintf(line, sizeof(line), "  \"rs104_reconstruct_vs_xor\": %.3f\n}\n",
+                  rs104_reconstruct_vs_xor);
+    json += line;
+    std::FILE* out = std::fopen(json_path, "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path);
+      return 1;
+    }
+    std::fwrite(json.data(), 1, json.size(), out);
+    std::fclose(out);
+    std::printf("erasure point written to %s\n", json_path);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1148,6 +1465,9 @@ int main(int argc, char** argv) {
   }
   if (FlagPresent(argc, argv, "--tail")) {
     return RunTail(FlagValue(argc, argv, "--json", nullptr));
+  }
+  if (FlagPresent(argc, argv, "--erasure")) {
+    return RunErasure(FlagValue(argc, argv, "--json", nullptr));
   }
   std::vector<uint16_t> ports;
   {

@@ -8,13 +8,16 @@
 //   swift_cli --agents=4751,4752,4753 --dir=objects.dirdb COMMAND...
 //
 // Commands:
-//   create NAME [--unit=BYTES] [--parity]   create an empty striped object
+//   create NAME [--unit=BYTES] [--parity] [--parity-units=M]
+//                                           create an empty striped object
+//                                           (m>1 selects Reed-Solomon)
 //   put NAME LOCAL_FILE                     copy a local file into an object
 //   get NAME LOCAL_FILE                     copy an object to a local file
 //   stat NAME                               show geometry and size
 //   ls                                      list objects
 //   rm NAME                                 remove an object (metadata+stores)
-//   rebuild NAME COLUMN                     regenerate a replaced agent's data
+//   rebuild NAME COL[,COL...]               regenerate replaced agents' data
+//                                           (up to m columns in one pass)
 //   scrub [NAME]                            verify at-rest checksums on every
 //                                           agent (one object, or all) and
 //                                           repair corrupt units from parity
@@ -39,7 +42,8 @@
 //
 // Mediator control plane (needs --mediator=PORT; see swift_mediatord):
 //   session open NAME [--size=BYTES] [--rate-mbps=N] [--parity]
-//                [--lease-ms=N] [--min-agents=N] [--max-agents=N]
+//                [--parity-units=M] [--lease-ms=N] [--min-agents=N]
+//                [--max-agents=N]
 //       negotiate a session, create NAME across the granted agents, and
 //       print "session <id>" and "agents <p1,p2,...>" (column-order data
 //       ports for later --agents= invocations). The session stays open.
@@ -115,12 +119,30 @@ int Fail(const Status& status) {
   return 1;
 }
 
-int CmdCreate(Cli& cli, const std::string& name, uint64_t unit, bool parity) {
+// Human-readable redundancy descriptor: "off", "on" (single XOR parity, the
+// historical format), or "on (rs k=K m=M)" for Reed-Solomon groups.
+std::string DescribeParity(const StripeConfig& stripe) {
+  if (stripe.parity == ParityMode::kNone) {
+    return "off";
+  }
+  if (stripe.codec == ErasureKind::kXor) {
+    return "on";
+  }
+  return "on (rs k=" + std::to_string(stripe.DataAgentsPerRow()) +
+         " m=" + std::to_string(stripe.ParityUnitsPerRow()) + ")";
+}
+
+int CmdCreate(Cli& cli, const std::string& name, uint64_t unit, bool parity,
+              uint32_t parity_units) {
   TransferPlan plan;
   plan.object_name = name;
   plan.stripe.num_agents = static_cast<uint32_t>(cli.transports.size());
   plan.stripe.stripe_unit = unit;
   plan.stripe.parity = parity ? ParityMode::kRotating : ParityMode::kNone;
+  if (parity) {
+    plan.stripe.parity_units = parity_units;
+    plan.stripe.codec = parity_units > 1 ? ErasureKind::kReedSolomon : ErasureKind::kXor;
+  }
   for (uint32_t i = 0; i < cli.transports.size(); ++i) {
     plan.agent_ids.push_back(i);
   }
@@ -138,7 +160,8 @@ int CmdCreate(Cli& cli, const std::string& name, uint64_t unit, bool parity) {
     return Fail(s);
   }
   std::printf("created '%s': %u agents, %s units, parity %s\n", name.c_str(),
-              plan.stripe.num_agents, FormatBytes(unit).c_str(), parity ? "on" : "off");
+              plan.stripe.num_agents, FormatBytes(unit).c_str(),
+              DescribeParity(plan.stripe).c_str());
   return 0;
 }
 
@@ -237,7 +260,7 @@ int CmdStat(Cli& cli, const std::string& name) {
   std::printf("%s: %s, %u agents, %s units, parity %s\n", name.c_str(),
               FormatBytes(metadata->size).c_str(), metadata->stripe.num_agents,
               FormatBytes(metadata->stripe.stripe_unit).c_str(),
-              metadata->stripe.parity == ParityMode::kNone ? "off" : "on");
+              DescribeParity(metadata->stripe).c_str());
   return 0;
 }
 
@@ -365,7 +388,17 @@ int CmdHedgeStats(Cli& cli, int port_filter) {
   return 0;
 }
 
-int CmdRebuild(Cli& cli, const std::string& name, uint32_t column) {
+int CmdRebuild(Cli& cli, const std::string& name, const std::string& column_list) {
+  std::vector<uint32_t> columns;
+  size_t pos = 0;
+  while (pos < column_list.size()) {
+    size_t comma = column_list.find(',', pos);
+    if (comma == std::string::npos) {
+      comma = column_list.size();
+    }
+    columns.push_back(static_cast<uint32_t>(std::atoi(column_list.substr(pos).c_str())));
+    pos = comma + 1;
+  }
   auto metadata = cli.directory.Lookup(name);
   if (!metadata.ok()) {
     return Fail(metadata.status());
@@ -374,11 +407,12 @@ int CmdRebuild(Cli& cli, const std::string& name, uint32_t column) {
   if (!transports.ok()) {
     return Fail(transports.status());
   }
-  auto report = RebuildColumn(*metadata, *transports, column);
+  auto report = RebuildColumns(*metadata, *transports, columns);
   if (!report.ok()) {
     return Fail(report.status());
   }
-  std::printf("rebuilt column %u of '%s': %llu rows, %s\n", column, name.c_str(),
+  std::printf("rebuilt %s %s of '%s': %llu rows, %s\n",
+              columns.size() == 1 ? "column" : "columns", column_list.c_str(), name.c_str(),
               static_cast<unsigned long long>(report->rows_rebuilt),
               FormatBytes(report->bytes_written).c_str());
   return 0;
@@ -405,12 +439,15 @@ int CmdScrub(Cli& cli, const std::string& name) {
     if (!summary.ok()) {
       return Fail(summary.status());
     }
-    std::printf("scrubbed '%s': %llu blocks on %llu agents, %llu corrupt ranges "
-                "(%llu repaired, %llu unrepairable)%s%s%s\n",
-                object.c_str(), static_cast<unsigned long long>(summary->blocks_checked),
+    std::printf("scrubbed '%s' (k=%u m=%u): %llu blocks on %llu agents, %llu corrupt ranges "
+                "(%llu repaired, %llu multi-failure, %llu unrepairable)%s%s%s\n",
+                object.c_str(), metadata->stripe.DataAgentsPerRow(),
+                metadata->stripe.ParityUnitsPerRow(),
+                static_cast<unsigned long long>(summary->blocks_checked),
                 static_cast<unsigned long long>(summary->columns_scrubbed),
                 static_cast<unsigned long long>(summary->ranges_found),
                 static_cast<unsigned long long>(summary->ranges_repaired),
+                static_cast<unsigned long long>(summary->multi_failure_repairs),
                 static_cast<unsigned long long>(summary->ranges_unrepairable),
                 summary->columns_unavailable > 0 ? ", agents unreachable" : "",
                 summary->columns_skipped > 0 ? ", some agents keep no checksums" : "",
@@ -510,6 +547,8 @@ int CmdSessionOpen(Cli& cli, const std::vector<std::string>& args) {
       request.required_rate = MiBPerSecond(std::atof(a.substr(12).c_str()));
     } else if (a == "--parity") {
       request.redundancy = true;
+    } else if (a.rfind("--parity-units=", 0) == 0) {
+      request.parity_units = static_cast<uint32_t>(std::atoi(a.substr(15).c_str()));
     } else if (a.rfind("--lease-ms=", 0) == 0) {
       request.lease_ms = static_cast<uint64_t>(std::atoll(a.substr(11).c_str()));
     } else if (a.rfind("--min-agents=", 0) == 0) {
@@ -566,7 +605,7 @@ int CmdSessionOpen(Cli& cli, const std::vector<std::string>& args) {
   std::printf("opened '%s': %u agents, %s units, parity %s, %s reserved, lease %llu ms\n",
               name.c_str(), grant.plan.stripe.num_agents,
               FormatBytes(grant.plan.stripe.stripe_unit).c_str(),
-              grant.plan.stripe.parity == ParityMode::kNone ? "off" : "on",
+              DescribeParity(grant.plan.stripe).c_str(),
               FormatRate(grant.plan.reserved_rate).c_str(),
               static_cast<unsigned long long>(grant.lease_ms));
   (void)session->Release();  // the session outlives this one-shot invocation
@@ -693,14 +732,16 @@ int main(int argc, char** argv) {
   if (!usable) {
     std::fprintf(stderr,
                  "usage: swift_cli --agents=PORT[,PORT...] --dir=FILE [--mediator=PORT] COMMAND\n"
-                 "commands: create NAME [--unit=BYTES] [--parity] | put NAME FILE |\n"
-                 "          get NAME FILE | stat NAME | ls | rm NAME | rebuild NAME COL |\n"
+                 "commands: create NAME [--unit=BYTES] [--parity] [--parity-units=M] |\n"
+                 "          put NAME FILE | get NAME FILE | stat NAME | ls | rm NAME |\n"
+                 "          rebuild NAME COL[,COL...] |\n"
                  "          scrub [NAME] | stats [PORT] | hedge-stats [PORT] | trace TRACE_ID\n"
                  "tracing:  --trace-mode=off|sampled|all --trace-out=FILE --trace-in=FILE\n"
                  "transport: --cc-mode=off|fixed|delay (delay-based congestion control; default delay)\n"
                  "mediator (need --mediator=PORT):\n"
                  "          session open NAME [--size=B] [--rate-mbps=N] [--parity]\n"
-                 "                       [--lease-ms=N] [--min-agents=N] [--max-agents=N]\n"
+                 "                       [--parity-units=M] [--lease-ms=N]\n"
+                 "                       [--min-agents=N] [--max-agents=N]\n"
                  "          session close ID | session renew ID | session list |\n"
                  "          repair NAME FAILED_PORT --session=ID\n");
     return 2;
@@ -783,14 +824,17 @@ int main(int argc, char** argv) {
   if (command == "create" && args.size() >= 2) {
     uint64_t unit = KiB(64);
     bool parity = false;
+    uint32_t parity_units = 1;
     for (size_t i = 2; i < args.size(); ++i) {
       if (args[i].rfind("--unit=", 0) == 0) {
         unit = static_cast<uint64_t>(std::atoll(args[i].substr(7).c_str()));
       } else if (args[i] == "--parity") {
         parity = true;
+      } else if (args[i].rfind("--parity-units=", 0) == 0) {
+        parity_units = static_cast<uint32_t>(std::atoi(args[i].substr(15).c_str()));
       }
     }
-    return CmdCreate(cli, args[1], unit, parity);
+    return CmdCreate(cli, args[1], unit, parity, parity_units);
   }
   if (command == "put" && args.size() == 3) {
     return CmdPut(cli, args[1], args[2]);
@@ -808,7 +852,7 @@ int main(int argc, char** argv) {
     return CmdRm(cli, args[1]);
   }
   if (command == "rebuild" && args.size() == 3) {
-    return CmdRebuild(cli, args[1], static_cast<uint32_t>(std::atoi(args[2].c_str())));
+    return CmdRebuild(cli, args[1], args[2]);
   }
   if (command == "scrub" && args.size() <= 2) {
     return CmdScrub(cli, args.size() == 2 ? args[1] : std::string());
